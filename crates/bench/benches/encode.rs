@@ -1,0 +1,40 @@
+//! Criterion bench: label construction time for every scheme (experiment E8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use treelab_bench::workloads::Family;
+use treelab_core::approximate::ApproximateScheme;
+use treelab_core::distance_array::DistanceArrayScheme;
+use treelab_core::kdistance::KDistanceScheme;
+use treelab_core::naive::NaiveScheme;
+use treelab_core::optimal::OptimalScheme;
+use treelab_core::DistanceScheme;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(10);
+    for &n in &[1usize << 10, 1 << 12, 1 << 14] {
+        let tree = Family::Random.build(n, 7);
+        group.bench_with_input(BenchmarkId::new("naive", n), &tree, |b, t| {
+            b.iter(|| NaiveScheme::build(t).max_label_bits())
+        });
+        group.bench_with_input(BenchmarkId::new("distance_array", n), &tree, |b, t| {
+            b.iter(|| DistanceArrayScheme::build(t).max_label_bits())
+        });
+        group.bench_with_input(BenchmarkId::new("optimal", n), &tree, |b, t| {
+            b.iter(|| OptimalScheme::build(t).max_label_bits())
+        });
+        group.bench_with_input(BenchmarkId::new("kdistance_k8", n), &tree, |b, t| {
+            b.iter(|| KDistanceScheme::build(t, 8).max_label_bits())
+        });
+        group.bench_with_input(BenchmarkId::new("approximate_eps_quarter", n), &tree, |b, t| {
+            b.iter(|| ApproximateScheme::build(t, 0.25).max_label_bits())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench: label serialization and deserialization throughput — the
+//! cost of shipping labels over the wire in a distributed deployment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use treelab_bench::workloads::Family;
+use treelab_bits::{BitReader, BitWriter};
+use treelab_core::kdistance::{KDistanceLabel, KDistanceScheme};
+use treelab_core::optimal::{OptimalLabel, OptimalScheme};
+use treelab_core::DistanceScheme;
+
+fn bench_serialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("label_serialization");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(20);
+    for &n in &[1usize << 12, 1 << 15] {
+        let tree = Family::Comb.build(n, 5);
+        let opt = OptimalScheme::build(&tree);
+        let kd = KDistanceScheme::build(&tree, 8);
+        let node = tree.node(tree.len() - 1);
+
+        group.bench_with_input(BenchmarkId::new("optimal_encode", n), opt.label(node), |b, l| {
+            b.iter(|| {
+                let mut w = BitWriter::new();
+                l.encode(&mut w);
+                w.len()
+            })
+        });
+        let encoded_opt = {
+            let mut w = BitWriter::new();
+            opt.label(node).encode(&mut w);
+            w.into_bitvec()
+        };
+        group.bench_with_input(BenchmarkId::new("optimal_decode", n), &encoded_opt, |b, bits| {
+            b.iter(|| OptimalLabel::decode(&mut BitReader::new(bits)).unwrap().bit_len())
+        });
+
+        group.bench_with_input(BenchmarkId::new("kdistance_encode", n), kd.label(node), |b, l| {
+            b.iter(|| {
+                let mut w = BitWriter::new();
+                l.encode(&mut w);
+                w.len()
+            })
+        });
+        let encoded_kd = {
+            let mut w = BitWriter::new();
+            kd.label(node).encode(&mut w);
+            w.into_bitvec()
+        };
+        group.bench_with_input(BenchmarkId::new("kdistance_decode", n), &encoded_kd, |b, bits| {
+            b.iter(|| KDistanceLabel::decode(&mut BitReader::new(bits)).unwrap().bit_len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serialization);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion bench: per-query time from two labels, for every scheme
+//! (experiment E7 — the "constant query time" claims of Theorems 1.1/1.3/1.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use treelab_bench::workloads::Family;
+use treelab_core::approximate::ApproximateScheme;
+use treelab_core::distance_array::DistanceArrayScheme;
+use treelab_core::kdistance::KDistanceScheme;
+use treelab_core::naive::NaiveScheme;
+use treelab_core::optimal::OptimalScheme;
+use treelab_core::DistanceScheme;
+use treelab_tree::Tree;
+
+/// A deterministic cycling pair sampler over the nodes of a tree.
+fn pair_indices(tree: &Tree, count: usize) -> Vec<(usize, usize)> {
+    let n = tree.len();
+    (0..count).map(|i| ((i * 7919 + 3) % n, (i * 104_729 + 11) % n)).collect()
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(20);
+    for &n in &[1usize << 10, 1 << 14, 1 << 17] {
+        let tree = Family::Random.build(n, 13);
+        let pairs = pair_indices(&tree, 1024);
+
+        let naive = NaiveScheme::build(&tree);
+        group.bench_with_input(BenchmarkId::new("naive", n), &pairs, |b, pairs| {
+            let mut it = pairs.iter().cycle();
+            b.iter(|| {
+                let &(x, y) = it.next().unwrap();
+                NaiveScheme::distance(naive.label(tree.node(x)), naive.label(tree.node(y)))
+            })
+        });
+
+        let da = DistanceArrayScheme::build(&tree);
+        group.bench_with_input(BenchmarkId::new("distance_array", n), &pairs, |b, pairs| {
+            let mut it = pairs.iter().cycle();
+            b.iter(|| {
+                let &(x, y) = it.next().unwrap();
+                DistanceArrayScheme::distance(da.label(tree.node(x)), da.label(tree.node(y)))
+            })
+        });
+
+        let opt = OptimalScheme::build(&tree);
+        group.bench_with_input(BenchmarkId::new("optimal", n), &pairs, |b, pairs| {
+            let mut it = pairs.iter().cycle();
+            b.iter(|| {
+                let &(x, y) = it.next().unwrap();
+                OptimalScheme::distance(opt.label(tree.node(x)), opt.label(tree.node(y)))
+            })
+        });
+
+        let kd = KDistanceScheme::build(&tree, 8);
+        group.bench_with_input(BenchmarkId::new("kdistance_k8", n), &pairs, |b, pairs| {
+            let mut it = pairs.iter().cycle();
+            b.iter(|| {
+                let &(x, y) = it.next().unwrap();
+                KDistanceScheme::distance(kd.label(tree.node(x)), kd.label(tree.node(y)))
+            })
+        });
+
+        let approx = ApproximateScheme::build(&tree, 0.25);
+        group.bench_with_input(BenchmarkId::new("approximate", n), &pairs, |b, pairs| {
+            let mut it = pairs.iter().cycle();
+            b.iter(|| {
+                let &(x, y) = it.next().unwrap();
+                ApproximateScheme::distance(approx.label(tree.node(x)), approx.label(tree.node(y)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion bench: the bit-level substrate (Lemma 2.2 structures, rank/select,
+//! Elias codes) and the heavy-path decomposition — the building blocks whose
+//! constant factors determine every scheme's construction and query cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use treelab_bits::{codes, BitReader, BitVec, BitWriter, MonotoneSeq, RankSelect};
+use treelab_tree::heavy::HeavyPaths;
+use treelab_tree::{gen, lca::DistanceOracle};
+
+fn bench_bits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bits");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(20);
+
+    // Elias δ round-trips.
+    group.bench_function("elias_delta_roundtrip_1k", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::new();
+            for x in 1..1000u64 {
+                codes::write_delta(&mut w, x * 37);
+            }
+            let bits = w.into_bitvec();
+            let mut r = BitReader::new(&bits);
+            let mut acc = 0u64;
+            for _ in 1..1000u64 {
+                acc = acc.wrapping_add(codes::read_delta(&mut r).unwrap());
+            }
+            acc
+        })
+    });
+
+    // Monotone sequence (Lemma 2.2) access and successor.
+    let values: Vec<u64> = (0..64u64).map(|i| i * i).collect();
+    let seq = MonotoneSeq::new(&values);
+    group.bench_function("monotone_access", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % seq.len();
+            seq.get(i)
+        })
+    });
+    group.bench_function("monotone_successor", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = (x + 97) % 4096;
+            seq.successor(x)
+        })
+    });
+
+    // Rank/select.
+    let bv = BitVec::from_bools((0..1 << 16).map(|i| i % 3 == 0));
+    let rs = RankSelect::new(bv);
+    group.bench_function("rank1", |b| {
+        let mut p = 0usize;
+        b.iter(|| {
+            p = (p + 4099) % rs.len();
+            rs.rank1(p)
+        })
+    });
+    group.bench_function("select1", |b| {
+        let ones = rs.count_ones();
+        let mut k = 1usize;
+        b.iter(|| {
+            k = k % ones + 1;
+            rs.select1(k)
+        })
+    });
+    group.finish();
+}
+
+fn bench_tree_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_substrate");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(20);
+    for &n in &[1usize << 12, 1 << 15] {
+        let tree = gen::random_tree(n, 3);
+        group.bench_with_input(BenchmarkId::new("heavy_paths", n), &tree, |b, t| {
+            b.iter(|| HeavyPaths::new(t).path_count())
+        });
+        group.bench_with_input(BenchmarkId::new("lca_oracle_build", n), &tree, |b, t| {
+            b.iter(|| DistanceOracle::new(t).root_distance(t.node(0)))
+        });
+        let oracle = DistanceOracle::new(&tree);
+        group.bench_with_input(BenchmarkId::new("lca_query", n), &oracle, |b, o| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                o.distance(tree.node((i * 7919) % n), tree.node((i * 104_729) % n))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bits, bench_tree_substrate);
+criterion_main!(benches);

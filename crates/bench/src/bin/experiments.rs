@@ -1,0 +1,61 @@
+//! Regenerates every table of `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run --release -p treelab-bench --bin experiments -- [--quick] [--exact] [--approx]
+//!     [--kdist-small] [--kdist-large] [--lower-bounds] [--universal] [--ablation] [--timing]
+//! ```
+//!
+//! With no selection flags, all experiments run.  `--quick` shrinks the sizes
+//! so the full suite finishes in well under a minute (used in CI); the numbers
+//! recorded in `EXPERIMENTS.md` come from the default (non-quick) sizes.
+
+use treelab_bench::experiments::{
+    ablation_experiment, approximate_experiment, exact_experiment, k_large_experiment,
+    k_small_experiment, lower_bound_experiment, timing_experiment, universal_experiment,
+};
+use treelab_bench::workloads::Family;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args.iter().filter(|a| *a != "--quick").map(String::as_str).collect();
+    let run = |name: &str| selected.is_empty() || selected.contains(&name);
+    let seed = 2017;
+
+    println!("# treelab experiments (quick = {quick})\n");
+
+    if run("--exact") {
+        let sizes: &[usize] = if quick { &[256, 1024] } else { &[1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16] };
+        let table = exact_experiment(sizes, Family::all(), seed);
+        println!("{}", table.to_markdown());
+    }
+    if run("--approx") {
+        let n = if quick { 1 << 10 } else { 1 << 14 };
+        let eps = [1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125, 0.015625];
+        println!("{}", approximate_experiment(n, &eps, seed).to_markdown());
+    }
+    if run("--kdist-small") {
+        let n = if quick { 1 << 10 } else { 1 << 14 };
+        let ks = [1u64, 2, 4, 8, 12];
+        println!("{}", k_small_experiment(n, &ks, seed).to_markdown());
+    }
+    if run("--kdist-large") {
+        let n = if quick { 1 << 10 } else { 1 << 13 };
+        println!("{}", k_large_experiment(n, seed).to_markdown());
+    }
+    if run("--lower-bounds") {
+        println!("{}", lower_bound_experiment(seed).to_markdown());
+    }
+    if run("--universal") {
+        let max_n = if quick { 6 } else { 12 };
+        println!("{}", universal_experiment(max_n).to_markdown());
+    }
+    if run("--ablation") {
+        let n = if quick { 1 << 11 } else { 1 << 15 };
+        println!("{}", ablation_experiment(n, seed).to_markdown());
+    }
+    if run("--timing") {
+        let sizes: &[usize] = if quick { &[1 << 10] } else { &[1 << 12, 1 << 14, 1 << 16] };
+        println!("{}", timing_experiment(sizes, seed).to_markdown());
+    }
+}

@@ -1,0 +1,392 @@
+//! The experiment functions behind the `experiments` binary.
+//!
+//! Each function reproduces one row/figure of the paper's quantitative content
+//! (see DESIGN.md §5 for the experiment index) and returns a [`Table`] that the
+//! binary prints and `EXPERIMENTS.md` records.
+
+use crate::workloads::Family;
+use crate::Table;
+use std::time::Instant;
+use treelab_core::approximate::ApproximateScheme;
+use treelab_core::bounds;
+use treelab_core::distance_array::DistanceArrayScheme;
+use treelab_core::kdistance::KDistanceScheme;
+use treelab_core::level_ancestor::LevelAncestorScheme;
+use treelab_core::naive::NaiveScheme;
+use treelab_core::optimal::OptimalScheme;
+use treelab_core::stats::LabelStats;
+use treelab_core::universal::{universal_from_parent_labels, universal_tree_size};
+use treelab_core::DistanceScheme;
+use treelab_tree::lca::DistanceOracle;
+use treelab_tree::{gen, Tree};
+
+fn stats_of<S: DistanceScheme>(scheme: &S, tree: &Tree) -> LabelStats {
+    LabelStats::from_sizes(tree.nodes().map(|u| scheme.label_bits(u)))
+}
+
+/// E1 (Table 1, "Exact"): label sizes of the three exact schemes across
+/// families and sizes, against the ¼·log²n and ½·log²n leading terms.
+pub fn exact_experiment(sizes: &[usize], families: &[Family], seed: u64) -> Table {
+    let mut table = Table::new(
+        "E1 — exact distance labels (Table 1, row 'Exact'): max label bits",
+        &[
+            "family",
+            "n",
+            "naive Θ(log²n)",
+            "dist-array ½log²n",
+            "optimal ¼log²n",
+            "payload ½ / ¼",
+            "theory ½log²n / ¼log²n (binarized n)",
+        ],
+    );
+    for &family in families {
+        for &n in sizes {
+            let tree = family.build(n, seed);
+            let naive = NaiveScheme::build(&tree);
+            let da = DistanceArrayScheme::build(&tree);
+            let opt = OptimalScheme::build(&tree);
+            let da_payload = tree
+                .nodes()
+                .map(|u| da.label(u).array_payload_bits())
+                .max()
+                .unwrap_or(0);
+            let opt_payload = tree
+                .nodes()
+                .map(|u| opt.label(u).array_payload_bits())
+                .max()
+                .unwrap_or(0);
+            let n_bin = 4 * tree.len();
+            table.push_row(vec![
+                family.name().to_string(),
+                tree.len().to_string(),
+                stats_of(&naive, &tree).max_bits.to_string(),
+                stats_of(&da, &tree).max_bits.to_string(),
+                stats_of(&opt, &tree).max_bits.to_string(),
+                format!("{da_payload} / {opt_payload}"),
+                format!(
+                    "{:.0} / {:.0}",
+                    bounds::distance_array_upper(n_bin),
+                    bounds::exact_upper(n_bin)
+                ),
+            ]);
+        }
+    }
+    table
+}
+
+/// E2 (Table 1, "Approximate"): label sizes and observed error of the
+/// `(1+ε)`-approximate scheme as ε shrinks.
+pub fn approximate_experiment(n: usize, epsilons: &[f64], seed: u64) -> Table {
+    let mut table = Table::new(
+        "E2 — (1+ε)-approximate labels (Table 1, row 'Approximate')",
+        &["ε", "n", "max bits", "mean bits", "worst ratio", "theory log(1/ε)·log n"],
+    );
+    let tree = gen::random_binary(n, seed);
+    let oracle = DistanceOracle::new(&tree);
+    for &eps in epsilons {
+        let scheme = ApproximateScheme::build(&tree, eps);
+        let stats = LabelStats::from_sizes(tree.nodes().map(|u| scheme.label_bits(u)));
+        let mut worst: f64 = 1.0;
+        for i in 0..4000usize {
+            let u = tree.node((i * 379) % tree.len());
+            let v = tree.node((i * 811 + 7) % tree.len());
+            let d = oracle.distance(u, v);
+            if d == 0 {
+                continue;
+            }
+            let est = ApproximateScheme::distance(scheme.label(u), scheme.label(v));
+            worst = worst.max(est as f64 / d as f64);
+        }
+        table.push_row(vec![
+            format!("{eps}"),
+            tree.len().to_string(),
+            stats.max_bits.to_string(),
+            format!("{:.1}", stats.mean_bits),
+            format!("{worst:.4}"),
+            format!("{:.0}", bounds::approximate_bound(tree.len(), eps)),
+        ]);
+    }
+    table
+}
+
+/// E3 (Table 1, "k-distance, k < log n"): label size versus `k` in the small
+/// regime.
+pub fn k_small_experiment(n: usize, ks: &[u64], seed: u64) -> Table {
+    let mut table = Table::new(
+        "E3 — k-distance labels, k < log n (Table 1)",
+        &["family", "n", "k", "max bits", "mean bits", "theory log n + k·log((log n)/k)"],
+    );
+    for family in [Family::Random, Family::Caterpillar, Family::Comb] {
+        let tree = family.build(n, seed);
+        for &k in ks {
+            let scheme = KDistanceScheme::build(&tree, k);
+            let stats = LabelStats::from_sizes(tree.nodes().map(|u| scheme.label_bits(u)));
+            table.push_row(vec![
+                family.name().to_string(),
+                tree.len().to_string(),
+                k.to_string(),
+                stats.max_bits.to_string(),
+                format!("{:.1}", stats.mean_bits),
+                format!("{:.0}", bounds::k_distance_upper(tree.len(), k)),
+            ]);
+        }
+    }
+    table
+}
+
+/// E4 (Table 1, "k-distance, k ≥ log n"): label size versus `k` in the large
+/// regime.
+pub fn k_large_experiment(n: usize, seed: u64) -> Table {
+    let mut table = Table::new(
+        "E4 — k-distance labels, k ≥ log n (Table 1)",
+        &["family", "n", "k", "max bits", "theory log n·log(k/log n)"],
+    );
+    let log_n = (n as f64).log2() as u64;
+    for family in [Family::Random, Family::Caterpillar] {
+        let tree = family.build(n, seed);
+        for mult in [1u64, 2, 4, 16, 64] {
+            let k = (log_n * mult).max(1);
+            let scheme = KDistanceScheme::build(&tree, k);
+            let stats = LabelStats::from_sizes(tree.nodes().map(|u| scheme.label_bits(u)));
+            table.push_row(vec![
+                family.name().to_string(),
+                tree.len().to_string(),
+                k.to_string(),
+                stats.max_bits.to_string(),
+                format!("{:.0}", bounds::k_distance_upper(tree.len(), k)),
+            ]);
+        }
+    }
+    table
+}
+
+/// E5: the lower-bound families — measured label sizes on subdivided
+/// `(h,M)`-trees against the Lemma 2.3 bound, and the `(x⃗,h,d)`-regular
+/// family's counting bound.
+pub fn lower_bound_experiment(seed: u64) -> Table {
+    let mut table = Table::new(
+        "E5 — lower-bound families: (h,M)-trees (Lemma 2.3) and (x⃗,h,d)-regular trees (§4.1)",
+        &["family", "parameters", "nodes", "measured max bits (optimal scheme)", "lower bound (bits)"],
+    );
+    for (h, m) in [(3u32, 64u64), (4, 48), (5, 24), (6, 12), (7, 8)] {
+        let weighted = gen::hm_tree_random(h, m, seed);
+        let (tree, _) = gen::subdivide(&weighted);
+        let scheme = OptimalScheme::build(&tree);
+        let leaves = tree.leaves();
+        let stats = LabelStats::from_sizes(leaves.iter().map(|&u| scheme.label_bits(u)));
+        table.push_row(vec![
+            "(h,M)-tree subdivided".to_string(),
+            format!("h={h}, M={m}"),
+            tree.len().to_string(),
+            stats.max_bits.to_string(),
+            format!("{:.1}", bounds::hm_tree_lower(h, m)),
+        ]);
+    }
+    for (xs, h, d, k) in [(vec![1u32, 2], 2u32, 2u32, 4u64), (vec![1, 2, 1], 2, 2, 6)] {
+        let tree = gen::regular_tree(&xs, h, d);
+        let scheme = KDistanceScheme::build(&tree, k);
+        let stats = LabelStats::from_sizes(tree.leaves().iter().map(|&u| scheme.label_bits(u)));
+        table.push_row(vec![
+            "(x⃗,h,d)-regular".to_string(),
+            format!("x={xs:?}, h={h}, d={d}, k={k}"),
+            tree.len().to_string(),
+            stats.max_bits.to_string(),
+            format!(
+                "{:.1}",
+                (bounds::regular_tree_leaves(xs.len() as u32, h, d)).log2()
+            ),
+        ]);
+    }
+    table
+}
+
+/// E6: universal trees — explicit sizes, the Lemma 3.6 conversion, and the
+/// separation between distance labels and level-ancestor labels.
+pub fn universal_experiment(max_n: usize) -> Table {
+    let mut table = Table::new(
+        "E6 — universal trees and the distance vs level-ancestor separation (§3.5, Theorem 1.2)",
+        &[
+            "n",
+            "recursive U(n) size",
+            "Lemma 3.6 tree size (distinct labels)",
+            "log₂ optimal-universal size (Lemma 3.7)",
+            "level-ancestor max bits (comb, n=8192)",
+            "optimal distance payload bits (same tree)",
+        ],
+    );
+    // The separation is about the array payloads on adversarial shapes: the
+    // level-ancestor labels must spend ~½·log²n bits on branch offsets, while
+    // the optimal distance labels get away with ~¼·log²n (Theorems 1.1/1.2).
+    let comb = gen::comb(8192);
+    let la = LevelAncestorScheme::build(&comb);
+    let la_bits = la.max_label_bits();
+    let opt = OptimalScheme::build(&comb);
+    let opt_payload = comb
+        .nodes()
+        .map(|u| opt.label(u).array_payload_bits())
+        .max()
+        .unwrap_or(0);
+    for n in 2..=max_n {
+        let conv = universal_from_parent_labels(n.min(6));
+        table.push_row(vec![
+            n.to_string(),
+            universal_tree_size(n).to_string(),
+            if n <= 6 {
+                format!("{} ({})", conv.tree.len(), conv.distinct_labels)
+            } else {
+                "—".to_string()
+            },
+            format!("{:.1}", bounds::universal_tree_size_log2(n).max(0.0)),
+            la_bits.to_string(),
+            opt_payload.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E9 (ablation): how much each ingredient of the optimal scheme (bit pushing,
+/// the Thin-Lemma threshold, the fragment granularity) contributes to the
+/// measured label sizes, on the comb family where the machinery matters most.
+pub fn ablation_experiment(n: usize, seed: u64) -> Table {
+    use treelab_core::optimal::OptimalConfig;
+    let mut table = Table::new(
+        "E9 — ablation of the optimal scheme's ingredients (comb family)",
+        &["variant", "n", "max total bits", "max payload bits", "total accumulator bits"],
+    );
+    let tree = Family::Comb.build(n, seed);
+    let variants: Vec<(&str, OptimalConfig)> = vec![
+        ("paper defaults (c=8, B=⌈√log n⌉)", OptimalConfig::default()),
+        ("no bit pushing", OptimalConfig { enable_pushing: false, ..Default::default() }),
+        ("aggressive pushing (c=2)", OptimalConfig { thin_exponent: 2, ..Default::default() }),
+        ("conservative pushing (c=16)", OptimalConfig { thin_exponent: 16, ..Default::default() }),
+        ("fine fragments (B=1)", OptimalConfig { fragment_block: Some(1), ..Default::default() }),
+        ("coarse fragments (B=64)", OptimalConfig { fragment_block: Some(64), ..Default::default() }),
+    ];
+    for (name, config) in variants {
+        let scheme = OptimalScheme::build_with_config(&tree, config);
+        let stats = stats_of(&scheme, &tree);
+        let payload = tree
+            .nodes()
+            .map(|u| scheme.label(u).array_payload_bits())
+            .max()
+            .unwrap_or(0);
+        let acc: usize = tree.nodes().map(|u| scheme.label(u).accumulator_bits()).sum();
+        table.push_row(vec![
+            name.to_string(),
+            tree.len().to_string(),
+            stats.max_bits.to_string(),
+            payload.to_string(),
+            acc.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E7/E8: wall-clock construction and query times (complementing the Criterion
+/// benches with a single easily-recorded table).
+pub fn timing_experiment(sizes: &[usize], seed: u64) -> Table {
+    let mut table = Table::new(
+        "E7/E8 — construction time and per-query time (random trees)",
+        &["n", "scheme", "build (ms)", "query (ns, mean over 100k)"],
+    );
+    for &n in sizes {
+        let tree = gen::random_tree(n, seed);
+        macro_rules! measure {
+            ($name:expr, $build:expr, $query:expr) => {{
+                let t0 = Instant::now();
+                let scheme = $build;
+                let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let labels: Vec<_> = (0..tree.len()).map(|i| scheme.label(tree.node(i))).collect();
+                let t1 = Instant::now();
+                let mut acc = 0u64;
+                let q = 100_000usize;
+                for i in 0..q {
+                    let a = labels[(i * 7919) % labels.len()];
+                    let b = labels[(i * 104_729 + 1) % labels.len()];
+                    acc = acc.wrapping_add($query(a, b));
+                }
+                let per_query = t1.elapsed().as_nanos() as f64 / q as f64;
+                std::hint::black_box(acc);
+                table.push_row(vec![
+                    n.to_string(),
+                    $name.to_string(),
+                    format!("{build_ms:.1}"),
+                    format!("{per_query:.0}"),
+                ]);
+            }};
+        }
+        measure!("naive", NaiveScheme::build(&tree), NaiveScheme::distance);
+        measure!("distance-array", DistanceArrayScheme::build(&tree), |a, b| {
+            DistanceArrayScheme::distance(a, b)
+        });
+        measure!("optimal", OptimalScheme::build(&tree), |a, b| {
+            OptimalScheme::distance(a, b)
+        });
+        measure!("k-distance (k=8)", KDistanceScheme::build(&tree, 8), |a, b| {
+            KDistanceScheme::distance(a, b).unwrap_or(0)
+        });
+        measure!(
+            "approximate (ε=0.25)",
+            ApproximateScheme::build(&tree, 0.25),
+            ApproximateScheme::distance
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_experiment_produces_rows_for_every_family_and_size() {
+        let t = exact_experiment(&[64, 128], &[Family::Random, Family::Comb], 1);
+        assert_eq!(t.rows.len(), 4);
+        assert!(t.to_markdown().contains("comb"));
+    }
+
+    #[test]
+    fn approximate_experiment_ratio_within_bound() {
+        let t = approximate_experiment(256, &[1.0, 0.5], 2);
+        for row in &t.rows {
+            let eps: f64 = row[0].parse().unwrap();
+            let ratio: f64 = row[4].parse().unwrap();
+            assert!(ratio <= 1.0 + eps + 0.51, "ratio {ratio} too large for eps {eps}");
+        }
+    }
+
+    #[test]
+    fn k_experiments_have_monotone_label_sizes_in_k() {
+        let t = k_small_experiment(512, &[1, 2, 4], 3);
+        // Per family the max bits are non-decreasing in k.
+        for chunk in t.rows.chunks(3) {
+            let bits: Vec<usize> = chunk.iter().map(|r| r[3].parse().unwrap()).collect();
+            assert!(bits.windows(2).all(|w| w[1] >= w[0]), "{bits:?}");
+        }
+        let t = k_large_experiment(256, 3);
+        assert_eq!(t.rows.len(), 10);
+    }
+
+    #[test]
+    fn ablation_experiment_shows_pushing_reduces_payload() {
+        let t = ablation_experiment(1024, 1);
+        assert_eq!(t.rows.len(), 6);
+        let payload_of = |name: &str| -> usize {
+            t.rows
+                .iter()
+                .find(|r| r[0].starts_with(name))
+                .map(|r| r[3].parse().unwrap())
+                .unwrap()
+        };
+        assert!(payload_of("paper defaults") <= payload_of("no bit pushing"));
+    }
+
+    #[test]
+    fn lower_bound_and_universal_experiments_render() {
+        let t = lower_bound_experiment(1);
+        assert!(t.rows.len() >= 6);
+        let u = universal_experiment(5);
+        assert_eq!(u.rows.len(), 4);
+        assert!(u.to_markdown().contains("Lemma 3.7"));
+    }
+}

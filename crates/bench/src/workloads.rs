@@ -1,0 +1,104 @@
+//! The named tree families every experiment and bench sweeps over.
+
+use treelab_tree::{gen, Tree};
+
+/// A named workload generator at a target size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Uniformly random labeled tree (random Prüfer sequence).
+    Random,
+    /// Random binary tree.
+    RandomBinary,
+    /// A path (one long heavy path, no light edges).
+    Path,
+    /// A star (one light edge per node).
+    Star,
+    /// A caterpillar with three leaves per spine node.
+    Caterpillar,
+    /// A broom: path ending in a large star.
+    Broom,
+    /// Complete binary tree.
+    CompleteBinary,
+    /// The comb family (fat subtrees with large offsets at every level) —
+    /// the adversarial shape for exact label sizes.
+    Comb,
+    /// A subdivided `(h, M)`-tree with `h ≈ log n / 2` (the lower-bound family).
+    SubdividedHm,
+}
+
+impl Family {
+    /// All families, in presentation order.
+    pub fn all() -> &'static [Family] {
+        &[
+            Family::Random,
+            Family::RandomBinary,
+            Family::Path,
+            Family::Star,
+            Family::Caterpillar,
+            Family::Broom,
+            Family::CompleteBinary,
+            Family::Comb,
+            Family::SubdividedHm,
+        ]
+    }
+
+    /// Short name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Random => "random",
+            Family::RandomBinary => "random-binary",
+            Family::Path => "path",
+            Family::Star => "star",
+            Family::Caterpillar => "caterpillar",
+            Family::Broom => "broom",
+            Family::CompleteBinary => "complete-binary",
+            Family::Comb => "comb",
+            Family::SubdividedHm => "hm-subdivided",
+        }
+    }
+
+    /// Builds an instance with roughly `n` nodes (exact for most families).
+    pub fn build(self, n: usize, seed: u64) -> Tree {
+        let n = n.max(2);
+        match self {
+            Family::Random => gen::random_tree(n, seed),
+            Family::RandomBinary => gen::random_binary(n, seed),
+            Family::Path => gen::path(n),
+            Family::Star => gen::star(n),
+            Family::Caterpillar => gen::caterpillar(n.div_ceil(4), 3),
+            Family::Broom => gen::broom(n / 2, n - n / 2),
+            Family::CompleteBinary => gen::balanced_binary(n),
+            Family::Comb => gen::comb(n),
+            Family::SubdividedHm => {
+                // Choose h ≈ log2(n)/2 and M so the subdivided size is ≈ n.
+                let h = ((n as f64).log2() / 2.0).round().max(1.0) as u32;
+                let m = ((n as u64) / (1u64 << (h + 1))).max(2);
+                gen::subdivide(&gen::hm_tree_random(h, m, seed)).0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_builds_at_roughly_the_requested_size() {
+        for &f in Family::all() {
+            for n in [64usize, 1024] {
+                let t = f.build(n, 1);
+                assert!(t.len() >= n / 4, "{} too small: {}", f.name(), t.len());
+                assert!(t.len() <= 4 * n, "{} too large: {}", f.name(), t.len());
+                assert!(!f.name().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn families_are_deterministic_given_a_seed() {
+        for &f in Family::all() {
+            assert_eq!(f.build(256, 9), f.build(256, 9));
+        }
+    }
+}

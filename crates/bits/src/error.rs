@@ -1,0 +1,90 @@
+//! Error type shared by every decoder in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when decoding a bit stream fails.
+///
+/// Labels travel between machines in a distributed setting, so decoders must
+/// never panic on malformed input; every decoding routine in this workspace
+/// returns `Result<_, DecodeError>` instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The reader ran past the end of the underlying bit vector.
+    UnexpectedEnd {
+        /// Bit position at which the read was attempted.
+        position: usize,
+        /// Number of bits that were requested.
+        requested: usize,
+        /// Total number of bits available.
+        available: usize,
+    },
+    /// A decoded value does not fit in the target integer width.
+    Overflow {
+        /// Human-readable description of what overflowed.
+        what: &'static str,
+    },
+    /// The bit stream is structurally invalid for the expected encoding.
+    Malformed {
+        /// Human-readable description of the violated expectation.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd {
+                position,
+                requested,
+                available,
+            } => write!(
+                f,
+                "unexpected end of bit stream: requested {requested} bits at position {position} \
+                 but only {available} bits are available"
+            ),
+            DecodeError::Overflow { what } => write!(f, "decoded value overflows: {what}"),
+            DecodeError::Malformed { what } => write!(f, "malformed bit stream: {what}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DecodeError::UnexpectedEnd {
+            position: 10,
+            requested: 7,
+            available: 12,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10"));
+        assert!(s.contains('7'));
+        assert!(s.contains("12"));
+
+        let e = DecodeError::Overflow { what: "gamma value" };
+        assert!(e.to_string().contains("gamma value"));
+
+        let e = DecodeError::Malformed { what: "missing terminator" };
+        assert!(e.to_string().contains("missing terminator"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(DecodeError::Overflow { what: "x" });
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn equality_and_clone() {
+        let a = DecodeError::Malformed { what: "x" };
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the bit substrate: every structure is compared
+//! against a straightforward reference implementation on arbitrary inputs.
+
+use proptest::prelude::*;
+use treelab_bits::alphabetic::AlphabeticCode;
+use treelab_bits::wordram::{range_id, range_id_from_member, two_approx};
+use treelab_bits::{codes, BitReader, BitVec, BitWriter, MonotoneSeq, RankSelect};
+
+proptest! {
+    #[test]
+    fn gamma_delta_roundtrip(values in prop::collection::vec(1u64..u64::MAX / 2, 0..200)) {
+        let mut w = BitWriter::new();
+        for &v in &values {
+            codes::write_gamma(&mut w, v.min(1 << 40));
+            codes::write_delta(&mut w, v);
+        }
+        let bits = w.into_bitvec();
+        let mut r = BitReader::new(&bits);
+        for &v in &values {
+            prop_assert_eq!(codes::read_gamma(&mut r).unwrap(), v.min(1 << 40));
+            prop_assert_eq!(codes::read_delta(&mut r).unwrap(), v);
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bitvec_get_bits_matches_push_bits(chunks in prop::collection::vec((0u64..u64::MAX, 1usize..=64), 0..50)) {
+        let mut bv = BitVec::new();
+        let mut expected = Vec::new();
+        for &(value, width) in &chunks {
+            let masked = if width == 64 { value } else { value & ((1u64 << width) - 1) };
+            bv.push_bits(masked, width);
+            expected.push((masked, width));
+        }
+        let mut pos = 0;
+        for (value, width) in expected {
+            prop_assert_eq!(bv.get_bits(pos, width), Some(value));
+            pos += width;
+        }
+    }
+
+    #[test]
+    fn rank_select_match_reference(bits in prop::collection::vec(any::<bool>(), 0..2000)) {
+        let bv = BitVec::from_bools(bits.iter().copied());
+        let rs = RankSelect::new(bv);
+        let mut ones_seen = 0usize;
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(rs.rank1(i), ones_seen);
+            if b {
+                ones_seen += 1;
+                prop_assert_eq!(rs.select1(ones_seen), Some(i));
+            }
+        }
+        prop_assert_eq!(rs.count_ones(), ones_seen);
+    }
+
+    #[test]
+    fn monotone_structure_matches_vector(mut values in prop::collection::vec(0u64..1_000_000, 0..300)) {
+        values.sort_unstable();
+        let seq = MonotoneSeq::new(&values);
+        prop_assert_eq!(seq.to_vec(), values.clone());
+        // Successor queries against a linear scan.
+        for probe in [0u64, 1, 500, 999_999, 1_000_001] {
+            prop_assert_eq!(seq.successor(probe), values.iter().position(|&v| v >= probe));
+        }
+        // Serialization roundtrip.
+        let mut w = BitWriter::new();
+        seq.encode(&mut w);
+        let bits = w.into_bitvec();
+        let back = MonotoneSeq::decode(&mut BitReader::new(&bits)).unwrap();
+        prop_assert_eq!(back.to_vec(), values);
+    }
+
+    #[test]
+    fn alphabetic_code_is_prefix_free_and_ordered(weights in prop::collection::vec(1u64..10_000, 1..40)) {
+        let code = AlphabeticCode::new(&weights);
+        for i in 0..weights.len() {
+            for j in (i + 1)..weights.len() {
+                prop_assert!(!code.codeword(i).starts_with(code.codeword(j)));
+                prop_assert!(!code.codeword(j).starts_with(code.codeword(i)));
+                prop_assert_eq!(code.codeword(i).lex_cmp(code.codeword(j)), std::cmp::Ordering::Less);
+            }
+        }
+    }
+
+    #[test]
+    fn two_approx_brackets_its_argument(x in 1u64..u64::MAX / 2) {
+        let t = two_approx(x);
+        prop_assert!(t.is_power_of_two());
+        prop_assert!(t <= x);
+        prop_assert!(x < 2 * t);
+    }
+
+    #[test]
+    fn range_ids_reconstruct_from_members(a in 0u64..50_000, len in 0u64..5_000) {
+        let b = a + len;
+        let width = 17;
+        let rid = range_id(a, b, width);
+        // Identifier lies in (a, b] for non-singletons and is reconstructible
+        // from both endpoints.
+        if len > 0 {
+            prop_assert!(rid.id > a && rid.id <= b);
+        } else {
+            prop_assert_eq!(rid.id, a);
+        }
+        prop_assert_eq!(range_id_from_member(a, rid.height), rid.id);
+        prop_assert_eq!(range_id_from_member(b, rid.height), rid.id);
+    }
+}

@@ -1,0 +1,357 @@
+//! `(1+ε)`-approximate distance labeling (§5.2, Theorem 1.4):
+//! `O(log(1/ε)·log n)`-bit labels.
+//!
+//! The label of a node `v` stores its root distance, the heavy-path auxiliary
+//! label (Lemma 2.1), and — for every significant ancestor `vᵢ` of `v` — the
+//! distance `d(v, vᵢ)` rounded **up** to the next power of `1 + ε/2`.  Only the
+//! rounding *exponents* are stored, and because they form a non-decreasing
+//! sequence of `O(log n)` integers bounded by `O(log n / ε)`, the Lemma 2.2
+//! structure stores them in `O(log(1/ε)·log n)` bits — this is precisely the
+//! improvement over the unary encoding of the original Alstrup et al. scheme,
+//! which needed `O(1/ε·log n)` bits.
+//!
+//! A query finds `w = NCA(u, v)` structurally (via the auxiliary labels),
+//! identifies the side for which `w` is a significant ancestor, and returns
+//! `rd(u) + rd(v) − 2·(rd(x) − ⌈d(x, w)⌉)` for that side `x`, which lies in
+//! `[d(u,v), (1+ε)·d(u,v) + 2]` (the `+2` is integer-rounding slack that
+//! vanishes for distances `≥ 2/ε`; the paper works with real-valued rounding).
+
+use crate::hpath::{HpathLabel, HpathLabeling};
+use std::cmp::Ordering;
+use treelab_bits::{codes, monotone::MonotoneSeq, BitReader, BitWriter, DecodeError};
+use treelab_tree::heavy::HeavyPaths;
+use treelab_tree::{NodeId, Tree};
+
+/// Rounds `d ≥ 1` up to the smallest value of the form `⌈(1+eps)^e⌉` and
+/// returns the exponent `e`.  Deterministic, shared by encoder and decoder.
+fn round_up_exponent(d: u64, eps: f64) -> u64 {
+    debug_assert!(d >= 1);
+    let mut e = 0u64;
+    while exponent_value(e, eps) < d {
+        e += 1;
+    }
+    e
+}
+
+/// The value represented by exponent `e`: `⌈(1+eps)^e⌉`.
+fn exponent_value(e: u64, eps: f64) -> u64 {
+    (1.0 + eps).powi(e as i32).ceil() as u64
+}
+
+/// Label of the `(1+ε)`-approximate scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproximateLabel {
+    /// The ε the scheme was built with.
+    epsilon: f64,
+    /// Weighted distance from the root.
+    root_distance: u64,
+    /// Heavy-path auxiliary label.
+    aux: HpathLabel,
+    /// Rounding exponents of `d(v, vᵢ)` for the significant ancestors
+    /// `v₁, …, v_k` (deepest first); `None`-like sentinel 0 is never needed
+    /// because `d(v, vᵢ) ≥ 1` for `i ≥ 1`.
+    exponents: Vec<u64>,
+}
+
+impl ApproximateLabel {
+    /// Weighted distance from the root.
+    pub fn root_distance(&self) -> u64 {
+        self.root_distance
+    }
+
+    /// The embedded heavy-path auxiliary label.
+    pub fn aux(&self) -> &HpathLabel {
+        &self.aux
+    }
+
+    /// Serializes the label.
+    pub fn encode(&self, w: &mut BitWriter) {
+        // ε is a scheme-wide parameter; encode it as the integer ⌈1/ε⌉ so the
+        // label is self-contained.
+        codes::write_gamma_nz(w, (1.0 / self.epsilon).ceil() as u64);
+        codes::write_delta_nz(w, self.root_distance);
+        self.aux.encode(w);
+        MonotoneSeq::new(&self.exponents).encode(w);
+    }
+
+    /// Deserializes a label written by [`ApproximateLabel::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    pub fn decode(r: &mut BitReader<'_>) -> Result<Self, DecodeError> {
+        let inv_eps = codes::read_gamma_nz(r)?;
+        if inv_eps == 0 {
+            return Err(DecodeError::Malformed { what: "epsilon reciprocal is zero" });
+        }
+        let root_distance = codes::read_delta_nz(r)?;
+        let aux = HpathLabel::decode(r)?;
+        let exponents = MonotoneSeq::decode(r)?.to_vec();
+        Ok(ApproximateLabel {
+            epsilon: 1.0 / inv_eps as f64,
+            root_distance,
+            aux,
+            exponents,
+        })
+    }
+
+    /// Size of the serialized label in bits.
+    pub fn bit_len(&self) -> usize {
+        let mut w = BitWriter::new();
+        self.encode(&mut w);
+        w.len()
+    }
+}
+
+/// The `(1+ε)`-approximate distance labeling scheme of §5.2.
+#[derive(Debug, Clone)]
+pub struct ApproximateScheme {
+    epsilon: f64,
+    labels: Vec<ApproximateLabel>,
+}
+
+impl ApproximateScheme {
+    /// Builds `(1+ε)`-approximate labels for every node of `tree` (which may be
+    /// weighted).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ε ≤ 1` (the regime of Theorem 1.4).
+    pub fn build(tree: &Tree, epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must lie in (0, 1], got {epsilon}"
+        );
+        // Internal rounding uses ε/2 so the final estimate is (1+ε)-accurate.
+        let half = epsilon / 2.0;
+        let hp = HeavyPaths::new(tree);
+        let aux = HpathLabeling::with_heavy_paths(tree, &hp);
+        let rd = tree.root_distances();
+        let labels = tree
+            .nodes()
+            .map(|v| {
+                let sig = hp.significant_ancestors(v);
+                // Skip sig[0] = v itself; store exponents for v₁, …, v_k.
+                let exponents: Vec<u64> = sig[1..]
+                    .iter()
+                    .map(|&a| {
+                        let d = rd[v.index()] - rd[a.index()];
+                        if d == 0 {
+                            0
+                        } else {
+                            // Reserve exponent 0 for "distance 0" (possible with
+                            // 0-weight edges) by shifting real exponents up by 1.
+                            round_up_exponent(d, half) + 1
+                        }
+                    })
+                    .collect();
+                // The sequence must be non-decreasing for Lemma 2.2; distances
+                // to higher significant ancestors only grow, and the 0-shift
+                // preserves order.
+                ApproximateLabel {
+                    epsilon,
+                    root_distance: rd[v.index()],
+                    aux: aux.label(v).clone(),
+                    exponents,
+                }
+            })
+            .collect();
+        ApproximateScheme { epsilon, labels }
+    }
+
+    /// The ε this scheme was built with.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Label of node `u`.
+    pub fn label(&self, u: NodeId) -> &ApproximateLabel {
+        &self.labels[u.index()]
+    }
+
+    /// Size in bits of the label of `u`.
+    pub fn label_bits(&self, u: NodeId) -> usize {
+        self.labels[u.index()].bit_len()
+    }
+
+    /// Maximum label size in bits.
+    pub fn max_label_bits(&self) -> usize {
+        self.labels.iter().map(ApproximateLabel::bit_len).max().unwrap_or(0)
+    }
+
+    /// Returns an estimate `d̃` with `d(u,v) ≤ d̃ ≤ (1+ε)·d(u,v) + 2`, computed
+    /// from the two labels alone.
+    pub fn distance(a: &ApproximateLabel, b: &ApproximateLabel) -> u64 {
+        let (la, lb) = (&a.aux, &b.aux);
+        if HpathLabel::same_node(la, lb) {
+            return 0;
+        }
+        // Ancestor pairs are exact.
+        if HpathLabel::is_ancestor(la, lb) || HpathLabel::is_ancestor(lb, la) {
+            return a.root_distance.abs_diff(b.root_distance);
+        }
+        let j = HpathLabel::common_light_depth(la, lb);
+        // Choose the side x for which the NCA w is a significant ancestor: the
+        // side that leaves the common heavy path *at* w via a light edge.  If
+        // both sides branch via light edges, either works; if one side stays on
+        // the path past w, the other side branches at w.
+        let a_branches = la.light_depth() > j;
+        let b_branches = lb.light_depth() > j;
+        let use_a = match (a_branches, b_branches) {
+            (true, false) => true,
+            (false, true) => false,
+            (true, true) => {
+                // Both branch; the one with the lexicographically smaller
+                // codeword branches at the higher node, which is the NCA.
+                matches!(HpathLabel::branch_cmp(la, lb, j), Some(Ordering::Less))
+            }
+            (false, false) => {
+                // Both lie on the common heavy path — then one is an ancestor
+                // of the other, already handled above.
+                unreachable!("non-ancestor nodes cannot both lie on the NCA's heavy path")
+            }
+        };
+        let (x, y) = if use_a { (a, b) } else { (b, a) };
+        // w is x's significant ancestor with light depth j, i.e. index
+        // lightdepth(x) − j in x's significant-ancestor list (1-based in the
+        // stored exponents, whose entry i corresponds to ancestor i).
+        let idx = x.aux.light_depth() - j; // ≥ 1
+        let e = x.exponents[idx - 1];
+        let rounded = if e == 0 {
+            0
+        } else {
+            exponent_value(e - 1, x.epsilon / 2.0)
+        };
+        // d(u,v) = rd(y) − rd(x) + 2·d(x, w); the rounded value only over-counts.
+        (y.root_distance + 2 * rounded).saturating_sub(x.root_distance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treelab_tree::gen;
+    use treelab_tree::lca::DistanceOracle;
+
+    fn check_approx(tree: &Tree, eps: f64) {
+        let scheme = ApproximateScheme::build(tree, eps);
+        let oracle = DistanceOracle::new(tree);
+        let n = tree.len();
+        let pairs: Vec<(usize, usize)> = if n <= 25 {
+            (0..n).flat_map(|u| (0..n).map(move |v| (u, v))).collect()
+        } else {
+            (0..800).map(|i| ((i * 37) % n, (i * 101 + 3) % n)).collect()
+        };
+        for (xu, xv) in pairs {
+            let (u, v) = (tree.node(xu), tree.node(xv));
+            let d = oracle.distance(u, v);
+            let est = ApproximateScheme::distance(scheme.label(u), scheme.label(v));
+            assert!(est >= d, "estimate {est} below true {d} for ({u},{v}), eps={eps}");
+            let upper = ((1.0 + eps) * d as f64).floor() as u64 + 2;
+            assert!(
+                est <= upper,
+                "estimate {est} above (1+{eps})·{d}+2 = {upper} for ({u},{v})"
+            );
+        }
+    }
+
+    #[test]
+    fn approximation_guarantee_on_shapes() {
+        for eps in [1.0, 0.5, 0.25, 0.125] {
+            check_approx(&Tree::singleton(), eps);
+            check_approx(&gen::path(40), eps);
+            check_approx(&gen::star(40), eps);
+            check_approx(&gen::caterpillar(8, 3), eps);
+            check_approx(&gen::broom(9, 7), eps);
+            check_approx(&gen::comb(300), eps);
+            check_approx(&gen::complete_kary(2, 6), eps);
+        }
+    }
+
+    #[test]
+    fn approximation_guarantee_on_random_and_weighted_trees() {
+        for seed in 0..4u64 {
+            check_approx(&gen::random_tree(150, seed), 0.5);
+            check_approx(&gen::random_recursive(150, seed), 0.25);
+            // Weighted trees (the rounding handles arbitrary weights).
+            check_approx(&gen::hm_tree_random(4, 9, seed), 0.5);
+        }
+    }
+
+    #[test]
+    fn exact_when_epsilon_is_tiny_relative_to_diameter() {
+        // With a very small ε the rounding never rounds up across a power
+        // boundary for small distances, so the estimates for short paths are
+        // exact.
+        let tree = gen::path(20);
+        let scheme = ApproximateScheme::build(&tree, 0.01);
+        let oracle = DistanceOracle::new(&tree);
+        for u in tree.nodes() {
+            for v in tree.nodes() {
+                let d = oracle.distance(u, v);
+                let est = ApproximateScheme::distance(scheme.label(u), scheme.label(v));
+                assert!(est >= d && est <= d + 2);
+            }
+        }
+    }
+
+    #[test]
+    fn label_size_scales_with_log_inverse_epsilon() {
+        // O(log(1/ε)·log n): halving ε repeatedly should grow labels roughly
+        // additively (by ~log n bits per halving), not multiplicatively.
+        let tree = gen::random_tree(2048, 11);
+        let sizes: Vec<usize> = [1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125]
+            .iter()
+            .map(|&e| ApproximateScheme::build(&tree, e).max_label_bits())
+            .collect();
+        for w in sizes.windows(2) {
+            assert!(w[1] >= w[0], "smaller epsilon cannot shrink labels");
+        }
+        // The growth from ε=1 to ε=1/32 (5 halvings) stays far below the
+        // Θ(1/ε) blow-up of the unary encoding (which would be ~32x).
+        assert!(
+            sizes[5] < 4 * sizes[0],
+            "sizes {sizes:?} grow too fast with 1/ε"
+        );
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let tree = gen::random_tree(120, 3);
+        let scheme = ApproximateScheme::build(&tree, 0.25);
+        for u in tree.nodes() {
+            let label = scheme.label(u);
+            let mut w = BitWriter::new();
+            label.encode(&mut w);
+            let bits = w.into_bitvec();
+            assert_eq!(bits.len(), label.bit_len());
+            let back = ApproximateLabel::decode(&mut BitReader::new(&bits)).unwrap();
+            assert_eq!(back.root_distance, label.root_distance);
+            assert_eq!(back.exponents, label.exponents);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must lie in (0, 1]")]
+    fn rejects_bad_epsilon() {
+        ApproximateScheme::build(&gen::path(5), 1.5);
+    }
+
+    #[test]
+    fn rounding_helpers_are_consistent() {
+        for eps in [0.5f64, 0.25, 0.1] {
+            for d in 1..500u64 {
+                let e = round_up_exponent(d, eps);
+                let v = exponent_value(e, eps);
+                assert!(v >= d);
+                if e > 0 {
+                    assert!(exponent_value(e - 1, eps) < d);
+                    assert!(
+                        (v as f64) <= (1.0 + eps) * d as f64 + 1.0,
+                        "v={v} d={d} eps={eps}"
+                    );
+                }
+            }
+        }
+    }
+}

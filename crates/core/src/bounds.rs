@@ -1,0 +1,158 @@
+//! Closed-form upper and lower bounds from the paper's summary table (§1) and
+//! the universal-tree results, used by the experiment harness to plot measured
+//! label sizes against theory.
+//!
+//! All functions return bits as `f64` and take the tree size `n` (and the
+//! relevant parameter `k` or `ε`).  Lower-order terms that the paper leaves as
+//! `O(·)`/`o(·)` are returned without constants (the experiments print both the
+//! leading term and the measurement; constants are whatever the implementation
+//! achieves).
+
+/// `log₂ n`, clamped below by 1 so the formulas stay meaningful for tiny `n`.
+fn log2n(n: usize) -> f64 {
+    (n.max(2) as f64).log2()
+}
+
+/// Upper bound of Theorem 1.1: `¼·log²n` (leading term of the optimal scheme).
+pub fn exact_upper(n: usize) -> f64 {
+    0.25 * log2n(n) * log2n(n)
+}
+
+/// Lower bound for exact distance labeling (Alstrup et al., cited as
+/// `¼·log²n − O(log n)`); the leading term.
+pub fn exact_lower(n: usize) -> f64 {
+    0.25 * log2n(n) * log2n(n)
+}
+
+/// Leading term of the distance-array baseline of §3.1: `½·log²n`.
+pub fn distance_array_upper(n: usize) -> f64 {
+    0.5 * log2n(n) * log2n(n)
+}
+
+/// The Chung et al. lower bound for any scheme derived from universal trees
+/// (and, by Theorem 1.2, for level-ancestor labeling):
+/// `½·log²n − log n·log log n`.
+pub fn universal_tree_lower(n: usize) -> f64 {
+    let l = log2n(n);
+    0.5 * l * l - l * l.log2().max(0.0)
+}
+
+/// `log₂` of the Goldberg–Livshits universal-tree size
+/// `n^{(log n − 2·log log n + O(1))/2}` (Lemma 3.7), without the `O(1)`.
+pub fn universal_tree_size_log2(n: usize) -> f64 {
+    let l = log2n(n);
+    l * (l - 2.0 * l.log2().max(0.0)) / 2.0
+}
+
+/// Upper bound of Theorem 1.3 (leading + second-order term):
+/// `log n + k·log((log n)/k)` for `k < log n`, and `log n·log(k/log n)` for
+/// `k ≥ log n`.
+pub fn k_distance_upper(n: usize, k: u64) -> f64 {
+    let l = log2n(n);
+    let k = k as f64;
+    if k < l {
+        l + k * (l / k).log2().max(1.0)
+    } else {
+        l * (k / l).log2().max(1.0)
+    }
+}
+
+/// Lower bound of Theorem 1.3: `log n + k·log(log n/(k·log k))` for small `k`
+/// (valid for `k = o(log n / log log n)`), `log n·log(k / log n)` for large `k`.
+pub fn k_distance_lower(n: usize, k: u64) -> f64 {
+    let l = log2n(n);
+    let kf = k as f64;
+    if kf < l {
+        let inner = l / (kf * kf.log2().max(1.0));
+        l + kf * inner.log2().max(0.0)
+    } else {
+        l * (kf / l).log2().max(0.0)
+    }
+}
+
+/// Upper (and matching lower) bound of Theorem 1.4: `log(1/ε)·log n`.
+pub fn approximate_bound(n: usize, epsilon: f64) -> f64 {
+    assert!(epsilon > 0.0 && epsilon <= 1.0);
+    (1.0 / epsilon).log2().max(1.0) * log2n(n)
+}
+
+/// The `(h, M)`-tree lower bound of Lemma 2.3: `h/2·log M` bits, for labels of
+/// the leaves of any `(h, M)`-tree (`M ≥ 2`).
+pub fn hm_tree_lower(h: u32, m: u64) -> f64 {
+    assert!(m >= 2);
+    h as f64 / 2.0 * (m as f64).log2()
+}
+
+/// Number of nodes of an `(h, M)`-tree: `3·2^h − 2`.
+pub fn hm_tree_nodes(h: u32) -> u64 {
+    3 * (1u64 << h) - 2
+}
+
+/// Number of nodes of the subdivided (unweighted) `(h, M)`-tree is at most
+/// `2^h·M·2`; this returns that upper bound, used to size experiments.
+pub fn hm_tree_subdivided_nodes_upper(h: u32, m: u64) -> u64 {
+    (1u64 << (h + 1)) * m
+}
+
+/// The §4.1 lower-bound count: number of leaves of an `(x⃗, h, d)`-regular tree,
+/// `d^{k·h}`, where `k = x⃗.len()`.
+pub fn regular_tree_leaves(k: u32, h: u32, d: u32) -> f64 {
+    (d as f64).powi((k * h) as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_bounds_ordering() {
+        for n in [1usize, 16, 1 << 10, 1 << 20, 1 << 30] {
+            assert!(exact_upper(n) <= distance_array_upper(n));
+            assert!(exact_lower(n) <= exact_upper(n) + 1e-9);
+            // The universal-tree lower bound exceeds the exact upper bound for
+            // large n — the separation of Theorem 1.1 vs Theorem 1.2.
+            if n >= 1 << 20 {
+                assert!(universal_tree_lower(n) > exact_upper(n));
+            }
+        }
+    }
+
+    #[test]
+    fn universal_tree_size_matches_known_values() {
+        // log2 of n^{(log n - 2 log log n)/2} at n = 2^16: 16*(16-8)/2 = 64.
+        assert!((universal_tree_size_log2(1 << 16) - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_distance_regimes_meet_sensibly() {
+        let n = 1 << 20;
+        // Small-k bound grows with k; large-k bound grows with k.
+        assert!(k_distance_upper(n, 2) < k_distance_upper(n, 8));
+        assert!(k_distance_upper(n, 64) < k_distance_upper(n, 1 << 15));
+        // Lower bounds never exceed upper bounds (up to the constants we drop).
+        for k in [2u64, 4, 16, 64, 1 << 12] {
+            assert!(k_distance_lower(n, k) <= k_distance_upper(n, k) + log2n(n));
+        }
+    }
+
+    #[test]
+    fn approximate_bound_grows_with_precision() {
+        let n = 1 << 16;
+        assert!(approximate_bound(n, 0.5) <= approximate_bound(n, 0.25));
+        assert!(approximate_bound(n, 0.01) > 6.0 * log2n(n));
+    }
+
+    #[test]
+    fn hm_helpers() {
+        assert_eq!(hm_tree_nodes(3), 22);
+        assert!((hm_tree_lower(4, 16) - 8.0).abs() < 1e-9);
+        assert!(hm_tree_subdivided_nodes_upper(3, 10) >= 22);
+        assert!((regular_tree_leaves(2, 2, 2) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn approximate_bound_rejects_bad_epsilon() {
+        approximate_bound(100, 0.0);
+    }
+}

@@ -1,0 +1,441 @@
+//! The `O(log n)`-bit heavy-path auxiliary label (the Lemma 2.1 substrate).
+//!
+//! Every distance-labeling scheme in this crate needs to answer, from two
+//! labels alone, a small set of structural questions about the queried nodes:
+//!
+//! * the **light depth of their nearest common ancestor** (`lightdepth(u,v)`
+//!   in the paper's notation) — equivalently, how many heavy paths the two
+//!   root-to-node paths share;
+//! * which of the two nodes **dominates** the other (Observations (1)–(2) of
+//!   §2), i.e. which one branches off the shared heavy path closer to its
+//!   head;
+//! * whether one node is an **ancestor** of the other.
+//!
+//! The paper obtains these from the nearest-common-ancestor labeling of
+//! Alstrup–Halvorsen–Larsen (Lemma 2.1).  We realize the same interface with a
+//! self-contained construction: for every heavy path we build an
+//! order-preserving Gilbert–Moore code over its light edges, weighted by the
+//! sizes of the hanging subtrees (see [`treelab_bits::alphabetic`]).  A node's
+//! label concatenates the codewords of the light edges on its root-to-node
+//! path; because a light subtree holds at most half of its instance, the
+//! codeword lengths telescope to `O(log n)` bits in total.  Matching codewords
+//! prefix-by-prefix recovers `lightdepth(NCA)`, lexicographic comparison of the
+//! first differing codeword recovers branch order, and an explicitly stored
+//! preorder/subtree-size pair gives ancestry.
+
+use crate::Tree;
+use std::cmp::Ordering;
+use treelab_bits::{codes, monotone::MonotoneSeq, BitReader, BitVec, BitWriter, DecodeError};
+use treelab_bits::alphabetic::AlphabeticCode;
+use treelab_tree::heavy::HeavyPaths;
+use treelab_tree::NodeId;
+
+/// Heavy-path auxiliary label of a single node.
+///
+/// See the module documentation for what it encodes and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HpathLabel {
+    /// Number of light edges on the root-to-node path.
+    light_depth: usize,
+    /// Concatenated light-edge codewords (one per light edge, root side first).
+    codewords: BitVec,
+    /// `ends[i]` = end position (exclusive) of the `i`-th codeword in `codewords`.
+    ends: Vec<u32>,
+    /// Domination order of the node's heavy path (post-order of `C(T)`;
+    /// smaller dominates).
+    dom_order: u64,
+    /// Preorder number of the node (heavy child last), in `[0, n)`.
+    pre: u64,
+    /// Size of the node's subtree.
+    subtree_size: u64,
+}
+
+impl HpathLabel {
+    /// Number of light edges on the root-to-node path.
+    pub fn light_depth(&self) -> usize {
+        self.light_depth
+    }
+
+    /// Preorder number of the node.
+    pub fn pre(&self) -> u64 {
+        self.pre
+    }
+
+    /// Subtree size of the node.
+    pub fn subtree_size(&self) -> u64 {
+        self.subtree_size
+    }
+
+    /// Domination order of the node's heavy path (smaller dominates).
+    pub fn dom_order(&self) -> u64 {
+        self.dom_order
+    }
+
+    /// Start/end bit positions of the `i`-th (0-based) codeword.
+    fn codeword_span(&self, i: usize) -> (usize, usize) {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        (start, self.ends[i] as usize)
+    }
+
+    /// Returns the `i`-th codeword (0-based), or `None` if `i >= light_depth`.
+    pub fn codeword(&self, i: usize) -> Option<BitVec> {
+        if i >= self.light_depth {
+            return None;
+        }
+        let (s, e) = self.codeword_span(i);
+        self.codewords.slice(s, e - s)
+    }
+
+    /// Number of leading codewords shared by `a` and `b`: the light depth of
+    /// their nearest common ancestor (Lemma 2.1's `lightdepth(u, v)`).
+    pub fn common_light_depth(a: &HpathLabel, b: &HpathLabel) -> usize {
+        let max = a.light_depth.min(b.light_depth);
+        for i in 0..max {
+            let (sa, ea) = a.codeword_span(i);
+            let (sb, eb) = b.codeword_span(i);
+            if ea - sa != eb - sb {
+                return i;
+            }
+            let wa = a.codewords.slice(sa, ea - sa).expect("span in range");
+            let wb = b.codewords.slice(sb, eb - sb).expect("span in range");
+            if wa != wb {
+                return i;
+            }
+        }
+        max
+    }
+
+    /// Returns `true` if `a` dominates `b` (Observation (1)/(2) of §2).
+    pub fn dominates(a: &HpathLabel, b: &HpathLabel) -> bool {
+        a.dom_order < b.dom_order
+    }
+
+    /// Returns `true` if `a` labels an ancestor of (or the same node as) the
+    /// node labelled by `b`.
+    pub fn is_ancestor(a: &HpathLabel, b: &HpathLabel) -> bool {
+        a.pre <= b.pre && b.pre < a.pre + a.subtree_size
+    }
+
+    /// Returns `true` if the two labels belong to the same node.
+    pub fn same_node(a: &HpathLabel, b: &HpathLabel) -> bool {
+        a.pre == b.pre
+    }
+
+    /// Lexicographically compares the `i`-th codewords of `a` and `b`.
+    ///
+    /// When both nodes branch off the same heavy path (their first `i`
+    /// codewords agree), `Less` means `a` branches at a node at least as close
+    /// to the head of that path as `b` does (strictly closer, or at the same
+    /// branch node through an earlier light edge).
+    ///
+    /// Returns `None` if either label has fewer than `i + 1` codewords.
+    pub fn branch_cmp(a: &HpathLabel, b: &HpathLabel, i: usize) -> Option<Ordering> {
+        let wa = a.codeword(i)?;
+        let wb = b.codeword(i)?;
+        Some(wa.lex_cmp(&wb))
+    }
+
+    /// Serializes the label.
+    pub fn encode(&self, w: &mut BitWriter) {
+        codes::write_gamma_nz(w, self.light_depth as u64);
+        codes::write_delta_nz(w, self.dom_order);
+        codes::write_delta_nz(w, self.pre);
+        codes::write_delta_nz(w, self.subtree_size);
+        let ends: Vec<u64> = self.ends.iter().map(|&e| e as u64).collect();
+        MonotoneSeq::new(&ends).encode(w);
+        codes::write_gamma_nz(w, self.codewords.len() as u64);
+        w.write_bitvec(&self.codewords);
+    }
+
+    /// Deserializes a label written by [`HpathLabel::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    pub fn decode(r: &mut BitReader<'_>) -> Result<Self, DecodeError> {
+        let light_depth = codes::read_gamma_nz(r)? as usize;
+        let dom_order = codes::read_delta_nz(r)?;
+        let pre = codes::read_delta_nz(r)?;
+        let subtree_size = codes::read_delta_nz(r)?;
+        let ends_seq = MonotoneSeq::decode(r)?;
+        if ends_seq.len() != light_depth {
+            return Err(DecodeError::Malformed {
+                what: "codeword end count does not match light depth",
+            });
+        }
+        let ends: Vec<u32> = ends_seq.to_vec().iter().map(|&e| e as u32).collect();
+        let cw_len = codes::read_gamma_nz(r)? as usize;
+        if ends.last().map(|&e| e as usize).unwrap_or(0) != cw_len {
+            return Err(DecodeError::Malformed {
+                what: "codeword length does not match last end position",
+            });
+        }
+        let mut codewords = BitVec::with_capacity(cw_len);
+        for _ in 0..cw_len {
+            codewords.push(r.read_bit()?);
+        }
+        Ok(HpathLabel {
+            light_depth,
+            codewords,
+            ends,
+            dom_order,
+            pre,
+            subtree_size,
+        })
+    }
+
+    /// Size of the serialized label in bits.
+    pub fn bit_len(&self) -> usize {
+        let mut w = BitWriter::new();
+        self.encode(&mut w);
+        w.len()
+    }
+}
+
+/// Heavy-path auxiliary labels for every node of a tree.
+#[derive(Debug, Clone)]
+pub struct HpathLabeling {
+    labels: Vec<HpathLabel>,
+}
+
+impl HpathLabeling {
+    /// Builds the labels using an existing heavy-path decomposition.
+    pub fn with_heavy_paths(tree: &Tree, hp: &HeavyPaths) -> Self {
+        // Per heavy path: the accumulated codeword prefix (shared by all nodes
+        // of the path) and its end positions.
+        let path_count = hp.path_count();
+        let mut prefix_bits: Vec<BitVec> = vec![BitVec::new(); path_count];
+        let mut prefix_ends: Vec<Vec<u32>> = vec![Vec::new(); path_count];
+
+        // Process paths in an order where parents precede children (path 0 is
+        // the root path and children are always created after their parent).
+        for p in 0..path_count {
+            let children = hp.collapsed_children(p);
+            if children.is_empty() {
+                continue;
+            }
+            let weights: Vec<u64> = children
+                .iter()
+                .map(|&c| hp.instance_size(c) as u64)
+                .collect();
+            let code = AlphabeticCode::new(&weights);
+            for (i, &c) in children.iter().enumerate() {
+                let mut bits = prefix_bits[p].clone();
+                bits.extend_from(code.codeword(i));
+                let mut ends = prefix_ends[p].clone();
+                ends.push(bits.len() as u32);
+                prefix_bits[c] = bits;
+                prefix_ends[c] = ends;
+            }
+        }
+
+        let labels = tree
+            .nodes()
+            .map(|u| {
+                let p = hp.path_of(u);
+                HpathLabel {
+                    light_depth: hp.light_depth(u),
+                    codewords: prefix_bits[p].clone(),
+                    ends: prefix_ends[p].clone(),
+                    dom_order: hp.domination_order(u) as u64,
+                    pre: hp.pre(u) as u64,
+                    subtree_size: hp.subtree_size(u) as u64,
+                }
+            })
+            .collect();
+        HpathLabeling { labels }
+    }
+
+    /// Builds the labels for `tree` (computing a heavy-path decomposition
+    /// internally).
+    pub fn build(tree: &Tree) -> Self {
+        let hp = HeavyPaths::new(tree);
+        Self::with_heavy_paths(tree, &hp)
+    }
+
+    /// Label of node `u`.
+    pub fn label(&self, u: NodeId) -> &HpathLabel {
+        &self.labels[u.index()]
+    }
+
+    /// Number of labelled nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Always `false` (trees are non-empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Maximum serialized label size in bits.
+    pub fn max_label_bits(&self) -> usize {
+        self.labels.iter().map(HpathLabel::bit_len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treelab_tree::gen;
+    use treelab_tree::lca::DistanceOracle;
+
+    fn workloads() -> Vec<Tree> {
+        vec![
+            Tree::singleton(),
+            gen::path(50),
+            gen::star(50),
+            gen::caterpillar(10, 3),
+            gen::broom(8, 12),
+            gen::complete_kary(2, 6),
+            gen::random_tree(200, 1),
+            gen::random_tree(201, 2),
+            gen::random_binary(180, 3),
+            gen::random_recursive(150, 4),
+        ]
+    }
+
+    #[test]
+    fn common_light_depth_matches_ground_truth() {
+        for tree in workloads() {
+            let hp = HeavyPaths::new(&tree);
+            let labeling = HpathLabeling::with_heavy_paths(&tree, &hp);
+            let oracle = DistanceOracle::new(&tree);
+            let n = tree.len();
+            for i in 0..800 {
+                let u = tree.node((i * 31) % n);
+                let v = tree.node((i * 67 + 5) % n);
+                let nca = oracle.lca(u, v);
+                assert_eq!(
+                    HpathLabel::common_light_depth(labeling.label(u), labeling.label(v)),
+                    hp.light_depth(nca),
+                    "u={u} v={v} nca={nca} (n={n})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn domination_and_ancestry_match_decomposition() {
+        for tree in workloads() {
+            let hp = HeavyPaths::new(&tree);
+            let labeling = HpathLabeling::with_heavy_paths(&tree, &hp);
+            let n = tree.len();
+            for i in 0..600 {
+                let u = tree.node((i * 13) % n);
+                let v = tree.node((i * 41 + 7) % n);
+                let (lu, lv) = (labeling.label(u), labeling.label(v));
+                if hp.path_of(u) != hp.path_of(v) {
+                    assert_eq!(HpathLabel::dominates(lu, lv), hp.dominates(u, v));
+                }
+                assert_eq!(HpathLabel::is_ancestor(lu, lv), tree.is_ancestor(u, v));
+                assert_eq!(HpathLabel::same_node(lu, lv), u == v);
+            }
+        }
+    }
+
+    #[test]
+    fn branch_cmp_identifies_higher_branch() {
+        // For nodes u, v whose NCA lies on a common heavy path from which both
+        // branch via light edges, the lexicographically smaller next codeword
+        // belongs to the side branching closer to the head.
+        for tree in workloads().into_iter().filter(|t| t.len() > 10) {
+            let hp = HeavyPaths::new(&tree);
+            let labeling = HpathLabeling::with_heavy_paths(&tree, &hp);
+            let oracle = DistanceOracle::new(&tree);
+            let n = tree.len();
+            for i in 0..600 {
+                let u = tree.node((i * 29) % n);
+                let v = tree.node((i * 59 + 3) % n);
+                if u == v || tree.is_ancestor(u, v) || tree.is_ancestor(v, u) {
+                    continue;
+                }
+                let (lu, lv) = (labeling.label(u), labeling.label(v));
+                let j = HpathLabel::common_light_depth(lu, lv);
+                if lu.light_depth() <= j || lv.light_depth() <= j {
+                    continue;
+                }
+                let eu = &hp.light_edges_to(u)[j];
+                let ev = &hp.light_edges_to(v)[j];
+                let nca = oracle.lca(u, v);
+                match HpathLabel::branch_cmp(lu, lv, j).expect("both sides branch") {
+                    Ordering::Less => assert_eq!(eu.branch_node, nca),
+                    Ordering::Greater => assert_eq!(ev.branch_node, nca),
+                    Ordering::Equal => panic!("distinct light edges share a codeword"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_logarithmic() {
+        // Max label size must be O(log n); assert a concrete constant that has
+        // plenty of slack but still scales logarithmically.
+        for n in [64usize, 256, 1024, 4096] {
+            for seed in 0..3u64 {
+                let tree = gen::random_tree(n, seed);
+                let labeling = HpathLabeling::build(&tree);
+                let log_n = (n as f64).log2();
+                let bound = (14.0 * log_n + 64.0) as usize;
+                assert!(
+                    labeling.max_label_bits() <= bound,
+                    "n={n} seed={seed}: {} bits > bound {bound}",
+                    labeling.max_label_bits()
+                );
+            }
+        }
+        // Paths and stars, the extreme shapes, are also logarithmic.
+        for n in [1024usize, 4096] {
+            for tree in [gen::path(n), gen::star(n), gen::caterpillar(n / 2, 1)] {
+                let labeling = HpathLabeling::build(&tree);
+                let bound = (14.0 * (n as f64).log2() + 64.0) as usize;
+                assert!(labeling.max_label_bits() <= bound, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let tree = gen::random_tree(150, 9);
+        let labeling = HpathLabeling::build(&tree);
+        for u in tree.nodes() {
+            let label = labeling.label(u);
+            let mut w = BitWriter::new();
+            label.encode(&mut w);
+            // Trailing noise must not confuse the decoder.
+            w.write_bits(0b11, 2);
+            let bits = w.into_bitvec();
+            let mut r = BitReader::new(&bits);
+            let back = HpathLabel::decode(&mut r).expect("roundtrip");
+            assert_eq!(&back, label);
+            assert_eq!(r.remaining(), 2);
+            assert_eq!(label.bit_len(), bits.len() - 2);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let tree = gen::random_tree(80, 5);
+        let labeling = HpathLabeling::build(&tree);
+        let label = labeling.label(tree.node(79));
+        let mut w = BitWriter::new();
+        label.encode(&mut w);
+        let bits = w.into_bitvec();
+        for cut in [0, 1, bits.len() / 3, bits.len() - 1] {
+            let t = bits.slice(0, cut).unwrap();
+            let mut r = BitReader::new(&t);
+            assert!(HpathLabel::decode(&mut r).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn singleton_tree_label() {
+        let tree = Tree::singleton();
+        let labeling = HpathLabeling::build(&tree);
+        let l = labeling.label(tree.root());
+        assert_eq!(l.light_depth(), 0);
+        assert_eq!(HpathLabel::common_light_depth(l, l), 0);
+        assert!(HpathLabel::is_ancestor(l, l));
+        assert!(labeling.max_label_bits() > 0);
+    }
+}

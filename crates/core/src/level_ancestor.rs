@@ -1,0 +1,361 @@
+//! Parent / level-ancestor labeling (§3.6) — the "effective" scheme whose
+//! optimality (Theorem 1.2) separates level-ancestor labeling from distance
+//! labeling.
+//!
+//! A *level-ancestor* labeling assigns a **distinct** label to every node so
+//! that, given the label of `u` and a number `k`, the label of the `k`-th
+//! ancestor of `u` can be produced (or "no such ancestor" reported) — without
+//! ever looking at the tree.  The paper shows (Lemma 3.6 + the
+//! Goldberg–Livshits bound) that any such scheme needs `½·log²n − log n·log log n`
+//! bits, i.e. the `¼·log²n` distance labels of [`crate::optimal`] are provably
+//! impossible here; and that the scheme below (a re-phrasing of the Alstrup et
+//! al. distance labels) is optimal up to lower-order terms.
+//!
+//! The label of a node `u` on heavy path `P` stores its depth, its offset from
+//! `head(P)`, the identity of `P` (as the sequence of light-edge codewords used
+//! throughout this crate), and the branch offsets of all light edges on the
+//! root path — everything needed to *rewrite the label in place* when moving to
+//! the parent: either the offset decreases by one, or the last light edge is
+//! popped and the offset becomes that edge's branch offset.
+//!
+//! This scheme works directly on the original (unweighted) tree; no
+//! binarization is involved.
+
+use treelab_bits::{codes, monotone::MonotoneSeq, BitReader, BitVec, BitWriter, DecodeError};
+use treelab_tree::heavy::HeavyPaths;
+use treelab_tree::{NodeId, Tree};
+
+/// Label of the level-ancestor scheme.
+///
+/// Labels are distinct across the nodes of one tree and are closed under the
+/// [`LevelAncestorScheme::parent`] operation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LevelAncestorLabel {
+    /// Depth of the node (number of edges from the root).
+    depth: u64,
+    /// Distance from the head of the node's heavy path.
+    head_offset: u64,
+    /// Concatenated light-edge codewords identifying the node's heavy path.
+    codewords: BitVec,
+    /// End position of each codeword within `codewords`.
+    ends: Vec<u32>,
+    /// Branch offset of each light edge on the root path: the distance from
+    /// the head of the heavy path the edge branches from to the branch node.
+    branch_offsets: Vec<u64>,
+}
+
+impl LevelAncestorLabel {
+    /// Depth of the labelled node.
+    pub fn depth(&self) -> u64 {
+        self.depth
+    }
+
+    /// Distance from the head of the labelled node's heavy path.
+    pub fn head_offset(&self) -> u64 {
+        self.head_offset
+    }
+
+    /// Light depth (number of light edges on the root path).
+    pub fn light_depth(&self) -> usize {
+        self.branch_offsets.len()
+    }
+
+    /// Serializes the label.
+    pub fn encode(&self, w: &mut BitWriter) {
+        codes::write_delta_nz(w, self.depth);
+        codes::write_delta_nz(w, self.head_offset);
+        let ends: Vec<u64> = self.ends.iter().map(|&e| e as u64).collect();
+        MonotoneSeq::new(&ends).encode(w);
+        codes::write_gamma_nz(w, self.codewords.len() as u64);
+        w.write_bitvec(&self.codewords);
+        for &b in &self.branch_offsets {
+            codes::write_delta_nz(w, b);
+        }
+    }
+
+    /// Deserializes a label written by [`LevelAncestorLabel::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    pub fn decode(r: &mut BitReader<'_>) -> Result<Self, DecodeError> {
+        let depth = codes::read_delta_nz(r)?;
+        let head_offset = codes::read_delta_nz(r)?;
+        let ends: Vec<u32> = MonotoneSeq::decode(r)?.to_vec().iter().map(|&e| e as u32).collect();
+        let cw_len = codes::read_gamma_nz(r)? as usize;
+        if ends.last().map(|&e| e as usize).unwrap_or(0) != cw_len {
+            return Err(DecodeError::Malformed {
+                what: "codeword length mismatch in level-ancestor label",
+            });
+        }
+        let mut codewords = BitVec::with_capacity(cw_len);
+        for _ in 0..cw_len {
+            codewords.push(r.read_bit()?);
+        }
+        let mut branch_offsets = Vec::with_capacity(ends.len());
+        for _ in 0..ends.len() {
+            branch_offsets.push(codes::read_delta_nz(r)?);
+        }
+        Ok(LevelAncestorLabel {
+            depth,
+            head_offset,
+            codewords,
+            ends,
+            branch_offsets,
+        })
+    }
+
+    /// Size of the serialized label in bits.
+    pub fn bit_len(&self) -> usize {
+        let mut w = BitWriter::new();
+        self.encode(&mut w);
+        w.len()
+    }
+
+    /// A canonical bit-string form of the label (used by the Lemma 3.6
+    /// conversion, which works with labels as opaque distinct strings).
+    pub fn to_bits(&self) -> BitVec {
+        let mut w = BitWriter::new();
+        self.encode(&mut w);
+        w.into_bitvec()
+    }
+}
+
+/// The level-ancestor / parent labeling scheme of §3.6.
+#[derive(Debug, Clone)]
+pub struct LevelAncestorScheme {
+    labels: Vec<LevelAncestorLabel>,
+}
+
+impl LevelAncestorScheme {
+    /// Builds labels for every node of an unweighted tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is not unit-weighted (depths would no longer count
+    /// ancestors).
+    pub fn build(tree: &Tree) -> Self {
+        assert!(
+            tree.is_unit_weighted(),
+            "level-ancestor labeling expects an unweighted tree"
+        );
+        let hp = HeavyPaths::new(tree);
+        // Per-path codeword prefixes, as in the heavy-path auxiliary labels.
+        let path_count = hp.path_count();
+        let mut prefix_bits: Vec<BitVec> = vec![BitVec::new(); path_count];
+        let mut prefix_ends: Vec<Vec<u32>> = vec![Vec::new(); path_count];
+        let mut prefix_branches: Vec<Vec<u64>> = vec![Vec::new(); path_count];
+        for p in 0..path_count {
+            let children = hp.collapsed_children(p);
+            if children.is_empty() {
+                continue;
+            }
+            let weights: Vec<u64> = children.iter().map(|&c| hp.instance_size(c) as u64).collect();
+            let code = treelab_bits::alphabetic::AlphabeticCode::new(&weights);
+            for (i, &c) in children.iter().enumerate() {
+                let mut bits = prefix_bits[p].clone();
+                bits.extend_from(code.codeword(i));
+                let mut ends = prefix_ends[p].clone();
+                ends.push(bits.len() as u32);
+                let mut branches = prefix_branches[p].clone();
+                branches.push(hp.head_offset(hp.branch_node(c).expect("child path has branch node")));
+                prefix_bits[c] = bits;
+                prefix_ends[c] = ends;
+                prefix_branches[c] = branches;
+            }
+        }
+        let depths = tree.depths();
+        let labels = tree
+            .nodes()
+            .map(|u| {
+                let p = hp.path_of(u);
+                LevelAncestorLabel {
+                    depth: depths[u.index()] as u64,
+                    head_offset: hp.head_offset(u),
+                    codewords: prefix_bits[p].clone(),
+                    ends: prefix_ends[p].clone(),
+                    branch_offsets: prefix_branches[p].clone(),
+                }
+            })
+            .collect();
+        LevelAncestorScheme { labels }
+    }
+
+    /// Label of node `u`.
+    pub fn label(&self, u: NodeId) -> &LevelAncestorLabel {
+        &self.labels[u.index()]
+    }
+
+    /// Maximum serialized label size in bits.
+    pub fn max_label_bits(&self) -> usize {
+        self.labels.iter().map(LevelAncestorLabel::bit_len).max().unwrap_or(0)
+    }
+
+    /// Computes the label of the parent of the node labelled `label`, or
+    /// `None` if it is the root — **from the label alone**.
+    pub fn parent(label: &LevelAncestorLabel) -> Option<LevelAncestorLabel> {
+        if label.depth == 0 {
+            return None;
+        }
+        let mut out = label.clone();
+        out.depth -= 1;
+        if label.head_offset > 0 {
+            // Parent lies on the same heavy path.
+            out.head_offset -= 1;
+        } else {
+            // The node is the head of its heavy path; the parent is the branch
+            // node on the parent heavy path: pop the last light edge.
+            let branch = out.branch_offsets.pop().expect("non-root head has a light edge");
+            out.head_offset = branch;
+            let last_end = out.ends.pop().expect("ends match branch offsets");
+            let new_len = out.ends.last().copied().unwrap_or(0) as usize;
+            debug_assert!(new_len <= last_end as usize);
+            out.codewords = out.codewords.slice(0, new_len).expect("prefix in range");
+        }
+        Some(out)
+    }
+
+    /// Computes the label of the `k`-th ancestor of the node labelled `label`
+    /// (`k = 0` returns a copy of the label itself), or `None` if the node is
+    /// not that deep — from the label alone, in `O(light depth)` steps.
+    pub fn level_ancestor(label: &LevelAncestorLabel, k: u64) -> Option<LevelAncestorLabel> {
+        if k > label.depth {
+            return None;
+        }
+        let mut cur = label.clone();
+        let mut remaining = k;
+        while remaining > 0 {
+            if cur.head_offset >= remaining {
+                // Jump up along the current heavy path in one step.
+                cur.head_offset -= remaining;
+                cur.depth -= remaining;
+                remaining = 0;
+            } else {
+                // Jump to the head of the current path, then to its parent.
+                let step = cur.head_offset + 1;
+                cur.depth -= cur.head_offset;
+                cur.head_offset = 0;
+                cur = Self::parent(&cur).expect("depth bound checked above");
+                remaining -= step;
+            }
+        }
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use treelab_tree::gen;
+
+    fn workloads() -> Vec<Tree> {
+        vec![
+            Tree::singleton(),
+            gen::path(30),
+            gen::star(30),
+            gen::caterpillar(8, 3),
+            gen::broom(7, 9),
+            gen::comb(200),
+            gen::complete_kary(2, 6),
+            gen::random_tree(150, 1),
+            gen::random_tree(151, 2),
+            gen::random_recursive(120, 3),
+        ]
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        for tree in workloads() {
+            let scheme = LevelAncestorScheme::build(&tree);
+            let mut seen = std::collections::HashSet::new();
+            for u in tree.nodes() {
+                assert!(
+                    seen.insert(scheme.label(u).to_bits()),
+                    "label of {u} collides (n={})",
+                    tree.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parent_matches_tree() {
+        for tree in workloads() {
+            let scheme = LevelAncestorScheme::build(&tree);
+            // Map label bits -> node, to identify the returned labels.
+            let by_bits: HashMap<_, _> = tree
+                .nodes()
+                .map(|u| (scheme.label(u).to_bits(), u))
+                .collect();
+            for u in tree.nodes() {
+                match LevelAncestorScheme::parent(scheme.label(u)) {
+                    None => assert!(tree.is_root(u)),
+                    Some(parent_label) => {
+                        let p = by_bits
+                            .get(&parent_label.to_bits())
+                            .unwrap_or_else(|| panic!("parent label of {u} is not a real label"));
+                        assert_eq!(tree.parent(u), Some(*p), "parent of {u}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn level_ancestor_matches_tree() {
+        for tree in workloads() {
+            let scheme = LevelAncestorScheme::build(&tree);
+            let by_bits: HashMap<_, _> = tree
+                .nodes()
+                .map(|u| (scheme.label(u).to_bits(), u))
+                .collect();
+            let depths = tree.depths();
+            for u in tree.nodes() {
+                let ancestors = tree.ancestors(u);
+                for (k, &expect) in ancestors.iter().enumerate() {
+                    let got = LevelAncestorScheme::level_ancestor(scheme.label(u), k as u64)
+                        .unwrap_or_else(|| panic!("{k}-th ancestor of {u} missing"));
+                    assert_eq!(by_bits[&got.to_bits()], expect, "{k}-th ancestor of {u}");
+                }
+                assert!(LevelAncestorScheme::level_ancestor(
+                    scheme.label(u),
+                    depths[u.index()] as u64 + 1
+                )
+                .is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn label_size_is_order_log_squared() {
+        let tree = gen::random_tree(1 << 12, 4);
+        let scheme = LevelAncestorScheme::build(&tree);
+        let log_n = (tree.len() as f64).log2();
+        assert!(
+            (scheme.max_label_bits() as f64) <= 2.0 * log_n * log_n + 40.0 * log_n,
+            "{} bits",
+            scheme.max_label_bits()
+        );
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let tree = gen::comb(150);
+        let scheme = LevelAncestorScheme::build(&tree);
+        for u in tree.nodes() {
+            let label = scheme.label(u);
+            let bits = label.to_bits();
+            assert_eq!(bits.len(), label.bit_len());
+            let back = LevelAncestorLabel::decode(&mut BitReader::new(&bits)).unwrap();
+            assert_eq!(&back, label);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unweighted")]
+    fn rejects_weighted_trees() {
+        let t = Tree::from_parents_weighted(&[None, Some(0)], Some(&[0, 3]));
+        LevelAncestorScheme::build(&t);
+    }
+}

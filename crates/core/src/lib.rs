@@ -1,0 +1,120 @@
+//! # treelab-core
+//!
+//! Distance labeling schemes for trees — a production-quality reproduction of
+//! *Optimal Distance Labeling Schemes for Trees* (Freedman, Gawrychowski,
+//! Nicholson, Weimann; PODC 2017).
+//!
+//! A *labeling scheme* assigns a short bit string to every node of a tree so
+//! that a function of two nodes (here: their distance) can be computed from the
+//! two labels alone, with no access to the tree.  This crate implements:
+//!
+//! | Module | Scheme | Label size |
+//! |--------|--------|------------|
+//! | [`optimal`] | the paper's modified-distance-array scheme (Theorem 1.1) | `¼·log²n + o(log²n)` bits |
+//! | [`distance_array`] | the Alstrup et al. distance-array baseline (§3.1) | `½·log²n + O(log n·log log n)` bits |
+//! | [`naive`] | fixed-width ancestor tables (Peleg-style baseline) | `Θ(log²n)` bits |
+//! | [`level_ancestor`] | parent / level-ancestor labeling (§3.6) | `½·log²n + O(log n)` bits |
+//! | [`kdistance`] | `k`-distance labeling (Theorem 1.3) | `log n·O(1) + O(k·log((log n)/k))` bits |
+//! | [`approximate`] | `(1+ε)`-approximate distances (Theorem 1.4) | `O(log(1/ε)·log n)` bits |
+//! | [`hpath`] | the `O(log n)`-bit heavy-path/NCA auxiliary label (Lemma 2.1 substrate) | `O(log n)` bits |
+//! | [`universal`] | universal rooted trees and the Lemma 3.6 conversion (§3.5) | — |
+//! | [`bounds`] | closed-form upper/lower bound formulas (the §1 table) | — |
+//! | [`stats`] | label-size accounting used by the experiment harness | — |
+//!
+//! # Quick start
+//!
+//! ```
+//! use treelab_tree::gen;
+//! use treelab_core::optimal::OptimalScheme;
+//! use treelab_core::DistanceScheme;
+//!
+//! let tree = gen::random_tree(300, 7);
+//! let scheme = OptimalScheme::build(&tree);
+//! let (u, v) = (tree.node(12), tree.node(250));
+//! // Distances are answered from the two labels alone.
+//! let d = OptimalScheme::distance(scheme.label(u), scheme.label(v));
+//! assert_eq!(d, tree.distance_naive(u, v));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod approximate;
+pub mod bounds;
+pub mod distance_array;
+pub mod hpath;
+pub mod kdistance;
+pub mod level_ancestor;
+pub mod naive;
+pub mod optimal;
+pub mod stats;
+pub mod universal;
+
+use treelab_tree::{NodeId, Tree};
+
+/// Common interface of the exact distance-labeling schemes.
+///
+/// `build` preprocesses the tree and assigns a label to every node; `distance`
+/// answers a query **from the two labels alone** — it is an associated function
+/// with no access to the scheme or the tree, which is the defining property of
+/// a labeling scheme.
+pub trait DistanceScheme: Sized {
+    /// The per-node label type.
+    type Label: Clone + std::fmt::Debug;
+
+    /// Builds labels for every node of `tree`.
+    ///
+    /// The exact schemes expect an unweighted tree (they apply the §2
+    /// binarization reduction internally); see each implementation's
+    /// documentation for details.
+    fn build(tree: &Tree) -> Self;
+
+    /// The label assigned to node `u`.
+    fn label(&self, u: NodeId) -> &Self::Label;
+
+    /// Exact distance between the nodes labelled `a` and `b`, computed from the
+    /// labels alone.
+    fn distance(a: &Self::Label, b: &Self::Label) -> u64;
+
+    /// Size in bits of the label of node `u` (its serialized form).
+    fn label_bits(&self, u: NodeId) -> usize;
+
+    /// Maximum label size over all nodes, in bits — the quantity every bound in
+    /// the paper is stated about.
+    fn max_label_bits(&self) -> usize;
+
+    /// Human-readable scheme name used by the experiment harness.
+    fn name() -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared helpers for the scheme test modules.
+
+    use super::DistanceScheme;
+    use treelab_tree::lca::DistanceOracle;
+    use treelab_tree::Tree;
+
+    /// Checks an exact scheme against the ground-truth oracle on all pairs
+    /// (small trees) or a deterministic sample of pairs (larger trees).
+    pub(crate) fn check_exact_scheme<S: DistanceScheme>(tree: &Tree) {
+        let scheme = S::build(tree);
+        let oracle = DistanceOracle::new(tree);
+        let n = tree.len();
+        let pairs: Vec<(usize, usize)> = if n <= 25 {
+            (0..n).flat_map(|u| (0..n).map(move |v| (u, v))).collect()
+        } else {
+            (0..900).map(|i| ((i * 23) % n, (i * 71 + 11) % n)).collect()
+        };
+        for (x, y) in pairs {
+            let (u, v) = (tree.node(x), tree.node(y));
+            assert_eq!(
+                S::distance(scheme.label(u), scheme.label(v)),
+                oracle.distance(u, v),
+                "{} failed on ({u},{v}), n={n}",
+                S::name()
+            );
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Fixed-width distance-array labeling — the `Θ(log²n)` baseline.
+//!
+//! This is the scheme the paper's introduction attributes to Peleg: every node
+//! stores, for each of the `O(log n)` light edges on its root path, the
+//! distance from the head of the corresponding heavy path to the branch point,
+//! using a *fixed* `⌈log₂ n⌉`-bit field per entry.  Together with the
+//! heavy-path auxiliary label this answers exact distance queries, but the
+//! label costs essentially `log²n` bits — the baseline both the
+//! [`crate::distance_array`] (½·log²n) and [`crate::optimal`] (¼·log²n)
+//! schemes are measured against in the experiments.
+//!
+//! The scheme operates on the §2 binarized tree and labels the proxy leaf of
+//! every original node; the reduction is hidden behind [`NaiveScheme::build`].
+
+use crate::hpath::{HpathLabel, HpathLabeling};
+use crate::DistanceScheme;
+use treelab_bits::{codes, BitReader, BitWriter, DecodeError};
+use treelab_tree::binarize::Binarized;
+use treelab_tree::heavy::HeavyPaths;
+use treelab_tree::{NodeId, Tree};
+
+/// Label of the fixed-width baseline scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaiveLabel {
+    /// Distance from the root (of the binarized tree, which equals the
+    /// distance in the original tree).
+    root_distance: u64,
+    /// Heavy-path auxiliary label (of the proxy leaf in the binarized tree).
+    aux: HpathLabel,
+    /// Fixed field width used for the entries (⌈log₂ n⌉ of the binarized tree).
+    width: u8,
+    /// Per light edge `i` (top-down): `d_i = branch_offset + edge_weight`,
+    /// i.e. the distance from the head of the heavy path at light depth `i−1`
+    /// to the head of the heavy path at light depth `i`.
+    entries: Vec<u64>,
+    /// Per light edge `i`: the weight (0 or 1) of the light edge itself.
+    weights: Vec<u8>,
+}
+
+impl NaiveLabel {
+    /// Root distance stored in the label.
+    pub fn root_distance(&self) -> u64 {
+        self.root_distance
+    }
+
+    /// The embedded heavy-path auxiliary label.
+    pub fn aux(&self) -> &HpathLabel {
+        &self.aux
+    }
+
+    /// Serializes the label.
+    pub fn encode(&self, w: &mut BitWriter) {
+        codes::write_delta_nz(w, self.root_distance);
+        w.write_bits(self.width as u64, 8);
+        self.aux.encode(w);
+        codes::write_gamma_nz(w, self.entries.len() as u64);
+        for (&d, &t) in self.entries.iter().zip(&self.weights) {
+            w.write_bits(d, self.width as usize);
+            w.write_bit(t == 1);
+        }
+    }
+
+    /// Deserializes a label written by [`NaiveLabel::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    pub fn decode(r: &mut BitReader<'_>) -> Result<Self, DecodeError> {
+        let root_distance = codes::read_delta_nz(r)?;
+        let width = r.read_bits(8)? as u8;
+        if width > 64 {
+            return Err(DecodeError::Malformed { what: "entry width exceeds 64 bits" });
+        }
+        let aux = HpathLabel::decode(r)?;
+        let count = codes::read_gamma_nz(r)? as usize;
+        let mut entries = Vec::with_capacity(count);
+        let mut weights = Vec::with_capacity(count);
+        for _ in 0..count {
+            entries.push(r.read_bits(width as usize)?);
+            weights.push(u8::from(r.read_bit()?));
+        }
+        Ok(NaiveLabel {
+            root_distance,
+            aux,
+            width,
+            entries,
+            weights,
+        })
+    }
+
+    /// Size of the serialized label in bits.
+    pub fn bit_len(&self) -> usize {
+        let mut w = BitWriter::new();
+        self.encode(&mut w);
+        w.len()
+    }
+}
+
+/// The fixed-width `Θ(log²n)` exact distance labeling scheme.
+#[derive(Debug, Clone)]
+pub struct NaiveScheme {
+    labels: Vec<NaiveLabel>,
+}
+
+impl NaiveScheme {
+    fn build_labels(tree: &Tree) -> Vec<NaiveLabel> {
+        let bin = Binarized::new(tree);
+        let b = bin.tree();
+        let hp = HeavyPaths::new(b);
+        let aux = HpathLabeling::with_heavy_paths(b, &hp);
+        let width = codes::bit_len(b.len() as u64) as u8;
+        tree.nodes()
+            .map(|u| {
+                let leaf = bin.proxy(u);
+                let edges = hp.light_edges_to(leaf);
+                NaiveLabel {
+                    root_distance: hp.root_distance(leaf),
+                    aux: aux.label(leaf).clone(),
+                    width,
+                    entries: edges.iter().map(|e| e.branch_offset + e.edge_weight).collect(),
+                    weights: edges.iter().map(|e| e.edge_weight as u8).collect(),
+                }
+            })
+            .collect()
+    }
+}
+
+impl DistanceScheme for NaiveScheme {
+    type Label = NaiveLabel;
+
+    fn build(tree: &Tree) -> Self {
+        NaiveScheme {
+            labels: Self::build_labels(tree),
+        }
+    }
+
+    fn label(&self, u: NodeId) -> &NaiveLabel {
+        &self.labels[u.index()]
+    }
+
+    fn distance(a: &NaiveLabel, b: &NaiveLabel) -> u64 {
+        exact_distance_from_entries(a, b, |label, j| (label.entries[j], label.weights[j] as u64))
+    }
+
+    fn label_bits(&self, u: NodeId) -> usize {
+        self.labels[u.index()].bit_len()
+    }
+
+    fn max_label_bits(&self) -> usize {
+        self.labels.iter().map(NaiveLabel::bit_len).max().unwrap_or(0)
+    }
+
+    fn name() -> &'static str {
+        "naive-fixed-width"
+    }
+}
+
+/// Shared query logic of the prefix-sum based exact schemes ([`NaiveScheme`]
+/// and [`crate::distance_array::DistanceArrayScheme`]).
+///
+/// Given accessors for the per-light-edge values `d_i` (head-to-head distance)
+/// and `t_i` (light-edge weight), computes the exact distance using the
+/// domination argument of Lemma 3.1: if `u` dominates `v` and
+/// `j = lightdepth(NCA)`, then the NCA is the branch point of `u`'s
+/// `(j+1)`-st light edge, so its root distance is
+/// `Σ_{i ≤ j+1} d_i(u) − t_{j+1}(u)`.
+pub(crate) fn exact_distance_from_entries<L, F>(a: &L, b: &L, entry: F) -> u64
+where
+    L: ExactLabel,
+    F: Fn(&L, usize) -> (u64, u64),
+{
+    let (la, lb) = (a.aux_label(), b.aux_label());
+    if HpathLabel::same_node(la, lb) {
+        return 0;
+    }
+    // Labels are built for proxy leaves, so neither can be a strict ancestor of
+    // the other; guard anyway so corrupted inputs do not underflow.
+    if HpathLabel::is_ancestor(la, lb) || HpathLabel::is_ancestor(lb, la) {
+        return a.root_distance_value().abs_diff(b.root_distance_value());
+    }
+    let j = HpathLabel::common_light_depth(la, lb);
+    let (dom, _other) = if HpathLabel::dominates(la, lb) { (a, b) } else { (b, a) };
+    // Root distance of the NCA: sum of the dominating side's first j+1 entries
+    // minus the weight of its (j+1)-st light edge.
+    let mut sum = 0u64;
+    for i in 0..=j {
+        sum += entry(dom, i).0;
+    }
+    let t = entry(dom, j).1;
+    let rd_nca = sum - t;
+    a.root_distance_value() + b.root_distance_value() - 2 * rd_nca
+}
+
+/// Internal trait giving [`exact_distance_from_entries`] access to the shared
+/// label parts.
+pub(crate) trait ExactLabel {
+    fn aux_label(&self) -> &HpathLabel;
+    fn root_distance_value(&self) -> u64;
+}
+
+impl ExactLabel for NaiveLabel {
+    fn aux_label(&self) -> &HpathLabel {
+        &self.aux
+    }
+    fn root_distance_value(&self) -> u64 {
+        self.root_distance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::check_exact_scheme;
+    use treelab_tree::gen;
+
+    #[test]
+    fn exact_on_fixed_shapes() {
+        for tree in [
+            Tree::singleton(),
+            gen::path(2),
+            gen::path(33),
+            gen::star(33),
+            gen::caterpillar(8, 3),
+            gen::broom(7, 9),
+            gen::spider(5, 6),
+            gen::complete_kary(2, 5),
+            gen::complete_kary(3, 3),
+            gen::balanced_binary(64),
+        ] {
+            check_exact_scheme::<NaiveScheme>(&tree);
+        }
+    }
+
+    #[test]
+    fn exact_on_random_trees() {
+        for seed in 0..6u64 {
+            check_exact_scheme::<NaiveScheme>(&gen::random_tree(180, seed));
+            check_exact_scheme::<NaiveScheme>(&gen::random_recursive(140, seed));
+            check_exact_scheme::<NaiveScheme>(&gen::random_binary(160, seed));
+        }
+    }
+
+    #[test]
+    fn label_size_is_order_log_squared() {
+        let tree = gen::random_tree(1 << 12, 3);
+        let scheme = NaiveScheme::build(&tree);
+        let log_n = ((tree.len() * 4) as f64).log2();
+        // Θ(log² n): between (a fraction of) log²n on adversarial shapes and a
+        // constant multiple of it on any shape.
+        assert!(
+            (scheme.max_label_bits() as f64) <= 4.0 * log_n * log_n + 40.0 * log_n,
+            "max label {} bits",
+            scheme.max_label_bits()
+        );
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let tree = gen::random_tree(120, 8);
+        let scheme = NaiveScheme::build(&tree);
+        for u in tree.nodes() {
+            let label = scheme.label(u);
+            let mut w = BitWriter::new();
+            label.encode(&mut w);
+            let bits = w.into_bitvec();
+            assert_eq!(bits.len(), label.bit_len());
+            let mut r = BitReader::new(&bits);
+            let back = NaiveLabel::decode(&mut r).unwrap();
+            assert_eq!(&back, label);
+        }
+        // Decoded labels answer queries identically.
+        let (u, v) = (tree.node(5), tree.node(100));
+        let mut wu = BitWriter::new();
+        scheme.label(u).encode(&mut wu);
+        let bu = wu.into_bitvec();
+        let mut wv = BitWriter::new();
+        scheme.label(v).encode(&mut wv);
+        let bv = wv.into_bitvec();
+        let du = NaiveLabel::decode(&mut BitReader::new(&bu)).unwrap();
+        let dv = NaiveLabel::decode(&mut BitReader::new(&bv)).unwrap();
+        assert_eq!(
+            NaiveScheme::distance(&du, &dv),
+            tree.distance_naive(u, v)
+        );
+    }
+}

@@ -1,0 +1,723 @@
+//! The paper's main contribution: exact distance labels of
+//! `¼·log²n + o(log²n)` bits (Theorem 1.1), via *modified distance arrays*.
+//!
+//! # How the scheme works (§3.2–§3.3)
+//!
+//! Start from the distance-array framework of [`crate::distance_array`]: every
+//! node stores one value per light edge on its root path, and a query reads the
+//! `(j+1)`-st value of the *dominating* node, where `j = lightdepth(NCA)`.
+//! Two ideas bring the cost from `½·log²n` down to `¼·log²n`:
+//!
+//! 1. **Bit pushing (modified distance arrays, §3.2).**  Consider a heavy path
+//!    `P` in an instance of size `N` with hanging subtrees `T₁, …, T_{m+1}`
+//!    (left to right in the collapsed tree; `T_{m+1}` exceptional).  The value
+//!    associated with `Tᵢ` is needed only when the *other* queried node lies in
+//!    a subtree to the right of `Tᵢ` — a node `Tᵢ` *dominates*.  So `Tᵢ`'s
+//!    labels keep only the most significant bits of the value (as many as the
+//!    "slack" of the Slack/Thin Lemmas allows) and the remaining low-order bits
+//!    are *pushed* into an accumulator carried by every label in
+//!    `T_{i+1}, …, T_{m+1}`.  Thin subtrees (`nᵢ ≤ n'ᵢ/2⁸`) have enough slack to
+//!    keep everything; the value of the exceptional subtree is never needed and
+//!    is not stored at all.  A query recombines the kept bits from the
+//!    dominating label with the pushed bits found in the dominated label (the
+//!    dominating label's own accumulator length gives the offset).
+//!
+//! 2. **Fragments (§3.3).**  Bit pushing sacrifices prefix sums: a query can
+//!    recover only the single entry it needs, not `Σ_{i ≤ j+1} d(ℓᵢ)`.  So each
+//!    stored value is expressed relative to a *fragment head*: the root-to-node
+//!    path in the collapsed tree is cut every time the instance size drops by
+//!    another factor of `2^B` (`B = ⌈√log n⌉`), each label carries the root
+//!    distances of its `O(√log n)` fragment heads (the array `F(u)`), and each
+//!    entry records which fragment head it is relative to.  Recovering one
+//!    entry plus one `F(u)` lookup then yields the root distance of the NCA
+//!    directly.
+//!
+//! The scheme operates on the §2 binarized tree and labels the proxy leaf of
+//! every original node; [`OptimalScheme::build`] hides the reduction.
+
+use crate::hpath::{HpathLabel, HpathLabeling};
+use crate::DistanceScheme;
+use treelab_bits::{codes, monotone::MonotoneSeq, BitReader, BitVec, BitWriter, DecodeError};
+use treelab_tree::binarize::Binarized;
+use treelab_tree::heavy::HeavyPaths;
+use treelab_tree::{NodeId, Tree};
+
+/// One entry of a modified distance array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptimalEntry {
+    /// The light edge is the exceptional edge of its heavy path; its value is
+    /// never needed at query time and is not stored.
+    Exceptional,
+    /// A regular (thin or fat) light edge.
+    Regular {
+        /// Weight of the light edge (0 or 1 in the binarized tree).
+        weight: u8,
+        /// Index into the fragment distance array `F(u)` of the fragment head
+        /// this entry's value is relative to.
+        frag_idx: u32,
+        /// Number of low-order bits pushed into the accumulators of dominated
+        /// labels (0 for thin subtrees).
+        pushed: u32,
+        /// The kept (most significant) part of the value: `value >> pushed`.
+        kept: u64,
+    },
+}
+
+/// Label of the optimal (¼·log²n) scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptimalLabel {
+    /// Distance from the root.
+    root_distance: u64,
+    /// Heavy-path auxiliary label of the proxy leaf.
+    aux: HpathLabel,
+    /// Fragment distance array `F(u)`: root distances of the fragment heads on
+    /// the root-to-node path in the collapsed tree (non-decreasing).
+    fragments: Vec<u64>,
+    /// Modified distance array, one entry per light edge (top-down).
+    entries: Vec<OptimalEntry>,
+    /// Accumulators, one per light edge level: the pushed bits of all fat
+    /// sibling subtrees to the left at that level, concatenated in sibling
+    /// order.
+    accumulators: Vec<BitVec>,
+}
+
+impl OptimalLabel {
+    /// Root distance stored in the label.
+    pub fn root_distance(&self) -> u64 {
+        self.root_distance
+    }
+
+    /// The embedded heavy-path auxiliary label.
+    pub fn aux(&self) -> &HpathLabel {
+        &self.aux
+    }
+
+    /// The fragment distance array `F(u)`.
+    pub fn fragments(&self) -> &[u64] {
+        &self.fragments
+    }
+
+    /// The modified distance array.
+    pub fn entries(&self) -> &[OptimalEntry] {
+        &self.entries
+    }
+
+    /// Total number of accumulator bits carried by this label.
+    pub fn accumulator_bits(&self) -> usize {
+        self.accumulators.iter().map(BitVec::len).sum()
+    }
+
+    /// Number of *payload* bits of the modified distance array: the kept bits
+    /// of every regular entry plus all accumulator bits carried by this label.
+    ///
+    /// This is the quantity the `¼·log²n` analysis of §3.2 bounds (fragments,
+    /// flags and self-delimiting headers are the `o(log²n)` lower-order terms);
+    /// the experiments report it alongside the total label size.
+    pub fn array_payload_bits(&self) -> usize {
+        let kept: usize = self
+            .entries
+            .iter()
+            .map(|e| match e {
+                OptimalEntry::Regular { kept, .. } => codes::bit_len(*kept),
+                OptimalEntry::Exceptional => 0,
+            })
+            .sum();
+        kept + self.accumulator_bits()
+    }
+
+    /// Serializes the label.
+    pub fn encode(&self, w: &mut BitWriter) {
+        codes::write_delta_nz(w, self.root_distance);
+        self.aux.encode(w);
+        MonotoneSeq::new(&self.fragments).encode(w);
+        codes::write_gamma_nz(w, self.entries.len() as u64);
+        for entry in &self.entries {
+            match entry {
+                OptimalEntry::Exceptional => w.write_bit(true),
+                OptimalEntry::Regular {
+                    weight,
+                    frag_idx,
+                    pushed,
+                    kept,
+                } => {
+                    w.write_bit(false);
+                    w.write_bit(*weight == 1);
+                    codes::write_gamma_nz(w, *frag_idx as u64);
+                    codes::write_gamma_nz(w, *pushed as u64);
+                    codes::write_delta_nz(w, *kept);
+                }
+            }
+        }
+        for acc in &self.accumulators {
+            codes::write_gamma_nz(w, acc.len() as u64);
+            w.write_bitvec(acc);
+        }
+    }
+
+    /// Deserializes a label written by [`OptimalLabel::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    pub fn decode(r: &mut BitReader<'_>) -> Result<Self, DecodeError> {
+        let root_distance = codes::read_delta_nz(r)?;
+        let aux = HpathLabel::decode(r)?;
+        let fragments = MonotoneSeq::decode(r)?.to_vec();
+        let count = codes::read_gamma_nz(r)? as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            if r.read_bit()? {
+                entries.push(OptimalEntry::Exceptional);
+            } else {
+                let weight = u8::from(r.read_bit()?);
+                let frag_idx = codes::read_gamma_nz(r)? as u32;
+                let pushed = codes::read_gamma_nz(r)? as u32;
+                if pushed > 64 {
+                    return Err(DecodeError::Malformed {
+                        what: "pushed bit count exceeds 64",
+                    });
+                }
+                let kept = codes::read_delta_nz(r)?;
+                entries.push(OptimalEntry::Regular {
+                    weight,
+                    frag_idx,
+                    pushed,
+                    kept,
+                });
+            }
+        }
+        let mut accumulators = Vec::with_capacity(count);
+        for _ in 0..count {
+            let len = codes::read_gamma_nz(r)? as usize;
+            let mut acc = BitVec::with_capacity(len);
+            for _ in 0..len {
+                acc.push(r.read_bit()?);
+            }
+            accumulators.push(acc);
+        }
+        Ok(OptimalLabel {
+            root_distance,
+            aux,
+            fragments,
+            entries,
+            accumulators,
+        })
+    }
+
+    /// Size of the serialized label in bits.
+    pub fn bit_len(&self) -> usize {
+        let mut w = BitWriter::new();
+        self.encode(&mut w);
+        w.len()
+    }
+}
+
+/// Per-collapsed-path data computed once during construction.
+#[derive(Debug, Clone)]
+struct PathInfo {
+    /// Entry describing the light edge leading into this path (`None` for the
+    /// root path).
+    entry: Option<OptimalEntry>,
+    /// The pushed (low-order) bits of this path's value, if it is fat.
+    pushed_bits: BitVec,
+    /// Accumulator inherited by every node of this subtree for this level:
+    /// pushed bits of fat siblings to the left.
+    accumulator: BitVec,
+    /// Is this path a fragment head?
+    is_fragment_head: bool,
+    /// Number of fragment heads at or above this path.
+    fragment_count: usize,
+    /// Root distance of this path's head.
+    head_root_distance: u64,
+}
+
+/// Construction knobs of the optimal scheme, exposed for the ablation
+/// experiments (E9 in DESIGN.md).  The defaults reproduce the paper's
+/// construction; the other settings isolate the contribution of each
+/// ingredient (bit pushing, the fatness threshold, the fragment granularity)
+/// to the measured label sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimalConfig {
+    /// Thin Lemma threshold exponent `c`: a subtree is *thin* (keeps its whole
+    /// value) when `nᵢ ≤ n'ᵢ / 2^c`.  The paper uses `c = 8`.
+    pub thin_exponent: u32,
+    /// Fragment block size `B` (§3.3); `None` uses the paper's `⌈√log n⌉`.
+    pub fragment_block: Option<u32>,
+    /// When `false`, no bits are ever pushed (every entry is stored whole) —
+    /// the scheme degenerates to a fragment-relative distance-array scheme.
+    pub enable_pushing: bool,
+}
+
+impl Default for OptimalConfig {
+    fn default() -> Self {
+        OptimalConfig {
+            thin_exponent: 8,
+            fragment_block: None,
+            enable_pushing: true,
+        }
+    }
+}
+
+/// The optimal ¼·log²n exact distance labeling scheme (Theorem 1.1).
+#[derive(Debug, Clone)]
+pub struct OptimalScheme {
+    labels: Vec<OptimalLabel>,
+}
+
+impl OptimalScheme {
+    /// Builds the scheme with non-default construction knobs (see
+    /// [`OptimalConfig`]); queries are oblivious to the configuration, so
+    /// labels from any configuration of the *same build* interoperate.
+    pub fn build_with_config(tree: &Tree, config: OptimalConfig) -> Self {
+        OptimalScheme {
+            labels: Self::build_labels(tree, config),
+        }
+    }
+
+    fn build_path_info(bin_tree: &Tree, hp: &HeavyPaths, config: OptimalConfig) -> Vec<PathInfo> {
+        let n_total = bin_tree.len() as f64;
+        let log_n = n_total.log2().max(1.0);
+        let block = config
+            .fragment_block
+            .unwrap_or_else(|| log_n.sqrt().ceil().max(1.0) as u32)
+            .max(1); // B = ⌈√log n⌉ unless overridden
+
+        // Fragment level of a path: largest g with instance_size ≤ n / 2^{gB}.
+        let fragment_level = |size: usize| -> u32 {
+            let mut g = 0u32;
+            while (size as f64) * 2f64.powi(((g + 1) * block) as i32) <= n_total {
+                g += 1;
+            }
+            g
+        };
+
+        let path_count = hp.path_count();
+        let mut info: Vec<PathInfo> = Vec::with_capacity(path_count);
+        // Fragment level per path, filled as we go (parents precede children).
+        let mut levels: Vec<u32> = vec![0; path_count];
+        // Anchor (deepest fragment head at or above) per path.
+        let mut anchors: Vec<usize> = vec![0; path_count];
+
+        for p in 0..path_count {
+            let head = hp.head(p);
+            let head_rd = hp.root_distance(head);
+            levels[p] = fragment_level(hp.instance_size(p));
+            let (is_fragment_head, fragment_count, anchor) = match hp.collapsed_parent(p) {
+                None => (true, 1, p),
+                Some(parent) => {
+                    let is_head = levels[p] > levels[parent];
+                    let anchor = if is_head { p } else { anchors[parent] };
+                    let count = info[parent].fragment_count + usize::from(is_head);
+                    (is_head, count, anchor)
+                }
+            };
+            anchors[p] = anchor;
+
+            let (entry, pushed_bits) = match hp.collapsed_parent(p) {
+                None => (None, BitVec::new()),
+                Some(_) if hp.is_exceptional(p) => (Some(OptimalEntry::Exceptional), BitVec::new()),
+                Some(_) => {
+                    let branch = hp.branch_node(p).expect("non-root path");
+                    let weight = hp.incoming_weight(p) as u8;
+                    // Value relative to the anchor fragment head (§3.3): the
+                    // distance from the anchor's head to this path's head.
+                    let anchor_rd = info.get(anchor).map_or(
+                        // anchor == p is possible only when p is itself a
+                        // fragment head; then the value is 0-based on p's own
+                        // head and equals head_rd - head_rd = 0 ... but the
+                        // anchor must be *at or above* the parent level for the
+                        // query to use F(u) of nodes below, so use the anchor
+                        // as computed (p itself) — its head distance is head_rd.
+                        head_rd,
+                        |a| a.head_root_distance,
+                    );
+                    let value = head_rd - anchor_rd;
+                    let frag_idx = (if anchor == p {
+                        fragment_count
+                    } else {
+                        info[anchor].fragment_count
+                    } - 1) as u32;
+
+                    // Fat/thin classification (Slack and Thin Lemmas).
+                    let n_i = hp.instance_size(p) as u64;
+                    let n_prime = hp.subtree_size(branch) as u64;
+                    let fat = config.enable_pushing
+                        && n_i > (n_prime >> config.thin_exponent.min(63));
+                    let total_bits = codes::bit_len(value) as u32;
+                    let pushed = if fat {
+                        let ratio = (n_prime as f64 / n_i as f64).log2().max(0.0);
+                        let keep = (0.5 * ratio * (n_prime as f64).log2()).ceil() as u32 + 1;
+                        total_bits.saturating_sub(keep)
+                    } else {
+                        0
+                    };
+                    let kept = value >> pushed;
+                    let mut pushed_bits = BitVec::new();
+                    if pushed > 0 {
+                        pushed_bits.push_bits(value & ((1u64 << pushed) - 1), pushed as usize);
+                    }
+                    (
+                        Some(OptimalEntry::Regular {
+                            weight,
+                            frag_idx,
+                            pushed,
+                            kept,
+                        }),
+                        pushed_bits,
+                    )
+                }
+            };
+
+            info.push(PathInfo {
+                entry,
+                pushed_bits,
+                accumulator: BitVec::new(),
+                is_fragment_head,
+                fragment_count,
+                head_root_distance: head_rd,
+            });
+        }
+
+        // Accumulators: for each path, concatenate the pushed bits of the fat
+        // siblings to its left (in collapsed child order).
+        for p in 0..path_count {
+            let children: Vec<usize> = hp.collapsed_children(p).to_vec();
+            let mut acc = BitVec::new();
+            for &c in &children {
+                info[c].accumulator = acc.clone();
+                let pushed = info[c].pushed_bits.clone();
+                acc.extend_from(&pushed);
+            }
+        }
+        info
+    }
+
+    fn build_labels(tree: &Tree, config: OptimalConfig) -> Vec<OptimalLabel> {
+        let bin = Binarized::new(tree);
+        let b = bin.tree();
+        let hp = HeavyPaths::new(b);
+        let aux = HpathLabeling::with_heavy_paths(b, &hp);
+        let info = Self::build_path_info(b, &hp, config);
+
+        tree.nodes()
+            .map(|u| {
+                let leaf = bin.proxy(u);
+                // Paths from the root path down to the leaf's own path.
+                let mut chain = Vec::new();
+                let mut p = hp.path_of(leaf);
+                loop {
+                    chain.push(p);
+                    match hp.collapsed_parent(p) {
+                        Some(parent) => p = parent,
+                        None => break,
+                    }
+                }
+                chain.reverse();
+
+                let fragments: Vec<u64> = chain
+                    .iter()
+                    .filter(|&&p| info[p].is_fragment_head)
+                    .map(|&p| info[p].head_root_distance)
+                    .collect();
+                let entries: Vec<OptimalEntry> = chain[1..]
+                    .iter()
+                    .map(|&p| info[p].entry.clone().expect("non-root paths carry an entry"))
+                    .collect();
+                let accumulators: Vec<BitVec> =
+                    chain[1..].iter().map(|&p| info[p].accumulator.clone()).collect();
+
+                OptimalLabel {
+                    root_distance: hp.root_distance(leaf),
+                    aux: aux.label(leaf).clone(),
+                    fragments,
+                    entries,
+                    accumulators,
+                }
+            })
+            .collect()
+    }
+}
+
+impl DistanceScheme for OptimalScheme {
+    type Label = OptimalLabel;
+
+    fn build(tree: &Tree) -> Self {
+        Self::build_with_config(tree, OptimalConfig::default())
+    }
+
+    fn label(&self, u: NodeId) -> &OptimalLabel {
+        &self.labels[u.index()]
+    }
+
+    /// Exact distance from two labels alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the labels were produced by different scheme builds (the
+    /// dominating side's entry would be exceptional or out of range, which
+    /// cannot happen for labels of the same tree).
+    fn distance(a: &OptimalLabel, b: &OptimalLabel) -> u64 {
+        let (la, lb) = (&a.aux, &b.aux);
+        if HpathLabel::same_node(la, lb) {
+            return 0;
+        }
+        if HpathLabel::is_ancestor(la, lb) || HpathLabel::is_ancestor(lb, la) {
+            // Cannot happen for proxy-leaf labels of distinct nodes; kept as a
+            // safe fallback for direct use on arbitrary node sets.
+            return a.root_distance.abs_diff(b.root_distance);
+        }
+        let j = HpathLabel::common_light_depth(la, lb);
+        let (dom, other) = if HpathLabel::dominates(la, lb) { (a, b) } else { (b, a) };
+        let entry = dom
+            .entries
+            .get(j)
+            .expect("dominating label leaves the common heavy path");
+        let OptimalEntry::Regular {
+            weight,
+            frag_idx,
+            pushed,
+            kept,
+        } = entry
+        else {
+            panic!("dominating side's entry is never exceptional for labels of one tree");
+        };
+        let pushed_value = if *pushed > 0 {
+            let offset = dom.accumulators[j].len();
+            other.accumulators[j]
+                .get_bits(offset, *pushed as usize)
+                .expect("dominated label carries the pushed bits")
+        } else {
+            0
+        };
+        let value = (kept << pushed) | pushed_value;
+        let head_rd = dom.fragments[*frag_idx as usize] + value;
+        let rd_nca = head_rd - u64::from(*weight);
+        a.root_distance + b.root_distance - 2 * rd_nca
+    }
+
+    fn label_bits(&self, u: NodeId) -> usize {
+        self.labels[u.index()].bit_len()
+    }
+
+    fn max_label_bits(&self) -> usize {
+        self.labels.iter().map(OptimalLabel::bit_len).max().unwrap_or(0)
+    }
+
+    fn name() -> &'static str {
+        "optimal-quarter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance_array::DistanceArrayScheme;
+    use crate::test_support::check_exact_scheme;
+    use treelab_tree::gen;
+
+    #[test]
+    fn exact_on_fixed_shapes() {
+        for tree in [
+            Tree::singleton(),
+            gen::path(2),
+            gen::path(45),
+            gen::star(45),
+            gen::caterpillar(9, 3),
+            gen::broom(8, 11),
+            gen::spider(6, 5),
+            gen::complete_kary(2, 6),
+            gen::complete_kary(3, 3),
+            gen::balanced_binary(100),
+            gen::comb(300),
+            gen::comb(1000),
+        ] {
+            check_exact_scheme::<OptimalScheme>(&tree);
+        }
+    }
+
+    #[test]
+    fn exact_on_random_trees() {
+        for seed in 0..6u64 {
+            check_exact_scheme::<OptimalScheme>(&gen::random_tree(170, seed));
+            check_exact_scheme::<OptimalScheme>(&gen::random_recursive(150, seed));
+            check_exact_scheme::<OptimalScheme>(&gen::random_binary(160, seed));
+        }
+    }
+
+    #[test]
+    fn exact_on_subdivided_hm_trees() {
+        // The adversarial family of the lower bound: long weighted paths that
+        // stress the fat-subtree / bit-pushing machinery once subdivided.
+        for (h, m, seed) in [(3u32, 40u64, 1u64), (4, 24, 2), (5, 12, 3)] {
+            let (t, _) = gen::subdivide(&gen::hm_tree_random(h, m, seed));
+            check_exact_scheme::<OptimalScheme>(&t);
+        }
+    }
+
+    #[test]
+    fn bit_pushing_is_actually_exercised() {
+        // On the comb family, the large subtree hanging beside the exceptional
+        // subtree is fat and its value needs more bits than the slack allows,
+        // so some bits must be pushed and some labels must carry accumulators.
+        let tree = gen::comb(4096);
+        let scheme = OptimalScheme::build(&tree);
+        let total_pushed: u64 = tree
+            .nodes()
+            .map(|u| {
+                scheme
+                    .label(u)
+                    .entries()
+                    .iter()
+                    .map(|e| match e {
+                        OptimalEntry::Regular { pushed, .. } => u64::from(*pushed),
+                        OptimalEntry::Exceptional => 0,
+                    })
+                    .sum::<u64>()
+            })
+            .sum();
+        let total_acc: usize = tree.nodes().map(|u| scheme.label(u).accumulator_bits()).sum();
+        assert!(total_pushed > 0, "no bits were pushed on the comb family");
+        assert!(total_acc > 0, "no label carries accumulator bits");
+    }
+
+    #[test]
+    fn beats_distance_array_on_the_comb_family() {
+        // The comb family has fat subtrees with large branch offsets at every
+        // level — exactly where the ¼ vs ½ separation materializes.  At
+        // laptop-scale n the o(log²n) terms (headers, fragment arrays,
+        // self-delimiting codes) still dominate the *total* label size, so the
+        // separation is asserted on the array payload — the quantity the two
+        // analyses actually bound.  EXPERIMENTS.md reports both numbers.
+        let tree = gen::comb(1 << 14);
+        let opt = OptimalScheme::build(&tree);
+        let da = DistanceArrayScheme::build(&tree);
+        let opt_payload = tree
+            .nodes()
+            .map(|u| opt.label(u).array_payload_bits())
+            .max()
+            .unwrap();
+        let da_payload = tree
+            .nodes()
+            .map(|u| da.label(u).array_payload_bits())
+            .max()
+            .unwrap();
+        assert!(
+            opt_payload < da_payload,
+            "optimal payload {opt_payload} bits vs distance-array payload {da_payload} bits"
+        );
+        // The total label size stays within a constant factor even where the
+        // lower-order terms dominate.
+        assert!(opt.max_label_bits() < 2 * da.max_label_bits());
+    }
+
+    #[test]
+    fn label_size_upper_bound_with_slack() {
+        // ¼·log²n plus generous lower-order terms (the binarized tree has at
+        // most 4n nodes).  This is a smoke bound, not the asymptotic statement;
+        // EXPERIMENTS.md records the measured curves.
+        for (tree, name) in [
+            (gen::comb(1 << 13), "comb"),
+            (gen::random_tree(1 << 13, 5), "random"),
+            (gen::caterpillar(1 << 11, 3), "caterpillar"),
+        ] {
+            let scheme = OptimalScheme::build(&tree);
+            let log_n = ((4 * tree.len()) as f64).log2();
+            let bound = 0.25 * log_n * log_n + 30.0 * log_n * log_n.sqrt() + 300.0;
+            assert!(
+                (scheme.max_label_bits() as f64) <= bound,
+                "{name}: {} bits > {bound}",
+                scheme.max_label_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn labels_roundtrip_and_queries_survive_reserialization() {
+        let tree = gen::comb(500);
+        let scheme = OptimalScheme::build(&tree);
+        let n = tree.len();
+        let mut decoded = Vec::new();
+        for u in tree.nodes() {
+            let label = scheme.label(u);
+            let mut w = BitWriter::new();
+            label.encode(&mut w);
+            let bits = w.into_bitvec();
+            assert_eq!(bits.len(), label.bit_len());
+            let back = OptimalLabel::decode(&mut BitReader::new(&bits)).unwrap();
+            assert_eq!(&back, label);
+            decoded.push(back);
+        }
+        for i in (0..n).step_by(17) {
+            for jj in (0..n).step_by(29) {
+                assert_eq!(
+                    OptimalScheme::distance(&decoded[i], &decoded[jj]),
+                    tree.distance_naive(tree.node(i), tree.node(jj))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_configs_remain_correct() {
+        // Every configuration must stay exact — the knobs only trade label
+        // size; the query protocol is configuration-oblivious.
+        use treelab_tree::lca::DistanceOracle;
+        let tree = gen::comb(900);
+        let oracle = DistanceOracle::new(&tree);
+        let configs = [
+            OptimalConfig::default(),
+            OptimalConfig { enable_pushing: false, ..Default::default() },
+            OptimalConfig { thin_exponent: 2, ..Default::default() },
+            OptimalConfig { thin_exponent: 20, ..Default::default() },
+            OptimalConfig { fragment_block: Some(1), ..Default::default() },
+            OptimalConfig { fragment_block: Some(64), ..Default::default() },
+        ];
+        for config in configs {
+            let scheme = OptimalScheme::build_with_config(&tree, config);
+            for i in 0..400usize {
+                let u = tree.node((i * 41) % tree.len());
+                let v = tree.node((i * 89 + 7) % tree.len());
+                assert_eq!(
+                    OptimalScheme::distance(scheme.label(u), scheme.label(v)),
+                    oracle.distance(u, v),
+                    "config {config:?} pair ({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disabling_pushing_removes_accumulators() {
+        let tree = gen::comb(2048);
+        let no_push = OptimalScheme::build_with_config(
+            &tree,
+            OptimalConfig { enable_pushing: false, ..Default::default() },
+        );
+        let default = OptimalScheme::build(&tree);
+        let acc_no_push: usize = tree.nodes().map(|u| no_push.label(u).accumulator_bits()).sum();
+        let acc_default: usize = tree.nodes().map(|u| default.label(u).accumulator_bits()).sum();
+        assert_eq!(acc_no_push, 0);
+        assert!(acc_default > 0);
+        // Without pushing, the maximum *payload* is larger (the whole entry
+        // stays in the storing label), which is exactly what the Slack Lemma
+        // machinery avoids.
+        let payload = |s: &OptimalScheme| {
+            tree.nodes().map(|u| s.label(u).array_payload_bits()).max().unwrap()
+        };
+        assert!(payload(&no_push) >= payload(&default));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let tree = gen::comb(200);
+        let scheme = OptimalScheme::build(&tree);
+        let label = scheme.label(tree.node(150));
+        let mut w = BitWriter::new();
+        label.encode(&mut w);
+        let bits = w.into_bitvec();
+        for cut in [3, bits.len() / 2, bits.len() - 1] {
+            let t = bits.slice(0, cut).unwrap();
+            assert!(OptimalLabel::decode(&mut BitReader::new(&t)).is_err(), "cut {cut}");
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Rooted subtree-embedding checker, used to verify universal trees (§3.5).
+//!
+//! A rooted tree `S` *embeds* into a rooted tree `U` if there is an injective
+//! map `φ` from the nodes of `S` to the nodes of `U` that preserves the parent
+//! relation: `φ(parent(x)) = parent(φ(x))` for every non-root `x` of `S`.  A
+//! tree `U` is universal for rooted trees on `n` nodes when every such tree
+//! embeds into it.  The universal-tree constructions in `treelab-core` are
+//! validated with [`embeds`] on exhaustive and randomized families of small
+//! trees.
+//!
+//! The check is exponential in the worst case (it solves a sequence of small
+//! bipartite matchings with memoization); it is intended for the small trees
+//! the experiments use, not as a production matcher.
+
+use crate::{NodeId, Tree};
+use std::collections::HashMap;
+
+/// Returns `true` if `pattern` embeds into `host` (anywhere, preserving the
+/// parent relation; see module docs).
+pub fn embeds(pattern: &Tree, host: &Tree) -> bool {
+    let mut memo: HashMap<(usize, usize), bool> = HashMap::new();
+    host.nodes().any(|h| embeds_at(pattern, pattern.root(), host, h, &mut memo))
+}
+
+/// Returns `true` if `pattern` embeds into `host` with the pattern root mapped
+/// to the host root.
+pub fn embeds_at_root(pattern: &Tree, host: &Tree) -> bool {
+    let mut memo: HashMap<(usize, usize), bool> = HashMap::new();
+    embeds_at(pattern, pattern.root(), host, host.root(), &mut memo)
+}
+
+/// Can the subtree of `pattern` rooted at `p` be embedded into the subtree of
+/// `host` rooted at `h`, with `p ↦ h`?
+fn embeds_at(
+    pattern: &Tree,
+    p: NodeId,
+    host: &Tree,
+    h: NodeId,
+    memo: &mut HashMap<(usize, usize), bool>,
+) -> bool {
+    if let Some(&ans) = memo.get(&(p.index(), h.index())) {
+        return ans;
+    }
+    let p_kids = pattern.children(p);
+    let h_kids = host.children(h);
+    let ans = if p_kids.is_empty() {
+        true
+    } else if p_kids.len() > h_kids.len() {
+        false
+    } else {
+        // Bipartite matching: every pattern child must be matched to a distinct
+        // host child it embeds into.  Sizes are small, so Kuhn's algorithm with
+        // a compatibility matrix is plenty.
+        let compat: Vec<Vec<bool>> = p_kids
+            .iter()
+            .map(|&pc| {
+                h_kids
+                    .iter()
+                    .map(|&hc| {
+                        // Quick size pruning before the recursive check.
+                        subtree_size_leq(pattern, pc, host, hc)
+                            && embeds_at(pattern, pc, host, hc, memo)
+                    })
+                    .collect()
+            })
+            .collect();
+        bipartite_match(&compat) == p_kids.len()
+    };
+    memo.insert((p.index(), h.index()), ans);
+    ans
+}
+
+fn subtree_size_leq(pattern: &Tree, p: NodeId, host: &Tree, h: NodeId) -> bool {
+    // Cheap upper bound check: |pattern subtree| <= |host subtree|.
+    fn size(t: &Tree, u: NodeId) -> usize {
+        let mut s = 0;
+        let mut stack = vec![u];
+        while let Some(x) = stack.pop() {
+            s += 1;
+            stack.extend(t.children(x).iter().copied());
+        }
+        s
+    }
+    size(pattern, p) <= size(host, h)
+}
+
+/// Maximum bipartite matching (Kuhn's algorithm) over a left×right
+/// compatibility matrix; returns the matching size.
+fn bipartite_match(compat: &[Vec<bool>]) -> usize {
+    let left = compat.len();
+    let right = compat.first().map_or(0, Vec::len);
+    let mut match_right: Vec<Option<usize>> = vec![None; right];
+
+    fn try_kuhn(
+        u: usize,
+        compat: &[Vec<bool>],
+        visited: &mut [bool],
+        match_right: &mut [Option<usize>],
+    ) -> bool {
+        for v in 0..visited.len() {
+            if compat[u][v] && !visited[v] {
+                visited[v] = true;
+                if match_right[v].is_none()
+                    || try_kuhn(match_right[v].expect("checked"), compat, visited, match_right)
+                {
+                    match_right[v] = Some(u);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    let mut size = 0;
+    for u in 0..left {
+        let mut visited = vec![false; right];
+        if try_kuhn(u, compat, &mut visited, &mut match_right) {
+            size += 1;
+        }
+    }
+    size
+}
+
+/// Enumerates all structurally distinct rooted trees on exactly `n` nodes
+/// (up to ordered-children isomorphism they are canonicalized, so each
+/// unordered rooted tree appears once).
+///
+/// Sizes follow the rooted-tree counting sequence 1, 1, 2, 4, 9, 20, 48, …
+/// Only intended for small `n` (≤ 10 or so).
+pub fn all_rooted_trees(n: usize) -> Vec<Tree> {
+    assert!((1..=12).contains(&n), "enumeration is exponential; keep n small");
+    // Enumerate canonical forms recursively: a rooted tree on n nodes is a
+    // multiset of rooted subtrees with sizes summing to n - 1.  We represent
+    // trees canonically by their sorted "level string" encoding.
+    fn enumerate(n: usize, memo: &mut HashMap<usize, Vec<Vec<usize>>>) -> Vec<Vec<usize>> {
+        // Each tree is encoded as its parent array in canonical order.
+        if let Some(v) = memo.get(&n) {
+            return v.clone();
+        }
+        let result: Vec<Vec<usize>> = if n == 1 {
+            vec![vec![usize::MAX]] // root marker
+        } else {
+            // Partition n-1 into subtree sizes (non-increasing), then choose a
+            // canonical tree for each part, with non-increasing encodings to
+            // avoid duplicates.
+            let mut out = Vec::new();
+            let smaller: Vec<Vec<Vec<usize>>> = (0..n).map(|k| if k == 0 { Vec::new() } else { enumerate(k, memo) }).collect();
+            // Recursive helper over partitions with canonical (sorted) choices.
+            fn go(
+                remaining: usize,
+                max_part: usize,
+                chosen: &mut Vec<Vec<usize>>,
+                smaller: &[Vec<Vec<usize>>],
+                max_tree_idx: usize,
+                out: &mut Vec<Vec<Vec<usize>>>,
+            ) {
+                if remaining == 0 {
+                    out.push(chosen.clone());
+                    return;
+                }
+                let cap = remaining.min(max_part);
+                for part in (1..=cap).rev() {
+                    let idx_cap = if part == max_part {
+                        max_tree_idx.min(smaller[part].len())
+                    } else {
+                        smaller[part].len()
+                    };
+                    for idx in 0..idx_cap {
+                        chosen.push(smaller[part][idx].clone());
+                        go(remaining - part, part, chosen, smaller, idx + 1, out);
+                        chosen.pop();
+                    }
+                }
+            }
+            let mut combos: Vec<Vec<Vec<usize>>> = Vec::new();
+            go(n - 1, n - 1, &mut Vec::new(), &smaller, usize::MAX, &mut combos);
+            for combo in combos {
+                // Assemble parent array: root at index 0, then each subtree
+                // appended with offset, its root's parent set to 0.
+                let mut parents = vec![usize::MAX];
+                for sub in &combo {
+                    let offset = parents.len();
+                    for &p in sub {
+                        if p == usize::MAX {
+                            parents.push(0);
+                        } else {
+                            parents.push(p + offset);
+                        }
+                    }
+                }
+                out.push(parents);
+            }
+            out
+        };
+        memo.insert(n, result.clone());
+        result
+    }
+
+    let mut memo = HashMap::new();
+    enumerate(n, &mut memo)
+        .into_iter()
+        .map(|parents| {
+            let opts: Vec<Option<usize>> = parents
+                .iter()
+                .map(|&p| if p == usize::MAX { None } else { Some(p) })
+                .collect();
+            Tree::from_parents(&opts)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn path_embeds_into_longer_path() {
+        assert!(embeds(&gen::path(3), &gen::path(10)));
+        assert!(embeds_at_root(&gen::path(3), &gen::path(10)));
+        assert!(!embeds(&gen::path(10), &gen::path(3)));
+    }
+
+    #[test]
+    fn star_embedding_requires_enough_children() {
+        assert!(embeds(&gen::star(4), &gen::star(10)));
+        assert!(!embeds(&gen::star(10), &gen::star(4)));
+        // A star does not embed into a path (needs sibling slots).
+        assert!(!embeds(&gen::star(4), &gen::path(20)));
+    }
+
+    #[test]
+    fn every_tree_embeds_into_itself_and_supertrees() {
+        for seed in 0..5u64 {
+            let t = gen::random_tree(20, seed);
+            assert!(embeds(&t, &t));
+            assert!(embeds_at_root(&t, &t));
+            // Completing to a complete binary tree of enough height only works
+            // when t is binary; use a complete 20-ary tree of height = height(t).
+            let host = gen::complete_kary(6, t.height().min(6));
+            if t.height() <= 6 && t.nodes().all(|u| t.degree(u) <= 6) {
+                assert!(embeds_at_root(&t, &host));
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_is_parent_preserving_not_minor() {
+        // A path of 3 does embed into a "cherry over a path"?  Pattern: root
+        // with two children; host: path of 3 (root-child-grandchild).  The
+        // pattern needs two *siblings*, the host has none -> no embedding.
+        let pattern = gen::star(3);
+        let host = gen::path(3);
+        assert!(!embeds(&pattern, &host));
+    }
+
+    #[test]
+    fn caterpillar_embeds_into_complete_binary() {
+        let cat = gen::caterpillar(4, 1);
+        let host = gen::complete_kary(2, 6);
+        assert!(embeds(&cat, &host));
+    }
+
+    #[test]
+    fn all_rooted_trees_counts() {
+        // Number of unordered rooted trees on n nodes: 1, 1, 2, 4, 9, 20, 48.
+        let expected = [1usize, 1, 2, 4, 9, 20, 48];
+        for (i, &e) in expected.iter().enumerate() {
+            let n = i + 1;
+            let trees = all_rooted_trees(n);
+            assert_eq!(trees.len(), e, "count of rooted trees on {n} nodes");
+            for t in &trees {
+                assert_eq!(t.len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn all_rooted_trees_are_pairwise_non_isomorphic_for_small_n() {
+        // Use embedding in both directions as an isomorphism test (same size +
+        // mutual embedding => isomorphic).
+        for n in 1..=6usize {
+            let trees = all_rooted_trees(n);
+            for i in 0..trees.len() {
+                for j in (i + 1)..trees.len() {
+                    let iso = embeds_at_root(&trees[i], &trees[j])
+                        && embeds_at_root(&trees[j], &trees[i]);
+                    assert!(!iso, "trees {i} and {j} on {n} nodes are isomorphic");
+                }
+            }
+        }
+    }
+}

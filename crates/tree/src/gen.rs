@@ -1,0 +1,563 @@
+//! Tree generators: benchmark workloads and the paper's adversarial families.
+//!
+//! The experiment harness measures label sizes across structurally diverse
+//! inputs, because the interesting terms in the bounds (the `½log²n` vs
+//! `¼log²n` separation, the `k·log((log n)/k)` additive term, …) are driven by
+//! how unbalanced the heavy-path decomposition is.  The families here cover the
+//! spectrum: paths and stars (the two degenerate extremes), caterpillars and
+//! brooms (deep with small hanging subtrees), spiders, complete d-ary trees
+//! (perfectly balanced), uniformly random labeled trees, and random binary
+//! trees.
+//!
+//! Two additional families are lifted straight from the paper:
+//!
+//! * [`hm_tree`] — the weighted `(h,M)`-trees of Gavoille et al. used in the
+//!   distance-labeling lower bound (§2, Fig. 2) and reused in §4.2 and §5.1;
+//!   [`subdivide`] turns them into unweighted trees as those proofs do.
+//! * [`regular_tree`] — the `(x⃗,h,d)`-regular trees of the small-`k` lower
+//!   bound (§4.1, Fig. 5).
+
+use crate::{NodeId, Tree, TreeBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A path on `n ≥ 1` nodes rooted at one end.
+pub fn path(n: usize) -> Tree {
+    assert!(n >= 1);
+    let mut b = TreeBuilder::new();
+    b.add_chain(b.root(), n - 1, 1);
+    b.build()
+}
+
+/// A star: a root with `n − 1` leaf children.
+pub fn star(n: usize) -> Tree {
+    assert!(n >= 1);
+    let mut b = TreeBuilder::new();
+    for _ in 1..n {
+        b.add_child(b.root(), 1);
+    }
+    b.build()
+}
+
+/// A caterpillar: a spine of `spine` nodes, each with `legs` leaf children.
+pub fn caterpillar(spine: usize, legs: usize) -> Tree {
+    assert!(spine >= 1);
+    let mut b = TreeBuilder::new();
+    let mut cur = b.root();
+    for i in 0..spine {
+        for _ in 0..legs {
+            b.add_child(cur, 1);
+        }
+        if i + 1 < spine {
+            cur = b.add_child(cur, 1);
+        }
+    }
+    b.build()
+}
+
+/// A broom: a handle (path) of `handle` nodes ending in a star of `bristles`
+/// leaves.
+pub fn broom(handle: usize, bristles: usize) -> Tree {
+    assert!(handle >= 1);
+    let mut b = TreeBuilder::new();
+    let end = b.add_chain(b.root(), handle - 1, 1);
+    for _ in 0..bristles {
+        b.add_child(end, 1);
+    }
+    b.build()
+}
+
+/// A spider: `legs` paths of `leg_len` nodes, all attached to a single root.
+pub fn spider(legs: usize, leg_len: usize) -> Tree {
+    let mut b = TreeBuilder::new();
+    for _ in 0..legs {
+        b.add_chain(b.root(), leg_len, 1);
+    }
+    b.build()
+}
+
+/// A complete `arity`-ary tree of the given `height` (height 0 = single node).
+pub fn complete_kary(arity: usize, height: usize) -> Tree {
+    assert!(arity >= 1);
+    let mut b = TreeBuilder::new();
+    let mut frontier = vec![b.root()];
+    for _ in 0..height {
+        let mut next = Vec::with_capacity(frontier.len() * arity);
+        for &u in &frontier {
+            for _ in 0..arity {
+                next.push(b.add_child(u, 1));
+            }
+        }
+        frontier = next;
+    }
+    b.build()
+}
+
+/// A complete binary tree with exactly `n` nodes (filled level by level).
+pub fn balanced_binary(n: usize) -> Tree {
+    assert!(n >= 1);
+    // Heap layout: node i has children 2i+1 and 2i+2.
+    let parents: Vec<Option<usize>> = (0..n)
+        .map(|i| if i == 0 { None } else { Some((i - 1) / 2) })
+        .collect();
+    Tree::from_parents(&parents)
+}
+
+/// A uniformly random labeled tree on `n` nodes (random Prüfer sequence),
+/// rooted at node 0.
+pub fn random_tree(n: usize, seed: u64) -> Tree {
+    assert!(n >= 1);
+    if n == 1 {
+        return Tree::singleton();
+    }
+    if n == 2 {
+        return Tree::from_parents(&[None, Some(0)]);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    from_prufer(&prufer)
+}
+
+/// Decodes a Prüfer sequence into a tree rooted at node 0.
+///
+/// # Panics
+///
+/// Panics if any entry is out of range for the implied node count
+/// (`sequence.len() + 2`).
+pub fn from_prufer(sequence: &[usize]) -> Tree {
+    let n = sequence.len() + 2;
+    assert!(sequence.iter().all(|&x| x < n), "Prüfer entry out of range");
+    let mut degree = vec![1usize; n];
+    for &x in sequence {
+        degree[x] += 1;
+    }
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n - 1);
+    // Min-leaf selection via a simple binary heap keyed by node index.
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&i| degree[i] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &x in sequence {
+        let std::cmp::Reverse(leaf) = heap.pop().expect("a leaf always exists");
+        edges.push((leaf, x));
+        degree[x] -= 1;
+        if degree[x] == 1 {
+            heap.push(std::cmp::Reverse(x));
+        }
+    }
+    let std::cmp::Reverse(a) = heap.pop().expect("two nodes remain");
+    let std::cmp::Reverse(b) = heap.pop().expect("two nodes remain");
+    edges.push((a, b));
+    tree_from_edges(n, &edges, 0)
+}
+
+/// Builds a rooted tree from an undirected edge list.
+///
+/// # Panics
+///
+/// Panics if the edges do not form a tree spanning `0..n`.
+pub fn tree_from_edges(n: usize, edges: &[(usize, usize)], root: usize) -> Tree {
+    assert_eq!(edges.len(), n - 1, "a tree on {n} nodes has {} edges", n - 1);
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let mut parents: Vec<Option<usize>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut stack = vec![root];
+    visited[root] = true;
+    while let Some(u) = stack.pop() {
+        for &v in &adj[u] {
+            if !visited[v] {
+                visited[v] = true;
+                parents[v] = Some(u);
+                stack.push(v);
+            }
+        }
+    }
+    assert!(visited.iter().all(|&v| v), "edge list is disconnected");
+    Tree::from_parents(&parents)
+}
+
+/// A random binary tree on `n` nodes: each new node is attached to a uniformly
+/// random node that still has fewer than two children.
+pub fn random_binary(n: usize, seed: u64) -> Tree {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TreeBuilder::new();
+    let mut open: Vec<NodeId> = vec![b.root(), b.root()]; // two open slots at the root
+    for _ in 1..n {
+        let idx = rng.gen_range(0..open.len());
+        let parent = open.swap_remove(idx);
+        let c = b.add_child(parent, 1);
+        open.push(c);
+        open.push(c);
+    }
+    b.build()
+}
+
+/// A *comb*: a spine of roughly `n/2` nodes with two combs of roughly `n/4`
+/// nodes each hanging from the last spine node, recursively.
+///
+/// This is the family on which the separation between the ½·log²n
+/// distance-array scheme and the ¼·log²n optimal scheme is most visible at
+/// practical sizes: every level has a *fat* hanging subtree whose associated
+/// distance is as large as the instance itself, which is exactly the situation
+/// the bit-pushing machinery of §3.2 targets.
+pub fn comb(n: usize) -> Tree {
+    assert!(n >= 1);
+    let mut b = TreeBuilder::new();
+    let root = b.root();
+    comb_below(&mut b, root, n - 1);
+    b.build()
+}
+
+/// Attaches a comb with `extra` additional nodes below `parent`.
+fn comb_below(b: &mut TreeBuilder, parent: NodeId, extra: usize) {
+    if extra == 0 {
+        return;
+    }
+    if extra <= 3 {
+        b.add_chain(parent, extra, 1);
+        return;
+    }
+    let spine = (extra / 2).max(1);
+    let rest = extra - spine;
+    let left = rest / 2;
+    let right = rest - left;
+    let end = b.add_chain(parent, spine, 1);
+    comb_below(b, end, left);
+    comb_below(b, end, right);
+}
+
+/// A random "preferential-attachment-free" recursive tree: node `i` picks a
+/// uniformly random parent among `0..i`.  Produces shallow, high-degree trees.
+pub fn random_recursive(n: usize, seed: u64) -> Tree {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let parents: Vec<Option<usize>> = (0..n)
+        .map(|i| if i == 0 { None } else { Some(rng.gen_range(0..i)) })
+        .collect();
+    Tree::from_parents(&parents)
+}
+
+// ---------------------------------------------------------------------------
+// (h, M)-trees — §2, Fig. 2
+// ---------------------------------------------------------------------------
+
+/// Builds the weighted `(h, M)`-tree determined by the values `xs`.
+///
+/// For `h = 0` the tree is a single node.  For `h ≥ 1` the root is connected to
+/// a single child by an edge of weight `M − x`, and that child is connected to
+/// two `(h−1, M)`-trees by edges of weight `x`, where the `x` values are
+/// consumed from `xs` in preorder (so `xs` must contain exactly `2^h − 1`
+/// values, each in `[0, M)`).
+///
+/// # Panics
+///
+/// Panics if `xs.len() != 2^h − 1` or any value is `≥ M`.
+pub fn hm_tree(h: u32, m: u64, xs: &[u64]) -> Tree {
+    let needed = (1usize << h) - 1;
+    assert_eq!(xs.len(), needed, "(h,M)-tree with h={h} needs {needed} x-values");
+    assert!(xs.iter().all(|&x| x < m), "every x must satisfy x < M");
+    let mut b = TreeBuilder::new();
+    let mut next = 0usize;
+    build_hm(&mut b, NodeId(0), h, m, xs, &mut next);
+    let t = b.build();
+    debug_assert_eq!(t.len(), 3 * (1 << h) - 2);
+    t
+}
+
+fn build_hm(b: &mut TreeBuilder, root: NodeId, h: u32, m: u64, xs: &[u64], next: &mut usize) {
+    if h == 0 {
+        return;
+    }
+    let x = xs[*next];
+    *next += 1;
+    let mid = b.add_child(root, m - x);
+    let left = b.add_child(mid, x);
+    let right = b.add_child(mid, x);
+    build_hm(b, left, h - 1, m, xs, next);
+    build_hm(b, right, h - 1, m, xs, next);
+}
+
+/// A random `(h, M)`-tree: the `x` values are drawn uniformly from `[0, M)`.
+pub fn hm_tree_random(h: u32, m: u64, seed: u64) -> Tree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<u64> = (0..(1usize << h) - 1).map(|_| rng.gen_range(0..m)).collect();
+    hm_tree(h, m, &xs)
+}
+
+/// Replaces every weighted edge by a path of unit edges (weight-0 edges are
+/// contracted), producing an unweighted tree with the same pairwise distances
+/// between surviving nodes.
+///
+/// Returns the new tree together with a mapping from old node ids to new node
+/// ids (nodes merged by a 0-weight contraction map to their representative).
+pub fn subdivide(tree: &Tree) -> (Tree, Vec<NodeId>) {
+    let mut b = TreeBuilder::new();
+    let mut map: Vec<NodeId> = vec![NodeId(0); tree.len()];
+    // Process in preorder so parents are mapped before children.
+    for u in tree.preorder() {
+        if tree.is_root(u) {
+            map[u.index()] = b.root();
+            continue;
+        }
+        let p_new = map[tree.parent(u).expect("non-root").index()];
+        let w = tree.parent_weight(u);
+        if w == 0 {
+            map[u.index()] = p_new;
+        } else {
+            map[u.index()] = b.add_chain(p_new, w as usize, 1);
+        }
+    }
+    (b.build(), map)
+}
+
+// ---------------------------------------------------------------------------
+// (x⃗, h, d)-regular trees — §4.1, Fig. 5
+// ---------------------------------------------------------------------------
+
+/// Builds an `x⃗`-regular tree: a rooted tree of height `degrees.len()` where
+/// every node at depth `i` has exactly `degrees[i]` children.
+pub fn degree_regular_tree(degrees: &[usize]) -> Tree {
+    let mut b = TreeBuilder::new();
+    let mut frontier = vec![b.root()];
+    for &deg in degrees {
+        let mut next = Vec::with_capacity(frontier.len() * deg);
+        for &u in &frontier {
+            for _ in 0..deg {
+                next.push(b.add_child(u, 1));
+            }
+        }
+        frontier = next;
+    }
+    b.build()
+}
+
+/// Builds the `(x⃗, h, d)`-regular tree of §4.1: the `y⃗`-regular tree with
+/// `y⃗ = (d^{x₁}, d^{h−x₁}, …, d^{x_k}, d^{h−x_k})`.
+///
+/// The number of leaves is `d^{k·h}`, so keep the parameters small.
+///
+/// # Panics
+///
+/// Panics if any `xᵢ` is 0 or exceeds `h`, or if the tree would exceed
+/// `2^28` nodes.
+pub fn regular_tree(xs: &[u32], h: u32, d: u32) -> Tree {
+    assert!(xs.iter().all(|&x| x >= 1 && x <= h), "x values must lie in [1, h]");
+    let mut degrees = Vec::with_capacity(2 * xs.len());
+    let mut leaves: u64 = 1;
+    for &x in xs {
+        degrees.push((d as u64).pow(x) as usize);
+        degrees.push((d as u64).pow(h - x) as usize);
+        leaves = leaves
+            .checked_mul((d as u64).pow(h))
+            .expect("regular tree too large");
+        assert!(leaves <= 1 << 28, "regular tree would exceed 2^28 leaves");
+    }
+    degree_regular_tree(&degrees)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_star_shapes() {
+        let p = path(10);
+        assert_eq!(p.len(), 10);
+        assert_eq!(p.height(), 9);
+        assert_eq!(p.leaves().len(), 1);
+
+        let s = star(10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.height(), 1);
+        assert_eq!(s.leaves().len(), 9);
+
+        assert_eq!(path(1).len(), 1);
+        assert_eq!(star(1).len(), 1);
+    }
+
+    #[test]
+    fn caterpillar_broom_spider_shapes() {
+        let c = caterpillar(5, 3);
+        assert_eq!(c.len(), 5 + 5 * 3);
+        assert_eq!(c.height(), 5); // 4 spine edges + 1 leg
+
+        let b = broom(4, 6);
+        assert_eq!(b.len(), 10);
+        assert_eq!(b.height(), 4);
+        assert_eq!(b.leaves().len(), 6);
+
+        let sp = spider(3, 4);
+        assert_eq!(sp.len(), 1 + 12);
+        assert_eq!(sp.height(), 4);
+        assert_eq!(sp.leaves().len(), 3);
+        assert_eq!(sp.degree(sp.root()), 3);
+    }
+
+    #[test]
+    fn complete_kary_and_balanced_binary() {
+        let t = complete_kary(3, 3);
+        assert_eq!(t.len(), 1 + 3 + 9 + 27);
+        assert_eq!(t.height(), 3);
+        assert!(t.nodes().all(|u| t.is_leaf(u) || t.degree(u) == 3));
+
+        let bb = balanced_binary(15);
+        assert_eq!(bb.len(), 15);
+        assert_eq!(bb.height(), 3);
+        assert!(bb.is_binary());
+        let bb = balanced_binary(10);
+        assert_eq!(bb.len(), 10);
+        assert!(bb.is_binary());
+    }
+
+    #[test]
+    fn comb_shape() {
+        for n in [1usize, 2, 3, 4, 5, 10, 100, 1000, 4096] {
+            let t = comb(n);
+            assert_eq!(t.len(), n, "comb({n}) node count");
+            assert!(t.nodes().all(|u| t.degree(u) <= 3));
+        }
+        // The comb is deep: its height is Θ(n) because half the nodes form the
+        // first spine.
+        let t = comb(1000);
+        assert!(t.height() >= 450);
+    }
+
+    #[test]
+    fn random_tree_is_a_tree_of_right_size() {
+        for n in [1usize, 2, 3, 10, 100, 500] {
+            for seed in 0..3u64 {
+                let t = random_tree(n, seed);
+                assert_eq!(t.len(), n);
+                assert!(t.is_unit_weighted());
+            }
+        }
+        // Determinism.
+        assert_eq!(random_tree(50, 7), random_tree(50, 7));
+        assert_ne!(random_tree(50, 7), random_tree(50, 8));
+    }
+
+    #[test]
+    fn prufer_decode_known_sequence() {
+        // Prüfer sequence [3, 3, 3, 4] on 6 nodes: node 3 has degree 4, node 4 degree 2.
+        let t = from_prufer(&[3, 3, 3, 4]);
+        assert_eq!(t.len(), 6);
+        let mut degrees: Vec<usize> = t
+            .nodes()
+            .map(|u| t.degree(u) + usize::from(!t.is_root(u)))
+            .collect();
+        degrees.sort_unstable();
+        assert_eq!(degrees, vec![1, 1, 1, 1, 2, 4]);
+    }
+
+    #[test]
+    fn random_binary_and_recursive() {
+        let t = random_binary(200, 3);
+        assert_eq!(t.len(), 200);
+        assert!(t.is_binary());
+
+        let r = random_recursive(200, 3);
+        assert_eq!(r.len(), 200);
+        // Recursive trees are shallow: height is O(log n) w.h.p., certainly < n/2.
+        assert!(r.height() < 100);
+    }
+
+    #[test]
+    fn hm_tree_structure() {
+        // Fig. 2: a (3, M)-tree has 2^3 = 8 leaves, 3*2^3 - 2 = 22 nodes,
+        // and all leaves at distance h*M from the root.
+        let m = 10;
+        let t = hm_tree_random(3, m, 1);
+        assert_eq!(t.len(), 22);
+        let rd = t.root_distances();
+        let leaves = t.leaves();
+        assert_eq!(leaves.len(), 8);
+        for &l in &leaves {
+            assert_eq!(rd[l.index()], 3 * m, "every leaf is at distance h*M");
+        }
+        // h = 0 is a single node; h = 1 has 4 nodes.
+        assert_eq!(hm_tree(0, 5, &[]).len(), 1);
+        assert_eq!(hm_tree(1, 5, &[2]).len(), 4);
+    }
+
+    #[test]
+    fn hm_tree_rejects_bad_parameters() {
+        assert!(std::panic::catch_unwind(|| hm_tree(2, 5, &[1, 2])).is_err()); // needs 3 values
+        assert!(std::panic::catch_unwind(|| hm_tree(1, 5, &[5])).is_err()); // x >= M
+    }
+
+    #[test]
+    fn subdivide_preserves_distances() {
+        let t = hm_tree(2, 4, &[0, 3, 1]);
+        let (s, map) = subdivide(&t);
+        assert!(s.is_unit_weighted());
+        for u in t.nodes() {
+            for v in t.nodes() {
+                assert_eq!(
+                    t.distance_naive(u, v),
+                    s.distance_naive(map[u.index()], map[v.index()]),
+                    "u={u} v={v}"
+                );
+            }
+        }
+        // Size: one node per unit of weight plus the root (0-weight edges contract).
+        let total_weight: u64 = t.nodes().map(|u| t.parent_weight(u)).sum();
+        assert_eq!(s.len() as u64, total_weight + 1);
+    }
+
+    #[test]
+    fn subdivide_unit_tree_is_identity_shape() {
+        let t = caterpillar(4, 2);
+        let (s, map) = subdivide(&t);
+        assert_eq!(s.len(), t.len());
+        for u in t.nodes() {
+            assert_eq!(
+                t.root_distances()[u.index()],
+                s.root_distances()[map[u.index()].index()]
+            );
+        }
+    }
+
+    #[test]
+    fn regular_tree_figure_5() {
+        // Fig. 5: x = (1, 2), d = h = 2 -> degrees (2, 2, 4, 1): leaves = d^{k*h} = 16.
+        let t = regular_tree(&[1, 2], 2, 2);
+        let leaves = t.leaves();
+        assert_eq!(leaves.len(), 16);
+        assert_eq!(t.height(), 4);
+        // Depth-0 node has degree d^{x1} = 2, depth-1 nodes degree d^{h-x1} = 2,
+        // depth-2 nodes degree d^{x2} = 4, depth-3 nodes degree d^{h-x2} = 1.
+        let depths = t.depths();
+        for u in t.nodes() {
+            let expected = match depths[u.index()] {
+                0 => 2,
+                1 => 2,
+                2 => 4,
+                3 => 1,
+                _ => 0,
+            };
+            assert_eq!(t.degree(u), expected, "node {u} at depth {}", depths[u.index()]);
+        }
+    }
+
+    #[test]
+    fn degree_regular_tree_counts() {
+        let t = degree_regular_tree(&[3, 2]);
+        assert_eq!(t.len(), 1 + 3 + 6);
+        assert_eq!(t.leaves().len(), 6);
+        assert_eq!(degree_regular_tree(&[]).len(), 1);
+    }
+
+    #[test]
+    fn tree_from_edges_roundtrip() {
+        let edges = [(0, 1), (1, 2), (1, 3), (3, 4)];
+        let t = tree_from_edges(5, &edges, 2);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.root(), NodeId(2));
+        assert_eq!(t.distance_naive(NodeId(0), NodeId(4)), 3);
+    }
+}

@@ -1,0 +1,265 @@
+//! Ground-truth oracles: Euler-tour LCA and an O(1) exact distance oracle.
+//!
+//! Every labeling scheme in `treelab-core` is validated against
+//! [`DistanceOracle`], which answers exact weighted distances in O(1) after an
+//! O(n log n) preprocessing pass (Euler tour + sparse-table range-minimum).
+//! The oracle itself is validated in its unit tests against the naive
+//! walk-to-the-root computation of [`Tree::distance_naive`].
+
+use crate::{NodeId, Tree};
+
+/// Sparse-table range-minimum structure over `(value, payload)` pairs.
+#[derive(Debug, Clone)]
+struct SparseTable {
+    /// `table[k][i]` = index of the minimum in `values[i .. i + 2^k)`.
+    table: Vec<Vec<u32>>,
+    values: Vec<u32>,
+}
+
+impl SparseTable {
+    fn new(values: Vec<u32>) -> Self {
+        let n = values.len();
+        let levels = if n <= 1 { 1 } else { (usize::BITS - (n - 1).leading_zeros()) as usize + 1 };
+        let mut table: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        table.push((0..n as u32).collect());
+        let mut k = 1;
+        while (1usize << k) <= n {
+            let half = 1usize << (k - 1);
+            let prev = &table[k - 1];
+            let mut row = Vec::with_capacity(n - (1 << k) + 1);
+            for i in 0..=(n - (1 << k)) {
+                let a = prev[i];
+                let b = prev[i + half];
+                row.push(if values[a as usize] <= values[b as usize] { a } else { b });
+            }
+            table.push(row);
+            k += 1;
+        }
+        SparseTable { table, values }
+    }
+
+    /// Index of the minimum value in `[l, r]` (inclusive).
+    fn argmin(&self, l: usize, r: usize) -> usize {
+        debug_assert!(l <= r && r < self.values.len());
+        if l == r {
+            return l;
+        }
+        let k = (usize::BITS - 1 - (r - l + 1).leading_zeros()) as usize;
+        let a = self.table[k][l];
+        let b = self.table[k][r + 1 - (1 << k)];
+        if self.values[a as usize] <= self.values[b as usize] {
+            a as usize
+        } else {
+            b as usize
+        }
+    }
+}
+
+/// O(1) lowest-common-ancestor and exact weighted distance oracle.
+///
+/// # Example
+///
+/// ```
+/// use treelab_tree::{gen, lca::DistanceOracle};
+///
+/// let tree = gen::caterpillar(10, 2);
+/// let oracle = DistanceOracle::new(&tree);
+/// let (u, v) = (tree.node(5), tree.node(20));
+/// assert_eq!(oracle.distance(u, v), tree.distance_naive(u, v));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistanceOracle {
+    /// Euler tour of node ids.
+    euler: Vec<NodeId>,
+    /// Depth (in edges) of each Euler-tour entry.
+    first_occurrence: Vec<usize>,
+    /// Weighted distance from the root per node.
+    root_distance: Vec<u64>,
+    /// Unweighted depth per node.
+    depth: Vec<usize>,
+    rmq: SparseTable,
+}
+
+impl DistanceOracle {
+    /// Builds the oracle in O(n log n) time and space.
+    pub fn new(tree: &Tree) -> Self {
+        let n = tree.len();
+        let depth = tree.depths();
+        let root_distance = tree.root_distances();
+        let mut euler: Vec<NodeId> = Vec::with_capacity(2 * n);
+        let mut first_occurrence = vec![usize::MAX; n];
+
+        // Iterative Euler tour: push (node, next-child-index).
+        let mut stack: Vec<(NodeId, usize)> = vec![(tree.root(), 0)];
+        while let Some(&mut (u, ref mut ci)) = stack.last_mut() {
+            if *ci == 0 {
+                if first_occurrence[u.index()] == usize::MAX {
+                    first_occurrence[u.index()] = euler.len();
+                }
+                euler.push(u);
+            }
+            if *ci < tree.degree(u) {
+                let child = tree.children(u)[*ci];
+                *ci += 1;
+                stack.push((child, 0));
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    euler.push(p);
+                }
+            }
+        }
+
+        let euler_depths: Vec<u32> = euler.iter().map(|&u| depth[u.index()] as u32).collect();
+        let rmq = SparseTable::new(euler_depths);
+        DistanceOracle {
+            euler,
+            first_occurrence,
+            root_distance,
+            depth,
+            rmq,
+        }
+    }
+
+    /// Lowest common ancestor of `u` and `v`.
+    pub fn lca(&self, u: NodeId, v: NodeId) -> NodeId {
+        let (mut a, mut b) = (self.first_occurrence[u.index()], self.first_occurrence[v.index()]);
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        self.euler[self.rmq.argmin(a, b)]
+    }
+
+    /// Exact weighted distance between `u` and `v`.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> u64 {
+        let w = self.lca(u, v);
+        self.root_distance[u.index()] + self.root_distance[v.index()]
+            - 2 * self.root_distance[w.index()]
+    }
+
+    /// Exact unweighted (hop) distance between `u` and `v`.
+    pub fn hop_distance(&self, u: NodeId, v: NodeId) -> usize {
+        let w = self.lca(u, v);
+        self.depth[u.index()] + self.depth[v.index()] - 2 * self.depth[w.index()]
+    }
+
+    /// Weighted distance from the root to `u`.
+    pub fn root_distance(&self, u: NodeId) -> u64 {
+        self.root_distance[u.index()]
+    }
+
+    /// Unweighted depth of `u`.
+    pub fn depth(&self, u: NodeId) -> usize {
+        self.depth[u.index()]
+    }
+
+    /// Returns `true` if `a` is an ancestor of (or equal to) `d`.
+    pub fn is_ancestor(&self, a: NodeId, d: NodeId) -> bool {
+        self.lca(a, d) == a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn check_against_naive(tree: &Tree) {
+        let oracle = DistanceOracle::new(tree);
+        let n = tree.len();
+        // All pairs for small trees, sampled pairs for larger ones.
+        let pairs: Vec<(usize, usize)> = if n <= 40 {
+            (0..n).flat_map(|u| (0..n).map(move |v| (u, v))).collect()
+        } else {
+            (0..400).map(|i| ((i * 7919) % n, (i * 104729) % n)).collect()
+        };
+        for (u, v) in pairs {
+            let (u, v) = (tree.node(u), tree.node(v));
+            assert_eq!(
+                oracle.distance(u, v),
+                tree.distance_naive(u, v),
+                "distance({u},{v}) on {tree:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_matches_naive_on_shapes() {
+        check_against_naive(&Tree::singleton());
+        check_against_naive(&gen::path(25));
+        check_against_naive(&gen::star(25));
+        check_against_naive(&gen::caterpillar(6, 3));
+        check_against_naive(&gen::broom(5, 7));
+        check_against_naive(&gen::spider(4, 5));
+        check_against_naive(&gen::complete_kary(3, 3));
+        check_against_naive(&gen::balanced_binary(31));
+    }
+
+    #[test]
+    fn oracle_matches_naive_on_random_trees() {
+        for seed in 0..5u64 {
+            check_against_naive(&gen::random_tree(120, seed));
+            check_against_naive(&gen::random_binary(120, seed));
+            check_against_naive(&gen::random_recursive(120, seed));
+        }
+    }
+
+    #[test]
+    fn oracle_on_weighted_trees() {
+        let t = gen::hm_tree_random(4, 13, 5);
+        check_against_naive(&t);
+        let oracle = DistanceOracle::new(&t);
+        // All leaves are at distance 4 * 13 from the root in an (h, M)-tree.
+        for &l in &t.leaves() {
+            assert_eq!(oracle.root_distance(l), 4 * 13);
+        }
+    }
+
+    #[test]
+    fn lca_properties() {
+        let t = gen::random_tree(80, 11);
+        let oracle = DistanceOracle::new(&t);
+        for u in t.nodes() {
+            assert_eq!(oracle.lca(u, u), u);
+            assert_eq!(oracle.lca(t.root(), u), t.root());
+            assert_eq!(oracle.distance(u, u), 0);
+            assert!(oracle.is_ancestor(t.root(), u));
+        }
+        for u in t.nodes() {
+            for &v in t.children(u) {
+                assert_eq!(oracle.lca(u, v), u);
+                assert!(oracle.is_ancestor(u, v));
+                assert!(!oracle.is_ancestor(v, u));
+            }
+        }
+        // Symmetry.
+        for i in (0..t.len()).step_by(7) {
+            for j in (0..t.len()).step_by(11) {
+                let (u, v) = (t.node(i), t.node(j));
+                assert_eq!(oracle.lca(u, v), oracle.lca(v, u));
+                assert_eq!(oracle.distance(u, v), oracle.distance(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn hop_distance_on_weighted_tree_counts_edges() {
+        let t = Tree::from_parents_weighted(&[None, Some(0), Some(1)], Some(&[0, 5, 0]));
+        let oracle = DistanceOracle::new(&t);
+        assert_eq!(oracle.distance(t.node(0), t.node(2)), 5);
+        assert_eq!(oracle.hop_distance(t.node(0), t.node(2)), 2);
+    }
+
+    #[test]
+    fn sparse_table_argmin_matches_naive() {
+        let values: Vec<u32> = vec![5, 3, 8, 3, 1, 9, 2, 2, 7, 0, 4];
+        let st = SparseTable::new(values.clone());
+        for l in 0..values.len() {
+            for r in l..values.len() {
+                let naive = (l..=r).min_by_key(|&i| (values[i], i)).unwrap();
+                let got = st.argmin(l, r);
+                assert_eq!(values[got], values[naive], "[{l},{r}]");
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # treelab-tree
+//!
+//! Tree substrate for the distance-labeling schemes of
+//! *Optimal Distance Labeling Schemes for Trees* (PODC 2017).
+//!
+//! The labeling schemes in `treelab-core` need a fair amount of machinery
+//! around the input tree before a single label bit is produced.  This crate
+//! provides all of it:
+//!
+//! * [`Tree`] — an arena-allocated rooted tree with ordered children and
+//!   non-negative integer edge weights (weights `{0,1}` appear through the
+//!   binarization reduction of §2; weights `[0, M]` appear in the `(h,M)`-tree
+//!   lower-bound family).
+//! * [`gen`] — workload generators: paths, stars, caterpillars, brooms,
+//!   spiders, complete d-ary trees, uniformly random labeled trees (Prüfer),
+//!   random binary trees, plus the paper's adversarial families:
+//!   `(h,M)`-trees (§2, Fig. 2) and `(x⃗,h,d)`-regular trees (§4.1, Fig. 5).
+//! * [`lca`] — ground-truth oracles: Euler tour + sparse-table LCA and an O(1)
+//!   exact weighted distance oracle, used to validate every scheme.
+//! * [`heavy`] — the paper's variant of heavy-path decomposition (§2), light
+//!   depths, preorder numbers with the heavy child rightmost, light ranges,
+//!   significant ancestors, the collapsed tree `C(T)` with its child order,
+//!   exceptional edges, inorder numbers and the domination predicate.
+//! * [`binarize`] — the §2 reduction: attach a weight-0 leaf to every internal
+//!   node and binarize with weight-0 internal nodes, so that schemes may
+//!   assume a binary tree and label leaves only.
+//! * [`embed`] — rooted topological-subtree embedding checker, used to verify
+//!   universal-tree constructions (§3.5).
+//! * [`metrics`] — structural summaries (heavy-path lengths, light-depth
+//!   distributions) used to interpret the experiment tables.
+//! * [`newick`] — Newick reader/writer for feeding external tree datasets into
+//!   the schemes.
+//! * [`render`] — ASCII rendering used by the figure-reproduction example.
+//!
+//! # Example
+//!
+//! ```
+//! use treelab_tree::{gen, lca::DistanceOracle, heavy::HeavyPaths};
+//!
+//! let tree = gen::random_tree(200, 42);
+//! let oracle = DistanceOracle::new(&tree);
+//! let hp = HeavyPaths::new(&tree);
+//! let (u, v) = (tree.node(3), tree.node(170));
+//! assert_eq!(oracle.distance(u, v), oracle.distance(v, u));
+//! assert!(hp.light_depth(u) <= 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod tree;
+
+pub mod binarize;
+pub mod embed;
+pub mod gen;
+pub mod heavy;
+pub mod lca;
+pub mod metrics;
+pub mod newick;
+pub mod render;
+
+pub use tree::{NodeId, Tree, TreeBuilder};

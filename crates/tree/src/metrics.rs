@@ -1,0 +1,155 @@
+//! Structural metrics of trees and their heavy-path decompositions.
+//!
+//! The experiment tables are much easier to interpret next to a handful of
+//! structural facts about each workload: how deep it is, how unbalanced, how
+//! long its heavy paths are and how the light depths are distributed — these
+//! are the quantities that the label-size bounds are actually driven by.
+//! [`TreeMetrics`] collects them in one pass.
+
+use crate::heavy::HeavyPaths;
+use crate::Tree;
+use std::fmt;
+
+/// Summary of the structural properties that drive labeling costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeMetrics {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of leaves.
+    pub leaves: usize,
+    /// Height in edges.
+    pub height: usize,
+    /// Maximum number of children of any node.
+    pub max_degree: usize,
+    /// Mean depth over all nodes (in edges).
+    pub mean_depth: f64,
+    /// Number of heavy paths (= nodes of the collapsed tree).
+    pub heavy_paths: usize,
+    /// Length (in nodes) of the longest heavy path.
+    pub longest_heavy_path: usize,
+    /// Maximum light depth over all nodes.
+    pub max_light_depth: usize,
+    /// Mean light depth over all nodes.
+    pub mean_light_depth: f64,
+    /// Height of the collapsed tree `C(T)`.
+    pub collapsed_height: usize,
+}
+
+impl TreeMetrics {
+    /// Computes the metrics (builds a heavy-path decomposition internally).
+    pub fn new(tree: &Tree) -> Self {
+        let hp = HeavyPaths::new(tree);
+        Self::with_heavy_paths(tree, &hp)
+    }
+
+    /// Computes the metrics using an existing decomposition.
+    pub fn with_heavy_paths(tree: &Tree, hp: &HeavyPaths) -> Self {
+        let n = tree.len();
+        let depths = tree.depths();
+        let mean_depth = depths.iter().sum::<usize>() as f64 / n as f64;
+        let light_depths: Vec<usize> = tree.nodes().map(|u| hp.light_depth(u)).collect();
+        let mean_light_depth = light_depths.iter().sum::<usize>() as f64 / n as f64;
+        let longest_heavy_path = (0..hp.path_count())
+            .map(|p| hp.path_nodes(p).len())
+            .max()
+            .unwrap_or(0);
+        let collapsed_height = (0..hp.path_count())
+            .map(|p| hp.path_light_depth(p))
+            .max()
+            .unwrap_or(0);
+        TreeMetrics {
+            nodes: n,
+            leaves: tree.leaves().len(),
+            height: tree.height(),
+            max_degree: tree.nodes().map(|u| tree.degree(u)).max().unwrap_or(0),
+            mean_depth,
+            heavy_paths: hp.path_count(),
+            longest_heavy_path,
+            max_light_depth: light_depths.iter().copied().max().unwrap_or(0),
+            mean_light_depth,
+            collapsed_height,
+        }
+    }
+
+    /// `log₂ n`, the yardstick every bound is expressed in.
+    pub fn log2_n(&self) -> f64 {
+        (self.nodes.max(2) as f64).log2()
+    }
+}
+
+impl fmt::Display for TreeMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} leaves={} height={} maxdeg={} heavy-paths={} longest-path={} \
+             max-lightdepth={} (log2 n = {:.1})",
+            self.nodes,
+            self.leaves,
+            self.height,
+            self.max_degree,
+            self.heavy_paths,
+            self.longest_heavy_path,
+            self.max_light_depth,
+            self.log2_n()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn path_metrics() {
+        // The paper's decomposition variant stops a heavy path once the
+        // remaining chain holds less than half of the *instance*, so even a
+        // bare path splits into Θ(log n) heavy paths of geometrically
+        // decreasing length.
+        let m = TreeMetrics::new(&gen::path(100));
+        assert_eq!(m.nodes, 100);
+        assert_eq!(m.leaves, 1);
+        assert_eq!(m.height, 99);
+        assert_eq!(m.max_degree, 1);
+        assert!(m.heavy_paths >= 2 && m.heavy_paths <= 10, "{}", m.heavy_paths);
+        assert!(m.longest_heavy_path >= 50);
+        assert!(m.max_light_depth <= 7);
+        assert_eq!(m.collapsed_height, m.max_light_depth);
+    }
+
+    #[test]
+    fn star_metrics() {
+        let m = TreeMetrics::new(&gen::star(100));
+        assert_eq!(m.leaves, 99);
+        assert_eq!(m.height, 1);
+        assert_eq!(m.max_degree, 99);
+        // The root is its own heavy path (no child holds half the instance);
+        // every leaf is a singleton path.
+        assert_eq!(m.heavy_paths, 100);
+        assert_eq!(m.longest_heavy_path, 1);
+        assert_eq!(m.max_light_depth, 1);
+    }
+
+    #[test]
+    fn light_depth_bound_across_families() {
+        for tree in [
+            gen::random_tree(500, 1),
+            gen::comb(500),
+            gen::caterpillar(100, 4),
+            gen::complete_kary(3, 5),
+        ] {
+            let m = TreeMetrics::new(&tree);
+            assert!((1usize << m.max_light_depth) <= m.nodes);
+            assert!(m.mean_light_depth <= m.max_light_depth as f64);
+            assert!(m.mean_depth <= m.height as f64);
+            assert!(m.longest_heavy_path >= 1);
+            assert!(m.collapsed_height <= m.max_light_depth);
+        }
+    }
+
+    #[test]
+    fn display_mentions_node_count() {
+        let m = TreeMetrics::new(&gen::path(10));
+        assert!(m.to_string().contains("n=10"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Newick serialization of rooted trees.
+//!
+//! The Newick format (`(A:1,(B:2,C:3):1)R;`) is the lingua franca for rooted,
+//! edge-weighted trees in phylogenetics and a convenient interchange format for
+//! feeding real tree datasets into the labeling schemes.  This module provides
+//! a writer and a strict parser for the subset used here: node *names are
+//! ignored* on input (node identity is positional), integer edge lengths are
+//! supported, and a missing `:length` means weight 1.
+
+use crate::{NodeId, Tree, TreeBuilder};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`from_newick`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNewickError {
+    /// Byte offset at which parsing failed.
+    pub position: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNewickError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid Newick at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl Error for ParseNewickError {}
+
+/// Serializes a tree to a single-line Newick string.
+///
+/// Node names are the node ids (`n0`, `n1`, …); edge weights are emitted as
+/// `:w` suffixes (including weight 1, so the output is round-trippable).
+pub fn to_newick(tree: &Tree) -> String {
+    let mut out = String::new();
+    write_node(tree, tree.root(), &mut out);
+    out.push(';');
+    out
+}
+
+fn write_node(tree: &Tree, u: NodeId, out: &mut String) {
+    if !tree.is_leaf(u) {
+        out.push('(');
+        for (i, &c) in tree.children(u).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_node(tree, c, out);
+        }
+        out.push(')');
+    }
+    out.push_str(&u.to_string());
+    if !tree.is_root(u) {
+        out.push(':');
+        out.push_str(&tree.parent_weight(u).to_string());
+    }
+}
+
+/// Parses a Newick string into a tree.
+///
+/// Children keep their textual order; names are discarded; `:length` values
+/// must be non-negative integers and default to 1 when omitted.
+///
+/// # Errors
+///
+/// Returns a [`ParseNewickError`] describing the first offending byte for
+/// malformed input.
+pub fn from_newick(input: &str) -> Result<Tree, ParseNewickError> {
+    let bytes = input.trim().as_bytes();
+    let mut parser = Parser { bytes, pos: 0 };
+    let mut builder = TreeBuilder::new();
+    let root = builder.root();
+    parser.parse_node(&mut builder, root, true)?;
+    parser.expect(b';')?;
+    parser.skip_whitespace();
+    if parser.pos != bytes.len() {
+        return Err(parser.error("trailing characters after ';'"));
+    }
+    Ok(builder.build())
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> ParseNewickError {
+        ParseNewickError {
+            position: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseNewickError> {
+        self.skip_whitespace();
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    /// Parses one node (children, name, length) whose tree node is `node`.
+    ///
+    /// `is_root` controls whether a `:length` is applied (the root has none).
+    fn parse_node(
+        &mut self,
+        builder: &mut TreeBuilder,
+        node: crate::NodeId,
+        is_root: bool,
+    ) -> Result<(), ParseNewickError> {
+        self.skip_whitespace();
+        if self.peek() == Some(b'(') {
+            self.pos += 1;
+            loop {
+                self.parse_child(builder, node)?;
+                self.skip_whitespace();
+                match self.peek() {
+                    Some(b',') => {
+                        self.pos += 1;
+                    }
+                    Some(b')') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(self.error("expected ',' or ')' in child list")),
+                }
+            }
+        }
+        self.parse_name();
+        let _ = is_root; // the root carries no ':length'; children handle theirs
+        Ok(())
+    }
+
+    /// Parses one child subtree of `parent`, including its optional `:length`.
+    ///
+    /// The child node is created with a provisional weight of 1 (Newick lists
+    /// the subtree before the edge length) and the weight is patched once the
+    /// optional `:length` suffix has been read.
+    fn parse_child(
+        &mut self,
+        builder: &mut TreeBuilder,
+        parent: crate::NodeId,
+    ) -> Result<(), ParseNewickError> {
+        let child = builder.add_child(parent, 1);
+        self.parse_node(builder, child, false)?;
+        self.skip_whitespace();
+        if self.peek() == Some(b':') {
+            self.pos += 1;
+            let w = self.parse_integer()?;
+            builder.set_parent_weight(child, w);
+        }
+        Ok(())
+    }
+
+    fn parse_name(&mut self) {
+        while matches!(self.peek(), Some(b) if b != b':' && b != b',' && b != b')' && b != b';' && b != b'(' && !b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_integer(&mut self) -> Result<u64, ParseNewickError> {
+        self.skip_whitespace();
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.error("expected an integer edge length"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII")
+            .parse()
+            .map_err(|_| self.error("edge length does not fit in u64"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::lca::DistanceOracle;
+
+    #[test]
+    fn roundtrip_preserves_shape_and_weights() {
+        let trees = vec![
+            Tree::singleton(),
+            gen::path(12),
+            gen::star(9),
+            gen::caterpillar(5, 2),
+            gen::random_tree(60, 3),
+            gen::hm_tree_random(3, 7, 4),
+        ];
+        for tree in trees {
+            let text = to_newick(&tree);
+            let back = from_newick(&text).expect("parse own output");
+            assert_eq!(back.len(), tree.len());
+            // Children order and weights are preserved, so distances match
+            // positionally after a preorder alignment.
+            let pre_a = tree.preorder();
+            let pre_b = back.preorder();
+            let oracle_a = DistanceOracle::new(&tree);
+            let oracle_b = DistanceOracle::new(&back);
+            for i in (0..tree.len()).step_by(3) {
+                for j in (0..tree.len()).step_by(7) {
+                    assert_eq!(
+                        oracle_a.distance(pre_a[i], pre_a[j]),
+                        oracle_b.distance(pre_b[i], pre_b[j])
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parses_hand_written_newick() {
+        let t = from_newick("((A:2,B:3)ab:1,C:4)root;").unwrap();
+        assert_eq!(t.len(), 5);
+        let oracle = DistanceOracle::new(&t);
+        // Leaves in order: A, B (under ab), C.
+        let pre = t.preorder();
+        // pre[0] = root, pre[1] = ab, pre[2] = A, pre[3] = B, pre[4] = C.
+        assert_eq!(oracle.distance(pre[2], pre[3]), 5);
+        assert_eq!(oracle.distance(pre[2], pre[4]), 7);
+        assert_eq!(t.parent_weight(pre[1]), 1);
+    }
+
+    #[test]
+    fn missing_lengths_default_to_one() {
+        let t = from_newick("((A,B),C);").unwrap();
+        assert!(t.is_unit_weighted());
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "(A,B)", "(A,B;", "(A:x,B);", "(A,B));", "(A,B); junk"] {
+            assert!(from_newick(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = from_newick("(A:abc);").unwrap_err();
+        assert!(err.position >= 3);
+        assert!(err.to_string().contains("byte"));
+    }
+}

@@ -1,0 +1,179 @@
+//! ASCII rendering of trees and heavy-path decompositions.
+//!
+//! Used by `examples/figures.rs` to reproduce the structural figures of the
+//! paper (heavy paths and the collapsed tree of Fig. 1, the `(h,M)`-tree of
+//! Fig. 2, the hanging subtrees of Fig. 3, the regular trees of Fig. 5, the
+//! significant ancestors of Fig. 6) as terminal diagrams.
+
+use crate::heavy::HeavyPaths;
+use crate::{NodeId, Tree};
+use std::fmt::Write as _;
+
+/// Renders the tree as an indented ASCII diagram.
+///
+/// Each line shows one node; edge weights other than 1 are annotated.
+pub fn ascii_tree(tree: &Tree) -> String {
+    let mut out = String::new();
+    render_node(tree, tree.root(), "", true, &mut out, &|_, _| String::new());
+    out
+}
+
+/// Renders the tree with a per-node annotation produced by `annotate`.
+pub fn ascii_tree_with<F>(tree: &Tree, annotate: F) -> String
+where
+    F: Fn(&Tree, NodeId) -> String,
+{
+    let mut out = String::new();
+    render_node(tree, tree.root(), "", true, &mut out, &annotate);
+    out
+}
+
+fn render_node<F>(
+    tree: &Tree,
+    u: NodeId,
+    prefix: &str,
+    is_last: bool,
+    out: &mut String,
+    annotate: &F,
+) where
+    F: Fn(&Tree, NodeId) -> String,
+{
+    let connector = if prefix.is_empty() {
+        ""
+    } else if is_last {
+        "└── "
+    } else {
+        "├── "
+    };
+    let weight = if tree.is_root(u) || tree.parent_weight(u) == 1 {
+        String::new()
+    } else {
+        format!(" (w={})", tree.parent_weight(u))
+    };
+    let extra = annotate(tree, u);
+    let extra = if extra.is_empty() { extra } else { format!("  {extra}") };
+    let _ = writeln!(out, "{prefix}{connector}{u}{weight}{extra}");
+    let child_prefix = if prefix.is_empty() {
+        String::new()
+    } else if is_last {
+        format!("{prefix}    ")
+    } else {
+        format!("{prefix}│   ")
+    };
+    let kids = tree.children(u);
+    for (i, &c) in kids.iter().enumerate() {
+        let p = if prefix.is_empty() { " ".to_string() } else { child_prefix.clone() };
+        render_node(tree, c, &p, i + 1 == kids.len(), out, annotate);
+    }
+}
+
+/// Renders the heavy-path decomposition: every node is annotated with its
+/// heavy-path id, light depth and whether its incoming edge is heavy, light or
+/// exceptional — an ASCII rendition of Fig. 1 (left).
+pub fn ascii_heavy_paths(tree: &Tree, hp: &HeavyPaths) -> String {
+    ascii_tree_with(tree, |t, u| {
+        let kind = match t.parent(u) {
+            None => "root".to_string(),
+            Some(p) => {
+                if hp.heavy_child(p) == Some(u) {
+                    "heavy".to_string()
+                } else if hp.is_exceptional(hp.path_of(u)) && hp.pos_in_path(u) == 0 {
+                    "exceptional".to_string()
+                } else {
+                    "light".to_string()
+                }
+            }
+        };
+        format!("[path {} | lightdepth {} | {kind}]", hp.path_of(u), hp.light_depth(u))
+    })
+}
+
+/// Renders the collapsed tree `C(T)` — an ASCII rendition of Fig. 1 (right).
+pub fn ascii_collapsed_tree(tree: &Tree, hp: &HeavyPaths) -> String {
+    let mut out = String::new();
+    render_collapsed(tree, hp, hp.root_path(), "", true, &mut out);
+    out
+}
+
+fn render_collapsed(
+    tree: &Tree,
+    hp: &HeavyPaths,
+    p: usize,
+    prefix: &str,
+    is_last: bool,
+    out: &mut String,
+) {
+    let connector = if prefix.is_empty() {
+        ""
+    } else if is_last {
+        "└── "
+    } else {
+        "├── "
+    };
+    let nodes: Vec<String> = hp.path_nodes(p).iter().map(|u| u.to_string()).collect();
+    let exc = if hp.is_exceptional(p) { " (exceptional)" } else { "" };
+    let _ = writeln!(
+        out,
+        "{prefix}{connector}P{p}{exc}: [{}]  (instance size {})",
+        nodes.join("–"),
+        hp.instance_size(p)
+    );
+    let _ = tree;
+    let child_prefix = if prefix.is_empty() {
+        String::new()
+    } else if is_last {
+        format!("{prefix}    ")
+    } else {
+        format!("{prefix}│   ")
+    };
+    let kids = hp.collapsed_children(p);
+    for (i, &c) in kids.iter().enumerate() {
+        let pref = if prefix.is_empty() { " ".to_string() } else { child_prefix.clone() };
+        render_collapsed(tree, hp, c, &pref, i + 1 == kids.len(), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn ascii_tree_lists_every_node() {
+        let t = gen::caterpillar(3, 2);
+        let s = ascii_tree(&t);
+        assert_eq!(s.lines().count(), t.len());
+        for u in t.nodes() {
+            assert!(s.contains(&u.to_string()), "missing {u}");
+        }
+    }
+
+    #[test]
+    fn weighted_edges_are_annotated() {
+        let t = Tree::from_parents_weighted(&[None, Some(0), Some(1)], Some(&[0, 5, 0]));
+        let s = ascii_tree(&t);
+        assert!(s.contains("(w=5)"));
+        assert!(s.contains("(w=0)"));
+    }
+
+    #[test]
+    fn heavy_path_rendering_mentions_kinds() {
+        let t = gen::random_tree(40, 3);
+        let hp = HeavyPaths::new(&t);
+        let s = ascii_heavy_paths(&t, &hp);
+        assert!(s.contains("heavy") || t.len() < 3);
+        assert!(s.contains("lightdepth"));
+        assert_eq!(s.lines().count(), t.len());
+    }
+
+    #[test]
+    fn collapsed_rendering_lists_every_path() {
+        let t = gen::random_tree(60, 4);
+        let hp = HeavyPaths::new(&t);
+        let s = ascii_collapsed_tree(&t, &hp);
+        assert_eq!(s.lines().count(), hp.path_count());
+        for p in 0..hp.path_count() {
+            assert!(s.contains(&format!("P{p}")), "missing path {p}");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Distance oracles for distributed routing over a spanning tree.
+//!
+//! The motivating use case from the paper's introduction: distance oracles for
+//! large graphs are built from distance labelings of spanning trees rooted at
+//! judiciously chosen vertices.  This example simulates that pipeline on a
+//! synthetic hierarchical network (core / aggregation / rack / host tiers):
+//!
+//! 1. build the spanning tree of the network,
+//! 2. label every host with the optimal exact scheme,
+//! 3. hand each "node" only its own label, and
+//! 4. answer hop-count queries between hosts purely from pairs of labels,
+//!    comparing the label bytes that must be shipped per node against shipping
+//!    the full distance row.
+//!
+//! Run with `cargo run --release --example network_routing [racks] [hosts]`.
+
+use treelab::core::stats::LabelStats;
+use treelab::{DistanceOracle, DistanceScheme, NodeId, OptimalScheme, TreeBuilder};
+
+/// Builds a 4-tier network spanning tree: one core switch, `agg` aggregation
+/// switches, `racks` top-of-rack switches per aggregation switch and `hosts`
+/// hosts per rack.  Returns the tree and the list of host nodes.
+fn build_datacenter_tree(agg: usize, racks: usize, hosts: usize) -> (treelab::Tree, Vec<NodeId>) {
+    let mut b = TreeBuilder::new();
+    let core = b.root();
+    let mut host_nodes = Vec::new();
+    for _ in 0..agg {
+        let a = b.add_child(core, 1);
+        for _ in 0..racks {
+            let r = b.add_child(a, 1);
+            for _ in 0..hosts {
+                host_nodes.push(b.add_child(r, 1));
+            }
+        }
+    }
+    (b.build(), host_nodes)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let racks: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let hosts: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(24);
+    let agg = 6;
+
+    let (tree, host_nodes) = build_datacenter_tree(agg, racks, hosts);
+    println!("== spanning-tree distance oracle for a simulated datacenter ==");
+    println!(
+        "topology: 1 core, {agg} aggregation, {} racks, {} hosts ({} tree nodes)\n",
+        agg * racks,
+        host_nodes.len(),
+        tree.len()
+    );
+
+    let scheme = OptimalScheme::build(&tree);
+    let oracle = DistanceOracle::new(&tree);
+
+    // Every host ships only its own label.
+    let stats = LabelStats::from_sizes(host_nodes.iter().map(|&h| scheme.label_bits(h)));
+    println!("per-host label: {stats}");
+    let full_row_bits = tree.len() * 8; // a byte per entry of a full distance row
+    println!(
+        "a full distance row would cost {} bits per host ({}x more)\n",
+        full_row_bits,
+        full_row_bits / stats.max_bits.max(1)
+    );
+
+    // Simulate routing decisions: same-rack vs same-pod vs cross-pod.
+    let mut histogram = std::collections::BTreeMap::new();
+    let m = host_nodes.len();
+    for i in 0..2000 {
+        let a = host_nodes[(i * 131) % m];
+        let b = host_nodes[(i * 197 + 11) % m];
+        let d = OptimalScheme::distance(scheme.label(a), scheme.label(b));
+        assert_eq!(d, oracle.distance(a, b), "label answer must be exact");
+        let tier = match d {
+            0 => "same host",
+            2 => "same rack",
+            4 => "same pod",
+            _ => "cross pod",
+        };
+        *histogram.entry(tier).or_insert(0usize) += 1;
+    }
+    println!("routing decisions over 2000 sampled host pairs (from labels alone):");
+    for (tier, count) in histogram {
+        println!("  {tier:10} {count:5}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Small-distance queries on shallow, wide document trees (XML/DOM style).
+//!
+//! XML processing systems ask many *local* questions about document trees —
+//! is `a` the parent, sibling or near-relative of `b`? — which is exactly the
+//! `k`-distance problem of §4 (and, for `k = 1`, adjacency labeling).  This
+//! example builds a synthetic DOM-like tree (deeply nested sections with many
+//! small children), labels it for several `k`, and shows the label-size
+//! trade-off `log n + O(k·log((log n)/k))` in action, alongside the
+//! level-ancestor labels of §3.6 used to walk towards the root.
+//!
+//! Run with `cargo run --release --example xml_ancestry [sections] [depth]`.
+
+use treelab::core::level_ancestor::LevelAncestorScheme;
+use treelab::core::stats::LabelStats;
+use treelab::{bounds, DistanceOracle, KDistanceScheme, NodeId, TreeBuilder};
+
+/// Builds a DOM-like tree: `depth` nested section levels, each section holding
+/// `sections` subsections and a handful of leaf elements.
+fn build_document(sections: usize, depth: usize) -> treelab::Tree {
+    let mut b = TreeBuilder::new();
+    let mut frontier = vec![b.root()];
+    for level in 0..depth {
+        let mut next = Vec::new();
+        for &node in &frontier {
+            for _ in 0..3 {
+                b.add_child(node, 1); // leaf elements (text, attributes)
+            }
+            if level + 1 < depth {
+                for _ in 0..sections {
+                    next.push(b.add_child(node, 1));
+                }
+            }
+        }
+        frontier = next;
+    }
+    b.build()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let sections: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let depth: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(6);
+
+    let tree = build_document(sections, depth);
+    let n = tree.len();
+    let oracle = DistanceOracle::new(&tree);
+    println!("== k-distance labels on a DOM-like tree ==");
+    println!("document tree: {} nodes, height {}\n", n, tree.height());
+
+    println!("{:>4} | {:>10} | {:>10} | {:>22}", "k", "max bits", "mean bits", "theory log n + k·log(log n/k)");
+    println!("{}", "-".repeat(60));
+    for k in [1u64, 2, 4, 8, 16] {
+        let scheme = KDistanceScheme::build(&tree, k);
+        let stats = LabelStats::from_sizes(tree.nodes().map(|u| scheme.label_bits(u)));
+        println!(
+            "{k:>4} | {:>10} | {:>10.1} | {:>22.1}",
+            stats.max_bits,
+            stats.mean_bits,
+            bounds::k_distance_upper(n, k)
+        );
+    }
+
+    // Demonstrate the queries a streaming XML filter would ask.
+    let k = 2;
+    let scheme = KDistanceScheme::build(&tree, k);
+    let sample: Vec<NodeId> = (0..n).step_by(n / 50 + 1).map(|i| tree.node(i)).collect();
+    let mut parent_or_sibling = 0usize;
+    let mut unrelated = 0usize;
+    for &a in &sample {
+        for &b in &sample {
+            match KDistanceScheme::distance(scheme.label(a), scheme.label(b)) {
+                Some(d) => {
+                    assert_eq!(d, oracle.distance(a, b));
+                    if d > 0 {
+                        parent_or_sibling += 1;
+                    }
+                }
+                None => {
+                    assert!(oracle.distance(a, b) > k);
+                    unrelated += 1;
+                }
+            }
+        }
+    }
+    println!(
+        "\nwith k = {k}: {parent_or_sibling} sampled pairs are parent/sibling-close, \
+         {unrelated} are farther apart (all verified against the oracle)"
+    );
+
+    // Level-ancestor labels: climb from a deep element to its enclosing
+    // sections without the tree.
+    let la = LevelAncestorScheme::build(&tree);
+    let deep = tree.node(n - 1);
+    let label = la.label(deep);
+    println!(
+        "\nlevel-ancestor walk from {deep} (depth {}): ",
+        label.depth()
+    );
+    let mut steps = Vec::new();
+    let mut k_up = 1;
+    while k_up <= label.depth() {
+        let anc = LevelAncestorScheme::level_ancestor(label, k_up).expect("within depth");
+        steps.push(format!("{}↑→depth {}", k_up, anc.depth()));
+        k_up *= 2;
+    }
+    println!("  {}", steps.join(", "));
+    println!("  (every step computed from the single label, max label {} bits)", la.max_label_bits());
+}

@@ -1,0 +1,195 @@
+//! Integration tests for the k-distance (§4) and (1+ε)-approximate (§5)
+//! schemes, including property-based tests and label-size trend checks.
+
+use proptest::prelude::*;
+use treelab::core::stats::LabelStats;
+use treelab::{bounds, gen, ApproximateScheme, DistanceOracle, KDistanceScheme, Tree};
+
+fn sample_pairs(n: usize, count: usize) -> Vec<(usize, usize)> {
+    if n <= 18 {
+        (0..n).flat_map(|u| (0..n).map(move |v| (u, v))).collect()
+    } else {
+        (0..count)
+            .map(|i| ((i * 6151 + 2) % n, (i * 75_577 + 5) % n))
+            .collect()
+    }
+}
+
+fn check_k(tree: &Tree, k: u64, pairs: usize) {
+    let oracle = DistanceOracle::new(tree);
+    let scheme = KDistanceScheme::build(tree, k);
+    for (a, b) in sample_pairs(tree.len(), pairs) {
+        let (u, v) = (tree.node(a), tree.node(b));
+        let d = oracle.distance(u, v);
+        let got = KDistanceScheme::distance(scheme.label(u), scheme.label(v));
+        if d <= k {
+            assert_eq!(got, Some(d), "k={k}, pair ({u},{v})");
+        } else {
+            assert_eq!(got, None, "k={k}, pair ({u},{v}) at distance {d}");
+        }
+    }
+}
+
+fn check_approx(tree: &Tree, eps: f64, pairs: usize) {
+    let oracle = DistanceOracle::new(tree);
+    let scheme = ApproximateScheme::build(tree, eps);
+    for (a, b) in sample_pairs(tree.len(), pairs) {
+        let (u, v) = (tree.node(a), tree.node(b));
+        let d = oracle.distance(u, v);
+        let est = ApproximateScheme::distance(scheme.label(u), scheme.label(v));
+        assert!(est >= d, "underestimate on ({u},{v})");
+        assert!(
+            est as f64 <= (1.0 + eps) * d as f64 + 2.0,
+            "estimate {est} too large for d = {d}, eps = {eps}"
+        );
+    }
+}
+
+#[test]
+fn k_distance_on_generator_families() {
+    let trees = vec![
+        gen::path(200),
+        gen::star(200),
+        gen::caterpillar(60, 3),
+        gen::broom(40, 40),
+        gen::spider(10, 25),
+        gen::complete_kary(2, 8),
+        gen::comb(600),
+        gen::random_tree(500, 11),
+        gen::random_recursive(400, 12),
+        gen::subdivide(&gen::hm_tree_random(4, 15, 13)).0,
+    ];
+    for tree in &trees {
+        for k in [1u64, 2, 5, 13] {
+            check_k(tree, k, 400);
+        }
+        // Large-k regime too.
+        check_k(tree, 1 + tree.len() as u64 / 2, 200);
+    }
+}
+
+#[test]
+fn approximate_on_generator_families() {
+    let trees = vec![
+        gen::path(300),
+        gen::star(300),
+        gen::caterpillar(80, 2),
+        gen::comb(700),
+        gen::complete_kary(3, 5),
+        gen::random_tree(600, 21),
+        gen::random_binary(500, 22),
+        gen::hm_tree_random(5, 11, 23), // weighted tree
+    ];
+    for tree in &trees {
+        for eps in [1.0, 0.5, 0.2, 0.05] {
+            check_approx(tree, eps, 400);
+        }
+    }
+}
+
+#[test]
+fn k_distance_label_sizes_track_the_bound_shape() {
+    // For fixed n, labels grow with k but far slower than linearly in the
+    // small-k regime — the log n + O(k·log((log n)/k)) shape.
+    let tree = gen::random_tree(1 << 13, 3);
+    let n = tree.len();
+    let mut sizes = Vec::new();
+    for k in [1u64, 2, 4, 8, 16] {
+        let scheme = KDistanceScheme::build(&tree, k);
+        let stats = LabelStats::from_sizes(tree.nodes().map(|u| scheme.label_bits(u)));
+        sizes.push((k, stats.max_bits));
+    }
+    // Sizes are not exactly monotone in k (the top significant ancestor, and
+    // with it the table lengths, changes discontinuously), but they must stay
+    // within a narrow band: k=16 may cost at most a small multiple of k=1.
+    let max = sizes.iter().map(|&(_, b)| b).max().unwrap();
+    let min = sizes.iter().map(|&(_, b)| b).min().unwrap();
+    assert!(max < 4 * min, "label sizes vary too wildly across k: {sizes:?}");
+    let (_, at_1) = sizes[0];
+    let (_, at_16) = sizes[4];
+    assert!(
+        at_16 < at_1 + 16 * (bounds::k_distance_upper(n, 16) as usize),
+        "k=16 labels far above the theoretical shape: {sizes:?}"
+    );
+    // And they stay an order of magnitude below the exact (log²n) labels.
+    let exact = treelab::OptimalScheme::build(&tree);
+    use treelab::DistanceScheme;
+    assert!(at_16 < exact.max_label_bits());
+}
+
+#[test]
+fn approximate_label_sizes_grow_logarithmically_in_inverse_epsilon() {
+    let tree = gen::random_binary(1 << 12, 5);
+    let mut sizes = Vec::new();
+    for eps in [1.0, 0.5, 0.25, 0.125, 0.0625] {
+        let scheme = ApproximateScheme::build(&tree, eps);
+        sizes.push(scheme.max_label_bits());
+    }
+    // Each halving of ε adds roughly an additive increment, so the total
+    // growth over 4 halvings stays well below the 16x a Θ(1/ε) scheme shows.
+    assert!(sizes[4] < 3 * sizes[0], "sizes: {sizes:?}");
+    for w in sizes.windows(2) {
+        assert!(w[1] >= w[0]);
+    }
+}
+
+#[test]
+fn k_equals_one_is_an_adjacency_labeling() {
+    let tree = gen::random_tree(800, 31);
+    let scheme = KDistanceScheme::build(&tree, 1);
+    for u in tree.nodes() {
+        for &c in tree.children(u) {
+            assert_eq!(
+                KDistanceScheme::distance(scheme.label(u), scheme.label(c)),
+                Some(1)
+            );
+        }
+    }
+    // Non-adjacent pairs are rejected.
+    let oracle = DistanceOracle::new(&tree);
+    for (a, b) in sample_pairs(tree.len(), 500) {
+        let (u, v) = (tree.node(a), tree.node(b));
+        if oracle.distance(u, v) > 1 {
+            assert_eq!(KDistanceScheme::distance(scheme.label(u), scheme.label(v)), None);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// k-distance answers match the oracle on random trees for random k.
+    #[test]
+    fn prop_k_distance_matches_oracle(n in 2usize..150, seed in 0u64..500, k in 1u64..20) {
+        let tree = gen::random_tree(n, seed);
+        let oracle = DistanceOracle::new(&tree);
+        let scheme = KDistanceScheme::build(&tree, k);
+        for (a, b) in sample_pairs(n, 100) {
+            let (u, v) = (tree.node(a), tree.node(b));
+            let d = oracle.distance(u, v);
+            let got = KDistanceScheme::distance(scheme.label(u), scheme.label(v));
+            if d <= k {
+                prop_assert_eq!(got, Some(d));
+            } else {
+                prop_assert_eq!(got, None);
+            }
+        }
+    }
+
+    /// The approximate scheme respects its two-sided guarantee on random trees
+    /// with random ε.
+    #[test]
+    fn prop_approximate_guarantee(n in 2usize..150, seed in 0u64..500, inv_eps in 1u32..40) {
+        let eps = 1.0 / f64::from(inv_eps);
+        let tree = gen::random_tree(n, seed);
+        let oracle = DistanceOracle::new(&tree);
+        let scheme = ApproximateScheme::build(&tree, eps);
+        for (a, b) in sample_pairs(n, 80) {
+            let (u, v) = (tree.node(a), tree.node(b));
+            let d = oracle.distance(u, v);
+            let est = ApproximateScheme::distance(scheme.label(u), scheme.label(v));
+            prop_assert!(est >= d);
+            prop_assert!(est as f64 <= (1.0 + eps) * d as f64 + 2.0);
+        }
+    }
+}

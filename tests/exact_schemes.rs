@@ -1,0 +1,176 @@
+//! Integration tests: every exact scheme against the ground-truth oracle, on
+//! every generator family, across sizes and seeds, plus property-based tests on
+//! uniformly random trees.
+
+use proptest::prelude::*;
+use treelab::{
+    gen, DistanceArrayScheme, DistanceOracle, DistanceScheme, NaiveScheme, OptimalScheme, Tree,
+};
+
+/// Deterministic sample of node pairs covering small and large indices.
+fn sample_pairs(n: usize, count: usize) -> Vec<(usize, usize)> {
+    if n <= 20 {
+        (0..n).flat_map(|u| (0..n).map(move |v| (u, v))).collect()
+    } else {
+        (0..count)
+            .map(|i| ((i * 7919 + 1) % n, (i * 104_729 + 3) % n))
+            .collect()
+    }
+}
+
+fn check_all_exact(tree: &Tree, pairs: usize) {
+    let oracle = DistanceOracle::new(tree);
+    let naive = NaiveScheme::build(tree);
+    let da = DistanceArrayScheme::build(tree);
+    let opt = OptimalScheme::build(tree);
+    for (a, b) in sample_pairs(tree.len(), pairs) {
+        let (u, v) = (tree.node(a), tree.node(b));
+        let truth = oracle.distance(u, v);
+        assert_eq!(
+            NaiveScheme::distance(naive.label(u), naive.label(v)),
+            truth,
+            "naive ({u},{v})"
+        );
+        assert_eq!(
+            DistanceArrayScheme::distance(da.label(u), da.label(v)),
+            truth,
+            "distance-array ({u},{v})"
+        );
+        assert_eq!(
+            OptimalScheme::distance(opt.label(u), opt.label(v)),
+            truth,
+            "optimal ({u},{v})"
+        );
+    }
+}
+
+#[test]
+fn exact_schemes_on_every_generator_family() {
+    let trees = vec![
+        Tree::singleton(),
+        gen::path(2),
+        gen::path(3),
+        gen::path(128),
+        gen::star(128),
+        gen::caterpillar(20, 4),
+        gen::broom(15, 30),
+        gen::spider(8, 12),
+        gen::complete_kary(2, 8),
+        gen::complete_kary(3, 4),
+        gen::complete_kary(5, 3),
+        gen::balanced_binary(200),
+        gen::comb(512),
+        gen::random_tree(400, 1),
+        gen::random_tree(401, 2),
+        gen::random_binary(333, 3),
+        gen::random_recursive(350, 4),
+        gen::subdivide(&gen::hm_tree_random(4, 20, 5)).0,
+        gen::subdivide(&gen::hm_tree_random(6, 8, 6)).0,
+        gen::regular_tree(&[1, 2], 2, 2),
+    ];
+    for tree in trees {
+        check_all_exact(&tree, 400);
+    }
+}
+
+#[test]
+fn exact_schemes_across_sizes() {
+    for exp in [4u32, 6, 8, 10, 12] {
+        let n = 1usize << exp;
+        check_all_exact(&gen::random_tree(n, u64::from(exp)), 300);
+        check_all_exact(&gen::comb(n), 200);
+    }
+}
+
+#[test]
+fn schemes_agree_with_each_other_even_without_the_oracle() {
+    // Cross-validation: all three schemes must return identical values on
+    // every queried pair (a different failure surface than oracle comparison,
+    // catching shared-assumption bugs in the test harness itself).
+    let tree = gen::random_tree(700, 99);
+    let naive = NaiveScheme::build(&tree);
+    let da = DistanceArrayScheme::build(&tree);
+    let opt = OptimalScheme::build(&tree);
+    for (a, b) in sample_pairs(tree.len(), 1500) {
+        let (u, v) = (tree.node(a), tree.node(b));
+        let x = NaiveScheme::distance(naive.label(u), naive.label(v));
+        let y = DistanceArrayScheme::distance(da.label(u), da.label(v));
+        let z = OptimalScheme::distance(opt.label(u), opt.label(v));
+        assert!(x == y && y == z, "disagreement on ({u},{v}): {x} {y} {z}");
+    }
+}
+
+#[test]
+fn distance_axioms_hold_on_label_answers() {
+    // Symmetry, identity, and the triangle inequality — checked purely on the
+    // labeling answers of the optimal scheme.
+    let tree = gen::random_tree(300, 17);
+    let opt = OptimalScheme::build(&tree);
+    let nodes: Vec<_> = (0..tree.len()).step_by(9).map(|i| tree.node(i)).collect();
+    for &u in &nodes {
+        assert_eq!(OptimalScheme::distance(opt.label(u), opt.label(u)), 0);
+        for &v in &nodes {
+            let duv = OptimalScheme::distance(opt.label(u), opt.label(v));
+            assert_eq!(duv, OptimalScheme::distance(opt.label(v), opt.label(u)));
+            for &w in &nodes {
+                let dvw = OptimalScheme::distance(opt.label(v), opt.label(w));
+                let duw = OptimalScheme::distance(opt.label(u), opt.label(w));
+                assert!(duw <= duv + dvw, "triangle violated on ({u},{v},{w})");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On uniformly random labeled trees (via random Prüfer sequences), the
+    /// optimal scheme agrees with the oracle on all sampled pairs.
+    #[test]
+    fn prop_optimal_matches_oracle(n in 2usize..180, seed in 0u64..1000) {
+        let tree = gen::random_tree(n, seed);
+        let oracle = DistanceOracle::new(&tree);
+        let scheme = OptimalScheme::build(&tree);
+        for (a, b) in sample_pairs(n, 120) {
+            let (u, v) = (tree.node(a), tree.node(b));
+            prop_assert_eq!(
+                OptimalScheme::distance(scheme.label(u), scheme.label(v)),
+                oracle.distance(u, v)
+            );
+        }
+    }
+
+    /// The distance-array scheme agrees with the oracle on random binary trees
+    /// (exercising the binarization fast path where nodes already have few
+    /// children).
+    #[test]
+    fn prop_distance_array_matches_oracle_on_binary(n in 2usize..150, seed in 0u64..1000) {
+        let tree = gen::random_binary(n, seed);
+        let oracle = DistanceOracle::new(&tree);
+        let scheme = DistanceArrayScheme::build(&tree);
+        for (a, b) in sample_pairs(n, 100) {
+            let (u, v) = (tree.node(a), tree.node(b));
+            prop_assert_eq!(
+                DistanceArrayScheme::distance(scheme.label(u), scheme.label(v)),
+                oracle.distance(u, v)
+            );
+        }
+    }
+
+    /// Binarization preserves distances for arbitrary Prüfer-random trees
+    /// (cross-crate invariant behind every exact scheme).
+    #[test]
+    fn prop_binarization_preserves_distances(n in 1usize..120, seed in 0u64..1000) {
+        let tree = gen::random_tree(n, seed);
+        let bin = treelab::tree::binarize::Binarized::new(&tree);
+        let oracle = DistanceOracle::new(&tree);
+        let bin_oracle = DistanceOracle::new(bin.tree());
+        for (a, b) in sample_pairs(n, 80) {
+            let (u, v) = (tree.node(a), tree.node(b));
+            prop_assert_eq!(
+                oracle.distance(u, v),
+                bin_oracle.distance(bin.proxy(u), bin.proxy(v))
+            );
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Integration tests for the level-ancestor scheme, universal trees, the
+//! heavy-path auxiliary labels and label serialization — the structural
+//! machinery of §2, §3.5 and §3.6.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use treelab::bits::{BitReader, BitWriter};
+use treelab::core::hpath::{HpathLabel, HpathLabeling};
+use treelab::core::level_ancestor::LevelAncestorScheme;
+use treelab::core::universal::{universal_from_parent_labels, universal_tree, verify_universal};
+use treelab::tree::embed::{all_rooted_trees, embeds, embeds_at_root};
+use treelab::{gen, DistanceOracle, DistanceScheme, HeavyPaths, OptimalScheme};
+
+#[test]
+fn level_ancestor_walks_match_the_tree_across_families() {
+    let trees = vec![
+        gen::path(120),
+        gen::star(120),
+        gen::caterpillar(30, 3),
+        gen::comb(400),
+        gen::complete_kary(2, 7),
+        gen::random_tree(350, 7),
+        gen::random_recursive(300, 8),
+    ];
+    for tree in &trees {
+        let scheme = LevelAncestorScheme::build(tree);
+        let by_bits: HashMap<_, _> = tree
+            .nodes()
+            .map(|u| (scheme.label(u).to_bits(), u))
+            .collect();
+        let depths = tree.depths();
+        for u in tree.nodes().step_by(3) {
+            // Walk all the way to the root via repeated parent queries.
+            let mut label = scheme.label(u).clone();
+            let mut expected = u;
+            let mut steps = 0;
+            while let Some(parent_label) = LevelAncestorScheme::parent(&label) {
+                expected = tree.parent(expected).expect("label said there is a parent");
+                assert_eq!(by_bits[&parent_label.to_bits()], expected);
+                label = parent_label;
+                steps += 1;
+                assert!(steps <= tree.len(), "parent chain does not terminate");
+            }
+            assert!(tree.is_root(expected));
+            assert_eq!(steps, depths[u.index()]);
+            // Random level-ancestor jumps.
+            for k in [1u64, 2, 3, 7, depths[u.index()] as u64] {
+                let got = LevelAncestorScheme::level_ancestor(scheme.label(u), k);
+                if k <= depths[u.index()] as u64 {
+                    let expect = tree.ancestors(u)[k as usize];
+                    assert_eq!(by_bits[&got.expect("within depth").to_bits()], expect);
+                } else {
+                    assert!(got.is_none());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn level_ancestor_labels_cost_about_twice_the_distance_labels() {
+    // Theorem 1.1 vs Theorem 1.2: distance labels are ~¼·log²n, level-ancestor
+    // labels are ~½·log²n.  At finite n we only check the qualitative
+    // relation: the level-ancestor array payload is never smaller than the
+    // optimal scheme's payload on the comb family, and both are Θ(log²n)-ish.
+    let tree = gen::comb(1 << 13);
+    let la = LevelAncestorScheme::build(&tree);
+    let opt = OptimalScheme::build(&tree);
+    let la_max = la.max_label_bits();
+    let opt_payload = tree
+        .nodes()
+        .map(|u| opt.label(u).array_payload_bits())
+        .max()
+        .unwrap();
+    assert!(
+        la_max > opt_payload,
+        "level-ancestor {la_max} bits vs optimal payload {opt_payload} bits"
+    );
+}
+
+#[test]
+fn universal_trees_contain_all_small_trees_and_match_size_formula() {
+    use treelab::core::universal::universal_tree_size;
+    for n in 1..=6usize {
+        let u = universal_tree(n);
+        assert_eq!(u.len() as u64, universal_tree_size(n));
+        assert!(verify_universal(&u, n), "U({n}) is not universal");
+    }
+    // The Lemma 3.6 route: a parent labeling yields a universal tree too.
+    let converted = universal_from_parent_labels(4);
+    for m in 1..=4usize {
+        for t in all_rooted_trees(m) {
+            assert!(embeds(&t, &converted.tree));
+        }
+    }
+}
+
+#[test]
+fn universal_tree_grows_much_faster_than_any_label_count() {
+    // The separation behind Theorem 1.2: log2(universal tree size) grows like
+    // ½·log²n − log n·log log n, while the optimal distance labels only need
+    // ~¼·log²n bits; the gap opens once log n clearly exceeds 4·log log n.
+    use treelab::bounds;
+    for n in [1usize << 20, 1 << 30, 1 << 40] {
+        assert!(bounds::universal_tree_size_log2(n) > bounds::exact_upper(n));
+    }
+}
+
+#[test]
+fn hpath_labels_agree_with_oracle_structure() {
+    for tree in [gen::random_tree(300, 41), gen::comb(300), gen::caterpillar(50, 4)] {
+        let hp = HeavyPaths::new(&tree);
+        let labeling = HpathLabeling::with_heavy_paths(&tree, &hp);
+        let oracle = DistanceOracle::new(&tree);
+        let n = tree.len();
+        for i in 0..400 {
+            let u = tree.node((i * 17) % n);
+            let v = tree.node((i * 53 + 29) % n);
+            let (lu, lv) = (labeling.label(u), labeling.label(v));
+            let nca = oracle.lca(u, v);
+            assert_eq!(
+                HpathLabel::common_light_depth(lu, lv),
+                hp.light_depth(nca),
+                "({u},{v})"
+            );
+            assert_eq!(HpathLabel::is_ancestor(lu, lv), oracle.is_ancestor(u, v));
+        }
+    }
+}
+
+#[test]
+fn every_label_type_survives_a_serialization_roundtrip() {
+    use treelab::core::approximate::{ApproximateLabel, ApproximateScheme};
+    use treelab::core::distance_array::{DistanceArrayLabel, DistanceArrayScheme};
+    use treelab::core::kdistance::{KDistanceLabel, KDistanceScheme};
+    use treelab::core::naive::NaiveLabel;
+    use treelab::core::optimal::OptimalLabel;
+    use treelab::NaiveScheme;
+
+    let tree = gen::random_tree(200, 77);
+    let sample: Vec<_> = (0..tree.len()).step_by(13).map(|i| tree.node(i)).collect();
+
+    let naive = NaiveScheme::build(&tree);
+    let da = DistanceArrayScheme::build(&tree);
+    let opt = OptimalScheme::build(&tree);
+    let kd = KDistanceScheme::build(&tree, 5);
+    let approx = ApproximateScheme::build(&tree, 0.25);
+
+    for &u in &sample {
+        macro_rules! roundtrip {
+            ($label:expr, $ty:ty) => {{
+                let mut w = BitWriter::new();
+                $label.encode(&mut w);
+                let bits = w.into_bitvec();
+                assert_eq!(bits.len(), $label.bit_len());
+                let back = <$ty>::decode(&mut BitReader::new(&bits)).expect("roundtrip decode");
+                back
+            }};
+        }
+        let _: NaiveLabel = roundtrip!(naive.label(u), NaiveLabel);
+        let _: DistanceArrayLabel = roundtrip!(da.label(u), DistanceArrayLabel);
+        let o: OptimalLabel = roundtrip!(opt.label(u), OptimalLabel);
+        let k: KDistanceLabel = roundtrip!(kd.label(u), KDistanceLabel);
+        let a: ApproximateLabel = roundtrip!(approx.label(u), ApproximateLabel);
+        // Decoded labels still answer queries correctly.
+        let v = tree.node(tree.len() - 1);
+        let oracle_d = tree.distance_naive(u, v);
+        assert_eq!(OptimalScheme::distance(&o, opt.label(v)), oracle_d);
+        if let Some(d) = KDistanceScheme::distance(&k, kd.label(v)) {
+            assert_eq!(d, oracle_d);
+        }
+        assert!(ApproximateScheme::distance(&a, approx.label(v)) >= oracle_d);
+    }
+}
+
+#[test]
+fn truncated_labels_fail_to_decode_rather_than_panicking_or_lying() {
+    use treelab::core::optimal::OptimalLabel;
+    let tree = gen::comb(300);
+    let opt = OptimalScheme::build(&tree);
+    for idx in [0usize, 100, 299] {
+        let label = opt.label(tree.node(idx));
+        let mut w = BitWriter::new();
+        label.encode(&mut w);
+        let bits = w.into_bitvec();
+        for cut in [1usize, bits.len() / 4, bits.len() / 2, bits.len() - 1] {
+            let truncated = bits.slice(0, cut).unwrap();
+            assert!(OptimalLabel::decode(&mut BitReader::new(&truncated)).is_err());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Parent chains derived from labels alone always terminate at the root in
+    /// exactly depth(u) steps, on random trees.
+    #[test]
+    fn prop_parent_chain_has_depth_length(n in 1usize..120, seed in 0u64..500) {
+        let tree = gen::random_tree(n, seed);
+        let scheme = LevelAncestorScheme::build(&tree);
+        let depths = tree.depths();
+        for u in tree.nodes() {
+            let mut label = scheme.label(u).clone();
+            let mut steps = 0usize;
+            while let Some(next) = LevelAncestorScheme::parent(&label) {
+                label = next;
+                steps += 1;
+                prop_assert!(steps <= n);
+            }
+            prop_assert_eq!(steps, depths[u.index()]);
+        }
+    }
+
+    /// Random trees always embed into the recursive universal tree of their
+    /// size.
+    #[test]
+    fn prop_random_trees_embed_into_universal(n in 1usize..9, seed in 0u64..200) {
+        let tree = gen::random_tree(n, seed);
+        let u = universal_tree(n);
+        prop_assert!(embeds_at_root(&tree, &u));
+    }
+
+    /// Heavy-path auxiliary labels stay logarithmic on random trees.
+    #[test]
+    fn prop_hpath_labels_logarithmic(n in 2usize..600, seed in 0u64..300) {
+        let tree = gen::random_tree(n, seed);
+        let labeling = HpathLabeling::build(&tree);
+        let bound = (14.0 * (n as f64).log2() + 80.0) as usize;
+        prop_assert!(labeling.max_label_bits() <= bound);
+    }
+}
