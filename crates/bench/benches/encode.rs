@@ -29,9 +29,11 @@ fn bench_encode(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("kdistance_k8", n), &tree, |b, t| {
             b.iter(|| KDistanceScheme::build(t, 8).max_label_bits())
         });
-        group.bench_with_input(BenchmarkId::new("approximate_eps_quarter", n), &tree, |b, t| {
-            b.iter(|| ApproximateScheme::build(t, 0.25).max_label_bits())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("approximate_eps_quarter", n),
+            &tree,
+            |b, t| b.iter(|| ApproximateScheme::build(t, 0.25).max_label_bits()),
+        );
     }
     group.finish();
 }

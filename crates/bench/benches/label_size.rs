@@ -20,37 +20,61 @@ fn bench_serialization(c: &mut Criterion) {
         let kd = KDistanceScheme::build(&tree, 8);
         let node = tree.node(tree.len() - 1);
 
-        group.bench_with_input(BenchmarkId::new("optimal_encode", n), opt.label(node), |b, l| {
-            b.iter(|| {
-                let mut w = BitWriter::new();
-                l.encode(&mut w);
-                w.len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("optimal_encode", n),
+            opt.label(node),
+            |b, l| {
+                b.iter(|| {
+                    let mut w = BitWriter::new();
+                    l.encode(&mut w);
+                    w.len()
+                })
+            },
+        );
         let encoded_opt = {
             let mut w = BitWriter::new();
             opt.label(node).encode(&mut w);
             w.into_bitvec()
         };
-        group.bench_with_input(BenchmarkId::new("optimal_decode", n), &encoded_opt, |b, bits| {
-            b.iter(|| OptimalLabel::decode(&mut BitReader::new(bits)).unwrap().bit_len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("optimal_decode", n),
+            &encoded_opt,
+            |b, bits| {
+                b.iter(|| {
+                    OptimalLabel::decode(&mut BitReader::new(bits))
+                        .unwrap()
+                        .bit_len()
+                })
+            },
+        );
 
-        group.bench_with_input(BenchmarkId::new("kdistance_encode", n), kd.label(node), |b, l| {
-            b.iter(|| {
-                let mut w = BitWriter::new();
-                l.encode(&mut w);
-                w.len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("kdistance_encode", n),
+            kd.label(node),
+            |b, l| {
+                b.iter(|| {
+                    let mut w = BitWriter::new();
+                    l.encode(&mut w);
+                    w.len()
+                })
+            },
+        );
         let encoded_kd = {
             let mut w = BitWriter::new();
             kd.label(node).encode(&mut w);
             w.into_bitvec()
         };
-        group.bench_with_input(BenchmarkId::new("kdistance_decode", n), &encoded_kd, |b, bits| {
-            b.iter(|| KDistanceLabel::decode(&mut BitReader::new(bits)).unwrap().bit_len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("kdistance_decode", n),
+            &encoded_kd,
+            |b, bits| {
+                b.iter(|| {
+                    KDistanceLabel::decode(&mut BitReader::new(bits))
+                        .unwrap()
+                        .bit_len()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -15,7 +15,9 @@ use treelab_tree::Tree;
 /// A deterministic cycling pair sampler over the nodes of a tree.
 fn pair_indices(tree: &Tree, count: usize) -> Vec<(usize, usize)> {
     let n = tree.len();
-    (0..count).map(|i| ((i * 7919 + 3) % n, (i * 104_729 + 11) % n)).collect()
+    (0..count)
+        .map(|i| ((i * 7919 + 3) % n, (i * 104_729 + 11) % n))
+        .collect()
 }
 
 fn bench_query(c: &mut Criterion) {

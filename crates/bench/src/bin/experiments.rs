@@ -18,14 +18,22 @@ use treelab_bench::workloads::Family;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let selected: Vec<&str> = args.iter().filter(|a| *a != "--quick").map(String::as_str).collect();
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| *a != "--quick")
+        .map(String::as_str)
+        .collect();
     let run = |name: &str| selected.is_empty() || selected.contains(&name);
     let seed = 2017;
 
     println!("# treelab experiments (quick = {quick})\n");
 
     if run("--exact") {
-        let sizes: &[usize] = if quick { &[256, 1024] } else { &[1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16] };
+        let sizes: &[usize] = if quick {
+            &[256, 1024]
+        } else {
+            &[1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16]
+        };
         let table = exact_experiment(sizes, Family::all(), seed);
         println!("{}", table.to_markdown());
     }
@@ -55,7 +63,11 @@ fn main() {
         println!("{}", ablation_experiment(n, seed).to_markdown());
     }
     if run("--timing") {
-        let sizes: &[usize] = if quick { &[1 << 10] } else { &[1 << 12, 1 << 14, 1 << 16] };
+        let sizes: &[usize] = if quick {
+            &[1 << 10]
+        } else {
+            &[1 << 12, 1 << 14, 1 << 16]
+        };
         println!("{}", timing_experiment(sizes, seed).to_markdown());
     }
 }

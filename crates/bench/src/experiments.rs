@@ -79,7 +79,14 @@ pub fn exact_experiment(sizes: &[usize], families: &[Family], seed: u64) -> Tabl
 pub fn approximate_experiment(n: usize, epsilons: &[f64], seed: u64) -> Table {
     let mut table = Table::new(
         "E2 — (1+ε)-approximate labels (Table 1, row 'Approximate')",
-        &["ε", "n", "max bits", "mean bits", "worst ratio", "theory log(1/ε)·log n"],
+        &[
+            "ε",
+            "n",
+            "max bits",
+            "mean bits",
+            "worst ratio",
+            "theory log(1/ε)·log n",
+        ],
     );
     let tree = gen::random_binary(n, seed);
     let oracle = DistanceOracle::new(&tree);
@@ -114,7 +121,14 @@ pub fn approximate_experiment(n: usize, epsilons: &[f64], seed: u64) -> Table {
 pub fn k_small_experiment(n: usize, ks: &[u64], seed: u64) -> Table {
     let mut table = Table::new(
         "E3 — k-distance labels, k < log n (Table 1)",
-        &["family", "n", "k", "max bits", "mean bits", "theory log n + k·log((log n)/k)"],
+        &[
+            "family",
+            "n",
+            "k",
+            "max bits",
+            "mean bits",
+            "theory log n + k·log((log n)/k)",
+        ],
     );
     for family in [Family::Random, Family::Caterpillar, Family::Comb] {
         let tree = family.build(n, seed);
@@ -166,7 +180,13 @@ pub fn k_large_experiment(n: usize, seed: u64) -> Table {
 pub fn lower_bound_experiment(seed: u64) -> Table {
     let mut table = Table::new(
         "E5 — lower-bound families: (h,M)-trees (Lemma 2.3) and (x⃗,h,d)-regular trees (§4.1)",
-        &["family", "parameters", "nodes", "measured max bits (optimal scheme)", "lower bound (bits)"],
+        &[
+            "family",
+            "parameters",
+            "nodes",
+            "measured max bits (optimal scheme)",
+            "lower bound (bits)",
+        ],
     );
     for (h, m) in [(3u32, 64u64), (4, 48), (5, 24), (6, 12), (7, 8)] {
         let weighted = gen::hm_tree_random(h, m, seed);
@@ -251,16 +271,52 @@ pub fn ablation_experiment(n: usize, seed: u64) -> Table {
     use treelab_core::optimal::OptimalConfig;
     let mut table = Table::new(
         "E9 — ablation of the optimal scheme's ingredients (comb family)",
-        &["variant", "n", "max total bits", "max payload bits", "total accumulator bits"],
+        &[
+            "variant",
+            "n",
+            "max total bits",
+            "max payload bits",
+            "total accumulator bits",
+        ],
     );
     let tree = Family::Comb.build(n, seed);
     let variants: Vec<(&str, OptimalConfig)> = vec![
         ("paper defaults (c=8, B=⌈√log n⌉)", OptimalConfig::default()),
-        ("no bit pushing", OptimalConfig { enable_pushing: false, ..Default::default() }),
-        ("aggressive pushing (c=2)", OptimalConfig { thin_exponent: 2, ..Default::default() }),
-        ("conservative pushing (c=16)", OptimalConfig { thin_exponent: 16, ..Default::default() }),
-        ("fine fragments (B=1)", OptimalConfig { fragment_block: Some(1), ..Default::default() }),
-        ("coarse fragments (B=64)", OptimalConfig { fragment_block: Some(64), ..Default::default() }),
+        (
+            "no bit pushing",
+            OptimalConfig {
+                enable_pushing: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "aggressive pushing (c=2)",
+            OptimalConfig {
+                thin_exponent: 2,
+                ..Default::default()
+            },
+        ),
+        (
+            "conservative pushing (c=16)",
+            OptimalConfig {
+                thin_exponent: 16,
+                ..Default::default()
+            },
+        ),
+        (
+            "fine fragments (B=1)",
+            OptimalConfig {
+                fragment_block: Some(1),
+                ..Default::default()
+            },
+        ),
+        (
+            "coarse fragments (B=64)",
+            OptimalConfig {
+                fragment_block: Some(64),
+                ..Default::default()
+            },
+        ),
     ];
     for (name, config) in variants {
         let scheme = OptimalScheme::build_with_config(&tree, config);
@@ -270,7 +326,10 @@ pub fn ablation_experiment(n: usize, seed: u64) -> Table {
             .map(|u| scheme.label(u).array_payload_bits())
             .max()
             .unwrap_or(0);
-        let acc: usize = tree.nodes().map(|u| scheme.label(u).accumulator_bits()).sum();
+        let acc: usize = tree
+            .nodes()
+            .map(|u| scheme.label(u).accumulator_bits())
+            .sum();
         table.push_row(vec![
             name.to_string(),
             tree.len().to_string(),
@@ -296,7 +355,9 @@ pub fn timing_experiment(sizes: &[usize], seed: u64) -> Table {
                 let t0 = Instant::now();
                 let scheme = $build;
                 let build_ms = t0.elapsed().as_secs_f64() * 1e3;
-                let labels: Vec<_> = (0..tree.len()).map(|i| scheme.label(tree.node(i))).collect();
+                let labels: Vec<_> = (0..tree.len())
+                    .map(|i| scheme.label(tree.node(i)))
+                    .collect();
                 let t1 = Instant::now();
                 let mut acc = 0u64;
                 let q = 100_000usize;
@@ -316,15 +377,19 @@ pub fn timing_experiment(sizes: &[usize], seed: u64) -> Table {
             }};
         }
         measure!("naive", NaiveScheme::build(&tree), NaiveScheme::distance);
-        measure!("distance-array", DistanceArrayScheme::build(&tree), |a, b| {
-            DistanceArrayScheme::distance(a, b)
-        });
+        measure!(
+            "distance-array",
+            DistanceArrayScheme::build(&tree),
+            |a, b| { DistanceArrayScheme::distance(a, b) }
+        );
         measure!("optimal", OptimalScheme::build(&tree), |a, b| {
             OptimalScheme::distance(a, b)
         });
-        measure!("k-distance (k=8)", KDistanceScheme::build(&tree, 8), |a, b| {
-            KDistanceScheme::distance(a, b).unwrap_or(0)
-        });
+        measure!(
+            "k-distance (k=8)",
+            KDistanceScheme::build(&tree, 8),
+            |a, b| { KDistanceScheme::distance(a, b).unwrap_or(0) }
+        );
         measure!(
             "approximate (ε=0.25)",
             ApproximateScheme::build(&tree, 0.25),
@@ -351,7 +416,10 @@ mod tests {
         for row in &t.rows {
             let eps: f64 = row[0].parse().unwrap();
             let ratio: f64 = row[4].parse().unwrap();
-            assert!(ratio <= 1.0 + eps + 0.51, "ratio {ratio} too large for eps {eps}");
+            assert!(
+                ratio <= 1.0 + eps + 0.51,
+                "ratio {ratio} too large for eps {eps}"
+            );
         }
     }
 

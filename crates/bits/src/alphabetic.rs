@@ -33,7 +33,10 @@ impl AlphabeticCode {
     /// Panics if `weights` is empty, any weight is zero, or the total weight
     /// exceeds `2^62` (far beyond any tree size used here).
     pub fn new(weights: &[u64]) -> Self {
-        assert!(!weights.is_empty(), "alphabetic code needs at least one symbol");
+        assert!(
+            !weights.is_empty(),
+            "alphabetic code needs at least one symbol"
+        );
         assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
         let total: u64 = weights.iter().sum();
         assert!(total <= 1 << 62, "total weight too large");
@@ -155,7 +158,11 @@ mod tests {
                             || code.codeword(i) == code.codeword(j),
                         "codeword {j} is a prefix of codeword {i}"
                     );
-                    assert_ne!(code.codeword(i), code.codeword(j), "codewords must be distinct");
+                    assert_ne!(
+                        code.codeword(i),
+                        code.codeword(j),
+                        "codewords must be distinct"
+                    );
                 }
             }
         }

@@ -153,7 +153,11 @@ impl BitVec {
     ///
     /// Panics if `index` is out of range.
     pub fn set(&mut self, index: usize, bit: bool) {
-        assert!(index < self.len, "index {index} out of range (len {})", self.len);
+        assert!(
+            index < self.len,
+            "index {index} out of range (len {})",
+            self.len
+        );
         let word = index / 64;
         let off = index % 64;
         if bit {

@@ -212,7 +212,12 @@ mod tests {
 
     #[test]
     fn unary_roundtrip() {
-        roundtrip_one(&[0, 1, 2, 3, 10, 63, 100], write_unary, read_unary, unary_len);
+        roundtrip_one(
+            &[0, 1, 2, 3, 10, 63, 100],
+            write_unary,
+            read_unary,
+            unary_len,
+        );
     }
 
     #[test]
@@ -226,15 +231,33 @@ mod tests {
     #[test]
     fn delta_roundtrip() {
         let vals: Vec<u64> = (1..=64)
-            .chain([100, 1000, 65_535, 1 << 20, (1 << 40) + 17, u64::MAX / 3, u64::MAX])
+            .chain([
+                100,
+                1000,
+                65_535,
+                1 << 20,
+                (1 << 40) + 17,
+                u64::MAX / 3,
+                u64::MAX,
+            ])
             .collect();
         roundtrip_one(&vals, write_delta, read_delta, delta_len);
     }
 
     #[test]
     fn nz_variants_accept_zero() {
-        roundtrip_one(&[0, 1, 5, 1 << 30], write_gamma_nz, read_gamma_nz, gamma_nz_len);
-        roundtrip_one(&[0, 1, 5, 1 << 30], write_delta_nz, read_delta_nz, delta_nz_len);
+        roundtrip_one(
+            &[0, 1, 5, 1 << 30],
+            write_gamma_nz,
+            read_gamma_nz,
+            gamma_nz_len,
+        );
+        roundtrip_one(
+            &[0, 1, 5, 1 << 30],
+            write_delta_nz,
+            read_delta_nz,
+            delta_nz_len,
+        );
     }
 
     #[test]

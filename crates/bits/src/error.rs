@@ -68,10 +68,14 @@ mod tests {
         assert!(s.contains('7'));
         assert!(s.contains("12"));
 
-        let e = DecodeError::Overflow { what: "gamma value" };
+        let e = DecodeError::Overflow {
+            what: "gamma value",
+        };
         assert!(e.to_string().contains("gamma value"));
 
-        let e = DecodeError::Malformed { what: "missing terminator" };
+        let e = DecodeError::Malformed {
+            what: "missing terminator",
+        };
         assert!(e.to_string().contains("missing terminator"));
     }
 

@@ -55,7 +55,10 @@ impl MonotoneSeq {
     /// Panics if the slice is not non-decreasing.
     pub fn new(values: &[u64]) -> Self {
         for w in values.windows(2) {
-            assert!(w[0] <= w[1], "MonotoneSeq requires a non-decreasing sequence");
+            assert!(
+                w[0] <= w[1],
+                "MonotoneSeq requires a non-decreasing sequence"
+            );
         }
         let len = values.len();
         let max = values.last().copied().unwrap_or(0);
@@ -139,8 +142,8 @@ impl MonotoneSeq {
         }
         let mut lo = 0usize; // invariant: values[lo] might be >= x
         let mut hi = self.len - 1; // values[hi] >= x
-        // Binary search: O(log s); with s = O(log n) this is the O(1)-ish
-        // word-RAM regime the paper works in.
+                                   // Binary search: O(log s); with s = O(log n) this is the O(1)-ish
+                                   // word-RAM regime the paper works in.
         while lo < hi {
             let mid = (lo + hi) / 2;
             if self.get(mid).expect("in range") >= x {
@@ -199,7 +202,9 @@ impl MonotoneSeq {
 
     /// Collects the values back into a vector (mainly for tests and debugging).
     pub fn to_vec(&self) -> Vec<u64> {
-        (0..self.len).map(|k| self.get(k).expect("in range")).collect()
+        (0..self.len)
+            .map(|k| self.get(k).expect("in range"))
+            .collect()
     }
 
     /// Size of the encoded structure in bits, as produced by [`MonotoneSeq::encode`].
@@ -370,16 +375,17 @@ mod tests {
         // Lemma 2.2: O(s * max(1, log(M/s))) bits.  Check with a generous
         // constant (16) across shapes that previously caught regressions.
         let shapes: Vec<Vec<u64>> = vec![
-            (0..64u64).collect(),                          // s = M
-            (0..64u64).map(|i| i * 1000).collect(),        // M >> s
-            vec![0; 100],                                  // all zeros
-            (0..200u64).map(|i| i / 10).collect(),         // lots of repeats
+            (0..64u64).collect(),                   // s = M
+            (0..64u64).map(|i| i * 1000).collect(), // M >> s
+            vec![0; 100],                           // all zeros
+            (0..200u64).map(|i| i / 10).collect(),  // lots of repeats
         ];
         for values in shapes {
             let s = values.len() as u64;
             let m = *values.last().unwrap_or(&0);
             let seq = MonotoneSeq::new(&values);
-            let bound = 16 * (s as usize)
+            let bound = 16
+                * (s as usize)
                 * std::cmp::max(1, codes::bit_len(m.checked_div(s).unwrap_or(0).max(1)))
                 + 64;
             assert!(

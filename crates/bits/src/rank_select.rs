@@ -235,7 +235,12 @@ mod tests {
         for bv in patterns {
             let rs = RankSelect::new(bv.clone());
             for pos in 0..=bv.len() {
-                assert_eq!(rs.rank1(pos), naive_rank1(&bv, pos), "len={} pos={pos}", bv.len());
+                assert_eq!(
+                    rs.rank1(pos),
+                    naive_rank1(&bv, pos),
+                    "len={} pos={pos}",
+                    bv.len()
+                );
                 assert_eq!(rs.rank0(pos), pos - naive_rank1(&bv, pos));
             }
         }

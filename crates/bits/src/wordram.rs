@@ -93,7 +93,10 @@ pub fn lemma_4_4_holds(len_a: u64, len_b: u64, len_c: u64) -> bool {
 pub fn common_prefix_len(a: u64, b: u64, width: u32) -> u32 {
     assert!(width <= 64);
     if width < 64 {
-        assert!(a < (1u64 << width) && b < (1u64 << width), "values must fit in width");
+        assert!(
+            a < (1u64 << width) && b < (1u64 << width),
+            "values must fit in width"
+        );
     }
     let x = a ^ b;
     if x == 0 {
@@ -267,7 +270,11 @@ mod tests {
         let width = 10;
         for a in 0..128u64 {
             for b in a..128u64 {
-                assert_eq!(range_height(a, b, width), naive_height(a, b, width), "a={a} b={b}");
+                assert_eq!(
+                    range_height(a, b, width),
+                    naive_height(a, b, width),
+                    "a={a} b={b}"
+                );
             }
         }
     }

@@ -1,14 +1,42 @@
-//! Property-based tests for the bit substrate: every structure is compared
-//! against a straightforward reference implementation on arbitrary inputs.
+//! Property-style tests for the bit substrate: every structure is compared
+//! against a straightforward reference implementation on randomized inputs.
+//!
+//! The build environment has no access to crates.io, so instead of `proptest`
+//! these tests drive the same properties with the workspace's seeded SplitMix64
+//! generator (`treelab_tree::rng`, a dev-dependency here): each property runs
+//! over many independently-seeded random cases, which keeps the checks
+//! deterministic and dependency-free while still exploring a wide input space.
 
-use proptest::prelude::*;
 use treelab_bits::alphabetic::AlphabeticCode;
 use treelab_bits::wordram::{range_id, range_id_from_member, two_approx};
 use treelab_bits::{codes, BitReader, BitVec, BitWriter, MonotoneSeq, RankSelect};
+use treelab_tree::rng::SplitMix64;
 
-proptest! {
-    #[test]
-    fn gamma_delta_roundtrip(values in prop::collection::vec(1u64..u64::MAX / 2, 0..200)) {
+/// Seeded generator with a short local alias for the sampling call.
+struct Rng(SplitMix64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(SplitMix64::seed_from_u64(seed))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn below(&mut self, lo: u64, hi: u64) -> u64 {
+        self.0.gen_range(lo..hi)
+    }
+}
+
+const CASES: u64 = 60;
+
+#[test]
+fn gamma_delta_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let len = rng.below(0, 200) as usize;
+        let values: Vec<u64> = (0..len).map(|_| rng.below(1, u64::MAX / 2)).collect();
         let mut w = BitWriter::new();
         for &v in &values {
             codes::write_gamma(&mut w, v.min(1 << 40));
@@ -17,93 +45,166 @@ proptest! {
         let bits = w.into_bitvec();
         let mut r = BitReader::new(&bits);
         for &v in &values {
-            prop_assert_eq!(codes::read_gamma(&mut r).unwrap(), v.min(1 << 40));
-            prop_assert_eq!(codes::read_delta(&mut r).unwrap(), v);
+            assert_eq!(codes::read_gamma(&mut r).unwrap(), v.min(1 << 40));
+            assert_eq!(codes::read_delta(&mut r).unwrap(), v);
         }
-        prop_assert_eq!(r.remaining(), 0);
+        assert_eq!(r.remaining(), 0, "seed {seed}");
     }
+}
 
-    #[test]
-    fn bitvec_get_bits_matches_push_bits(chunks in prop::collection::vec((0u64..u64::MAX, 1usize..=64), 0..50)) {
+#[test]
+fn bitvec_get_bits_matches_push_bits() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed.wrapping_mul(0x51ED).wrapping_add(1));
+        let chunks: Vec<(u64, usize)> = (0..rng.below(0, 50))
+            .map(|_| (rng.next_u64(), rng.below(1, 65) as usize))
+            .collect();
         let mut bv = BitVec::new();
         let mut expected = Vec::new();
         for &(value, width) in &chunks {
-            let masked = if width == 64 { value } else { value & ((1u64 << width) - 1) };
+            let masked = if width == 64 {
+                value
+            } else {
+                value & ((1u64 << width) - 1)
+            };
             bv.push_bits(masked, width);
             expected.push((masked, width));
         }
         let mut pos = 0;
         for (value, width) in expected {
-            prop_assert_eq!(bv.get_bits(pos, width), Some(value));
+            assert_eq!(
+                bv.get_bits(pos, width),
+                Some(value),
+                "seed {seed} pos {pos}"
+            );
             pos += width;
         }
     }
+}
 
-    #[test]
-    fn rank_select_match_reference(bits in prop::collection::vec(any::<bool>(), 0..2000)) {
+#[test]
+fn rank_select_match_reference() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed.wrapping_mul(0xABCD).wrapping_add(7));
+        let len = rng.below(0, 2000) as usize;
+        let bits: Vec<bool> = (0..len).map(|_| rng.next_u64() & 1 == 1).collect();
         let bv = BitVec::from_bools(bits.iter().copied());
         let rs = RankSelect::new(bv);
         let mut ones_seen = 0usize;
         for (i, &b) in bits.iter().enumerate() {
-            prop_assert_eq!(rs.rank1(i), ones_seen);
+            assert_eq!(rs.rank1(i), ones_seen, "seed {seed} rank at {i}");
             if b {
                 ones_seen += 1;
-                prop_assert_eq!(rs.select1(ones_seen), Some(i));
+                assert_eq!(
+                    rs.select1(ones_seen),
+                    Some(i),
+                    "seed {seed} select {ones_seen}"
+                );
             }
         }
-        prop_assert_eq!(rs.count_ones(), ones_seen);
+        assert_eq!(rs.count_ones(), ones_seen, "seed {seed}");
     }
+}
 
-    #[test]
-    fn monotone_structure_matches_vector(mut values in prop::collection::vec(0u64..1_000_000, 0..300)) {
+#[test]
+fn monotone_structure_matches_vector() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed.wrapping_mul(0x9137).wrapping_add(3));
+        let len = rng.below(0, 300) as usize;
+        let mut values: Vec<u64> = (0..len).map(|_| rng.below(0, 1_000_000)).collect();
         values.sort_unstable();
         let seq = MonotoneSeq::new(&values);
-        prop_assert_eq!(seq.to_vec(), values.clone());
+        assert_eq!(seq.to_vec(), values, "seed {seed}");
         // Successor queries against a linear scan.
         for probe in [0u64, 1, 500, 999_999, 1_000_001] {
-            prop_assert_eq!(seq.successor(probe), values.iter().position(|&v| v >= probe));
+            assert_eq!(
+                seq.successor(probe),
+                values.iter().position(|&v| v >= probe),
+                "seed {seed} probe {probe}"
+            );
         }
         // Serialization roundtrip.
         let mut w = BitWriter::new();
         seq.encode(&mut w);
         let bits = w.into_bitvec();
         let back = MonotoneSeq::decode(&mut BitReader::new(&bits)).unwrap();
-        prop_assert_eq!(back.to_vec(), values);
+        assert_eq!(back.to_vec(), values, "seed {seed}");
     }
+}
 
-    #[test]
-    fn alphabetic_code_is_prefix_free_and_ordered(weights in prop::collection::vec(1u64..10_000, 1..40)) {
+#[test]
+fn alphabetic_code_is_prefix_free_and_ordered() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed.wrapping_mul(0x77F1).wrapping_add(11));
+        let len = rng.below(1, 40) as usize;
+        let weights: Vec<u64> = (0..len).map(|_| rng.below(1, 10_000)).collect();
         let code = AlphabeticCode::new(&weights);
         for i in 0..weights.len() {
             for j in (i + 1)..weights.len() {
-                prop_assert!(!code.codeword(i).starts_with(code.codeword(j)));
-                prop_assert!(!code.codeword(j).starts_with(code.codeword(i)));
-                prop_assert_eq!(code.codeword(i).lex_cmp(code.codeword(j)), std::cmp::Ordering::Less);
+                assert!(
+                    !code.codeword(i).starts_with(code.codeword(j)),
+                    "seed {seed} ({i},{j})"
+                );
+                assert!(
+                    !code.codeword(j).starts_with(code.codeword(i)),
+                    "seed {seed} ({i},{j})"
+                );
+                assert_eq!(
+                    code.codeword(i).lex_cmp(code.codeword(j)),
+                    std::cmp::Ordering::Less,
+                    "seed {seed} ({i},{j})"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn two_approx_brackets_its_argument(x in 1u64..u64::MAX / 2) {
+#[test]
+fn two_approx_brackets_its_argument() {
+    let mut rng = Rng::new(0xDECAF);
+    for case in 0..2000 {
+        let x = rng.below(1, u64::MAX / 2);
         let t = two_approx(x);
-        prop_assert!(t.is_power_of_two());
-        prop_assert!(t <= x);
-        prop_assert!(x < 2 * t);
+        assert!(t.is_power_of_two(), "case {case}: two_approx({x}) = {t}");
+        assert!(t <= x, "case {case}: two_approx({x}) = {t}");
+        assert!(x < 2 * t, "case {case}: two_approx({x}) = {t}");
     }
+    // Edge values no random sweep is guaranteed to hit.
+    for x in [1u64, 2, 3, 4, (1 << 40) - 1, 1 << 40, u64::MAX / 2] {
+        let t = two_approx(x);
+        assert!(t.is_power_of_two() && t <= x && x < 2 * t, "x = {x}");
+    }
+}
 
-    #[test]
-    fn range_ids_reconstruct_from_members(a in 0u64..50_000, len in 0u64..5_000) {
+#[test]
+fn range_ids_reconstruct_from_members() {
+    let mut rng = Rng::new(0xC0FFEE);
+    for case in 0..2000 {
+        let a = rng.below(0, 50_000);
+        let len = rng.below(0, 5_000);
         let b = a + len;
         let width = 17;
         let rid = range_id(a, b, width);
         // Identifier lies in (a, b] for non-singletons and is reconstructible
         // from both endpoints.
         if len > 0 {
-            prop_assert!(rid.id > a && rid.id <= b);
+            assert!(
+                rid.id > a && rid.id <= b,
+                "case {case}: [{a}, {b}] -> {}",
+                rid.id
+            );
         } else {
-            prop_assert_eq!(rid.id, a);
+            assert_eq!(rid.id, a, "case {case}");
         }
-        prop_assert_eq!(range_id_from_member(a, rid.height), rid.id);
-        prop_assert_eq!(range_id_from_member(b, rid.height), rid.id);
+        assert_eq!(
+            range_id_from_member(a, rid.height),
+            rid.id,
+            "case {case} from a={a}"
+        );
+        assert_eq!(
+            range_id_from_member(b, rid.height),
+            rid.id,
+            "case {case} from b={b}"
+        );
     }
 }

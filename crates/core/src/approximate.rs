@@ -82,7 +82,9 @@ impl ApproximateLabel {
     pub fn decode(r: &mut BitReader<'_>) -> Result<Self, DecodeError> {
         let inv_eps = codes::read_gamma_nz(r)?;
         if inv_eps == 0 {
-            return Err(DecodeError::Malformed { what: "epsilon reciprocal is zero" });
+            return Err(DecodeError::Malformed {
+                what: "epsilon reciprocal is zero",
+            });
         }
         let root_distance = codes::read_delta_nz(r)?;
         let aux = HpathLabel::decode(r)?;
@@ -176,7 +178,11 @@ impl ApproximateScheme {
 
     /// Maximum label size in bits.
     pub fn max_label_bits(&self) -> usize {
-        self.labels.iter().map(ApproximateLabel::bit_len).max().unwrap_or(0)
+        self.labels
+            .iter()
+            .map(ApproximateLabel::bit_len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Returns an estimate `d̃` with `d(u,v) ≤ d̃ ≤ (1+ε)·d(u,v) + 2`, computed
@@ -240,13 +246,18 @@ mod tests {
         let pairs: Vec<(usize, usize)> = if n <= 25 {
             (0..n).flat_map(|u| (0..n).map(move |v| (u, v))).collect()
         } else {
-            (0..800).map(|i| ((i * 37) % n, (i * 101 + 3) % n)).collect()
+            (0..800)
+                .map(|i| ((i * 37) % n, (i * 101 + 3) % n))
+                .collect()
         };
         for (xu, xv) in pairs {
             let (u, v) = (tree.node(xu), tree.node(xv));
             let d = oracle.distance(u, v);
             let est = ApproximateScheme::distance(scheme.label(u), scheme.label(v));
-            assert!(est >= d, "estimate {est} below true {d} for ({u},{v}), eps={eps}");
+            assert!(
+                est >= d,
+                "estimate {est} below true {d} for ({u},{v}), eps={eps}"
+            );
             let upper = ((1.0 + eps) * d as f64).floor() as u64 + 2;
             assert!(
                 est <= upper,

@@ -136,7 +136,10 @@ impl DistanceScheme for DistanceArrayScheme {
                 DistanceArrayLabel {
                     root_distance: hp.root_distance(leaf),
                     aux: aux.label(leaf).clone(),
-                    entries: edges.iter().map(|e| e.branch_offset + e.edge_weight).collect(),
+                    entries: edges
+                        .iter()
+                        .map(|e| e.branch_offset + e.edge_weight)
+                        .collect(),
                     weights: edges.iter().map(|e| e.edge_weight as u8).collect(),
                 }
             })
@@ -149,9 +152,7 @@ impl DistanceScheme for DistanceArrayScheme {
     }
 
     fn distance(a: &DistanceArrayLabel, b: &DistanceArrayLabel) -> u64 {
-        exact_distance_from_entries(a, b, |label, j| {
-            (label.entries[j], label.weights[j] as u64)
-        })
+        exact_distance_from_entries(a, b, |label, j| (label.entries[j], label.weights[j] as u64))
     }
 
     fn label_bits(&self, u: NodeId) -> usize {
@@ -159,7 +160,11 @@ impl DistanceScheme for DistanceArrayScheme {
     }
 
     fn max_label_bits(&self) -> usize {
-        self.labels.iter().map(DistanceArrayLabel::bit_len).max().unwrap_or(0)
+        self.labels
+            .iter()
+            .map(DistanceArrayLabel::bit_len)
+            .max()
+            .unwrap_or(0)
     }
 
     fn name() -> &'static str {

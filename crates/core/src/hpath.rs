@@ -25,8 +25,8 @@
 
 use crate::Tree;
 use std::cmp::Ordering;
-use treelab_bits::{codes, monotone::MonotoneSeq, BitReader, BitVec, BitWriter, DecodeError};
 use treelab_bits::alphabetic::AlphabeticCode;
+use treelab_bits::{codes, monotone::MonotoneSeq, BitReader, BitVec, BitWriter, DecodeError};
 use treelab_tree::heavy::HeavyPaths;
 use treelab_tree::NodeId;
 
@@ -270,7 +270,11 @@ impl HpathLabeling {
 
     /// Maximum serialized label size in bits.
     pub fn max_label_bits(&self) -> usize {
-        self.labels.iter().map(HpathLabel::bit_len).max().unwrap_or(0)
+        self.labels
+            .iter()
+            .map(HpathLabel::bit_len)
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -120,7 +120,9 @@ impl KDistanceLabel {
         let k = codes::read_gamma_nz(r)?;
         let width = codes::read_gamma_nz(r)? as u32;
         if width > 63 {
-            return Err(DecodeError::Malformed { what: "preorder width exceeds 63 bits" });
+            return Err(DecodeError::Malformed {
+                what: "preorder width exceeds 63 bits",
+            });
         }
         let pre = codes::read_delta_nz(r)?;
         let aux = HpathLabel::decode(r)?;
@@ -192,7 +194,10 @@ impl KDistanceScheme {
     /// Panics if `k == 0` or the tree is weighted.
     pub fn build(tree: &Tree, k: u64) -> Self {
         assert!(k >= 1, "k must be at least 1");
-        assert!(tree.is_unit_weighted(), "k-distance labeling expects an unweighted tree");
+        assert!(
+            tree.is_unit_weighted(),
+            "k-distance labeling expects an unweighted tree"
+        );
         let hp = HeavyPaths::new(tree);
         let aux = HpathLabeling::with_heavy_paths(tree, &hp);
         let n = tree.len();
@@ -219,7 +224,10 @@ impl KDistanceScheme {
                     .iter()
                     .map(|&a| (depths[u.index()] - depths[a.index()]) as u64)
                     .collect();
-                let r = all_dists.iter().rposition(|&d| d <= k).expect("d(u,u)=0 <= k");
+                let r = all_dists
+                    .iter()
+                    .rposition(|&d| d <= k)
+                    .expect("d(u,u)=0 <= k");
                 let dists = all_dists[..=r].to_vec();
                 let heights: Vec<u64> = sig[..=r].iter().map(|&a| height_of(a)).collect();
                 let top = sig[r];
@@ -283,7 +291,11 @@ impl KDistanceScheme {
 
     /// Maximum label size in bits.
     pub fn max_label_bits(&self) -> usize {
-        self.labels.iter().map(KDistanceLabel::bit_len).max().unwrap_or(0)
+        self.labels
+            .iter()
+            .map(KDistanceLabel::bit_len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Offset of side `x`'s ancestor on the common heavy path, where `idx` is
@@ -392,7 +404,9 @@ pub fn ncsa_light_depth(a: &KDistanceLabel, b: &KDistanceLabel) -> Option<usize>
     for i in 0..a.heights.len() {
         let depth_a = lda.checked_sub(i)?;
         // b's ancestor at the same light depth has index ldb - depth_a.
-        let Some(jj) = ldb.checked_sub(depth_a) else { continue };
+        let Some(jj) = ldb.checked_sub(depth_a) else {
+            continue;
+        };
         if jj >= b.heights.len() {
             continue;
         }
@@ -418,7 +432,9 @@ mod tests {
         let pairs: Vec<(usize, usize)> = if n <= 30 {
             (0..n).flat_map(|u| (0..n).map(move |v| (u, v))).collect()
         } else {
-            (0..1200).map(|i| ((i * 29) % n, (i * 83 + 17) % n)).collect()
+            (0..1200)
+                .map(|i| ((i * 29) % n, (i * 83 + 17) % n))
+                .collect()
         };
         for (x, y) in pairs {
             let (u, v) = (tree.node(x), tree.node(y));

@@ -81,7 +81,11 @@ impl LevelAncestorLabel {
     pub fn decode(r: &mut BitReader<'_>) -> Result<Self, DecodeError> {
         let depth = codes::read_delta_nz(r)?;
         let head_offset = codes::read_delta_nz(r)?;
-        let ends: Vec<u32> = MonotoneSeq::decode(r)?.to_vec().iter().map(|&e| e as u32).collect();
+        let ends: Vec<u32> = MonotoneSeq::decode(r)?
+            .to_vec()
+            .iter()
+            .map(|&e| e as u32)
+            .collect();
         let cw_len = codes::read_gamma_nz(r)? as usize;
         if ends.last().map(|&e| e as usize).unwrap_or(0) != cw_len {
             return Err(DecodeError::Malformed {
@@ -150,7 +154,10 @@ impl LevelAncestorScheme {
             if children.is_empty() {
                 continue;
             }
-            let weights: Vec<u64> = children.iter().map(|&c| hp.instance_size(c) as u64).collect();
+            let weights: Vec<u64> = children
+                .iter()
+                .map(|&c| hp.instance_size(c) as u64)
+                .collect();
             let code = treelab_bits::alphabetic::AlphabeticCode::new(&weights);
             for (i, &c) in children.iter().enumerate() {
                 let mut bits = prefix_bits[p].clone();
@@ -158,7 +165,8 @@ impl LevelAncestorScheme {
                 let mut ends = prefix_ends[p].clone();
                 ends.push(bits.len() as u32);
                 let mut branches = prefix_branches[p].clone();
-                branches.push(hp.head_offset(hp.branch_node(c).expect("child path has branch node")));
+                branches
+                    .push(hp.head_offset(hp.branch_node(c).expect("child path has branch node")));
                 prefix_bits[c] = bits;
                 prefix_ends[c] = ends;
                 prefix_branches[c] = branches;
@@ -188,7 +196,11 @@ impl LevelAncestorScheme {
 
     /// Maximum serialized label size in bits.
     pub fn max_label_bits(&self) -> usize {
-        self.labels.iter().map(LevelAncestorLabel::bit_len).max().unwrap_or(0)
+        self.labels
+            .iter()
+            .map(LevelAncestorLabel::bit_len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Computes the label of the parent of the node labelled `label`, or
@@ -205,7 +217,10 @@ impl LevelAncestorScheme {
         } else {
             // The node is the head of its heavy path; the parent is the branch
             // node on the parent heavy path: pop the last light edge.
-            let branch = out.branch_offsets.pop().expect("non-root head has a light edge");
+            let branch = out
+                .branch_offsets
+                .pop()
+                .expect("non-root head has a light edge");
             out.head_offset = branch;
             let last_end = out.ends.pop().expect("ends match branch offsets");
             let new_len = out.ends.last().copied().unwrap_or(0) as usize;

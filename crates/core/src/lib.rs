@@ -105,7 +105,9 @@ pub(crate) mod test_support {
         let pairs: Vec<(usize, usize)> = if n <= 25 {
             (0..n).flat_map(|u| (0..n).map(move |v| (u, v))).collect()
         } else {
-            (0..900).map(|i| ((i * 23) % n, (i * 71 + 11) % n)).collect()
+            (0..900)
+                .map(|i| ((i * 23) % n, (i * 71 + 11) % n))
+                .collect()
         };
         for (x, y) in pairs {
             let (u, v) = (tree.node(x), tree.node(y));

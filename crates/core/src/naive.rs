@@ -69,7 +69,9 @@ impl NaiveLabel {
         let root_distance = codes::read_delta_nz(r)?;
         let width = r.read_bits(8)? as u8;
         if width > 64 {
-            return Err(DecodeError::Malformed { what: "entry width exceeds 64 bits" });
+            return Err(DecodeError::Malformed {
+                what: "entry width exceeds 64 bits",
+            });
         }
         let aux = HpathLabel::decode(r)?;
         let count = codes::read_gamma_nz(r)? as usize;
@@ -117,7 +119,10 @@ impl NaiveScheme {
                     root_distance: hp.root_distance(leaf),
                     aux: aux.label(leaf).clone(),
                     width,
-                    entries: edges.iter().map(|e| e.branch_offset + e.edge_weight).collect(),
+                    entries: edges
+                        .iter()
+                        .map(|e| e.branch_offset + e.edge_weight)
+                        .collect(),
                     weights: edges.iter().map(|e| e.edge_weight as u8).collect(),
                 }
             })
@@ -147,7 +152,11 @@ impl DistanceScheme for NaiveScheme {
     }
 
     fn max_label_bits(&self) -> usize {
-        self.labels.iter().map(NaiveLabel::bit_len).max().unwrap_or(0)
+        self.labels
+            .iter()
+            .map(NaiveLabel::bit_len)
+            .max()
+            .unwrap_or(0)
     }
 
     fn name() -> &'static str {
@@ -179,7 +188,11 @@ where
         return a.root_distance_value().abs_diff(b.root_distance_value());
     }
     let j = HpathLabel::common_light_depth(la, lb);
-    let (dom, _other) = if HpathLabel::dominates(la, lb) { (a, b) } else { (b, a) };
+    let (dom, _other) = if HpathLabel::dominates(la, lb) {
+        (a, b)
+    } else {
+        (b, a)
+    };
     // Root distance of the NCA: sum of the dominating side's first j+1 entries
     // minus the weight of its (j+1)-st light edge.
     let mut sum = 0u64;
@@ -278,9 +291,6 @@ mod tests {
         let bv = wv.into_bitvec();
         let du = NaiveLabel::decode(&mut BitReader::new(&bu)).unwrap();
         let dv = NaiveLabel::decode(&mut BitReader::new(&bv)).unwrap();
-        assert_eq!(
-            NaiveScheme::distance(&du, &dv),
-            tree.distance_naive(u, v)
-        );
+        assert_eq!(NaiveScheme::distance(&du, &dv), tree.distance_naive(u, v));
     }
 }

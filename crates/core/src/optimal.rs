@@ -341,8 +341,8 @@ impl OptimalScheme {
                     // Fat/thin classification (Slack and Thin Lemmas).
                     let n_i = hp.instance_size(p) as u64;
                     let n_prime = hp.subtree_size(branch) as u64;
-                    let fat = config.enable_pushing
-                        && n_i > (n_prime >> config.thin_exponent.min(63));
+                    let fat =
+                        config.enable_pushing && n_i > (n_prime >> config.thin_exponent.min(63));
                     let total_bits = codes::bit_len(value) as u32;
                     let pushed = if fat {
                         let ratio = (n_prime as f64 / n_i as f64).log2().max(0.0);
@@ -421,10 +421,17 @@ impl OptimalScheme {
                     .collect();
                 let entries: Vec<OptimalEntry> = chain[1..]
                     .iter()
-                    .map(|&p| info[p].entry.clone().expect("non-root paths carry an entry"))
+                    .map(|&p| {
+                        info[p]
+                            .entry
+                            .clone()
+                            .expect("non-root paths carry an entry")
+                    })
                     .collect();
-                let accumulators: Vec<BitVec> =
-                    chain[1..].iter().map(|&p| info[p].accumulator.clone()).collect();
+                let accumulators: Vec<BitVec> = chain[1..]
+                    .iter()
+                    .map(|&p| info[p].accumulator.clone())
+                    .collect();
 
                 OptimalLabel {
                     root_distance: hp.root_distance(leaf),
@@ -467,7 +474,11 @@ impl DistanceScheme for OptimalScheme {
             return a.root_distance.abs_diff(b.root_distance);
         }
         let j = HpathLabel::common_light_depth(la, lb);
-        let (dom, other) = if HpathLabel::dominates(la, lb) { (a, b) } else { (b, a) };
+        let (dom, other) = if HpathLabel::dominates(la, lb) {
+            (a, b)
+        } else {
+            (b, a)
+        };
         let entry = dom
             .entries
             .get(j)
@@ -500,7 +511,11 @@ impl DistanceScheme for OptimalScheme {
     }
 
     fn max_label_bits(&self) -> usize {
-        self.labels.iter().map(OptimalLabel::bit_len).max().unwrap_or(0)
+        self.labels
+            .iter()
+            .map(OptimalLabel::bit_len)
+            .max()
+            .unwrap_or(0)
     }
 
     fn name() -> &'static str {
@@ -575,7 +590,10 @@ mod tests {
                     .sum::<u64>()
             })
             .sum();
-        let total_acc: usize = tree.nodes().map(|u| scheme.label(u).accumulator_bits()).sum();
+        let total_acc: usize = tree
+            .nodes()
+            .map(|u| scheme.label(u).accumulator_bits())
+            .sum();
         assert!(total_pushed > 0, "no bits were pushed on the comb family");
         assert!(total_acc > 0, "no label carries accumulator bits");
     }
@@ -666,11 +684,26 @@ mod tests {
         let oracle = DistanceOracle::new(&tree);
         let configs = [
             OptimalConfig::default(),
-            OptimalConfig { enable_pushing: false, ..Default::default() },
-            OptimalConfig { thin_exponent: 2, ..Default::default() },
-            OptimalConfig { thin_exponent: 20, ..Default::default() },
-            OptimalConfig { fragment_block: Some(1), ..Default::default() },
-            OptimalConfig { fragment_block: Some(64), ..Default::default() },
+            OptimalConfig {
+                enable_pushing: false,
+                ..Default::default()
+            },
+            OptimalConfig {
+                thin_exponent: 2,
+                ..Default::default()
+            },
+            OptimalConfig {
+                thin_exponent: 20,
+                ..Default::default()
+            },
+            OptimalConfig {
+                fragment_block: Some(1),
+                ..Default::default()
+            },
+            OptimalConfig {
+                fragment_block: Some(64),
+                ..Default::default()
+            },
         ];
         for config in configs {
             let scheme = OptimalScheme::build_with_config(&tree, config);
@@ -691,18 +724,30 @@ mod tests {
         let tree = gen::comb(2048);
         let no_push = OptimalScheme::build_with_config(
             &tree,
-            OptimalConfig { enable_pushing: false, ..Default::default() },
+            OptimalConfig {
+                enable_pushing: false,
+                ..Default::default()
+            },
         );
         let default = OptimalScheme::build(&tree);
-        let acc_no_push: usize = tree.nodes().map(|u| no_push.label(u).accumulator_bits()).sum();
-        let acc_default: usize = tree.nodes().map(|u| default.label(u).accumulator_bits()).sum();
+        let acc_no_push: usize = tree
+            .nodes()
+            .map(|u| no_push.label(u).accumulator_bits())
+            .sum();
+        let acc_default: usize = tree
+            .nodes()
+            .map(|u| default.label(u).accumulator_bits())
+            .sum();
         assert_eq!(acc_no_push, 0);
         assert!(acc_default > 0);
         // Without pushing, the maximum *payload* is larger (the whole entry
         // stays in the storing label), which is exactly what the Slack Lemma
         // machinery avoids.
         let payload = |s: &OptimalScheme| {
-            tree.nodes().map(|u| s.label(u).array_payload_bits()).max().unwrap()
+            tree.nodes()
+                .map(|u| s.label(u).array_payload_bits())
+                .max()
+                .unwrap()
         };
         assert!(payload(&no_push) >= payload(&default));
     }
@@ -717,7 +762,10 @@ mod tests {
         let bits = w.into_bitvec();
         for cut in [3, bits.len() / 2, bits.len() - 1] {
             let t = bits.slice(0, cut).unwrap();
-            assert!(OptimalLabel::decode(&mut BitReader::new(&t)).is_err(), "cut {cut}");
+            assert!(
+                OptimalLabel::decode(&mut BitReader::new(&t)).is_err(),
+                "cut {cut}"
+            );
         }
     }
 }

@@ -31,7 +31,11 @@ impl LabelStats {
         LabelStats {
             count,
             max_bits,
-            mean_bits: if count == 0 { 0.0 } else { total_bits as f64 / count as f64 },
+            mean_bits: if count == 0 {
+                0.0
+            } else {
+                total_bits as f64 / count as f64
+            },
             total_bits,
         }
     }

@@ -103,7 +103,11 @@ fn attach_universal(b: &mut TreeBuilder, parent: NodeId, n: usize) {
 /// Checks that `universal` contains every rooted tree on at most `n` nodes as
 /// a root-aligned subtree (exhaustively; exponential in `n`).
 pub fn verify_universal(universal: &Tree, n: usize) -> bool {
-    (1..=n).all(|m| all_rooted_trees(m).iter().all(|t| embeds_at_root(t, universal)))
+    (1..=n).all(|m| {
+        all_rooted_trees(m)
+            .iter()
+            .all(|t| embeds_at_root(t, universal))
+    })
 }
 
 /// Result of the Lemma 3.6 conversion.

@@ -83,7 +83,10 @@ impl Binarized {
         }
 
         let tree = b.build();
-        let proxy: Vec<NodeId> = map.into_iter().map(|m| m.expect("every node mapped")).collect();
+        let proxy: Vec<NodeId> = map
+            .into_iter()
+            .map(|m| m.expect("every node mapped"))
+            .collect();
         Binarized { tree, proxy }
     }
 
@@ -115,7 +118,10 @@ mod tests {
         // Structural guarantees.
         assert!(t.is_binary(), "binarized tree must be binary");
         assert!(t.max_weight() <= 1, "weights must be in {{0,1}}");
-        assert!(t.len() <= 4 * original.len() + 1, "size blowup is at most 4x");
+        assert!(
+            t.len() <= 4 * original.len() + 1,
+            "size blowup is at most 4x"
+        );
         for u in original.nodes() {
             assert!(t.is_leaf(bin.proxy(u)), "proxies are leaves");
         }
@@ -177,7 +183,10 @@ mod tests {
         assert!(bin.tree().is_binary());
         // The root's proxy is at distance 0 from the root.
         let oracle = DistanceOracle::new(bin.tree());
-        assert_eq!(oracle.distance(bin.tree().root(), bin.proxy(star.root())), 0);
+        assert_eq!(
+            oracle.distance(bin.tree().root(), bin.proxy(star.root())),
+            0
+        );
     }
 
     #[test]

@@ -19,7 +19,8 @@ use std::collections::HashMap;
 /// parent relation; see module docs).
 pub fn embeds(pattern: &Tree, host: &Tree) -> bool {
     let mut memo: HashMap<(usize, usize), bool> = HashMap::new();
-    host.nodes().any(|h| embeds_at(pattern, pattern.root(), host, h, &mut memo))
+    host.nodes()
+        .any(|h| embeds_at(pattern, pattern.root(), host, h, &mut memo))
 }
 
 /// Returns `true` if `pattern` embeds into `host` with the pattern root mapped
@@ -101,7 +102,12 @@ fn bipartite_match(compat: &[Vec<bool>]) -> usize {
             if compat[u][v] && !visited[v] {
                 visited[v] = true;
                 if match_right[v].is_none()
-                    || try_kuhn(match_right[v].expect("checked"), compat, visited, match_right)
+                    || try_kuhn(
+                        match_right[v].expect("checked"),
+                        compat,
+                        visited,
+                        match_right,
+                    )
                 {
                     match_right[v] = Some(u);
                     return true;
@@ -128,7 +134,10 @@ fn bipartite_match(compat: &[Vec<bool>]) -> usize {
 /// Sizes follow the rooted-tree counting sequence 1, 1, 2, 4, 9, 20, 48, …
 /// Only intended for small `n` (≤ 10 or so).
 pub fn all_rooted_trees(n: usize) -> Vec<Tree> {
-    assert!((1..=12).contains(&n), "enumeration is exponential; keep n small");
+    assert!(
+        (1..=12).contains(&n),
+        "enumeration is exponential; keep n small"
+    );
     // Enumerate canonical forms recursively: a rooted tree on n nodes is a
     // multiset of rooted subtrees with sizes summing to n - 1.  We represent
     // trees canonically by their sorted "level string" encoding.
@@ -144,7 +153,15 @@ pub fn all_rooted_trees(n: usize) -> Vec<Tree> {
             // canonical tree for each part, with non-increasing encodings to
             // avoid duplicates.
             let mut out = Vec::new();
-            let smaller: Vec<Vec<Vec<usize>>> = (0..n).map(|k| if k == 0 { Vec::new() } else { enumerate(k, memo) }).collect();
+            let smaller: Vec<Vec<Vec<usize>>> = (0..n)
+                .map(|k| {
+                    if k == 0 {
+                        Vec::new()
+                    } else {
+                        enumerate(k, memo)
+                    }
+                })
+                .collect();
             // Recursive helper over partitions with canonical (sorted) choices.
             fn go(
                 remaining: usize,
@@ -173,7 +190,14 @@ pub fn all_rooted_trees(n: usize) -> Vec<Tree> {
                 }
             }
             let mut combos: Vec<Vec<Vec<usize>>> = Vec::new();
-            go(n - 1, n - 1, &mut Vec::new(), &smaller, usize::MAX, &mut combos);
+            go(
+                n - 1,
+                n - 1,
+                &mut Vec::new(),
+                &smaller,
+                usize::MAX,
+                &mut combos,
+            );
             for combo in combos {
                 // Assemble parent array: root at index 0, then each subtree
                 // appended with offset, its root's parent set to 0.

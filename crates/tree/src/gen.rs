@@ -17,9 +17,8 @@
 //! * [`regular_tree`] — the `(x⃗,h,d)`-regular trees of the small-`k` lower
 //!   bound (§4.1, Fig. 5).
 
+use crate::rng::SplitMix64 as StdRng;
 use crate::{NodeId, Tree, TreeBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A path on `n ≥ 1` nodes rooted at one end.
 pub fn path(n: usize) -> Tree {
@@ -157,7 +156,12 @@ pub fn from_prufer(sequence: &[usize]) -> Tree {
 ///
 /// Panics if the edges do not form a tree spanning `0..n`.
 pub fn tree_from_edges(n: usize, edges: &[(usize, usize)], root: usize) -> Tree {
-    assert_eq!(edges.len(), n - 1, "a tree on {n} nodes has {} edges", n - 1);
+    assert_eq!(
+        edges.len(),
+        n - 1,
+        "a tree on {n} nodes has {} edges",
+        n - 1
+    );
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
     for &(a, b) in edges {
         adj[a].push(b);
@@ -237,7 +241,13 @@ pub fn random_recursive(n: usize, seed: u64) -> Tree {
     assert!(n >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let parents: Vec<Option<usize>> = (0..n)
-        .map(|i| if i == 0 { None } else { Some(rng.gen_range(0..i)) })
+        .map(|i| {
+            if i == 0 {
+                None
+            } else {
+                Some(rng.gen_range(0..i))
+            }
+        })
         .collect();
     Tree::from_parents(&parents)
 }
@@ -259,7 +269,11 @@ pub fn random_recursive(n: usize, seed: u64) -> Tree {
 /// Panics if `xs.len() != 2^h − 1` or any value is `≥ M`.
 pub fn hm_tree(h: u32, m: u64, xs: &[u64]) -> Tree {
     let needed = (1usize << h) - 1;
-    assert_eq!(xs.len(), needed, "(h,M)-tree with h={h} needs {needed} x-values");
+    assert_eq!(
+        xs.len(),
+        needed,
+        "(h,M)-tree with h={h} needs {needed} x-values"
+    );
     assert!(xs.iter().all(|&x| x < m), "every x must satisfy x < M");
     let mut b = TreeBuilder::new();
     let mut next = 0usize;
@@ -285,7 +299,9 @@ fn build_hm(b: &mut TreeBuilder, root: NodeId, h: u32, m: u64, xs: &[u64], next:
 /// A random `(h, M)`-tree: the `x` values are drawn uniformly from `[0, M)`.
 pub fn hm_tree_random(h: u32, m: u64, seed: u64) -> Tree {
     let mut rng = StdRng::seed_from_u64(seed);
-    let xs: Vec<u64> = (0..(1usize << h) - 1).map(|_| rng.gen_range(0..m)).collect();
+    let xs: Vec<u64> = (0..(1usize << h) - 1)
+        .map(|_| rng.gen_range(0..m))
+        .collect();
     hm_tree(h, m, &xs)
 }
 
@@ -346,7 +362,10 @@ pub fn degree_regular_tree(degrees: &[usize]) -> Tree {
 /// Panics if any `xᵢ` is 0 or exceeds `h`, or if the tree would exceed
 /// `2^28` nodes.
 pub fn regular_tree(xs: &[u32], h: u32, d: u32) -> Tree {
-    assert!(xs.iter().all(|&x| x >= 1 && x <= h), "x values must lie in [1, h]");
+    assert!(
+        xs.iter().all(|&x| x >= 1 && x <= h),
+        "x values must lie in [1, h]"
+    );
     let mut degrees = Vec::with_capacity(2 * xs.len());
     let mut leaves: u64 = 1;
     for &x in xs {
@@ -540,7 +559,12 @@ mod tests {
                 3 => 1,
                 _ => 0,
             };
-            assert_eq!(t.degree(u), expected, "node {u} at depth {}", depths[u.index()]);
+            assert_eq!(
+                t.degree(u),
+                expected,
+                "node {u} at depth {}",
+                depths[u.index()]
+            );
         }
     }
 

@@ -136,7 +136,8 @@ impl HeavyPaths {
         self.cparent.push(parent.map(|(p, _, _)| p));
         self.cchildren.push(Vec::new());
         self.branch_node.push(parent.map(|(_, w, _)| w));
-        self.incoming_weight.push(parent.map(|(_, _, w)| w).unwrap_or(0));
+        self.incoming_weight
+            .push(parent.map(|(_, _, w)| w).unwrap_or(0));
         self.exceptional.push(false);
 
         let instance_size = self.subtree_size[root.index()];
@@ -183,7 +184,11 @@ impl HeavyPaths {
                 // Among children of the last node, order by increasing size so
                 // the largest is rightmost; elsewhere keep the original order
                 // (encoded by a constant key — the sort is stable).
-                let key = if w == last { self.subtree_size[c.index()] } else { 0 };
+                let key = if w == last {
+                    self.subtree_size[c.index()]
+                } else {
+                    0
+                };
                 light.push((i, key, w, c));
             }
         }
@@ -191,8 +196,12 @@ impl HeavyPaths {
 
         let count = light.len();
         for (idx, (_, _, w, c)) in light.into_iter().enumerate() {
-            let child_path =
-                self.build_instance(tree, c, Some((path_id, w, tree.parent_weight(c))), light_depth + 1);
+            let child_path = self.build_instance(
+                tree,
+                c,
+                Some((path_id, w, tree.parent_weight(c))),
+                light_depth + 1,
+            );
             self.cchildren[path_id].push(child_path);
             // The rightmost child is exceptional iff it branches from the last
             // node of the path.
@@ -299,8 +308,7 @@ impl HeavyPaths {
 
     /// Size of the light range of `u`: `|T_u|` minus the heavy subtree.
     pub fn light_size(&self, u: NodeId) -> usize {
-        self.subtree_size(u)
-            - self.heavy_child(u).map_or(0, |h| self.subtree_size(h))
+        self.subtree_size(u) - self.heavy_child(u).map_or(0, |h| self.subtree_size(h))
     }
 
     /// The light range `L_u` as a half-open preorder interval
@@ -679,7 +687,9 @@ mod tests {
             let hp = HeavyPaths::new(&tree);
             let oracle = DistanceOracle::new(&tree);
             let n = tree.len();
-            let pairs: Vec<(usize, usize)> = (0..600).map(|i| ((i * 37) % n, (i * 101 + 13) % n)).collect();
+            let pairs: Vec<(usize, usize)> = (0..600)
+                .map(|i| ((i * 37) % n, (i * 101 + 13) % n))
+                .collect();
             for (a, b) in pairs {
                 let (u, v) = (tree.node(a), tree.node(b));
                 if u == v {
@@ -729,7 +739,11 @@ mod tests {
     /// Helper: the head of the hanging subtree entered through child `c` of a
     /// branch node is `c` itself (c is the head of its heavy path).
     fn hp_head_of_subtree(hp: &HeavyPaths, c: NodeId) -> NodeId {
-        assert_eq!(hp.pos_in_path(c), 0, "a light child is the head of its path");
+        assert_eq!(
+            hp.pos_in_path(c),
+            0,
+            "a light child is the head of its path"
+        );
         c
     }
 

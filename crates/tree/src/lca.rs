@@ -19,7 +19,11 @@ struct SparseTable {
 impl SparseTable {
     fn new(values: Vec<u32>) -> Self {
         let n = values.len();
-        let levels = if n <= 1 { 1 } else { (usize::BITS - (n - 1).leading_zeros()) as usize + 1 };
+        let levels = if n <= 1 {
+            1
+        } else {
+            (usize::BITS - (n - 1).leading_zeros()) as usize + 1
+        };
         let mut table: Vec<Vec<u32>> = Vec::with_capacity(levels);
         table.push((0..n as u32).collect());
         let mut k = 1;
@@ -30,7 +34,11 @@ impl SparseTable {
             for i in 0..=(n - (1 << k)) {
                 let a = prev[i];
                 let b = prev[i + half];
-                row.push(if values[a as usize] <= values[b as usize] { a } else { b });
+                row.push(if values[a as usize] <= values[b as usize] {
+                    a
+                } else {
+                    b
+                });
             }
             table.push(row);
             k += 1;
@@ -123,7 +131,10 @@ impl DistanceOracle {
 
     /// Lowest common ancestor of `u` and `v`.
     pub fn lca(&self, u: NodeId, v: NodeId) -> NodeId {
-        let (mut a, mut b) = (self.first_occurrence[u.index()], self.first_occurrence[v.index()]);
+        let (mut a, mut b) = (
+            self.first_occurrence[u.index()],
+            self.first_occurrence[v.index()],
+        );
         if a > b {
             std::mem::swap(&mut a, &mut b);
         }
@@ -171,7 +182,9 @@ mod tests {
         let pairs: Vec<(usize, usize)> = if n <= 40 {
             (0..n).flat_map(|u| (0..n).map(move |v| (u, v))).collect()
         } else {
-            (0..400).map(|i| ((i * 7919) % n, (i * 104729) % n)).collect()
+            (0..400)
+                .map(|i| ((i * 7919) % n, (i * 104729) % n))
+                .collect()
         };
         for (u, v) in pairs {
             let (u, v) = (tree.node(u), tree.node(v));

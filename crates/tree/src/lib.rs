@@ -31,6 +31,9 @@
 //! * [`newick`] — Newick reader/writer for feeding external tree datasets into
 //!   the schemes.
 //! * [`render`] — ASCII rendering used by the figure-reproduction example.
+//! * [`rng`] — a vendored SplitMix64 generator behind the random families
+//!   (deterministic, dependency-free; the build environment has no crates.io
+//!   access).
 //!
 //! # Example
 //!
@@ -59,5 +62,6 @@ pub mod lca;
 pub mod metrics;
 pub mod newick;
 pub mod render;
+pub mod rng;
 
 pub use tree::{NodeId, Tree, TreeBuilder};

@@ -111,7 +111,11 @@ mod tests {
         assert_eq!(m.leaves, 1);
         assert_eq!(m.height, 99);
         assert_eq!(m.max_degree, 1);
-        assert!(m.heavy_paths >= 2 && m.heavy_paths <= 10, "{}", m.heavy_paths);
+        assert!(
+            m.heavy_paths >= 2 && m.heavy_paths <= 10,
+            "{}",
+            m.heavy_paths
+        );
         assert!(m.longest_heavy_path >= 50);
         assert!(m.max_light_depth <= 7);
         assert_eq!(m.collapsed_height, m.max_light_depth);

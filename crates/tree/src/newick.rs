@@ -22,7 +22,11 @@ pub struct ParseNewickError {
 
 impl fmt::Display for ParseNewickError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid Newick at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "invalid Newick at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 

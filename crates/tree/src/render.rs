@@ -51,7 +51,11 @@ fn render_node<F>(
         format!(" (w={})", tree.parent_weight(u))
     };
     let extra = annotate(tree, u);
-    let extra = if extra.is_empty() { extra } else { format!("  {extra}") };
+    let extra = if extra.is_empty() {
+        extra
+    } else {
+        format!("  {extra}")
+    };
     let _ = writeln!(out, "{prefix}{connector}{u}{weight}{extra}");
     let child_prefix = if prefix.is_empty() {
         String::new()
@@ -62,7 +66,11 @@ fn render_node<F>(
     };
     let kids = tree.children(u);
     for (i, &c) in kids.iter().enumerate() {
-        let p = if prefix.is_empty() { " ".to_string() } else { child_prefix.clone() };
+        let p = if prefix.is_empty() {
+            " ".to_string()
+        } else {
+            child_prefix.clone()
+        };
         render_node(tree, c, &p, i + 1 == kids.len(), out, annotate);
     }
 }
@@ -84,7 +92,11 @@ pub fn ascii_heavy_paths(tree: &Tree, hp: &HeavyPaths) -> String {
                 }
             }
         };
-        format!("[path {} | lightdepth {} | {kind}]", hp.path_of(u), hp.light_depth(u))
+        format!(
+            "[path {} | lightdepth {} | {kind}]",
+            hp.path_of(u),
+            hp.light_depth(u)
+        )
     })
 }
 
@@ -111,7 +123,11 @@ fn render_collapsed(
         "├── "
     };
     let nodes: Vec<String> = hp.path_nodes(p).iter().map(|u| u.to_string()).collect();
-    let exc = if hp.is_exceptional(p) { " (exceptional)" } else { "" };
+    let exc = if hp.is_exceptional(p) {
+        " (exceptional)"
+    } else {
+        ""
+    };
     let _ = writeln!(
         out,
         "{prefix}{connector}P{p}{exc}: [{}]  (instance size {})",
@@ -128,7 +144,11 @@ fn render_collapsed(
     };
     let kids = hp.collapsed_children(p);
     for (i, &c) in kids.iter().enumerate() {
-        let pref = if prefix.is_empty() { " ".to_string() } else { child_prefix.clone() };
+        let pref = if prefix.is_empty() {
+            " ".to_string()
+        } else {
+            child_prefix.clone()
+        };
         render_collapsed(tree, hp, c, &pref, i + 1 == kids.len(), out);
     }
 }

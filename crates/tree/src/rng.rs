@@ -1,0 +1,151 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The generators in [`crate::gen`] only need reproducible, seedable,
+//! reasonably well-mixed random integers — statistical perfection is not
+//! required, cross-run determinism is.  The build environment has no access to
+//! crates.io, so rather than depending on the `rand` crate this module vendors
+//! a [SplitMix64](https://prng.di.unimi.it/splitmix64.c) generator (Steele,
+//! Lea, Flood; OOPSLA 2014), which passes BigCrush when used as a stream and is
+//! the standard seeding primitive of the xoshiro family.
+//!
+//! The API deliberately mirrors the subset of `rand` the crate used to use
+//! (`seed_from_u64`, `gen_range`), so call sites read identically.
+
+use std::ops::Range;
+
+/// A seedable SplitMix64 generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.  Equal seeds yield equal
+    /// streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform sample from a non-empty half-open range.
+    ///
+    /// Uses rejection sampling, so the result is exactly uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T: UniformSample>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+}
+
+/// Integer types [`SplitMix64::gen_range`] can sample uniformly.
+pub trait UniformSample: Sized {
+    /// Draws a uniform sample from `range`.
+    fn sample(rng: &mut SplitMix64, range: Range<Self>) -> Self;
+}
+
+fn sample_u64(rng: &mut SplitMix64, lo: u64, hi: u64) -> u64 {
+    assert!(lo < hi, "cannot sample from empty range {lo}..{hi}");
+    let span = hi - lo;
+    if span.is_power_of_two() {
+        return lo + (rng.next_u64() & (span - 1));
+    }
+    // Rejection sampling over the largest multiple of `span` below 2^64.
+    let zone = u64::MAX - (u64::MAX % span) - 1; // last acceptable value
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return lo + v % span;
+        }
+    }
+}
+
+impl UniformSample for u64 {
+    fn sample(rng: &mut SplitMix64, range: Range<Self>) -> Self {
+        sample_u64(rng, range.start, range.end)
+    }
+}
+
+impl UniformSample for usize {
+    fn sample(rng: &mut SplitMix64, range: Range<Self>) -> Self {
+        sample_u64(rng, range.start as u64, range.end as u64) as usize
+    }
+}
+
+impl UniformSample for u32 {
+    fn sample(rng: &mut SplitMix64, range: Range<Self>) -> Self {
+        sample_u64(rng, u64::from(range.start), u64::from(range.end)) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_splitmix_stream() {
+        // Reference values from the canonical C implementation with seed 0.
+        let mut rng = SplitMix64::seed_from_u64(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(rng.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn determinism_and_seed_sensitivity() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::seed_from_u64(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::seed_from_u64(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = SplitMix64::seed_from_u64(43);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_everything() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "1000 draws should hit all of 0..10"
+        );
+        for _ in 0..1000 {
+            let v = rng.gen_range(5u64..7);
+            assert!((5..7).contains(&v));
+        }
+        // Power-of-two fast path.
+        for _ in 0..100 {
+            let v = rng.gen_range(0u64..8);
+            assert!(v < 8);
+        }
+        // Degenerate one-element range.
+        assert_eq!(rng.gen_range(3usize..4), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_rejects_empty_range() {
+        SplitMix64::seed_from_u64(0).gen_range(5u64..5);
+    }
+}

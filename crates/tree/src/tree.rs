@@ -122,7 +122,10 @@ impl Tree {
             parent_weight,
             root,
         };
-        assert!(tree.is_connected_acyclic(), "parent array contains a cycle or disconnected node");
+        assert!(
+            tree.is_connected_acyclic(),
+            "parent array contains a cycle or disconnected node"
+        );
         tree
     }
 
@@ -384,7 +387,13 @@ impl Tree {
 
 impl fmt::Debug for Tree {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tree(n={}, root={}, height={})", self.len(), self.root, self.height())
+        write!(
+            f,
+            "Tree(n={}, root={}, height={})",
+            self.len(),
+            self.root,
+            self.height()
+        )
     }
 }
 
@@ -455,7 +464,10 @@ impl TreeBuilder {
     /// Panics if `child` is unknown or is the root.
     pub fn set_parent_weight(&mut self, child: NodeId, weight: u64) {
         assert!(child.0 < self.parent.len(), "unknown node {child}");
-        assert!(self.parent[child.0].is_some(), "the root has no parent edge");
+        assert!(
+            self.parent[child.0].is_some(),
+            "the root has no parent edge"
+        );
         self.parent_weight[child.0] = weight;
     }
 
@@ -547,10 +559,8 @@ mod tests {
 
     #[test]
     fn weighted_tree() {
-        let t = Tree::from_parents_weighted(
-            &[None, Some(0), Some(1), Some(1)],
-            Some(&[0, 5, 0, 7]),
-        );
+        let t =
+            Tree::from_parents_weighted(&[None, Some(0), Some(1), Some(1)], Some(&[0, 5, 0, 7]));
         assert_eq!(t.parent_weight(NodeId(1)), 5);
         assert_eq!(t.parent_weight(NodeId(2)), 0);
         assert_eq!(t.root_distances(), vec![0, 5, 5, 12]);
@@ -595,7 +605,10 @@ mod tests {
         let t = b.build();
         let expect = Tree::from_parents(&[None, Some(0), Some(0), Some(1), Some(1), Some(4)]);
         assert_eq!(t, expect);
-        assert_eq!((a, c, d, e, f), (NodeId(1), NodeId(2), NodeId(3), NodeId(4), NodeId(5)));
+        assert_eq!(
+            (a, c, d, e, f),
+            (NodeId(1), NodeId(2), NodeId(3), NodeId(4), NodeId(5))
+        );
     }
 
     #[test]

@@ -67,7 +67,9 @@ fn figure_1() {
     for u in t.nodes() {
         assert!(1usize << hp.light_depth(u) <= t.len());
     }
-    println!("verified: light depth ≤ log₂ n for every node, every node on exactly one heavy path\n");
+    println!(
+        "verified: light depth ≤ log₂ n for every node, every node on exactly one heavy path\n"
+    );
 }
 
 fn figure_2() {

@@ -27,7 +27,12 @@ fn main() {
     let leaves = tree.leaves();
     let oracle = DistanceOracle::new(&tree);
     println!("== (1+ε)-approximate distance labels on a synthetic phylogeny ==");
-    println!("{} taxa ({} tree nodes), height {}\n", leaves.len(), n, tree.height());
+    println!(
+        "{} taxa ({} tree nodes), height {}\n",
+        leaves.len(),
+        n,
+        tree.height()
+    );
 
     println!(
         "{:>8} | {:>9} | {:>10} | {:>12} | {:>14}",

@@ -47,7 +47,10 @@ fn main() {
     println!("== k-distance labels on a DOM-like tree ==");
     println!("document tree: {} nodes, height {}\n", n, tree.height());
 
-    println!("{:>4} | {:>10} | {:>10} | {:>22}", "k", "max bits", "mean bits", "theory log n + k·log(log n/k)");
+    println!(
+        "{:>4} | {:>10} | {:>10} | {:>22}",
+        "k", "max bits", "mean bits", "theory log n + k·log(log n/k)"
+    );
     println!("{}", "-".repeat(60));
     for k in [1u64, 2, 4, 8, 16] {
         let scheme = KDistanceScheme::build(&tree, k);
@@ -104,5 +107,8 @@ fn main() {
         k_up *= 2;
     }
     println!("  {}", steps.join(", "));
-    println!("  (every step computed from the single label, max label {} bits)", la.max_label_bits());
+    println!(
+        "  (every step computed from the single label, max label {} bits)",
+        la.max_label_bits()
+    );
 }

@@ -1,8 +1,10 @@
 //! Integration tests for the k-distance (§4) and (1+ε)-approximate (§5)
-//! schemes, including property-based tests and label-size trend checks.
+//! schemes, including property-style tests (driven by a seeded in-repo
+//! generator — the build environment has no crates.io access, so `proptest`
+//! is not available) and label-size trend checks.
 
-use proptest::prelude::*;
 use treelab::core::stats::LabelStats;
+use treelab::tree::rng::SplitMix64;
 use treelab::{bounds, gen, ApproximateScheme, DistanceOracle, KDistanceScheme, Tree};
 
 fn sample_pairs(n: usize, count: usize) -> Vec<(usize, usize)> {
@@ -104,7 +106,10 @@ fn k_distance_label_sizes_track_the_bound_shape() {
     // within a narrow band: k=16 may cost at most a small multiple of k=1.
     let max = sizes.iter().map(|&(_, b)| b).max().unwrap();
     let min = sizes.iter().map(|&(_, b)| b).min().unwrap();
-    assert!(max < 4 * min, "label sizes vary too wildly across k: {sizes:?}");
+    assert!(
+        max < 4 * min,
+        "label sizes vary too wildly across k: {sizes:?}"
+    );
     let (_, at_1) = sizes[0];
     let (_, at_16) = sizes[4];
     assert!(
@@ -150,17 +155,22 @@ fn k_equals_one_is_an_adjacency_labeling() {
     for (a, b) in sample_pairs(tree.len(), 500) {
         let (u, v) = (tree.node(a), tree.node(b));
         if oracle.distance(u, v) > 1 {
-            assert_eq!(KDistanceScheme::distance(scheme.label(u), scheme.label(v)), None);
+            assert_eq!(
+                KDistanceScheme::distance(scheme.label(u), scheme.label(v)),
+                None
+            );
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
-
-    /// k-distance answers match the oracle on random trees for random k.
-    #[test]
-    fn prop_k_distance_matches_oracle(n in 2usize..150, seed in 0u64..500, k in 1u64..20) {
+/// k-distance answers match the oracle on random trees for random k.
+#[test]
+fn prop_k_distance_matches_oracle() {
+    let mut rng = SplitMix64::seed_from_u64(0xBA01);
+    for case in 0..20 {
+        let n = rng.gen_range(2usize..150);
+        let seed = rng.gen_range(0u64..500);
+        let k = rng.gen_range(1u64..20);
         let tree = gen::random_tree(n, seed);
         let oracle = DistanceOracle::new(&tree);
         let scheme = KDistanceScheme::build(&tree, k);
@@ -169,17 +179,27 @@ proptest! {
             let d = oracle.distance(u, v);
             let got = KDistanceScheme::distance(scheme.label(u), scheme.label(v));
             if d <= k {
-                prop_assert_eq!(got, Some(d));
+                assert_eq!(
+                    got,
+                    Some(d),
+                    "case {case}: n={n} seed={seed} k={k} ({u},{v})"
+                );
             } else {
-                prop_assert_eq!(got, None);
+                assert_eq!(got, None, "case {case}: n={n} seed={seed} k={k} ({u},{v})");
             }
         }
     }
+}
 
-    /// The approximate scheme respects its two-sided guarantee on random trees
-    /// with random ε.
-    #[test]
-    fn prop_approximate_guarantee(n in 2usize..150, seed in 0u64..500, inv_eps in 1u32..40) {
+/// The approximate scheme respects its two-sided guarantee on random trees
+/// with random ε.
+#[test]
+fn prop_approximate_guarantee() {
+    let mut rng = SplitMix64::seed_from_u64(0xBA02);
+    for case in 0..20 {
+        let n = rng.gen_range(2usize..150);
+        let seed = rng.gen_range(0u64..500);
+        let inv_eps = rng.gen_range(1u32..40);
         let eps = 1.0 / f64::from(inv_eps);
         let tree = gen::random_tree(n, seed);
         let oracle = DistanceOracle::new(&tree);
@@ -188,8 +208,14 @@ proptest! {
             let (u, v) = (tree.node(a), tree.node(b));
             let d = oracle.distance(u, v);
             let est = ApproximateScheme::distance(scheme.label(u), scheme.label(v));
-            prop_assert!(est >= d);
-            prop_assert!(est as f64 <= (1.0 + eps) * d as f64 + 2.0);
+            assert!(
+                est >= d,
+                "case {case}: n={n} seed={seed} eps={eps} ({u},{v})"
+            );
+            assert!(
+                est as f64 <= (1.0 + eps) * d as f64 + 2.0,
+                "case {case}: n={n} seed={seed} eps={eps} ({u},{v}): est {est}, d {d}"
+            );
         }
     }
 }

@@ -1,8 +1,9 @@
 //! Integration tests: every exact scheme against the ground-truth oracle, on
-//! every generator family, across sizes and seeds, plus property-based tests on
-//! uniformly random trees.
+//! every generator family, across sizes and seeds, plus property-style tests on
+//! uniformly random trees (driven by a seeded in-repo generator — the build
+//! environment has no crates.io access, so `proptest` is not available).
 
-use proptest::prelude::*;
+use treelab::tree::rng::SplitMix64;
 use treelab::{
     gen, DistanceArrayScheme, DistanceOracle, DistanceScheme, NaiveScheme, OptimalScheme, Tree,
 };
@@ -121,55 +122,69 @@ fn distance_axioms_hold_on_label_answers() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// On uniformly random labeled trees (via random Prüfer sequences), the
-    /// optimal scheme agrees with the oracle on all sampled pairs.
-    #[test]
-    fn prop_optimal_matches_oracle(n in 2usize..180, seed in 0u64..1000) {
+/// On uniformly random labeled trees (via random Prüfer sequences), the
+/// optimal scheme agrees with the oracle on all sampled pairs.
+#[test]
+fn prop_optimal_matches_oracle() {
+    let mut rng = SplitMix64::seed_from_u64(0xE5A1);
+    for case in 0..24 {
+        let n = rng.gen_range(2usize..180);
+        let seed = rng.gen_range(0u64..1000);
         let tree = gen::random_tree(n, seed);
         let oracle = DistanceOracle::new(&tree);
         let scheme = OptimalScheme::build(&tree);
         for (a, b) in sample_pairs(n, 120) {
             let (u, v) = (tree.node(a), tree.node(b));
-            prop_assert_eq!(
+            assert_eq!(
                 OptimalScheme::distance(scheme.label(u), scheme.label(v)),
-                oracle.distance(u, v)
+                oracle.distance(u, v),
+                "case {case}: n={n} seed={seed} pair ({u},{v})"
             );
         }
     }
+}
 
-    /// The distance-array scheme agrees with the oracle on random binary trees
-    /// (exercising the binarization fast path where nodes already have few
-    /// children).
-    #[test]
-    fn prop_distance_array_matches_oracle_on_binary(n in 2usize..150, seed in 0u64..1000) {
+/// The distance-array scheme agrees with the oracle on random binary trees
+/// (exercising the binarization fast path where nodes already have few
+/// children).
+#[test]
+fn prop_distance_array_matches_oracle_on_binary() {
+    let mut rng = SplitMix64::seed_from_u64(0xE5A2);
+    for case in 0..24 {
+        let n = rng.gen_range(2usize..150);
+        let seed = rng.gen_range(0u64..1000);
         let tree = gen::random_binary(n, seed);
         let oracle = DistanceOracle::new(&tree);
         let scheme = DistanceArrayScheme::build(&tree);
         for (a, b) in sample_pairs(n, 100) {
             let (u, v) = (tree.node(a), tree.node(b));
-            prop_assert_eq!(
+            assert_eq!(
                 DistanceArrayScheme::distance(scheme.label(u), scheme.label(v)),
-                oracle.distance(u, v)
+                oracle.distance(u, v),
+                "case {case}: n={n} seed={seed} pair ({u},{v})"
             );
         }
     }
+}
 
-    /// Binarization preserves distances for arbitrary Prüfer-random trees
-    /// (cross-crate invariant behind every exact scheme).
-    #[test]
-    fn prop_binarization_preserves_distances(n in 1usize..120, seed in 0u64..1000) {
+/// Binarization preserves distances for arbitrary Prüfer-random trees
+/// (cross-crate invariant behind every exact scheme).
+#[test]
+fn prop_binarization_preserves_distances() {
+    let mut rng = SplitMix64::seed_from_u64(0xE5A3);
+    for case in 0..24 {
+        let n = rng.gen_range(1usize..120);
+        let seed = rng.gen_range(0u64..1000);
         let tree = gen::random_tree(n, seed);
         let bin = treelab::tree::binarize::Binarized::new(&tree);
         let oracle = DistanceOracle::new(&tree);
         let bin_oracle = DistanceOracle::new(bin.tree());
         for (a, b) in sample_pairs(n, 80) {
             let (u, v) = (tree.node(a), tree.node(b));
-            prop_assert_eq!(
+            assert_eq!(
                 oracle.distance(u, v),
-                bin_oracle.distance(bin.proxy(u), bin.proxy(v))
+                bin_oracle.distance(bin.proxy(u), bin.proxy(v)),
+                "case {case}: n={n} seed={seed} pair ({u},{v})"
             );
         }
     }

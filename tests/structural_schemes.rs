@@ -1,14 +1,16 @@
 //! Integration tests for the level-ancestor scheme, universal trees, the
 //! heavy-path auxiliary labels and label serialization — the structural
-//! machinery of §2, §3.5 and §3.6.
+//! machinery of §2, §3.5 and §3.6.  Property-style tests are driven by a
+//! seeded in-repo generator (the build environment has no crates.io access,
+//! so `proptest` is not available).
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use treelab::bits::{BitReader, BitWriter};
 use treelab::core::hpath::{HpathLabel, HpathLabeling};
 use treelab::core::level_ancestor::LevelAncestorScheme;
 use treelab::core::universal::{universal_from_parent_labels, universal_tree, verify_universal};
 use treelab::tree::embed::{all_rooted_trees, embeds, embeds_at_root};
+use treelab::tree::rng::SplitMix64;
 use treelab::{gen, DistanceOracle, DistanceScheme, HeavyPaths, OptimalScheme};
 
 #[test]
@@ -108,7 +110,11 @@ fn universal_tree_grows_much_faster_than_any_label_count() {
 
 #[test]
 fn hpath_labels_agree_with_oracle_structure() {
-    for tree in [gen::random_tree(300, 41), gen::comb(300), gen::caterpillar(50, 4)] {
+    for tree in [
+        gen::random_tree(300, 41),
+        gen::comb(300),
+        gen::caterpillar(50, 4),
+    ] {
         let hp = HeavyPaths::new(&tree);
         let labeling = HpathLabeling::with_heavy_paths(&tree, &hp);
         let oracle = DistanceOracle::new(&tree);
@@ -190,13 +196,14 @@ fn truncated_labels_fail_to_decode_rather_than_panicking_or_lying() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Parent chains derived from labels alone always terminate at the root in
-    /// exactly depth(u) steps, on random trees.
-    #[test]
-    fn prop_parent_chain_has_depth_length(n in 1usize..120, seed in 0u64..500) {
+/// Parent chains derived from labels alone always terminate at the root in
+/// exactly depth(u) steps, on random trees.
+#[test]
+fn prop_parent_chain_has_depth_length() {
+    let mut rng = SplitMix64::seed_from_u64(0x57A1);
+    for case in 0..16 {
+        let n = rng.gen_range(1usize..120);
+        let seed = rng.gen_range(0u64..500);
         let tree = gen::random_tree(n, seed);
         let scheme = LevelAncestorScheme::build(&tree);
         let depths = tree.depths();
@@ -206,27 +213,44 @@ proptest! {
             while let Some(next) = LevelAncestorScheme::parent(&label) {
                 label = next;
                 steps += 1;
-                prop_assert!(steps <= n);
+                assert!(steps <= n, "case {case}: n={n} seed={seed} node {u}");
             }
-            prop_assert_eq!(steps, depths[u.index()]);
+            assert_eq!(
+                steps,
+                depths[u.index()],
+                "case {case}: n={n} seed={seed} node {u}"
+            );
         }
     }
+}
 
-    /// Random trees always embed into the recursive universal tree of their
-    /// size.
-    #[test]
-    fn prop_random_trees_embed_into_universal(n in 1usize..9, seed in 0u64..200) {
+/// Random trees always embed into the recursive universal tree of their size.
+#[test]
+fn prop_random_trees_embed_into_universal() {
+    let mut rng = SplitMix64::seed_from_u64(0x57A2);
+    for case in 0..16 {
+        let n = rng.gen_range(1usize..9);
+        let seed = rng.gen_range(0u64..200);
         let tree = gen::random_tree(n, seed);
         let u = universal_tree(n);
-        prop_assert!(embeds_at_root(&tree, &u));
+        assert!(embeds_at_root(&tree, &u), "case {case}: n={n} seed={seed}");
     }
+}
 
-    /// Heavy-path auxiliary labels stay logarithmic on random trees.
-    #[test]
-    fn prop_hpath_labels_logarithmic(n in 2usize..600, seed in 0u64..300) {
+/// Heavy-path auxiliary labels stay logarithmic on random trees.
+#[test]
+fn prop_hpath_labels_logarithmic() {
+    let mut rng = SplitMix64::seed_from_u64(0x57A3);
+    for case in 0..16 {
+        let n = rng.gen_range(2usize..600);
+        let seed = rng.gen_range(0u64..300);
         let tree = gen::random_tree(n, seed);
         let labeling = HpathLabeling::build(&tree);
         let bound = (14.0 * (n as f64).log2() + 80.0) as usize;
-        prop_assert!(labeling.max_label_bits() <= bound);
+        assert!(
+            labeling.max_label_bits() <= bound,
+            "case {case}: n={n} seed={seed}: {} > {bound}",
+            labeling.max_label_bits()
+        );
     }
 }
