@@ -1,4 +1,7 @@
-//! Criterion bench: label construction time for every scheme (experiment E8).
+//! Criterion bench: label construction time for every scheme (experiment E8),
+//! both the isolated `build` path and the shared-substrate path (the
+//! substrate is pre-built, so the `*_substrate` numbers isolate the pure
+//! label-construction cost each scheme adds on top of the shared work).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
@@ -8,6 +11,7 @@ use treelab_core::distance_array::DistanceArrayScheme;
 use treelab_core::kdistance::KDistanceScheme;
 use treelab_core::naive::NaiveScheme;
 use treelab_core::optimal::OptimalScheme;
+use treelab_core::substrate::Substrate;
 use treelab_core::DistanceScheme;
 
 fn bench_encode(c: &mut Criterion) {
@@ -33,6 +37,43 @@ fn bench_encode(c: &mut Criterion) {
             BenchmarkId::new("approximate_eps_quarter", n),
             &tree,
             |b, t| b.iter(|| ApproximateScheme::build(t, 0.25).max_label_bits()),
+        );
+
+        // Shared-substrate counterparts: the substrate cost is paid once in
+        // setup, so these measure the marginal per-scheme construction time.
+        let sub = Substrate::new(&tree);
+        sub.precompute();
+        group.bench_with_input(
+            BenchmarkId::new("substrate_precompute", n),
+            &tree,
+            |b, t| {
+                b.iter(|| {
+                    let s = Substrate::new(t);
+                    s.precompute();
+                    s.heavy_paths().path_count()
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("naive_substrate", n), &sub, |b, s| {
+            b.iter(|| NaiveScheme::build_with_substrate(s).max_label_bits())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("distance_array_substrate", n),
+            &sub,
+            |b, s| b.iter(|| DistanceArrayScheme::build_with_substrate(s).max_label_bits()),
+        );
+        group.bench_with_input(BenchmarkId::new("optimal_substrate", n), &sub, |b, s| {
+            b.iter(|| OptimalScheme::build_with_substrate(s).max_label_bits())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("kdistance_k8_substrate", n),
+            &sub,
+            |b, s| b.iter(|| KDistanceScheme::build_with_substrate(s, 8).max_label_bits()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("approximate_eps_quarter_substrate", n),
+            &sub,
+            |b, s| b.iter(|| ApproximateScheme::build_with_substrate(s, 0.25).max_label_bits()),
         );
     }
     group.finish();

@@ -16,8 +16,10 @@ fn bench_serialization(c: &mut Criterion) {
     group.sample_size(20);
     for &n in &[1usize << 12, 1 << 15] {
         let tree = Family::Comb.build(n, 5);
-        let opt = OptimalScheme::build(&tree);
-        let kd = KDistanceScheme::build(&tree, 8);
+        // Setup via the shared substrate: one decomposition for both schemes.
+        let sub = treelab_core::substrate::Substrate::new(&tree);
+        let opt = OptimalScheme::build_with_substrate(&sub);
+        let kd = KDistanceScheme::build_with_substrate(&sub, 8);
         let node = tree.node(tree.len() - 1);
 
         group.bench_with_input(

@@ -1,26 +1,53 @@
 //! Regenerates every table of `EXPERIMENTS.md`.
 //!
 //! ```text
-//! cargo run --release -p treelab-bench --bin experiments -- [--quick] [--exact] [--approx]
-//!     [--kdist-small] [--kdist-large] [--lower-bounds] [--universal] [--ablation] [--timing]
+//! cargo run --release -p treelab-bench --bin experiments -- [--quick] [--threads N] [--exact]
+//!     [--approx] [--kdist-small] [--kdist-large] [--lower-bounds] [--universal] [--ablation]
+//!     [--timing] [--substrate]
 //! ```
 //!
 //! With no selection flags, all experiments run.  `--quick` shrinks the sizes
 //! so the full suite finishes in well under a minute (used in CI); the numbers
 //! recorded in `EXPERIMENTS.md` come from the default (non-quick) sizes.
+//! `--threads N` pins label construction to `N` worker threads (`1` = the
+//! serial path, `0` = all available cores; the CI matrix runs both).
 
 use treelab_bench::experiments::{
     ablation_experiment, approximate_experiment, exact_experiment, k_large_experiment,
-    k_small_experiment, lower_bound_experiment, timing_experiment, universal_experiment,
+    k_small_experiment, lower_bound_experiment, substrate_experiment, timing_experiment,
+    universal_experiment,
 };
 use treelab_bench::workloads::Family;
+use treelab_core::substrate::Parallelism;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let par = args
+        .iter()
+        .position(|a| a == "--threads")
+        .map(|i| {
+            let n = args
+                .get(i + 1)
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or_else(|| panic!("--threads expects a number"));
+            Parallelism::from_thread_count(n)
+        })
+        .unwrap_or_default();
+    let mut skip_next = false;
     let selected: Vec<&str> = args
         .iter()
-        .filter(|a| *a != "--quick")
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--threads" {
+                skip_next = true;
+                return false;
+            }
+            *a != "--quick"
+        })
         .map(String::as_str)
         .collect();
     let run = |name: &str| selected.is_empty() || selected.contains(&name);
@@ -69,5 +96,13 @@ fn main() {
             &[1 << 12, 1 << 14, 1 << 16]
         };
         println!("{}", timing_experiment(sizes, seed).to_markdown());
+    }
+    if run("--substrate") {
+        let sizes: &[usize] = if quick {
+            &[1 << 11]
+        } else {
+            &[1 << 12, 1 << 14, 1 << 16]
+        };
+        println!("{}", substrate_experiment(sizes, seed, par).to_markdown());
     }
 }

@@ -15,9 +15,9 @@ use treelab_core::level_ancestor::LevelAncestorScheme;
 use treelab_core::naive::NaiveScheme;
 use treelab_core::optimal::OptimalScheme;
 use treelab_core::stats::LabelStats;
+use treelab_core::substrate::{Parallelism, Substrate};
 use treelab_core::universal::{universal_from_parent_labels, universal_tree_size};
 use treelab_core::DistanceScheme;
-use treelab_tree::lca::DistanceOracle;
 use treelab_tree::{gen, Tree};
 
 fn stats_of<S: DistanceScheme>(scheme: &S, tree: &Tree) -> LabelStats {
@@ -42,9 +42,12 @@ pub fn exact_experiment(sizes: &[usize], families: &[Family], seed: u64) -> Tabl
     for &family in families {
         for &n in sizes {
             let tree = family.build(n, seed);
-            let naive = NaiveScheme::build(&tree);
-            let da = DistanceArrayScheme::build(&tree);
-            let opt = OptimalScheme::build(&tree);
+            // One substrate per tree: the three exact schemes share a single
+            // binarization + decomposition + auxiliary labeling.
+            let sub = Substrate::new(&tree);
+            let naive = NaiveScheme::build_with_substrate(&sub);
+            let da = DistanceArrayScheme::build_with_substrate(&sub);
+            let opt = OptimalScheme::build_with_substrate(&sub);
             let da_payload = tree
                 .nodes()
                 .map(|u| da.label(u).array_payload_bits())
@@ -89,9 +92,11 @@ pub fn approximate_experiment(n: usize, epsilons: &[f64], seed: u64) -> Table {
         ],
     );
     let tree = gen::random_binary(n, seed);
-    let oracle = DistanceOracle::new(&tree);
+    // One substrate for the whole ε sweep (decomposition, aux labels, oracle).
+    let sub = Substrate::new(&tree);
+    let oracle = sub.oracle();
     for &eps in epsilons {
-        let scheme = ApproximateScheme::build(&tree, eps);
+        let scheme = ApproximateScheme::build_with_substrate(&sub, eps);
         let stats = LabelStats::from_sizes(tree.nodes().map(|u| scheme.label_bits(u)));
         let mut worst: f64 = 1.0;
         for i in 0..4000usize {
@@ -132,8 +137,9 @@ pub fn k_small_experiment(n: usize, ks: &[u64], seed: u64) -> Table {
     );
     for family in [Family::Random, Family::Caterpillar, Family::Comb] {
         let tree = family.build(n, seed);
+        let sub = Substrate::new(&tree);
         for &k in ks {
-            let scheme = KDistanceScheme::build(&tree, k);
+            let scheme = KDistanceScheme::build_with_substrate(&sub, k);
             let stats = LabelStats::from_sizes(tree.nodes().map(|u| scheme.label_bits(u)));
             table.push_row(vec![
                 family.name().to_string(),
@@ -158,9 +164,10 @@ pub fn k_large_experiment(n: usize, seed: u64) -> Table {
     let log_n = (n as f64).log2() as u64;
     for family in [Family::Random, Family::Caterpillar] {
         let tree = family.build(n, seed);
+        let sub = Substrate::new(&tree);
         for mult in [1u64, 2, 4, 16, 64] {
             let k = (log_n * mult).max(1);
-            let scheme = KDistanceScheme::build(&tree, k);
+            let scheme = KDistanceScheme::build_with_substrate(&sub, k);
             let stats = LabelStats::from_sizes(tree.nodes().map(|u| scheme.label_bits(u)));
             table.push_row(vec![
                 family.name().to_string(),
@@ -280,6 +287,9 @@ pub fn ablation_experiment(n: usize, seed: u64) -> Table {
         ],
     );
     let tree = Family::Comb.build(n, seed);
+    // All six variants share one substrate (the knobs only affect the
+    // modified-distance-array stage, not the decomposition).
+    let sub = Substrate::new(&tree);
     let variants: Vec<(&str, OptimalConfig)> = vec![
         ("paper defaults (c=8, B=⌈√log n⌉)", OptimalConfig::default()),
         (
@@ -319,7 +329,7 @@ pub fn ablation_experiment(n: usize, seed: u64) -> Table {
         ),
     ];
     for (name, config) in variants {
-        let scheme = OptimalScheme::build_with_config(&tree, config);
+        let scheme = OptimalScheme::build_with_substrate_config(&sub, config);
         let stats = stats_of(&scheme, &tree);
         let payload = tree
             .nodes()
@@ -399,6 +409,79 @@ pub fn timing_experiment(sizes: &[usize], seed: u64) -> Table {
     table
 }
 
+/// E10: the shared-substrate construction sweep — total wall-clock time to
+/// build **all six** per-tree schemes (the exact trio, k-distance,
+/// approximate, level-ancestor) with isolated `build` calls versus one shared
+/// [`Substrate`], at the given [`Parallelism`].
+///
+/// This is the number the ISSUE-2 acceptance criterion is about: the shared
+/// substrate must cut the per-tree construction total by ≥ 30% at `n = 16k`
+/// (it removes five of the six heavy-path decompositions, auxiliary labelings
+/// and binarizations).
+pub fn substrate_experiment(sizes: &[usize], seed: u64, par: Parallelism) -> Table {
+    let mut table = Table::new(
+        format!(
+            "E10 — shared build substrate: per-tree construction of all 6 schemes \
+             (random trees, {} thread(s))",
+            par.thread_count()
+        ),
+        &[
+            "n",
+            "isolated builds (ms)",
+            "shared substrate (ms)",
+            "of which substrate (ms)",
+            "reduction",
+        ],
+    );
+    for &n in sizes {
+        let tree = gen::random_tree(n, seed);
+
+        // Warm-up pass so first-touch allocator effects hit neither side.
+        std::hint::black_box(NaiveScheme::build(&tree));
+
+        // Isolated side: a fresh (unshared) substrate per scheme, pinned to
+        // the same parallelism as the shared side so the two columns differ
+        // only in sharing, not in thread count.
+        let isolated = || Substrate::with_parallelism(&tree, par);
+        let t0 = Instant::now();
+        std::hint::black_box(NaiveScheme::build_with_substrate(&isolated()));
+        std::hint::black_box(DistanceArrayScheme::build_with_substrate(&isolated()));
+        std::hint::black_box(OptimalScheme::build_with_substrate(&isolated()));
+        std::hint::black_box(KDistanceScheme::build_with_substrate(&isolated(), 8));
+        std::hint::black_box(ApproximateScheme::build_with_substrate(&isolated(), 0.25));
+        std::hint::black_box(LevelAncestorScheme::build_with_substrate(&isolated()));
+        let isolated_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t1 = Instant::now();
+        let sub = Substrate::with_parallelism(&tree, par);
+        // Only the components the schemes consume (the oracle is a
+        // validation-side structure; charging it here would be unfair to the
+        // shared path).
+        sub.heavy_paths();
+        sub.aux_labels();
+        sub.depths();
+        sub.root_distances();
+        sub.binarized();
+        let substrate_ms = t1.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(NaiveScheme::build_with_substrate(&sub));
+        std::hint::black_box(DistanceArrayScheme::build_with_substrate(&sub));
+        std::hint::black_box(OptimalScheme::build_with_substrate(&sub));
+        std::hint::black_box(KDistanceScheme::build_with_substrate(&sub, 8));
+        std::hint::black_box(ApproximateScheme::build_with_substrate(&sub, 0.25));
+        std::hint::black_box(LevelAncestorScheme::build_with_substrate(&sub));
+        let shared_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        table.push_row(vec![
+            tree.len().to_string(),
+            format!("{isolated_ms:.1}"),
+            format!("{shared_ms:.1}"),
+            format!("{substrate_ms:.1}"),
+            format!("{:.0}%", 100.0 * (1.0 - shared_ms / isolated_ms)),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,6 +530,16 @@ mod tests {
                 .unwrap()
         };
         assert!(payload_of("paper defaults") <= payload_of("no bit pushing"));
+    }
+
+    #[test]
+    fn substrate_experiment_reports_a_reduction() {
+        let t = substrate_experiment(&[512], 3, Parallelism::Serial);
+        assert_eq!(t.rows.len(), 1);
+        let shared: f64 = t.rows[0][2].parse().unwrap();
+        let isolated: f64 = t.rows[0][1].parse().unwrap();
+        assert!(shared > 0.0 && isolated > 0.0);
+        assert!(t.rows[0][4].ends_with('%'));
     }
 
     #[test]

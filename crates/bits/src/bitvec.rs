@@ -110,11 +110,27 @@ impl BitVec {
         }
     }
 
-    /// Appends all bits of `other`.
+    /// Appends all bits of `other` (word-at-a-time; labels concatenate many
+    /// codeword/accumulator vectors, so this is an encode/build hot path).
     pub fn extend_from(&mut self, other: &BitVec) {
-        for i in 0..other.len {
-            self.push(other.get(i).expect("index in range"));
+        if other.len == 0 {
+            return;
         }
+        let shift = self.len % 64;
+        if shift == 0 {
+            self.words.extend_from_slice(&other.words);
+        } else {
+            // Splice each source word across the current partial word and a
+            // fresh one.  Source bits beyond `other.len` are zero (invariant),
+            // so no garbage is shifted in.
+            self.words.reserve(other.words.len());
+            for (carry_idx, &w) in (self.words.len() - 1..).zip(other.words.iter()) {
+                self.words[carry_idx] |= w << shift;
+                self.words.push(w >> (64 - shift));
+            }
+        }
+        self.len += other.len;
+        self.words.truncate(self.len.div_ceil(64));
     }
 
     /// Appends `count` copies of `bit`.
@@ -137,14 +153,22 @@ impl BitVec {
     /// Reads `width ≤ 64` bits starting at `start` (MSB-first, matching
     /// [`BitVec::push_bits`]), or `None` if the range is out of bounds.
     pub fn get_bits(&self, start: usize, width: usize) -> Option<u64> {
-        if width > 64 || start + width > self.len {
+        if width > 64 || start > self.len || width > self.len - start {
             return None;
         }
-        let mut v = 0u64;
-        for i in 0..width {
-            v = (v << 1) | u64::from(self.get(start + i).expect("checked range"));
+        if width == 0 {
+            return Some(0);
         }
-        Some(v)
+        // Bit `start + i` lives at words[(start+i)/64] >> ((start+i)%64); pack
+        // the run into one word with vector order = ascending significance …
+        let word = start / 64;
+        let off = start % 64;
+        let mut raw = self.words[word] >> off;
+        if off + width > 64 {
+            raw |= self.words[word + 1] << (64 - off);
+        }
+        // … then reverse so the first vector bit becomes the MSB of the value.
+        Some(raw.reverse_bits() >> (64 - width))
     }
 
     /// Sets the bit at `index`.
@@ -594,6 +618,60 @@ mod tests {
         bv2.extend(vec![false, true]);
         assert_eq!(bv2.len(), 5);
         assert_eq!(bv2.get(4), Some(true));
+    }
+
+    #[test]
+    fn get_bits_matches_bitwise_reference() {
+        let bv = BitVec::from_bools((0..400).map(|i| (i * 2654435761u64) % 7 < 3));
+        for &(start, width) in &[
+            (0usize, 0usize),
+            (0, 1),
+            (0, 64),
+            (1, 64),
+            (63, 2),
+            (63, 64),
+            (64, 64),
+            (65, 63),
+            (127, 64),
+            (130, 17),
+            (336, 64),
+            (399, 1),
+            (400, 0),
+        ] {
+            let expect = {
+                let mut v = 0u64;
+                for i in 0..width {
+                    v = (v << 1) | u64::from(bv.get(start + i).unwrap());
+                }
+                v
+            };
+            assert_eq!(bv.get_bits(start, width), Some(expect), "({start},{width})");
+        }
+        assert_eq!(bv.get_bits(400, 1), None);
+        assert_eq!(bv.get_bits(350, 64), None);
+        assert_eq!(bv.get_bits(usize::MAX, 2), None);
+    }
+
+    #[test]
+    fn extend_from_matches_bit_by_bit_reference() {
+        for a_len in [0usize, 1, 5, 63, 64, 65, 130] {
+            for b_len in [0usize, 1, 7, 64, 100, 129] {
+                let a = BitVec::from_bools((0..a_len).map(|i| i % 3 != 1));
+                let b = BitVec::from_bools((0..b_len).map(|i| (i * 5) % 4 == 0));
+                let mut fast = a.clone();
+                fast.extend_from(&b);
+                let mut slow = a.clone();
+                for i in 0..b.len() {
+                    slow.push(b.get(i).unwrap());
+                }
+                assert_eq!(fast, slow, "a_len={a_len} b_len={b_len}");
+                assert_eq!(fast.words().len(), fast.len().div_ceil(64));
+                // Appending after an extend keeps the tail invariant intact.
+                fast.push(true);
+                slow.push(true);
+                assert_eq!(fast, slow);
+            }
+        }
     }
 
     #[test]

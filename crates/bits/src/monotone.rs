@@ -244,6 +244,15 @@ impl MonotoneSeq {
                 high: RankSelect::new(BitVec::new()),
             });
         }
+        // Every element needs at least one (terminating-one) bit in the high
+        // part, so a length beyond the remaining input is malformed.  Checking
+        // *before* allocating keeps corrupt inputs from requesting huge
+        // buffers (a crash, not a DecodeError).
+        if len > r.remaining() {
+            return Err(DecodeError::Malformed {
+                what: "monotone sequence length exceeds remaining input",
+            });
+        }
         let low_width = codes::read_gamma_nz(r)? as usize;
         if low_width > 63 {
             return Err(DecodeError::Malformed {
@@ -251,6 +260,11 @@ impl MonotoneSeq {
             });
         }
         let high_len = codes::read_gamma_nz(r)? as usize;
+        if high_len > r.remaining() {
+            return Err(DecodeError::Malformed {
+                what: "monotone sequence high part exceeds remaining input",
+            });
+        }
         let mut high_bits = BitVec::with_capacity(high_len);
         for _ in 0..high_len {
             high_bits.push(r.read_bit()?);

@@ -16,10 +16,10 @@
 //! `[d(u,v), (1+ε)·d(u,v) + 2]` (the `+2` is integer-rounding slack that
 //! vanishes for distances `≥ 2/ε`; the paper works with real-valued rounding).
 
-use crate::hpath::{HpathLabel, HpathLabeling};
+use crate::hpath::HpathLabel;
+use crate::substrate::{self, Substrate};
 use std::cmp::Ordering;
 use treelab_bits::{codes, monotone::MonotoneSeq, BitReader, BitWriter, DecodeError};
-use treelab_tree::heavy::HeavyPaths;
 use treelab_tree::{NodeId, Tree};
 
 /// Rounds `d ≥ 1` up to the smallest value of the form `⌈(1+eps)^e⌉` and
@@ -120,44 +120,53 @@ impl ApproximateScheme {
     ///
     /// Panics unless `0 < ε ≤ 1` (the regime of Theorem 1.4).
     pub fn build(tree: &Tree, epsilon: f64) -> Self {
+        Self::build_with_substrate(&Substrate::new(tree), epsilon)
+    }
+
+    /// Builds the scheme from a shared [`Substrate`] (same labels as
+    /// [`ApproximateScheme::build`], bit for bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ε ≤ 1` (the regime of Theorem 1.4).
+    pub fn build_with_substrate(sub: &Substrate<'_>, epsilon: f64) -> Self {
         assert!(
             epsilon > 0.0 && epsilon <= 1.0,
             "epsilon must lie in (0, 1], got {epsilon}"
         );
         // Internal rounding uses ε/2 so the final estimate is (1+ε)-accurate.
         let half = epsilon / 2.0;
-        let hp = HeavyPaths::new(tree);
-        let aux = HpathLabeling::with_heavy_paths(tree, &hp);
-        let rd = tree.root_distances();
-        let labels = tree
-            .nodes()
-            .map(|v| {
-                let sig = hp.significant_ancestors(v);
-                // Skip sig[0] = v itself; store exponents for v₁, …, v_k.
-                let exponents: Vec<u64> = sig[1..]
-                    .iter()
-                    .map(|&a| {
-                        let d = rd[v.index()] - rd[a.index()];
-                        if d == 0 {
-                            0
-                        } else {
-                            // Reserve exponent 0 for "distance 0" (possible with
-                            // 0-weight edges) by shifting real exponents up by 1.
-                            round_up_exponent(d, half) + 1
-                        }
-                    })
-                    .collect();
-                // The sequence must be non-decreasing for Lemma 2.2; distances
-                // to higher significant ancestors only grow, and the 0-shift
-                // preserves order.
-                ApproximateLabel {
-                    epsilon,
-                    root_distance: rd[v.index()],
-                    aux: aux.label(v).clone(),
-                    exponents,
-                }
-            })
-            .collect();
+        let tree = sub.tree();
+        let hp = sub.heavy_paths();
+        let aux = sub.aux_labels();
+        let rd = sub.root_distances();
+        let labels = substrate::build_vec(sub.parallelism(), tree.len(), |i| {
+            let v = tree.node(i);
+            let sig = hp.significant_ancestors(v);
+            // Skip sig[0] = v itself; store exponents for v₁, …, v_k.
+            let exponents: Vec<u64> = sig[1..]
+                .iter()
+                .map(|&a| {
+                    let d = rd[v.index()] - rd[a.index()];
+                    if d == 0 {
+                        0
+                    } else {
+                        // Reserve exponent 0 for "distance 0" (possible with
+                        // 0-weight edges) by shifting real exponents up by 1.
+                        round_up_exponent(d, half) + 1
+                    }
+                })
+                .collect();
+            // The sequence must be non-decreasing for Lemma 2.2; distances
+            // to higher significant ancestors only grow, and the 0-shift
+            // preserves order.
+            ApproximateLabel {
+                epsilon,
+                root_distance: rd[v.index()],
+                aux: aux.label(v).clone(),
+                exponents,
+            }
+        });
         ApproximateScheme { epsilon, labels }
     }
 

@@ -19,12 +19,11 @@
 //! again by splitting each entry between the label of the node itself and the
 //! labels of the nodes it dominates.
 
-use crate::hpath::{HpathLabel, HpathLabeling};
+use crate::hpath::HpathLabel;
 use crate::naive::{exact_distance_from_entries, ExactLabel};
+use crate::substrate::{self, Substrate};
 use crate::DistanceScheme;
 use treelab_bits::{codes, BitReader, BitWriter, DecodeError};
-use treelab_tree::binarize::Binarized;
-use treelab_tree::heavy::HeavyPaths;
 use treelab_tree::{NodeId, Tree};
 
 /// Label of the distance-array (½·log²n) scheme.
@@ -83,6 +82,14 @@ impl DistanceArrayLabel {
         let root_distance = codes::read_delta_nz(r)?;
         let aux = HpathLabel::decode(r)?;
         let count = codes::read_gamma_nz(r)? as usize;
+        // Each entry is self-delimiting but at least 2 bits; reject counts the
+        // remaining input cannot hold before allocating (corrupt counts used
+        // to abort with a capacity overflow instead of returning an error).
+        if count > r.remaining() {
+            return Err(DecodeError::Malformed {
+                what: "entry count exceeds remaining input",
+            });
+        }
         let mut entries = Vec::with_capacity(count);
         let mut weights = Vec::with_capacity(count);
         for _ in 0..count {
@@ -124,26 +131,26 @@ impl DistanceScheme for DistanceArrayScheme {
     type Label = DistanceArrayLabel;
 
     fn build(tree: &Tree) -> Self {
-        let bin = Binarized::new(tree);
-        let b = bin.tree();
-        let hp = HeavyPaths::new(b);
-        let aux = HpathLabeling::with_heavy_paths(b, &hp);
-        let labels = tree
-            .nodes()
-            .map(|u| {
-                let leaf = bin.proxy(u);
-                let edges = hp.light_edges_to(leaf);
-                DistanceArrayLabel {
-                    root_distance: hp.root_distance(leaf),
-                    aux: aux.label(leaf).clone(),
-                    entries: edges
-                        .iter()
-                        .map(|e| e.branch_offset + e.edge_weight)
-                        .collect(),
-                    weights: edges.iter().map(|e| e.edge_weight as u8).collect(),
-                }
-            })
-            .collect();
+        Self::build_with_substrate(&Substrate::new(tree))
+    }
+
+    fn build_with_substrate(sub: &Substrate<'_>) -> Self {
+        let tree = sub.tree();
+        let bs = sub.binarized_expect();
+        let (bin, hp, aux) = (bs.binarized(), bs.heavy_paths(), bs.aux_labels());
+        let labels = substrate::build_vec(sub.parallelism(), tree.len(), |i| {
+            let leaf = bin.proxy(tree.node(i));
+            let edges = hp.light_edges_to(leaf);
+            DistanceArrayLabel {
+                root_distance: hp.root_distance(leaf),
+                aux: aux.label(leaf).clone(),
+                entries: edges
+                    .iter()
+                    .map(|e| e.branch_offset + e.edge_weight)
+                    .collect(),
+                weights: edges.iter().map(|e| e.edge_weight as u8).collect(),
+            }
+        });
         DistanceArrayScheme { labels }
     }
 

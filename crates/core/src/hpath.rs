@@ -93,16 +93,27 @@ impl HpathLabel {
         for i in 0..max {
             let (sa, ea) = a.codeword_span(i);
             let (sb, eb) = b.codeword_span(i);
-            if ea - sa != eb - sb {
-                return i;
-            }
-            let wa = a.codewords.slice(sa, ea - sa).expect("span in range");
-            let wb = b.codewords.slice(sb, eb - sb).expect("span in range");
-            if wa != wb {
+            if ea - sa != eb - sb || !Self::span_eq(a, sa, b, sb, ea - sa) {
                 return i;
             }
         }
         max
+    }
+
+    /// Compares `len` codeword bits of `a` (from `sa`) and `b` (from `sb`)
+    /// without allocating, 64 bits at a time.  Query-path hot spot: the old
+    /// [`BitVec::slice`]-based comparison allocated two vectors per light
+    /// depth per query.
+    fn span_eq(a: &HpathLabel, sa: usize, b: &HpathLabel, sb: usize, len: usize) -> bool {
+        let mut i = 0;
+        while i < len {
+            let w = (len - i).min(64);
+            if a.codewords.get_bits(sa + i, w) != b.codewords.get_bits(sb + i, w) {
+                return false;
+            }
+            i += w;
+        }
+        true
     }
 
     /// Returns `true` if `a` dominates `b` (Observation (1)/(2) of §2).
@@ -130,9 +141,26 @@ impl HpathLabel {
     ///
     /// Returns `None` if either label has fewer than `i + 1` codewords.
     pub fn branch_cmp(a: &HpathLabel, b: &HpathLabel, i: usize) -> Option<Ordering> {
-        let wa = a.codeword(i)?;
-        let wb = b.codeword(i)?;
-        Some(wa.lex_cmp(&wb))
+        if i >= a.light_depth || i >= b.light_depth {
+            return None;
+        }
+        let (sa, ea) = a.codeword_span(i);
+        let (sb, eb) = b.codeword_span(i);
+        let (la, lb) = (ea - sa, eb - sb);
+        // Lexicographic comparison without materializing either codeword:
+        // equal-width MSB-first chunks compare like bit strings.
+        let common = la.min(lb);
+        let mut off = 0;
+        while off < common {
+            let w = (common - off).min(64);
+            let ca = a.codewords.get_bits(sa + off, w).expect("span in range");
+            let cb = b.codewords.get_bits(sb + off, w).expect("span in range");
+            match ca.cmp(&cb) {
+                Ordering::Equal => off += w,
+                diff => return Some(diff),
+            }
+        }
+        Some(la.cmp(&lb))
     }
 
     /// Serializes the label.
@@ -163,11 +191,16 @@ impl HpathLabel {
                 what: "codeword end count does not match light depth",
             });
         }
-        let ends: Vec<u32> = ends_seq.to_vec().iter().map(|&e| e as u32).collect();
+        let ends = decode_codeword_ends(&ends_seq)?;
         let cw_len = codes::read_gamma_nz(r)? as usize;
         if ends.last().map(|&e| e as usize).unwrap_or(0) != cw_len {
             return Err(DecodeError::Malformed {
                 what: "codeword length does not match last end position",
+            });
+        }
+        if cw_len > r.remaining() {
+            return Err(DecodeError::Malformed {
+                what: "codeword payload exceeds remaining input",
             });
         }
         let mut codewords = BitVec::with_capacity(cw_len);
@@ -192,6 +225,20 @@ impl HpathLabel {
     }
 }
 
+/// Converts a decoded codeword-end sequence to `u32` positions, rejecting
+/// values a real label can never contain (they would silently wrap and leave
+/// the label internally inconsistent).
+pub(crate) fn decode_codeword_ends(ends: &MonotoneSeq) -> Result<Vec<u32>, DecodeError> {
+    ends.to_vec()
+        .iter()
+        .map(|&e| {
+            u32::try_from(e).map_err(|_| DecodeError::Malformed {
+                what: "codeword end position exceeds 32 bits",
+            })
+        })
+        .collect()
+}
+
 /// Heavy-path auxiliary labels for every node of a tree.
 #[derive(Debug, Clone)]
 pub struct HpathLabeling {
@@ -201,6 +248,16 @@ pub struct HpathLabeling {
 impl HpathLabeling {
     /// Builds the labels using an existing heavy-path decomposition.
     pub fn with_heavy_paths(tree: &Tree, hp: &HeavyPaths) -> Self {
+        Self::with_heavy_paths_par(tree, hp, crate::substrate::Parallelism::Serial)
+    }
+
+    /// Builds the labels using an existing decomposition, fanning the per-node
+    /// work out according to `par` (bit-for-bit identical for every setting).
+    pub fn with_heavy_paths_par(
+        tree: &Tree,
+        hp: &HeavyPaths,
+        par: crate::substrate::Parallelism,
+    ) -> Self {
         // Per heavy path: the accumulated codeword prefix (shared by all nodes
         // of the path) and its end positions.
         let path_count = hp.path_count();
@@ -229,20 +286,18 @@ impl HpathLabeling {
             }
         }
 
-        let labels = tree
-            .nodes()
-            .map(|u| {
-                let p = hp.path_of(u);
-                HpathLabel {
-                    light_depth: hp.light_depth(u),
-                    codewords: prefix_bits[p].clone(),
-                    ends: prefix_ends[p].clone(),
-                    dom_order: hp.domination_order(u) as u64,
-                    pre: hp.pre(u) as u64,
-                    subtree_size: hp.subtree_size(u) as u64,
-                }
-            })
-            .collect();
+        let labels = crate::substrate::build_vec(par, tree.len(), |i| {
+            let u = tree.node(i);
+            let p = hp.path_of(u);
+            HpathLabel {
+                light_depth: hp.light_depth(u),
+                codewords: prefix_bits[p].clone(),
+                ends: prefix_ends[p].clone(),
+                dom_order: hp.domination_order(u) as u64,
+                pre: hp.pre(u) as u64,
+                subtree_size: hp.subtree_size(u) as u64,
+            }
+        });
         HpathLabeling { labels }
     }
 
@@ -251,6 +306,14 @@ impl HpathLabeling {
     pub fn build(tree: &Tree) -> Self {
         let hp = HeavyPaths::new(tree);
         Self::with_heavy_paths(tree, &hp)
+    }
+
+    /// Builds a fresh labeling from a shared [`Substrate`] (its decomposition
+    /// and parallelism setting), without recomputing the decomposition.
+    ///
+    /// [`Substrate`]: crate::substrate::Substrate
+    pub fn build_with_substrate(sub: &crate::substrate::Substrate<'_>) -> Self {
+        Self::with_heavy_paths_par(sub.tree(), sub.heavy_paths(), sub.parallelism())
     }
 
     /// Label of node `u`.

@@ -43,10 +43,10 @@
 //! paper's NCSA computation is implemented as [`ncsa_light_depth`] and
 //! cross-checked in the tests.
 
-use crate::hpath::{HpathLabel, HpathLabeling};
+use crate::hpath::HpathLabel;
+use crate::substrate::{self, Substrate};
 use treelab_bits::wordram::{range_height, range_id_from_member, two_approx_exp};
 use treelab_bits::{codes, monotone::MonotoneSeq, BitReader, BitWriter, DecodeError};
-use treelab_tree::heavy::HeavyPaths;
 use treelab_tree::{NodeId, Tree};
 
 /// Label of the `k`-distance scheme.
@@ -193,17 +193,28 @@ impl KDistanceScheme {
     ///
     /// Panics if `k == 0` or the tree is weighted.
     pub fn build(tree: &Tree, k: u64) -> Self {
+        Self::build_with_substrate(&Substrate::new(tree), k)
+    }
+
+    /// Builds the scheme from a shared [`Substrate`] (same labels as
+    /// [`KDistanceScheme::build`], bit for bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or the tree is weighted.
+    pub fn build_with_substrate(sub: &Substrate<'_>, k: u64) -> Self {
+        let tree = sub.tree();
         assert!(k >= 1, "k must be at least 1");
         assert!(
             tree.is_unit_weighted(),
             "k-distance labeling expects an unweighted tree"
         );
-        let hp = HeavyPaths::new(tree);
-        let aux = HpathLabeling::with_heavy_paths(tree, &hp);
+        let hp = sub.heavy_paths();
+        let aux = sub.aux_labels();
         let n = tree.len();
         let width = codes::bit_len(n.saturating_sub(1) as u64) as u32;
         let small_k = (k as f64) < (n as f64).log2().max(1.0);
-        let depths = tree.depths();
+        let depths = sub.depths();
 
         // Precompute id(L_q) for every node (cheap, and used for the tables).
         let id_of = |q: NodeId| -> u64 {
@@ -216,61 +227,59 @@ impl KDistanceScheme {
             range_height(lo as u64, (hi - 1) as u64, width) as u64
         };
 
-        let labels = tree
-            .nodes()
-            .map(|u| {
-                let sig = hp.significant_ancestors(u);
-                let all_dists: Vec<u64> = sig
-                    .iter()
-                    .map(|&a| (depths[u.index()] - depths[a.index()]) as u64)
+        let labels = substrate::build_vec(sub.parallelism(), tree.len(), |ui| {
+            let u = tree.node(ui);
+            let sig = hp.significant_ancestors(u);
+            let all_dists: Vec<u64> = sig
+                .iter()
+                .map(|&a| (depths[u.index()] - depths[a.index()]) as u64)
+                .collect();
+            let r = all_dists
+                .iter()
+                .rposition(|&d| d <= k)
+                .expect("d(u,u)=0 <= k");
+            let dists = all_dists[..=r].to_vec();
+            let heights: Vec<u64> = sig[..=r].iter().map(|&a| height_of(a)).collect();
+            let top = sig[r];
+            let q_path = hp.path_of(top);
+            let pos = hp.pos_in_path(top) as u64;
+            let alpha_true = hp.head_offset(top); // == pos in an unweighted tree
+            let (alpha, alpha_exact) = if small_k && alpha_true > 2 * k {
+                (2 * k + 1, false)
+            } else {
+                (alpha_true, true)
+            };
+            let (up_exps, down_exps) = if small_k {
+                let nodes = hp.path_nodes(q_path);
+                let i = hp.pos_in_path(top);
+                let base = id_of(top);
+                let up: Vec<u64> = (1..=k as usize)
+                    .take_while(|t| i + t < nodes.len())
+                    .map(|t| u64::from(two_approx_exp(id_of(nodes[i + t]) - base)))
                     .collect();
-                let r = all_dists
-                    .iter()
-                    .rposition(|&d| d <= k)
-                    .expect("d(u,u)=0 <= k");
-                let dists = all_dists[..=r].to_vec();
-                let heights: Vec<u64> = sig[..=r].iter().map(|&a| height_of(a)).collect();
-                let top = sig[r];
-                let q_path = hp.path_of(top);
-                let pos = hp.pos_in_path(top) as u64;
-                let alpha_true = hp.head_offset(top); // == pos in an unweighted tree
-                let (alpha, alpha_exact) = if small_k && alpha_true > 2 * k {
-                    (2 * k + 1, false)
-                } else {
-                    (alpha_true, true)
-                };
-                let (up_exps, down_exps) = if small_k {
-                    let nodes = hp.path_nodes(q_path);
-                    let i = hp.pos_in_path(top);
-                    let base = id_of(top);
-                    let up: Vec<u64> = (1..=k as usize)
-                        .take_while(|t| i + t < nodes.len())
-                        .map(|t| u64::from(two_approx_exp(id_of(nodes[i + t]) - base)))
-                        .collect();
-                    let down: Vec<u64> = (1..=k as usize)
-                        .take_while(|t| *t <= i)
-                        .map(|t| u64::from(two_approx_exp(base - id_of(nodes[i - t]))))
-                        .collect();
-                    (up, down)
-                } else {
-                    (Vec::new(), Vec::new())
-                };
+                let down: Vec<u64> = (1..=k as usize)
+                    .take_while(|t| *t <= i)
+                    .map(|t| u64::from(two_approx_exp(base - id_of(nodes[i - t]))))
+                    .collect();
+                (up, down)
+            } else {
+                (Vec::new(), Vec::new())
+            };
 
-                KDistanceLabel {
-                    k,
-                    width,
-                    pre: hp.pre(u) as u64,
-                    aux: aux.label(u).clone(),
-                    heights,
-                    dists,
-                    alpha,
-                    alpha_exact,
-                    top_pos_mod: pos % (k + 1),
-                    up_exps,
-                    down_exps,
-                }
-            })
-            .collect();
+            KDistanceLabel {
+                k,
+                width,
+                pre: hp.pre(u) as u64,
+                aux: aux.label(u).clone(),
+                heights,
+                dists,
+                alpha,
+                alpha_exact,
+                top_pos_mod: pos % (k + 1),
+                up_exps,
+                down_exps,
+            }
+        });
         KDistanceScheme { k, labels }
     }
 
@@ -529,7 +538,7 @@ mod tests {
     #[test]
     fn ncsa_matches_ground_truth_when_stored() {
         let tree = gen::random_tree(200, 13);
-        let hp = HeavyPaths::new(&tree);
+        let hp = treelab_tree::heavy::HeavyPaths::new(&tree);
         let k = 1_000_000; // everything stored
         let scheme = KDistanceScheme::build(&tree, k);
         let n = tree.len();

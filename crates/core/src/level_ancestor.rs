@@ -21,8 +21,8 @@
 //! This scheme works directly on the original (unweighted) tree; no
 //! binarization is involved.
 
+use crate::substrate::{self, Substrate};
 use treelab_bits::{codes, monotone::MonotoneSeq, BitReader, BitVec, BitWriter, DecodeError};
-use treelab_tree::heavy::HeavyPaths;
 use treelab_tree::{NodeId, Tree};
 
 /// Label of the level-ancestor scheme.
@@ -81,15 +81,16 @@ impl LevelAncestorLabel {
     pub fn decode(r: &mut BitReader<'_>) -> Result<Self, DecodeError> {
         let depth = codes::read_delta_nz(r)?;
         let head_offset = codes::read_delta_nz(r)?;
-        let ends: Vec<u32> = MonotoneSeq::decode(r)?
-            .to_vec()
-            .iter()
-            .map(|&e| e as u32)
-            .collect();
+        let ends = crate::hpath::decode_codeword_ends(&MonotoneSeq::decode(r)?)?;
         let cw_len = codes::read_gamma_nz(r)? as usize;
         if ends.last().map(|&e| e as usize).unwrap_or(0) != cw_len {
             return Err(DecodeError::Malformed {
                 what: "codeword length mismatch in level-ancestor label",
+            });
+        }
+        if cw_len > r.remaining() {
+            return Err(DecodeError::Malformed {
+                what: "codeword payload exceeds remaining input",
             });
         }
         let mut codewords = BitVec::with_capacity(cw_len);
@@ -139,11 +140,23 @@ impl LevelAncestorScheme {
     /// Panics if the tree is not unit-weighted (depths would no longer count
     /// ancestors).
     pub fn build(tree: &Tree) -> Self {
+        Self::build_with_substrate(&Substrate::new(tree))
+    }
+
+    /// Builds the scheme from a shared [`Substrate`] (same labels as
+    /// [`LevelAncestorScheme::build`], bit for bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is not unit-weighted (depths would no longer count
+    /// ancestors).
+    pub fn build_with_substrate(sub: &Substrate<'_>) -> Self {
+        let tree = sub.tree();
         assert!(
             tree.is_unit_weighted(),
             "level-ancestor labeling expects an unweighted tree"
         );
-        let hp = HeavyPaths::new(tree);
+        let hp = sub.heavy_paths();
         // Per-path codeword prefixes, as in the heavy-path auxiliary labels.
         let path_count = hp.path_count();
         let mut prefix_bits: Vec<BitVec> = vec![BitVec::new(); path_count];
@@ -172,20 +185,18 @@ impl LevelAncestorScheme {
                 prefix_branches[c] = branches;
             }
         }
-        let depths = tree.depths();
-        let labels = tree
-            .nodes()
-            .map(|u| {
-                let p = hp.path_of(u);
-                LevelAncestorLabel {
-                    depth: depths[u.index()] as u64,
-                    head_offset: hp.head_offset(u),
-                    codewords: prefix_bits[p].clone(),
-                    ends: prefix_ends[p].clone(),
-                    branch_offsets: prefix_branches[p].clone(),
-                }
-            })
-            .collect();
+        let depths = sub.depths();
+        let labels = substrate::build_vec(sub.parallelism(), tree.len(), |i| {
+            let u = tree.node(i);
+            let p = hp.path_of(u);
+            LevelAncestorLabel {
+                depth: depths[u.index()] as u64,
+                head_offset: hp.head_offset(u),
+                codewords: prefix_bits[p].clone(),
+                ends: prefix_ends[p].clone(),
+                branch_offsets: prefix_branches[p].clone(),
+            }
+        });
         LevelAncestorScheme { labels }
     }
 

@@ -20,6 +20,13 @@
 //! | [`universal`] | universal rooted trees and the Lemma 3.6 conversion (§3.5) | — |
 //! | [`bounds`] | closed-form upper/lower bound formulas (the §1 table) | — |
 //! | [`stats`] | label-size accounting used by the experiment harness | — |
+//! | [`substrate`] | shared build substrate + parallel label construction | — |
+//!
+//! All schemes offer a `build_with_substrate` constructor next to `build`:
+//! create one [`Substrate`] per tree and every scheme built from it shares a
+//! single heavy-path decomposition, auxiliary labeling and binarization, with
+//! per-node label construction optionally fanned out over threads (see
+//! [`Parallelism`]).  Labels are bit-for-bit identical either way.
 //!
 //! # Quick start
 //!
@@ -49,7 +56,10 @@ pub mod level_ancestor;
 pub mod naive;
 pub mod optimal;
 pub mod stats;
+pub mod substrate;
 pub mod universal;
+
+pub use substrate::{Parallelism, Substrate};
 
 use treelab_tree::{NodeId, Tree};
 
@@ -69,6 +79,15 @@ pub trait DistanceScheme: Sized {
     /// binarization reduction internally); see each implementation's
     /// documentation for details.
     fn build(tree: &Tree) -> Self;
+
+    /// Builds labels from a shared [`Substrate`], so that several schemes over
+    /// the same tree compute the decomposition/binarization once and fan the
+    /// per-node label work out according to the substrate's [`Parallelism`].
+    ///
+    /// Produces labels bit-for-bit identical to [`DistanceScheme::build`].
+    /// Required (no default) so an implementation cannot silently fall back to
+    /// rebuilding the substrate per scheme.
+    fn build_with_substrate(sub: &Substrate<'_>) -> Self;
 
     /// The label assigned to node `u`.
     fn label(&self, u: NodeId) -> &Self::Label;

@@ -12,11 +12,10 @@
 //! The scheme operates on the §2 binarized tree and labels the proxy leaf of
 //! every original node; the reduction is hidden behind [`NaiveScheme::build`].
 
-use crate::hpath::{HpathLabel, HpathLabeling};
+use crate::hpath::HpathLabel;
+use crate::substrate::{self, Substrate};
 use crate::DistanceScheme;
 use treelab_bits::{codes, BitReader, BitWriter, DecodeError};
-use treelab_tree::binarize::Binarized;
-use treelab_tree::heavy::HeavyPaths;
 use treelab_tree::{NodeId, Tree};
 
 /// Label of the fixed-width baseline scheme.
@@ -75,6 +74,14 @@ impl NaiveLabel {
         }
         let aux = HpathLabel::decode(r)?;
         let count = codes::read_gamma_nz(r)? as usize;
+        // Each entry consumes width + 1 bits; reject counts the remaining
+        // input cannot hold before allocating (corrupt counts used to abort
+        // with a capacity overflow instead of returning an error).
+        if count > r.remaining() {
+            return Err(DecodeError::Malformed {
+                what: "entry count exceeds remaining input",
+            });
+        }
         let mut entries = Vec::with_capacity(count);
         let mut weights = Vec::with_capacity(count);
         for _ in 0..count {
@@ -105,28 +112,25 @@ pub struct NaiveScheme {
 }
 
 impl NaiveScheme {
-    fn build_labels(tree: &Tree) -> Vec<NaiveLabel> {
-        let bin = Binarized::new(tree);
-        let b = bin.tree();
-        let hp = HeavyPaths::new(b);
-        let aux = HpathLabeling::with_heavy_paths(b, &hp);
-        let width = codes::bit_len(b.len() as u64) as u8;
-        tree.nodes()
-            .map(|u| {
-                let leaf = bin.proxy(u);
-                let edges = hp.light_edges_to(leaf);
-                NaiveLabel {
-                    root_distance: hp.root_distance(leaf),
-                    aux: aux.label(leaf).clone(),
-                    width,
-                    entries: edges
-                        .iter()
-                        .map(|e| e.branch_offset + e.edge_weight)
-                        .collect(),
-                    weights: edges.iter().map(|e| e.edge_weight as u8).collect(),
-                }
-            })
-            .collect()
+    fn build_labels(sub: &Substrate<'_>) -> Vec<NaiveLabel> {
+        let tree = sub.tree();
+        let bs = sub.binarized_expect();
+        let (bin, hp, aux) = (bs.binarized(), bs.heavy_paths(), bs.aux_labels());
+        let width = codes::bit_len(bin.tree().len() as u64) as u8;
+        substrate::build_vec(sub.parallelism(), tree.len(), |i| {
+            let leaf = bin.proxy(tree.node(i));
+            let edges = hp.light_edges_to(leaf);
+            NaiveLabel {
+                root_distance: hp.root_distance(leaf),
+                aux: aux.label(leaf).clone(),
+                width,
+                entries: edges
+                    .iter()
+                    .map(|e| e.branch_offset + e.edge_weight)
+                    .collect(),
+                weights: edges.iter().map(|e| e.edge_weight as u8).collect(),
+            }
+        })
     }
 }
 
@@ -134,8 +138,12 @@ impl DistanceScheme for NaiveScheme {
     type Label = NaiveLabel;
 
     fn build(tree: &Tree) -> Self {
+        Self::build_with_substrate(&Substrate::new(tree))
+    }
+
+    fn build_with_substrate(sub: &Substrate<'_>) -> Self {
         NaiveScheme {
-            labels: Self::build_labels(tree),
+            labels: Self::build_labels(sub),
         }
     }
 

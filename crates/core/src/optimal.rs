@@ -35,10 +35,10 @@
 //! The scheme operates on the §2 binarized tree and labels the proxy leaf of
 //! every original node; [`OptimalScheme::build`] hides the reduction.
 
-use crate::hpath::{HpathLabel, HpathLabeling};
+use crate::hpath::HpathLabel;
+use crate::substrate::{self, Substrate};
 use crate::DistanceScheme;
 use treelab_bits::{codes, monotone::MonotoneSeq, BitReader, BitVec, BitWriter, DecodeError};
-use treelab_tree::binarize::Binarized;
 use treelab_tree::heavy::HeavyPaths;
 use treelab_tree::{NodeId, Tree};
 
@@ -164,6 +164,14 @@ impl OptimalLabel {
         let aux = HpathLabel::decode(r)?;
         let fragments = MonotoneSeq::decode(r)?.to_vec();
         let count = codes::read_gamma_nz(r)? as usize;
+        // Every entry consumes at least one flag bit; reject counts the
+        // remaining input cannot hold before allocating (corrupt counts used
+        // to abort with a capacity overflow instead of returning an error).
+        if count > r.remaining() {
+            return Err(DecodeError::Malformed {
+                what: "entry count exceeds remaining input",
+            });
+        }
         let mut entries = Vec::with_capacity(count);
         for _ in 0..count {
             if r.read_bit()? {
@@ -189,6 +197,11 @@ impl OptimalLabel {
         let mut accumulators = Vec::with_capacity(count);
         for _ in 0..count {
             let len = codes::read_gamma_nz(r)? as usize;
+            if len > r.remaining() {
+                return Err(DecodeError::Malformed {
+                    what: "accumulator length exceeds remaining input",
+                });
+            }
             let mut acc = BitVec::with_capacity(len);
             for _ in 0..len {
                 acc.push(r.read_bit()?);
@@ -269,8 +282,13 @@ impl OptimalScheme {
     /// [`OptimalConfig`]); queries are oblivious to the configuration, so
     /// labels from any configuration of the *same build* interoperate.
     pub fn build_with_config(tree: &Tree, config: OptimalConfig) -> Self {
+        Self::build_with_substrate_config(&Substrate::new(tree), config)
+    }
+
+    /// [`OptimalScheme::build_with_config`] on a shared [`Substrate`].
+    pub fn build_with_substrate_config(sub: &Substrate<'_>, config: OptimalConfig) -> Self {
         OptimalScheme {
-            labels: Self::build_labels(tree, config),
+            labels: Self::build_labels(sub, config),
         }
     }
 
@@ -392,56 +410,53 @@ impl OptimalScheme {
         info
     }
 
-    fn build_labels(tree: &Tree, config: OptimalConfig) -> Vec<OptimalLabel> {
-        let bin = Binarized::new(tree);
-        let b = bin.tree();
-        let hp = HeavyPaths::new(b);
-        let aux = HpathLabeling::with_heavy_paths(b, &hp);
-        let info = Self::build_path_info(b, &hp, config);
+    fn build_labels(sub: &Substrate<'_>, config: OptimalConfig) -> Vec<OptimalLabel> {
+        let tree = sub.tree();
+        let bs = sub.binarized_expect();
+        let (bin, hp, aux) = (bs.binarized(), bs.heavy_paths(), bs.aux_labels());
+        let info = Self::build_path_info(bin.tree(), hp, config);
 
-        tree.nodes()
-            .map(|u| {
-                let leaf = bin.proxy(u);
-                // Paths from the root path down to the leaf's own path.
-                let mut chain = Vec::new();
-                let mut p = hp.path_of(leaf);
-                loop {
-                    chain.push(p);
-                    match hp.collapsed_parent(p) {
-                        Some(parent) => p = parent,
-                        None => break,
-                    }
+        substrate::build_vec(sub.parallelism(), tree.len(), |i| {
+            let leaf = bin.proxy(tree.node(i));
+            // Paths from the root path down to the leaf's own path.
+            let mut chain = Vec::new();
+            let mut p = hp.path_of(leaf);
+            loop {
+                chain.push(p);
+                match hp.collapsed_parent(p) {
+                    Some(parent) => p = parent,
+                    None => break,
                 }
-                chain.reverse();
+            }
+            chain.reverse();
 
-                let fragments: Vec<u64> = chain
-                    .iter()
-                    .filter(|&&p| info[p].is_fragment_head)
-                    .map(|&p| info[p].head_root_distance)
-                    .collect();
-                let entries: Vec<OptimalEntry> = chain[1..]
-                    .iter()
-                    .map(|&p| {
-                        info[p]
-                            .entry
-                            .clone()
-                            .expect("non-root paths carry an entry")
-                    })
-                    .collect();
-                let accumulators: Vec<BitVec> = chain[1..]
-                    .iter()
-                    .map(|&p| info[p].accumulator.clone())
-                    .collect();
+            let fragments: Vec<u64> = chain
+                .iter()
+                .filter(|&&p| info[p].is_fragment_head)
+                .map(|&p| info[p].head_root_distance)
+                .collect();
+            let entries: Vec<OptimalEntry> = chain[1..]
+                .iter()
+                .map(|&p| {
+                    info[p]
+                        .entry
+                        .clone()
+                        .expect("non-root paths carry an entry")
+                })
+                .collect();
+            let accumulators: Vec<BitVec> = chain[1..]
+                .iter()
+                .map(|&p| info[p].accumulator.clone())
+                .collect();
 
-                OptimalLabel {
-                    root_distance: hp.root_distance(leaf),
-                    aux: aux.label(leaf).clone(),
-                    fragments,
-                    entries,
-                    accumulators,
-                }
-            })
-            .collect()
+            OptimalLabel {
+                root_distance: hp.root_distance(leaf),
+                aux: aux.label(leaf).clone(),
+                fragments,
+                entries,
+                accumulators,
+            }
+        })
     }
 }
 
@@ -450,6 +465,10 @@ impl DistanceScheme for OptimalScheme {
 
     fn build(tree: &Tree) -> Self {
         Self::build_with_config(tree, OptimalConfig::default())
+    }
+
+    fn build_with_substrate(sub: &Substrate<'_>) -> Self {
+        Self::build_with_substrate_config(sub, OptimalConfig::default())
     }
 
     fn label(&self, u: NodeId) -> &OptimalLabel {

@@ -38,6 +38,21 @@ impl Binarized {
             original.is_unit_weighted(),
             "binarization expects an unweighted (unit-weight) tree"
         );
+        Self::build(original)
+    }
+
+    /// Applies the reduction, returning `None` instead of panicking when the
+    /// tree is weighted — the non-panicking entry used by shared build
+    /// substrates that serve both weighted and unweighted schemes.
+    pub fn try_new(original: &Tree) -> Option<Self> {
+        if original.is_unit_weighted() {
+            Some(Self::build(original))
+        } else {
+            None
+        }
+    }
+
+    fn build(original: &Tree) -> Self {
         let mut b = TreeBuilder::new();
         let mut map: Vec<Option<NodeId>> = vec![None; original.len()];
         map[original.root().index()] = Some(b.root());
@@ -194,5 +209,18 @@ mod tests {
     fn rejects_weighted_input() {
         let t = Tree::from_parents_weighted(&[None, Some(0)], Some(&[0, 3]));
         Binarized::new(&t);
+    }
+
+    #[test]
+    fn try_new_mirrors_new_without_panicking() {
+        let weighted = Tree::from_parents_weighted(&[None, Some(0)], Some(&[0, 3]));
+        assert!(Binarized::try_new(&weighted).is_none());
+        let plain = gen::random_tree(40, 3);
+        let via_try = Binarized::try_new(&plain).expect("unweighted tree binarizes");
+        let via_new = Binarized::new(&plain);
+        assert_eq!(via_try.tree(), via_new.tree());
+        for u in plain.nodes() {
+            assert_eq!(via_try.proxy(u), via_new.proxy(u));
+        }
     }
 }

@@ -8,8 +8,8 @@
 
 use treelab::core::stats::LabelStats;
 use treelab::{
-    bounds, gen, ApproximateScheme, DistanceArrayScheme, DistanceOracle, DistanceScheme,
-    KDistanceScheme, NaiveScheme, OptimalScheme,
+    bounds, gen, ApproximateScheme, DistanceArrayScheme, DistanceScheme, KDistanceScheme,
+    NaiveScheme, OptimalScheme, Substrate,
 };
 
 fn main() {
@@ -20,12 +20,15 @@ fn main() {
     println!("== treelab quickstart ==");
     println!("tree: uniformly random labeled tree, n = {n}, seed = {seed}\n");
     let tree = gen::random_tree(n, seed);
-    let oracle = DistanceOracle::new(&tree);
+    // One shared substrate: every scheme below reuses the same heavy-path
+    // decomposition, auxiliary labeling and binarization (and the oracle).
+    let sub = Substrate::new(&tree);
+    let oracle = sub.oracle();
 
     // --- exact schemes -----------------------------------------------------
-    let naive = NaiveScheme::build(&tree);
-    let da = DistanceArrayScheme::build(&tree);
-    let opt = OptimalScheme::build(&tree);
+    let naive = NaiveScheme::build_with_substrate(&sub);
+    let da = DistanceArrayScheme::build_with_substrate(&sub);
+    let opt = OptimalScheme::build_with_substrate(&sub);
 
     let (u, v) = (tree.node(1), tree.node(n - 1));
     println!("exact distance({u}, {v}):");
@@ -61,7 +64,7 @@ fn main() {
 
     // --- k-distance ----------------------------------------------------------
     let k = 4;
-    let kd = KDistanceScheme::build(&tree, k);
+    let kd = KDistanceScheme::build_with_substrate(&sub, k);
     let stats = LabelStats::from_sizes(tree.nodes().map(|x| kd.label_bits(x)));
     println!("\nk-distance labels (k = {k}): {stats}");
     let mut within = 0;
@@ -84,7 +87,7 @@ fn main() {
 
     // --- approximate ---------------------------------------------------------
     for eps in [0.5, 0.1] {
-        let approx = ApproximateScheme::build(&tree, eps);
+        let approx = ApproximateScheme::build_with_substrate(&sub, eps);
         let stats = LabelStats::from_sizes(tree.nodes().map(|x| approx.label_bits(x)));
         let mut worst = 1.0f64;
         for i in 0..500 {

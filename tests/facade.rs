@@ -159,7 +159,7 @@ fn module_reexports_are_reachable() {
     let mut w = treelab::bits::BitWriter::new();
     treelab::bits::codes::write_gamma(&mut w, 9);
     let bits = w.into_bitvec();
-    assert!(bits.len() > 0);
+    assert!(!bits.is_empty());
 
     let t = treelab::tree::gen::path(5);
     assert_eq!(t.height(), 4);

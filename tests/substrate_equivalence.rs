@@ -1,0 +1,251 @@
+//! Equivalence tests for the shared build substrate: for every scheme,
+//! `build_with_substrate` must produce labels **bit-for-bit identical** to the
+//! plain `build`, and serial vs parallel substrate builds must agree — across
+//! the seeded generator corpus (`treelab_tree::gen` + SplitMix64 seeds).
+
+use treelab::bits::{BitVec, BitWriter};
+use treelab::core::approximate::ApproximateScheme;
+use treelab::core::hpath::HpathLabeling;
+use treelab::core::kdistance::KDistanceScheme;
+use treelab::core::level_ancestor::LevelAncestorScheme;
+use treelab::{
+    gen, DistanceArrayScheme, DistanceScheme, NaiveScheme, OptimalScheme, Parallelism, Substrate,
+    Tree,
+};
+
+/// The seeded corpus every equivalence check sweeps over.  Sizes straddle the
+/// serial/parallel cut-over so both code paths are exercised.
+fn corpus() -> Vec<Tree> {
+    let mut trees = vec![
+        Tree::singleton(),
+        gen::path(90),
+        gen::star(90),
+        gen::caterpillar(40, 3),
+        gen::broom(30, 40),
+        gen::comb(1500),
+        gen::complete_kary(2, 7),
+    ];
+    for seed in 0..3u64 {
+        trees.push(gen::random_tree(160 + seed as usize, seed));
+        trees.push(gen::random_binary(1400, seed));
+        trees.push(gen::random_recursive(150, seed));
+    }
+    trees
+}
+
+fn encode_bits<L, F: Fn(&mut BitWriter, &L)>(label: &L, f: F) -> BitVec {
+    let mut w = BitWriter::new();
+    f(&mut w, label);
+    w.into_bitvec()
+}
+
+/// Asserts two label sequences are identical in their serialized form.
+fn assert_bit_identical<L, F>(
+    tree: &Tree,
+    a: impl Fn(usize) -> L,
+    b: impl Fn(usize) -> L,
+    f: F,
+    what: &str,
+) where
+    F: Fn(&mut BitWriter, &L) + Copy,
+{
+    for i in 0..tree.len() {
+        let (la, lb) = (a(i), b(i));
+        assert_eq!(
+            encode_bits(&la, f),
+            encode_bits(&lb, f),
+            "{what}: label of node {i} differs (n={})",
+            tree.len()
+        );
+    }
+}
+
+#[test]
+fn build_with_substrate_matches_build_for_every_scheme() {
+    for tree in corpus() {
+        let sub = Substrate::new(&tree);
+
+        let (a, b) = (
+            NaiveScheme::build(&tree),
+            NaiveScheme::build_with_substrate(&sub),
+        );
+        assert_bit_identical(
+            &tree,
+            |i| a.label(tree.node(i)).clone(),
+            |i| b.label(tree.node(i)).clone(),
+            |w, l| l.encode(w),
+            "naive",
+        );
+
+        let (a, b) = (
+            DistanceArrayScheme::build(&tree),
+            DistanceArrayScheme::build_with_substrate(&sub),
+        );
+        assert_bit_identical(
+            &tree,
+            |i| a.label(tree.node(i)).clone(),
+            |i| b.label(tree.node(i)).clone(),
+            |w, l| l.encode(w),
+            "distance-array",
+        );
+
+        let (a, b) = (
+            OptimalScheme::build(&tree),
+            OptimalScheme::build_with_substrate(&sub),
+        );
+        assert_bit_identical(
+            &tree,
+            |i| a.label(tree.node(i)).clone(),
+            |i| b.label(tree.node(i)).clone(),
+            |w, l| l.encode(w),
+            "optimal",
+        );
+
+        let (a, b) = (
+            HpathLabeling::build(&tree),
+            HpathLabeling::build_with_substrate(&sub),
+        );
+        assert_bit_identical(
+            &tree,
+            |i| a.label(tree.node(i)).clone(),
+            |i| b.label(tree.node(i)).clone(),
+            |w, l| l.encode(w),
+            "hpath",
+        );
+
+        let (a, b) = (
+            KDistanceScheme::build(&tree, 4),
+            KDistanceScheme::build_with_substrate(&sub, 4),
+        );
+        assert_bit_identical(
+            &tree,
+            |i| a.label(tree.node(i)).clone(),
+            |i| b.label(tree.node(i)).clone(),
+            |w, l| l.encode(w),
+            "k-distance",
+        );
+
+        let (a, b) = (
+            LevelAncestorScheme::build(&tree),
+            LevelAncestorScheme::build_with_substrate(&sub),
+        );
+        assert_bit_identical(
+            &tree,
+            |i| a.label(tree.node(i)).clone(),
+            |i| b.label(tree.node(i)).clone(),
+            |w, l| l.encode(w),
+            "level-ancestor",
+        );
+
+        let (a, b) = (
+            ApproximateScheme::build(&tree, 0.25),
+            ApproximateScheme::build_with_substrate(&sub, 0.25),
+        );
+        assert_bit_identical(
+            &tree,
+            |i| a.label(tree.node(i)).clone(),
+            |i| b.label(tree.node(i)).clone(),
+            |w, l| l.encode(w),
+            "approximate",
+        );
+    }
+}
+
+#[test]
+fn serial_and_parallel_substrate_builds_agree() {
+    for tree in corpus() {
+        let serial = Substrate::with_parallelism(&tree, Parallelism::Serial);
+        for par in [
+            Parallelism::Auto,
+            Parallelism::from_thread_count(2),
+            Parallelism::from_thread_count(5),
+        ] {
+            let parallel = Substrate::with_parallelism(&tree, par);
+
+            let (a, b) = (
+                OptimalScheme::build_with_substrate(&serial),
+                OptimalScheme::build_with_substrate(&parallel),
+            );
+            assert_bit_identical(
+                &tree,
+                |i| a.label(tree.node(i)).clone(),
+                |i| b.label(tree.node(i)).clone(),
+                |w, l| l.encode(w),
+                "optimal serial-vs-parallel",
+            );
+
+            let (a, b) = (
+                NaiveScheme::build_with_substrate(&serial),
+                NaiveScheme::build_with_substrate(&parallel),
+            );
+            assert_bit_identical(
+                &tree,
+                |i| a.label(tree.node(i)).clone(),
+                |i| b.label(tree.node(i)).clone(),
+                |w, l| l.encode(w),
+                "naive serial-vs-parallel",
+            );
+
+            let (a, b) = (
+                KDistanceScheme::build_with_substrate(&serial, 3),
+                KDistanceScheme::build_with_substrate(&parallel, 3),
+            );
+            assert_bit_identical(
+                &tree,
+                |i| a.label(tree.node(i)).clone(),
+                |i| b.label(tree.node(i)).clone(),
+                |w, l| l.encode(w),
+                "k-distance serial-vs-parallel",
+            );
+
+            let (a, b) = (
+                ApproximateScheme::build_with_substrate(&serial, 0.5),
+                ApproximateScheme::build_with_substrate(&parallel, 0.5),
+            );
+            assert_bit_identical(
+                &tree,
+                |i| a.label(tree.node(i)).clone(),
+                |i| b.label(tree.node(i)).clone(),
+                |w, l| l.encode(w),
+                "approximate serial-vs-parallel",
+            );
+
+            let (a, b) = (
+                LevelAncestorScheme::build_with_substrate(&serial),
+                LevelAncestorScheme::build_with_substrate(&parallel),
+            );
+            assert_bit_identical(
+                &tree,
+                |i| a.label(tree.node(i)).clone(),
+                |i| b.label(tree.node(i)).clone(),
+                |w, l| l.encode(w),
+                "level-ancestor serial-vs-parallel",
+            );
+        }
+    }
+}
+
+#[test]
+fn substrate_sharing_preserves_query_answers() {
+    // Queries through substrate-built schemes agree with the ground truth —
+    // the sharing must not change a single answer.
+    let tree = gen::random_tree(700, 2017);
+    let sub = Substrate::new(&tree);
+    let oracle = sub.oracle();
+    let opt = OptimalScheme::build_with_substrate(&sub);
+    let da = DistanceArrayScheme::build_with_substrate(&sub);
+    let kd = KDistanceScheme::build_with_substrate(&sub, 5);
+    let approx = ApproximateScheme::build_with_substrate(&sub, 0.25);
+    let n = tree.len();
+    for i in 0..1000usize {
+        let (u, v) = (tree.node((i * 37) % n), tree.node((i * 101 + 3) % n));
+        let d = oracle.distance(u, v);
+        assert_eq!(OptimalScheme::distance(opt.label(u), opt.label(v)), d);
+        assert_eq!(DistanceArrayScheme::distance(da.label(u), da.label(v)), d);
+        if d <= 5 {
+            assert_eq!(KDistanceScheme::distance(kd.label(u), kd.label(v)), Some(d));
+        }
+        let est = ApproximateScheme::distance(approx.label(u), approx.label(v));
+        assert!(est >= d && est as f64 <= 1.25 * d as f64 + 2.0);
+    }
+}
