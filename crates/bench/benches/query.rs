@@ -1,5 +1,11 @@
 //! Criterion bench: per-query time from two labels, for every scheme
-//! (experiment E7 — the "constant query time" claims of Theorems 1.1/1.3/1.4).
+//! (experiment E7 — the "constant query time" claims of Theorems 1.1/1.3/1.4),
+//! plus the zero-copy store paths (E11): the same queries served from a
+//! packed [`SchemeStore`] buffer, per-query and batched.
+//!
+//! CI runs this bench in fast mode as the query-throughput smoke: a
+//! regression that makes the zero-copy path stop compiling or panic fails the
+//! pipeline here.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
@@ -9,6 +15,7 @@ use treelab_core::distance_array::DistanceArrayScheme;
 use treelab_core::kdistance::KDistanceScheme;
 use treelab_core::naive::NaiveScheme;
 use treelab_core::optimal::OptimalScheme;
+use treelab_core::store::SchemeStore;
 use treelab_core::DistanceScheme;
 use treelab_tree::Tree;
 
@@ -29,50 +36,83 @@ fn bench_query(c: &mut Criterion) {
         let tree = Family::Random.build(n, 13);
         let pairs = pair_indices(&tree, 1024);
 
-        let naive = NaiveScheme::build(&tree);
-        group.bench_with_input(BenchmarkId::new("naive", n), &pairs, |b, pairs| {
-            let mut it = pairs.iter().cycle();
-            b.iter(|| {
-                let &(x, y) = it.next().unwrap();
-                NaiveScheme::distance(naive.label(tree.node(x)), naive.label(tree.node(y)))
-            })
-        });
+        /// One struct-backed benchmark, one store-backed per-query benchmark,
+        /// and one store-backed batch benchmark (1024 pairs per iteration,
+        /// reusing the output buffer) per scheme.
+        macro_rules! scheme_benches {
+            ($name:literal, $scheme:expr, $query:expr) => {{
+                let scheme = $scheme;
+                let query = $query;
+                group.bench_with_input(BenchmarkId::new($name, n), &pairs, |b, pairs| {
+                    let mut it = pairs.iter().cycle();
+                    b.iter(|| {
+                        let &(x, y) = it.next().unwrap();
+                        query(&scheme, x, y)
+                    })
+                });
+                let store = SchemeStore::build(&scheme);
+                group.bench_with_input(
+                    BenchmarkId::new(concat!("store_", $name), n),
+                    &pairs,
+                    |b, pairs| {
+                        let mut it = pairs.iter().cycle();
+                        b.iter(|| {
+                            let &(x, y) = it.next().unwrap();
+                            store.distance(x, y)
+                        })
+                    },
+                );
+                group.bench_with_input(
+                    BenchmarkId::new(concat!("store_batch1024_", $name), n),
+                    &pairs,
+                    |b, pairs| {
+                        let mut out = Vec::with_capacity(pairs.len());
+                        b.iter(|| {
+                            out.clear();
+                            store.distances_into(pairs, &mut out);
+                            out.last().copied()
+                        })
+                    },
+                );
+            }};
+        }
 
-        let da = DistanceArrayScheme::build(&tree);
-        group.bench_with_input(BenchmarkId::new("distance_array", n), &pairs, |b, pairs| {
-            let mut it = pairs.iter().cycle();
-            b.iter(|| {
-                let &(x, y) = it.next().unwrap();
-                DistanceArrayScheme::distance(da.label(tree.node(x)), da.label(tree.node(y)))
-            })
-        });
-
-        let opt = OptimalScheme::build(&tree);
-        group.bench_with_input(BenchmarkId::new("optimal", n), &pairs, |b, pairs| {
-            let mut it = pairs.iter().cycle();
-            b.iter(|| {
-                let &(x, y) = it.next().unwrap();
-                OptimalScheme::distance(opt.label(tree.node(x)), opt.label(tree.node(y)))
-            })
-        });
-
-        let kd = KDistanceScheme::build(&tree, 8);
-        group.bench_with_input(BenchmarkId::new("kdistance_k8", n), &pairs, |b, pairs| {
-            let mut it = pairs.iter().cycle();
-            b.iter(|| {
-                let &(x, y) = it.next().unwrap();
-                KDistanceScheme::distance(kd.label(tree.node(x)), kd.label(tree.node(y)))
-            })
-        });
-
-        let approx = ApproximateScheme::build(&tree, 0.25);
-        group.bench_with_input(BenchmarkId::new("approximate", n), &pairs, |b, pairs| {
-            let mut it = pairs.iter().cycle();
-            b.iter(|| {
-                let &(x, y) = it.next().unwrap();
-                ApproximateScheme::distance(approx.label(tree.node(x)), approx.label(tree.node(y)))
-            })
-        });
+        scheme_benches!(
+            "naive",
+            NaiveScheme::build(&tree),
+            |s: &NaiveScheme, x, y| {
+                NaiveScheme::distance(s.label(tree.node(x)), s.label(tree.node(y)))
+            }
+        );
+        scheme_benches!(
+            "distance_array",
+            DistanceArrayScheme::build(&tree),
+            |s: &DistanceArrayScheme, x, y| {
+                DistanceArrayScheme::distance(s.label(tree.node(x)), s.label(tree.node(y)))
+            }
+        );
+        scheme_benches!(
+            "optimal",
+            OptimalScheme::build(&tree),
+            |s: &OptimalScheme, x, y| {
+                OptimalScheme::distance(s.label(tree.node(x)), s.label(tree.node(y)))
+            }
+        );
+        scheme_benches!(
+            "kdistance_k8",
+            KDistanceScheme::build(&tree, 8),
+            |s: &KDistanceScheme, x, y| {
+                KDistanceScheme::distance(s.label(tree.node(x)), s.label(tree.node(y)))
+                    .unwrap_or(u64::MAX)
+            }
+        );
+        scheme_benches!(
+            "approximate",
+            ApproximateScheme::build(&tree, 0.25),
+            |s: &ApproximateScheme, x, y| {
+                ApproximateScheme::distance(s.label(tree.node(x)), s.label(tree.node(y)))
+            }
+        );
     }
     group.finish();
 }

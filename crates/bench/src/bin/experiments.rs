@@ -14,8 +14,8 @@
 
 use treelab_bench::experiments::{
     ablation_experiment, approximate_experiment, exact_experiment, k_large_experiment,
-    k_small_experiment, lower_bound_experiment, substrate_experiment, timing_experiment,
-    universal_experiment,
+    k_small_experiment, lower_bound_experiment, store_experiment, substrate_experiment,
+    timing_experiment, universal_experiment,
 };
 use treelab_bench::workloads::Family;
 use treelab_core::substrate::Parallelism;
@@ -104,5 +104,13 @@ fn main() {
             &[1 << 12, 1 << 14, 1 << 16]
         };
         println!("{}", substrate_experiment(sizes, seed, par).to_markdown());
+    }
+    if run("--store") {
+        let sizes: &[usize] = if quick {
+            &[1 << 10]
+        } else {
+            &[1 << 12, 1 << 14, 1 << 16]
+        };
+        println!("{}", store_experiment(sizes, seed).to_markdown());
     }
 }

@@ -15,6 +15,7 @@ use treelab_core::level_ancestor::LevelAncestorScheme;
 use treelab_core::naive::NaiveScheme;
 use treelab_core::optimal::OptimalScheme;
 use treelab_core::stats::LabelStats;
+use treelab_core::store::{SchemeStore, StoredScheme, NO_DISTANCE};
 use treelab_core::substrate::{Parallelism, Substrate};
 use treelab_core::universal::{universal_from_parent_labels, universal_tree_size};
 use treelab_core::DistanceScheme;
@@ -478,6 +479,178 @@ pub fn substrate_experiment(sizes: &[usize], seed: u64, par: Parallelism) -> Tab
             format!("{substrate_ms:.1}"),
             format!("{:.0}%", 100.0 * (1.0 - shared_ms / isolated_ms)),
         ]);
+    }
+    table
+}
+
+/// Timed repetitions per throughput measurement; the best one is reported
+/// for *both* sides of every comparison, so scheduler noise on a shared
+/// machine cannot bias the ratio either way.
+const REPS: usize = 3;
+
+/// Queries per second of `query` over `pairs`: best of [`REPS`] timed rounds,
+/// each issuing at least `min_total` queries (an untimed pass warms caches).
+fn throughput(
+    pairs: &[(usize, usize)],
+    min_total: usize,
+    mut query: impl FnMut(usize, usize) -> u64,
+) -> f64 {
+    let mut acc = 0u64;
+    for &(u, v) in pairs {
+        acc = acc.wrapping_add(query(u, v));
+    }
+    let rounds = min_total.div_ceil(pairs.len()).max(1);
+    let mut best = 0f64;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            for &(u, v) in pairs {
+                acc = acc.wrapping_add(query(u, v));
+            }
+        }
+        let qps = (rounds * pairs.len()) as f64 / t0.elapsed().as_secs_f64();
+        best = best.max(qps);
+    }
+    std::hint::black_box(acc);
+    best
+}
+
+/// Batch queries per second of a store over `pairs`, chunked like a serving
+/// loop would (one `distances_into` call per chunk, output buffer reused);
+/// best of [`REPS`] timed rounds.
+fn batch_throughput<S: StoredScheme>(
+    store: &SchemeStore<S>,
+    pairs: &[(usize, usize)],
+    min_total: usize,
+) -> f64 {
+    let mut out = Vec::with_capacity(pairs.len());
+    store.distances_into(pairs, &mut out); // warm-up pass
+    let rounds = min_total.div_ceil(pairs.len()).max(1);
+    let mut best = 0f64;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            for chunk in pairs.chunks(1024) {
+                out.clear();
+                store.distances_into(chunk, &mut out);
+                std::hint::black_box(out.last().copied());
+            }
+        }
+        let qps = (rounds * pairs.len()) as f64 / t0.elapsed().as_secs_f64();
+        best = best.max(qps);
+    }
+    best
+}
+
+/// E11: the zero-copy scheme store — store size, load time, and store-backed
+/// (batch) versus struct-backed query throughput for all six schemes.
+///
+/// This is the number the ISSUE-3 acceptance criterion is about: store-backed
+/// batch queries must reach ≥ 2× the struct-backed throughput at `n = 16k`.
+pub fn store_experiment(sizes: &[usize], seed: u64) -> Table {
+    let mut table = Table::new(
+        "E11 — zero-copy scheme store: size, load time, and batch query throughput (random trees)",
+        &[
+            "n",
+            "scheme",
+            "store (KiB)",
+            "load (µs)",
+            "struct (Mq/s)",
+            "store (Mq/s)",
+            "store batch (Mq/s)",
+            "batch speedup",
+        ],
+    );
+    let queries = 200_000usize;
+    for &n in sizes {
+        let tree = gen::random_tree(n, seed);
+        let sub = Substrate::new(&tree);
+        let pairs: Vec<(usize, usize)> = (0..65_536)
+            .map(|i| ((i * 7919 + 3) % tree.len(), (i * 104_729 + 11) % tree.len()))
+            .collect();
+
+        macro_rules! row {
+            ($ty:ty, $scheme:expr, $struct_query:expr) => {{
+                let scheme = $scheme;
+                let bytes = SchemeStore::<$ty>::serialize(&scheme);
+                // Load time: median of 5 validated reloads.
+                let mut loads: Vec<f64> = (0..5)
+                    .map(|_| {
+                        let t = Instant::now();
+                        std::hint::black_box(
+                            SchemeStore::<$ty>::from_bytes(&bytes).expect("valid store"),
+                        );
+                        t.elapsed().as_secs_f64() * 1e6
+                    })
+                    .collect();
+                loads.sort_by(f64::total_cmp);
+                let store = SchemeStore::<$ty>::from_bytes(&bytes).expect("valid store");
+                let struct_query = $struct_query;
+                let struct_qps = throughput(&pairs, queries, |u, v| struct_query(&scheme, u, v));
+                let store_qps = throughput(&pairs, queries, |u, v| store.distance(u, v));
+                let batch_qps = batch_throughput(&store, &pairs, queries);
+                table.push_row(vec![
+                    tree.len().to_string(),
+                    <$ty as StoredScheme>::STORE_NAME.to_string(),
+                    format!("{:.0}", bytes.len() as f64 / 1024.0),
+                    format!("{:.0}", loads[2]),
+                    format!("{:.2}", struct_qps / 1e6),
+                    format!("{:.2}", store_qps / 1e6),
+                    format!("{:.2}", batch_qps / 1e6),
+                    format!("{:.2}x", batch_qps / struct_qps),
+                ]);
+            }};
+        }
+
+        row!(
+            NaiveScheme,
+            NaiveScheme::build_with_substrate(&sub),
+            |s: &NaiveScheme, u, v| NaiveScheme::distance(
+                s.label(tree.node(u)),
+                s.label(tree.node(v))
+            )
+        );
+        row!(
+            DistanceArrayScheme,
+            DistanceArrayScheme::build_with_substrate(&sub),
+            |s: &DistanceArrayScheme, u, v| DistanceArrayScheme::distance(
+                s.label(tree.node(u)),
+                s.label(tree.node(v))
+            )
+        );
+        row!(
+            OptimalScheme,
+            OptimalScheme::build_with_substrate(&sub),
+            |s: &OptimalScheme, u, v| OptimalScheme::distance(
+                s.label(tree.node(u)),
+                s.label(tree.node(v))
+            )
+        );
+        row!(
+            KDistanceScheme,
+            KDistanceScheme::build_with_substrate(&sub, 8),
+            |s: &KDistanceScheme, u, v| KDistanceScheme::distance(
+                s.label(tree.node(u)),
+                s.label(tree.node(v))
+            )
+            .unwrap_or(NO_DISTANCE)
+        );
+        row!(
+            ApproximateScheme,
+            ApproximateScheme::build_with_substrate(&sub, 0.25),
+            |s: &ApproximateScheme, u, v| ApproximateScheme::distance(
+                s.label(tree.node(u)),
+                s.label(tree.node(v))
+            )
+        );
+        row!(
+            LevelAncestorScheme,
+            LevelAncestorScheme::build_with_substrate(&sub),
+            |s: &LevelAncestorScheme, u, v| <LevelAncestorScheme as DistanceScheme>::distance(
+                s.label(tree.node(u)),
+                s.label(tree.node(v))
+            )
+        );
     }
     table
 }

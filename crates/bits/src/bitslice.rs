@@ -1,0 +1,365 @@
+//! Borrowed, word-level views over packed bit buffers.
+//!
+//! A [`BitSlice`] is to a [`BitVec`] what `&[T]` is to
+//! `Vec<T>`: a `Copy`-able view over someone else's `u64` words that can read
+//! single bits and MSB-first integers without owning (or copying) anything.
+//! It is the substrate of the zero-copy scheme store in `treelab-core`: a
+//! whole labeling scheme is one contiguous word buffer, and every per-label
+//! `*Ref` view is a `BitSlice` plus a bit offset.
+//!
+//! Bit addressing and integer semantics are identical to [`BitVec`]:
+//! bit `i` lives at `words[i / 64] >> (i % 64)`, and multi-bit integers are
+//! MSB-first (the first bit of the range is the most significant bit of the
+//! returned value), so `BitSlice::get_bits` over a buffer written by
+//! [`BitVec::push_bits`] returns exactly the written values.
+//!
+//! [`BitVec`]: crate::BitVec
+//! [`BitVec::push_bits`]: crate::BitVec::push_bits
+
+use crate::BitVec;
+
+/// A borrowed view over `len` bits stored in `u64` words.
+///
+/// # Example
+///
+/// ```
+/// use treelab_bits::{BitSlice, BitVec};
+///
+/// let mut bv = BitVec::new();
+/// bv.push_bits(0b1011, 4);
+/// bv.push_bits(0xFEED, 16);
+/// let s = bv.as_bitslice();
+/// assert_eq!(s.len(), 20);
+/// assert_eq!(s.get_bits(0, 4), Some(0b1011));
+/// assert_eq!(s.get_bits(4, 16), Some(0xFEED));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BitSlice<'a> {
+    words: &'a [u64],
+    len: usize,
+}
+
+impl<'a> BitSlice<'a> {
+    /// Creates a view over the first `len` bits of `words`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` holds fewer than `len` bits.
+    pub fn new(words: &'a [u64], len: usize) -> Self {
+        assert!(
+            len <= words.len().saturating_mul(64),
+            "bit length {len} exceeds {} words",
+            words.len()
+        );
+        BitSlice { words, len }
+    }
+
+    /// Number of bits in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The underlying words (bits beyond [`BitSlice::len`] may be garbage and
+    /// must be ignored).
+    #[inline]
+    pub fn words(&self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Reads the bit at `index`, or `None` if out of range.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<bool> {
+        if index >= self.len {
+            return None;
+        }
+        Some((self.words[index / 64] >> (index % 64)) & 1 == 1)
+    }
+
+    /// Reads `width ≤ 64` bits starting at `start`, MSB-first (matching
+    /// [`BitVec::push_bits`](crate::BitVec::push_bits)), or `None` if the
+    /// range is out of bounds.
+    #[inline]
+    pub fn get_bits(&self, start: usize, width: usize) -> Option<u64> {
+        if width > 64 || start > self.len || width > self.len - start {
+            return None;
+        }
+        if width == 0 {
+            return Some(0);
+        }
+        let word = start / 64;
+        let off = start % 64;
+        let mut raw = self.words[word] >> off;
+        if off + width > 64 {
+            raw |= self.words[word + 1] << (64 - off);
+        }
+        Some(raw.reverse_bits() >> (64 - width))
+    }
+
+    /// Reads `width ≤ 64` bits starting at `start` in **stream order** (the
+    /// first bit of the range is the least significant bit of the result),
+    /// or `None` if the range is out of bounds.
+    ///
+    /// This is the raw-chunk read: unlike [`BitSlice::get_bits`] it performs
+    /// no bit reversal (`reverse_bits` is a dozen instructions on x86), which
+    /// makes it the right primitive for fixed-width packed formats — the
+    /// scheme store writes every field with
+    /// [`BitVec::push_bits_lsb`](crate::BitVec::push_bits_lsb) and reads it
+    /// back with this.
+    #[inline]
+    pub fn get_bits_lsb(&self, start: usize, width: usize) -> Option<u64> {
+        if width > 64 || start > self.len || width > self.len - start {
+            return None;
+        }
+        if width == 0 {
+            return Some(0);
+        }
+        let word = start / 64;
+        let off = start % 64;
+        let mut raw = self.words[word] >> off;
+        if off + width > 64 {
+            raw |= self.words[word + 1] << (64 - off);
+        }
+        if width < 64 {
+            raw &= (1u64 << width) - 1;
+        }
+        Some(raw)
+    }
+
+    /// Compares `len` bits of `self` starting at `sa` with `len` bits of
+    /// `other` starting at `sb`, 64 bits at a time, without allocating.
+    ///
+    /// Returns `false` when either range is out of bounds.
+    #[inline]
+    pub fn eq_range(&self, sa: usize, other: &BitSlice<'_>, sb: usize, len: usize) -> bool {
+        if sa > self.len || len > self.len - sa || sb > other.len || len > other.len - sb {
+            return false;
+        }
+        // Single-chunk fast path: codeword spans are almost always ≤ 64 bits.
+        if len <= 64 {
+            return self.get_bits_lsb(sa, len) == other.get_bits_lsb(sb, len);
+        }
+        let mut i = 0;
+        while i < len {
+            let w = (len - i).min(64);
+            if self.get_bits_lsb(sa + i, w) != other.get_bits_lsb(sb + i, w) {
+                return false;
+            }
+            i += w;
+        }
+        true
+    }
+}
+
+impl BitVec {
+    /// A borrowed [`BitSlice`] view over this vector's bits.
+    pub fn as_bitslice(&self) -> BitSlice<'_> {
+        BitSlice::new(self.words(), self.len())
+    }
+}
+
+/// Low-level LSB-first field read over raw words, for *validated* packed
+/// formats: `width ≤ 64` bits starting at bit `start`, first bit least
+/// significant (the inverse of [`BitVec::push_bits_lsb`]).
+///
+/// Unlike [`BitSlice::get_bits_lsb`] there is no per-read range validation —
+/// the caller vouches that the field lies inside the buffer (the scheme store
+/// validates all offsets once, at load time, and then issues millions of
+/// these).  Memory safety is preserved regardless: an out-of-range `start`
+/// panics on the slice index.
+///
+/// The word *after* the field's first word must exist (`start / 64 + 1 <
+/// words.len()`): the straddle is handled with an unconditional second load
+/// instead of a data-dependent branch, which costs a mispredict about once
+/// per read on random-width formats.  Buffers backing packed formats should
+/// carry one zero guard word at the end (the scheme store does).
+///
+/// # Panics
+///
+/// Panics if `start / 64 + 1` is not a valid index into `words`.
+#[inline]
+pub fn read_lsb(words: &[u64], start: usize, width: usize) -> u64 {
+    debug_assert!(width <= 64);
+    if width == 0 {
+        return 0;
+    }
+    let word = start >> 6;
+    let off = (start & 63) as u32;
+    let lo = words[word] >> off;
+    // Branchless straddle: `(hi << 1) << (63 - off)` is 0 when off == 0 and
+    // the straddled high bits otherwise, with no shift-by-64 anywhere.
+    let hi = (words[word + 1] << 1) << (63 - off);
+    let raw = lo | hi;
+    if width < 64 {
+        raw & ((1u64 << width) - 1)
+    } else {
+        raw
+    }
+}
+
+/// Length of the longest common prefix of the bit ranges `[sa, sa + la)` of
+/// `a` and `[sb, sb + lb)` of `b`, over raw words: one XOR plus a
+/// trailing-zero count locates the first differing bit inside a chunk, so
+/// comparing two packed codeword strings costs a couple of word operations
+/// instead of a per-field loop.  Trusted-range ([`read_lsb`]) addressing.
+///
+/// # Panics
+///
+/// Panics if either range's words lie outside its buffer.
+#[inline]
+pub fn common_prefix_len_raw(
+    a: &[u64],
+    sa: usize,
+    la: usize,
+    b: &[u64],
+    sb: usize,
+    lb: usize,
+) -> usize {
+    let max = la.min(lb);
+    // Fast path: almost every comparison is decided inside the first 64
+    // bits, so read one chunk unconditionally and only loop beyond it when
+    // the strings agree that far.
+    let w = max.min(64);
+    let diff = read_lsb(a, sa, w) ^ read_lsb(b, sb, w);
+    if diff != 0 {
+        return diff.trailing_zeros() as usize;
+    }
+    if max <= 64 {
+        return max;
+    }
+    let mut i = 64;
+    while i < max {
+        let w = (max - i).min(64);
+        let diff = read_lsb(a, sa + i, w) ^ read_lsb(b, sb + i, w);
+        if diff != 0 {
+            return i + diff.trailing_zeros() as usize;
+        }
+        i += w;
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> BitVec {
+        BitVec::from_bools((0..n as u64).map(|i| (i * 2654435761) % 7 < 3))
+    }
+
+    #[test]
+    fn get_and_get_bits_match_bitvec() {
+        let bv = sample(300);
+        let s = bv.as_bitslice();
+        assert_eq!(s.len(), 300);
+        for i in 0..300 {
+            assert_eq!(s.get(i), bv.get(i), "bit {i}");
+        }
+        assert_eq!(s.get(300), None);
+        for &(start, width) in &[
+            (0usize, 0usize),
+            (0, 64),
+            (1, 64),
+            (63, 2),
+            (63, 64),
+            (130, 17),
+            (299, 1),
+            (300, 0),
+        ] {
+            assert_eq!(s.get_bits(start, width), bv.get_bits(start, width));
+        }
+        assert_eq!(s.get_bits(290, 20), None);
+        assert_eq!(s.get_bits(0, 65), None);
+        assert_eq!(s.get_bits(usize::MAX, 2), None);
+    }
+
+    #[test]
+    fn get_bits_lsb_round_trips_push_bits_lsb() {
+        let mut bv = BitVec::new();
+        let values: Vec<(u64, usize)> = (0..120u64)
+            .map(|i| {
+                let w = (i as usize * 7) % 65;
+                let v = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (if w == 64 { v } else { v & ((1u64 << w) - 1) }, w)
+            })
+            .collect();
+        let mut positions = Vec::new();
+        for &(v, w) in &values {
+            positions.push(bv.len());
+            bv.push_bits_lsb(v, w);
+        }
+        let s = bv.as_bitslice();
+        for (i, &(v, w)) in values.iter().enumerate() {
+            assert_eq!(s.get_bits_lsb(positions[i], w), Some(v), "field {i}");
+        }
+        // LSB read is the bit-reversal of the MSB read.
+        let msb = s.get_bits(positions[3], values[3].1).unwrap();
+        let w3 = values[3].1;
+        if w3 > 0 {
+            assert_eq!(msb.reverse_bits() >> (64 - w3), values[3].0);
+        }
+        assert_eq!(s.get_bits_lsb(bv.len(), 1), None);
+        assert_eq!(s.get_bits_lsb(0, 65), None);
+    }
+
+    #[test]
+    fn eq_range_matches_bitwise_comparison() {
+        let bv = sample(400);
+        let s = bv.as_bitslice();
+        for &(sa, sb, len) in &[(0usize, 128usize, 64usize), (3, 67, 130), (10, 10, 0)] {
+            let expect = (0..len).all(|i| bv.get(sa + i) == bv.get(sb + i));
+            assert_eq!(s.eq_range(sa, &s, sb, len), expect, "({sa},{sb},{len})");
+        }
+        // Identical ranges always compare equal.
+        assert!(s.eq_range(37, &s, 37, 200));
+        // Out-of-bounds ranges compare unequal rather than panicking.
+        assert!(!s.eq_range(390, &s, 0, 20));
+    }
+
+    #[test]
+    fn common_prefix_len_raw_matches_bitwise_reference() {
+        let bv = sample(400);
+        let w = bv.words();
+        for &(sa, la, sb, lb) in &[
+            (0usize, 100usize, 200usize, 100usize),
+            (3, 200, 77, 150),
+            (5, 0, 9, 30),
+            (10, 64, 10, 64),
+            (0, 128, 64, 128),
+        ] {
+            let max = la.min(lb);
+            let expect = (0..max)
+                .position(|i| bv.get(sa + i) != bv.get(sb + i))
+                .unwrap_or(max);
+            assert_eq!(
+                common_prefix_len_raw(w, sa, la, w, sb, lb),
+                expect,
+                "({sa},{la}) vs ({sb},{lb})"
+            );
+        }
+        // Identical ranges share everything.
+        assert_eq!(common_prefix_len_raw(w, 13, 300, w, 13, 250), 250);
+    }
+
+    #[test]
+    fn eq_range_is_overflow_safe() {
+        let bv = sample(130);
+        let s = bv.as_bitslice();
+        // Degenerate offsets must report unequal, not wrap the bounds guard.
+        assert!(!s.eq_range(usize::MAX, &s, usize::MAX, 2));
+        assert!(!s.eq_range(0, &s, usize::MAX, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn new_rejects_oversized_length() {
+        let words = [0u64; 2];
+        BitSlice::new(&words, 129);
+    }
+}

@@ -90,8 +90,18 @@ impl BitVec {
         self.len += 1;
     }
 
+    /// Reserves capacity for at least `additional` more bits.
+    pub fn reserve(&mut self, additional: usize) {
+        let need = (self.len + additional).div_ceil(64);
+        self.words.reserve(need.saturating_sub(self.words.len()));
+    }
+
     /// Appends the `width` low bits of `value`, most significant of those bits
     /// first.
+    ///
+    /// Word-level: the bits land with two shift/or operations rather than a
+    /// per-bit loop (serializing a whole scheme into one buffer is dominated
+    /// by this call).
     ///
     /// # Panics
     ///
@@ -104,9 +114,52 @@ impl BitVec {
                 "value {value} does not fit in {width} bits"
             );
         }
-        // MSB-first: bit (width-1) of `value` is appended first.
-        for i in (0..width).rev() {
-            self.push((value >> i) & 1 == 1);
+        if width == 0 {
+            return;
+        }
+        // MSB-first: bit (width-1) of `value` is appended first, i.e. vector
+        // bit (len + j) is bit (width-1-j) of `value` — the reversed low bits.
+        let rev = value.reverse_bits() >> (64 - width);
+        let word = self.len / 64;
+        let off = self.len % 64;
+        self.len += width;
+        self.words.resize(self.len.div_ceil(64), 0);
+        self.words[word] |= rev << off;
+        if off + width > 64 {
+            self.words[word + 1] |= rev >> (64 - off);
+        }
+    }
+
+    /// Appends the `width` low bits of `value` in **stream order** (least
+    /// significant of those bits first), the inverse of
+    /// [`BitSlice::get_bits_lsb`](crate::BitSlice::get_bits_lsb).
+    ///
+    /// The MSB-first [`BitVec::push_bits`] is the right call for
+    /// self-delimiting wire encodings (lexicographic order matters there);
+    /// this variant is the right call for fixed-width packed formats such as
+    /// the scheme store, where reads must not pay the bit reversal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or if `value` does not fit in `width` bits.
+    pub fn push_bits_lsb(&mut self, value: u64, width: usize) {
+        assert!(width <= 64, "width must be at most 64, got {width}");
+        if width < 64 {
+            assert!(
+                value < (1u64 << width),
+                "value {value} does not fit in {width} bits"
+            );
+        }
+        if width == 0 {
+            return;
+        }
+        let word = self.len / 64;
+        let off = self.len % 64;
+        self.len += width;
+        self.words.resize(self.len.div_ceil(64), 0);
+        self.words[word] |= value << off;
+        if off + width > 64 {
+            self.words[word + 1] |= value >> (64 - off);
         }
     }
 
@@ -133,10 +186,20 @@ impl BitVec {
         self.words.truncate(self.len.div_ceil(64));
     }
 
-    /// Appends `count` copies of `bit`.
+    /// Appends `count` copies of `bit` (word-at-a-time).
     pub fn push_repeat(&mut self, bit: bool, count: usize) {
-        for _ in 0..count {
-            self.push(bit);
+        if !bit {
+            // The tail-zero invariant means appending zeros only needs fresh
+            // zero words and a longer length.
+            self.len += count;
+            self.words.resize(self.len.div_ceil(64), 0);
+            return;
+        }
+        let mut remaining = count;
+        while remaining > 0 {
+            let w = remaining.min(64);
+            self.push_bits(u64::MAX >> (64 - w), w);
+            remaining -= w;
         }
     }
 
@@ -221,6 +284,12 @@ impl BitVec {
     /// [`BitVec::len`] are zero.
     pub fn words(&self) -> &[u64] {
         &self.words
+    }
+
+    /// Consumes the vector, returning its words (the last word's bits beyond
+    /// [`BitVec::len`] are zero).
+    pub fn into_words(self) -> Vec<u64> {
+        self.words
     }
 
     /// Returns `true` if `prefix` is a prefix of `self`.
@@ -328,6 +397,22 @@ impl BitWriter {
         Self::default()
     }
 
+    /// Creates an empty writer with capacity for at least `bits` bits.
+    ///
+    /// Serializers that know (or can bound) their output size up front — the
+    /// whole-scheme store does — should use this so a multi-megabyte encode
+    /// pays one allocation instead of repeated growth reallocations.
+    pub fn with_capacity(bits: usize) -> Self {
+        BitWriter {
+            bits: BitVec::with_capacity(bits),
+        }
+    }
+
+    /// Reserves capacity for at least `additional` more bits.
+    pub fn reserve(&mut self, additional: usize) {
+        self.bits.reserve(additional);
+    }
+
     /// Appends a single bit.
     pub fn write_bit(&mut self, bit: bool) {
         self.bits.push(bit);
@@ -345,6 +430,16 @@ impl BitWriter {
     /// Appends all bits of a [`BitVec`].
     pub fn write_bitvec(&mut self, bv: &BitVec) {
         self.bits.extend_from(bv);
+    }
+
+    /// Appends the `width` low bits of `value` in stream order (LSB first);
+    /// see [`BitVec::push_bits_lsb`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or `value` does not fit in `width` bits.
+    pub fn write_bits_lsb(&mut self, value: u64, width: usize) {
+        self.bits.push_bits_lsb(value, width);
     }
 
     /// Current length in bits.
@@ -672,6 +767,70 @@ mod tests {
                 assert_eq!(fast, slow);
             }
         }
+    }
+
+    #[test]
+    fn push_bits_matches_bit_by_bit_reference() {
+        // The word-level push_bits must agree with the per-bit definition at
+        // every alignment and width, including the 64-bit full-word cases.
+        let mut fast = BitVec::new();
+        let mut slow = BitVec::new();
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        for step in 0..200usize {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let width = step % 65;
+            let value = if width == 64 {
+                state
+            } else {
+                state & ((1u64 << width) - 1)
+            };
+            fast.push_bits(value, width);
+            for i in (0..width).rev() {
+                slow.push((value >> i) & 1 == 1);
+            }
+            assert_eq!(fast, slow, "step {step} width {width}");
+        }
+        assert_eq!(fast.words().len(), fast.len().div_ceil(64));
+        // Tail invariant survives: appending single bits still works.
+        fast.push(true);
+        slow.push(true);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn push_repeat_matches_per_bit_pushes() {
+        for offset in [0usize, 1, 63, 64, 70] {
+            for count in [0usize, 1, 5, 64, 65, 200] {
+                for bit in [false, true] {
+                    let mut fast = BitVec::from_bools((0..offset).map(|i| i % 2 == 0));
+                    let mut slow = fast.clone();
+                    fast.push_repeat(bit, count);
+                    for _ in 0..count {
+                        slow.push(bit);
+                    }
+                    assert_eq!(fast, slow, "offset={offset} count={count} bit={bit}");
+                    assert_eq!(fast.words().len(), fast.len().div_ceil(64));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reserve_and_with_capacity_do_not_change_contents() {
+        let mut w = BitWriter::with_capacity(1 << 16);
+        w.write_bits(0xAB, 8);
+        w.reserve(1 << 20);
+        w.write_bits(0xCD, 8);
+        let bv = w.into_bitvec();
+        assert_eq!(bv.get_bits(0, 16), Some(0xABCD));
+        let mut v = BitVec::with_capacity(10);
+        v.reserve(1 << 12);
+        assert!(v.is_empty());
+        let words = bv.into_words();
+        assert_eq!(words.len(), 1);
+        assert_eq!(words[0] & 0xFFFF, 0xABCDu64.reverse_bits() >> 48);
     }
 
     #[test]

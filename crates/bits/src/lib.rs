@@ -22,6 +22,10 @@
 //! * [`alphabetic`] — order-preserving (Gilbert–Moore) prefix codes with
 //!   code length `≤ ⌈log(W/w)⌉ + 2`, the substrate behind the `O(log n)`-bit
 //!   heavy-path/NCA auxiliary labels (Lemma 2.1).
+//! * [`bitslice`] — borrowed, `Copy`-able word-level views over packed bit
+//!   buffers, the substrate of the zero-copy scheme store.
+//! * [`crc`] — word-level (slice-by-8) CRC-64/XZ framing for persisted
+//!   structures.
 //!
 //! # Example
 //!
@@ -49,11 +53,14 @@ mod bitvec;
 mod error;
 
 pub mod alphabetic;
+pub mod bitslice;
 pub mod codes;
+pub mod crc;
 pub mod monotone;
 pub mod rank_select;
 pub mod wordram;
 
+pub use bitslice::BitSlice;
 pub use bitvec::{BitReader, BitVec, BitWriter};
 pub use error::DecodeError;
 pub use monotone::MonotoneSeq;

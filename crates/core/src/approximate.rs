@@ -16,10 +16,11 @@
 //! `[d(u,v), (1+ε)·d(u,v) + 2]` (the `+2` is integer-rounding slack that
 //! vanishes for distances `≥ 2/ε`; the paper works with real-valued rounding).
 
-use crate::hpath::HpathLabel;
+use crate::hpath::{AuxDims, AuxScalars, AuxWidths, HpathLabel, HpathRef};
+use crate::store::{StoreError, StoredScheme};
 use crate::substrate::{self, Substrate};
 use std::cmp::Ordering;
-use treelab_bits::{codes, monotone::MonotoneSeq, BitReader, BitWriter, DecodeError};
+use treelab_bits::{codes, monotone::MonotoneSeq, BitReader, BitSlice, BitWriter, DecodeError};
 use treelab_tree::{NodeId, Tree};
 
 /// Rounds `d ≥ 1` up to the smallest value of the form `⌈(1+eps)^e⌉` and
@@ -239,6 +240,302 @@ impl ApproximateScheme {
         };
         // d(u,v) = rd(y) − rd(x) + 2·d(x, w); the rounded value only over-counts.
         (y.root_distance + 2 * rounded).saturating_sub(x.root_distance)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy store support
+// ---------------------------------------------------------------------------
+
+/// Store meta of the approximate scheme: global field widths of the packed
+/// layout `[root_distance][count][exponents[0..count]][aux label]`, plus the
+/// exact ε (carried bit-exact through the store header so packed queries
+/// reproduce the in-memory estimates digit for digit).
+#[derive(Debug, Clone, Copy)]
+pub struct ApproximateMeta {
+    w_rd: u8,
+    w_ec: u8,
+    w_e: u8,
+    aux_w: AuxWidths,
+    epsilon: f64,
+    // Query-side quantities, precomputed once at parse time.
+    rd_w: usize,
+    e_w: usize,
+    hdr_total: usize,
+    hdr_fused: bool,
+    rd_mask: u64,
+    ec_mask: u64,
+    cwl_sh: u32,
+    aux: AuxDims,
+    /// `⌈(1 + ε/2)^t⌉` for `t = 0 … 127`, precomputed at parse time so the
+    /// query's rounding lookup is one indexed load instead of a serial
+    /// floating-point `powi` chain (exponents above the table fall back).
+    exp_table: [u64; EXP_TABLE],
+}
+
+/// Entries in the precomputed exponent-value table.
+const EXP_TABLE: usize = 128;
+
+impl ApproximateMeta {
+    fn with_widths(w_rd: u8, w_ec: u8, w_e: u8, aux_w: AuxWidths, epsilon: f64) -> Self {
+        let hdr_total = usize::from(w_rd) + usize::from(w_ec) + usize::from(aux_w.end);
+        let mut exp_table = [0u64; EXP_TABLE];
+        for (t, slot) in exp_table.iter_mut().enumerate() {
+            *slot = exponent_value(t as u64, epsilon / 2.0);
+        }
+        ApproximateMeta {
+            w_rd,
+            w_ec,
+            w_e,
+            aux_w,
+            epsilon,
+            rd_w: usize::from(w_rd),
+            e_w: usize::from(w_e),
+            hdr_total,
+            hdr_fused: hdr_total <= 64,
+            rd_mask: if w_rd >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << w_rd) - 1
+            },
+            ec_mask: if w_ec >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << w_ec) - 1
+            },
+            cwl_sh: u32::from(w_rd) + u32::from(w_ec),
+            aux: AuxDims::new(aux_w),
+            exp_table,
+        }
+    }
+
+    /// `exponent_value(e, ε/2)` through the table (bit-identical fallback
+    /// beyond it).
+    #[inline]
+    fn exponent_value_cached(&self, e: u64) -> u64 {
+        if (e as usize) < EXP_TABLE {
+            self.exp_table[e as usize]
+        } else {
+            exponent_value(e, self.epsilon / 2.0)
+        }
+    }
+
+    fn measure(labels: &[ApproximateLabel], epsilon: f64) -> Self {
+        let (mut w_rd, mut w_ec, mut w_e) = (0u8, 0u8, 0u8);
+        let mut aux_w = AuxWidths::default();
+        let w = |x: u64| codes::bit_len(x) as u8;
+        for l in labels {
+            debug_assert_eq!(l.epsilon, epsilon, "labels of one scheme share ε");
+            w_rd = w_rd.max(w(l.root_distance));
+            w_ec = w_ec.max(w(l.exponents.len() as u64));
+            // Exponents are non-decreasing, so the last bounds them all.
+            w_e = w_e.max(w(l.exponents.last().copied().unwrap_or(0)));
+            aux_w.observe(&l.aux);
+        }
+        // The approximate query never consults the domination order (side
+        // selection reads the divergence bit instead), so the field is packed
+        // at width 0.
+        aux_w.dom = 0;
+        Self::with_widths(w_rd, w_ec, w_e, aux_w, epsilon)
+    }
+
+    fn words(self) -> Vec<u64> {
+        vec![
+            u64::from(self.w_rd) | u64::from(self.w_ec) << 8 | u64::from(self.w_e) << 16,
+            self.aux_w.to_word(),
+        ]
+    }
+
+    fn parse(param: u64, words: &[u64]) -> Result<Self, StoreError> {
+        let &[w0, w1] = words else {
+            return Err(StoreError::Malformed {
+                what: "approximate scheme meta must be two words",
+            });
+        };
+        let epsilon = f64::from_bits(param);
+        if !(epsilon > 0.0 && epsilon <= 1.0) {
+            return Err(StoreError::Malformed {
+                what: "approximate scheme ε outside (0, 1]",
+            });
+        }
+        let widths = [
+            (w0 & 0xFF) as u8,
+            (w0 >> 8 & 0xFF) as u8,
+            (w0 >> 16 & 0xFF) as u8,
+        ];
+        if w0 >> 24 != 0 || widths.iter().any(|&x| x > 64) {
+            return Err(StoreError::Malformed {
+                what: "approximate scheme field width exceeds 64 bits",
+            });
+        }
+        let [w_rd, w_ec, w_e] = widths;
+        Ok(Self::with_widths(
+            w_rd,
+            w_ec,
+            w_e,
+            AuxWidths::from_word(w1)?,
+            epsilon,
+        ))
+    }
+}
+
+/// Borrowed view of a packed [`ApproximateLabel`] inside a
+/// [`SchemeStore`](crate::store::SchemeStore) buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct ApproximateLabelRef<'a> {
+    s: BitSlice<'a>,
+    start: usize,
+    m: &'a ApproximateMeta,
+}
+
+impl<'a> ApproximateLabelRef<'a> {
+    #[inline]
+    fn get(&self, pos: usize, width: usize) -> u64 {
+        treelab_bits::bitslice::read_lsb(self.s.words(), pos, width)
+    }
+
+    /// `(root_distance, exponent count, codeword length)` — one fused read
+    /// when the widths fit.
+    #[inline]
+    fn header(&self) -> (u64, usize, usize) {
+        let m = self.m;
+        if m.hdr_fused {
+            let raw = self.get(self.start, m.hdr_total);
+            (
+                raw & m.rd_mask,
+                (raw >> m.rd_w & m.ec_mask) as usize,
+                (raw >> m.cwl_sh) as usize,
+            )
+        } else {
+            let ec_w = usize::from(m.w_ec);
+            (
+                self.get(self.start, m.rd_w),
+                self.get(self.start + m.rd_w, ec_w) as usize,
+                self.get(self.start + m.rd_w + ec_w, usize::from(m.aux_w.end)) as usize,
+            )
+        }
+    }
+
+    #[inline]
+    fn exponent(&self, i: usize) -> u64 {
+        let base = self.start + self.m.hdr_total;
+        self.get(base + i * self.m.e_w, self.m.e_w)
+    }
+
+    #[inline]
+    fn aux(&self, count: usize) -> HpathRef<'a> {
+        let base = self.start + self.m.hdr_total + count * self.m.e_w;
+        HpathRef::new(self.s, base, &self.m.aux)
+    }
+}
+
+impl StoredScheme for ApproximateScheme {
+    const TAG: u32 = 5;
+    const STORE_NAME: &'static str = "approximate";
+    type Meta = ApproximateMeta;
+    type Ref<'a> = ApproximateLabelRef<'a>;
+
+    fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn store_param(&self) -> u64 {
+        self.epsilon.to_bits()
+    }
+
+    fn meta_words(&self) -> Vec<u64> {
+        ApproximateMeta::measure(&self.labels, self.epsilon).words()
+    }
+
+    fn parse_meta(param: u64, words: &[u64]) -> Result<ApproximateMeta, StoreError> {
+        ApproximateMeta::parse(param, words)
+    }
+
+    fn packed_label_bits(&self, meta: &ApproximateMeta, u: usize) -> usize {
+        let l = &self.labels[u];
+        meta.hdr_total + l.exponents.len() * usize::from(meta.w_e) + meta.aux_w.packed_bits(&l.aux)
+    }
+
+    fn pack_label(&self, meta: &ApproximateMeta, u: usize, w: &mut BitWriter) {
+        let l = &self.labels[u];
+        w.write_bits_lsb(l.root_distance, usize::from(meta.w_rd));
+        w.write_bits_lsb(l.exponents.len() as u64, usize::from(meta.w_ec));
+        w.write_bits_lsb(l.aux.codewords_len() as u64, usize::from(meta.aux_w.end));
+        for &e in &l.exponents {
+            w.write_bits_lsb(e, usize::from(meta.w_e));
+        }
+        meta.aux_w.pack(&l.aux, w);
+    }
+
+    fn label_ref<'a>(
+        slice: BitSlice<'a>,
+        start: usize,
+        meta: &'a ApproximateMeta,
+    ) -> ApproximateLabelRef<'a> {
+        ApproximateLabelRef {
+            s: slice,
+            start,
+            m: meta,
+        }
+    }
+
+    /// Mirrors [`ApproximateScheme::distance`] over packed views, estimate for
+    /// estimate (same ε, same rounding).
+    fn distance_refs(a: ApproximateLabelRef<'_>, b: ApproximateLabelRef<'_>) -> u64 {
+        let (rd_a, ca, cwl_a) = a.header();
+        let (rd_b, cb, cwl_b) = b.header();
+        let (aa, ab) = (a.aux(ca), b.aux(cb));
+        let (sa, sb) = (aa.scalars(), ab.scalars());
+        // Equal nodes fall under the ancestor case (|rd_a − rd_b| = 0).
+        if AuxScalars::is_ancestor(&sa, &sb) || AuxScalars::is_ancestor(&sb, &sa) {
+            return rd_a.abs_diff(rd_b);
+        }
+        let (j, lcp) = HpathRef::common_light_depth_lcp(&aa, &sa, cwl_a, &ab, &sb, cwl_b);
+        let a_branches = sa.ld > j;
+        let b_branches = sb.ld > j;
+        let use_a = match (a_branches, b_branches) {
+            (true, false) => true,
+            (false, true) => false,
+            // Both branch: their codeword strings diverge at bit `lcp`,
+            // strictly inside codeword j, and the lexicographically smaller
+            // side (a 0 bit there) branches closer to the head — one bit read
+            // replaces the chunked lexicographic comparison.
+            (true, true) => aa.cw_bit(sa.ld, lcp) == 0,
+            (false, false) => {
+                unreachable!("non-ancestor nodes cannot both lie on the NCA's heavy path")
+            }
+        };
+        let (x, x_ld, x_rd) = if use_a {
+            (&a, sa.ld, rd_a)
+        } else {
+            (&b, sb.ld, rd_b)
+        };
+        let y_rd = if use_a { rd_b } else { rd_a };
+        let idx = x_ld - j; // ≥ 1
+        let e = x.exponent(idx - 1);
+        let rounded = if e == 0 {
+            0
+        } else {
+            x.m.exponent_value_cached(e - 1)
+        };
+        (y_rd + 2 * rounded).saturating_sub(x_rd)
+    }
+
+    fn check_label(slice: BitSlice<'_>, start: usize, end: usize, meta: &ApproximateMeta) -> bool {
+        let len = end - start;
+        if len < meta.hdr_total {
+            return false;
+        }
+        let r = Self::label_ref(slice, start, meta);
+        let (_, ec, cwl) = r.header();
+        let fixed = match ec.checked_mul(meta.e_w).map(|x| x + meta.hdr_total) {
+            Some(f) if f <= len => f,
+            _ => return false,
+        };
+        match r.aux(ec).extent_bits(len - fixed) {
+            Some((total, cw)) => fixed + total == len && cw == cwl,
+            None => false,
+        }
     }
 }
 

@@ -20,10 +20,14 @@
 //! labels of the nodes it dominates.
 
 use crate::hpath::HpathLabel;
-use crate::naive::{exact_distance_from_entries, ExactLabel};
+use crate::naive::{
+    exact_distance_from_entries, psum_check_label, psum_distance_refs, ExactLabel, PsumMeta,
+    PsumRef,
+};
+use crate::store::{StoreError, StoredScheme};
 use crate::substrate::{self, Substrate};
 use crate::DistanceScheme;
-use treelab_bits::{codes, BitReader, BitWriter, DecodeError};
+use treelab_bits::{codes, BitReader, BitSlice, BitWriter, DecodeError};
 use treelab_tree::{NodeId, Tree};
 
 /// Label of the distance-array (½·log²n) scheme.
@@ -176,6 +180,61 @@ impl DistanceScheme for DistanceArrayScheme {
 
     fn name() -> &'static str {
         "distance-array"
+    }
+}
+
+/// Borrowed view of a packed [`DistanceArrayLabel`] inside a
+/// [`SchemeStore`](crate::store::SchemeStore) buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct DistanceArrayLabelRef<'a>(PsumRef<'a>);
+
+impl StoredScheme for DistanceArrayScheme {
+    const TAG: u32 = 2;
+    const STORE_NAME: &'static str = "distance-array";
+    type Meta = PsumMeta;
+    type Ref<'a> = DistanceArrayLabelRef<'a>;
+
+    fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn meta_words(&self) -> Vec<u64> {
+        PsumMeta::measure(
+            self.labels
+                .iter()
+                .map(|l| (l.root_distance, l.entries.as_slice(), &l.aux)),
+        )
+        .words()
+    }
+
+    fn parse_meta(_param: u64, words: &[u64]) -> Result<PsumMeta, StoreError> {
+        PsumMeta::parse(words)
+    }
+
+    fn packed_label_bits(&self, meta: &PsumMeta, u: usize) -> usize {
+        let l = &self.labels[u];
+        meta.label_bits(l.entries.len(), &l.aux)
+    }
+
+    fn pack_label(&self, meta: &PsumMeta, u: usize, w: &mut BitWriter) {
+        let l = &self.labels[u];
+        meta.pack(l.root_distance, &l.entries, &l.weights, &l.aux, w);
+    }
+
+    fn label_ref<'a>(
+        slice: BitSlice<'a>,
+        start: usize,
+        meta: &'a PsumMeta,
+    ) -> DistanceArrayLabelRef<'a> {
+        DistanceArrayLabelRef(PsumRef::new(slice, start, meta))
+    }
+
+    fn distance_refs(a: DistanceArrayLabelRef<'_>, b: DistanceArrayLabelRef<'_>) -> u64 {
+        psum_distance_refs(&a.0, &b.0)
+    }
+
+    fn check_label(slice: BitSlice<'_>, start: usize, end: usize, meta: &PsumMeta) -> bool {
+        psum_check_label(slice, start, end, meta)
     }
 }
 

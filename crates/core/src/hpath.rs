@@ -23,10 +23,14 @@
 //! first differing codeword recovers branch order, and an explicitly stored
 //! preorder/subtree-size pair gives ancestry.
 
+use crate::store::StoreError;
 use crate::Tree;
 use std::cmp::Ordering;
 use treelab_bits::alphabetic::AlphabeticCode;
-use treelab_bits::{codes, monotone::MonotoneSeq, BitReader, BitVec, BitWriter, DecodeError};
+use treelab_bits::bitslice::{common_prefix_len_raw, read_lsb};
+use treelab_bits::{
+    codes, monotone::MonotoneSeq, BitReader, BitSlice, BitVec, BitWriter, DecodeError,
+};
 use treelab_tree::heavy::HeavyPaths;
 use treelab_tree::NodeId;
 
@@ -69,6 +73,16 @@ impl HpathLabel {
     /// Domination order of the node's heavy path (smaller dominates).
     pub fn dom_order(&self) -> u64 {
         self.dom_order
+    }
+
+    /// End positions of the codewords (for the store packers).
+    pub(crate) fn end_positions(&self) -> &[u32] {
+        &self.ends
+    }
+
+    /// Total codeword length in bits (for the store packers).
+    pub(crate) fn codewords_len(&self) -> usize {
+        self.codewords.len()
     }
 
     /// Start/end bit positions of the `i`-th (0-based) codeword.
@@ -239,6 +253,526 @@ pub(crate) fn decode_codeword_ends(ends: &MonotoneSeq) -> Result<Vec<u32>, Decod
         .collect()
 }
 
+/// Fixed field widths of the packed (store) form of [`HpathLabel`], shared by
+/// every label of one scheme store.
+///
+/// The store trades the self-delimiting wire encoding ([`HpathLabel::encode`])
+/// for a fixed-width layout with O(1) random access:
+///
+/// ```text
+/// [light_depth][dom_order][pre][subtree_size][ends[0..ld]][codeword bits]
+/// ```
+///
+/// Widths are the global maxima over all labels of the scheme, chosen at
+/// serialize time and recorded in the store header, so a [`HpathRef`] can
+/// address any field with one shifted word read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct AuxWidths {
+    /// Width of the light-depth field.
+    pub(crate) ld: u8,
+    /// Width of the domination-order field.
+    pub(crate) dom: u8,
+    /// Width of the preorder field.
+    pub(crate) pre: u8,
+    /// Width of the subtree-size field.
+    pub(crate) sub: u8,
+    /// Width of each codeword-end position.
+    pub(crate) end: u8,
+}
+
+impl AuxWidths {
+    /// Grows the widths to accommodate `label`.
+    pub(crate) fn observe(&mut self, label: &HpathLabel) {
+        let w = |x: u64| codes::bit_len(x) as u8;
+        self.ld = self.ld.max(w(label.light_depth as u64));
+        self.dom = self.dom.max(w(label.dom_order));
+        self.pre = self.pre.max(w(label.pre));
+        self.sub = self.sub.max(w(label.subtree_size));
+        self.end = self.end.max(w(label.codewords.len() as u64));
+    }
+
+    /// Packs the five widths into one store meta word.
+    pub(crate) fn to_word(self) -> u64 {
+        u64::from(self.ld)
+            | u64::from(self.dom) << 8
+            | u64::from(self.pre) << 16
+            | u64::from(self.sub) << 24
+            | u64::from(self.end) << 32
+    }
+
+    /// Decodes a meta word written by [`AuxWidths::to_word`].
+    pub(crate) fn from_word(word: u64) -> Result<Self, StoreError> {
+        let widths = AuxWidths {
+            ld: (word & 0xFF) as u8,
+            dom: (word >> 8 & 0xFF) as u8,
+            pre: (word >> 16 & 0xFF) as u8,
+            sub: (word >> 24 & 0xFF) as u8,
+            end: (word >> 32 & 0xFF) as u8,
+        };
+        if word >> 40 != 0
+            || [widths.ld, widths.dom, widths.pre, widths.sub, widths.end]
+                .iter()
+                .any(|&w| w > 64)
+        {
+            return Err(StoreError::Malformed {
+                what: "auxiliary-label field width exceeds 64 bits",
+            });
+        }
+        Ok(widths)
+    }
+
+    /// Total width of the four leading scalar fields.
+    #[inline]
+    pub(crate) fn scalar_bits(self) -> usize {
+        usize::from(self.ld) + usize::from(self.dom) + usize::from(self.pre) + usize::from(self.sub)
+    }
+
+    /// Packed size of `label` in bits under these widths.
+    pub(crate) fn packed_bits(self, label: &HpathLabel) -> usize {
+        self.scalar_bits() + label.light_depth * usize::from(self.end) + label.codewords.len()
+    }
+
+    /// Packed size of the *core* form (scalars + codeword bits, no end
+    /// positions) of `label` in bits.
+    pub(crate) fn packed_bits_core(self, label: &HpathLabel) -> usize {
+        self.scalar_bits() + label.codewords.len()
+    }
+
+    /// Writes a scalar truncated to its field width — fields a scheme's
+    /// query provably never reads are packed at width 0 (see the per-scheme
+    /// `measure` functions), which drops them from the store entirely.
+    fn put(w: &mut BitWriter, value: u64, width: u8) {
+        let masked = if width >= 64 {
+            value
+        } else {
+            value & ((1u64 << width) - 1)
+        };
+        w.write_bits_lsb(masked, usize::from(width));
+    }
+
+    /// Appends the core packed form of `label`: the four scalars and the
+    /// codeword bits.  Schemes that keep the per-level end positions in their
+    /// own fused records (and the total codeword length in their header) use
+    /// this instead of [`AuxWidths::pack`].
+    pub(crate) fn pack_core(self, label: &HpathLabel, w: &mut BitWriter) {
+        Self::put(w, label.light_depth as u64, self.ld);
+        Self::put(w, label.dom_order, self.dom);
+        Self::put(w, label.pre, self.pre);
+        Self::put(w, label.subtree_size, self.sub);
+        w.write_bitvec(&label.codewords);
+    }
+
+    /// Appends the packed form of `label` (LSB-first fields, so reads skip
+    /// the bit reversal; the codeword bits are copied verbatim).
+    pub(crate) fn pack(self, label: &HpathLabel, w: &mut BitWriter) {
+        Self::put(w, label.light_depth as u64, self.ld);
+        Self::put(w, label.dom_order, self.dom);
+        Self::put(w, label.pre, self.pre);
+        Self::put(w, label.subtree_size, self.sub);
+        for &e in &label.ends {
+            w.write_bits_lsb(u64::from(e), usize::from(self.end));
+        }
+        w.write_bitvec(&label.codewords);
+    }
+}
+
+/// All-ones mask of the low `w` bits (shared by the scheme metas' derived
+/// shift/mask tables; shift-overflow-safe for `w = 64`).
+#[inline]
+pub(crate) fn width_mask(w: usize) -> u64 {
+    if w >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+/// [`AuxWidths`] with every query-time derived quantity — field offsets,
+/// split shifts, masks, the fused-read flag — precomputed once at store-parse
+/// time, so the per-query scalar load is one raw word read plus three
+/// shift-and-mask splits with zero data-dependent branching.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AuxDims {
+    pub(crate) widths: AuxWidths,
+    /// Total width of the four scalar fields.
+    scalar_total: usize,
+    /// All four scalars fit one 64-bit read.
+    fused: bool,
+    dom_sh: u32,
+    pre_sh: u32,
+    sub_sh: u32,
+    ld_mask: u64,
+    dom_mask: u64,
+    pre_mask: u64,
+    /// Width of each codeword-end position, as a `usize`.
+    end_w: usize,
+}
+
+impl AuxDims {
+    pub(crate) fn new(widths: AuxWidths) -> Self {
+        let (ld, dom, pre, sub) = (
+            usize::from(widths.ld),
+            usize::from(widths.dom),
+            usize::from(widths.pre),
+            usize::from(widths.sub),
+        );
+        let scalar_total = ld + dom + pre + sub;
+        AuxDims {
+            widths,
+            scalar_total,
+            fused: scalar_total <= 64,
+            dom_sh: ld as u32,
+            pre_sh: (ld + dom) as u32,
+            sub_sh: (ld + dom + pre) as u32,
+            ld_mask: width_mask(ld),
+            dom_mask: width_mask(dom),
+            pre_mask: width_mask(pre),
+            end_w: usize::from(widths.end),
+        }
+    }
+}
+
+/// The four scalar fields of one packed aux label, loaded in (at most) one
+/// word read per label and then compared in registers.
+///
+/// Every structural predicate of Lemma 2.1 (`same_node`, `dominates`,
+/// `is_ancestor`) is a pure function of these four values, so the query hot
+/// path loads them once per side instead of re-reading fields per predicate.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AuxScalars {
+    pub(crate) ld: usize,
+    pub(crate) dom: u64,
+    pub(crate) pre: u64,
+    pub(crate) sub: u64,
+}
+
+impl AuxScalars {
+    /// Mirrors [`HpathLabel::same_node`].
+    #[inline]
+    pub(crate) fn same_node(a: &Self, b: &Self) -> bool {
+        a.pre == b.pre
+    }
+
+    /// Mirrors [`HpathLabel::dominates`].
+    #[inline]
+    pub(crate) fn dominates(a: &Self, b: &Self) -> bool {
+        a.dom < b.dom
+    }
+
+    /// Mirrors [`HpathLabel::is_ancestor`].
+    #[inline]
+    pub(crate) fn is_ancestor(a: &Self, b: &Self) -> bool {
+        a.pre <= b.pre && b.pre < a.pre + a.sub
+    }
+}
+
+/// Borrowed view of a packed [`HpathLabel`] inside a scheme store's shared
+/// buffer: a bit slice, the label's base offset and the store-global
+/// [`AuxWidths`].
+///
+/// Mirrors the query interface of [`HpathLabel`] (`same_node`, `is_ancestor`,
+/// `dominates`, `common_light_depth`, `branch_cmp`) reading every field
+/// straight out of the buffer — no decoding, no allocation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HpathRef<'a> {
+    s: BitSlice<'a>,
+    base: usize,
+    d: &'a AuxDims,
+}
+
+/// Loads the four scalar fields of a packed aux block (one fused word read
+/// when they fit) — shared by the full and core aux views.
+#[inline]
+pub(crate) fn read_aux_scalars(s: &BitSlice<'_>, base: usize, d: &AuxDims) -> AuxScalars {
+    let words = s.words();
+    if d.fused {
+        let raw = read_lsb(words, base, d.scalar_total);
+        AuxScalars {
+            ld: (raw & d.ld_mask) as usize,
+            dom: raw >> d.dom_sh & d.dom_mask,
+            pre: raw >> d.pre_sh & d.pre_mask,
+            sub: raw >> d.sub_sh,
+        }
+    } else {
+        let w = &d.widths;
+        let (lw, dw, pw) = (usize::from(w.ld), usize::from(w.dom), usize::from(w.pre));
+        AuxScalars {
+            ld: read_lsb(words, base, lw) as usize,
+            dom: read_lsb(words, base + lw, usize::from(w.dom)),
+            pre: read_lsb(words, base + lw + dw, usize::from(w.pre)),
+            sub: read_lsb(words, base + lw + dw + pw, usize::from(w.sub)),
+        }
+    }
+}
+
+impl<'a> HpathRef<'a> {
+    /// Creates a view of the packed aux label starting at bit `base`.
+    pub(crate) fn new(s: BitSlice<'a>, base: usize, d: &'a AuxDims) -> Self {
+        HpathRef { s, base, d }
+    }
+
+    /// Loads the four scalar fields (one fused word read when they fit).
+    #[inline]
+    pub(crate) fn scalars(&self) -> AuxScalars {
+        read_aux_scalars(&self.s, self.base, self.d)
+    }
+
+    /// End position (exclusive, within the codeword region) of codeword `i`.
+    #[inline]
+    fn end(&self, i: usize) -> usize {
+        read_lsb(
+            self.s.words(),
+            self.base + self.d.scalar_total + i * self.d.end_w,
+            self.d.end_w,
+        ) as usize
+    }
+
+    /// Absolute bit offset of the codeword region, given the light depth.
+    #[inline]
+    fn cw_base(&self, light_depth: usize) -> usize {
+        self.base + self.d.scalar_total + light_depth * self.d.end_w
+    }
+
+    /// Load-time extent check: returns `(total_bits, cw_len)` of this full
+    /// aux block when its scalar region, end positions and codeword bits all
+    /// fit within `avail` bits, `None` otherwise.
+    pub(crate) fn extent_bits(&self, avail: usize) -> Option<(usize, usize)> {
+        let d = self.d;
+        if avail < d.scalar_total {
+            return None;
+        }
+        let ld = self.scalars().ld;
+        let with_ends = d.scalar_total.checked_add(ld.checked_mul(d.end_w)?)?;
+        if avail < with_ends {
+            return None;
+        }
+        let cw = if ld == 0 { 0 } else { self.end(ld - 1) };
+        let total = with_ends.checked_add(cw)?;
+        (total <= avail).then_some((total, cw))
+    }
+
+    /// Mirrors [`HpathLabel::common_light_depth`], with the scalars of both
+    /// sides already loaded.
+    ///
+    /// Computed as one word-level longest-common-prefix over the whole
+    /// concatenated codeword strings, followed by a single-sided scan of the
+    /// end positions: because each level's codewords come from one
+    /// prefix-free code, the strings diverge strictly inside the first
+    /// differing codeword, so `lightdepth(NCA)` is exactly the number of end
+    /// positions at or before the divergence point.
+    pub(crate) fn common_light_depth(
+        a: &Self,
+        sa: &AuxScalars,
+        la: usize,
+        b: &Self,
+        sb: &AuxScalars,
+        lb: usize,
+    ) -> usize {
+        Self::common_light_depth_lcp(a, sa, la, b, sb, lb).0
+    }
+
+    /// [`HpathRef::common_light_depth`] that also hands back the bit position
+    /// of the codeword-string divergence (callers that need the branch order
+    /// at level `j` can read the single differing bit instead of running a
+    /// lexicographic comparison).  `la`/`lb` are the total codeword lengths,
+    /// carried in the schemes' fused headers.
+    pub(crate) fn common_light_depth_lcp(
+        a: &Self,
+        sa: &AuxScalars,
+        la: usize,
+        b: &Self,
+        sb: &AuxScalars,
+        lb: usize,
+    ) -> (usize, usize) {
+        let max = sa.ld.min(sb.ld);
+        if max == 0 {
+            return (0, 0);
+        }
+        let lcp = common_prefix_len_raw(
+            a.s.words(),
+            a.cw_base(sa.ld),
+            la,
+            b.s.words(),
+            b.cw_base(sb.ld),
+            lb,
+        );
+        // Branchless over the first three levels (out-of-range lanes are
+        // masked by `i < max`; the reads stay inside the end/codeword
+        // regions), with a tail loop for deeper common paths.
+        let (e0, e1, e2) = (a.end(0), a.end(1.min(max - 1)), a.end(2.min(max - 1)));
+        let c0 = usize::from(e0 <= lcp);
+        let c1 = c0 & usize::from(max > 1 && e1 <= lcp);
+        let c2 = c1 & usize::from(max > 2 && e2 <= lcp);
+        let mut j = c0 + c1 + c2;
+        if j == 3 {
+            while j < max && a.end(j) <= lcp {
+                j += 1;
+            }
+        }
+        (j, lcp)
+    }
+
+    /// The codeword bit at absolute string position `pos` (used for the
+    /// branch-order test at the divergence point).
+    #[inline]
+    pub(crate) fn cw_bit(&self, ld: usize, pos: usize) -> u64 {
+        read_lsb(self.s.words(), self.cw_base(ld) + pos, 1)
+    }
+}
+
+/// Borrowed view of a *core* packed aux block (scalars + codeword length +
+/// codeword bits, no end positions): the variant used by schemes that carry
+/// the per-level end positions inside their own fused records.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AuxCoreRef<'a> {
+    s: BitSlice<'a>,
+    base: usize,
+    d: &'a AuxDims,
+}
+
+impl<'a> AuxCoreRef<'a> {
+    /// Creates a view of the core packed aux block starting at bit `base`.
+    pub(crate) fn new(s: BitSlice<'a>, base: usize, d: &'a AuxDims) -> Self {
+        AuxCoreRef { s, base, d }
+    }
+
+    /// Loads the four scalar fields (one fused word read when they fit).
+    #[inline]
+    pub(crate) fn scalars(&self) -> AuxScalars {
+        read_aux_scalars(&self.s, self.base, self.d)
+    }
+
+    /// Absolute bit offset of the codeword region.
+    #[inline]
+    pub(crate) fn cw_base(&self) -> usize {
+        self.base + self.d.scalar_total
+    }
+
+    /// Total packed size in bits of this core aux block, given the codeword
+    /// length from the scheme header.
+    #[inline]
+    pub(crate) fn core_bits(&self, cw_len: usize) -> usize {
+        self.d.scalar_total + cw_len
+    }
+
+    /// Longest common prefix (in bits) of the two codeword strings; the
+    /// scheme's own record scan converts it into `lightdepth(NCA)`.
+    #[inline]
+    pub(crate) fn codeword_lcp(a: &Self, cwl_a: usize, b: &Self, cwl_b: usize) -> usize {
+        common_prefix_len_raw(
+            a.s.words(),
+            a.cw_base(),
+            cwl_a,
+            b.s.words(),
+            b.cw_base(),
+            cwl_b,
+        )
+    }
+}
+
+/// Per-heavy-path codeword prefixes: for every path of the collapsed tree, the
+/// concatenated light-edge codewords on the way down to it, their end
+/// positions, and (optionally) the branch offsets of those light edges.
+///
+/// This is the still-per-*path* (not per-node) stage of label construction.
+/// It is computed level by level over the collapsed tree — level `d + 1`
+/// depends only on level `d` — with the paths of one level fanned out over
+/// [`build_vec`] workers, so the stage parallelizes on wide trees while
+/// producing bit-for-bit identical output for every thread count.
+///
+/// [`build_vec`]: crate::substrate::build_vec
+#[derive(Debug)]
+pub(crate) struct PathPrefixes {
+    /// Concatenated codewords per path.
+    pub(crate) bits: Vec<BitVec>,
+    /// End positions of each codeword per path.
+    pub(crate) ends: Vec<Vec<u32>>,
+    /// Branch offsets per path (empty unless requested).
+    pub(crate) branches: Vec<Vec<u64>>,
+}
+
+/// Builds the per-path codeword prefixes of `hp`, parallelizing over
+/// collapsed-tree levels according to `par`.
+pub(crate) fn build_path_prefixes(
+    hp: &HeavyPaths,
+    par: crate::substrate::Parallelism,
+    with_branches: bool,
+) -> PathPrefixes {
+    let path_count = hp.path_count();
+    // Group paths by collapsed depth (parents always precede children by
+    // construction, so one forward pass suffices).
+    let mut depth = vec![0usize; path_count];
+    let mut levels: Vec<Vec<usize>> = Vec::new();
+    for p in 0..path_count {
+        let d = match hp.collapsed_parent(p) {
+            None => 0,
+            Some(parent) => depth[parent] + 1,
+        };
+        depth[p] = d;
+        if levels.len() <= d {
+            levels.push(Vec::new());
+        }
+        levels[d].push(p);
+    }
+
+    let mut bits: Vec<BitVec> = vec![BitVec::new(); path_count];
+    let mut ends: Vec<Vec<u32>> = vec![Vec::new(); path_count];
+    let mut branches: Vec<Vec<u64>> = vec![Vec::new(); path_count];
+    for level in &levels {
+        let parents: Vec<usize> = level
+            .iter()
+            .copied()
+            .filter(|&p| !hp.collapsed_children(p).is_empty())
+            .collect();
+        if parents.is_empty() {
+            continue;
+        }
+        // All reads are against levels ≤ d (already final); writes land after
+        // the fan-out completes, so every thread count produces the same data.
+        let produced = crate::substrate::build_vec(par, parents.len(), |pi| {
+            let p = parents[pi];
+            let children = hp.collapsed_children(p);
+            let weights: Vec<u64> = children
+                .iter()
+                .map(|&c| hp.instance_size(c) as u64)
+                .collect();
+            let code = AlphabeticCode::new(&weights);
+            children
+                .iter()
+                .enumerate()
+                .map(|(ci, &c)| {
+                    let mut b = bits[p].clone();
+                    b.extend_from(code.codeword(ci));
+                    let mut e = ends[p].clone();
+                    e.push(b.len() as u32);
+                    let br = if with_branches {
+                        let mut v = branches[p].clone();
+                        v.push(
+                            hp.head_offset(hp.branch_node(c).expect("child path has branch node")),
+                        );
+                        v
+                    } else {
+                        Vec::new()
+                    };
+                    (c, b, e, br)
+                })
+                .collect::<Vec<_>>()
+        });
+        for group in produced {
+            for (c, b, e, br) in group {
+                bits[c] = b;
+                ends[c] = e;
+                branches[c] = br;
+            }
+        }
+    }
+    PathPrefixes {
+        bits,
+        ends,
+        branches,
+    }
+}
+
 /// Heavy-path auxiliary labels for every node of a tree.
 #[derive(Debug, Clone)]
 pub struct HpathLabeling {
@@ -259,40 +793,17 @@ impl HpathLabeling {
         par: crate::substrate::Parallelism,
     ) -> Self {
         // Per heavy path: the accumulated codeword prefix (shared by all nodes
-        // of the path) and its end positions.
-        let path_count = hp.path_count();
-        let mut prefix_bits: Vec<BitVec> = vec![BitVec::new(); path_count];
-        let mut prefix_ends: Vec<Vec<u32>> = vec![Vec::new(); path_count];
-
-        // Process paths in an order where parents precede children (path 0 is
-        // the root path and children are always created after their parent).
-        for p in 0..path_count {
-            let children = hp.collapsed_children(p);
-            if children.is_empty() {
-                continue;
-            }
-            let weights: Vec<u64> = children
-                .iter()
-                .map(|&c| hp.instance_size(c) as u64)
-                .collect();
-            let code = AlphabeticCode::new(&weights);
-            for (i, &c) in children.iter().enumerate() {
-                let mut bits = prefix_bits[p].clone();
-                bits.extend_from(code.codeword(i));
-                let mut ends = prefix_ends[p].clone();
-                ends.push(bits.len() as u32);
-                prefix_bits[c] = bits;
-                prefix_ends[c] = ends;
-            }
-        }
+        // of the path) and its end positions, built level-parallel over the
+        // collapsed tree.
+        let prefixes = build_path_prefixes(hp, par, false);
 
         let labels = crate::substrate::build_vec(par, tree.len(), |i| {
             let u = tree.node(i);
             let p = hp.path_of(u);
             HpathLabel {
                 light_depth: hp.light_depth(u),
-                codewords: prefix_bits[p].clone(),
-                ends: prefix_ends[p].clone(),
+                codewords: prefixes.bits[p].clone(),
+                ends: prefixes.ends[p].clone(),
                 dom_order: hp.domination_order(u) as u64,
                 pre: hp.pre(u) as u64,
                 subtree_size: hp.subtree_size(u) as u64,

@@ -43,10 +43,11 @@
 //! paper's NCSA computation is implemented as [`ncsa_light_depth`] and
 //! cross-checked in the tests.
 
-use crate::hpath::HpathLabel;
+use crate::hpath::{AuxDims, AuxScalars, AuxWidths, HpathLabel, HpathRef};
+use crate::store::{SchemeStore, StoreError, StoredScheme, NO_DISTANCE};
 use crate::substrate::{self, Substrate};
 use treelab_bits::wordram::{range_height, range_id_from_member, two_approx_exp};
-use treelab_bits::{codes, monotone::MonotoneSeq, BitReader, BitWriter, DecodeError};
+use treelab_bits::{codes, monotone::MonotoneSeq, BitReader, BitSlice, BitWriter, DecodeError};
 use treelab_tree::{NodeId, Tree};
 
 /// Label of the `k`-distance scheme.
@@ -395,6 +396,546 @@ impl KDistanceScheme {
         } else {
             None
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy store support
+// ---------------------------------------------------------------------------
+
+/// Store meta of the `k`-distance scheme: `k` (the header parameter), the
+/// preorder width, and the global field widths of the packed layout
+///
+/// ```text
+/// [count | up_count | down_count | alpha | alpha_exact | top_pos_mod | codeword length]
+/// [dists[0..count]][heights[0..count]][up_exps][down_exps][aux label]
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct KDistanceMeta {
+    k: u64,
+    width: u32,
+    w_sc: u8,
+    w_d: u8,
+    w_h: u8,
+    w_al: u8,
+    w_tpm: u8,
+    w_ue: u8,
+    w_de: u8,
+    w_uc: u8,
+    w_dc: u8,
+    aux_w: AuxWidths,
+    // Query-side quantities, precomputed once at parse time.
+    d_w: usize,
+    h_w: usize,
+    ue_w: usize,
+    de_w: usize,
+    hdr_total: usize,
+    hdr_fused: bool,
+    sc_mask: u64,
+    uc_sh: u32,
+    uc_mask: u64,
+    dc_sh: u32,
+    dc_mask: u64,
+    al_sh: u32,
+    al_mask: u64,
+    exact_sh: u32,
+    tpm_sh: u32,
+    tpm_mask: u64,
+    cwl_sh: u32,
+    aux: AuxDims,
+}
+
+impl KDistanceMeta {
+    #[allow(clippy::too_many_arguments)]
+    fn with_widths(
+        k: u64,
+        width: u32,
+        w_sc: u8,
+        w_d: u8,
+        w_h: u8,
+        w_al: u8,
+        w_tpm: u8,
+        w_ue: u8,
+        w_de: u8,
+        w_uc: u8,
+        w_dc: u8,
+        aux_w: AuxWidths,
+    ) -> Self {
+        let mask = |w: u8| crate::hpath::width_mask(usize::from(w));
+        let hdr_total = usize::from(w_sc)
+            + usize::from(w_uc)
+            + usize::from(w_dc)
+            + usize::from(w_al)
+            + 1
+            + usize::from(w_tpm)
+            + usize::from(aux_w.end);
+        KDistanceMeta {
+            k,
+            width,
+            w_sc,
+            w_d,
+            w_h,
+            w_al,
+            w_tpm,
+            w_ue,
+            w_de,
+            w_uc,
+            w_dc,
+            aux_w,
+            d_w: usize::from(w_d),
+            h_w: usize::from(w_h),
+            ue_w: usize::from(w_ue),
+            de_w: usize::from(w_de),
+            hdr_total,
+            hdr_fused: hdr_total <= 64,
+            sc_mask: mask(w_sc),
+            uc_sh: u32::from(w_sc),
+            uc_mask: mask(w_uc),
+            dc_sh: u32::from(w_sc) + u32::from(w_uc),
+            dc_mask: mask(w_dc),
+            al_sh: u32::from(w_sc) + u32::from(w_uc) + u32::from(w_dc),
+            al_mask: mask(w_al),
+            exact_sh: u32::from(w_sc) + u32::from(w_uc) + u32::from(w_dc) + u32::from(w_al),
+            tpm_sh: u32::from(w_sc) + u32::from(w_uc) + u32::from(w_dc) + u32::from(w_al) + 1,
+            tpm_mask: mask(w_tpm),
+            cwl_sh: u32::from(w_sc)
+                + u32::from(w_uc)
+                + u32::from(w_dc)
+                + u32::from(w_al)
+                + 1
+                + u32::from(w_tpm),
+            aux: AuxDims::new(aux_w),
+        }
+    }
+
+    fn measure(labels: &[KDistanceLabel], k: u64) -> Self {
+        let width = labels.first().map_or(0, |l| l.width);
+        let (mut w_sc, mut w_d, mut w_h, mut w_al, mut w_tpm) = (0u8, 0u8, 0u8, 0u8, 0u8);
+        let (mut w_ue, mut w_de, mut w_uc, mut w_dc) = (0u8, 0u8, 0u8, 0u8);
+        let mut aux_w = AuxWidths::default();
+        let w = |x: u64| codes::bit_len(x) as u8;
+        for l in labels {
+            debug_assert_eq!(l.k, k, "labels of one scheme share k");
+            debug_assert_eq!(l.width, width, "labels of one scheme share the width");
+            w_sc = w_sc.max(w(l.dists.len() as u64));
+            // Both sequences are non-decreasing; their last entries bound them.
+            w_d = w_d.max(w(l.dists.last().copied().unwrap_or(0)));
+            w_h = w_h.max(w(l.heights.last().copied().unwrap_or(0)));
+            w_al = w_al.max(w(l.alpha));
+            w_tpm = w_tpm.max(w(l.top_pos_mod));
+            w_uc = w_uc.max(w(l.up_exps.len() as u64));
+            w_dc = w_dc.max(w(l.down_exps.len() as u64));
+            w_ue = w_ue.max(w(l.up_exps.last().copied().unwrap_or(0)));
+            w_de = w_de.max(w(l.down_exps.last().copied().unwrap_or(0)));
+            aux_w.observe(&l.aux);
+        }
+        // The k-distance query uses the aux label only for the preorder
+        // (same-node test) and the common light depth; domination order and
+        // subtree size are packed at width 0.
+        aux_w.dom = 0;
+        aux_w.sub = 0;
+        Self::with_widths(
+            k, width, w_sc, w_d, w_h, w_al, w_tpm, w_ue, w_de, w_uc, w_dc, aux_w,
+        )
+    }
+
+    fn words(self) -> Vec<u64> {
+        vec![
+            u64::from(self.width)
+                | u64::from(self.w_sc) << 8
+                | u64::from(self.w_d) << 16
+                | u64::from(self.w_h) << 24
+                | u64::from(self.w_al) << 32
+                | u64::from(self.w_tpm) << 40
+                | u64::from(self.w_ue) << 48
+                | u64::from(self.w_de) << 56,
+            u64::from(self.w_uc) | u64::from(self.w_dc) << 8,
+            self.aux_w.to_word(),
+        ]
+    }
+
+    fn parse(param: u64, words: &[u64]) -> Result<Self, StoreError> {
+        let &[w0, w1, w2] = words else {
+            return Err(StoreError::Malformed {
+                what: "k-distance scheme meta must be three words",
+            });
+        };
+        if param == 0 {
+            return Err(StoreError::Malformed {
+                what: "k-distance scheme parameter k must be at least 1",
+            });
+        }
+        let width = (w0 & 0xFF) as u32;
+        if width > 63 {
+            return Err(StoreError::Malformed {
+                what: "k-distance preorder width exceeds 63 bits",
+            });
+        }
+        let widths = [
+            (w0 >> 8 & 0xFF) as u8,
+            (w0 >> 16 & 0xFF) as u8,
+            (w0 >> 24 & 0xFF) as u8,
+            (w0 >> 32 & 0xFF) as u8,
+            (w0 >> 40 & 0xFF) as u8,
+            (w0 >> 48 & 0xFF) as u8,
+            (w0 >> 56) as u8,
+            (w1 & 0xFF) as u8,
+            (w1 >> 8 & 0xFF) as u8,
+        ];
+        if w1 >> 16 != 0 || widths.iter().any(|&x| x > 64) {
+            return Err(StoreError::Malformed {
+                what: "k-distance field width exceeds 64 bits",
+            });
+        }
+        let [w_sc, w_d, w_h, w_al, w_tpm, w_ue, w_de, w_uc, w_dc] = widths;
+        Ok(Self::with_widths(
+            param,
+            width,
+            w_sc,
+            w_d,
+            w_h,
+            w_al,
+            w_tpm,
+            w_ue,
+            w_de,
+            w_uc,
+            w_dc,
+            AuxWidths::from_word(w2)?,
+        ))
+    }
+}
+
+/// Borrowed view of a packed [`KDistanceLabel`] inside a
+/// [`SchemeStore`] buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct KDistanceLabelRef<'a> {
+    s: BitSlice<'a>,
+    start: usize,
+    m: &'a KDistanceMeta,
+}
+
+/// Derived bit offsets of one packed `k`-distance label (computed once per
+/// query side).
+#[derive(Debug, Clone, Copy)]
+struct KdLayout {
+    sc: usize,
+    uc: usize,
+    dc: usize,
+    alpha: u64,
+    alpha_exact: bool,
+    top_pos_mod: u64,
+    cwl: usize,
+    dists_base: usize,
+    heights_base: usize,
+    ups_base: usize,
+    downs_base: usize,
+    aux_base: usize,
+}
+
+impl<'a> KDistanceLabelRef<'a> {
+    #[inline]
+    fn get(&self, pos: usize, width: usize) -> u64 {
+        treelab_bits::bitslice::read_lsb(self.s.words(), pos, width)
+    }
+
+    fn layout(&self) -> KdLayout {
+        let m = self.m;
+        // One fused read covers all six scalar header fields when they fit.
+        let (sc, uc, dc, alpha, alpha_exact, top_pos_mod, cwl) = if m.hdr_fused {
+            let raw = self.get(self.start, m.hdr_total);
+            (
+                (raw & m.sc_mask) as usize,
+                (raw >> m.uc_sh & m.uc_mask) as usize,
+                (raw >> m.dc_sh & m.dc_mask) as usize,
+                raw >> m.al_sh & m.al_mask,
+                raw >> m.exact_sh & 1 == 1,
+                raw >> m.tpm_sh & m.tpm_mask,
+                (raw >> m.cwl_sh) as usize,
+            )
+        } else {
+            let mut pos = self.start;
+            let mut take = |width: u8| {
+                let v = self.get(pos, usize::from(width));
+                pos += usize::from(width);
+                v
+            };
+            let sc = take(m.w_sc) as usize;
+            let uc = take(m.w_uc) as usize;
+            let dc = take(m.w_dc) as usize;
+            let alpha = take(m.w_al);
+            let exact = take(1) == 1;
+            let tpm = take(m.w_tpm);
+            let cwl = take(m.aux_w.end) as usize;
+            (sc, uc, dc, alpha, exact, tpm, cwl)
+        };
+        let dists_base = self.start + m.hdr_total;
+        let heights_base = dists_base + sc * m.d_w;
+        let ups_base = heights_base + sc * m.h_w;
+        let downs_base = ups_base + uc * m.ue_w;
+        let aux_base = downs_base + dc * m.de_w;
+        KdLayout {
+            sc,
+            uc,
+            dc,
+            alpha,
+            alpha_exact,
+            top_pos_mod,
+            cwl,
+            dists_base,
+            heights_base,
+            ups_base,
+            downs_base,
+            aux_base,
+        }
+    }
+
+    #[inline]
+    fn aux(&self, l: &KdLayout) -> HpathRef<'a> {
+        HpathRef::new(self.s, l.aux_base, &self.m.aux)
+    }
+
+    #[inline]
+    fn dist(&self, l: &KdLayout, i: usize) -> u64 {
+        self.get(l.dists_base + i * self.m.d_w, self.m.d_w)
+    }
+
+    #[inline]
+    fn height(&self, l: &KdLayout, i: usize) -> u64 {
+        self.get(l.heights_base + i * self.m.h_w, self.m.h_w)
+    }
+
+    #[inline]
+    fn up_exp(&self, l: &KdLayout, i: usize) -> u64 {
+        self.get(l.ups_base + i * self.m.ue_w, self.m.ue_w)
+    }
+
+    #[inline]
+    fn down_exp(&self, l: &KdLayout, i: usize) -> u64 {
+        self.get(l.downs_base + i * self.m.de_w, self.m.de_w)
+    }
+
+    /// Mirrors [`KDistanceLabel::ancestor_id`] (the id is reconstructed from
+    /// the aux label's preorder and the stored height).
+    #[inline]
+    fn ancestor_id(&self, l: &KdLayout, pre: u64, i: usize) -> u64 {
+        range_id_from_member(pre, self.height(l, i) as u32)
+    }
+
+    /// Mirrors [`KDistanceScheme::path_offset`] over packed views.
+    #[inline]
+    fn path_offset(&self, l: &KdLayout, idx: usize) -> PathOffset {
+        if idx + 1 < l.sc {
+            PathOffset::Exact(self.dist(l, idx + 1) - self.dist(l, idx) - 1)
+        } else if l.alpha_exact {
+            PathOffset::Exact(l.alpha)
+        } else {
+            PathOffset::CappedLarge
+        }
+    }
+}
+
+/// Mirrors [`KDistanceScheme::lemma_4_5`] over packed views.
+#[allow(clippy::too_many_arguments)]
+fn kd_lemma_4_5(
+    a: &KDistanceLabelRef<'_>,
+    la: &KdLayout,
+    pre_a: u64,
+    ia: usize,
+    b: &KDistanceLabelRef<'_>,
+    lb: &KdLayout,
+    pre_b: u64,
+    ib: usize,
+) -> Option<u64> {
+    let k = a.m.k;
+    let id_a = a.ancestor_id(la, pre_a, ia);
+    let id_b = b.ancestor_id(lb, pre_b, ib);
+    if id_a == id_b {
+        return Some(0);
+    }
+    let (x, lx, y, ly, id_x, id_y) = if id_a < id_b {
+        (a, la, b, lb, id_a, id_b)
+    } else {
+        (b, lb, a, la, id_b, id_a)
+    };
+    let modulus = k + 1;
+    let t = (ly.top_pos_mod + modulus - lx.top_pos_mod) % modulus;
+    if t == 0 {
+        return None;
+    }
+    let t_idx = (t - 1) as usize;
+    if t_idx >= lx.uc || t_idx >= ly.dc {
+        return None;
+    }
+    let up = x.up_exp(lx, t_idx);
+    let down = y.down_exp(ly, t_idx);
+    let whole = u64::from(two_approx_exp(id_y - id_x));
+    if up == whole && down == whole {
+        Some(t)
+    } else {
+        None
+    }
+}
+
+/// Mirrors [`KDistanceScheme::distance`] over packed views.
+fn kd_distance_refs(a: &KDistanceLabelRef<'_>, b: &KDistanceLabelRef<'_>) -> Option<u64> {
+    let k = a.m.k;
+    let (la, lb) = (a.layout(), b.layout());
+    let (aa, ab) = (a.aux(&la), b.aux(&lb));
+    let (sa, sb) = (aa.scalars(), ab.scalars());
+    if AuxScalars::same_node(&sa, &sb) {
+        return Some(0);
+    }
+    let j = HpathRef::common_light_depth(&aa, &sa, la.cwl, &ab, &sb, lb.cwl);
+    let ia = sa.ld - j;
+    let ib = sb.ld - j;
+    if ia >= la.sc || ib >= lb.sc {
+        return None;
+    }
+    let du = a.dist(&la, ia);
+    let dv = b.dist(&lb, ib);
+    let along = match (a.path_offset(&la, ia), b.path_offset(&lb, ib)) {
+        (PathOffset::Exact(x), PathOffset::Exact(y)) => x.abs_diff(y),
+        (PathOffset::CappedLarge, PathOffset::Exact(e))
+        | (PathOffset::Exact(e), PathOffset::CappedLarge) => {
+            if e <= k {
+                return None;
+            }
+            kd_lemma_4_5(a, &la, sa.pre, ia, b, &lb, sb.pre, ib)?
+        }
+        (PathOffset::CappedLarge, PathOffset::CappedLarge) => {
+            kd_lemma_4_5(a, &la, sa.pre, ia, b, &lb, sb.pre, ib)?
+        }
+    };
+    let total = du + dv + along;
+    if total <= k {
+        Some(total)
+    } else {
+        None
+    }
+}
+
+impl StoredScheme for KDistanceScheme {
+    const TAG: u32 = 4;
+    const STORE_NAME: &'static str = "k-distance";
+    type Meta = KDistanceMeta;
+    type Ref<'a> = KDistanceLabelRef<'a>;
+
+    fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn store_param(&self) -> u64 {
+        self.k
+    }
+
+    fn meta_words(&self) -> Vec<u64> {
+        KDistanceMeta::measure(&self.labels, self.k).words()
+    }
+
+    fn parse_meta(param: u64, words: &[u64]) -> Result<KDistanceMeta, StoreError> {
+        KDistanceMeta::parse(param, words)
+    }
+
+    fn packed_label_bits(&self, meta: &KDistanceMeta, u: usize) -> usize {
+        let l = &self.labels[u];
+        meta.hdr_total
+            + l.dists.len() * (meta.d_w + meta.h_w)
+            + l.up_exps.len() * meta.ue_w
+            + l.down_exps.len() * meta.de_w
+            + meta.aux_w.packed_bits(&l.aux)
+    }
+
+    fn pack_label(&self, meta: &KDistanceMeta, u: usize, w: &mut BitWriter) {
+        let l = &self.labels[u];
+        debug_assert_eq!(
+            l.pre,
+            l.aux.pre(),
+            "the label's preorder equals the aux label's"
+        );
+        w.write_bits_lsb(l.dists.len() as u64, usize::from(meta.w_sc));
+        w.write_bits_lsb(l.up_exps.len() as u64, usize::from(meta.w_uc));
+        w.write_bits_lsb(l.down_exps.len() as u64, usize::from(meta.w_dc));
+        w.write_bits_lsb(l.alpha, usize::from(meta.w_al));
+        w.write_bit(l.alpha_exact);
+        w.write_bits_lsb(l.top_pos_mod, usize::from(meta.w_tpm));
+        w.write_bits_lsb(l.aux.codewords_len() as u64, usize::from(meta.aux_w.end));
+        for &d in &l.dists {
+            w.write_bits_lsb(d, usize::from(meta.w_d));
+        }
+        for &h in &l.heights {
+            w.write_bits_lsb(h, usize::from(meta.w_h));
+        }
+        for &e in &l.up_exps {
+            w.write_bits_lsb(e, usize::from(meta.w_ue));
+        }
+        for &e in &l.down_exps {
+            w.write_bits_lsb(e, usize::from(meta.w_de));
+        }
+        meta.aux_w.pack(&l.aux, w);
+    }
+
+    fn label_ref<'a>(
+        slice: BitSlice<'a>,
+        start: usize,
+        meta: &'a KDistanceMeta,
+    ) -> KDistanceLabelRef<'a> {
+        KDistanceLabelRef {
+            s: slice,
+            start,
+            m: meta,
+        }
+    }
+
+    /// [`KDistanceScheme::distance`] over packed views; "more than `k`" maps
+    /// to [`NO_DISTANCE`].
+    fn distance_refs(a: KDistanceLabelRef<'_>, b: KDistanceLabelRef<'_>) -> u64 {
+        kd_distance_refs(&a, &b).unwrap_or(NO_DISTANCE)
+    }
+
+    fn check_label(slice: BitSlice<'_>, start: usize, end: usize, meta: &KDistanceMeta) -> bool {
+        let len = end - start;
+        if len < meta.hdr_total {
+            return false;
+        }
+        // Checked re-derivation of the array extents (layout() itself uses
+        // unchecked address arithmetic, safe only for validated labels).
+        let r = Self::label_ref(slice, start, meta);
+        let sc = r.get(start, usize::from(meta.w_sc)) as usize;
+        let uc = r.get(start + usize::from(meta.w_sc), usize::from(meta.w_uc)) as usize;
+        let dc = r.get(
+            start + usize::from(meta.w_sc) + usize::from(meta.w_uc),
+            usize::from(meta.w_dc),
+        ) as usize;
+        let cwl = r.get(
+            start + meta.hdr_total - usize::from(meta.aux_w.end),
+            usize::from(meta.aux_w.end),
+        ) as usize;
+        let fixed = meta
+            .hdr_total
+            .checked_add(sc.saturating_mul(meta.d_w + meta.h_w))
+            .and_then(|x| x.checked_add(uc.checked_mul(meta.ue_w)?))
+            .and_then(|x| x.checked_add(dc.checked_mul(meta.de_w)?));
+        let Some(fixed) = fixed.filter(|&f| f <= len) else {
+            return false;
+        };
+        let aux = HpathRef::new(slice, start + fixed, &meta.aux);
+        match aux.extent_bits(len - fixed) {
+            Some((total, cw)) => fixed + total == len && cw == cwl,
+            None => false,
+        }
+    }
+}
+
+impl SchemeStore<KDistanceScheme> {
+    /// Typed form of the bounded query: `Some(d(u, v))` when the distance is
+    /// at most `k`, `None` otherwise — the store-side mirror of
+    /// [`KDistanceScheme::distance`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn distance_within_k(&self, u: usize, v: usize) -> Option<u64> {
+        kd_distance_refs(&self.label_ref(u), &self.label_ref(v))
     }
 }
 

@@ -21,6 +21,7 @@
 //! | [`bounds`] | closed-form upper/lower bound formulas (the §1 table) | — |
 //! | [`stats`] | label-size accounting used by the experiment harness | — |
 //! | [`substrate`] | shared build substrate + parallel label construction | — |
+//! | [`store`] | zero-copy scheme store: whole-scheme serialization + allocation-free batch queries | — |
 //!
 //! All schemes offer a `build_with_substrate` constructor next to `build`:
 //! create one [`Substrate`] per tree and every scheme built from it shares a
@@ -56,9 +57,11 @@ pub mod level_ancestor;
 pub mod naive;
 pub mod optimal;
 pub mod stats;
+pub mod store;
 pub mod substrate;
 pub mod universal;
 
+pub use store::{SchemeStore, StoreError, StoredScheme};
 pub use substrate::{Parallelism, Substrate};
 
 use treelab_tree::{NodeId, Tree};

@@ -1,0 +1,713 @@
+//! Zero-copy scheme store: a whole labeling scheme as one contiguous,
+//! checksummed buffer, plus an allocation-free batch query engine.
+//!
+//! # Why
+//!
+//! The paper's point is that distance queries are answerable from tiny labels
+//! alone — but a freshly built scheme holds its labels as heap-structured Rust
+//! values that exist only in the process that built them.  The store closes
+//! that gap ("build once, serve many"): [`SchemeStore::serialize`] flattens a
+//! scheme into a single byte buffer that can be persisted, mapped, or handed
+//! to another thread or process, and [`SchemeStore::from_bytes`] brings it
+//! back **without re-decoding a single label** — it validates the frame (magic
+//! word, version, scheme tag, CRC-64) and keeps the labels packed.  Queries
+//! then run through borrowed [`StoredScheme::Ref`] views
+//! ([`StoredScheme::distance_refs`]) that read fields straight out of the
+//! shared buffer, with zero per-query allocation.
+//!
+//! # Frame layout
+//!
+//! Everything is 64-bit words, serialized little-endian:
+//!
+//! ```text
+//! word 0      magic "TLSTOR01"
+//! word 1      format version (high 32) | scheme tag (low 32)
+//! word 2      n — number of labels
+//! word 3      scheme parameter (k, ε bits, or 0)
+//! word 4      m — number of scheme meta words
+//! 5 .. 5+m    scheme meta (field widths chosen at serialize time)
+//! .. +n+1     offset index: bit offset of each label in the label region
+//!             (entry n is the total bit length)
+//! ..          label region: the packed labels, fixed-width fields,
+//!             plus one zero guard word (for branchless straddle reads)
+//! last word   CRC-64/XZ of every preceding word
+//! ```
+//!
+//! The per-label packing is *not* the self-delimiting wire encoding of the
+//! individual `*Label::encode` methods: inside a store, every field width is a
+//! store-global maximum recorded in the meta words, so any array entry of any
+//! label is one shifted word read away — that O(1) random access is what makes
+//! the [`StoredScheme::distance_refs`] hot path faster than querying the
+//! heap-structured labels, not just equal to it.
+//!
+//! # Example
+//!
+//! ```
+//! use treelab_core::store::SchemeStore;
+//! use treelab_core::naive::NaiveScheme;
+//! use treelab_core::DistanceScheme;
+//! use treelab_tree::gen;
+//!
+//! let tree = gen::random_tree(300, 7);
+//! let scheme = NaiveScheme::build(&tree);
+//! let bytes = SchemeStore::serialize(&scheme);          // persist these
+//! let store = SchemeStore::<NaiveScheme>::from_bytes(&bytes).unwrap();
+//! assert_eq!(
+//!     store.distance(12, 250),
+//!     NaiveScheme::distance(scheme.label(tree.node(12)), scheme.label(tree.node(250))),
+//! );
+//! // Batch form: one call, one output vector, no per-query allocation.
+//! let d = store.distances(&[(12, 250), (0, 299)]);
+//! assert_eq!(d[0], store.distance(12, 250));
+//! ```
+
+use std::fmt;
+use std::marker::PhantomData;
+use treelab_bits::{crc, BitSlice, BitWriter};
+
+/// Sentinel returned by [`SchemeStore::distance`] for scheme/pair combinations
+/// with no reportable distance (the `k`-distance scheme's "more than `k`").
+pub const NO_DISTANCE: u64 = u64::MAX;
+
+/// `b"TLSTOR01"` as a little-endian word.
+const MAGIC: u64 = u64::from_le_bytes(*b"TLSTOR01");
+
+/// Current frame format version.
+const VERSION: u32 = 1;
+
+/// Words before the scheme meta region.
+const HEADER_WORDS: usize = 5;
+
+/// Zero guard words after the label region, so the hot-path raw reads
+/// ([`treelab_bits::bitslice::read_lsb`]) can issue their straddle load
+/// unconditionally, and the branchless record scans can read a couple of
+/// records past the last label without a range branch.
+const PAD_WORDS: usize = 4;
+
+/// How many pairs ahead the batch engine touches the offset index and label
+/// words (software prefetch; the hot loop is memory-latency bound on random
+/// pairs).
+const LOOKAHEAD: usize = 12;
+
+/// Error returned when a store frame fails validation.
+///
+/// Stores travel between machines, so [`SchemeStore::from_bytes`] must reject
+/// every malformed input with an error rather than a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// The buffer is shorter than a minimal frame.
+    Truncated {
+        /// Minimum number of bytes a frame needs.
+        expected: usize,
+        /// Number of bytes found.
+        found: usize,
+    },
+    /// The first word is not the store magic.
+    BadMagic,
+    /// The frame was written by an unknown format version.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The frame holds a different scheme than the one requested.
+    SchemeMismatch {
+        /// Tag of the requested scheme.
+        expected: u32,
+        /// Tag found in the header.
+        found: u32,
+    },
+    /// The CRC-64 framing check failed (bit rot or truncation).
+    ChecksumMismatch,
+    /// The frame is structurally invalid.
+    Malformed {
+        /// Human-readable description of the violated expectation.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Truncated { expected, found } => write!(
+                f,
+                "store buffer truncated: need at least {expected} bytes, found {found}"
+            ),
+            StoreError::BadMagic => write!(f, "not a scheme store (bad magic word)"),
+            StoreError::UnsupportedVersion { found } => {
+                write!(f, "unsupported store format version {found}")
+            }
+            StoreError::SchemeMismatch { expected, found } => write!(
+                f,
+                "store holds scheme tag {found}, but scheme tag {expected} was requested"
+            ),
+            StoreError::ChecksumMismatch => write!(f, "store checksum mismatch (corrupt frame)"),
+            StoreError::Malformed { what } => write!(f, "malformed store: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A distance scheme that can be flattened into a [`SchemeStore`] and queried
+/// zero-copy through borrowed label views.
+///
+/// Implementations exist for all six schemes of this crate (the exact trio,
+/// `k`-distance, `(1+ε)`-approximate, level-ancestor).  The contract every
+/// implementation upholds:
+///
+/// * `pack_label` writes exactly `packed_label_bits` bits;
+/// * `parse_meta(store_param(), meta_words())` succeeds and describes the
+///   packed layout;
+/// * `distance_refs` over refs of a serialized scheme returns exactly what the
+///   scheme's in-memory `distance` returns for the same nodes (with
+///   [`NO_DISTANCE`] standing in for "no answer"), allocating nothing.
+pub trait StoredScheme: Sized {
+    /// Scheme tag recorded in the frame header.
+    const TAG: u32;
+
+    /// Human-readable scheme name (used in tables and error messages).
+    const STORE_NAME: &'static str;
+
+    /// Parsed store meta: the fixed field widths (plus scheme constants) every
+    /// label of the store shares.
+    type Meta: fmt::Debug + Copy + Send + Sync;
+
+    /// Borrowed, `Copy`-able view of one packed label inside the store buffer.
+    type Ref<'a>: Copy;
+
+    /// Number of labelled nodes.
+    fn node_count(&self) -> usize;
+
+    /// Scheme-wide parameter recorded in the header (`k`, the bits of ε, or 0).
+    fn store_param(&self) -> u64 {
+        0
+    }
+
+    /// Computes the store meta words (a scan over the labels for the global
+    /// maximum field widths).
+    fn meta_words(&self) -> Vec<u64>;
+
+    /// Parses meta words back into [`StoredScheme::Meta`], validating them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] when the meta words are malformed.
+    fn parse_meta(param: u64, words: &[u64]) -> Result<Self::Meta, StoreError>;
+
+    /// Exact packed size of node `u`'s label in bits (used to pre-reserve the
+    /// label region in one allocation).
+    fn packed_label_bits(&self, meta: &Self::Meta, u: usize) -> usize;
+
+    /// Appends the packed form of node `u`'s label.
+    fn pack_label(&self, meta: &Self::Meta, u: usize, w: &mut BitWriter);
+
+    /// Creates a borrowed view of the label starting at bit `start` of the
+    /// label region (packed labels are self-describing, so no end offset is
+    /// needed — one offset load per side on the hot path).
+    fn label_ref<'a>(slice: BitSlice<'a>, start: usize, meta: &'a Self::Meta) -> Self::Ref<'a>;
+
+    /// Returns `true` when the packed label spanning bits `[start, end)`
+    /// is self-consistent: the counts in its header must describe exactly
+    /// `end − start` bits.  [`SchemeStore::from_bytes`] runs this for every
+    /// label, so a frame whose counts were inflated (which would make later
+    /// queries scan past the label) is rejected at load time.
+    fn check_label(slice: BitSlice<'_>, start: usize, end: usize, meta: &Self::Meta) -> bool;
+
+    /// Distance from two borrowed label views alone — the zero-allocation hot
+    /// path.  Schemes whose query can decline to answer (the `k`-distance
+    /// scheme) return [`NO_DISTANCE`].
+    fn distance_refs(a: Self::Ref<'_>, b: Self::Ref<'_>) -> u64;
+}
+
+/// A whole labeling scheme as one contiguous, checksummed word buffer.
+///
+/// See the [module documentation](self) for the frame layout and an example.
+pub struct SchemeStore<S: StoredScheme> {
+    /// The full frame (header, meta, offset index, label region, CRC).
+    words: Vec<u64>,
+    n: usize,
+    param: u64,
+    meta: S::Meta,
+    /// Word index of the offset index within `words`.
+    index_base: usize,
+    /// Word index of the label region within `words`.
+    label_base: usize,
+    /// Bit length of the label region.
+    label_bits: usize,
+    _scheme: PhantomData<fn() -> S>,
+}
+
+impl<S: StoredScheme> fmt::Debug for SchemeStore<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchemeStore")
+            .field("scheme", &S::STORE_NAME)
+            .field("n", &self.n)
+            .field("bytes", &self.size_bytes())
+            .field("meta", &self.meta)
+            .finish()
+    }
+}
+
+impl<S: StoredScheme> SchemeStore<S> {
+    /// Flattens `scheme` into a store (in memory; [`SchemeStore::to_bytes`]
+    /// yields the persistable frame).
+    pub fn build(scheme: &S) -> Self {
+        let n = scheme.node_count();
+        assert!(n > 0, "cannot store an empty scheme");
+        let param = scheme.store_param();
+        let meta_words = scheme.meta_words();
+        let meta = S::parse_meta(param, &meta_words).expect("self-produced meta must parse");
+
+        // Exact size hint: the label region is written into a single
+        // pre-reserved buffer, so multi-megabyte stores pay one allocation
+        // instead of repeated growth reallocations.
+        let total_bits: usize = (0..n).map(|u| scheme.packed_label_bits(&meta, u)).sum();
+        let mut w = BitWriter::with_capacity(total_bits);
+        let mut offsets: Vec<u64> = Vec::with_capacity(n + 1);
+        for u in 0..n {
+            offsets.push(w.len() as u64);
+            scheme.pack_label(&meta, u, &mut w);
+            debug_assert_eq!(
+                w.len() - offsets[u] as usize,
+                scheme.packed_label_bits(&meta, u),
+                "{}: packed_label_bits disagrees with pack_label for node {u}",
+                S::STORE_NAME
+            );
+        }
+        offsets.push(w.len() as u64);
+        let label_bits = w.len();
+        let label_words = w.into_bitvec().into_words();
+
+        let m = meta_words.len();
+        let index_base = HEADER_WORDS + m;
+        let label_base = index_base + n + 1;
+        let mut words = Vec::with_capacity(label_base + label_words.len() + PAD_WORDS + 1);
+        words.push(MAGIC);
+        words.push(u64::from(VERSION) << 32 | u64::from(S::TAG));
+        words.push(n as u64);
+        words.push(param);
+        words.push(m as u64);
+        words.extend_from_slice(&meta_words);
+        words.extend_from_slice(&offsets);
+        words.extend_from_slice(&label_words);
+        words.extend(std::iter::repeat_n(0u64, PAD_WORDS));
+        let checksum = crc::crc64_words(&words);
+        words.push(checksum);
+
+        SchemeStore {
+            words,
+            n,
+            param,
+            meta,
+            index_base,
+            label_base,
+            label_bits,
+            _scheme: PhantomData,
+        }
+    }
+
+    /// [`SchemeStore::build`] followed by [`SchemeStore::to_bytes`]: the
+    /// persistable byte frame of `scheme`.
+    pub fn serialize(scheme: &S) -> Vec<u8> {
+        Self::build(scheme).to_bytes()
+    }
+
+    /// The frame as bytes (words serialized little-endian).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.words.len() * 8);
+        for &w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Validates and adopts a frame produced by [`SchemeStore::serialize`].
+    ///
+    /// No label is decoded: after the magic/version/tag/CRC checks and an
+    /// O(n) pass over the offset index and per-label extents, the labels stay
+    /// packed and queries read them in place.  (The bytes are widened into
+    /// the word buffer once — a bulk copy for alignment, not a per-label
+    /// decode.)
+    ///
+    /// The CRC authenticates *integrity*, not provenance: every accidentally
+    /// corrupted frame is rejected, but a frame deliberately crafted to pass
+    /// all checks may still make queries return wrong distances or panic —
+    /// load stores from writers you trust, as you would any index file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] describing the first failed validation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        if !bytes.len().is_multiple_of(8) {
+            return Err(StoreError::Malformed {
+                what: "store length is not a multiple of 8 bytes",
+            });
+        }
+        let words: Vec<u64> = bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect();
+        Self::from_words(words)
+    }
+
+    /// [`SchemeStore::from_bytes`] for a caller that already holds words
+    /// (e.g. a store handed over from another thread) — genuinely zero-copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] describing the first failed validation.
+    pub fn from_words(words: Vec<u64>) -> Result<Self, StoreError> {
+        // Minimal frame: header, empty meta, a 1-label index, 1 label word, CRC.
+        let min_words = HEADER_WORDS + 2 + 1 + 1;
+        if words.len() < min_words {
+            return Err(StoreError::Truncated {
+                expected: min_words * 8,
+                found: words.len() * 8,
+            });
+        }
+        if words[0] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = (words[1] >> 32) as u32;
+        let tag = words[1] as u32;
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion { found: version });
+        }
+        if tag != S::TAG {
+            return Err(StoreError::SchemeMismatch {
+                expected: S::TAG,
+                found: tag,
+            });
+        }
+        let (body, checksum) = words.split_at(words.len() - 1);
+        if crc::crc64_words(body) != checksum[0] {
+            return Err(StoreError::ChecksumMismatch);
+        }
+
+        // The CRC vouches for integrity; the structural checks below vouch
+        // for *this code's* expectations, so no later query can index out of
+        // the buffer.
+        let n = words[2];
+        let m = words[4];
+        if n == 0 {
+            return Err(StoreError::Malformed {
+                what: "store holds no labels",
+            });
+        }
+        let header_words = (HEADER_WORDS as u64)
+            .checked_add(m)
+            .and_then(|x| x.checked_add(n.checked_add(1)?))
+            .filter(|&x| x <= (words.len() - 1) as u64)
+            .ok_or(StoreError::Malformed {
+                what: "header claims more meta/index words than the buffer holds",
+            })?;
+        let (n, m) = (n as usize, m as usize);
+        let index_base = HEADER_WORDS + m;
+        let label_base = header_words as usize;
+        let offsets = &words[index_base..=index_base + n];
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(StoreError::Malformed {
+                what: "offset index is not monotone",
+            });
+        }
+        let label_bits = offsets[n];
+        let label_words = label_bits.div_ceil(64) + PAD_WORDS as u64;
+        if label_base as u64 + label_words + 1 != words.len() as u64 {
+            return Err(StoreError::Malformed {
+                what: "label region length disagrees with the buffer size",
+            });
+        }
+        let param = words[3];
+        let meta = S::parse_meta(param, &words[HEADER_WORDS..index_base])?;
+        // Per-label extent check: every label's internal counts must describe
+        // exactly its offset-index extent, so no query scan can leave the
+        // label region because of an inflated count.
+        let slice = BitSlice::new(
+            &words[label_base..label_base + (label_bits as usize).div_ceil(64) + PAD_WORDS],
+            label_bits as usize,
+        );
+        for u in 0..n {
+            if !S::check_label(slice, offsets[u] as usize, offsets[u + 1] as usize, &meta) {
+                return Err(StoreError::Malformed {
+                    what: "a packed label's counts disagree with its extent",
+                });
+            }
+        }
+        Ok(SchemeStore {
+            n,
+            param,
+            meta,
+            index_base,
+            label_base,
+            label_bits: label_bits as usize,
+            words,
+            _scheme: PhantomData,
+        })
+    }
+
+    /// Number of labelled nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The scheme parameter recorded in the header.
+    pub fn param(&self) -> u64 {
+        self.param
+    }
+
+    /// Total frame size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Bit length of the packed label region.
+    pub fn label_region_bits(&self) -> usize {
+        self.label_bits
+    }
+
+    /// The raw frame words (for hand-off to another thread via
+    /// [`SchemeStore::from_words`], or word-level inspection).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    #[inline]
+    fn label_slice(&self) -> BitSlice<'_> {
+        // Includes the guard word(s), so raw straddle reads stay in range.
+        BitSlice::new(
+            &self.words
+                [self.label_base..self.label_base + self.label_bits.div_ceil(64) + PAD_WORDS],
+            self.label_bits,
+        )
+    }
+
+    #[inline]
+    fn offsets(&self) -> &[u64] {
+        &self.words[self.index_base..=self.index_base + self.n]
+    }
+
+    /// Borrowed view of node `u`'s packed label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn label_ref(&self, u: usize) -> S::Ref<'_> {
+        assert!(u < self.n, "node index {u} out of range (n = {})", self.n);
+        let start = self.words[self.index_base + u] as usize;
+        S::label_ref(self.label_slice(), start, &self.meta)
+    }
+
+    /// Bit length of node `u`'s packed label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn label_bits(&self, u: usize) -> usize {
+        assert!(u < self.n, "node index {u} out of range (n = {})", self.n);
+        let offs = self.offsets();
+        (offs[u + 1] - offs[u]) as usize
+    }
+
+    /// Distance between nodes `u` and `v`, answered from the packed labels
+    /// with zero allocation ([`NO_DISTANCE`] when the scheme declines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn distance(&self, u: usize, v: usize) -> u64 {
+        assert!(
+            u < self.n && v < self.n,
+            "pair ({u}, {v}) out of range (n = {})",
+            self.n
+        );
+        let slice = self.label_slice();
+        let (su, sv) = (
+            self.words[self.index_base + u] as usize,
+            self.words[self.index_base + v] as usize,
+        );
+        S::distance_refs(
+            S::label_ref(slice, su, &self.meta),
+            S::label_ref(slice, sv, &self.meta),
+        )
+    }
+
+    /// Batch query: the distance of every pair, in order.
+    ///
+    /// One output allocation for the whole batch; see
+    /// [`SchemeStore::distances_into`] to amortize even that across batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn distances(&self, pairs: &[(usize, usize)]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(pairs.len());
+        self.distances_into(pairs, &mut out);
+        out
+    }
+
+    /// Appends the distance of every pair to `out` (allocation-free when
+    /// `out` has capacity).
+    ///
+    /// Bounds checks are amortized: indices are validated in one pass up
+    /// front, and the hot loop reads label offsets a few pairs ahead so the
+    /// random label accesses overlap their cache misses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn distances_into(&self, pairs: &[(usize, usize)], out: &mut Vec<u64>) {
+        let n = self.n;
+        if let Some(&(u, v)) = pairs.iter().find(|&&(u, v)| u >= n || v >= n) {
+            panic!("pair ({u}, {v}) out of range (n = {n})");
+        }
+        out.reserve(pairs.len());
+        let slice = self.label_slice();
+        let offs = self.offsets();
+        let label_words = slice.words();
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            if let Some(&(pu, pv)) = pairs.get(i + LOOKAHEAD) {
+                // Touch the upcoming pair's offsets and each label's first
+                // word now; by the time the loop reaches it, the lines are
+                // likely resident (labels are compact — usually one line).
+                let su = offs[pu] as usize / 64;
+                let sv = offs[pv] as usize / 64;
+                std::hint::black_box(
+                    label_words.get(su).copied().unwrap_or(0)
+                        ^ label_words.get(sv).copied().unwrap_or(0),
+                );
+            }
+            let a = S::label_ref(slice, offs[u] as usize, &self.meta);
+            let b = S::label_ref(slice, offs[v] as usize, &self.meta);
+            out.push(S::distance_refs(a, b));
+        }
+    }
+
+    /// Lazy iterator form of [`SchemeStore::distances`].
+    ///
+    /// # Panics
+    ///
+    /// The returned iterator panics (on `next`) for out-of-range indices.
+    pub fn distances_iter<'s, I>(&'s self, pairs: I) -> impl Iterator<Item = u64> + 's
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+        I::IntoIter: 's,
+    {
+        pairs.into_iter().map(move |(u, v)| self.distance(u, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveScheme;
+    use crate::DistanceScheme;
+    use treelab_tree::gen;
+
+    fn sample_store() -> (treelab_tree::Tree, NaiveScheme, SchemeStore<NaiveScheme>) {
+        let tree = gen::random_tree(240, 5);
+        let scheme = NaiveScheme::build(&tree);
+        let store = SchemeStore::build(&scheme);
+        (tree, scheme, store)
+    }
+
+    #[test]
+    fn frame_round_trips_bit_exactly() {
+        let (_, _, store) = sample_store();
+        let bytes = store.to_bytes();
+        let back = SchemeStore::<NaiveScheme>::from_bytes(&bytes).unwrap();
+        assert_eq!(store.as_words(), back.as_words());
+        assert_eq!(back.to_bytes(), bytes);
+        assert_eq!(back.node_count(), store.node_count());
+        // from_words is the no-copy path for same-process hand-off.
+        let again = SchemeStore::<NaiveScheme>::from_words(
+            bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect(),
+        )
+        .unwrap();
+        assert_eq!(again.as_words(), store.as_words());
+    }
+
+    #[test]
+    fn queries_match_the_in_memory_scheme() {
+        let (tree, scheme, store) = sample_store();
+        let n = tree.len();
+        let pairs: Vec<(usize, usize)> =
+            (0..500).map(|i| ((i * 31) % n, (i * 87 + 5) % n)).collect();
+        let batch = store.distances(&pairs);
+        let lazy: Vec<u64> = store.distances_iter(pairs.iter().copied()).collect();
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            let expect =
+                NaiveScheme::distance(scheme.label(tree.node(u)), scheme.label(tree.node(v)));
+            assert_eq!(store.distance(u, v), expect, "({u},{v})");
+            assert_eq!(batch[i], expect, "batch ({u},{v})");
+            assert_eq!(lazy[i], expect, "iter ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected() {
+        let (_, _, store) = sample_store();
+        let bytes = store.to_bytes();
+
+        // Odd length.
+        assert!(matches!(
+            SchemeStore::<NaiveScheme>::from_bytes(&bytes[..bytes.len() - 3]),
+            Err(StoreError::Malformed { .. })
+        ));
+        // Truncation to a whole word boundary: CRC no longer matches.
+        assert!(matches!(
+            SchemeStore::<NaiveScheme>::from_bytes(&bytes[..bytes.len() - 8]),
+            Err(StoreError::ChecksumMismatch)
+        ));
+        // Tiny buffer.
+        assert!(matches!(
+            SchemeStore::<NaiveScheme>::from_bytes(&bytes[..16]),
+            Err(StoreError::Truncated { .. })
+        ));
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            SchemeStore::<NaiveScheme>::from_bytes(&bad),
+            Err(StoreError::BadMagic)
+        ));
+        // Flipped payload bit.
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        assert!(matches!(
+            SchemeStore::<NaiveScheme>::from_bytes(&flipped),
+            Err(StoreError::ChecksumMismatch)
+        ));
+        // Unknown version (CRC refreshed so the version check is what fires).
+        let mut vbad: Vec<u64> = store.as_words().to_vec();
+        vbad[1] = (99u64 << 32) | u64::from(<NaiveScheme as StoredScheme>::TAG);
+        let last = vbad.len() - 1;
+        vbad[last] = crc::crc64_words(&vbad[..last]);
+        assert!(matches!(
+            SchemeStore::<NaiveScheme>::from_words(vbad),
+            Err(StoreError::UnsupportedVersion { found: 99 })
+        ));
+        // Wrong scheme tag.
+        assert!(matches!(
+            SchemeStore::<crate::optimal::OptimalScheme>::from_bytes(&bytes),
+            Err(StoreError::SchemeMismatch { .. })
+        ));
+        // Errors display something useful.
+        assert!(StoreError::ChecksumMismatch
+            .to_string()
+            .contains("checksum"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn batch_rejects_out_of_range_pairs() {
+        let (_, _, store) = sample_store();
+        store.distances(&[(0, 1), (0, 10_000)]);
+    }
+}

@@ -47,6 +47,7 @@ pub use treelab_core::level_ancestor::LevelAncestorScheme;
 pub use treelab_core::naive::NaiveScheme;
 pub use treelab_core::optimal::OptimalConfig;
 pub use treelab_core::optimal::OptimalScheme;
+pub use treelab_core::store::{SchemeStore, StoreError, StoredScheme, NO_DISTANCE};
 pub use treelab_core::{bounds, stats, DistanceScheme, Parallelism, Substrate};
 pub use treelab_tree::lca::DistanceOracle;
 pub use treelab_tree::metrics::TreeMetrics;

@@ -21,6 +21,8 @@ use treelab::core::level_ancestor::{LevelAncestorLabel, LevelAncestorScheme};
 use treelab::core::naive::NaiveLabel;
 use treelab::core::optimal::OptimalLabel;
 use treelab::tree::rng::SplitMix64;
+use treelab::SchemeStore;
+use treelab::StoreError;
 use treelab::{gen, DistanceArrayScheme, DistanceScheme, NaiveScheme, OptimalScheme};
 
 /// Runs the truncation + bit-flip adversaries against one decoder.
@@ -182,4 +184,127 @@ fn absurd_counts_are_rejected_before_allocation() {
         codes::write_gamma_nz(w, 1 << 40); // codeword length
     });
     assert!(HpathLabel::decode(&mut BitReader::new(&huge_hpath)).is_err());
+}
+
+/// The whole-scheme store frame must reject the same adversaries the label
+/// decoders do — bad magic, truncation (including a truncated offset index)
+/// and bit rot — with a [`StoreError`], never a panic or a bogus answer.
+#[test]
+fn corrupt_scheme_stores_are_rejected() {
+    let tree = gen::random_tree(160, 17);
+    let scheme = OptimalScheme::build(&tree);
+    let bytes = SchemeStore::serialize(&scheme);
+
+    // Pristine frame loads and answers.
+    let store = SchemeStore::<OptimalScheme>::from_bytes(&bytes).expect("valid frame");
+    assert_eq!(
+        store.distance(3, 150),
+        OptimalScheme::distance(scheme.label(tree.node(3)), scheme.label(tree.node(150)))
+    );
+
+    // Bad magic.
+    let mut bad_magic = bytes.clone();
+    bad_magic[3] ^= 0x55;
+    assert!(matches!(
+        SchemeStore::<OptimalScheme>::from_bytes(&bad_magic),
+        Err(StoreError::BadMagic)
+    ));
+
+    // Truncations at every layer of the frame: header, meta, offset index,
+    // label region, checksum.  Every cut must fail — either as a short/odd
+    // buffer or as a checksum mismatch — and never panic.
+    for cut in [
+        0,
+        5,
+        16,
+        40,
+        41,
+        64,
+        bytes.len() / 2,
+        bytes.len() - 8,
+        bytes.len() - 1,
+    ] {
+        let err = SchemeStore::<OptimalScheme>::from_bytes(&bytes[..cut])
+            .expect_err("truncated frame must be rejected");
+        assert!(
+            matches!(
+                err,
+                StoreError::Truncated { .. }
+                    | StoreError::ChecksumMismatch
+                    | StoreError::Malformed { .. }
+                    | StoreError::BadMagic
+            ),
+            "cut at {cut} bytes: unexpected error {err:?}"
+        );
+    }
+
+    // A flipped bit in the version/tag word is reported as the specific
+    // mismatch (those fields are checked before the CRC).
+    let mut vflip = bytes.clone();
+    vflip[12] ^= 0x01; // low bit of the version half
+    assert!(matches!(
+        SchemeStore::<OptimalScheme>::from_bytes(&vflip),
+        Err(StoreError::UnsupportedVersion { .. })
+    ));
+    let mut tflip = bytes.clone();
+    tflip[8] ^= 0x02; // a tag bit
+    assert!(matches!(
+        SchemeStore::<OptimalScheme>::from_bytes(&tflip),
+        Err(StoreError::SchemeMismatch { .. })
+    ));
+
+    // A flipped bit anywhere past the typed header fails the CRC — including
+    // inside the offset index (bit rot that would otherwise silently
+    // misaddress every label after the flip).
+    for pos in [
+        17usize,
+        33,
+        47,
+        bytes.len() / 3,
+        2 * bytes.len() / 3,
+        bytes.len() - 2,
+    ] {
+        let mut flipped = bytes.clone();
+        flipped[pos] ^= 1 << (pos % 8);
+        assert!(
+            matches!(
+                SchemeStore::<OptimalScheme>::from_bytes(&flipped),
+                Err(StoreError::ChecksumMismatch)
+            ),
+            "flip at byte {pos}"
+        );
+    }
+
+    // A frame of one scheme refuses to load as another.
+    assert!(matches!(
+        SchemeStore::<NaiveScheme>::from_bytes(&bytes),
+        Err(StoreError::SchemeMismatch { .. })
+    ));
+
+    // Crafted frames — corrupted *and* re-checksummed, so the CRC passes —
+    // must still be rejected by the structural checks: the per-label extent
+    // validation catches label words whose counts no longer describe the
+    // label's extent, and header fields are range-checked before use.
+    let words: Vec<u64> = bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let recrc = |mut w: Vec<u64>| -> Vec<u64> {
+        let last = w.len() - 1;
+        w[last] = treelab::bits::crc::crc64_words(&w[..last]);
+        w
+    };
+    // Clobber a word in the middle of the label region (inflates some label's
+    // counts past its extent).
+    let mut crafted = words.clone();
+    let mid = words.len() * 2 / 3;
+    crafted[mid] = u64::MAX;
+    assert!(
+        SchemeStore::<OptimalScheme>::from_words(recrc(crafted)).is_err(),
+        "re-checksummed frame with clobbered label words must be rejected"
+    );
+    // n = u64::MAX must come back as an error, not an overflow panic.
+    let mut huge_n = words.clone();
+    huge_n[2] = u64::MAX;
+    assert!(SchemeStore::<OptimalScheme>::from_words(recrc(huge_n)).is_err());
 }

@@ -166,3 +166,31 @@ fn module_reexports_are_reachable() {
 
     assert!(treelab::core::bounds::exact_upper(1 << 16) > 0.0);
 }
+
+#[test]
+fn store_reexports_round_trip() {
+    // SchemeStore / StoredScheme / StoreError / NO_DISTANCE are facade-level
+    // re-exports; serialize, reload and query through them.
+    use treelab::{NaiveScheme, SchemeStore, StoreError, StoredScheme, NO_DISTANCE};
+    let tree = small_tree();
+    let scheme = NaiveScheme::build(&tree);
+    let bytes = SchemeStore::serialize(&scheme);
+    let store = SchemeStore::<NaiveScheme>::from_bytes(&bytes).expect("valid store");
+    assert_eq!(store.node_count(), tree.len());
+    assert_eq!(
+        store.distance(0, tree.len() - 1),
+        NaiveScheme::distance(
+            scheme.label(tree.node(0)),
+            scheme.label(tree.node(tree.len() - 1))
+        )
+    );
+    assert_eq!(
+        <NaiveScheme as StoredScheme>::STORE_NAME,
+        "naive-fixed-width"
+    );
+    assert_ne!(NO_DISTANCE, 0);
+    assert!(matches!(
+        SchemeStore::<NaiveScheme>::from_bytes(&bytes[..8]),
+        Err(StoreError::Truncated { .. })
+    ));
+}

@@ -1,0 +1,106 @@
+//! Proof that the store's `distance_refs` hot path allocates nothing.
+//!
+//! A counting global allocator wraps the system allocator; after the stores
+//! and the output buffer are set up, a query storm across all six schemes must
+//! leave the allocation counter untouched.  (This file holds a single test on
+//! purpose: the counter is process-global, and a second test running on
+//! another thread would pollute it.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use treelab::core::approximate::ApproximateScheme;
+use treelab::core::kdistance::KDistanceScheme;
+use treelab::core::level_ancestor::LevelAncestorScheme;
+use treelab::{
+    gen, DistanceArrayScheme, DistanceScheme, NaiveScheme, OptimalScheme, SchemeStore,
+    StoredScheme, Substrate,
+};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: defers every operation to the system allocator unchanged; the
+// counter is a side effect only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn assert_alloc_free(name: &str, queries: impl FnOnce()) {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    queries();
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "{name}: the distance_refs path allocated {} times",
+        after - before
+    );
+}
+
+fn storm<S: StoredScheme>(name: &str, store: &SchemeStore<S>, pairs: &[(usize, usize)]) {
+    // Warm up (and sanity-check) outside the counted region.
+    let mut out: Vec<u64> = Vec::with_capacity(pairs.len());
+    store.distances_into(pairs, &mut out);
+    assert_eq!(out.len(), pairs.len());
+    out.clear();
+
+    assert_alloc_free(name, || {
+        // Individual queries through refs…
+        let mut acc = 0u64;
+        for &(u, v) in pairs {
+            acc = acc.wrapping_add(S::distance_refs(store.label_ref(u), store.label_ref(v)));
+        }
+        std::hint::black_box(acc);
+        // …and the batch engine into a pre-reserved buffer.
+        store.distances_into(pairs, &mut out);
+        // …and the lazy iterator form.
+        let sum: u64 = store
+            .distances_iter(pairs.iter().copied())
+            .fold(0, u64::wrapping_add);
+        std::hint::black_box(sum);
+    });
+}
+
+#[test]
+fn every_scheme_store_queries_without_allocating() {
+    let tree = gen::random_tree(700, 11);
+    let n = tree.len();
+    let pairs: Vec<(usize, usize)> = (0..2000)
+        .map(|i| ((i * 7919 + 3) % n, (i * 104_729 + 11) % n))
+        .collect();
+    let sub = Substrate::new(&tree);
+
+    let naive = NaiveScheme::build_with_substrate(&sub);
+    storm("naive", &SchemeStore::build(&naive), &pairs);
+
+    let da = DistanceArrayScheme::build_with_substrate(&sub);
+    storm("distance-array", &SchemeStore::build(&da), &pairs);
+
+    let opt = OptimalScheme::build_with_substrate(&sub);
+    storm("optimal", &SchemeStore::build(&opt), &pairs);
+
+    let kd = KDistanceScheme::build_with_substrate(&sub, 8);
+    storm("k-distance", &SchemeStore::build(&kd), &pairs);
+
+    let approx = ApproximateScheme::build_with_substrate(&sub, 0.25);
+    storm("approximate", &SchemeStore::build(&approx), &pairs);
+
+    let la = LevelAncestorScheme::build_with_substrate(&sub);
+    storm("level-ancestor", &SchemeStore::build(&la), &pairs);
+}

@@ -1,0 +1,185 @@
+//! Store round-trips for all six schemes: `serialize` → `from_bytes` →
+//! `distance` (through packed refs) must equal the in-memory `distance`, and
+//! re-serializing a loaded store must reproduce the byte frame exactly.
+
+use treelab::core::approximate::ApproximateScheme;
+use treelab::core::kdistance::KDistanceScheme;
+use treelab::core::level_ancestor::LevelAncestorScheme;
+use treelab::{
+    gen, DistanceArrayScheme, DistanceScheme, NaiveScheme, OptimalScheme, SchemeStore,
+    StoredScheme, Substrate, Tree, NO_DISTANCE,
+};
+
+/// The seeded tree corpus every scheme round-trips over: the adversarial
+/// shapes for each scheme plus random trees and the singleton edge case.
+fn corpus() -> Vec<(&'static str, Tree)> {
+    vec![
+        ("singleton", Tree::singleton()),
+        ("path", gen::path(180)),
+        ("star", gen::star(180)),
+        ("caterpillar", gen::caterpillar(60, 3)),
+        ("comb", gen::comb(420)),
+        ("complete-binary", gen::complete_kary(2, 7)),
+        ("random-1", gen::random_tree(350, 1)),
+        ("random-2", gen::random_tree(351, 2)),
+        ("random-binary", gen::random_binary(300, 3)),
+    ]
+}
+
+/// Deterministic pair sample covering the whole index range.
+fn pairs(n: usize) -> Vec<(usize, usize)> {
+    let mut p: Vec<(usize, usize)> = (0..600.min(n * n))
+        .map(|i| ((i * 37) % n, (i * 101 + 7) % n))
+        .collect();
+    p.push((0, 0));
+    p.push((n - 1, 0));
+    p
+}
+
+/// Serializes `scheme`, reloads it, and checks every sampled store query
+/// against `expected` plus the frame's bit-exactness under re-serialization.
+fn check_store<S: StoredScheme>(
+    name: &str,
+    tree: &Tree,
+    scheme: &S,
+    expected: impl Fn(usize, usize) -> u64,
+) {
+    let store = SchemeStore::build(scheme);
+    let bytes = store.to_bytes();
+    let loaded = SchemeStore::<S>::from_bytes(&bytes)
+        .unwrap_or_else(|e| panic!("{name}: from_bytes failed: {e}"));
+    assert_eq!(
+        loaded.to_bytes(),
+        bytes,
+        "{name}: reload must reproduce the frame bit-exactly"
+    );
+    assert_eq!(loaded.node_count(), tree.len(), "{name}: node count");
+
+    let pairs = pairs(tree.len());
+    let batch = loaded.distances(&pairs);
+    for (i, &(u, v)) in pairs.iter().enumerate() {
+        let want = expected(u, v);
+        assert_eq!(
+            loaded.distance(u, v),
+            want,
+            "{name}: single query ({u},{v})"
+        );
+        assert_eq!(batch[i], want, "{name}: batch query ({u},{v})");
+    }
+    // Per-label sizes are consistent with the region.
+    let total: usize = (0..tree.len()).map(|u| loaded.label_bits(u)).sum();
+    assert_eq!(total, loaded.label_region_bits(), "{name}: label sizes");
+}
+
+#[test]
+fn exact_scheme_stores_round_trip() {
+    for (family, tree) in corpus() {
+        let sub = Substrate::new(&tree);
+        let naive = NaiveScheme::build_with_substrate(&sub);
+        check_store(&format!("naive/{family}"), &tree, &naive, |u, v| {
+            NaiveScheme::distance(naive.label(tree.node(u)), naive.label(tree.node(v)))
+        });
+        let da = DistanceArrayScheme::build_with_substrate(&sub);
+        check_store(&format!("distance-array/{family}"), &tree, &da, |u, v| {
+            DistanceArrayScheme::distance(da.label(tree.node(u)), da.label(tree.node(v)))
+        });
+        let opt = OptimalScheme::build_with_substrate(&sub);
+        check_store(&format!("optimal/{family}"), &tree, &opt, |u, v| {
+            OptimalScheme::distance(opt.label(tree.node(u)), opt.label(tree.node(v)))
+        });
+    }
+}
+
+#[test]
+fn bounded_and_approximate_stores_round_trip() {
+    for (family, tree) in corpus() {
+        let sub = Substrate::new(&tree);
+        for k in [2u64, 6] {
+            let kd = KDistanceScheme::build_with_substrate(&sub, k);
+            check_store(
+                &format!("k-distance(k={k})/{family}"),
+                &tree,
+                &kd,
+                |u, v| {
+                    KDistanceScheme::distance(kd.label(tree.node(u)), kd.label(tree.node(v)))
+                        .unwrap_or(NO_DISTANCE)
+                },
+            );
+            // The typed bounded query agrees with the Option-returning one.
+            let store = SchemeStore::build(&kd);
+            for (u, v) in pairs(tree.len()) {
+                assert_eq!(
+                    store.distance_within_k(u, v),
+                    KDistanceScheme::distance(kd.label(tree.node(u)), kd.label(tree.node(v))),
+                    "k-distance(k={k})/{family}: distance_within_k ({u},{v})"
+                );
+            }
+        }
+        for eps in [0.25f64, 0.5] {
+            let approx = ApproximateScheme::build_with_substrate(&sub, eps);
+            check_store(
+                &format!("approximate(eps={eps})/{family}"),
+                &tree,
+                &approx,
+                |u, v| {
+                    ApproximateScheme::distance(
+                        approx.label(tree.node(u)),
+                        approx.label(tree.node(v)),
+                    )
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn level_ancestor_store_round_trips_and_matches_the_oracle() {
+    for (family, tree) in corpus() {
+        let la = LevelAncestorScheme::build(&tree);
+        check_store(&format!("level-ancestor/{family}"), &tree, &la, |u, v| {
+            <LevelAncestorScheme as DistanceScheme>::distance(
+                la.label(tree.node(u)),
+                la.label(tree.node(v)),
+            )
+        });
+        // The level-ancestor distance itself (new in this PR) is exact.
+        let oracle = treelab::DistanceOracle::new(&tree);
+        for (u, v) in pairs(tree.len()) {
+            assert_eq!(
+                <LevelAncestorScheme as DistanceScheme>::distance(
+                    la.label(tree.node(u)),
+                    la.label(tree.node(v)),
+                ),
+                oracle.distance(tree.node(u), tree.node(v)),
+                "level-ancestor/{family}: exactness ({u},{v})"
+            );
+        }
+    }
+}
+
+#[test]
+fn stores_can_cross_threads() {
+    // "Build once, serve many": one store queried from several threads via
+    // the word-level hand-off (no re-serialization, no re-decode).
+    let tree = gen::random_tree(500, 9);
+    let scheme = OptimalScheme::build(&tree);
+    let store = SchemeStore::build(&scheme);
+    let words = store.as_words().to_vec();
+    let expected: Vec<u64> = pairs(tree.len())
+        .iter()
+        .map(|&(u, v)| store.distance(u, v))
+        .collect();
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            let words = words.clone();
+            let expected = &expected;
+            let tree = &tree;
+            s.spawn(move || {
+                let local = SchemeStore::<OptimalScheme>::from_words(words).unwrap();
+                for (i, (u, v)) in pairs(tree.len()).into_iter().enumerate() {
+                    assert_eq!(local.distance(u, v), expected[i]);
+                }
+            });
+        }
+    });
+}
