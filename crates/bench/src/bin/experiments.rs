@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p treelab-bench --bin experiments -- [--quick] [--threads N] [--exact]
 //!     [--approx] [--kdist-small] [--kdist-large] [--lower-bounds] [--universal] [--ablation]
-//!     [--timing] [--substrate]
+//!     [--timing] [--substrate] [--store] [--forest]
 //! ```
 //!
 //! With no selection flags, all experiments run.  `--quick` shrinks the sizes
@@ -13,9 +13,9 @@
 //! serial path, `0` = all available cores; the CI matrix runs both).
 
 use treelab_bench::experiments::{
-    ablation_experiment, approximate_experiment, exact_experiment, k_large_experiment,
-    k_small_experiment, lower_bound_experiment, store_experiment, substrate_experiment,
-    timing_experiment, universal_experiment,
+    ablation_experiment, approximate_experiment, exact_experiment, forest_experiment,
+    k_large_experiment, k_small_experiment, lower_bound_experiment, store_experiment,
+    substrate_experiment, timing_experiment, universal_experiment,
 };
 use treelab_bench::workloads::Family;
 use treelab_core::substrate::Parallelism;
@@ -112,5 +112,16 @@ fn main() {
             &[1 << 12, 1 << 14, 1 << 16]
         };
         println!("{}", store_experiment(sizes, seed).to_markdown());
+    }
+    if run("--forest") {
+        let (trees, n_per_tree, queries) = if quick {
+            (8, 1 << 9, 1 << 17)
+        } else {
+            (64, 1 << 14, 1 << 20)
+        };
+        println!(
+            "{}",
+            forest_experiment(trees, n_per_tree, queries, seed).to_markdown()
+        );
     }
 }

@@ -4,12 +4,13 @@
 //! (see DESIGN.md §5 for the experiment index) and returns a [`Table`] that the
 //! binary prints and `EXPERIMENTS.md` records.
 
-use crate::workloads::Family;
+use crate::workloads::{build_mixed_forest, forest_corpus, skewed_forest_queries, Family};
 use crate::Table;
 use std::time::Instant;
 use treelab_core::approximate::ApproximateScheme;
 use treelab_core::bounds;
 use treelab_core::distance_array::DistanceArrayScheme;
+use treelab_core::forest::{ForestStore, RouteScratch};
 use treelab_core::kdistance::KDistanceScheme;
 use treelab_core::level_ancestor::LevelAncestorScheme;
 use treelab_core::naive::NaiveScheme;
@@ -655,6 +656,101 @@ pub fn store_experiment(sizes: &[usize], seed: u64) -> Table {
     table
 }
 
+/// E12: the forest serving layer — one mixed-scheme frame over the seeded
+/// corpus, Zipf-skewed routed traffic, and three serving strategies:
+///
+/// * **loop** — the naive per-query serving loop
+///   (`forest.tree(id).distance(u, v)`: one id lookup, one runtime dispatch
+///   and one cold label access per query, hopping trees in arrival order);
+/// * **routed** — [`ForestStore::route_distances_into`]: group by tree, drive
+///   each group through the scheme's allocation-free batch engine, scatter
+///   back to arrival order (single thread);
+/// * **sharded** — the same engine with tree groups fanned out over scoped
+///   worker threads ([`Parallelism::Auto`]).
+///
+/// This is the number the ISSUE-4 acceptance criterion is about: sharded
+/// routed throughput ≥ 1.5× the single-thread per-tree loop at
+/// `64 trees × 16k nodes`.
+pub fn forest_experiment(trees: usize, nodes_per_tree: usize, queries: usize, seed: u64) -> Table {
+    let mut table = Table::new(
+        "E12 — forest serving layer: routed + sharded batch throughput vs the per-query loop \
+         (mixed-scheme corpus, Zipf(1.0) tree popularity)",
+        &[
+            "trees",
+            "n/tree",
+            "frame (MiB)",
+            "load (ms)",
+            "loop (Mq/s)",
+            "routed (Mq/s)",
+            "sharded auto (Mq/s)",
+            "routed/loop",
+            "sharded/loop",
+        ],
+    );
+    let corpus = forest_corpus(trees, nodes_per_tree, seed);
+    let forest = build_mixed_forest(&corpus);
+    let bytes = forest.to_bytes();
+    // Load time: median of 5 validated reloads (copy path, whole forest).
+    let mut loads: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(ForestStore::from_bytes(&bytes).expect("valid forest"));
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    loads.sort_by(f64::total_cmp);
+
+    let batch = skewed_forest_queries(&corpus, queries, 1.0, seed ^ 0x0f0e);
+
+    // Per-query loop: tree lookup + dispatch + single query, arrival order.
+    let mut acc = 0u64;
+    let mut best_loop = 0f64;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        for &(id, u, v) in &batch {
+            acc = acc.wrapping_add(forest.tree(id).expect("known tree").distance(u, v));
+        }
+        best_loop = best_loop.max(batch.len() as f64 / t0.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(acc);
+
+    // Routed engine, single thread, scratch + output reused across rounds.
+    let mut scratch = RouteScratch::new();
+    let mut out: Vec<u64> = Vec::with_capacity(batch.len());
+    forest.route_distances_into(&batch, &mut scratch, &mut out); // warm-up
+    let mut best_routed = 0f64;
+    for _ in 0..REPS {
+        out.clear();
+        let t0 = Instant::now();
+        forest.route_distances_into(&batch, &mut scratch, &mut out);
+        best_routed = best_routed.max(batch.len() as f64 / t0.elapsed().as_secs_f64());
+        std::hint::black_box(out.last().copied());
+    }
+
+    // Sharded engine (auto = all available cores; on a single-core host this
+    // equals the routed engine minus partitioning overhead).
+    let mut best_sharded = 0f64;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let d = forest.route_distances_sharded(&batch, Parallelism::Auto);
+        best_sharded = best_sharded.max(batch.len() as f64 / t0.elapsed().as_secs_f64());
+        std::hint::black_box(d.last().copied());
+    }
+
+    table.push_row(vec![
+        trees.to_string(),
+        nodes_per_tree.to_string(),
+        format!("{:.1}", bytes.len() as f64 / (1024.0 * 1024.0)),
+        format!("{:.1}", loads[2]),
+        format!("{:.2}", best_loop / 1e6),
+        format!("{:.2}", best_routed / 1e6),
+        format!("{:.2}", best_sharded / 1e6),
+        format!("{:.2}x", best_routed / best_loop),
+        format!("{:.2}x", best_sharded / best_loop),
+    ]);
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -713,6 +809,17 @@ mod tests {
         let isolated: f64 = t.rows[0][1].parse().unwrap();
         assert!(shared > 0.0 && isolated > 0.0);
         assert!(t.rows[0][4].ends_with('%'));
+    }
+
+    #[test]
+    fn forest_experiment_reports_throughputs() {
+        let t = forest_experiment(6, 96, 4000, 5);
+        assert_eq!(t.rows.len(), 1);
+        for col in 4..7 {
+            let qps: f64 = t.rows[0][col].parse().unwrap();
+            assert!(qps > 0.0, "column {col}: {qps}");
+        }
+        assert!(t.rows[0][7].ends_with('x') && t.rows[0][8].ends_with('x'));
     }
 
     #[test]

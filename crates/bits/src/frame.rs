@@ -1,0 +1,192 @@
+//! Borrowed-frame helpers: casting and copying between byte buffers and the
+//! little-endian `u64` word frames every persisted treelab structure uses.
+//!
+//! The scheme store (`TLSTOR01`) and the forest store (`TLFRST01`) in
+//! `treelab-core` are defined as sequences of 64-bit words, serialized
+//! little-endian (see `FORMAT.md` at the repository root for the bit-for-bit
+//! layouts).  A reader therefore has two ways in from a byte buffer:
+//!
+//! * the **borrow path** — [`try_cast_words`] reinterprets an 8-byte-aligned
+//!   byte slice as `&[u64]` without copying anything, which is what makes
+//!   mmap-style loading possible: map the file, cast, validate once, serve
+//!   forever.  Misaligned or odd-length input is *refused* (with the
+//!   misalignment offset), never silently copied;
+//! * the **copy path** — [`words_from_bytes`] decodes the bytes into a fresh
+//!   `Vec<u64>` (one widening pass).  It works at any alignment and on any
+//!   host, at the cost of one buffer-sized copy.
+//!
+//! [`words_to_bytes`] is the inverse of the copy path (explicit little-endian
+//! encode), used by the stores' `to_bytes`.
+
+/// Why a byte slice could not be borrowed as frame words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CastError {
+    /// The slice does not start on an 8-byte boundary; `offset` is how many
+    /// bytes past the previous boundary it starts (1–7).  Re-align the buffer
+    /// or take the copy path ([`words_from_bytes`]).
+    Misaligned {
+        /// `address % 8` of the first byte (never 0 in this error).
+        offset: usize,
+    },
+    /// The slice length is not a multiple of 8 bytes, so it cannot be a
+    /// whole number of words.
+    Length {
+        /// The offending length in bytes.
+        len: usize,
+    },
+    /// The host is big-endian: reinterpreting the little-endian frame bytes
+    /// in place would misread every word.  Use [`words_from_bytes`], which
+    /// byte-swaps as it copies.
+    BigEndianHost,
+}
+
+impl core::fmt::Display for CastError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CastError::Misaligned { offset } => write!(
+                f,
+                "byte buffer starts {offset} bytes past an 8-byte boundary \
+                 (borrow path needs alignment; copy with words_from_bytes instead)"
+            ),
+            CastError::Length { len } => {
+                write!(f, "byte length {len} is not a multiple of 8")
+            }
+            CastError::BigEndianHost => write!(
+                f,
+                "cannot borrow little-endian frame words on a big-endian host"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CastError {}
+
+/// How many bytes past the previous 8-byte boundary `bytes` starts
+/// (`0` means the slice is word-aligned and [`try_cast_words`] can borrow it).
+#[inline]
+pub fn alignment_offset(bytes: &[u8]) -> usize {
+    (bytes.as_ptr() as usize) % 8
+}
+
+/// Reinterprets an aligned byte slice as frame words — the zero-copy borrow
+/// path for loading a persisted store from mapped memory.
+///
+/// # Errors
+///
+/// * [`CastError::Misaligned`] when the slice is not 8-byte aligned;
+/// * [`CastError::Length`] when its length is not a multiple of 8;
+/// * [`CastError::BigEndianHost`] on big-endian targets (frames are defined
+///   little-endian; an in-place reinterpretation would misread them).
+#[allow(unsafe_code)]
+pub fn try_cast_words(bytes: &[u8]) -> Result<&[u64], CastError> {
+    if cfg!(target_endian = "big") {
+        return Err(CastError::BigEndianHost);
+    }
+    if !bytes.len().is_multiple_of(8) {
+        return Err(CastError::Length { len: bytes.len() });
+    }
+    let offset = alignment_offset(bytes);
+    if offset != 0 {
+        return Err(CastError::Misaligned { offset });
+    }
+    // SAFETY: every bit pattern is a valid `u64`, `align_to` itself guarantees
+    // the middle slice is correctly aligned, and the shared borrow keeps the
+    // bytes alive and immutable for the lifetime of the returned words.
+    let (head, words, tail) = unsafe { bytes.align_to::<u64>() };
+    if !head.is_empty() || !tail.is_empty() {
+        // `align_to` is allowed to yield a shorter-than-maximal middle; with
+        // the explicit alignment and length checks above this cannot happen
+        // on any real implementation, but correctness must not depend on it.
+        return Err(CastError::Misaligned { offset: head.len() });
+    }
+    Ok(words)
+}
+
+/// The words of `bytes`, decoded little-endian into a fresh buffer — the copy
+/// path, valid at any alignment and on any host.
+///
+/// # Errors
+///
+/// Returns [`CastError::Length`] when the length is not a multiple of 8.
+pub fn words_from_bytes(bytes: &[u8]) -> Result<Vec<u64>, CastError> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(CastError::Length { len: bytes.len() });
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect())
+}
+
+/// Serializes words little-endian — the persistable byte form of a frame.
+pub fn words_to_bytes(words: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(words.len() * 8);
+    for &w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// The native byte view of a word buffer (no copy).
+///
+/// On little-endian hosts this equals [`words_to_bytes`]; it exists so tests
+/// and writers can produce a byte slice whose 8-byte alignment is
+/// *guaranteed* (a `Vec<u8>` promises only byte alignment).
+#[allow(unsafe_code)]
+#[cfg(target_endian = "little")]
+pub fn cast_bytes(words: &[u64]) -> &[u8] {
+    // SAFETY: u8 has alignment 1, so the cast can never be misaligned, and
+    // every byte of a u64 is initialized.
+    let (head, bytes, tail) = unsafe { words.align_to::<u8>() };
+    debug_assert!(head.is_empty() && tail.is_empty());
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_cast_round_trips() {
+        let words: Vec<u64> = (0..9u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let bytes = cast_bytes(&words);
+        assert_eq!(alignment_offset(bytes), 0);
+        assert_eq!(try_cast_words(bytes).unwrap(), &words[..]);
+        // The safe copy path agrees with the borrow path.
+        assert_eq!(words_from_bytes(bytes).unwrap(), words);
+        assert_eq!(words_to_bytes(&words), bytes);
+    }
+
+    #[test]
+    fn misaligned_and_odd_lengths_are_refused() {
+        let words: Vec<u64> = vec![1, 2, 3, 4];
+        let bytes = cast_bytes(&words);
+        // Every non-zero start offset within the first word is misaligned.
+        for off in 1..8usize {
+            let sub = &bytes[off..off + 16];
+            assert_eq!(alignment_offset(sub), off);
+            assert_eq!(
+                try_cast_words(sub),
+                Err(CastError::Misaligned { offset: off }),
+                "offset {off}"
+            );
+        }
+        // Odd byte lengths cannot be whole words (checked before alignment).
+        assert_eq!(
+            try_cast_words(&bytes[..15]),
+            Err(CastError::Length { len: 15 })
+        );
+        assert_eq!(
+            words_from_bytes(&bytes[..15]),
+            Err(CastError::Length { len: 15 })
+        );
+        // Errors display something actionable.
+        assert!(CastError::Misaligned { offset: 3 }
+            .to_string()
+            .contains("copy"));
+        assert!(CastError::Length { len: 15 }.to_string().contains("15"));
+    }
+}

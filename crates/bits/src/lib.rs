@@ -26,6 +26,9 @@
 //!   buffers, the substrate of the zero-copy scheme store.
 //! * [`crc`] — word-level (slice-by-8) CRC-64/XZ framing for persisted
 //!   structures.
+//! * [`frame`] — alignment-checked casts and explicit copies between byte
+//!   buffers and little-endian word frames (the borrow path behind
+//!   mmap-style store loading).
 //!
 //! # Example
 //!
@@ -45,7 +48,11 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the two audited casts in [`frame`] carry
+// per-function `#[allow]`s (reinterpreting aligned bytes as words is the one
+// thing the zero-copy load path cannot do in safe Rust); everything else in
+// the crate remains safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -56,6 +63,7 @@ pub mod alphabetic;
 pub mod bitslice;
 pub mod codes;
 pub mod crc;
+pub mod frame;
 pub mod monotone;
 pub mod rank_select;
 pub mod wordram;

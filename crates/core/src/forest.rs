@@ -1,0 +1,884 @@
+//! Forest store: many trees' scheme frames packed behind one directory, with
+//! a routed, shardable batch query engine — the serving layer of the store
+//! stack.
+//!
+//! # Why
+//!
+//! A production labeling service rarely serves *one* tree: it serves a corpus
+//! — thousands of trees, each built once into a [`SchemeStore`] frame — and
+//! answers routed queries of the form *(tree, u, v)*.  The forest store packs
+//! any mix of per-tree frames (the schemes may differ tree to tree) into one
+//! contiguous `TLFRST01` super-frame:
+//!
+//! ```text
+//! word 0        magic "TLFRST01"
+//! word 1        format version (high 32) | reserved, must be 0 (low 32)
+//! word 2        T — number of trees
+//! 3 .. 3+4T     directory, sorted by tree id, one 4-word record per tree:
+//!                 word 0  tree id
+//!                 word 1  frame offset (words, from the forest frame start)
+//!                 word 2  frame length (words)
+//!                 word 3  scheme tag (high 32) | label count n (low 32)
+//! ..            the inner frames, each a complete TLSTOR01 frame, tiling
+//!               the region between directory and checksum exactly
+//! last word     CRC-64/XZ of every preceding word
+//! ```
+//!
+//! (`FORMAT.md` at the repository root specifies both layouts bit for bit.)
+//!
+//! Loading validates the outer frame, then every inner frame, **once** — and
+//! nothing is copied on the borrow path ([`ForestRef::from_words`]): each
+//! tree's labels are served in place from the caller's buffer, exactly like a
+//! single [`StoreRef`](crate::store::StoreRef).  Per-tree access
+//! ([`ForestRef::tree`]) is O(log T)
+//! for the id lookup plus O(1) to materialize the [`AnyStoreRef`] from the
+//! cached directory — no re-validation per call.
+//!
+//! # The routed batch engine
+//!
+//! [`ForestRef::route_distances`] takes a batch of `(tree, u, v)` queries in
+//! *arrival order*, groups them by tree (a stable counting sort), drives each
+//! group through the scheme's allocation-free batch path (one runtime
+//! dispatch per *group*, not per query, and each tree's frame stays
+//! cache-resident for its whole group), and scatters the answers back to
+//! arrival order — the output is deterministic and independent of grouping.
+//! [`ForestRef::route_distances_into`] reuses a [`RouteScratch`] so a serving
+//! loop allocates nothing per batch; [`ForestRef::route_distances_sharded`]
+//! fans independent tree groups out over [`std::thread::scope`] workers
+//! behind the same [`Parallelism`] knob the builders use, with bit-identical
+//! output for every thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use treelab_core::forest::ForestStore;
+//! use treelab_core::naive::NaiveScheme;
+//! use treelab_core::level_ancestor::LevelAncestorScheme;
+//! use treelab_core::DistanceScheme;
+//! use treelab_tree::gen;
+//!
+//! // Two trees, two different schemes, one frame.
+//! let t0 = gen::random_tree(120, 1);
+//! let t1 = gen::random_tree(80, 2);
+//! let mut b = ForestStore::builder();
+//! b.push_scheme(7, &NaiveScheme::build(&t0));
+//! b.push_scheme(9, &LevelAncestorScheme::build(&t1));
+//! let forest = b.finish().unwrap();
+//!
+//! // Routed batch: tree ids in arrival order, answers in arrival order.
+//! let d = forest.route_distances(&[(9, 3, 70), (7, 0, 119), (9, 0, 0)]);
+//! assert_eq!(d[0], forest.tree(9).unwrap().distance(3, 70));
+//! assert_eq!(d[1], forest.tree(7).unwrap().distance(0, 119));
+//! assert_eq!(d[2], 0);
+//!
+//! // The frame round-trips through bytes like any store.
+//! let bytes = forest.to_bytes();
+//! let back = ForestStore::from_bytes(&bytes).unwrap();
+//! assert_eq!(back.as_words(), forest.as_words());
+//! ```
+
+use std::fmt;
+use std::ops::Range;
+use treelab_bits::{crc, frame};
+
+use crate::store::{AnyParts, AnyStoreRef, SchemeStore, StoreError, StoredScheme};
+use crate::substrate::Parallelism;
+
+/// `b"TLFRST01"` as a little-endian word.
+const FOREST_MAGIC: u64 = u64::from_le_bytes(*b"TLFRST01");
+
+/// Current forest frame format version.
+const FOREST_VERSION: u32 = 1;
+
+/// Words before the directory.
+const FOREST_HEADER_WORDS: usize = 3;
+
+/// Words per directory record.
+const DIR_ENTRY_WORDS: usize = 4;
+
+/// Error returned when a forest frame fails validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ForestError {
+    /// The outer frame is not a valid forest frame (magic, version,
+    /// truncation, checksum, misalignment).
+    Frame(StoreError),
+    /// The directory is structurally invalid (duplicate ids, overlapping or
+    /// out-of-range extents, disagreement with an inner frame).
+    Directory {
+        /// Human-readable description of the violated expectation.
+        what: &'static str,
+    },
+    /// One tree's inner frame failed its own validation.
+    Tree {
+        /// The directory id of the offending tree.
+        id: u64,
+        /// The inner frame's error.
+        error: StoreError,
+    },
+}
+
+impl fmt::Display for ForestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForestError::Frame(e) => write!(f, "forest frame: {e}"),
+            ForestError::Directory { what } => write!(f, "malformed forest directory: {what}"),
+            ForestError::Tree { id, error } => write!(f, "forest tree {id}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ForestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ForestError::Frame(e) | ForestError::Tree { error: e, .. } => Some(e),
+            ForestError::Directory { .. } => None,
+        }
+    }
+}
+
+impl From<frame::CastError> for ForestError {
+    fn from(e: frame::CastError) -> Self {
+        ForestError::Frame(e.into())
+    }
+}
+
+/// One validated directory record: where the tree's frame sits, plus the
+/// cached parse so [`AnyStoreRef`] views materialize in O(1).
+#[derive(Debug, Clone, Copy)]
+struct ForestEntry {
+    id: u64,
+    off: usize,
+    len: usize,
+    parts: AnyParts,
+}
+
+/// Validates an assembled forest frame and parses its directory.
+fn parse_forest(words: &[u64]) -> Result<Vec<ForestEntry>, ForestError> {
+    let min_words = FOREST_HEADER_WORDS + DIR_ENTRY_WORDS + 2;
+    if words.len() < min_words {
+        return Err(ForestError::Frame(StoreError::Truncated {
+            expected: min_words * 8,
+            found: words.len() * 8,
+        }));
+    }
+    if words[0] != FOREST_MAGIC {
+        return Err(ForestError::Frame(StoreError::BadMagic));
+    }
+    let version = (words[1] >> 32) as u32;
+    if version != FOREST_VERSION {
+        return Err(ForestError::Frame(StoreError::UnsupportedVersion {
+            found: version,
+        }));
+    }
+    if words[1] as u32 != 0 {
+        return Err(ForestError::Directory {
+            what: "reserved header field is not zero",
+        });
+    }
+    let (body, checksum) = words.split_at(words.len() - 1);
+    if crc::crc64_words(body) != checksum[0] {
+        return Err(ForestError::Frame(StoreError::ChecksumMismatch));
+    }
+
+    let t = words[2];
+    if t == 0 {
+        return Err(ForestError::Directory {
+            what: "forest holds no trees",
+        });
+    }
+    let dir_end = (FOREST_HEADER_WORDS as u64)
+        .checked_add(
+            t.checked_mul(DIR_ENTRY_WORDS as u64)
+                .ok_or(ForestError::Directory {
+                    what: "tree count overflows the directory size",
+                })?,
+        )
+        .filter(|&x| x < (words.len() - 1) as u64)
+        .ok_or(ForestError::Directory {
+            what: "directory claims more records than the buffer holds",
+        })? as usize;
+    let t = t as usize;
+
+    let mut entries: Vec<ForestEntry> = Vec::with_capacity(t);
+    let mut expected_off = dir_end;
+    for rec in 0..t {
+        let base = FOREST_HEADER_WORDS + rec * DIR_ENTRY_WORDS;
+        let id = words[base];
+        if rec > 0 && entries[rec - 1].id >= id {
+            return Err(ForestError::Directory {
+                what: "tree ids are not strictly increasing (duplicate or unsorted)",
+            });
+        }
+        let off = words[base + 1];
+        let len = words[base + 2];
+        if off != expected_off as u64 {
+            return Err(ForestError::Directory {
+                what: "a frame extent does not start where the previous one ended \
+                       (overlapping, out-of-order or gapped directory)",
+            });
+        }
+        let end = off
+            .checked_add(len)
+            .filter(|&e| e <= (words.len() - 1) as u64);
+        if len == 0 || end.is_none() {
+            return Err(ForestError::Directory {
+                what: "a frame extent runs past the end of the buffer",
+            });
+        }
+        let (off, len) = (off as usize, len as usize);
+        expected_off = off + len;
+
+        let inner = &words[off..off + len];
+        let view =
+            AnyStoreRef::from_words(inner).map_err(|error| ForestError::Tree { id, error })?;
+        let dir_tag = (words[base + 3] >> 32) as u32;
+        let dir_n = words[base + 3] as u32 as u64;
+        if view.tag() != dir_tag || view.node_count() as u64 != dir_n {
+            return Err(ForestError::Tree {
+                id,
+                error: StoreError::Malformed {
+                    what: "directory scheme tag / label count disagrees with the inner frame",
+                },
+            });
+        }
+        entries.push(ForestEntry {
+            id,
+            off,
+            len,
+            parts: view.parts(),
+        });
+    }
+    if expected_off != words.len() - 1 {
+        return Err(ForestError::Directory {
+            what: "inner frames do not tile the region before the checksum exactly",
+        });
+    }
+    Ok(entries)
+}
+
+/// Accumulates per-tree frames and assembles them into a [`ForestStore`].
+///
+/// Trees may use different schemes; frames may be pushed in any id order
+/// (the directory is sorted at [`ForestBuilder::finish`]).
+#[derive(Debug, Default)]
+pub struct ForestBuilder {
+    trees: Vec<(u64, Vec<u64>)>,
+}
+
+impl ForestBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds `scheme` into a store frame and adds it as tree `id`.
+    pub fn push_scheme<S: StoredScheme>(&mut self, id: u64, scheme: &S) -> &mut Self {
+        let words = SchemeStore::build(scheme).into_words();
+        self.trees.push((id, words));
+        self
+    }
+
+    /// Adds an already-built store as tree `id`, consuming it (no copy).
+    pub fn push_store<S: StoredScheme>(&mut self, id: u64, store: SchemeStore<S>) -> &mut Self {
+        self.trees.push((id, store.into_words()));
+        self
+    }
+
+    /// Adds a raw frame (e.g. read from disk) as tree `id`, validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForestError::Tree`] when the frame fails store validation,
+    /// or [`ForestError::Directory`] when its label count cannot be indexed
+    /// by a directory record (n ≥ 2³²).
+    pub fn push_frame(&mut self, id: u64, words: Vec<u64>) -> Result<&mut Self, ForestError> {
+        let view =
+            AnyStoreRef::from_words(&words).map_err(|error| ForestError::Tree { id, error })?;
+        if view.node_count() as u64 > u64::from(u32::MAX) {
+            return Err(ForestError::Directory {
+                what: "a directory record stores the label count in 32 bits",
+            });
+        }
+        self.trees.push((id, words));
+        Ok(self)
+    }
+
+    /// Number of trees pushed so far.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Returns `true` when no tree has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Assembles the frame: header, id-sorted directory, the inner frames
+    /// tiled back to back, and the outer CRC — then revalidates the result
+    /// through the loader, so writer and reader agree by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForestError::Directory`] for an empty builder or duplicate
+    /// tree ids.
+    pub fn finish(self) -> Result<ForestStore, ForestError> {
+        let mut trees = self.trees;
+        if trees.is_empty() {
+            return Err(ForestError::Directory {
+                what: "forest holds no trees",
+            });
+        }
+        trees.sort_by_key(|&(id, _)| id);
+        if trees.windows(2).any(|w| w[0].0 == w[1].0) {
+            return Err(ForestError::Directory {
+                what: "tree ids are not strictly increasing (duplicate or unsorted)",
+            });
+        }
+        let t = trees.len();
+        let dir_end = FOREST_HEADER_WORDS + DIR_ENTRY_WORDS * t;
+        let frames_len: usize = trees.iter().map(|(_, f)| f.len()).sum();
+        let mut words = Vec::with_capacity(dir_end + frames_len + 1);
+        words.push(FOREST_MAGIC);
+        words.push(u64::from(FOREST_VERSION) << 32);
+        words.push(t as u64);
+        let mut off = dir_end;
+        for (id, frame_words) in &trees {
+            // Tag and label count mirror the (validated) inner frame header.
+            let tag = frame_words[1] as u32;
+            let n = frame_words[2];
+            words.push(*id);
+            words.push(off as u64);
+            words.push(frame_words.len() as u64);
+            words.push(u64::from(tag) << 32 | n);
+            off += frame_words.len();
+        }
+        for (_, frame_words) in &trees {
+            words.extend_from_slice(frame_words);
+        }
+        let checksum = crc::crc64_words(&words);
+        words.push(checksum);
+        ForestStore::from_words(words)
+    }
+}
+
+/// Reusable scratch for the routed batch engine: the per-batch group state
+/// ([`ForestRef::route_distances_into`] allocates only into these buffers, so
+/// a serving loop that reuses one scratch allocates nothing per batch once
+/// the buffers have grown to the working size).
+#[derive(Debug, Default)]
+pub struct RouteScratch {
+    /// Per-query tree slot (directory position).
+    slots: Vec<u32>,
+    /// Per-slot group *end* position after the counting sort.
+    bounds: Vec<usize>,
+    /// Query indices, stably grouped by slot.
+    order: Vec<u32>,
+    /// Per-group `(u, v)` staging for the batch engine.
+    pairs: Vec<(usize, usize)>,
+    /// Answers in grouped order, before the scatter back to arrival order.
+    sorted: Vec<u64>,
+}
+
+impl RouteScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Resolves every query's tree slot (validating ids and node indices) and
+/// groups query indices by slot with a stable counting sort.
+///
+/// # Panics
+///
+/// Panics on an unknown tree id or an out-of-range node index — mirroring
+/// the single-store batch engine, invalid input is a caller bug, not a data
+/// corruption (which the *load* paths report as errors).
+fn prepare_route(
+    entries: &[ForestEntry],
+    queries: &[(u64, usize, usize)],
+    scratch: &mut RouteScratch,
+) {
+    scratch.slots.clear();
+    scratch.slots.reserve(queries.len());
+    let mut last: Option<(u64, u32)> = None;
+    for &(id, u, v) in queries {
+        let slot = match last {
+            Some((lid, s)) if lid == id => s,
+            _ => {
+                let s = entries
+                    .binary_search_by_key(&id, |e| e.id)
+                    .unwrap_or_else(|_| panic!("no tree with id {id} in the forest"))
+                    as u32;
+                last = Some((id, s));
+                s
+            }
+        };
+        let n = entries[slot as usize].parts.raw.n;
+        assert!(
+            u < n && v < n,
+            "pair ({u}, {v}) out of range for tree {id} (n = {n})"
+        );
+        scratch.slots.push(slot);
+    }
+    // Stable counting sort of query indices by slot: counts → start cursors
+    // → scatter (cursors advance to the group ends, kept in `bounds`).
+    scratch.bounds.clear();
+    scratch.bounds.resize(entries.len(), 0);
+    for &s in &scratch.slots {
+        scratch.bounds[s as usize] += 1;
+    }
+    let mut acc = 0usize;
+    for b in scratch.bounds.iter_mut() {
+        let count = *b;
+        *b = acc;
+        acc += count;
+    }
+    scratch.order.clear();
+    scratch.order.resize(queries.len(), 0);
+    for (i, &s) in scratch.slots.iter().enumerate() {
+        let cursor = &mut scratch.bounds[s as usize];
+        scratch.order[*cursor] = i as u32;
+        *cursor += 1;
+    }
+}
+
+/// Runs the grouped queries of directory slots `groups` through each tree's
+/// batch engine, writing answers (in grouped order) into `sorted`, whose
+/// first element corresponds to global grouped position `pos_base`.
+#[allow(clippy::too_many_arguments)] // the flat argument list is what lets shards borrow disjoint slices
+fn run_group_range(
+    words: &[u64],
+    entries: &[ForestEntry],
+    queries: &[(u64, usize, usize)],
+    order: &[u32],
+    bounds: &[usize],
+    groups: Range<usize>,
+    pos_base: usize,
+    pairs: &mut Vec<(usize, usize)>,
+    sorted: &mut [u64],
+) {
+    for t in groups {
+        let gstart = if t == 0 { 0 } else { bounds[t - 1] };
+        let gend = bounds[t];
+        if gend == gstart {
+            continue;
+        }
+        pairs.clear();
+        pairs.extend(order[gstart..gend].iter().map(|&qi| {
+            let (_, u, v) = queries[qi as usize];
+            (u, v)
+        }));
+        let e = &entries[t];
+        let view = AnyStoreRef::from_parts(&words[e.off..e.off + e.len], e.parts);
+        view.distances_write(pairs, &mut sorted[gstart - pos_base..gend - pos_base]);
+    }
+}
+
+/// The serial routed engine body shared by [`ForestRef`] and [`ForestStore`].
+fn route_into(
+    words: &[u64],
+    entries: &[ForestEntry],
+    queries: &[(u64, usize, usize)],
+    scratch: &mut RouteScratch,
+    out: &mut Vec<u64>,
+) {
+    prepare_route(entries, queries, scratch);
+    scratch.sorted.clear();
+    scratch.sorted.resize(queries.len(), 0);
+    let RouteScratch {
+        bounds,
+        order,
+        pairs,
+        sorted,
+        ..
+    } = scratch;
+    run_group_range(
+        words,
+        entries,
+        queries,
+        order,
+        bounds,
+        0..entries.len(),
+        0,
+        pairs,
+        sorted,
+    );
+    let base = out.len();
+    out.resize(base + queries.len(), 0);
+    for (pos, &qi) in order.iter().enumerate() {
+        out[base + qi as usize] = sorted[pos];
+    }
+}
+
+/// The sharded routed engine body: tree groups are partitioned into
+/// contiguous shards of roughly equal query count, each shard answers into
+/// its disjoint slice of the grouped output, and one serial scatter restores
+/// arrival order — so the result is bit-identical for every thread count.
+fn route_sharded(
+    words: &[u64],
+    entries: &[ForestEntry],
+    queries: &[(u64, usize, usize)],
+    par: Parallelism,
+) -> Vec<u64> {
+    let q = queries.len();
+    let mut scratch = RouteScratch::new();
+    let mut out = Vec::with_capacity(q);
+    let threads = par.thread_count().min(entries.len()).max(1);
+    if threads <= 1 || q == 0 {
+        route_into(words, entries, queries, &mut scratch, &mut out);
+        return out;
+    }
+    prepare_route(entries, queries, &mut scratch);
+    scratch.sorted.clear();
+    scratch.sorted.resize(q, 0);
+
+    // Greedy contiguous partition of the tree groups into `threads` shards
+    // of roughly q / threads queries each: (groups, grouped-position range).
+    let target = q.div_ceil(threads);
+    let mut shards: Vec<(Range<usize>, Range<usize>)> = Vec::with_capacity(threads);
+    let (mut group_lo, mut pos_lo) = (0usize, 0usize);
+    for t in 0..entries.len() {
+        let end = scratch.bounds[t];
+        let last = t + 1 == entries.len();
+        if end - pos_lo >= target || (last && end > pos_lo) {
+            shards.push((group_lo..t + 1, pos_lo..end));
+            group_lo = t + 1;
+            pos_lo = end;
+        }
+    }
+
+    let (order, bounds) = (&scratch.order, &scratch.bounds);
+    std::thread::scope(|s| {
+        let mut rest: &mut [u64] = &mut scratch.sorted;
+        let mut consumed = 0usize;
+        for (groups, pos) in &shards {
+            let (chunk, tail) = rest.split_at_mut(pos.end - consumed);
+            consumed = pos.end;
+            rest = tail;
+            let (groups, pos_base) = (groups.clone(), pos.start);
+            s.spawn(move || {
+                let mut pairs: Vec<(usize, usize)> = Vec::new();
+                run_group_range(
+                    words, entries, queries, order, bounds, groups, pos_base, &mut pairs, chunk,
+                );
+            });
+        }
+    });
+
+    out.resize(q, 0);
+    for (pos, &qi) in scratch.order.iter().enumerate() {
+        out[qi as usize] = scratch.sorted[pos];
+    }
+    out
+}
+
+/// Shared read-side API of [`ForestRef`] and [`ForestStore`], implemented
+/// once over `(words, entries)`.
+macro_rules! forest_read_api {
+    () => {
+        /// Number of trees in the forest.
+        pub fn tree_count(&self) -> usize {
+            self.entries.len()
+        }
+
+        /// The tree ids, in directory (ascending) order.
+        pub fn tree_ids(&self) -> impl Iterator<Item = u64> + '_ {
+            self.entries.iter().map(|e| e.id)
+        }
+
+        /// The borrowed store view of tree `id`, or `None` when the forest
+        /// holds no such tree.  O(log T) lookup, no re-validation.
+        pub fn tree(&self, id: u64) -> Option<AnyStoreRef<'_>> {
+            let slot = self.entries.binary_search_by_key(&id, |e| e.id).ok()?;
+            let e = &self.entries[slot];
+            Some(AnyStoreRef::from_parts(
+                &self.words[e.off..e.off + e.len],
+                e.parts,
+            ))
+        }
+
+        /// Total frame size in bytes.
+        pub fn size_bytes(&self) -> usize {
+            self.words.len() * 8
+        }
+
+        /// The raw frame words.
+        pub fn as_words(&self) -> &[u64] {
+            &self.words
+        }
+
+        /// Routed batch query: the distance of every `(tree, u, v)` query,
+        /// in arrival order.  Queries are grouped by tree internally and each
+        /// group runs through the scheme's allocation-free batch engine; see
+        /// [`RouteScratch`] to amortize the group state across batches.
+        ///
+        /// # Panics
+        ///
+        /// Panics on an unknown tree id or an out-of-range node index.
+        pub fn route_distances(&self, queries: &[(u64, usize, usize)]) -> Vec<u64> {
+            let mut out = Vec::with_capacity(queries.len());
+            self.route_distances_into(queries, &mut RouteScratch::new(), &mut out);
+            out
+        }
+
+        /// Appends the routed answers to `out` in arrival order, reusing
+        /// `scratch` — allocation-free once the scratch and `out` have grown
+        /// to the batch working size.
+        ///
+        /// # Panics
+        ///
+        /// Panics on an unknown tree id or an out-of-range node index.
+        pub fn route_distances_into(
+            &self,
+            queries: &[(u64, usize, usize)],
+            scratch: &mut RouteScratch,
+            out: &mut Vec<u64>,
+        ) {
+            route_into(&self.words, &self.entries, queries, scratch, out);
+        }
+
+        /// The sharded routed batch query: tree groups fan out over
+        /// [`std::thread::scope`] workers according to `par`, and the output
+        /// is bit-identical to [`Self::route_distances`] for every thread
+        /// count (including [`Parallelism::Serial`]).
+        ///
+        /// # Panics
+        ///
+        /// Panics on an unknown tree id or an out-of-range node index.
+        pub fn route_distances_sharded(
+            &self,
+            queries: &[(u64, usize, usize)],
+            par: Parallelism,
+        ) -> Vec<u64> {
+            route_sharded(&self.words, &self.entries, queries, par)
+        }
+    };
+}
+
+/// A borrowed, validated view of a forest frame — "validate once, borrow
+/// forever" over caller-held words (e.g. a memory map).
+///
+/// See the [module documentation](self) for the frame layout and the routed
+/// engine; [`ForestStore`] is the owning counterpart.
+#[derive(Debug)]
+pub struct ForestRef<'a> {
+    words: &'a [u64],
+    entries: Vec<ForestEntry>,
+}
+
+impl<'a> ForestRef<'a> {
+    /// Validates a forest frame held in caller-owned words and borrows it.
+    /// No label word is copied; only the parsed directory is materialized.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ForestError`] describing the first failed validation.
+    pub fn from_words(words: &'a [u64]) -> Result<Self, ForestError> {
+        let entries = parse_forest(words)?;
+        Ok(ForestRef { words, entries })
+    }
+
+    /// [`ForestRef::from_words`] over an aligned byte buffer — the borrow
+    /// path for mapped files.  Misaligned input is refused with
+    /// [`StoreError::Misaligned`] (wrapped in [`ForestError::Frame`]); take
+    /// the copying [`ForestStore::from_bytes`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ForestError`] describing the failed cast or validation.
+    pub fn from_bytes(bytes: &'a [u8]) -> Result<Self, ForestError> {
+        Self::from_words(frame::try_cast_words(bytes)?)
+    }
+
+    forest_read_api!();
+}
+
+/// A whole forest as one owned, checksummed word buffer — the owning
+/// counterpart of [`ForestRef`], built with [`ForestBuilder`].
+///
+/// See the [module documentation](self) for the frame layout and an example.
+#[derive(Debug)]
+pub struct ForestStore {
+    words: Vec<u64>,
+    entries: Vec<ForestEntry>,
+}
+
+impl ForestStore {
+    /// An empty [`ForestBuilder`] (push trees, then
+    /// [`ForestBuilder::finish`]).
+    pub fn builder() -> ForestBuilder {
+        ForestBuilder::new()
+    }
+
+    /// Validates and adopts an assembled forest frame (no copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ForestError`] describing the first failed validation.
+    pub fn from_words(words: Vec<u64>) -> Result<Self, ForestError> {
+        let entries = parse_forest(&words)?;
+        Ok(ForestStore { words, entries })
+    }
+
+    /// Validates and adopts a forest frame from bytes — the **copy path**
+    /// (one widening copy for alignment, valid at any alignment).  For the
+    /// zero-copy alternative over an aligned buffer, use
+    /// [`ForestRef::from_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ForestError`] describing the first failed validation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ForestError> {
+        Self::from_words(frame::words_from_bytes(bytes).map_err(ForestError::from)?)
+    }
+
+    /// The frame as bytes (words serialized little-endian) — the persistable
+    /// form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        frame::words_to_bytes(&self.words)
+    }
+
+    /// Consumes the store and returns its frame words.
+    pub fn into_words(self) -> Vec<u64> {
+        self.words
+    }
+
+    forest_read_api!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level_ancestor::LevelAncestorScheme;
+    use crate::naive::NaiveScheme;
+    use crate::optimal::OptimalScheme;
+    use crate::DistanceScheme;
+    use treelab_tree::gen;
+
+    fn sample_forest() -> (Vec<(u64, treelab_tree::Tree)>, ForestStore) {
+        let trees = vec![
+            (3u64, gen::random_tree(150, 1)),
+            (11, gen::random_tree(90, 2)),
+            (42, gen::comb(120)),
+        ];
+        let mut b = ForestStore::builder();
+        b.push_scheme(3, &NaiveScheme::build(&trees[0].1));
+        b.push_scheme(11, &OptimalScheme::build(&trees[1].1));
+        b.push_scheme(42, &LevelAncestorScheme::build(&trees[2].1));
+        (trees, b.finish().unwrap())
+    }
+
+    fn sample_queries(
+        trees: &[(u64, treelab_tree::Tree)],
+        count: usize,
+    ) -> Vec<(u64, usize, usize)> {
+        (0..count)
+            .map(|i| {
+                let (id, tree) = &trees[(i * 7) % trees.len()];
+                let n = tree.len();
+                (*id, (i * 31) % n, (i * 87 + 5) % n)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forest_round_trips_and_routes() {
+        let (trees, forest) = sample_forest();
+        assert_eq!(forest.tree_count(), 3);
+        assert_eq!(forest.tree_ids().collect::<Vec<_>>(), vec![3, 11, 42]);
+        assert!(forest.tree(5).is_none());
+
+        let bytes = forest.to_bytes();
+        let back = ForestStore::from_bytes(&bytes).unwrap();
+        assert_eq!(back.as_words(), forest.as_words());
+        assert_eq!(back.to_bytes(), bytes);
+
+        // Borrow path over the owner's words: identical answers, same buffer.
+        let view = ForestRef::from_words(forest.as_words()).unwrap();
+        assert!(std::ptr::eq(view.as_words(), forest.as_words()));
+
+        let queries = sample_queries(&trees, 400);
+        let routed = forest.route_distances(&queries);
+        let via_ref = view.route_distances(&queries);
+        assert_eq!(routed, via_ref);
+        for (i, &(id, u, v)) in queries.iter().enumerate() {
+            let expect = forest.tree(id).unwrap().distance(u, v);
+            assert_eq!(routed[i], expect, "query {i}: tree {id} ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn sharded_routing_is_deterministic_for_every_thread_count() {
+        let (trees, forest) = sample_forest();
+        let queries = sample_queries(&trees, 777);
+        let serial = forest.route_distances(&queries);
+        for par in [
+            Parallelism::Serial,
+            Parallelism::Auto,
+            Parallelism::from_thread_count(2),
+            Parallelism::from_thread_count(3),
+            Parallelism::from_thread_count(9),
+        ] {
+            assert_eq!(
+                forest.route_distances_sharded(&queries, par),
+                serial,
+                "{par:?}"
+            );
+        }
+        // Empty batches are fine everywhere.
+        assert!(forest.route_distances(&[]).is_empty());
+        assert!(forest
+            .route_distances_sharded(&[], Parallelism::Auto)
+            .is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_appends_in_arrival_order() {
+        let (trees, forest) = sample_forest();
+        let q1 = sample_queries(&trees, 100);
+        let q2 = sample_queries(&trees, 57);
+        let mut scratch = RouteScratch::new();
+        let mut out = Vec::new();
+        forest.route_distances_into(&q1, &mut scratch, &mut out);
+        forest.route_distances_into(&q2, &mut scratch, &mut out);
+        assert_eq!(out.len(), q1.len() + q2.len());
+        assert_eq!(out[..q1.len()], forest.route_distances(&q1)[..]);
+        assert_eq!(out[q1.len()..], forest.route_distances(&q2)[..]);
+    }
+
+    #[test]
+    fn builder_rejects_duplicates_and_empty() {
+        let tree = gen::random_tree(60, 4);
+        let mut b = ForestStore::builder();
+        b.push_scheme(1, &NaiveScheme::build(&tree));
+        b.push_scheme(1, &NaiveScheme::build(&tree));
+        assert!(matches!(b.finish(), Err(ForestError::Directory { .. })));
+        assert!(matches!(
+            ForestBuilder::new().finish(),
+            Err(ForestError::Directory { .. })
+        ));
+        // Errors display their context.
+        assert!(ForestError::Tree {
+            id: 7,
+            error: StoreError::BadMagic
+        }
+        .to_string()
+        .contains('7'));
+    }
+
+    #[test]
+    #[should_panic(expected = "no tree with id")]
+    fn routing_rejects_unknown_tree_ids() {
+        let (_, forest) = sample_forest();
+        forest.route_distances(&[(3, 0, 1), (999, 0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn routing_rejects_out_of_range_nodes() {
+        let (_, forest) = sample_forest();
+        forest.route_distances(&[(3, 0, 10_000)]);
+    }
+}

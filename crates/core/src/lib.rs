@@ -21,7 +21,8 @@
 //! | [`bounds`] | closed-form upper/lower bound formulas (the §1 table) | — |
 //! | [`stats`] | label-size accounting used by the experiment harness | — |
 //! | [`substrate`] | shared build substrate + parallel label construction | — |
-//! | [`store`] | zero-copy scheme store: whole-scheme serialization + allocation-free batch queries | — |
+//! | [`store`] | zero-copy scheme store: borrowed frame views + allocation-free batch queries | — |
+//! | [`forest`] | forest store: many trees behind one frame, with routed, shardable batch queries | — |
 //!
 //! All schemes offer a `build_with_substrate` constructor next to `build`:
 //! create one [`Substrate`] per tree and every scheme built from it shares a
@@ -51,6 +52,7 @@
 pub mod approximate;
 pub mod bounds;
 pub mod distance_array;
+pub mod forest;
 pub mod hpath;
 pub mod kdistance;
 pub mod level_ancestor;
@@ -61,7 +63,8 @@ pub mod store;
 pub mod substrate;
 pub mod universal;
 
-pub use store::{SchemeStore, StoreError, StoredScheme};
+pub use forest::{ForestBuilder, ForestError, ForestRef, ForestStore, RouteScratch};
+pub use store::{AnyStoreRef, IndexWidth, SchemeStore, StoreError, StoreRef, StoredScheme};
 pub use substrate::{Parallelism, Substrate};
 
 use treelab_tree::{NodeId, Tree};

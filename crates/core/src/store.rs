@@ -1,5 +1,6 @@
 //! Zero-copy scheme store: a whole labeling scheme as one contiguous,
-//! checksummed buffer, plus an allocation-free batch query engine.
+//! checksummed buffer, with borrowed views, runtime scheme dispatch and an
+//! allocation-free batch query engine.
 //!
 //! # Why
 //!
@@ -8,16 +9,34 @@
 //! values that exist only in the process that built them.  The store closes
 //! that gap ("build once, serve many"): [`SchemeStore::serialize`] flattens a
 //! scheme into a single byte buffer that can be persisted, mapped, or handed
-//! to another thread or process, and [`SchemeStore::from_bytes`] brings it
-//! back **without re-decoding a single label** — it validates the frame (magic
-//! word, version, scheme tag, CRC-64) and keeps the labels packed.  Queries
-//! then run through borrowed [`StoredScheme::Ref`] views
-//! ([`StoredScheme::distance_refs`]) that read fields straight out of the
-//! shared buffer, with zero per-query allocation.
+//! to another thread or process, and the load path brings it back **without
+//! re-decoding a single label** — it validates the frame (magic word, version,
+//! scheme tag, CRC-64) once and keeps the labels packed.  Queries then run
+//! through borrowed [`StoredScheme::Ref`] views that read fields straight out
+//! of the shared buffer, with zero per-query allocation.
+//!
+//! # The three load paths
+//!
+//! * [`StoreRef::from_words`] — the **borrow path**: validate a caller-held
+//!   `&[u64]` once and serve from it forever.  Nothing is copied, so the same
+//!   frame words can back any number of concurrent readers (or come straight
+//!   from a memory map via [`treelab_bits::frame::try_cast_words`]).
+//!   [`StoreRef::from_bytes`] is the byte-slice form; it *refuses* misaligned
+//!   input with [`StoreError::Misaligned`] instead of silently copying.
+//! * [`SchemeStore::from_bytes`] / [`SchemeStore::from_words`] — the
+//!   **owning path**: a [`SchemeStore`] owns its frame words (`from_bytes`
+//!   performs one explicit widening copy for alignment; `from_words` adopts
+//!   the vector without copying) and is a thin wrapper around the same
+//!   [`StoreRef`] machinery ([`SchemeStore::as_store_ref`]).
+//! * [`AnyStoreRef::from_words`] — the **runtime-dispatch path**: reads the
+//!   scheme tag from the frame header and returns the right `StoreRef`
+//!   variant, so heterogeneous frames (a forest of mixed schemes, see
+//!   [`crate::forest`]) load without compile-time scheme knowledge.
 //!
 //! # Frame layout
 //!
-//! Everything is 64-bit words, serialized little-endian:
+//! Everything is 64-bit words, serialized little-endian (`FORMAT.md` at the
+//! repository root specifies the layout bit for bit):
 //!
 //! ```text
 //! word 0      magic "TLSTOR01"
@@ -26,10 +45,13 @@
 //! word 3      scheme parameter (k, ε bits, or 0)
 //! word 4      m — number of scheme meta words
 //! 5 .. 5+m    scheme meta (field widths chosen at serialize time)
-//! .. +n+1     offset index: bit offset of each label in the label region
-//!             (entry n is the total bit length)
+//! ..          offset index: bit offset of each label in the label region
+//!             (entry n is the total bit length).  Version 1 stores one u64
+//!             per entry; version 2 packs two u32 entries per word (emitted
+//!             whenever the label region is under 2³² bits — readers accept
+//!             both, version-1-only readers reject version 2 cleanly).
 //! ..          label region: the packed labels, fixed-width fields,
-//!             plus one zero guard word (for branchless straddle reads)
+//!             plus four zero guard words (for branchless straddle reads)
 //! last word   CRC-64/XZ of every preceding word
 //! ```
 //!
@@ -43,27 +65,39 @@
 //! # Example
 //!
 //! ```
-//! use treelab_core::store::SchemeStore;
+//! use treelab_core::store::{AnyStoreRef, SchemeStore, StoreRef};
 //! use treelab_core::naive::NaiveScheme;
 //! use treelab_core::DistanceScheme;
 //! use treelab_tree::gen;
 //!
 //! let tree = gen::random_tree(300, 7);
 //! let scheme = NaiveScheme::build(&tree);
-//! let bytes = SchemeStore::serialize(&scheme);          // persist these
-//! let store = SchemeStore::<NaiveScheme>::from_bytes(&bytes).unwrap();
-//! assert_eq!(
-//!     store.distance(12, 250),
-//!     NaiveScheme::distance(scheme.label(tree.node(12)), scheme.label(tree.node(250))),
-//! );
+//! let store = SchemeStore::build(&scheme);              // owning form
+//! let expect = NaiveScheme::distance(scheme.label(tree.node(12)), scheme.label(tree.node(250)));
+//! assert_eq!(store.distance(12, 250), expect);
+//!
+//! // Borrow path: validate caller-held words once, copy nothing.
+//! let view = StoreRef::<NaiveScheme>::from_words(store.as_words()).unwrap();
+//! assert_eq!(view.distance(12, 250), expect);
+//!
+//! // Runtime dispatch: no compile-time scheme type needed.
+//! let any = AnyStoreRef::from_words(store.as_words()).unwrap();
+//! assert_eq!(any.distance(12, 250), expect);
+//!
 //! // Batch form: one call, one output vector, no per-query allocation.
 //! let d = store.distances(&[(12, 250), (0, 299)]);
-//! assert_eq!(d[0], store.distance(12, 250));
+//! assert_eq!(d[0], expect);
 //! ```
 
 use std::fmt;
-use std::marker::PhantomData;
-use treelab_bits::{crc, BitSlice, BitWriter};
+use treelab_bits::{crc, frame, BitSlice, BitWriter};
+
+use crate::approximate::{ApproximateMeta, ApproximateScheme};
+use crate::distance_array::DistanceArrayScheme;
+use crate::kdistance::{KDistanceMeta, KDistanceScheme};
+use crate::level_ancestor::{LevelAncestorMeta, LevelAncestorScheme};
+use crate::naive::{NaiveScheme, PsumMeta};
+use crate::optimal::{OptimalMeta, OptimalScheme};
 
 /// Sentinel returned by [`SchemeStore::distance`] for scheme/pair combinations
 /// with no reportable distance (the `k`-distance scheme's "more than `k`").
@@ -72,8 +106,13 @@ pub const NO_DISTANCE: u64 = u64::MAX;
 /// `b"TLSTOR01"` as a little-endian word.
 const MAGIC: u64 = u64::from_le_bytes(*b"TLSTOR01");
 
-/// Current frame format version.
-const VERSION: u32 = 1;
+/// Frame format version with a u64-per-entry offset index (the original
+/// layout; still emitted when the label region is 2³² bits or larger).
+const VERSION_WIDE: u32 = 1;
+
+/// Frame format version with two u32 offset entries packed per word — half
+/// the index footprint, emitted whenever the label region fits.
+const VERSION_NARROW: u32 = 2;
 
 /// Words before the scheme meta region.
 const HEADER_WORDS: usize = 5;
@@ -91,8 +130,8 @@ const LOOKAHEAD: usize = 12;
 
 /// Error returned when a store frame fails validation.
 ///
-/// Stores travel between machines, so [`SchemeStore::from_bytes`] must reject
-/// every malformed input with an error rather than a panic.
+/// Stores travel between machines, so every load path must reject every
+/// malformed input with an error rather than a panic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum StoreError {
@@ -117,8 +156,22 @@ pub enum StoreError {
         /// Tag found in the header.
         found: u32,
     },
+    /// The frame's scheme tag is not one this build knows
+    /// (runtime-dispatch path, [`AnyStoreRef::from_words`]).
+    UnknownScheme {
+        /// Tag found in the header.
+        found: u32,
+    },
     /// The CRC-64 framing check failed (bit rot or truncation).
     ChecksumMismatch,
+    /// The byte buffer is not 8-byte aligned, so the zero-copy borrow path
+    /// cannot reinterpret it as words.  Re-align the buffer or take the
+    /// explicit copy path ([`SchemeStore::from_bytes`]).
+    Misaligned {
+        /// How many bytes past the previous 8-byte boundary the buffer
+        /// starts (1–7).
+        offset: usize,
+    },
     /// The frame is structurally invalid.
     Malformed {
         /// Human-readable description of the violated expectation.
@@ -141,13 +194,86 @@ impl fmt::Display for StoreError {
                 f,
                 "store holds scheme tag {found}, but scheme tag {expected} was requested"
             ),
+            StoreError::UnknownScheme { found } => {
+                write!(f, "store holds unknown scheme tag {found}")
+            }
             StoreError::ChecksumMismatch => write!(f, "store checksum mismatch (corrupt frame)"),
+            StoreError::Misaligned { offset } => write!(
+                f,
+                "byte buffer starts {offset} bytes past an 8-byte boundary; \
+                 the borrow path cannot cast it (use the copying from_bytes)"
+            ),
             StoreError::Malformed { what } => write!(f, "malformed store: {what}"),
         }
     }
 }
 
 impl std::error::Error for StoreError {}
+
+impl From<frame::CastError> for StoreError {
+    fn from(e: frame::CastError) -> Self {
+        match e {
+            frame::CastError::Misaligned { offset } => StoreError::Misaligned { offset },
+            frame::CastError::Length { .. } => StoreError::Malformed {
+                what: "store length is not a multiple of 8 bytes",
+            },
+            frame::CastError::BigEndianHost => StoreError::Malformed {
+                what: "cannot borrow little-endian frame words on a big-endian host",
+            },
+            _ => StoreError::Malformed {
+                what: "byte buffer cannot be cast to frame words",
+            },
+        }
+    }
+}
+
+/// Width of the offset-index entries in a store frame.
+///
+/// [`SchemeStore::build`] picks [`IndexWidth::U32`] automatically whenever the
+/// label region is under 2³² bits (two entries per word — half the index
+/// footprint and memory traffic); [`SchemeStore::build_with_index_width`]
+/// pins the width explicitly, e.g. to emit frames for version-1-only readers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexWidth {
+    /// Two u32 entries packed per word (frame version 2).
+    U32,
+    /// One u64 entry per word (frame version 1, the original layout).
+    U64,
+}
+
+/// The POD description of a validated frame: where the index, meta and label
+/// regions sit.  Everything a [`StoreRef`] needs besides the words themselves
+/// and the parsed scheme meta — kept `Copy` so owning containers (stores,
+/// forest directories) can cache it without borrowing the words.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RawParts {
+    pub(crate) n: usize,
+    pub(crate) param: u64,
+    pub(crate) index_base: usize,
+    pub(crate) label_base: usize,
+    pub(crate) label_bits: usize,
+    pub(crate) index: IndexWidth,
+}
+
+impl RawParts {
+    /// Bit offset of label `i` in the label region (entry `n` is the total).
+    #[inline(always)]
+    fn offset(&self, words: &[u64], i: usize) -> usize {
+        match self.index {
+            IndexWidth::U64 => words[self.index_base + i] as usize,
+            IndexWidth::U32 => ((words[self.index_base + i / 2] >> ((i & 1) * 32)) as u32) as usize,
+        }
+    }
+}
+
+/// Words needed to store `n + 1` offset entries at `width`.
+#[inline]
+fn index_word_count(n: usize, width: IndexWidth) -> usize {
+    match width {
+        IndexWidth::U64 => n + 1,
+        IndexWidth::U32 => (n + 2) / 2,
+    }
+}
 
 /// A distance scheme that can be flattened into a [`SchemeStore`] and queried
 /// zero-copy through borrowed label views.
@@ -209,9 +335,9 @@ pub trait StoredScheme: Sized {
 
     /// Returns `true` when the packed label spanning bits `[start, end)`
     /// is self-consistent: the counts in its header must describe exactly
-    /// `end − start` bits.  [`SchemeStore::from_bytes`] runs this for every
-    /// label, so a frame whose counts were inflated (which would make later
-    /// queries scan past the label) is rejected at load time.
+    /// `end − start` bits.  The load paths run this for every label, so a
+    /// frame whose counts were inflated (which would make later queries scan
+    /// past the label) is rejected at load time.
     fn check_label(slice: BitSlice<'_>, start: usize, end: usize, meta: &Self::Meta) -> bool;
 
     /// Distance from two borrowed label views alone — the zero-allocation hot
@@ -220,115 +346,231 @@ pub trait StoredScheme: Sized {
     fn distance_refs(a: Self::Ref<'_>, b: Self::Ref<'_>) -> u64;
 }
 
-/// A whole labeling scheme as one contiguous, checksummed word buffer.
+/// Validates a frame held in `words` and returns its parsed description.
 ///
-/// See the [module documentation](self) for the frame layout and an example.
-pub struct SchemeStore<S: StoredScheme> {
-    /// The full frame (header, meta, offset index, label region, CRC).
-    words: Vec<u64>,
-    n: usize,
-    param: u64,
-    meta: S::Meta,
-    /// Word index of the offset index within `words`.
-    index_base: usize,
-    /// Word index of the label region within `words`.
-    label_base: usize,
-    /// Bit length of the label region.
-    label_bits: usize,
-    _scheme: PhantomData<fn() -> S>,
+/// This is the single validation pass every load path funnels through:
+/// magic, version, scheme tag, CRC-64, structural bounds, offset-index
+/// monotonicity, and the per-label extent check.
+fn parse_frame<S: StoredScheme>(words: &[u64]) -> Result<(RawParts, S::Meta), StoreError> {
+    // Minimal frame: header, empty meta, a narrow 1-label index, an empty
+    // label region with its guard pad, and the CRC.
+    let min_words = HEADER_WORDS + 1 + PAD_WORDS + 1;
+    if words.len() < min_words {
+        return Err(StoreError::Truncated {
+            expected: min_words * 8,
+            found: words.len() * 8,
+        });
+    }
+    if words[0] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = (words[1] >> 32) as u32;
+    let tag = words[1] as u32;
+    let index = match version {
+        VERSION_WIDE => IndexWidth::U64,
+        VERSION_NARROW => IndexWidth::U32,
+        found => return Err(StoreError::UnsupportedVersion { found }),
+    };
+    if tag != S::TAG {
+        return Err(StoreError::SchemeMismatch {
+            expected: S::TAG,
+            found: tag,
+        });
+    }
+    let (body, checksum) = words.split_at(words.len() - 1);
+    if crc::crc64_words(body) != checksum[0] {
+        return Err(StoreError::ChecksumMismatch);
+    }
+
+    // The CRC vouches for integrity; the structural checks below vouch
+    // for *this code's* expectations, so no later query can index out of
+    // the buffer.
+    let n = words[2];
+    let m = words[4];
+    if n == 0 {
+        return Err(StoreError::Malformed {
+            what: "store holds no labels",
+        });
+    }
+    let index_words = match index {
+        IndexWidth::U64 => n.checked_add(1),
+        IndexWidth::U32 => n.checked_add(2).map(|x| x / 2),
+    };
+    let header_words = (HEADER_WORDS as u64)
+        .checked_add(m)
+        .and_then(|x| x.checked_add(index_words?))
+        .filter(|&x| x <= (words.len() - 1) as u64)
+        .ok_or(StoreError::Malformed {
+            what: "header claims more meta/index words than the buffer holds",
+        })?;
+    let (n, m) = (n as usize, m as usize);
+    let raw = RawParts {
+        n,
+        param: words[3],
+        index_base: HEADER_WORDS + m,
+        label_base: header_words as usize,
+        label_bits: 0, // patched below once the index is readable
+        index,
+    };
+    if (0..n).any(|i| raw.offset(words, i) > raw.offset(words, i + 1)) {
+        return Err(StoreError::Malformed {
+            what: "offset index is not monotone",
+        });
+    }
+    let label_bits = raw.offset(words, n);
+    let raw = RawParts { label_bits, ..raw };
+    let label_words = (label_bits as u64).div_ceil(64) + PAD_WORDS as u64;
+    if raw.label_base as u64 + label_words + 1 != words.len() as u64 {
+        return Err(StoreError::Malformed {
+            what: "label region length disagrees with the buffer size",
+        });
+    }
+    let meta = S::parse_meta(raw.param, &words[HEADER_WORDS..raw.index_base])?;
+    // Per-label extent check: every label's internal counts must describe
+    // exactly its offset-index extent, so no query scan can leave the
+    // label region because of an inflated count.
+    let slice = BitSlice::new(
+        &words[raw.label_base..raw.label_base + label_bits.div_ceil(64) + PAD_WORDS],
+        label_bits,
+    );
+    for u in 0..n {
+        if !S::check_label(slice, raw.offset(words, u), raw.offset(words, u + 1), &meta) {
+            return Err(StoreError::Malformed {
+                what: "a packed label's counts disagree with its extent",
+            });
+        }
+    }
+    Ok((raw, meta))
 }
 
-impl<S: StoredScheme> fmt::Debug for SchemeStore<S> {
+/// Serializes `scheme` into a fresh frame, returning the words and their
+/// parsed description (writer and reader agree by construction).
+fn build_frame<S: StoredScheme>(
+    scheme: &S,
+    width: Option<IndexWidth>,
+) -> (Vec<u64>, RawParts, S::Meta) {
+    let n = scheme.node_count();
+    assert!(n > 0, "cannot store an empty scheme");
+    let param = scheme.store_param();
+    let meta_words = scheme.meta_words();
+    let meta = S::parse_meta(param, &meta_words).expect("self-produced meta must parse");
+
+    // Exact size hint: the label region is written into a single
+    // pre-reserved buffer, so multi-megabyte stores pay one allocation
+    // instead of repeated growth reallocations.
+    let total_bits: usize = (0..n).map(|u| scheme.packed_label_bits(&meta, u)).sum();
+    let mut w = BitWriter::with_capacity(total_bits);
+    let mut offsets: Vec<u64> = Vec::with_capacity(n + 1);
+    for u in 0..n {
+        offsets.push(w.len() as u64);
+        scheme.pack_label(&meta, u, &mut w);
+        debug_assert_eq!(
+            w.len() - offsets[u] as usize,
+            scheme.packed_label_bits(&meta, u),
+            "{}: packed_label_bits disagrees with pack_label for node {u}",
+            S::STORE_NAME
+        );
+    }
+    offsets.push(w.len() as u64);
+    let label_bits = w.len();
+    let label_words = w.into_bitvec().into_words();
+
+    let narrow_fits = label_bits <= u32::MAX as usize;
+    let index = match width {
+        Some(IndexWidth::U32) => {
+            assert!(
+                narrow_fits,
+                "{}: label region of {label_bits} bits does not fit a u32 offset index",
+                S::STORE_NAME
+            );
+            IndexWidth::U32
+        }
+        Some(IndexWidth::U64) => IndexWidth::U64,
+        None if narrow_fits => IndexWidth::U32,
+        None => IndexWidth::U64,
+    };
+    let version = match index {
+        IndexWidth::U32 => VERSION_NARROW,
+        IndexWidth::U64 => VERSION_WIDE,
+    };
+
+    let m = meta_words.len();
+    let index_base = HEADER_WORDS + m;
+    let label_base = index_base + index_word_count(n, index);
+    let mut words = Vec::with_capacity(label_base + label_words.len() + PAD_WORDS + 1);
+    words.push(MAGIC);
+    words.push(u64::from(version) << 32 | u64::from(S::TAG));
+    words.push(n as u64);
+    words.push(param);
+    words.push(m as u64);
+    words.extend_from_slice(&meta_words);
+    match index {
+        IndexWidth::U64 => words.extend_from_slice(&offsets),
+        IndexWidth::U32 => {
+            for pair in offsets.chunks(2) {
+                let lo = pair[0];
+                let hi = pair.get(1).copied().unwrap_or(0);
+                words.push(lo | hi << 32);
+            }
+        }
+    }
+    words.extend_from_slice(&label_words);
+    words.extend(std::iter::repeat_n(0u64, PAD_WORDS));
+    let checksum = crc::crc64_words(&words);
+    words.push(checksum);
+
+    let raw = RawParts {
+        n,
+        param,
+        index_base,
+        label_base,
+        label_bits,
+        index,
+    };
+    (words, raw, meta)
+}
+
+/// A borrowed, validated view of a scheme-store frame: the query engine of
+/// the store stack, generic over where the words live.
+///
+/// "Validate once, borrow forever": [`StoreRef::from_words`] runs the full
+/// frame validation (magic/version/tag/CRC/structure/per-label extents) and
+/// the returned view serves every query by reading the caller's words in
+/// place — it owns nothing but the parsed layout description, is `Copy`, and
+/// can be freely handed to worker threads (the words are behind a shared
+/// borrow).  [`SchemeStore`] is the owning wrapper around the same machinery.
+pub struct StoreRef<'a, S: StoredScheme> {
+    words: &'a [u64],
+    raw: RawParts,
+    meta: S::Meta,
+}
+
+// Manual impls: `derive` would demand `S: Copy`, but only the meta is copied.
+impl<'a, S: StoredScheme> Clone for StoreRef<'a, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'a, S: StoredScheme> Copy for StoreRef<'a, S> {}
+
+impl<'a, S: StoredScheme> fmt::Debug for StoreRef<'a, S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SchemeStore")
+        f.debug_struct("StoreRef")
             .field("scheme", &S::STORE_NAME)
-            .field("n", &self.n)
+            .field("n", &self.raw.n)
             .field("bytes", &self.size_bytes())
             .field("meta", &self.meta)
             .finish()
     }
 }
 
-impl<S: StoredScheme> SchemeStore<S> {
-    /// Flattens `scheme` into a store (in memory; [`SchemeStore::to_bytes`]
-    /// yields the persistable frame).
-    pub fn build(scheme: &S) -> Self {
-        let n = scheme.node_count();
-        assert!(n > 0, "cannot store an empty scheme");
-        let param = scheme.store_param();
-        let meta_words = scheme.meta_words();
-        let meta = S::parse_meta(param, &meta_words).expect("self-produced meta must parse");
-
-        // Exact size hint: the label region is written into a single
-        // pre-reserved buffer, so multi-megabyte stores pay one allocation
-        // instead of repeated growth reallocations.
-        let total_bits: usize = (0..n).map(|u| scheme.packed_label_bits(&meta, u)).sum();
-        let mut w = BitWriter::with_capacity(total_bits);
-        let mut offsets: Vec<u64> = Vec::with_capacity(n + 1);
-        for u in 0..n {
-            offsets.push(w.len() as u64);
-            scheme.pack_label(&meta, u, &mut w);
-            debug_assert_eq!(
-                w.len() - offsets[u] as usize,
-                scheme.packed_label_bits(&meta, u),
-                "{}: packed_label_bits disagrees with pack_label for node {u}",
-                S::STORE_NAME
-            );
-        }
-        offsets.push(w.len() as u64);
-        let label_bits = w.len();
-        let label_words = w.into_bitvec().into_words();
-
-        let m = meta_words.len();
-        let index_base = HEADER_WORDS + m;
-        let label_base = index_base + n + 1;
-        let mut words = Vec::with_capacity(label_base + label_words.len() + PAD_WORDS + 1);
-        words.push(MAGIC);
-        words.push(u64::from(VERSION) << 32 | u64::from(S::TAG));
-        words.push(n as u64);
-        words.push(param);
-        words.push(m as u64);
-        words.extend_from_slice(&meta_words);
-        words.extend_from_slice(&offsets);
-        words.extend_from_slice(&label_words);
-        words.extend(std::iter::repeat_n(0u64, PAD_WORDS));
-        let checksum = crc::crc64_words(&words);
-        words.push(checksum);
-
-        SchemeStore {
-            words,
-            n,
-            param,
-            meta,
-            index_base,
-            label_base,
-            label_bits,
-            _scheme: PhantomData,
-        }
-    }
-
-    /// [`SchemeStore::build`] followed by [`SchemeStore::to_bytes`]: the
-    /// persistable byte frame of `scheme`.
-    pub fn serialize(scheme: &S) -> Vec<u8> {
-        Self::build(scheme).to_bytes()
-    }
-
-    /// The frame as bytes (words serialized little-endian).
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.words.len() * 8);
-        for &w in &self.words {
-            out.extend_from_slice(&w.to_le_bytes());
-        }
-        out
-    }
-
-    /// Validates and adopts a frame produced by [`SchemeStore::serialize`].
+impl<'a, S: StoredScheme> StoreRef<'a, S> {
+    /// Validates a frame held in caller-owned words and borrows it — the
+    /// zero-copy load path.  `words` must be exactly one frame.
     ///
-    /// No label is decoded: after the magic/version/tag/CRC checks and an
-    /// O(n) pass over the offset index and per-label extents, the labels stay
-    /// packed and queries read them in place.  (The bytes are widened into
-    /// the word buffer once — a bulk copy for alignment, not a per-label
-    /// decode.)
+    /// No label is decoded and **no word is copied**: after the
+    /// magic/version/tag/CRC checks and an O(n) pass over the offset index
+    /// and per-label extents, queries read the caller's buffer in place.
     ///
     /// The CRC authenticates *integrity*, not provenance: every accidentally
     /// corrupted frame is rejected, but a frame deliberately crafted to pass
@@ -338,122 +580,33 @@ impl<S: StoredScheme> SchemeStore<S> {
     /// # Errors
     ///
     /// Returns a [`StoreError`] describing the first failed validation.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
-        if !bytes.len().is_multiple_of(8) {
-            return Err(StoreError::Malformed {
-                what: "store length is not a multiple of 8 bytes",
-            });
-        }
-        let words: Vec<u64> = bytes
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
-            .collect();
-        Self::from_words(words)
+    pub fn from_words(words: &'a [u64]) -> Result<Self, StoreError> {
+        let (raw, meta) = parse_frame::<S>(words)?;
+        Ok(StoreRef { words, raw, meta })
     }
 
-    /// [`SchemeStore::from_bytes`] for a caller that already holds words
-    /// (e.g. a store handed over from another thread) — genuinely zero-copy.
+    /// [`StoreRef::from_words`] over a byte buffer — the borrow path for
+    /// mapped files.  The buffer must be 8-byte aligned and a whole number
+    /// of words long; misaligned input is refused with
+    /// [`StoreError::Misaligned`] (take the copying
+    /// [`SchemeStore::from_bytes`] instead), never silently copied.
     ///
     /// # Errors
     ///
-    /// Returns a [`StoreError`] describing the first failed validation.
-    pub fn from_words(words: Vec<u64>) -> Result<Self, StoreError> {
-        // Minimal frame: header, empty meta, a 1-label index, 1 label word, CRC.
-        let min_words = HEADER_WORDS + 2 + 1 + 1;
-        if words.len() < min_words {
-            return Err(StoreError::Truncated {
-                expected: min_words * 8,
-                found: words.len() * 8,
-            });
-        }
-        if words[0] != MAGIC {
-            return Err(StoreError::BadMagic);
-        }
-        let version = (words[1] >> 32) as u32;
-        let tag = words[1] as u32;
-        if version != VERSION {
-            return Err(StoreError::UnsupportedVersion { found: version });
-        }
-        if tag != S::TAG {
-            return Err(StoreError::SchemeMismatch {
-                expected: S::TAG,
-                found: tag,
-            });
-        }
-        let (body, checksum) = words.split_at(words.len() - 1);
-        if crc::crc64_words(body) != checksum[0] {
-            return Err(StoreError::ChecksumMismatch);
-        }
-
-        // The CRC vouches for integrity; the structural checks below vouch
-        // for *this code's* expectations, so no later query can index out of
-        // the buffer.
-        let n = words[2];
-        let m = words[4];
-        if n == 0 {
-            return Err(StoreError::Malformed {
-                what: "store holds no labels",
-            });
-        }
-        let header_words = (HEADER_WORDS as u64)
-            .checked_add(m)
-            .and_then(|x| x.checked_add(n.checked_add(1)?))
-            .filter(|&x| x <= (words.len() - 1) as u64)
-            .ok_or(StoreError::Malformed {
-                what: "header claims more meta/index words than the buffer holds",
-            })?;
-        let (n, m) = (n as usize, m as usize);
-        let index_base = HEADER_WORDS + m;
-        let label_base = header_words as usize;
-        let offsets = &words[index_base..=index_base + n];
-        if offsets.windows(2).any(|w| w[0] > w[1]) {
-            return Err(StoreError::Malformed {
-                what: "offset index is not monotone",
-            });
-        }
-        let label_bits = offsets[n];
-        let label_words = label_bits.div_ceil(64) + PAD_WORDS as u64;
-        if label_base as u64 + label_words + 1 != words.len() as u64 {
-            return Err(StoreError::Malformed {
-                what: "label region length disagrees with the buffer size",
-            });
-        }
-        let param = words[3];
-        let meta = S::parse_meta(param, &words[HEADER_WORDS..index_base])?;
-        // Per-label extent check: every label's internal counts must describe
-        // exactly its offset-index extent, so no query scan can leave the
-        // label region because of an inflated count.
-        let slice = BitSlice::new(
-            &words[label_base..label_base + (label_bits as usize).div_ceil(64) + PAD_WORDS],
-            label_bits as usize,
-        );
-        for u in 0..n {
-            if !S::check_label(slice, offsets[u] as usize, offsets[u + 1] as usize, &meta) {
-                return Err(StoreError::Malformed {
-                    what: "a packed label's counts disagree with its extent",
-                });
-            }
-        }
-        Ok(SchemeStore {
-            n,
-            param,
-            meta,
-            index_base,
-            label_base,
-            label_bits: label_bits as usize,
-            words,
-            _scheme: PhantomData,
-        })
+    /// Returns a [`StoreError`] describing the failed cast or validation.
+    pub fn from_bytes(bytes: &'a [u8]) -> Result<Self, StoreError> {
+        Self::from_words(frame::try_cast_words(bytes)?)
     }
 
     /// Number of labelled nodes.
+    #[inline]
     pub fn node_count(&self) -> usize {
-        self.n
+        self.raw.n
     }
 
     /// The scheme parameter recorded in the header.
     pub fn param(&self) -> u64 {
-        self.param
+        self.raw.param
     }
 
     /// Total frame size in bytes.
@@ -463,28 +616,28 @@ impl<S: StoredScheme> SchemeStore<S> {
 
     /// Bit length of the packed label region.
     pub fn label_region_bits(&self) -> usize {
-        self.label_bits
+        self.raw.label_bits
     }
 
-    /// The raw frame words (for hand-off to another thread via
-    /// [`SchemeStore::from_words`], or word-level inspection).
-    pub fn as_words(&self) -> &[u64] {
-        &self.words
+    /// Width of the frame's offset-index entries (version 2 packs two u32
+    /// entries per word; version 1 stores one u64 each).
+    pub fn index_width(&self) -> IndexWidth {
+        self.raw.index
+    }
+
+    /// The raw frame words.
+    pub fn as_words(&self) -> &'a [u64] {
+        self.words
     }
 
     #[inline]
-    fn label_slice(&self) -> BitSlice<'_> {
+    fn label_slice(&self) -> BitSlice<'a> {
         // Includes the guard word(s), so raw straddle reads stay in range.
         BitSlice::new(
-            &self.words
-                [self.label_base..self.label_base + self.label_bits.div_ceil(64) + PAD_WORDS],
-            self.label_bits,
+            &self.words[self.raw.label_base
+                ..self.raw.label_base + self.raw.label_bits.div_ceil(64) + PAD_WORDS],
+            self.raw.label_bits,
         )
-    }
-
-    #[inline]
-    fn offsets(&self) -> &[u64] {
-        &self.words[self.index_base..=self.index_base + self.n]
     }
 
     /// Borrowed view of node `u`'s packed label.
@@ -494,9 +647,16 @@ impl<S: StoredScheme> SchemeStore<S> {
     /// Panics if `u` is out of range.
     #[inline]
     pub fn label_ref(&self, u: usize) -> S::Ref<'_> {
-        assert!(u < self.n, "node index {u} out of range (n = {})", self.n);
-        let start = self.words[self.index_base + u] as usize;
-        S::label_ref(self.label_slice(), start, &self.meta)
+        assert!(
+            u < self.raw.n,
+            "node index {u} out of range (n = {})",
+            self.raw.n
+        );
+        S::label_ref(
+            self.label_slice(),
+            self.raw.offset(self.words, u),
+            &self.meta,
+        )
     }
 
     /// Bit length of node `u`'s packed label.
@@ -505,9 +665,12 @@ impl<S: StoredScheme> SchemeStore<S> {
     ///
     /// Panics if `u` is out of range.
     pub fn label_bits(&self, u: usize) -> usize {
-        assert!(u < self.n, "node index {u} out of range (n = {})", self.n);
-        let offs = self.offsets();
-        (offs[u + 1] - offs[u]) as usize
+        assert!(
+            u < self.raw.n,
+            "node index {u} out of range (n = {})",
+            self.raw.n
+        );
+        self.raw.offset(self.words, u + 1) - self.raw.offset(self.words, u)
     }
 
     /// Distance between nodes `u` and `v`, answered from the packed labels
@@ -519,25 +682,21 @@ impl<S: StoredScheme> SchemeStore<S> {
     #[inline]
     pub fn distance(&self, u: usize, v: usize) -> u64 {
         assert!(
-            u < self.n && v < self.n,
+            u < self.raw.n && v < self.raw.n,
             "pair ({u}, {v}) out of range (n = {})",
-            self.n
+            self.raw.n
         );
         let slice = self.label_slice();
-        let (su, sv) = (
-            self.words[self.index_base + u] as usize,
-            self.words[self.index_base + v] as usize,
-        );
         S::distance_refs(
-            S::label_ref(slice, su, &self.meta),
-            S::label_ref(slice, sv, &self.meta),
+            S::label_ref(slice, self.raw.offset(self.words, u), &self.meta),
+            S::label_ref(slice, self.raw.offset(self.words, v), &self.meta),
         )
     }
 
     /// Batch query: the distance of every pair, in order.
     ///
     /// One output allocation for the whole batch; see
-    /// [`SchemeStore::distances_into`] to amortize even that across batches.
+    /// [`StoreRef::distances_into`] to amortize even that across batches.
     ///
     /// # Panics
     ///
@@ -559,30 +718,241 @@ impl<S: StoredScheme> SchemeStore<S> {
     ///
     /// Panics if any index is out of range.
     pub fn distances_into(&self, pairs: &[(usize, usize)], out: &mut Vec<u64>) {
-        let n = self.n;
+        let n = self.raw.n;
         if let Some(&(u, v)) = pairs.iter().find(|&&(u, v)| u >= n || v >= n) {
             panic!("pair ({u}, {v}) out of range (n = {n})");
         }
-        out.reserve(pairs.len());
+        let base = out.len();
+        out.resize(base + pairs.len(), 0);
+        self.distances_write(pairs, &mut out[base..]);
+    }
+
+    /// The batch hot loop: writes `pairs[i]`'s distance to `out[i]`.
+    /// Indices must already be validated (callers panic on bad input first).
+    pub(crate) fn distances_write(&self, pairs: &[(usize, usize)], out: &mut [u64]) {
+        debug_assert_eq!(pairs.len(), out.len());
         let slice = self.label_slice();
-        let offs = self.offsets();
         let label_words = slice.words();
         for (i, &(u, v)) in pairs.iter().enumerate() {
             if let Some(&(pu, pv)) = pairs.get(i + LOOKAHEAD) {
                 // Touch the upcoming pair's offsets and each label's first
                 // word now; by the time the loop reaches it, the lines are
                 // likely resident (labels are compact — usually one line).
-                let su = offs[pu] as usize / 64;
-                let sv = offs[pv] as usize / 64;
+                let su = self.raw.offset(self.words, pu) / 64;
+                let sv = self.raw.offset(self.words, pv) / 64;
                 std::hint::black_box(
                     label_words.get(su).copied().unwrap_or(0)
                         ^ label_words.get(sv).copied().unwrap_or(0),
                 );
             }
-            let a = S::label_ref(slice, offs[u] as usize, &self.meta);
-            let b = S::label_ref(slice, offs[v] as usize, &self.meta);
-            out.push(S::distance_refs(a, b));
+            let a = S::label_ref(slice, self.raw.offset(self.words, u), &self.meta);
+            let b = S::label_ref(slice, self.raw.offset(self.words, v), &self.meta);
+            out[i] = S::distance_refs(a, b);
         }
+    }
+
+    /// Lazy iterator form of [`StoreRef::distances`].
+    ///
+    /// # Panics
+    ///
+    /// The returned iterator panics (on `next`) for out-of-range indices.
+    pub fn distances_iter<I>(self, pairs: I) -> impl Iterator<Item = u64> + 'a
+    where
+        S: 'a,
+        I: IntoIterator<Item = (usize, usize)>,
+        I::IntoIter: 'a,
+    {
+        pairs.into_iter().map(move |(u, v)| self.distance(u, v))
+    }
+}
+
+/// A whole labeling scheme as one contiguous, checksummed word buffer —
+/// the owning wrapper around [`StoreRef`].
+///
+/// See the [module documentation](self) for the frame layout and an example.
+pub struct SchemeStore<S: StoredScheme> {
+    /// The full frame (header, meta, offset index, label region, CRC).
+    words: Vec<u64>,
+    raw: RawParts,
+    meta: S::Meta,
+}
+
+impl<S: StoredScheme> fmt::Debug for SchemeStore<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchemeStore")
+            .field("scheme", &S::STORE_NAME)
+            .field("n", &self.raw.n)
+            .field("bytes", &self.size_bytes())
+            .field("meta", &self.meta)
+            .finish()
+    }
+}
+
+impl<S: StoredScheme> SchemeStore<S> {
+    /// Flattens `scheme` into a store (in memory; [`SchemeStore::to_bytes`]
+    /// yields the persistable frame).  The offset-index width is chosen
+    /// automatically (u32 whenever the label region fits, which halves the
+    /// index footprint; see [`IndexWidth`]).
+    pub fn build(scheme: &S) -> Self {
+        let (words, raw, meta) = build_frame(scheme, None);
+        SchemeStore { words, raw, meta }
+    }
+
+    /// [`SchemeStore::build`] with the offset-index width pinned — e.g.
+    /// [`IndexWidth::U64`] to emit a version-1 frame for readers that predate
+    /// the packed index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`IndexWidth::U32`] is requested but the label region does
+    /// not fit in 2³² bits.
+    pub fn build_with_index_width(scheme: &S, width: IndexWidth) -> Self {
+        let (words, raw, meta) = build_frame(scheme, Some(width));
+        SchemeStore { words, raw, meta }
+    }
+
+    /// [`SchemeStore::build`] followed by [`SchemeStore::to_bytes`]: the
+    /// persistable byte frame of `scheme`.
+    pub fn serialize(scheme: &S) -> Vec<u8> {
+        Self::build(scheme).to_bytes()
+    }
+
+    /// The frame as bytes (words serialized little-endian).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        frame::words_to_bytes(&self.words)
+    }
+
+    /// Validates and adopts a frame produced by [`SchemeStore::serialize`] —
+    /// the **copy path**: the bytes are widened into an owned word buffer
+    /// once (a bulk copy for alignment, not a per-label decode), so it works
+    /// at any byte alignment.  For the zero-copy alternative over an aligned
+    /// buffer, use [`StoreRef::from_bytes`]; to adopt words without any
+    /// copy, use [`SchemeStore::from_words`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] describing the first failed validation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        Self::from_words(frame::words_from_bytes(bytes)?)
+    }
+
+    /// [`SchemeStore::from_bytes`] for a caller that already holds words
+    /// (e.g. a store handed over from another thread) — genuinely zero-copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] describing the first failed validation.
+    pub fn from_words(words: Vec<u64>) -> Result<Self, StoreError> {
+        let (raw, meta) = parse_frame::<S>(&words)?;
+        Ok(SchemeStore { words, raw, meta })
+    }
+
+    /// The borrowed view over this store's words — the `Copy`-able handle
+    /// every query method of this type delegates to.
+    #[inline]
+    pub fn as_store_ref(&self) -> StoreRef<'_, S> {
+        StoreRef {
+            words: &self.words,
+            raw: self.raw,
+            meta: self.meta,
+        }
+    }
+
+    /// Consumes the store and returns its frame words (for hand-off into a
+    /// forest builder or across threads without a copy).
+    pub fn into_words(self) -> Vec<u64> {
+        self.words
+    }
+
+    /// Number of labelled nodes.
+    pub fn node_count(&self) -> usize {
+        self.raw.n
+    }
+
+    /// The scheme parameter recorded in the header.
+    pub fn param(&self) -> u64 {
+        self.raw.param
+    }
+
+    /// Total frame size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Bit length of the packed label region.
+    pub fn label_region_bits(&self) -> usize {
+        self.raw.label_bits
+    }
+
+    /// Width of the frame's offset-index entries.
+    pub fn index_width(&self) -> IndexWidth {
+        self.raw.index
+    }
+
+    /// The raw frame words (for hand-off to another thread via
+    /// [`SchemeStore::from_words`], borrowing via [`StoreRef::from_words`],
+    /// or word-level inspection).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Borrowed view of node `u`'s packed label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn label_ref(&self, u: usize) -> S::Ref<'_> {
+        assert!(
+            u < self.raw.n,
+            "node index {u} out of range (n = {})",
+            self.raw.n
+        );
+        S::label_ref(
+            self.as_store_ref().label_slice(),
+            self.raw.offset(&self.words, u),
+            &self.meta,
+        )
+    }
+
+    /// Bit length of node `u`'s packed label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn label_bits(&self, u: usize) -> usize {
+        self.as_store_ref().label_bits(u)
+    }
+
+    /// Distance between nodes `u` and `v`, answered from the packed labels
+    /// with zero allocation ([`NO_DISTANCE`] when the scheme declines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn distance(&self, u: usize, v: usize) -> u64 {
+        self.as_store_ref().distance(u, v)
+    }
+
+    /// Batch query: the distance of every pair, in order
+    /// (see [`StoreRef::distances`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn distances(&self, pairs: &[(usize, usize)]) -> Vec<u64> {
+        self.as_store_ref().distances(pairs)
+    }
+
+    /// Appends the distance of every pair to `out` (allocation-free when
+    /// `out` has capacity; see [`StoreRef::distances_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn distances_into(&self, pairs: &[(usize, usize)], out: &mut Vec<u64>) {
+        self.as_store_ref().distances_into(pairs, out);
     }
 
     /// Lazy iterator form of [`SchemeStore::distances`].
@@ -595,7 +965,257 @@ impl<S: StoredScheme> SchemeStore<S> {
         I: IntoIterator<Item = (usize, usize)>,
         I::IntoIter: 's,
     {
-        pairs.into_iter().map(move |(u, v)| self.distance(u, v))
+        self.as_store_ref().distances_iter(pairs)
+    }
+}
+
+/// The parsed scheme meta of any of the six schemes — the type-erased
+/// counterpart of [`StoredScheme::Meta`], kept `Copy` so forest directories
+/// can cache one per tree without borrowing the frame.
+// Variant sizes differ by what each scheme's meta holds; boxing the large
+// ones would cost an allocation and an indirection on the zero-copy hot path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum AnyMeta {
+    Naive(PsumMeta),
+    DistanceArray(PsumMeta),
+    Optimal(OptimalMeta),
+    KDistance(KDistanceMeta),
+    Approximate(ApproximateMeta),
+    LevelAncestor(LevelAncestorMeta),
+}
+
+/// The POD description of a validated frame of *some* scheme: [`RawParts`]
+/// plus the type-erased meta.  [`AnyStoreRef::from_parts`] rebuilds a view
+/// from this in O(1), which is how a forest serves `tree(id)` without
+/// re-validating the inner frame per call.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AnyParts {
+    pub(crate) raw: RawParts,
+    pub(crate) meta: AnyMeta,
+}
+
+/// Dispatches `$body` with `$r` bound to the inner [`StoreRef`] of whichever
+/// scheme the view holds.
+macro_rules! any_dispatch {
+    ($any:expr, $r:ident => $body:expr) => {
+        match $any {
+            AnyStoreRef::Naive($r) => $body,
+            AnyStoreRef::DistanceArray($r) => $body,
+            AnyStoreRef::Optimal($r) => $body,
+            AnyStoreRef::KDistance($r) => $body,
+            AnyStoreRef::Approximate($r) => $body,
+            AnyStoreRef::LevelAncestor($r) => $body,
+        }
+    };
+}
+
+/// A borrowed store view of *whichever* scheme a frame holds, dispatched on
+/// the frame's scheme tag at runtime.
+///
+/// This is how heterogeneous frames load without compile-time generics: a
+/// forest file packs frames of different schemes side by side, and
+/// [`AnyStoreRef::from_words`] reads the tag word and returns the matching
+/// [`StoreRef`] variant.  Query methods dispatch once per call (or once per
+/// *batch* for [`AnyStoreRef::distances_into`] — the per-pair hot loop is the
+/// monomorphized scheme loop either way).
+// Variant sizes differ with each scheme's meta; boxing would break `Copy`
+// and put an allocation on the zero-copy serving path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Copy)]
+pub enum AnyStoreRef<'a> {
+    /// A `naive` fixed-width ancestor-table frame.
+    Naive(StoreRef<'a, NaiveScheme>),
+    /// An Alstrup-et-al. distance-array frame.
+    DistanceArray(StoreRef<'a, DistanceArrayScheme>),
+    /// A modified-distance-array (Theorem 1.1) frame.
+    Optimal(StoreRef<'a, OptimalScheme>),
+    /// A `k`-distance frame.
+    KDistance(StoreRef<'a, KDistanceScheme>),
+    /// A `(1+ε)`-approximate frame.
+    Approximate(StoreRef<'a, ApproximateScheme>),
+    /// A level-ancestor frame.
+    LevelAncestor(StoreRef<'a, LevelAncestorScheme>),
+}
+
+impl<'a> AnyStoreRef<'a> {
+    /// Validates a frame of *any* known scheme and borrows it, dispatching on
+    /// the scheme tag in the header.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownScheme`] when the tag is not one of the six
+    /// schemes of this crate; otherwise whatever [`StoreRef::from_words`]
+    /// reports for the dispatched scheme.
+    pub fn from_words(words: &'a [u64]) -> Result<Self, StoreError> {
+        if words.len() < 2 {
+            return Err(StoreError::Truncated {
+                expected: (HEADER_WORDS + 1 + PAD_WORDS + 1) * 8,
+                found: words.len() * 8,
+            });
+        }
+        if words[0] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        match words[1] as u32 {
+            NaiveScheme::TAG => StoreRef::from_words(words).map(AnyStoreRef::Naive),
+            DistanceArrayScheme::TAG => StoreRef::from_words(words).map(AnyStoreRef::DistanceArray),
+            OptimalScheme::TAG => StoreRef::from_words(words).map(AnyStoreRef::Optimal),
+            KDistanceScheme::TAG => StoreRef::from_words(words).map(AnyStoreRef::KDistance),
+            ApproximateScheme::TAG => StoreRef::from_words(words).map(AnyStoreRef::Approximate),
+            LevelAncestorScheme::TAG => StoreRef::from_words(words).map(AnyStoreRef::LevelAncestor),
+            found => Err(StoreError::UnknownScheme { found }),
+        }
+    }
+
+    /// [`AnyStoreRef::from_words`] over an aligned byte buffer (borrow path;
+    /// misaligned input is refused with [`StoreError::Misaligned`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] describing the failed cast or validation.
+    pub fn from_bytes(bytes: &'a [u8]) -> Result<Self, StoreError> {
+        Self::from_words(frame::try_cast_words(bytes)?)
+    }
+
+    /// Rebuilds a view from a cached frame description in O(1) — no
+    /// re-validation.  `words` must be the exact frame slice the parts were
+    /// parsed from (the forest directory guarantees this).
+    pub(crate) fn from_parts(words: &'a [u64], parts: AnyParts) -> Self {
+        let raw = parts.raw;
+        match parts.meta {
+            AnyMeta::Naive(meta) => AnyStoreRef::Naive(StoreRef { words, raw, meta }),
+            AnyMeta::DistanceArray(meta) => {
+                AnyStoreRef::DistanceArray(StoreRef { words, raw, meta })
+            }
+            AnyMeta::Optimal(meta) => AnyStoreRef::Optimal(StoreRef { words, raw, meta }),
+            AnyMeta::KDistance(meta) => AnyStoreRef::KDistance(StoreRef { words, raw, meta }),
+            AnyMeta::Approximate(meta) => AnyStoreRef::Approximate(StoreRef { words, raw, meta }),
+            AnyMeta::LevelAncestor(meta) => {
+                AnyStoreRef::LevelAncestor(StoreRef { words, raw, meta })
+            }
+        }
+    }
+
+    /// The cached frame description ([`AnyStoreRef::from_parts`] inverts it).
+    pub(crate) fn parts(&self) -> AnyParts {
+        match self {
+            AnyStoreRef::Naive(r) => AnyParts {
+                raw: r.raw,
+                meta: AnyMeta::Naive(r.meta),
+            },
+            AnyStoreRef::DistanceArray(r) => AnyParts {
+                raw: r.raw,
+                meta: AnyMeta::DistanceArray(r.meta),
+            },
+            AnyStoreRef::Optimal(r) => AnyParts {
+                raw: r.raw,
+                meta: AnyMeta::Optimal(r.meta),
+            },
+            AnyStoreRef::KDistance(r) => AnyParts {
+                raw: r.raw,
+                meta: AnyMeta::KDistance(r.meta),
+            },
+            AnyStoreRef::Approximate(r) => AnyParts {
+                raw: r.raw,
+                meta: AnyMeta::Approximate(r.meta),
+            },
+            AnyStoreRef::LevelAncestor(r) => AnyParts {
+                raw: r.raw,
+                meta: AnyMeta::LevelAncestor(r.meta),
+            },
+        }
+    }
+
+    /// Scheme tag of the frame.
+    pub fn tag(&self) -> u32 {
+        match self {
+            AnyStoreRef::Naive(_) => NaiveScheme::TAG,
+            AnyStoreRef::DistanceArray(_) => DistanceArrayScheme::TAG,
+            AnyStoreRef::Optimal(_) => OptimalScheme::TAG,
+            AnyStoreRef::KDistance(_) => KDistanceScheme::TAG,
+            AnyStoreRef::Approximate(_) => ApproximateScheme::TAG,
+            AnyStoreRef::LevelAncestor(_) => LevelAncestorScheme::TAG,
+        }
+    }
+
+    /// Human-readable scheme name of the frame.
+    pub fn scheme_name(&self) -> &'static str {
+        match self {
+            AnyStoreRef::Naive(_) => NaiveScheme::STORE_NAME,
+            AnyStoreRef::DistanceArray(_) => DistanceArrayScheme::STORE_NAME,
+            AnyStoreRef::Optimal(_) => OptimalScheme::STORE_NAME,
+            AnyStoreRef::KDistance(_) => KDistanceScheme::STORE_NAME,
+            AnyStoreRef::Approximate(_) => ApproximateScheme::STORE_NAME,
+            AnyStoreRef::LevelAncestor(_) => LevelAncestorScheme::STORE_NAME,
+        }
+    }
+
+    /// Number of labelled nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        any_dispatch!(self, r => r.node_count())
+    }
+
+    /// The scheme parameter recorded in the header.
+    pub fn param(&self) -> u64 {
+        any_dispatch!(self, r => r.param())
+    }
+
+    /// Total frame size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        any_dispatch!(self, r => r.size_bytes())
+    }
+
+    /// Bit length of the packed label region.
+    pub fn label_region_bits(&self) -> usize {
+        any_dispatch!(self, r => r.label_region_bits())
+    }
+
+    /// Width of the frame's offset-index entries.
+    pub fn index_width(&self) -> IndexWidth {
+        any_dispatch!(self, r => r.index_width())
+    }
+
+    /// The raw frame words.
+    pub fn as_words(&self) -> &'a [u64] {
+        any_dispatch!(self, r => r.as_words())
+    }
+
+    /// Distance between nodes `u` and `v` ([`NO_DISTANCE`] when the scheme
+    /// declines), dispatched on the frame's scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn distance(&self, u: usize, v: usize) -> u64 {
+        any_dispatch!(self, r => r.distance(u, v))
+    }
+
+    /// Batch query: the distance of every pair, in order (one dispatch for
+    /// the whole batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn distances(&self, pairs: &[(usize, usize)]) -> Vec<u64> {
+        any_dispatch!(self, r => r.distances(pairs))
+    }
+
+    /// Appends the distance of every pair to `out` (allocation-free when
+    /// `out` has capacity; one dispatch for the whole batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn distances_into(&self, pairs: &[(usize, usize)], out: &mut Vec<u64>) {
+        any_dispatch!(self, r => r.distances_into(pairs, out))
+    }
+
+    /// The validated-input batch hot loop (see [`StoreRef::distances_write`]).
+    pub(crate) fn distances_write(&self, pairs: &[(usize, usize)], out: &mut [u64]) {
+        any_dispatch!(self, r => r.distances_write(pairs, out))
     }
 }
 
@@ -630,6 +1250,55 @@ mod tests {
         )
         .unwrap();
         assert_eq!(again.as_words(), store.as_words());
+    }
+
+    #[test]
+    fn narrow_and_wide_index_frames_agree() {
+        let (tree, scheme, auto) = sample_store();
+        // Small stores choose the packed u32 index automatically (version 2).
+        assert_eq!(auto.index_width(), IndexWidth::U32);
+        let narrow = SchemeStore::build_with_index_width(&scheme, IndexWidth::U32);
+        let wide = SchemeStore::build_with_index_width(&scheme, IndexWidth::U64);
+        assert_eq!(auto.as_words(), narrow.as_words());
+        assert_eq!(wide.index_width(), IndexWidth::U64);
+        assert!(wide.size_bytes() > narrow.size_bytes());
+        // Both round-trip through bytes, and answer identically.
+        let narrow2 = SchemeStore::<NaiveScheme>::from_bytes(&narrow.to_bytes()).unwrap();
+        let wide2 = SchemeStore::<NaiveScheme>::from_bytes(&wide.to_bytes()).unwrap();
+        let n = tree.len();
+        for i in 0..200usize {
+            let (u, v) = ((i * 31) % n, (i * 87 + 5) % n);
+            let expect =
+                NaiveScheme::distance(scheme.label(tree.node(u)), scheme.label(tree.node(v)));
+            assert_eq!(narrow2.distance(u, v), expect, "narrow ({u},{v})");
+            assert_eq!(wide2.distance(u, v), expect, "wide ({u},{v})");
+            assert_eq!(narrow2.label_bits(u), wide2.label_bits(u));
+        }
+    }
+
+    #[test]
+    fn store_ref_borrows_without_copying() {
+        let (tree, _scheme, store) = sample_store();
+        let view = StoreRef::<NaiveScheme>::from_words(store.as_words()).unwrap();
+        // The view reads the owner's buffer in place.
+        assert!(std::ptr::eq(view.as_words(), store.as_words()));
+        assert_eq!(view.node_count(), store.node_count());
+        let n = tree.len();
+        for i in 0..200usize {
+            let (u, v) = ((i * 13) % n, (i * 57 + 3) % n);
+            assert_eq!(view.distance(u, v), store.distance(u, v));
+        }
+        // AnyStoreRef dispatches to the same frame at runtime.
+        let any = AnyStoreRef::from_words(store.as_words()).unwrap();
+        assert_eq!(any.tag(), <NaiveScheme as StoredScheme>::TAG);
+        assert_eq!(any.scheme_name(), NaiveScheme::STORE_NAME);
+        assert_eq!(any.node_count(), store.node_count());
+        assert_eq!(any.distance(3, 119), store.distance(3, 119));
+        let pairs = [(0usize, 1usize), (5, 200), (239, 0)];
+        assert_eq!(any.distances(&pairs), store.distances(&pairs));
+        // parts() → from_parts() is the O(1) rebuild the forest uses.
+        let again = AnyStoreRef::from_parts(store.as_words(), any.parts());
+        assert_eq!(again.distance(3, 119), store.distance(3, 119));
     }
 
     #[test]
@@ -676,6 +1345,12 @@ mod tests {
             SchemeStore::<NaiveScheme>::from_bytes(&bad),
             Err(StoreError::BadMagic)
         ));
+        assert!(matches!(
+            AnyStoreRef::from_bytes(&frame::words_to_bytes(
+                &frame::words_from_bytes(&bad).unwrap()
+            )),
+            Err(StoreError::BadMagic) | Err(StoreError::Misaligned { .. })
+        ));
         // Flipped payload bit.
         let mut flipped = bytes.clone();
         let mid = flipped.len() / 2;
@@ -698,10 +1373,23 @@ mod tests {
             SchemeStore::<crate::optimal::OptimalScheme>::from_bytes(&bytes),
             Err(StoreError::SchemeMismatch { .. })
         ));
+        // A tag no scheme owns: the typed path reports a mismatch, the
+        // runtime-dispatch path reports the unknown tag.
+        let mut unknown: Vec<u64> = store.as_words().to_vec();
+        unknown[1] = (u64::from(VERSION_NARROW) << 32) | 0xBEEF;
+        let last = unknown.len() - 1;
+        unknown[last] = crc::crc64_words(&unknown[..last]);
+        assert!(matches!(
+            AnyStoreRef::from_words(&unknown),
+            Err(StoreError::UnknownScheme { found: 0xBEEF })
+        ));
         // Errors display something useful.
         assert!(StoreError::ChecksumMismatch
             .to_string()
             .contains("checksum"));
+        assert!(StoreError::Misaligned { offset: 3 }
+            .to_string()
+            .contains("3"));
     }
 
     #[test]

@@ -42,12 +42,15 @@ pub use treelab_tree as tree;
 
 pub use treelab_core::approximate::ApproximateScheme;
 pub use treelab_core::distance_array::DistanceArrayScheme;
+pub use treelab_core::forest::{ForestBuilder, ForestError, ForestRef, ForestStore, RouteScratch};
 pub use treelab_core::kdistance::KDistanceScheme;
 pub use treelab_core::level_ancestor::LevelAncestorScheme;
 pub use treelab_core::naive::NaiveScheme;
 pub use treelab_core::optimal::OptimalConfig;
 pub use treelab_core::optimal::OptimalScheme;
-pub use treelab_core::store::{SchemeStore, StoreError, StoredScheme, NO_DISTANCE};
+pub use treelab_core::store::{
+    AnyStoreRef, IndexWidth, SchemeStore, StoreError, StoreRef, StoredScheme, NO_DISTANCE,
+};
 pub use treelab_core::{bounds, stats, DistanceScheme, Parallelism, Substrate};
 pub use treelab_tree::lca::DistanceOracle;
 pub use treelab_tree::metrics::TreeMetrics;

@@ -21,9 +21,8 @@ use treelab::core::level_ancestor::{LevelAncestorLabel, LevelAncestorScheme};
 use treelab::core::naive::NaiveLabel;
 use treelab::core::optimal::OptimalLabel;
 use treelab::tree::rng::SplitMix64;
-use treelab::SchemeStore;
-use treelab::StoreError;
 use treelab::{gen, DistanceArrayScheme, DistanceScheme, NaiveScheme, OptimalScheme};
+use treelab::{ForestError, ForestStore, SchemeStore, StoreError};
 
 /// Runs the truncation + bit-flip adversaries against one decoder.
 fn check_decoder<T, D>(name: &str, encoded: &BitVec, decode: D)
@@ -294,11 +293,16 @@ fn corrupt_scheme_stores_are_rejected() {
         w[last] = treelab::bits::crc::crc64_words(&w[..last]);
         w
     };
-    // Clobber a word in the middle of the label region (inflates some label's
-    // counts past its extent).
+    // Clobber a span of words in the middle of the label region, long enough
+    // to cover at least one packed label's header (inflating its counts past
+    // its extent).  A single flipped *payload* word inside one label cannot
+    // be caught without per-label checksums — that is the documented threat
+    // model: the CRC authenticates integrity, not provenance.
     let mut crafted = words.clone();
     let mid = words.len() * 2 / 3;
-    crafted[mid] = u64::MAX;
+    for w in crafted[mid..mid + 16].iter_mut() {
+        *w = u64::MAX;
+    }
     assert!(
         SchemeStore::<OptimalScheme>::from_words(recrc(crafted)).is_err(),
         "re-checksummed frame with clobbered label words must be rejected"
@@ -307,4 +311,125 @@ fn corrupt_scheme_stores_are_rejected() {
     let mut huge_n = words.clone();
     huge_n[2] = u64::MAX;
     assert!(SchemeStore::<OptimalScheme>::from_words(recrc(huge_n)).is_err());
+}
+
+/// The forest frame must reject its own adversaries — truncated directory,
+/// duplicate tree ids, overlapping extents, and inner frames that were
+/// corrupted *and* re-checksummed so every CRC passes — with a
+/// [`ForestError`], never a panic.
+#[test]
+fn corrupt_forest_frames_are_rejected() {
+    let t0 = gen::random_tree(120, 51);
+    let t1 = gen::random_tree(90, 52);
+    let t2 = gen::random_tree(150, 53);
+    let mut b = ForestStore::builder();
+    b.push_scheme(4, &NaiveScheme::build(&t0));
+    b.push_scheme(9, &OptimalScheme::build(&t1));
+    b.push_scheme(12, &DistanceArrayScheme::build(&t2));
+    let forest = b.finish().expect("valid forest");
+    let words: Vec<u64> = forest.as_words().to_vec();
+    let bytes = forest.to_bytes();
+
+    // Pristine frame loads and routes.
+    let loaded = ForestStore::from_bytes(&bytes).expect("pristine frame");
+    assert_eq!(
+        loaded.route_distances(&[(9, 3, 80)])[0],
+        loaded.tree(9).unwrap().distance(3, 80)
+    );
+
+    // Re-checksum helper: fixes the *outer* CRC so the structural checks —
+    // not the checksum — are what reject the crafted frames.
+    let recrc = |mut w: Vec<u64>| -> Vec<u64> {
+        let last = w.len() - 1;
+        w[last] = treelab::bits::crc::crc64_words(&w[..last]);
+        w
+    };
+    // Directory layout: header is 3 words, then 4 words per record
+    // (id, offset, length, tag<<32 | n).
+    let rec = |i: usize| 3 + 4 * i;
+
+    // Bad magic.
+    let mut bad_magic = bytes.clone();
+    bad_magic[2] ^= 0x40;
+    assert!(matches!(
+        ForestStore::from_bytes(&bad_magic),
+        Err(ForestError::Frame(StoreError::BadMagic))
+    ));
+
+    // Truncations at every layer: header, mid-directory, mid-inner-frame,
+    // checksum.  Every cut must produce an error, never a panic.
+    for cut in [
+        0,
+        8,
+        16,
+        24,              // header ends
+        rec(1) * 8 + 4,  // inside the second directory record
+        rec(3) * 8,      // directory ends
+        bytes.len() / 2, // inside an inner frame
+        bytes.len() - 8, // missing checksum
+        bytes.len() - 3, // odd length
+    ] {
+        assert!(
+            ForestStore::from_bytes(&bytes[..cut]).is_err(),
+            "truncation at {cut} bytes must be rejected"
+        );
+    }
+
+    // Duplicate tree ids (record 1's id overwritten with record 0's).
+    let mut dup = words.clone();
+    dup[rec(1)] = dup[rec(0)];
+    assert!(matches!(
+        ForestStore::from_words(recrc(dup)),
+        Err(ForestError::Directory { .. })
+    ));
+
+    // Overlapping extents: record 1 claims the same offset as record 0.
+    let mut overlap = words.clone();
+    overlap[rec(1) + 1] = overlap[rec(0) + 1];
+    assert!(matches!(
+        ForestStore::from_words(recrc(overlap)),
+        Err(ForestError::Directory { .. })
+    ));
+
+    // An extent running past the buffer.
+    let mut runaway = words.clone();
+    runaway[rec(2) + 2] = u64::MAX;
+    assert!(matches!(
+        ForestStore::from_words(recrc(runaway)),
+        Err(ForestError::Directory { .. })
+    ));
+
+    // Absurd tree count: must come back as an error, not an overflow panic.
+    let mut huge_t = words.clone();
+    huge_t[2] = u64::MAX;
+    assert!(matches!(
+        ForestStore::from_words(recrc(huge_t)),
+        Err(ForestError::Directory { .. })
+    ));
+
+    // A crafted, re-checksummed *inner* frame: bump tree 4's label count in
+    // the inner header and refresh the inner CRC *and* the outer CRC, so
+    // every checksum passes — the inner structural validation must still
+    // reject it (and report which tree).
+    let off = words[rec(0) + 1] as usize;
+    let len = words[rec(0) + 2] as usize;
+    let mut crafted = words.clone();
+    crafted[off + 2] += 1; // inner n
+    let inner_crc = treelab::bits::crc::crc64_words(&crafted[off..off + len - 1]);
+    crafted[off + len - 1] = inner_crc;
+    match ForestStore::from_words(recrc(crafted)) {
+        Err(ForestError::Tree { id: 4, .. }) => {}
+        other => panic!("crafted inner frame must be rejected as tree 4, got {other:?}"),
+    }
+
+    // Directory/inner disagreement: the directory's scheme tag for tree 4 is
+    // rewritten to the optimal scheme's tag (inner frame untouched and still
+    // internally valid), outer CRC refreshed.
+    let mut tag_lie = words.clone();
+    let dir_meta = tag_lie[rec(0) + 3];
+    tag_lie[rec(0) + 3] = (3u64 << 32) | (dir_meta & 0xFFFF_FFFF);
+    assert!(matches!(
+        ForestStore::from_words(recrc(tag_lie)),
+        Err(ForestError::Tree { id: 4, .. })
+    ));
 }

@@ -1,0 +1,108 @@
+//! Proof that the forest's routed batch engine allocates nothing per query
+//! once its one-time group scratch has grown to the batch working size —
+//! the forest-side mirror of `tests/store_alloc.rs`.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! batch has sized the [`RouteScratch`] and the output buffer, repeating the
+//! routed batch (same batch size, different query mix) must leave the
+//! allocation counter untouched.  (This file holds a single test on purpose:
+//! the counter is process-global, and a second test running on another
+//! thread would pollute it.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use treelab::core::approximate::ApproximateScheme;
+use treelab::core::kdistance::KDistanceScheme;
+use treelab::core::level_ancestor::LevelAncestorScheme;
+use treelab::{
+    gen, DistanceArrayScheme, DistanceScheme, ForestStore, NaiveScheme, OptimalScheme,
+    RouteScratch, Tree,
+};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: defers every operation to the system allocator unchanged; the
+// counter is a side effect only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A skewed routed query batch: most queries hit the first trees, every tree
+/// gets some, long same-tree runs exercise the slot-resolution fast path.
+fn batch(trees: &[(u64, Tree)], count: usize, salt: usize) -> Vec<(u64, usize, usize)> {
+    (0..count)
+        .map(|i| {
+            let slot = (i * i + salt) % (trees.len() * 2) % trees.len();
+            let (id, tree) = &trees[slot];
+            let n = tree.len();
+            (*id, (i * 31 + salt) % n, (i * 87 + 5) % n)
+        })
+        .collect()
+}
+
+#[test]
+fn routed_batches_do_not_allocate_after_the_scratch_warms_up() {
+    let trees: Vec<(u64, Tree)> = vec![
+        (2, gen::random_tree(400, 61)),
+        (3, gen::random_tree(300, 62)),
+        (10, gen::comb(350)),
+        (11, gen::random_binary(320, 63)),
+        (20, gen::random_tree(280, 64)),
+        (31, gen::random_tree(260, 65)),
+    ];
+    let mut b = ForestStore::builder();
+    b.push_scheme(2, &NaiveScheme::build(&trees[0].1));
+    b.push_scheme(3, &DistanceArrayScheme::build(&trees[1].1));
+    b.push_scheme(10, &OptimalScheme::build(&trees[2].1));
+    b.push_scheme(11, &KDistanceScheme::build(&trees[3].1, 8));
+    b.push_scheme(20, &ApproximateScheme::build(&trees[4].1, 0.25));
+    b.push_scheme(31, &LevelAncestorScheme::build(&trees[5].1));
+    let forest = b.finish().expect("forest builds");
+
+    let warmup = batch(&trees, 4096, 0);
+    let storm1 = batch(&trees, 4096, 17);
+    let storm2 = batch(&trees, 4096, 112);
+
+    // Warm up (and sanity-check) outside the counted region: grows the
+    // scratch and the output buffer to the batch working size.
+    let mut scratch = RouteScratch::new();
+    let mut out: Vec<u64> = Vec::new();
+    forest.route_distances_into(&warmup, &mut scratch, &mut out);
+    let expect1 = forest.route_distances(&storm1);
+    out.clear();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    forest.route_distances_into(&storm1, &mut scratch, &mut out);
+    out.clear();
+    forest.route_distances_into(&storm2, &mut scratch, &mut out);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "the routed batch engine allocated {} times after warm-up",
+        after - before
+    );
+    assert_eq!(out, forest.route_distances(&storm2));
+    assert_eq!(expect1, {
+        let mut again = Vec::with_capacity(storm1.len());
+        forest.route_distances_into(&storm1, &mut scratch, &mut again);
+        again
+    });
+}

@@ -1,12 +1,16 @@
 //! Store round-trips for all six schemes: `serialize` → `from_bytes` →
 //! `distance` (through packed refs) must equal the in-memory `distance`, and
-//! re-serializing a loaded store must reproduce the byte frame exactly.
+//! re-serializing a loaded store must reproduce the byte frame exactly —
+//! through the owning path, the borrowed [`StoreRef`] path (both frame
+//! versions), and a mixed-scheme [`ForestStore`].
 
+use treelab::bits::frame;
 use treelab::core::approximate::ApproximateScheme;
 use treelab::core::kdistance::KDistanceScheme;
 use treelab::core::level_ancestor::LevelAncestorScheme;
 use treelab::{
-    gen, DistanceArrayScheme, DistanceScheme, NaiveScheme, OptimalScheme, SchemeStore,
+    gen, AnyStoreRef, DistanceArrayScheme, DistanceScheme, ForestRef, ForestStore, IndexWidth,
+    NaiveScheme, OptimalScheme, Parallelism, RouteScratch, SchemeStore, StoreError, StoreRef,
     StoredScheme, Substrate, Tree, NO_DISTANCE,
 };
 
@@ -57,6 +61,16 @@ fn check_store<S: StoredScheme>(
 
     let pairs = pairs(tree.len());
     let batch = loaded.distances(&pairs);
+    // Borrow path: the same frame served without copying, through the typed
+    // and the runtime-dispatched view.
+    let view = StoreRef::<S>::from_words(loaded.as_words())
+        .unwrap_or_else(|e| panic!("{name}: StoreRef::from_words failed: {e}"));
+    let any = AnyStoreRef::from_words(loaded.as_words())
+        .unwrap_or_else(|e| panic!("{name}: AnyStoreRef::from_words failed: {e}"));
+    assert_eq!(any.tag(), S::TAG, "{name}: dispatched tag");
+    // Both frame versions answer identically (v1 = u64 index, v2 = u32).
+    let wide = SchemeStore::build_with_index_width(scheme, IndexWidth::U64);
+    assert_eq!((wide.as_words()[1] >> 32) as u32, 1, "{name}: v1 version");
     for (i, &(u, v)) in pairs.iter().enumerate() {
         let want = expected(u, v);
         assert_eq!(
@@ -65,6 +79,9 @@ fn check_store<S: StoredScheme>(
             "{name}: single query ({u},{v})"
         );
         assert_eq!(batch[i], want, "{name}: batch query ({u},{v})");
+        assert_eq!(view.distance(u, v), want, "{name}: StoreRef ({u},{v})");
+        assert_eq!(any.distance(u, v), want, "{name}: AnyStoreRef ({u},{v})");
+        assert_eq!(wide.distance(u, v), want, "{name}: v1 frame ({u},{v})");
     }
     // Per-label sizes are consistent with the region.
     let total: usize = (0..tree.len()).map(|u| loaded.label_bits(u)).sum();
@@ -155,6 +172,159 @@ fn level_ancestor_store_round_trips_and_matches_the_oracle() {
             );
         }
     }
+}
+
+/// All six schemes round-trip through one mixed-scheme [`ForestStore`]:
+/// routed answers equal each scheme's in-memory `distance` after a
+/// serialize → bytes → reload cycle, on both the owning and the borrow path,
+/// serial and sharded.
+#[test]
+fn forest_of_all_six_schemes_round_trips() {
+    let trees: Vec<(u64, Tree)> = vec![
+        (2, gen::random_tree(260, 21)),
+        (5, gen::random_tree(190, 22)),
+        (7, gen::comb(240)),
+        (13, gen::random_binary(210, 23)),
+        (19, gen::caterpillar(60, 3)),
+        (23, gen::random_tree(170, 24)),
+    ];
+    let subs: Vec<Substrate<'_>> = trees.iter().map(|(_, t)| Substrate::new(t)).collect();
+    let naive = NaiveScheme::build_with_substrate(&subs[0]);
+    let da = DistanceArrayScheme::build_with_substrate(&subs[1]);
+    let opt = OptimalScheme::build_with_substrate(&subs[2]);
+    let kd = KDistanceScheme::build_with_substrate(&subs[3], 8);
+    let approx = ApproximateScheme::build_with_substrate(&subs[4], 0.25);
+    let la = LevelAncestorScheme::build_with_substrate(&subs[5]);
+
+    let mut b = ForestStore::builder();
+    b.push_scheme(2, &naive);
+    b.push_scheme(5, &da);
+    b.push_scheme(7, &opt);
+    b.push_scheme(13, &kd);
+    b.push_scheme(19, &approx);
+    b.push_scheme(23, &la);
+    let forest = b.finish().expect("forest builds");
+    assert_eq!(forest.tree_count(), 6);
+
+    // Byte round-trip through both load paths.
+    let bytes = forest.to_bytes();
+    let owned = ForestStore::from_bytes(&bytes).expect("copy path loads");
+    assert_eq!(owned.as_words(), forest.as_words());
+    let borrowed = ForestRef::from_words(owned.as_words()).expect("borrow path loads");
+
+    // Expected answer per tree, from the in-memory labels.
+    let expected = |id: u64, u: usize, v: usize| -> u64 {
+        let t = &trees.iter().find(|(i, _)| *i == id).unwrap().1;
+        let (a, b) = (t.node(u), t.node(v));
+        match id {
+            2 => NaiveScheme::distance(naive.label(a), naive.label(b)),
+            5 => DistanceArrayScheme::distance(da.label(a), da.label(b)),
+            7 => OptimalScheme::distance(opt.label(a), opt.label(b)),
+            13 => KDistanceScheme::distance(kd.label(a), kd.label(b)).unwrap_or(NO_DISTANCE),
+            19 => ApproximateScheme::distance(approx.label(a), approx.label(b)),
+            23 => <LevelAncestorScheme as DistanceScheme>::distance(la.label(a), la.label(b)),
+            _ => unreachable!(),
+        }
+    };
+
+    let queries: Vec<(u64, usize, usize)> = (0..900)
+        .map(|i| {
+            let (id, tree) = &trees[(i * 5) % trees.len()];
+            let n = tree.len();
+            (*id, (i * 31) % n, (i * 87 + 5) % n)
+        })
+        .collect();
+    let routed = owned.route_distances(&queries);
+    let mut scratch = RouteScratch::new();
+    let mut via_ref = Vec::new();
+    borrowed.route_distances_into(&queries, &mut scratch, &mut via_ref);
+    let sharded = owned.route_distances_sharded(&queries, Parallelism::from_thread_count(3));
+    for (i, &(id, u, v)) in queries.iter().enumerate() {
+        let want = expected(id, u, v);
+        assert_eq!(routed[i], want, "routed: tree {id} ({u},{v})");
+        assert_eq!(via_ref[i], want, "borrowed: tree {id} ({u},{v})");
+        assert_eq!(sharded[i], want, "sharded: tree {id} ({u},{v})");
+        assert_eq!(
+            owned.tree(id).unwrap().distance(u, v),
+            want,
+            "tree(): tree {id} ({u},{v})"
+        );
+    }
+}
+
+/// The misalignment contract of the borrow path: an aligned byte buffer is
+/// borrowed in place, an odd-offset one is refused with
+/// [`StoreError::Misaligned`] (and loads fine through the copy path).
+#[test]
+fn borrow_path_refuses_misaligned_bytes_copy_path_accepts_them() {
+    let tree = gen::random_tree(300, 31);
+    let scheme = OptimalScheme::build(&tree);
+    let store = SchemeStore::build(&scheme);
+
+    // `cast_bytes` of a word buffer is guaranteed 8-byte aligned, so the
+    // borrow path must succeed — and serve the owner's buffer in place.
+    let aligned: &[u8] = frame::cast_bytes(store.as_words());
+    let view = StoreRef::<OptimalScheme>::from_bytes(aligned).expect("aligned borrow");
+    assert_eq!(view.distance(3, 250), store.distance(3, 250));
+    assert!(AnyStoreRef::from_bytes(aligned).is_ok());
+
+    // Slicing one byte in (and trimming the tail to keep a whole number of
+    // words) is guaranteed misaligned: the borrow path refuses it with the
+    // offset, instead of silently copying.
+    let misaligned = &aligned[1..aligned.len() - 7];
+    assert_eq!(frame::alignment_offset(misaligned), 1);
+    assert!(matches!(
+        StoreRef::<OptimalScheme>::from_bytes(misaligned),
+        Err(StoreError::Misaligned { offset: 1 })
+    ));
+    assert!(matches!(
+        AnyStoreRef::from_bytes(misaligned),
+        Err(StoreError::Misaligned { offset: 1 })
+    ));
+
+    // The copy path does not care about alignment: the same frame staged at
+    // an odd offset of a larger buffer loads via the explicit widening copy.
+    let mut padded = vec![0u8; 1];
+    padded.extend_from_slice(aligned);
+    let loaded = SchemeStore::<OptimalScheme>::from_bytes(&padded[1..]).expect("copy path");
+    assert_eq!(loaded.as_words(), store.as_words());
+    // An odd *length* is rejected on both paths (it cannot be whole words).
+    assert!(SchemeStore::<OptimalScheme>::from_bytes(&padded).is_err());
+    assert!(StoreRef::<OptimalScheme>::from_bytes(&padded).is_err());
+}
+
+/// A frame too large for a u32 index cannot be forced narrow, and the
+/// automatic choice stays valid across the 2³² boundary logic (exercised via
+/// the explicit width knob, since a real > 2³²-bit region would need gigabytes).
+#[test]
+fn index_width_is_recorded_and_round_trips_both_ways() {
+    let tree = gen::random_tree(400, 33);
+    let scheme = NaiveScheme::build(&tree);
+    let narrow = SchemeStore::build_with_index_width(&scheme, IndexWidth::U32);
+    let wide = SchemeStore::build_with_index_width(&scheme, IndexWidth::U64);
+    assert_eq!(narrow.index_width(), IndexWidth::U32);
+    assert_eq!(wide.index_width(), IndexWidth::U64);
+    // The version word separates the formats: v2 readers accept both, and a
+    // v1-only reader (which required version == 1) rejects v2 frames cleanly
+    // as UnsupportedVersion before touching anything else.
+    assert_eq!((narrow.as_words()[1] >> 32) as u32, 2);
+    assert_eq!((wide.as_words()[1] >> 32) as u32, 1);
+    let narrow2 = SchemeStore::<NaiveScheme>::from_bytes(&narrow.to_bytes()).unwrap();
+    let wide2 = SchemeStore::<NaiveScheme>::from_bytes(&wide.to_bytes()).unwrap();
+    assert_eq!(narrow2.as_words(), narrow.as_words());
+    assert_eq!(wide2.as_words(), wide.as_words());
+    let n = tree.len();
+    for i in 0..400usize {
+        let (u, v) = ((i * 13) % n, (i * 57 + 3) % n);
+        assert_eq!(narrow2.distance(u, v), wide2.distance(u, v), "({u},{v})");
+    }
+    // The narrow index halves the index region: the frame shrinks by
+    // ⌊(n+1)/2⌋ words exactly.
+    assert_eq!(
+        wide.size_bytes() - narrow.size_bytes(),
+        n.div_ceil(2) * 8,
+        "index savings"
+    );
 }
 
 #[test]
