@@ -1,5 +1,8 @@
-//! Criterion bench: label serialization and deserialization throughput — the
-//! cost of shipping labels over the wire in a distributed deployment.
+//! Criterion bench: serialization throughput — the store frame handoff of
+//! the packed-native representation (whole-scheme serialize + validated
+//! reload) next to the legacy per-label wire encode/decode (the cost of
+//! shipping individual labels in a distributed deployment; the bench crate
+//! enables the `legacy-labels` feature).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
@@ -7,7 +10,7 @@ use treelab_bench::workloads::Family;
 use treelab_bits::{BitReader, BitWriter};
 use treelab_core::kdistance::{KDistanceLabel, KDistanceScheme};
 use treelab_core::optimal::{OptimalLabel, OptimalScheme};
-use treelab_core::DistanceScheme;
+use treelab_core::{DistanceScheme, SchemeStore};
 
 fn bench_serialization(c: &mut Criterion) {
     let mut group = c.benchmark_group("label_serialization");
@@ -19,23 +22,44 @@ fn bench_serialization(c: &mut Criterion) {
         // Setup via the shared substrate: one decomposition for both schemes.
         let sub = treelab_core::substrate::Substrate::new(&tree);
         let opt = OptimalScheme::build_with_substrate(&sub);
-        let kd = KDistanceScheme::build_with_substrate(&sub, 8);
-        let node = tree.node(tree.len() - 1);
 
+        // The native path: whole-scheme frame handoff + validated reload.
         group.bench_with_input(
-            BenchmarkId::new("optimal_encode", n),
-            opt.label(node),
-            |b, l| {
+            BenchmarkId::new("optimal_frame_serialize", n),
+            &opt,
+            |b, s| b.iter(|| SchemeStore::serialize(s).len()),
+        );
+        let frame = SchemeStore::serialize(&opt);
+        group.bench_with_input(
+            BenchmarkId::new("optimal_frame_load", n),
+            &frame,
+            |b, bytes| {
                 b.iter(|| {
-                    let mut w = BitWriter::new();
-                    l.encode(&mut w);
-                    w.len()
+                    SchemeStore::<OptimalScheme>::from_bytes(bytes)
+                        .unwrap()
+                        .node_count()
                 })
             },
         );
+
+        // The legacy per-label wire path.
+        let opt_label = OptimalScheme::legacy_labels(&sub)
+            .pop()
+            .expect("non-empty tree");
+        let kd_label = KDistanceScheme::legacy_labels(&sub, 8)
+            .pop()
+            .expect("non-empty tree");
+
+        group.bench_with_input(BenchmarkId::new("optimal_encode", n), &opt_label, |b, l| {
+            b.iter(|| {
+                let mut w = BitWriter::new();
+                l.encode(&mut w);
+                w.len()
+            })
+        });
         let encoded_opt = {
             let mut w = BitWriter::new();
-            opt.label(node).encode(&mut w);
+            opt_label.encode(&mut w);
             w.into_bitvec()
         };
         group.bench_with_input(
@@ -52,7 +76,7 @@ fn bench_serialization(c: &mut Criterion) {
 
         group.bench_with_input(
             BenchmarkId::new("kdistance_encode", n),
-            kd.label(node),
+            &kd_label,
             |b, l| {
                 b.iter(|| {
                     let mut w = BitWriter::new();
@@ -63,7 +87,7 @@ fn bench_serialization(c: &mut Criterion) {
         );
         let encoded_kd = {
             let mut w = BitWriter::new();
-            kd.label(node).encode(&mut w);
+            kd_label.encode(&mut w);
             w.into_bitvec()
         };
         group.bench_with_input(

@@ -1,7 +1,7 @@
-//! Criterion bench: per-query time from two labels, for every scheme
+//! Criterion bench: per-query time from two packed labels, for every scheme
 //! (experiment E7 — the "constant query time" claims of Theorems 1.1/1.3/1.4),
-//! plus the zero-copy store paths (E11): the same queries served from a
-//! packed [`SchemeStore`] buffer, per-query and batched.
+//! plus the store paths (E11): the same kernels driven through an owned
+//! [`SchemeStore`] view, per-query and batched.
 //!
 //! CI runs this bench in fast mode as the query-throughput smoke: a
 //! regression that makes the zero-copy path stop compiling or panic fails the
@@ -80,38 +80,29 @@ fn bench_query(c: &mut Criterion) {
         scheme_benches!(
             "naive",
             NaiveScheme::build(&tree),
-            |s: &NaiveScheme, x, y| {
-                NaiveScheme::distance(s.label(tree.node(x)), s.label(tree.node(y)))
-            }
+            |s: &NaiveScheme, x, y| s.distance(tree.node(x), tree.node(y))
         );
         scheme_benches!(
             "distance_array",
             DistanceArrayScheme::build(&tree),
-            |s: &DistanceArrayScheme, x, y| {
-                DistanceArrayScheme::distance(s.label(tree.node(x)), s.label(tree.node(y)))
-            }
+            |s: &DistanceArrayScheme, x, y| s.distance(tree.node(x), tree.node(y))
         );
         scheme_benches!(
             "optimal",
             OptimalScheme::build(&tree),
-            |s: &OptimalScheme, x, y| {
-                OptimalScheme::distance(s.label(tree.node(x)), s.label(tree.node(y)))
-            }
+            |s: &OptimalScheme, x, y| s.distance(tree.node(x), tree.node(y))
         );
         scheme_benches!(
             "kdistance_k8",
             KDistanceScheme::build(&tree, 8),
             |s: &KDistanceScheme, x, y| {
-                KDistanceScheme::distance(s.label(tree.node(x)), s.label(tree.node(y)))
-                    .unwrap_or(u64::MAX)
+                s.distance(tree.node(x), tree.node(y)).unwrap_or(u64::MAX)
             }
         );
         scheme_benches!(
             "approximate",
             ApproximateScheme::build(&tree, 0.25),
-            |s: &ApproximateScheme, x, y| {
-                ApproximateScheme::distance(s.label(tree.node(x)), s.label(tree.node(y)))
-            }
+            |s: &ApproximateScheme, x, y| s.distance(tree.node(x), tree.node(y))
         );
     }
     group.finish();

@@ -3,8 +3,12 @@
 //! ```text
 //! cargo run --release -p treelab-bench --bin experiments -- [--quick] [--threads N] [--exact]
 //!     [--approx] [--kdist-small] [--kdist-large] [--lower-bounds] [--universal] [--ablation]
-//!     [--timing] [--substrate] [--store] [--forest]
+//!     [--timing] [--substrate] [--store [--check]] [--packed-native] [--forest]
 //! ```
+//!
+//! `--store --check` runs the store regression gate after printing E11: it
+//! exits nonzero unless the batch-speedup column parses for all six schemes
+//! and the packed/legacy bit-equality sweep holds (CI runs it).
 //!
 //! With no selection flags, all experiments run.  `--quick` shrinks the sizes
 //! so the full suite finishes in well under a minute (used in CI); the numbers
@@ -14,8 +18,8 @@
 
 use treelab_bench::experiments::{
     ablation_experiment, approximate_experiment, exact_experiment, forest_experiment,
-    k_large_experiment, k_small_experiment, lower_bound_experiment, store_experiment,
-    substrate_experiment, timing_experiment, universal_experiment,
+    k_large_experiment, k_small_experiment, lower_bound_experiment, packed_native_experiment,
+    store_check, store_experiment, substrate_experiment, timing_experiment, universal_experiment,
 };
 use treelab_bench::workloads::Family;
 use treelab_core::substrate::Parallelism;
@@ -23,6 +27,7 @@ use treelab_core::substrate::Parallelism;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
     let par = args
         .iter()
         .position(|a| a == "--threads")
@@ -46,7 +51,7 @@ fn main() {
                 skip_next = true;
                 return false;
             }
-            *a != "--quick"
+            *a != "--quick" && *a != "--check"
         })
         .map(String::as_str)
         .collect();
@@ -111,7 +116,21 @@ fn main() {
         } else {
             &[1 << 12, 1 << 14, 1 << 16]
         };
-        println!("{}", store_experiment(sizes, seed).to_markdown());
+        let table = store_experiment(sizes, seed);
+        println!("{}", table.to_markdown());
+        if check {
+            // Regression gate: speedup data for all six schemes + the
+            // packed/legacy bit-equality sweep.  Nonzero exit on failure.
+            if let Err(e) = store_check(&table) {
+                eprintln!("store check FAILED: {e}");
+                std::process::exit(1);
+            }
+            println!("store check passed");
+        }
+    }
+    if run("--packed-native") {
+        let n = if quick { 1 << 10 } else { 1 << 14 };
+        println!("{}", packed_native_experiment(n, seed).to_markdown());
     }
     if run("--forest") {
         let (trees, n_per_tree, queries) = if quick {

@@ -52,12 +52,12 @@ pub fn exact_experiment(sizes: &[usize], families: &[Family], seed: u64) -> Tabl
             let opt = OptimalScheme::build_with_substrate(&sub);
             let da_payload = tree
                 .nodes()
-                .map(|u| da.label(u).array_payload_bits())
+                .map(|u| da.array_payload_bits(u))
                 .max()
                 .unwrap_or(0);
             let opt_payload = tree
                 .nodes()
-                .map(|u| opt.label(u).array_payload_bits())
+                .map(|u| opt.array_payload_bits(u))
                 .max()
                 .unwrap_or(0);
             let n_bin = 4 * tree.len();
@@ -108,7 +108,7 @@ pub fn approximate_experiment(n: usize, epsilons: &[f64], seed: u64) -> Table {
             if d == 0 {
                 continue;
             }
-            let est = ApproximateScheme::distance(scheme.label(u), scheme.label(v));
+            let est = scheme.distance(u, v);
             worst = worst.max(est as f64 / d as f64);
         }
         table.push_row(vec![
@@ -252,7 +252,7 @@ pub fn universal_experiment(max_n: usize) -> Table {
     let opt = OptimalScheme::build(&comb);
     let opt_payload = comb
         .nodes()
-        .map(|u| opt.label(u).array_payload_bits())
+        .map(|u| opt.array_payload_bits(u))
         .max()
         .unwrap_or(0);
     for n in 2..=max_n {
@@ -335,13 +335,10 @@ pub fn ablation_experiment(n: usize, seed: u64) -> Table {
         let stats = stats_of(&scheme, &tree);
         let payload = tree
             .nodes()
-            .map(|u| scheme.label(u).array_payload_bits())
+            .map(|u| scheme.array_payload_bits(u))
             .max()
             .unwrap_or(0);
-        let acc: usize = tree
-            .nodes()
-            .map(|u| scheme.label(u).accumulator_bits())
-            .sum();
+        let acc: usize = tree.nodes().map(|u| scheme.accumulator_bits(u)).sum();
         table.push_row(vec![
             name.to_string(),
             tree.len().to_string(),
@@ -367,16 +364,14 @@ pub fn timing_experiment(sizes: &[usize], seed: u64) -> Table {
                 let t0 = Instant::now();
                 let scheme = $build;
                 let build_ms = t0.elapsed().as_secs_f64() * 1e3;
-                let labels: Vec<_> = (0..tree.len())
-                    .map(|i| scheme.label(tree.node(i)))
-                    .collect();
+                let query = $query;
                 let t1 = Instant::now();
                 let mut acc = 0u64;
                 let q = 100_000usize;
                 for i in 0..q {
-                    let a = labels[(i * 7919) % labels.len()];
-                    let b = labels[(i * 104_729 + 1) % labels.len()];
-                    acc = acc.wrapping_add($query(a, b));
+                    let a = tree.node((i * 7919) % tree.len());
+                    let b = tree.node((i * 104_729 + 1) % tree.len());
+                    acc = acc.wrapping_add(query(&scheme, a, b));
                 }
                 let per_query = t1.elapsed().as_nanos() as f64 / q as f64;
                 std::hint::black_box(acc);
@@ -388,24 +383,30 @@ pub fn timing_experiment(sizes: &[usize], seed: u64) -> Table {
                 ]);
             }};
         }
-        measure!("naive", NaiveScheme::build(&tree), NaiveScheme::distance);
+        measure!(
+            "naive",
+            NaiveScheme::build(&tree),
+            |s: &NaiveScheme, a, b| { s.distance(a, b) }
+        );
         measure!(
             "distance-array",
             DistanceArrayScheme::build(&tree),
-            |a, b| { DistanceArrayScheme::distance(a, b) }
+            |s: &DistanceArrayScheme, a, b| s.distance(a, b)
         );
-        measure!("optimal", OptimalScheme::build(&tree), |a, b| {
-            OptimalScheme::distance(a, b)
-        });
+        measure!(
+            "optimal",
+            OptimalScheme::build(&tree),
+            |s: &OptimalScheme, a, b| { s.distance(a, b) }
+        );
         measure!(
             "k-distance (k=8)",
             KDistanceScheme::build(&tree, 8),
-            |a, b| { KDistanceScheme::distance(a, b).unwrap_or(0) }
+            |s: &KDistanceScheme, a, b| s.distance(a, b).unwrap_or(0)
         );
         measure!(
             "approximate (ε=0.25)",
             ApproximateScheme::build(&tree, 0.25),
-            ApproximateScheme::distance
+            |s: &ApproximateScheme, a, b| s.distance(a, b)
         );
     }
     table
@@ -544,10 +545,12 @@ fn batch_throughput<S: StoredScheme>(
 }
 
 /// E11: the zero-copy scheme store — store size, load time, and store-backed
-/// (batch) versus struct-backed query throughput for all six schemes.
+/// (batch) versus scheme-method query throughput for all six schemes.
 ///
-/// This is the number the ISSUE-3 acceptance criterion is about: store-backed
-/// batch queries must reach ≥ 2× the struct-backed throughput at `n = 16k`.
+/// Since the packed-native refactor the "scheme" column goes through the same
+/// kernels as the store columns (the scheme *is* a store); the batch speedup
+/// isolates what the amortized bounds checks + prefetch of the batch engine
+/// buy over one-at-a-time queries.
 pub fn store_experiment(sizes: &[usize], seed: u64) -> Table {
     let mut table = Table::new(
         "E11 — zero-copy scheme store: size, load time, and batch query throughput (random trees)",
@@ -556,7 +559,7 @@ pub fn store_experiment(sizes: &[usize], seed: u64) -> Table {
             "scheme",
             "store (KiB)",
             "load (µs)",
-            "struct (Mq/s)",
+            "scheme (Mq/s)",
             "store (Mq/s)",
             "store batch (Mq/s)",
             "batch speedup",
@@ -606,51 +609,34 @@ pub fn store_experiment(sizes: &[usize], seed: u64) -> Table {
         row!(
             NaiveScheme,
             NaiveScheme::build_with_substrate(&sub),
-            |s: &NaiveScheme, u, v| NaiveScheme::distance(
-                s.label(tree.node(u)),
-                s.label(tree.node(v))
-            )
+            |s: &NaiveScheme, u, v| s.distance(tree.node(u), tree.node(v))
         );
         row!(
             DistanceArrayScheme,
             DistanceArrayScheme::build_with_substrate(&sub),
-            |s: &DistanceArrayScheme, u, v| DistanceArrayScheme::distance(
-                s.label(tree.node(u)),
-                s.label(tree.node(v))
-            )
+            |s: &DistanceArrayScheme, u, v| s.distance(tree.node(u), tree.node(v))
         );
         row!(
             OptimalScheme,
             OptimalScheme::build_with_substrate(&sub),
-            |s: &OptimalScheme, u, v| OptimalScheme::distance(
-                s.label(tree.node(u)),
-                s.label(tree.node(v))
-            )
+            |s: &OptimalScheme, u, v| s.distance(tree.node(u), tree.node(v))
         );
         row!(
             KDistanceScheme,
             KDistanceScheme::build_with_substrate(&sub, 8),
-            |s: &KDistanceScheme, u, v| KDistanceScheme::distance(
-                s.label(tree.node(u)),
-                s.label(tree.node(v))
-            )
-            .unwrap_or(NO_DISTANCE)
+            |s: &KDistanceScheme, u, v| s
+                .distance(tree.node(u), tree.node(v))
+                .unwrap_or(NO_DISTANCE)
         );
         row!(
             ApproximateScheme,
             ApproximateScheme::build_with_substrate(&sub, 0.25),
-            |s: &ApproximateScheme, u, v| ApproximateScheme::distance(
-                s.label(tree.node(u)),
-                s.label(tree.node(v))
-            )
+            |s: &ApproximateScheme, u, v| s.distance(tree.node(u), tree.node(v))
         );
         row!(
             LevelAncestorScheme,
             LevelAncestorScheme::build_with_substrate(&sub),
-            |s: &LevelAncestorScheme, u, v| <LevelAncestorScheme as DistanceScheme>::distance(
-                s.label(tree.node(u)),
-                s.label(tree.node(v))
-            )
+            |s: &LevelAncestorScheme, u, v| DistanceScheme::distance(s, tree.node(u), tree.node(v))
         );
     }
     table
@@ -749,6 +735,238 @@ pub fn forest_experiment(trees: usize, nodes_per_tree: usize, queries: usize, se
         format!("{:.2}x", best_sharded / best_loop),
     ]);
     table
+}
+
+/// E13: the packed-native build path — per-scheme construction time of the
+/// historical struct-then-serialize pipeline (`legacy_labels` →
+/// `store_from_legacy`) versus the direct pack path (`build_with_substrate`,
+/// which *is* the frame), plus single-query latency through the scheme's own
+/// `distance` entry point and through the owned store view (both run the same
+/// kernel, so the two columns must agree within noise — and must match the
+/// E11 store rows).
+///
+/// Both sides share one precomputed [`Substrate`], so the columns isolate
+/// label construction + packing; the produced frames are asserted bit-equal
+/// before anything is timed.
+pub fn packed_native_experiment(n: usize, seed: u64) -> Table {
+    let mut table = Table::new(
+        format!("E13 — packed-native build: direct pack vs legacy struct-then-serialize (random tree, n = {n})"),
+        &[
+            "scheme",
+            "legacy build+serialize (ms)",
+            "packed-native build (ms)",
+            "build ratio",
+            "scheme query (ns)",
+            "store query (ns)",
+        ],
+    );
+    let tree = gen::random_tree(n, seed);
+    let sub = Substrate::new(&tree);
+    sub.precompute();
+    let pairs: Vec<(usize, usize)> = (0..65_536)
+        .map(|i| ((i * 7919 + 3) % tree.len(), (i * 104_729 + 11) % tree.len()))
+        .collect();
+    let queries = 200_000usize;
+
+    macro_rules! row {
+        ($name:expr, $legacy:expr, $direct:expr, $query:expr) => {{
+            // Warm-up + bit-equality assertion outside the timed region.
+            let direct_scheme = $direct;
+            let legacy_store = $legacy;
+            assert_eq!(
+                direct_scheme.as_store().as_words(),
+                legacy_store.as_words(),
+                "{}: packed/legacy frames must be bit-equal",
+                $name
+            );
+            let mut legacy_ms = f64::MAX;
+            let mut direct_ms = f64::MAX;
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                std::hint::black_box($legacy.to_bytes());
+                legacy_ms = legacy_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+                let t1 = Instant::now();
+                std::hint::black_box(SchemeStore::serialize(&$direct));
+                direct_ms = direct_ms.min(t1.elapsed().as_secs_f64() * 1e3);
+            }
+            let query = $query;
+            let scheme_qps = throughput(&pairs, queries, |u, v| query(&direct_scheme, u, v));
+            let store = direct_scheme.as_store();
+            let store_qps = throughput(&pairs, queries, |u, v| store.distance(u, v));
+            table.push_row(vec![
+                $name.to_string(),
+                format!("{legacy_ms:.1}"),
+                format!("{direct_ms:.1}"),
+                format!("{:.2}x", direct_ms / legacy_ms),
+                format!("{:.0}", 1e9 / scheme_qps),
+                format!("{:.0}", 1e9 / store_qps),
+            ]);
+        }};
+    }
+
+    row!(
+        "naive-fixed-width",
+        NaiveScheme::store_from_legacy(&NaiveScheme::legacy_labels(&sub)),
+        NaiveScheme::build_with_substrate(&sub),
+        |s: &NaiveScheme, u: usize, v: usize| s.distance(tree.node(u), tree.node(v))
+    );
+    row!(
+        "distance-array",
+        DistanceArrayScheme::store_from_legacy(&DistanceArrayScheme::legacy_labels(&sub)),
+        DistanceArrayScheme::build_with_substrate(&sub),
+        |s: &DistanceArrayScheme, u: usize, v: usize| s.distance(tree.node(u), tree.node(v))
+    );
+    row!(
+        "optimal-quarter",
+        OptimalScheme::store_from_legacy(&OptimalScheme::legacy_labels(&sub)),
+        OptimalScheme::build_with_substrate(&sub),
+        |s: &OptimalScheme, u: usize, v: usize| s.distance(tree.node(u), tree.node(v))
+    );
+    row!(
+        "k-distance",
+        KDistanceScheme::store_from_legacy(&KDistanceScheme::legacy_labels(&sub, 8)),
+        KDistanceScheme::build_with_substrate(&sub, 8),
+        |s: &KDistanceScheme, u: usize, v: usize| s
+            .distance(tree.node(u), tree.node(v))
+            .unwrap_or(NO_DISTANCE)
+    );
+    row!(
+        "approximate",
+        ApproximateScheme::store_from_legacy(&ApproximateScheme::legacy_labels(&sub, 0.25), 0.25),
+        ApproximateScheme::build_with_substrate(&sub, 0.25),
+        |s: &ApproximateScheme, u: usize, v: usize| s.distance(tree.node(u), tree.node(v))
+    );
+    row!(
+        "level-ancestor",
+        LevelAncestorScheme::store_from_legacy(&LevelAncestorScheme::legacy_labels(&sub)),
+        LevelAncestorScheme::build_with_substrate(&sub),
+        |s: &LevelAncestorScheme, u: usize, v: usize| DistanceScheme::distance(
+            s,
+            tree.node(u),
+            tree.node(v)
+        )
+    );
+    table
+}
+
+/// The `--store --check` regression gate.
+///
+/// Validates that (1) the E11 table carries a parseable batch-speedup figure
+/// for **all six** schemes (geomean reported), and (2) the packed/legacy
+/// bit-equality sweep holds on a seeded corpus: for every scheme and tree,
+/// the direct pack path and the historical struct-then-serialize pipeline
+/// produce the identical frame.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first failed check (the
+/// binary exits nonzero on it).
+pub fn store_check(table: &Table) -> Result<(), String> {
+    // 1. Speedup data present for all six schemes.
+    let scheme_col = 1usize;
+    let speedup_col = table.headers.len() - 1;
+    let mut seen = std::collections::BTreeMap::new();
+    for row in &table.rows {
+        let cell = &row[speedup_col];
+        let value: f64 = cell
+            .strip_suffix('x')
+            .ok_or_else(|| format!("speedup cell `{cell}` is not of the form `<ratio>x`"))?
+            .parse()
+            .map_err(|e| format!("speedup cell `{cell}` does not parse: {e}"))?;
+        if !(value.is_finite() && value > 0.0) {
+            return Err(format!("speedup `{cell}` is not a positive finite ratio"));
+        }
+        seen.insert(row[scheme_col].clone(), value);
+    }
+    let expected = [
+        "naive-fixed-width",
+        "distance-array",
+        "optimal-quarter",
+        "k-distance",
+        "approximate",
+        "level-ancestor",
+    ];
+    for name in expected {
+        if !seen.contains_key(name) {
+            return Err(format!("store table has no speedup row for `{name}`"));
+        }
+    }
+    let geomean = (seen.values().map(|v| v.ln()).sum::<f64>() / seen.len() as f64).exp();
+    println!(
+        "store check: batch-vs-single speedup geomean over {} schemes = {geomean:.2}x",
+        seen.len()
+    );
+
+    // 2. Packed/legacy bit-equality sweep.
+    let corpus: Vec<(&str, Tree)> = vec![
+        ("random", gen::random_tree(700, 41)),
+        ("comb", gen::comb(600)),
+        ("caterpillar", gen::caterpillar(150, 3)),
+    ];
+    for (family, tree) in &corpus {
+        let sub = Substrate::new(tree);
+        let check = |name: &str, direct: &[u64], legacy: &[u64]| -> Result<(), String> {
+            if direct != legacy {
+                return Err(format!(
+                    "{name}/{family}: direct pack frame differs from struct-then-serialize"
+                ));
+            }
+            Ok(())
+        };
+        check(
+            "naive",
+            NaiveScheme::build_with_substrate(&sub)
+                .as_store()
+                .as_words(),
+            NaiveScheme::store_from_legacy(&NaiveScheme::legacy_labels(&sub)).as_words(),
+        )?;
+        check(
+            "distance-array",
+            DistanceArrayScheme::build_with_substrate(&sub)
+                .as_store()
+                .as_words(),
+            DistanceArrayScheme::store_from_legacy(&DistanceArrayScheme::legacy_labels(&sub))
+                .as_words(),
+        )?;
+        check(
+            "optimal",
+            OptimalScheme::build_with_substrate(&sub)
+                .as_store()
+                .as_words(),
+            OptimalScheme::store_from_legacy(&OptimalScheme::legacy_labels(&sub)).as_words(),
+        )?;
+        check(
+            "k-distance",
+            KDistanceScheme::build_with_substrate(&sub, 8)
+                .as_store()
+                .as_words(),
+            KDistanceScheme::store_from_legacy(&KDistanceScheme::legacy_labels(&sub, 8)).as_words(),
+        )?;
+        check(
+            "approximate",
+            ApproximateScheme::build_with_substrate(&sub, 0.25)
+                .as_store()
+                .as_words(),
+            ApproximateScheme::store_from_legacy(
+                &ApproximateScheme::legacy_labels(&sub, 0.25),
+                0.25,
+            )
+            .as_words(),
+        )?;
+        check(
+            "level-ancestor",
+            LevelAncestorScheme::build_with_substrate(&sub)
+                .as_store()
+                .as_words(),
+            LevelAncestorScheme::store_from_legacy(&LevelAncestorScheme::legacy_labels(&sub))
+                .as_words(),
+        )?;
+    }
+    println!(
+        "store check: packed/legacy bit-equality holds for 6 schemes x {} trees",
+        corpus.len()
+    );
+    Ok(())
 }
 
 #[cfg(test)]

@@ -62,20 +62,7 @@ impl MonotoneSeq {
         }
         let len = values.len();
         let max = values.last().copied().unwrap_or(0);
-        // Low width ⌊log₂(M/s)⌋: the standard Elias–Fano parameter choice
-        // (the `x mod b` / `x div b` split of the Lemma 2.2 proof).  Any value
-        // in [0, 63] is correct; this one realizes the space bound.
-        let low_width = if len == 0 || max == 0 {
-            0
-        } else {
-            let ratio = max / len as u64;
-            if ratio <= 1 {
-                0
-            } else {
-                codes::bit_len(ratio) - 1
-            }
-        }
-        .min(63);
+        let low_width = Self::low_width_for(len, max);
 
         let mut low = BitVec::with_capacity(len * low_width);
         let mut high_bits = BitVec::new();
@@ -96,6 +83,53 @@ impl MonotoneSeq {
             low,
             high: RankSelect::new(high_bits),
         }
+    }
+
+    /// Low width ⌊log₂(M/s)⌋: the standard Elias–Fano parameter choice
+    /// (the `x mod b` / `x div b` split of the Lemma 2.2 proof).  Any value
+    /// in [0, 63] is correct; this one realizes the space bound.  Shared by
+    /// [`MonotoneSeq::new`] and the closed-form
+    /// [`MonotoneSeq::encoded_len_parts`], so the two can never disagree.
+    fn low_width_for(len: usize, max: u64) -> usize {
+        if len == 0 || max == 0 {
+            0
+        } else {
+            let ratio = max / len as u64;
+            if ratio <= 1 {
+                0
+            } else {
+                codes::bit_len(ratio) - 1
+            }
+        }
+        .min(63)
+    }
+
+    /// Closed-form length in bits of [`MonotoneSeq::encode`]'s output for a
+    /// non-decreasing sequence with `len` values whose last (largest) value
+    /// is `last` — without building the structure or writing a bit.
+    ///
+    /// The encoded size depends only on `(len, last)`: the header codes, the
+    /// `len + (last >> low_width)` high bits and the `len · low_width` low
+    /// bits.  The label builders use this for their wire-size accounting;
+    /// the feature-gated legacy tests assert it against the real encoders
+    /// bit for bit.
+    pub fn encoded_len_parts(len: usize, last: u64) -> usize {
+        let mut total = codes::gamma_nz_len(len as u64);
+        if len == 0 {
+            return total;
+        }
+        let low_width = Self::low_width_for(len, last);
+        let high_len = len + (last >> low_width) as usize;
+        total += codes::gamma_nz_len(low_width as u64);
+        total += codes::gamma_nz_len(high_len as u64);
+        total += high_len + len * low_width;
+        total
+    }
+
+    /// [`MonotoneSeq::encoded_len_parts`] over a slice (the last element is
+    /// the largest for a non-decreasing sequence).
+    pub fn encoded_len(values: &[u64]) -> usize {
+        Self::encoded_len_parts(values.len(), values.last().copied().unwrap_or(0))
     }
 
     /// Number of values stored.

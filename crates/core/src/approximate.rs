@@ -15,31 +15,250 @@
 //! `rd(u) + rd(v) − 2·(rd(x) − ⌈d(x, w)⌉)` for that side `x`, which lies in
 //! `[d(u,v), (1+ε)·d(u,v) + 2]` (the `+2` is integer-rounding slack that
 //! vanishes for distances `≥ 2/ε`; the paper works with real-valued rounding).
+//! The query protocol lives in [`crate::kernel::approximate`]; this module
+//! owns the build and the packed frame.
 
-use crate::hpath::{AuxDims, AuxScalars, AuxWidths, HpathLabel, HpathRef};
-use crate::store::{StoreError, StoredScheme};
-use crate::substrate::{self, Substrate};
-use std::cmp::Ordering;
-use treelab_bits::{codes, monotone::MonotoneSeq, BitReader, BitSlice, BitWriter, DecodeError};
+use crate::hpath::{AuxWidths, HpathLabel};
+use crate::kernel::approximate::{
+    self as kernel, round_up_exponent, ApproximateLabelRef, ApproximateMeta,
+};
+use crate::store::{SchemeStore, StoreError, StoredScheme};
+use crate::substrate::{self, PackSource, Substrate};
+use treelab_bits::{codes, monotone::MonotoneSeq, BitSlice, BitWriter};
 use treelab_tree::{NodeId, Tree};
 
-/// Rounds `d ≥ 1` up to the smallest value of the form `⌈(1+eps)^e⌉` and
-/// returns the exponent `e`.  Deterministic, shared by encoder and decoder.
-fn round_up_exponent(d: u64, eps: f64) -> u64 {
-    debug_assert!(d >= 1);
-    let mut e = 0u64;
-    while exponent_value(e, eps) < d {
-        e += 1;
+/// Writes the self-delimiting wire encoding of one label (the format
+/// [`ApproximateLabel::decode`] reads).  ε is a scheme-wide parameter,
+/// carried as the integer `⌈1/ε⌉` so the wire label is self-contained.
+#[cfg(feature = "legacy-labels")]
+pub(crate) fn wire_encode(
+    w: &mut BitWriter,
+    epsilon: f64,
+    root_distance: u64,
+    aux: &HpathLabel,
+    exponents: &[u64],
+) {
+    codes::write_gamma_nz(w, (1.0 / epsilon).ceil() as u64);
+    codes::write_delta_nz(w, root_distance);
+    aux.encode(w);
+    MonotoneSeq::new(exponents).encode(w);
+}
+
+/// One node's build-time row.
+struct ApproxRow<'a> {
+    rd: u64,
+    aux: &'a HpathLabel,
+    exponents: Vec<u64>,
+    wire_bits: u32,
+}
+
+/// The `(1+ε)`-approximate distance labeling scheme of §5.2, a thin owner of
+/// its packed [`SchemeStore`] frame.
+#[derive(Debug, Clone)]
+pub struct ApproximateScheme {
+    epsilon: f64,
+    store: SchemeStore<ApproximateScheme>,
+    /// Per-node wire-encoding sizes (the paper's label-size quantity).
+    wire_bits: Vec<u32>,
+}
+
+impl ApproximateScheme {
+    /// Builds `(1+ε)`-approximate labels for every node of `tree` (which may be
+    /// weighted).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ε ≤ 1` (the regime of Theorem 1.4).
+    pub fn build(tree: &Tree, epsilon: f64) -> Self {
+        Self::build_with_substrate(&Substrate::new(tree), epsilon)
     }
-    e
+
+    /// Builds the scheme from a shared [`Substrate`] (same frame as
+    /// [`ApproximateScheme::build`], bit for bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ε ≤ 1` (the regime of Theorem 1.4).
+    pub fn build_with_substrate(sub: &Substrate<'_>, epsilon: f64) -> Self {
+        let rows = Self::build_rows(sub, epsilon, true);
+        let store = SchemeStore::from_source(&ApproxSource {
+            rows: &rows,
+            epsilon,
+        });
+        ApproximateScheme {
+            epsilon,
+            store,
+            wire_bits: rows.iter().map(|r| r.wire_bits).collect(),
+        }
+    }
+
+    fn build_rows<'s>(sub: &'s Substrate<'_>, epsilon: f64, with_wire: bool) -> Vec<ApproxRow<'s>> {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must lie in (0, 1], got {epsilon}"
+        );
+        // Internal rounding uses ε/2 so the final estimate is (1+ε)-accurate.
+        let half = epsilon / 2.0;
+        let tree = sub.tree();
+        let hp = sub.heavy_paths();
+        let aux = sub.aux_labels();
+        let rd = sub.root_distances();
+        substrate::build_vec(sub.parallelism(), tree.len(), |i| {
+            let v = tree.node(i);
+            let sig = hp.significant_ancestors(v);
+            // Skip sig[0] = v itself; store exponents for v₁, …, v_k.
+            let exponents: Vec<u64> = sig[1..]
+                .iter()
+                .map(|&a| {
+                    let d = rd[v.index()] - rd[a.index()];
+                    if d == 0 {
+                        0
+                    } else {
+                        // Reserve exponent 0 for "distance 0" (possible with
+                        // 0-weight edges) by shifting real exponents up by 1.
+                        round_up_exponent(d, half) + 1
+                    }
+                })
+                .collect();
+            // The sequence must be non-decreasing for Lemma 2.2; distances
+            // to higher significant ancestors only grow, and the 0-shift
+            // preserves order.
+            let mut row = ApproxRow {
+                rd: rd[v.index()],
+                aux: aux.label(v),
+                exponents,
+                wire_bits: 0,
+            };
+            if with_wire {
+                // Closed-form wire size (no encoding pass; the feature-gated
+                // legacy tests pin it to the real encoder bit for bit).
+                row.wire_bits = (codes::gamma_nz_len((1.0 / epsilon).ceil() as u64)
+                    + codes::delta_nz_len(row.rd)
+                    + row.aux.bit_len()
+                    + MonotoneSeq::encoded_len(&row.exponents))
+                    as u32;
+            }
+            row
+        })
+    }
+
+    /// The ε this scheme was built with.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Returns an estimate `d̃` with `d(u,v) ≤ d̃ ≤ (1+ε)·d(u,v) + 2`,
+    /// computed from the two packed labels alone — one
+    /// [`crate::kernel::approximate`] call, with zero allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node index is out of range.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> u64 {
+        self.store.distance(u.index(), v.index())
+    }
+
+    /// Size in bits of the (wire-encoded) label of `u`.
+    pub fn label_bits(&self, u: NodeId) -> usize {
+        self.wire_bits[u.index()] as usize
+    }
+
+    /// Maximum wire-encoded label size in bits.
+    pub fn max_label_bits(&self) -> usize {
+        self.wire_bits.iter().copied().max().unwrap_or(0) as usize
+    }
 }
 
-/// The value represented by exponent `e`: `⌈(1+eps)^e⌉`.
-fn exponent_value(e: u64, eps: f64) -> u64 {
-    (1.0 + eps).powi(e as i32).ceil() as u64
+/// The pack source of the approximate scheme.
+struct ApproxSource<'a, 'b> {
+    rows: &'b [ApproxRow<'a>],
+    epsilon: f64,
 }
 
-/// Label of the `(1+ε)`-approximate scheme.
+impl PackSource<ApproximateScheme> for ApproxSource<'_, '_> {
+    fn node_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn store_param(&self) -> u64 {
+        self.epsilon.to_bits()
+    }
+
+    fn meta_words(&self) -> Vec<u64> {
+        let (mut w_rd, mut w_ec, mut w_e) = (0u8, 0u8, 0u8);
+        let mut aux_w = AuxWidths::default();
+        let w = |x: u64| codes::bit_len(x) as u8;
+        for r in self.rows {
+            w_rd = w_rd.max(w(r.rd));
+            w_ec = w_ec.max(w(r.exponents.len() as u64));
+            // Exponents are non-decreasing, so the last bounds them all.
+            w_e = w_e.max(w(r.exponents.last().copied().unwrap_or(0)));
+            aux_w.observe(r.aux);
+        }
+        // The approximate query never consults the domination order (side
+        // selection reads the divergence bit instead), so the field is packed
+        // at width 0.
+        aux_w.dom = 0;
+        ApproximateMeta::with_widths(w_rd, w_ec, w_e, aux_w, self.epsilon).words()
+    }
+
+    fn packed_label_bits(&self, meta: &ApproximateMeta, u: usize) -> usize {
+        let r = &self.rows[u];
+        meta.hdr_total + r.exponents.len() * meta.e_w + meta.aux_w.packed_bits(r.aux)
+    }
+
+    fn pack_label(&self, meta: &ApproximateMeta, u: usize, w: &mut BitWriter) {
+        let r = &self.rows[u];
+        w.write_bits_lsb(r.rd, usize::from(meta.w_rd));
+        w.write_bits_lsb(r.exponents.len() as u64, usize::from(meta.w_ec));
+        w.write_bits_lsb(r.aux.codewords_len() as u64, usize::from(meta.aux_w.end));
+        for &e in &r.exponents {
+            w.write_bits_lsb(e, usize::from(meta.w_e));
+        }
+        meta.aux_w.pack(r.aux, w);
+    }
+}
+
+impl StoredScheme for ApproximateScheme {
+    const TAG: u32 = 5;
+    const STORE_NAME: &'static str = "approximate";
+    type Meta = ApproximateMeta;
+    type Ref<'a> = ApproximateLabelRef<'a>;
+
+    fn as_store(&self) -> &SchemeStore<ApproximateScheme> {
+        &self.store
+    }
+
+    fn parse_meta(param: u64, words: &[u64]) -> Result<ApproximateMeta, StoreError> {
+        ApproximateMeta::parse(param, words)
+    }
+
+    fn label_ref<'a>(
+        slice: BitSlice<'a>,
+        start: usize,
+        meta: &'a ApproximateMeta,
+    ) -> ApproximateLabelRef<'a> {
+        ApproximateLabelRef::new(slice, start, meta)
+    }
+
+    /// The Theorem 1.4 protocol over packed views, estimate for estimate
+    /// (same ε, same rounding).
+    fn distance_refs(a: ApproximateLabelRef<'_>, b: ApproximateLabelRef<'_>) -> u64 {
+        kernel::distance_refs(a, b)
+    }
+
+    fn check_label(slice: BitSlice<'_>, start: usize, end: usize, meta: &ApproximateMeta) -> bool {
+        kernel::check_label(slice, start, end, meta)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy wire-format labels (feature-gated)
+// ---------------------------------------------------------------------------
+
+/// Label of the `(1+ε)`-approximate scheme in its historical struct form —
+/// kept for the self-delimiting wire format and its decode adversaries.
+#[cfg(feature = "legacy-labels")]
 #[derive(Debug, Clone, PartialEq)]
 pub struct ApproximateLabel {
     /// The ε the scheme was built with.
@@ -49,38 +268,41 @@ pub struct ApproximateLabel {
     /// Heavy-path auxiliary label.
     aux: HpathLabel,
     /// Rounding exponents of `d(v, vᵢ)` for the significant ancestors
-    /// `v₁, …, v_k` (deepest first); `None`-like sentinel 0 is never needed
-    /// because `d(v, vᵢ) ≥ 1` for `i ≥ 1`.
+    /// `v₁, …, v_k` (deepest first).
     exponents: Vec<u64>,
 }
 
+#[cfg(feature = "legacy-labels")]
 impl ApproximateLabel {
     /// Weighted distance from the root.
     pub fn root_distance(&self) -> u64 {
         self.root_distance
     }
 
-    /// The embedded heavy-path auxiliary label.
-    pub fn aux(&self) -> &HpathLabel {
-        &self.aux
+    /// The rounding exponents.
+    pub fn exponents(&self) -> &[u64] {
+        &self.exponents
     }
 
     /// Serializes the label.
     pub fn encode(&self, w: &mut BitWriter) {
-        // ε is a scheme-wide parameter; encode it as the integer ⌈1/ε⌉ so the
-        // label is self-contained.
-        codes::write_gamma_nz(w, (1.0 / self.epsilon).ceil() as u64);
-        codes::write_delta_nz(w, self.root_distance);
-        self.aux.encode(w);
-        MonotoneSeq::new(&self.exponents).encode(w);
+        wire_encode(
+            w,
+            self.epsilon,
+            self.root_distance,
+            &self.aux,
+            &self.exponents,
+        );
     }
 
     /// Deserializes a label written by [`ApproximateLabel::encode`].
     ///
     /// # Errors
     ///
-    /// Returns a [`DecodeError`] on truncated or malformed input.
-    pub fn decode(r: &mut BitReader<'_>) -> Result<Self, DecodeError> {
+    /// Returns a [`treelab_bits::DecodeError`] on truncated or malformed
+    /// input.
+    pub fn decode(r: &mut treelab_bits::BitReader<'_>) -> Result<Self, treelab_bits::DecodeError> {
+        use treelab_bits::DecodeError;
         let inv_eps = codes::read_gamma_nz(r)?;
         if inv_eps == 0 {
             return Err(DecodeError::Malformed {
@@ -106,436 +328,70 @@ impl ApproximateLabel {
     }
 }
 
-/// The `(1+ε)`-approximate distance labeling scheme of §5.2.
-#[derive(Debug, Clone)]
-pub struct ApproximateScheme {
-    epsilon: f64,
-    labels: Vec<ApproximateLabel>,
-}
-
+#[cfg(feature = "legacy-labels")]
 impl ApproximateScheme {
-    /// Builds `(1+ε)`-approximate labels for every node of `tree` (which may be
-    /// weighted).
+    /// Builds the historical struct labels from a shared substrate.
     ///
-    /// # Panics
-    ///
-    /// Panics unless `0 < ε ≤ 1` (the regime of Theorem 1.4).
-    pub fn build(tree: &Tree, epsilon: f64) -> Self {
-        Self::build_with_substrate(&Substrate::new(tree), epsilon)
-    }
-
-    /// Builds the scheme from a shared [`Substrate`] (same labels as
-    /// [`ApproximateScheme::build`], bit for bit).
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `0 < ε ≤ 1` (the regime of Theorem 1.4).
-    pub fn build_with_substrate(sub: &Substrate<'_>, epsilon: f64) -> Self {
-        assert!(
-            epsilon > 0.0 && epsilon <= 1.0,
-            "epsilon must lie in (0, 1], got {epsilon}"
-        );
-        // Internal rounding uses ε/2 so the final estimate is (1+ε)-accurate.
-        let half = epsilon / 2.0;
-        let tree = sub.tree();
-        let hp = sub.heavy_paths();
-        let aux = sub.aux_labels();
-        let rd = sub.root_distances();
-        let labels = substrate::build_vec(sub.parallelism(), tree.len(), |i| {
-            let v = tree.node(i);
-            let sig = hp.significant_ancestors(v);
-            // Skip sig[0] = v itself; store exponents for v₁, …, v_k.
-            let exponents: Vec<u64> = sig[1..]
-                .iter()
-                .map(|&a| {
-                    let d = rd[v.index()] - rd[a.index()];
-                    if d == 0 {
-                        0
-                    } else {
-                        // Reserve exponent 0 for "distance 0" (possible with
-                        // 0-weight edges) by shifting real exponents up by 1.
-                        round_up_exponent(d, half) + 1
-                    }
-                })
-                .collect();
-            // The sequence must be non-decreasing for Lemma 2.2; distances
-            // to higher significant ancestors only grow, and the 0-shift
-            // preserves order.
-            ApproximateLabel {
+    /// Note: the wire format rounds ε to `1/⌈1/ε⌉`, so labels decoded from
+    /// the wire carry the rounded ε (exactly as the historical decoder did).
+    pub fn legacy_labels(sub: &Substrate<'_>, epsilon: f64) -> Vec<ApproximateLabel> {
+        Self::build_rows(sub, epsilon, false)
+            .into_iter()
+            .map(|row| ApproximateLabel {
                 epsilon,
-                root_distance: rd[v.index()],
-                aux: aux.label(v).clone(),
-                exponents,
+                root_distance: row.rd,
+                aux: row.aux.clone(),
+                exponents: row.exponents,
+            })
+            .collect()
+    }
+
+    /// The historical struct-then-serialize pipeline (bit-for-bit identical
+    /// to the direct pack path; asserted by the equivalence tests).
+    pub fn store_from_legacy(
+        labels: &[ApproximateLabel],
+        epsilon: f64,
+    ) -> SchemeStore<ApproximateScheme> {
+        struct LegacySource<'a> {
+            labels: &'a [ApproximateLabel],
+            epsilon: f64,
+        }
+        impl PackSource<ApproximateScheme> for LegacySource<'_> {
+            fn node_count(&self) -> usize {
+                self.labels.len()
             }
-        });
-        ApproximateScheme { epsilon, labels }
-    }
-
-    /// The ε this scheme was built with.
-    pub fn epsilon(&self) -> f64 {
-        self.epsilon
-    }
-
-    /// Label of node `u`.
-    pub fn label(&self, u: NodeId) -> &ApproximateLabel {
-        &self.labels[u.index()]
-    }
-
-    /// Size in bits of the label of `u`.
-    pub fn label_bits(&self, u: NodeId) -> usize {
-        self.labels[u.index()].bit_len()
-    }
-
-    /// Maximum label size in bits.
-    pub fn max_label_bits(&self) -> usize {
-        self.labels
-            .iter()
-            .map(ApproximateLabel::bit_len)
-            .max()
-            .unwrap_or(0)
-    }
-
-    /// Returns an estimate `d̃` with `d(u,v) ≤ d̃ ≤ (1+ε)·d(u,v) + 2`, computed
-    /// from the two labels alone.
-    pub fn distance(a: &ApproximateLabel, b: &ApproximateLabel) -> u64 {
-        let (la, lb) = (&a.aux, &b.aux);
-        if HpathLabel::same_node(la, lb) {
-            return 0;
-        }
-        // Ancestor pairs are exact.
-        if HpathLabel::is_ancestor(la, lb) || HpathLabel::is_ancestor(lb, la) {
-            return a.root_distance.abs_diff(b.root_distance);
-        }
-        let j = HpathLabel::common_light_depth(la, lb);
-        // Choose the side x for which the NCA w is a significant ancestor: the
-        // side that leaves the common heavy path *at* w via a light edge.  If
-        // both sides branch via light edges, either works; if one side stays on
-        // the path past w, the other side branches at w.
-        let a_branches = la.light_depth() > j;
-        let b_branches = lb.light_depth() > j;
-        let use_a = match (a_branches, b_branches) {
-            (true, false) => true,
-            (false, true) => false,
-            (true, true) => {
-                // Both branch; the one with the lexicographically smaller
-                // codeword branches at the higher node, which is the NCA.
-                matches!(HpathLabel::branch_cmp(la, lb, j), Some(Ordering::Less))
+            fn store_param(&self) -> u64 {
+                self.epsilon.to_bits()
             }
-            (false, false) => {
-                // Both lie on the common heavy path — then one is an ancestor
-                // of the other, already handled above.
-                unreachable!("non-ancestor nodes cannot both lie on the NCA's heavy path")
+            fn meta_words(&self) -> Vec<u64> {
+                let (mut w_rd, mut w_ec, mut w_e) = (0u8, 0u8, 0u8);
+                let mut aux_w = AuxWidths::default();
+                let w = |x: u64| codes::bit_len(x) as u8;
+                for l in self.labels {
+                    w_rd = w_rd.max(w(l.root_distance));
+                    w_ec = w_ec.max(w(l.exponents.len() as u64));
+                    w_e = w_e.max(w(l.exponents.last().copied().unwrap_or(0)));
+                    aux_w.observe(&l.aux);
+                }
+                aux_w.dom = 0;
+                ApproximateMeta::with_widths(w_rd, w_ec, w_e, aux_w, self.epsilon).words()
             }
-        };
-        let (x, y) = if use_a { (a, b) } else { (b, a) };
-        // w is x's significant ancestor with light depth j, i.e. index
-        // lightdepth(x) − j in x's significant-ancestor list (1-based in the
-        // stored exponents, whose entry i corresponds to ancestor i).
-        let idx = x.aux.light_depth() - j; // ≥ 1
-        let e = x.exponents[idx - 1];
-        let rounded = if e == 0 {
-            0
-        } else {
-            exponent_value(e - 1, x.epsilon / 2.0)
-        };
-        // d(u,v) = rd(y) − rd(x) + 2·d(x, w); the rounded value only over-counts.
-        (y.root_distance + 2 * rounded).saturating_sub(x.root_distance)
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Zero-copy store support
-// ---------------------------------------------------------------------------
-
-/// Store meta of the approximate scheme: global field widths of the packed
-/// layout `[root_distance][count][exponents[0..count]][aux label]`, plus the
-/// exact ε (carried bit-exact through the store header so packed queries
-/// reproduce the in-memory estimates digit for digit).
-#[derive(Debug, Clone, Copy)]
-pub struct ApproximateMeta {
-    w_rd: u8,
-    w_ec: u8,
-    w_e: u8,
-    aux_w: AuxWidths,
-    epsilon: f64,
-    // Query-side quantities, precomputed once at parse time.
-    rd_w: usize,
-    e_w: usize,
-    hdr_total: usize,
-    hdr_fused: bool,
-    rd_mask: u64,
-    ec_mask: u64,
-    cwl_sh: u32,
-    aux: AuxDims,
-    /// `⌈(1 + ε/2)^t⌉` for `t = 0 … 127`, precomputed at parse time so the
-    /// query's rounding lookup is one indexed load instead of a serial
-    /// floating-point `powi` chain (exponents above the table fall back).
-    exp_table: [u64; EXP_TABLE],
-}
-
-/// Entries in the precomputed exponent-value table.
-const EXP_TABLE: usize = 128;
-
-impl ApproximateMeta {
-    fn with_widths(w_rd: u8, w_ec: u8, w_e: u8, aux_w: AuxWidths, epsilon: f64) -> Self {
-        let hdr_total = usize::from(w_rd) + usize::from(w_ec) + usize::from(aux_w.end);
-        let mut exp_table = [0u64; EXP_TABLE];
-        for (t, slot) in exp_table.iter_mut().enumerate() {
-            *slot = exponent_value(t as u64, epsilon / 2.0);
-        }
-        ApproximateMeta {
-            w_rd,
-            w_ec,
-            w_e,
-            aux_w,
-            epsilon,
-            rd_w: usize::from(w_rd),
-            e_w: usize::from(w_e),
-            hdr_total,
-            hdr_fused: hdr_total <= 64,
-            rd_mask: if w_rd >= 64 {
-                u64::MAX
-            } else {
-                (1u64 << w_rd) - 1
-            },
-            ec_mask: if w_ec >= 64 {
-                u64::MAX
-            } else {
-                (1u64 << w_ec) - 1
-            },
-            cwl_sh: u32::from(w_rd) + u32::from(w_ec),
-            aux: AuxDims::new(aux_w),
-            exp_table,
-        }
-    }
-
-    /// `exponent_value(e, ε/2)` through the table (bit-identical fallback
-    /// beyond it).
-    #[inline]
-    fn exponent_value_cached(&self, e: u64) -> u64 {
-        if (e as usize) < EXP_TABLE {
-            self.exp_table[e as usize]
-        } else {
-            exponent_value(e, self.epsilon / 2.0)
-        }
-    }
-
-    fn measure(labels: &[ApproximateLabel], epsilon: f64) -> Self {
-        let (mut w_rd, mut w_ec, mut w_e) = (0u8, 0u8, 0u8);
-        let mut aux_w = AuxWidths::default();
-        let w = |x: u64| codes::bit_len(x) as u8;
-        for l in labels {
-            debug_assert_eq!(l.epsilon, epsilon, "labels of one scheme share ε");
-            w_rd = w_rd.max(w(l.root_distance));
-            w_ec = w_ec.max(w(l.exponents.len() as u64));
-            // Exponents are non-decreasing, so the last bounds them all.
-            w_e = w_e.max(w(l.exponents.last().copied().unwrap_or(0)));
-            aux_w.observe(&l.aux);
-        }
-        // The approximate query never consults the domination order (side
-        // selection reads the divergence bit instead), so the field is packed
-        // at width 0.
-        aux_w.dom = 0;
-        Self::with_widths(w_rd, w_ec, w_e, aux_w, epsilon)
-    }
-
-    fn words(self) -> Vec<u64> {
-        vec![
-            u64::from(self.w_rd) | u64::from(self.w_ec) << 8 | u64::from(self.w_e) << 16,
-            self.aux_w.to_word(),
-        ]
-    }
-
-    fn parse(param: u64, words: &[u64]) -> Result<Self, StoreError> {
-        let &[w0, w1] = words else {
-            return Err(StoreError::Malformed {
-                what: "approximate scheme meta must be two words",
-            });
-        };
-        let epsilon = f64::from_bits(param);
-        if !(epsilon > 0.0 && epsilon <= 1.0) {
-            return Err(StoreError::Malformed {
-                what: "approximate scheme ε outside (0, 1]",
-            });
-        }
-        let widths = [
-            (w0 & 0xFF) as u8,
-            (w0 >> 8 & 0xFF) as u8,
-            (w0 >> 16 & 0xFF) as u8,
-        ];
-        if w0 >> 24 != 0 || widths.iter().any(|&x| x > 64) {
-            return Err(StoreError::Malformed {
-                what: "approximate scheme field width exceeds 64 bits",
-            });
-        }
-        let [w_rd, w_ec, w_e] = widths;
-        Ok(Self::with_widths(
-            w_rd,
-            w_ec,
-            w_e,
-            AuxWidths::from_word(w1)?,
-            epsilon,
-        ))
-    }
-}
-
-/// Borrowed view of a packed [`ApproximateLabel`] inside a
-/// [`SchemeStore`](crate::store::SchemeStore) buffer.
-#[derive(Debug, Clone, Copy)]
-pub struct ApproximateLabelRef<'a> {
-    s: BitSlice<'a>,
-    start: usize,
-    m: &'a ApproximateMeta,
-}
-
-impl<'a> ApproximateLabelRef<'a> {
-    #[inline]
-    fn get(&self, pos: usize, width: usize) -> u64 {
-        treelab_bits::bitslice::read_lsb(self.s.words(), pos, width)
-    }
-
-    /// `(root_distance, exponent count, codeword length)` — one fused read
-    /// when the widths fit.
-    #[inline]
-    fn header(&self) -> (u64, usize, usize) {
-        let m = self.m;
-        if m.hdr_fused {
-            let raw = self.get(self.start, m.hdr_total);
-            (
-                raw & m.rd_mask,
-                (raw >> m.rd_w & m.ec_mask) as usize,
-                (raw >> m.cwl_sh) as usize,
-            )
-        } else {
-            let ec_w = usize::from(m.w_ec);
-            (
-                self.get(self.start, m.rd_w),
-                self.get(self.start + m.rd_w, ec_w) as usize,
-                self.get(self.start + m.rd_w + ec_w, usize::from(m.aux_w.end)) as usize,
-            )
-        }
-    }
-
-    #[inline]
-    fn exponent(&self, i: usize) -> u64 {
-        let base = self.start + self.m.hdr_total;
-        self.get(base + i * self.m.e_w, self.m.e_w)
-    }
-
-    #[inline]
-    fn aux(&self, count: usize) -> HpathRef<'a> {
-        let base = self.start + self.m.hdr_total + count * self.m.e_w;
-        HpathRef::new(self.s, base, &self.m.aux)
-    }
-}
-
-impl StoredScheme for ApproximateScheme {
-    const TAG: u32 = 5;
-    const STORE_NAME: &'static str = "approximate";
-    type Meta = ApproximateMeta;
-    type Ref<'a> = ApproximateLabelRef<'a>;
-
-    fn node_count(&self) -> usize {
-        self.labels.len()
-    }
-
-    fn store_param(&self) -> u64 {
-        self.epsilon.to_bits()
-    }
-
-    fn meta_words(&self) -> Vec<u64> {
-        ApproximateMeta::measure(&self.labels, self.epsilon).words()
-    }
-
-    fn parse_meta(param: u64, words: &[u64]) -> Result<ApproximateMeta, StoreError> {
-        ApproximateMeta::parse(param, words)
-    }
-
-    fn packed_label_bits(&self, meta: &ApproximateMeta, u: usize) -> usize {
-        let l = &self.labels[u];
-        meta.hdr_total + l.exponents.len() * usize::from(meta.w_e) + meta.aux_w.packed_bits(&l.aux)
-    }
-
-    fn pack_label(&self, meta: &ApproximateMeta, u: usize, w: &mut BitWriter) {
-        let l = &self.labels[u];
-        w.write_bits_lsb(l.root_distance, usize::from(meta.w_rd));
-        w.write_bits_lsb(l.exponents.len() as u64, usize::from(meta.w_ec));
-        w.write_bits_lsb(l.aux.codewords_len() as u64, usize::from(meta.aux_w.end));
-        for &e in &l.exponents {
-            w.write_bits_lsb(e, usize::from(meta.w_e));
-        }
-        meta.aux_w.pack(&l.aux, w);
-    }
-
-    fn label_ref<'a>(
-        slice: BitSlice<'a>,
-        start: usize,
-        meta: &'a ApproximateMeta,
-    ) -> ApproximateLabelRef<'a> {
-        ApproximateLabelRef {
-            s: slice,
-            start,
-            m: meta,
-        }
-    }
-
-    /// Mirrors [`ApproximateScheme::distance`] over packed views, estimate for
-    /// estimate (same ε, same rounding).
-    fn distance_refs(a: ApproximateLabelRef<'_>, b: ApproximateLabelRef<'_>) -> u64 {
-        let (rd_a, ca, cwl_a) = a.header();
-        let (rd_b, cb, cwl_b) = b.header();
-        let (aa, ab) = (a.aux(ca), b.aux(cb));
-        let (sa, sb) = (aa.scalars(), ab.scalars());
-        // Equal nodes fall under the ancestor case (|rd_a − rd_b| = 0).
-        if AuxScalars::is_ancestor(&sa, &sb) || AuxScalars::is_ancestor(&sb, &sa) {
-            return rd_a.abs_diff(rd_b);
-        }
-        let (j, lcp) = HpathRef::common_light_depth_lcp(&aa, &sa, cwl_a, &ab, &sb, cwl_b);
-        let a_branches = sa.ld > j;
-        let b_branches = sb.ld > j;
-        let use_a = match (a_branches, b_branches) {
-            (true, false) => true,
-            (false, true) => false,
-            // Both branch: their codeword strings diverge at bit `lcp`,
-            // strictly inside codeword j, and the lexicographically smaller
-            // side (a 0 bit there) branches closer to the head — one bit read
-            // replaces the chunked lexicographic comparison.
-            (true, true) => aa.cw_bit(sa.ld, lcp) == 0,
-            (false, false) => {
-                unreachable!("non-ancestor nodes cannot both lie on the NCA's heavy path")
+            fn packed_label_bits(&self, meta: &ApproximateMeta, u: usize) -> usize {
+                let l = &self.labels[u];
+                meta.hdr_total + l.exponents.len() * meta.e_w + meta.aux_w.packed_bits(&l.aux)
             }
-        };
-        let (x, x_ld, x_rd) = if use_a {
-            (&a, sa.ld, rd_a)
-        } else {
-            (&b, sb.ld, rd_b)
-        };
-        let y_rd = if use_a { rd_b } else { rd_a };
-        let idx = x_ld - j; // ≥ 1
-        let e = x.exponent(idx - 1);
-        let rounded = if e == 0 {
-            0
-        } else {
-            x.m.exponent_value_cached(e - 1)
-        };
-        (y_rd + 2 * rounded).saturating_sub(x_rd)
-    }
-
-    fn check_label(slice: BitSlice<'_>, start: usize, end: usize, meta: &ApproximateMeta) -> bool {
-        let len = end - start;
-        if len < meta.hdr_total {
-            return false;
+            fn pack_label(&self, meta: &ApproximateMeta, u: usize, w: &mut BitWriter) {
+                let l = &self.labels[u];
+                w.write_bits_lsb(l.root_distance, usize::from(meta.w_rd));
+                w.write_bits_lsb(l.exponents.len() as u64, usize::from(meta.w_ec));
+                w.write_bits_lsb(l.aux.codewords_len() as u64, usize::from(meta.aux_w.end));
+                for &e in &l.exponents {
+                    w.write_bits_lsb(e, usize::from(meta.w_e));
+                }
+                meta.aux_w.pack(&l.aux, w);
+            }
         }
-        let r = Self::label_ref(slice, start, meta);
-        let (_, ec, cwl) = r.header();
-        let fixed = match ec.checked_mul(meta.e_w).map(|x| x + meta.hdr_total) {
-            Some(f) if f <= len => f,
-            _ => return false,
-        };
-        match r.aux(ec).extent_bits(len - fixed) {
-            Some((total, cw)) => fixed + total == len && cw == cwl,
-            None => false,
-        }
+        SchemeStore::from_source(&LegacySource { labels, epsilon })
     }
 }
 
@@ -559,7 +415,7 @@ mod tests {
         for (xu, xv) in pairs {
             let (u, v) = (tree.node(xu), tree.node(xv));
             let d = oracle.distance(u, v);
-            let est = ApproximateScheme::distance(scheme.label(u), scheme.label(v));
+            let est = scheme.distance(u, v);
             assert!(
                 est >= d,
                 "estimate {est} below true {d} for ({u},{v}), eps={eps}"
@@ -606,7 +462,7 @@ mod tests {
         for u in tree.nodes() {
             for v in tree.nodes() {
                 let d = oracle.distance(u, v);
-                let est = ApproximateScheme::distance(scheme.label(u), scheme.label(v));
+                let est = scheme.distance(u, v);
                 assert!(est >= d && est <= d + 2);
             }
         }
@@ -632,16 +488,20 @@ mod tests {
         );
     }
 
+    #[cfg(feature = "legacy-labels")]
     #[test]
-    fn labels_roundtrip() {
+    fn legacy_labels_roundtrip() {
+        use treelab_bits::BitReader;
         let tree = gen::random_tree(120, 3);
-        let scheme = ApproximateScheme::build(&tree, 0.25);
-        for u in tree.nodes() {
-            let label = scheme.label(u);
+        let sub = Substrate::new(&tree);
+        let scheme = ApproximateScheme::build_with_substrate(&sub, 0.25);
+        let labels = ApproximateScheme::legacy_labels(&sub, 0.25);
+        for (i, label) in labels.iter().enumerate() {
             let mut w = BitWriter::new();
             label.encode(&mut w);
             let bits = w.into_bitvec();
             assert_eq!(bits.len(), label.bit_len());
+            assert_eq!(bits.len(), scheme.label_bits(tree.node(i)));
             let back = ApproximateLabel::decode(&mut BitReader::new(&bits)).unwrap();
             assert_eq!(back.root_distance, label.root_distance);
             assert_eq!(back.exponents, label.exponents);
@@ -656,6 +516,7 @@ mod tests {
 
     #[test]
     fn rounding_helpers_are_consistent() {
+        use crate::kernel::approximate::{exponent_value, round_up_exponent};
         for eps in [0.5f64, 0.25, 0.1] {
             for d in 1..500u64 {
                 let e = round_up_exponent(d, eps);

@@ -143,6 +143,47 @@ impl From<frame::CastError> for ForestError {
     }
 }
 
+/// Error returned by the forest file helpers ([`ForestStore::open`],
+/// [`ForestBuilder::write_to`]): either the I/O failed or the bytes read are
+/// not a valid forest frame.
+#[derive(Debug)]
+pub enum ForestFileError {
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+    /// The file's contents failed forest-frame validation.
+    Forest(ForestError),
+}
+
+impl fmt::Display for ForestFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForestFileError::Io(e) => write!(f, "forest file I/O: {e}"),
+            ForestFileError::Forest(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ForestFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ForestFileError::Io(e) => Some(e),
+            ForestFileError::Forest(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ForestFileError {
+    fn from(e: std::io::Error) -> Self {
+        ForestFileError::Io(e)
+    }
+}
+
+impl From<ForestError> for ForestFileError {
+    fn from(e: ForestError) -> Self {
+        ForestFileError::Forest(e)
+    }
+}
+
 /// One validated directory record: where the tree's frame sits, plus the
 /// cached parse so [`AnyStoreRef`] views materialize in O(1).
 #[derive(Debug, Clone, Copy)]
@@ -272,10 +313,10 @@ impl ForestBuilder {
         Self::default()
     }
 
-    /// Builds `scheme` into a store frame and adds it as tree `id`.
+    /// Adds `scheme`'s native frame as tree `id` — a frame handoff (one
+    /// buffer memcpy, nothing re-packed: the scheme already *is* a frame).
     pub fn push_scheme<S: StoredScheme>(&mut self, id: u64, scheme: &S) -> &mut Self {
-        let words = SchemeStore::build(scheme).into_words();
-        self.trees.push((id, words));
+        self.trees.push((id, scheme.as_store().as_words().to_vec()));
         self
     }
 
@@ -312,6 +353,28 @@ impl ForestBuilder {
     /// Returns `true` when no tree has been pushed yet.
     pub fn is_empty(&self) -> bool {
         self.trees.is_empty()
+    }
+
+    /// [`ForestBuilder::finish`] followed by a write of the frame bytes to
+    /// `path` — the std-only file sibling of the in-memory assembly (and the
+    /// stepping stone to an mmap-served deployment: what this writes,
+    /// [`ForestStore::open`] reads back into aligned words).
+    ///
+    /// Returns the assembled store, so the builder process can keep serving
+    /// from it without re-reading the file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForestFileError::Forest`] when assembly fails (empty
+    /// builder, duplicate tree ids) and [`ForestFileError::Io`] when the
+    /// write fails.
+    pub fn write_to(
+        self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<ForestStore, ForestFileError> {
+        let store = self.finish()?;
+        std::fs::write(path, store.to_bytes())?;
+        Ok(store)
     }
 
     /// Assembles the frame: header, id-sorted directory, the inner frames
@@ -740,6 +803,38 @@ impl ForestStore {
         frame::words_to_bytes(&self.words)
     }
 
+    /// Reads a forest frame from `path` into **aligned words** and validates
+    /// it — the std-only file loader (the counterpart of
+    /// [`ForestBuilder::write_to`]).
+    ///
+    /// The file's bytes are widened into an owned, 8-byte-aligned `Vec<u64>`
+    /// in one pass, so this path can never hit [`StoreError::Misaligned`] —
+    /// that error belongs to the borrow path over foreign buffers
+    /// ([`ForestRef::from_bytes`]), which is what an mmap-backed loader will
+    /// use once the map syscall is wired in (the validate-once machinery is
+    /// already alignment-honest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForestFileError::Io`] when reading fails and
+    /// [`ForestFileError::Forest`] when the bytes are not a valid frame
+    /// (including odd lengths, reported as
+    /// [`StoreError::Malformed`]).
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, ForestFileError> {
+        let bytes = std::fs::read(path)?;
+        Ok(Self::from_bytes(&bytes)?)
+    }
+
+    /// Writes the frame bytes to `path` (the file [`ForestStore::open`]
+    /// reads).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the write.
+    pub fn write_to(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
     /// Consumes the store and returns its frame words.
     pub fn into_words(self) -> Vec<u64> {
         self.words
@@ -846,6 +941,46 @@ mod tests {
         assert_eq!(out.len(), q1.len() + q2.len());
         assert_eq!(out[..q1.len()], forest.route_distances(&q1)[..]);
         assert_eq!(out[q1.len()..], forest.route_distances(&q2)[..]);
+    }
+
+    #[test]
+    fn file_round_trip_through_open_and_write_to() {
+        let (trees, forest) = sample_forest();
+        let path =
+            std::env::temp_dir().join(format!("treelab-forest-test-{}.bin", std::process::id()));
+
+        // Store-side write, file-side read: identical words, identical routes.
+        forest.write_to(&path).expect("write_to");
+        let opened = ForestStore::open(&path).expect("open");
+        assert_eq!(opened.as_words(), forest.as_words());
+        let queries = sample_queries(&trees, 120);
+        assert_eq!(
+            opened.route_distances(&queries),
+            forest.route_distances(&queries)
+        );
+
+        // Builder-side write_to returns the store it persisted.
+        let mut b = ForestStore::builder();
+        b.push_scheme(3, &NaiveScheme::build(&trees[0].1));
+        let written = b.write_to(&path).expect("builder write_to");
+        let opened = ForestStore::open(&path).expect("open builder file");
+        assert_eq!(opened.as_words(), written.as_words());
+
+        // A corrupt file is rejected with a Forest error, a missing one with Io.
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        assert!(matches!(
+            ForestStore::open(&path),
+            Err(ForestFileError::Forest(ForestError::Frame(
+                StoreError::BadMagic
+            )))
+        ));
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(
+            ForestStore::open(&path),
+            Err(ForestFileError::Io(_))
+        ));
     }
 
     #[test]

@@ -231,11 +231,20 @@ impl HpathLabel {
         })
     }
 
-    /// Size of the serialized label in bits.
+    /// Size of the serialized label in bits — closed form, no encoding pass
+    /// (the encode/decode round-trip tests pin it to [`HpathLabel::encode`]'s
+    /// actual output).
     pub fn bit_len(&self) -> usize {
-        let mut w = BitWriter::new();
-        self.encode(&mut w);
-        w.len()
+        codes::gamma_nz_len(self.light_depth as u64)
+            + codes::delta_nz_len(self.dom_order)
+            + codes::delta_nz_len(self.pre)
+            + codes::delta_nz_len(self.subtree_size)
+            + MonotoneSeq::encoded_len_parts(
+                self.ends.len(),
+                self.ends.last().copied().unwrap_or(0) as u64,
+            )
+            + codes::gamma_nz_len(self.codewords.len() as u64)
+            + self.codewords.len()
     }
 }
 

@@ -18,11 +18,17 @@
 //! the parent: either the offset decreases by one, or the last light edge is
 //! popped and the offset becomes that edge's branch offset.
 //!
+//! The native representation is the packed store frame (the
+//! [`crate::kernel::level_ancestor`] kernel answers distance queries from it
+//! directly); [`LevelAncestorScheme::label`] materializes the walkable
+//! [`LevelAncestorLabel`] of any node from the frame on demand.
+//!
 //! This scheme works directly on the original (unweighted) tree; no
 //! binarization is involved.
 
-use crate::store::{StoreError, StoredScheme};
-use crate::substrate::{self, Substrate};
+use crate::kernel::level_ancestor::{self as kernel, LevelAncestorLabelRef, LevelAncestorMeta};
+use crate::store::{SchemeStore, StoreError, StoredScheme};
+use crate::substrate::{self, PackSource, Substrate};
 use crate::DistanceScheme;
 use treelab_bits::{
     codes, monotone::MonotoneSeq, BitReader, BitSlice, BitVec, BitWriter, DecodeError,
@@ -32,7 +38,8 @@ use treelab_tree::{NodeId, Tree};
 /// Label of the level-ancestor scheme.
 ///
 /// Labels are distinct across the nodes of one tree and are closed under the
-/// [`LevelAncestorScheme::parent`] operation.
+/// [`LevelAncestorScheme::parent`] operation.  They are materialized from the
+/// scheme's packed frame on demand ([`LevelAncestorScheme::label`]).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LevelAncestorLabel {
     /// Depth of the node (number of edges from the root).
@@ -128,30 +135,19 @@ impl LevelAncestorLabel {
         self.encode(&mut w);
         w.into_bitvec()
     }
-
-    /// Number of leading light-edge codewords shared by `a` and `b` — the
-    /// light depth of their nearest common ancestor (the level-ancestor label
-    /// carries the same codeword structure as the Lemma 2.1 aux label).
-    fn common_codewords(a: &Self, b: &Self) -> usize {
-        let (sa, sb) = (a.codewords.as_bitslice(), b.codewords.as_bitslice());
-        let max = a.ends.len().min(b.ends.len());
-        let (mut pa, mut pb) = (0usize, 0usize);
-        for i in 0..max {
-            let (ea, eb) = (a.ends[i] as usize, b.ends[i] as usize);
-            if ea - pa != eb - pb || !sa.eq_range(pa, &sb, pb, ea - pa) {
-                return i;
-            }
-            pa = ea;
-            pb = eb;
-        }
-        max
-    }
 }
 
-/// The level-ancestor / parent labeling scheme of §3.6.
+/// One node's build-time row: `(depth, head_offset, path)` — the codeword
+/// prefixes, ends and branch offsets are shared per heavy path.
+type LaRow = (u64, u64, usize);
+
+/// The level-ancestor / parent labeling scheme of §3.6, a thin owner of its
+/// packed [`SchemeStore`] frame.
 #[derive(Debug, Clone)]
 pub struct LevelAncestorScheme {
-    labels: Vec<LevelAncestorLabel>,
+    store: SchemeStore<LevelAncestorScheme>,
+    /// Per-node wire-encoding sizes (the paper's label-size quantity).
+    wire_bits: Vec<u32>,
 }
 
 impl LevelAncestorScheme {
@@ -165,7 +161,7 @@ impl LevelAncestorScheme {
         Self::build_with_substrate(&Substrate::new(tree))
     }
 
-    /// Builds the scheme from a shared [`Substrate`] (same labels as
+    /// Builds the scheme from a shared [`Substrate`] (same frame as
     /// [`LevelAncestorScheme::build`], bit for bit).
     ///
     /// # Panics
@@ -184,32 +180,73 @@ impl LevelAncestorScheme {
         // auxiliary labels use.
         let prefixes = crate::hpath::build_path_prefixes(hp, sub.parallelism(), true);
         let depths = sub.depths();
-        let labels = substrate::build_vec(sub.parallelism(), tree.len(), |i| {
+        let rows: Vec<(LaRow, u32)> = substrate::build_vec(sub.parallelism(), tree.len(), |i| {
             let u = tree.node(i);
             let p = hp.path_of(u);
-            LevelAncestorLabel {
-                depth: depths[u.index()] as u64,
-                head_offset: hp.head_offset(u),
-                codewords: prefixes.bits[p].clone(),
-                ends: prefixes.ends[p].clone(),
-                branch_offsets: prefixes.branches[p].clone(),
-            }
+            let row = (depths[u.index()] as u64, hp.head_offset(u), p);
+            // Closed-form wire size (no encoding pass; the encode/decode
+            // round-trip test pins it to the real encoder bit for bit).
+            let cwl = prefixes.bits[p].len();
+            let ends = &prefixes.ends[p];
+            let wire = codes::delta_nz_len(row.0)
+                + codes::delta_nz_len(row.1)
+                + MonotoneSeq::encoded_len_parts(
+                    ends.len(),
+                    u64::from(ends.last().copied().unwrap_or(0)),
+                )
+                + codes::gamma_nz_len(cwl as u64)
+                + cwl
+                + prefixes.branches[p]
+                    .iter()
+                    .map(|&b| codes::delta_nz_len(b))
+                    .sum::<usize>();
+            (row, wire as u32)
         });
-        LevelAncestorScheme { labels }
+        let la_rows: Vec<LaRow> = rows.iter().map(|&(r, _)| r).collect();
+        let store = SchemeStore::from_source(&LaSource {
+            rows: &la_rows,
+            prefixes: &prefixes,
+        });
+        LevelAncestorScheme {
+            store,
+            wire_bits: rows.iter().map(|&(_, wb)| wb).collect(),
+        }
     }
 
-    /// Label of node `u`.
-    pub fn label(&self, u: NodeId) -> &LevelAncestorLabel {
-        &self.labels[u.index()]
+    /// Materializes the walkable label of node `u` from the packed frame.
+    ///
+    /// The result is exactly the historical struct label (same codewords,
+    /// ends, branch offsets), so [`LevelAncestorLabel::to_bits`] interning
+    /// and [`LevelAncestorScheme::parent`] chains behave identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn label(&self, u: NodeId) -> LevelAncestorLabel {
+        let r = self.store.label_ref(u.index());
+        let (depth, head_offset, ld, cwl) = r.header();
+        let codewords = BitVec::from_bools((0..cwl).map(|i| r.cw_bit(i)));
+        let mut ends = Vec::with_capacity(ld);
+        let mut branch_offsets = Vec::with_capacity(ld);
+        let mut prev_sum = 0u64;
+        for i in 0..ld {
+            let (end, depth_sum) = r.record(cwl, i);
+            ends.push(end as u32);
+            branch_offsets.push(depth_sum - prev_sum - 1);
+            prev_sum = depth_sum;
+        }
+        LevelAncestorLabel {
+            depth,
+            head_offset,
+            codewords,
+            ends,
+            branch_offsets,
+        }
     }
 
-    /// Maximum serialized label size in bits.
+    /// Maximum serialized (wire) label size in bits.
     pub fn max_label_bits(&self) -> usize {
-        self.labels
-            .iter()
-            .map(LevelAncestorLabel::bit_len)
-            .max()
-            .unwrap_or(0)
+        self.wire_bits.iter().copied().max().unwrap_or(0) as usize
     }
 
     /// Computes the label of the parent of the node labelled `label`, or
@@ -267,17 +304,69 @@ impl LevelAncestorScheme {
     }
 }
 
+/// The pack source of the level-ancestor scheme: per-node `(depth,
+/// head_offset, path)` rows over the shared per-path prefixes.
+struct LaSource<'b> {
+    rows: &'b [LaRow],
+    prefixes: &'b crate::hpath::PathPrefixes,
+}
+
+impl PackSource<LevelAncestorScheme> for LaSource<'_> {
+    fn node_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn meta_words(&self) -> Vec<u64> {
+        let (mut w_d, mut w_ho, mut w_ld, mut w_end, mut w_bs) = (0u8, 0u8, 0u8, 0u8, 0u8);
+        let w = |x: u64| codes::bit_len(x) as u8;
+        for &(depth, ho, p) in self.rows {
+            w_d = w_d.max(w(depth));
+            w_ho = w_ho.max(w(ho));
+            let branches = &self.prefixes.branches[p];
+            w_ld = w_ld.max(w(branches.len() as u64));
+            w_end = w_end.max(w(self.prefixes.bits[p].len() as u64));
+            let depth_sum: u64 = branches.iter().map(|&o| o + 1).sum();
+            w_bs = w_bs.max(w(depth_sum));
+        }
+        LevelAncestorMeta::with_widths(w_d, w_ho, w_ld, w_end, w_bs).words()
+    }
+
+    fn packed_label_bits(&self, meta: &LevelAncestorMeta, u: usize) -> usize {
+        let (_, _, p) = self.rows[u];
+        meta.hdr_total + self.prefixes.bits[p].len() + self.prefixes.branches[p].len() * meta.rec_w
+    }
+
+    fn pack_label(&self, meta: &LevelAncestorMeta, u: usize, w: &mut BitWriter) {
+        let (depth, ho, p) = self.rows[u];
+        let (bits, ends, branches) = (
+            &self.prefixes.bits[p],
+            &self.prefixes.ends[p],
+            &self.prefixes.branches[p],
+        );
+        debug_assert_eq!(ends.len(), branches.len());
+        w.write_bits_lsb(depth, usize::from(meta.w_d));
+        w.write_bits_lsb(ho, usize::from(meta.w_ho));
+        w.write_bits_lsb(branches.len() as u64, usize::from(meta.w_ld));
+        w.write_bits_lsb(bits.len() as u64, usize::from(meta.w_end));
+        w.write_bitvec(bits);
+        let mut depth_sum = 0u64;
+        for (i, &o) in branches.iter().enumerate() {
+            depth_sum += o + 1;
+            w.write_bits_lsb(u64::from(ends[i]), usize::from(meta.w_end));
+            w.write_bits_lsb(depth_sum, usize::from(meta.w_bs));
+        }
+    }
+}
+
 /// The level-ancestor labels double as exact distance labels: a label carries
 /// its node's depth, the identity of its heavy path (the codeword sequence)
 /// and every branch offset on the root path — enough to locate the NCA of two
 /// labelled nodes and read off the distance, from the two labels alone.
 ///
 /// This is exactly the observation behind §3.6 (the scheme is a re-phrasing
-/// of the Alstrup et al. distance labels), and it is what lets the zero-copy
-/// scheme store serve distance queries for all six schemes uniformly.
+/// of the Alstrup et al. distance labels), and it is what lets the packed
+/// store serve distance queries for all six schemes uniformly.
 impl DistanceScheme for LevelAncestorScheme {
-    type Label = LevelAncestorLabel;
-
     fn build(tree: &Tree) -> Self {
         LevelAncestorScheme::build(tree)
     }
@@ -286,29 +375,8 @@ impl DistanceScheme for LevelAncestorScheme {
         LevelAncestorScheme::build_with_substrate(sub)
     }
 
-    fn label(&self, u: NodeId) -> &LevelAncestorLabel {
-        &self.labels[u.index()]
-    }
-
-    fn distance(a: &LevelAncestorLabel, b: &LevelAncestorLabel) -> u64 {
-        let j = LevelAncestorLabel::common_codewords(a, b);
-        // Both root paths run together through the first j light edges and
-        // enter the same heavy path P; each side leaves P at its (j+1)-st
-        // branch node, or ends on P.  The higher exit is the NCA.
-        let exit = |l: &LevelAncestorLabel| {
-            if l.branch_offsets.len() > j {
-                l.branch_offsets[j]
-            } else {
-                l.head_offset
-            }
-        };
-        let head_depth: u64 = a.branch_offsets[..j].iter().map(|&o| o + 1).sum();
-        let nca_depth = head_depth + exit(a).min(exit(b));
-        a.depth + b.depth - 2 * nca_depth
-    }
-
     fn label_bits(&self, u: NodeId) -> usize {
-        self.labels[u.index()].bit_len()
+        self.wire_bits[u.index()] as usize
     }
 
     fn max_label_bits(&self) -> usize {
@@ -320,264 +388,18 @@ impl DistanceScheme for LevelAncestorScheme {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Zero-copy store support
-// ---------------------------------------------------------------------------
-
-/// Store meta of the level-ancestor scheme: global field widths of the packed
-/// layout
-///
-/// ```text
-/// [depth | head_offset | count | codeword length][codewords]
-/// [records: count × (end | depth_sum)]
-/// ```
-///
-/// `depth_sum[i] = Σ_{t ≤ i} (branch_offsets[t] + 1)` — the depth of the
-/// heavy-path head below light edge `i` — and each record fuses it with the
-/// codeword end position, so one LCP over the codeword strings plus one
-/// record scan yields the NCA depth with no per-level two-sided comparison.
-#[derive(Debug, Clone, Copy)]
-pub struct LevelAncestorMeta {
-    w_d: u8,
-    w_ho: u8,
-    w_ld: u8,
-    w_end: u8,
-    w_bs: u8,
-    // Query-side quantities, precomputed once at parse time.
-    hdr_total: usize,
-    hdr_fused: bool,
-    d_mask: u64,
-    ho_sh: u32,
-    ho_mask: u64,
-    ld_sh: u32,
-    ld_mask: u64,
-    cwl_sh: u32,
-    rec_w: usize,
-    rec_fused: bool,
-    end_mask: u64,
-    bs_sh: u32,
-}
-
-impl LevelAncestorMeta {
-    fn with_widths(w_d: u8, w_ho: u8, w_ld: u8, w_end: u8, w_bs: u8) -> Self {
-        let mask = |w: u8| crate::hpath::width_mask(usize::from(w));
-        let hdr_total =
-            usize::from(w_d) + usize::from(w_ho) + usize::from(w_ld) + usize::from(w_end);
-        let rec_w = usize::from(w_end) + usize::from(w_bs);
-        LevelAncestorMeta {
-            w_d,
-            w_ho,
-            w_ld,
-            w_end,
-            w_bs,
-            hdr_total,
-            hdr_fused: hdr_total <= 64,
-            d_mask: mask(w_d),
-            ho_sh: u32::from(w_d),
-            ho_mask: mask(w_ho),
-            ld_sh: u32::from(w_d) + u32::from(w_ho),
-            ld_mask: mask(w_ld),
-            cwl_sh: u32::from(w_d) + u32::from(w_ho) + u32::from(w_ld),
-            rec_w,
-            rec_fused: rec_w <= 64,
-            end_mask: mask(w_end),
-            bs_sh: u32::from(w_end),
-        }
-    }
-
-    fn measure(labels: &[LevelAncestorLabel]) -> Self {
-        let (mut w_d, mut w_ho, mut w_ld, mut w_end, mut w_bs) = (0u8, 0u8, 0u8, 0u8, 0u8);
-        let w = |x: u64| codes::bit_len(x) as u8;
-        for l in labels {
-            w_d = w_d.max(w(l.depth));
-            w_ho = w_ho.max(w(l.head_offset));
-            w_ld = w_ld.max(w(l.branch_offsets.len() as u64));
-            w_end = w_end.max(w(l.codewords.len() as u64));
-            let depth_sum: u64 = l.branch_offsets.iter().map(|&o| o + 1).sum();
-            w_bs = w_bs.max(w(depth_sum));
-        }
-        Self::with_widths(w_d, w_ho, w_ld, w_end, w_bs)
-    }
-
-    fn words(self) -> Vec<u64> {
-        vec![
-            u64::from(self.w_d)
-                | u64::from(self.w_ho) << 8
-                | u64::from(self.w_ld) << 16
-                | u64::from(self.w_end) << 24
-                | u64::from(self.w_bs) << 32,
-        ]
-    }
-
-    fn parse(words: &[u64]) -> Result<Self, StoreError> {
-        let &[w0] = words else {
-            return Err(StoreError::Malformed {
-                what: "level-ancestor scheme meta must be one word",
-            });
-        };
-        let widths = [
-            (w0 & 0xFF) as u8,
-            (w0 >> 8 & 0xFF) as u8,
-            (w0 >> 16 & 0xFF) as u8,
-            (w0 >> 24 & 0xFF) as u8,
-            (w0 >> 32 & 0xFF) as u8,
-        ];
-        if w0 >> 40 != 0 || widths.iter().any(|&x| x > 64) {
-            return Err(StoreError::Malformed {
-                what: "level-ancestor field width exceeds 64 bits",
-            });
-        }
-        let [w_d, w_ho, w_ld, w_end, w_bs] = widths;
-        Ok(Self::with_widths(w_d, w_ho, w_ld, w_end, w_bs))
-    }
-}
-
-/// Borrowed view of a packed [`LevelAncestorLabel`] inside a
-/// [`SchemeStore`](crate::store::SchemeStore) buffer.
-#[derive(Debug, Clone, Copy)]
-pub struct LevelAncestorLabelRef<'a> {
-    s: BitSlice<'a>,
-    start: usize,
-    m: &'a LevelAncestorMeta,
-}
-
-impl<'a> LevelAncestorLabelRef<'a> {
-    #[inline]
-    fn get(&self, pos: usize, width: usize) -> u64 {
-        treelab_bits::bitslice::read_lsb(self.s.words(), pos, width)
-    }
-
-    /// `(depth, head_offset, light_depth, codeword length)` — one fused read
-    /// when the widths fit.
-    #[inline]
-    fn header(&self) -> (u64, u64, usize, usize) {
-        let m = self.m;
-        if m.hdr_fused {
-            let raw = self.get(self.start, m.hdr_total);
-            (
-                raw & m.d_mask,
-                raw >> m.ho_sh & m.ho_mask,
-                (raw >> m.ld_sh & m.ld_mask) as usize,
-                (raw >> m.cwl_sh) as usize,
-            )
-        } else {
-            let (dw, how, ldw) = (usize::from(m.w_d), usize::from(m.w_ho), usize::from(m.w_ld));
-            (
-                self.get(self.start, dw),
-                self.get(self.start + dw, how),
-                self.get(self.start + dw + how, ldw) as usize,
-                self.get(self.start + dw + how + ldw, usize::from(m.w_end)) as usize,
-            )
-        }
-    }
-
-    /// Absolute bit offset of the codeword region (fixed).
-    #[inline]
-    fn cw_base(&self) -> usize {
-        self.start + self.m.hdr_total
-    }
-
-    /// Scans the records for the first end position past `lcp`, returning
-    /// `(level, depth_sum[level − 1], depth_sum[level])`; the third value is
-    /// `None` when every end position is within the prefix (`level == ld`).
-    #[inline]
-    fn scan_records(&self, ld: usize, rec_base: usize, lcp: usize) -> (usize, u64, Option<u64>) {
-        let m = self.m;
-        if m.rec_fused {
-            // Branchless fast path over the first three records (see the
-            // prefix-sum schemes); the tail loop handles deeper levels.
-            let r0 = self.get(rec_base, m.rec_w);
-            let r1 = self.get(rec_base + m.rec_w, m.rec_w);
-            let r2 = self.get(rec_base + 2 * m.rec_w, m.rec_w);
-            let e = |r: u64| (r & m.end_mask) as usize;
-            let bs = |r: u64| r >> m.bs_sh;
-            let c0 = usize::from(ld > 0 && e(r0) <= lcp);
-            let c1 = c0 & usize::from(ld > 1 && e(r1) <= lcp);
-            let c2 = c1 & usize::from(ld > 2 && e(r2) <= lcp);
-            let j = c0 + c1 + c2;
-            if j < 3 {
-                let prev = [0, bs(r0), bs(r1)][j];
-                if j >= ld {
-                    return (ld, prev, None);
-                }
-                return (j, prev, Some(bs([r0, r1, r2][j])));
-            }
-            let mut prev = bs(r2);
-            let mut i = 3;
-            while i < ld {
-                let raw = self.get(rec_base + i * m.rec_w, m.rec_w);
-                if e(raw) > lcp {
-                    return (i, prev, Some(bs(raw)));
-                }
-                prev = bs(raw);
-                i += 1;
-            }
-            (ld, prev, None)
-        } else {
-            let mut prev = 0u64;
-            let mut i = 0;
-            while i < ld {
-                let pos = rec_base + i * m.rec_w;
-                let end = self.get(pos, usize::from(m.w_end)) as usize;
-                let bsum = self.get(pos + usize::from(m.w_end), usize::from(m.w_bs));
-                if end > lcp {
-                    return (i, prev, Some(bsum));
-                }
-                prev = bsum;
-                i += 1;
-            }
-            (ld, prev, None)
-        }
-    }
-
-    /// `depth_sum[level]` by direct index (the other side's single read).
-    #[inline]
-    fn depth_sum_at(&self, rec_base: usize, level: usize) -> u64 {
-        let m = self.m;
-        self.get(
-            rec_base + level * m.rec_w + usize::from(m.w_end),
-            usize::from(m.w_bs),
-        )
-    }
-}
-
 impl StoredScheme for LevelAncestorScheme {
     const TAG: u32 = 6;
     const STORE_NAME: &'static str = "level-ancestor";
     type Meta = LevelAncestorMeta;
     type Ref<'a> = LevelAncestorLabelRef<'a>;
 
-    fn node_count(&self) -> usize {
-        self.labels.len()
-    }
-
-    fn meta_words(&self) -> Vec<u64> {
-        LevelAncestorMeta::measure(&self.labels).words()
+    fn as_store(&self) -> &SchemeStore<LevelAncestorScheme> {
+        &self.store
     }
 
     fn parse_meta(_param: u64, words: &[u64]) -> Result<LevelAncestorMeta, StoreError> {
         LevelAncestorMeta::parse(words)
-    }
-
-    fn packed_label_bits(&self, meta: &LevelAncestorMeta, u: usize) -> usize {
-        let l = &self.labels[u];
-        meta.hdr_total + l.codewords.len() + l.branch_offsets.len() * meta.rec_w
-    }
-
-    fn pack_label(&self, meta: &LevelAncestorMeta, u: usize, w: &mut BitWriter) {
-        let l = &self.labels[u];
-        debug_assert_eq!(l.ends.len(), l.branch_offsets.len());
-        w.write_bits_lsb(l.depth, usize::from(meta.w_d));
-        w.write_bits_lsb(l.head_offset, usize::from(meta.w_ho));
-        w.write_bits_lsb(l.branch_offsets.len() as u64, usize::from(meta.w_ld));
-        w.write_bits_lsb(l.codewords.len() as u64, usize::from(meta.w_end));
-        w.write_bitvec(&l.codewords);
-        let mut depth_sum = 0u64;
-        for (i, &o) in l.branch_offsets.iter().enumerate() {
-            depth_sum += o + 1;
-            w.write_bits_lsb(u64::from(l.ends[i]), usize::from(meta.w_end));
-            w.write_bits_lsb(depth_sum, usize::from(meta.w_bs));
-        }
     }
 
     fn label_ref<'a>(
@@ -585,43 +407,13 @@ impl StoredScheme for LevelAncestorScheme {
         start: usize,
         meta: &'a LevelAncestorMeta,
     ) -> LevelAncestorLabelRef<'a> {
-        LevelAncestorLabelRef {
-            s: slice,
-            start,
-            m: meta,
-        }
+        LevelAncestorLabelRef::new(slice, start, meta)
     }
 
-    /// Mirrors `<LevelAncestorScheme as DistanceScheme>::distance` over packed
-    /// views: one codeword LCP, one record scan on side `a`, one indexed read
-    /// on side `b` (the shared `depth_sum[j − 1]` makes the exits symmetric).
+    /// The §3.6 distance protocol over packed views — one
+    /// [`crate::kernel::level_ancestor`] call.
     fn distance_refs(a: LevelAncestorLabelRef<'_>, b: LevelAncestorLabelRef<'_>) -> u64 {
-        let (depth_a, ho_a, lda, cwl_a) = a.header();
-        let (depth_b, ho_b, ldb, cwl_b) = b.header();
-        let lcp = treelab_bits::bitslice::common_prefix_len_raw(
-            a.s.words(),
-            a.cw_base(),
-            cwl_a,
-            b.s.words(),
-            b.cw_base(),
-            cwl_b,
-        );
-        let rec_base_a = a.cw_base() + cwl_a;
-        let (j, head_depth, bsum_a_j) = a.scan_records(lda, rec_base_a, lcp);
-        // Both sides share the first j light edges, so depth_sum[j − 1] is
-        // common; each side's exit is its level-j branch offset, or its own
-        // head offset when it ends on the common path.
-        let exit_a = match bsum_a_j {
-            Some(bs) => bs - head_depth - 1,
-            None => ho_a,
-        };
-        let exit_b = if j < ldb {
-            b.depth_sum_at(b.cw_base() + cwl_b, j) - head_depth - 1
-        } else {
-            ho_b
-        };
-        let nca_depth = head_depth + exit_a.min(exit_b);
-        depth_a + depth_b - 2 * nca_depth
+        kernel::distance_refs(a, b)
     }
 
     fn check_label(
@@ -630,17 +422,61 @@ impl StoredScheme for LevelAncestorScheme {
         end: usize,
         meta: &LevelAncestorMeta,
     ) -> bool {
-        let len = end - start;
-        if len < meta.hdr_total {
-            return false;
+        kernel::check_label(slice, start, end, meta)
+    }
+}
+
+#[cfg(feature = "legacy-labels")]
+impl LevelAncestorScheme {
+    /// The historical struct labels (identical to materializing
+    /// [`LevelAncestorScheme::label`] for every node).
+    pub fn legacy_labels(sub: &Substrate<'_>) -> Vec<LevelAncestorLabel> {
+        let scheme = Self::build_with_substrate(sub);
+        sub.tree().nodes().map(|u| scheme.label(u)).collect()
+    }
+
+    /// The historical struct-then-serialize pipeline (bit-for-bit identical
+    /// to the direct pack path; asserted by the equivalence tests).
+    pub fn store_from_legacy(labels: &[LevelAncestorLabel]) -> SchemeStore<LevelAncestorScheme> {
+        struct LegacySource<'a>(&'a [LevelAncestorLabel]);
+        impl PackSource<LevelAncestorScheme> for LegacySource<'_> {
+            fn node_count(&self) -> usize {
+                self.0.len()
+            }
+            fn meta_words(&self) -> Vec<u64> {
+                let (mut w_d, mut w_ho, mut w_ld, mut w_end, mut w_bs) = (0u8, 0u8, 0u8, 0u8, 0u8);
+                let w = |x: u64| codes::bit_len(x) as u8;
+                for l in self.0 {
+                    w_d = w_d.max(w(l.depth));
+                    w_ho = w_ho.max(w(l.head_offset));
+                    w_ld = w_ld.max(w(l.branch_offsets.len() as u64));
+                    w_end = w_end.max(w(l.codewords.len() as u64));
+                    let depth_sum: u64 = l.branch_offsets.iter().map(|&o| o + 1).sum();
+                    w_bs = w_bs.max(w(depth_sum));
+                }
+                LevelAncestorMeta::with_widths(w_d, w_ho, w_ld, w_end, w_bs).words()
+            }
+            fn packed_label_bits(&self, meta: &LevelAncestorMeta, u: usize) -> usize {
+                let l = &self.0[u];
+                meta.hdr_total + l.codewords.len() + l.branch_offsets.len() * meta.rec_w
+            }
+            fn pack_label(&self, meta: &LevelAncestorMeta, u: usize, w: &mut BitWriter) {
+                let l = &self.0[u];
+                debug_assert_eq!(l.ends.len(), l.branch_offsets.len());
+                w.write_bits_lsb(l.depth, usize::from(meta.w_d));
+                w.write_bits_lsb(l.head_offset, usize::from(meta.w_ho));
+                w.write_bits_lsb(l.branch_offsets.len() as u64, usize::from(meta.w_ld));
+                w.write_bits_lsb(l.codewords.len() as u64, usize::from(meta.w_end));
+                w.write_bitvec(&l.codewords);
+                let mut depth_sum = 0u64;
+                for (i, &o) in l.branch_offsets.iter().enumerate() {
+                    depth_sum += o + 1;
+                    w.write_bits_lsb(u64::from(l.ends[i]), usize::from(meta.w_end));
+                    w.write_bits_lsb(depth_sum, usize::from(meta.w_bs));
+                }
+            }
         }
-        let r = Self::label_ref(slice, start, meta);
-        let (_, _, ld, cwl) = r.header();
-        matches!(
-            ld.checked_mul(meta.rec_w)
-                .and_then(|recs| recs.checked_add(meta.hdr_total + cwl)),
-            Some(total) if total == len
-        )
+        SchemeStore::from_source(&LegacySource(labels))
     }
 }
 
@@ -690,7 +526,7 @@ mod tests {
                 .map(|u| (scheme.label(u).to_bits(), u))
                 .collect();
             for u in tree.nodes() {
-                match LevelAncestorScheme::parent(scheme.label(u)) {
+                match LevelAncestorScheme::parent(&scheme.label(u)) {
                     None => assert!(tree.is_root(u)),
                     Some(parent_label) => {
                         let p = by_bits
@@ -714,16 +550,16 @@ mod tests {
             let depths = tree.depths();
             for u in tree.nodes() {
                 let ancestors = tree.ancestors(u);
+                let label = scheme.label(u);
                 for (k, &expect) in ancestors.iter().enumerate() {
-                    let got = LevelAncestorScheme::level_ancestor(scheme.label(u), k as u64)
+                    let got = LevelAncestorScheme::level_ancestor(&label, k as u64)
                         .unwrap_or_else(|| panic!("{k}-th ancestor of {u} missing"));
                     assert_eq!(by_bits[&got.to_bits()], expect, "{k}-th ancestor of {u}");
                 }
-                assert!(LevelAncestorScheme::level_ancestor(
-                    scheme.label(u),
-                    depths[u.index()] as u64 + 1
-                )
-                .is_none());
+                assert!(
+                    LevelAncestorScheme::level_ancestor(&label, depths[u.index()] as u64 + 1)
+                        .is_none()
+                );
             }
         }
     }
@@ -748,8 +584,10 @@ mod tests {
             let label = scheme.label(u);
             let bits = label.to_bits();
             assert_eq!(bits.len(), label.bit_len());
+            // The build-time wire accounting matches the encoder.
+            assert_eq!(bits.len(), DistanceScheme::label_bits(&scheme, u));
             let back = LevelAncestorLabel::decode(&mut BitReader::new(&bits)).unwrap();
-            assert_eq!(&back, label);
+            assert_eq!(back, label);
         }
     }
 

@@ -20,15 +20,30 @@
 //! | [`universal`] | universal rooted trees and the Lemma 3.6 conversion (§3.5) | — |
 //! | [`bounds`] | closed-form upper/lower bound formulas (the §1 table) | — |
 //! | [`stats`] | label-size accounting used by the experiment harness | — |
-//! | [`substrate`] | shared build substrate + parallel label construction | — |
-//! | [`store`] | zero-copy scheme store: borrowed frame views + allocation-free batch queries | — |
+//! | [`substrate`] | shared build substrate + parallel label construction + pack-time width planning | — |
+//! | [`kernel`] | the shared packed-label query kernels (one per scheme family) | — |
+//! | [`store`] | zero-copy scheme store: the native `TLSTOR01` frame, borrowed views, batch queries | — |
 //! | [`forest`] | forest store: many trees behind one frame, with routed, shardable batch queries | — |
+//!
+//! # Packed-native representation
+//!
+//! The packed `TLSTOR01` frame is the **native** form of every scheme:
+//! `build` packs each label straight into the frame (no intermediate
+//! per-node label structs), the public scheme types are thin owners of a
+//! [`SchemeStore`], serialization is a copy-free frame handoff, and every
+//! `distance` entry point — scheme method, borrowed [`StoreRef`], runtime
+//! [`AnyStoreRef`], forest routing — runs through one shared query kernel
+//! per scheme family ([`kernel`]), with zero per-query allocation.  The
+//! historical self-delimiting wire encodings (`*Label` structs with
+//! `encode`/`decode`) survive behind the off-by-default `legacy-labels`
+//! cargo feature; [`DistanceScheme::label_bits`] still reports their sizes,
+//! which are the quantities the paper's bounds are about.
 //!
 //! All schemes offer a `build_with_substrate` constructor next to `build`:
 //! create one [`Substrate`] per tree and every scheme built from it shares a
 //! single heavy-path decomposition, auxiliary labeling and binarization, with
-//! per-node label construction optionally fanned out over threads (see
-//! [`Parallelism`]).  Labels are bit-for-bit identical either way.
+//! per-node row construction optionally fanned out over threads (see
+//! [`Parallelism`]).  Frames are bit-for-bit identical either way.
 //!
 //! # Quick start
 //!
@@ -40,9 +55,8 @@
 //! let tree = gen::random_tree(300, 7);
 //! let scheme = OptimalScheme::build(&tree);
 //! let (u, v) = (tree.node(12), tree.node(250));
-//! // Distances are answered from the two labels alone.
-//! let d = OptimalScheme::distance(scheme.label(u), scheme.label(v));
-//! assert_eq!(d, tree.distance_naive(u, v));
+//! // Distances are answered from the two packed labels alone.
+//! assert_eq!(scheme.distance(u, v), tree.distance_naive(u, v));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -55,6 +69,7 @@ pub mod distance_array;
 pub mod forest;
 pub mod hpath;
 pub mod kdistance;
+pub mod kernel;
 pub mod level_ancestor;
 pub mod naive;
 pub mod optimal;
@@ -63,7 +78,9 @@ pub mod store;
 pub mod substrate;
 pub mod universal;
 
-pub use forest::{ForestBuilder, ForestError, ForestRef, ForestStore, RouteScratch};
+pub use forest::{
+    ForestBuilder, ForestError, ForestFileError, ForestRef, ForestStore, RouteScratch,
+};
 pub use store::{AnyStoreRef, IndexWidth, SchemeStore, StoreError, StoreRef, StoredScheme};
 pub use substrate::{Parallelism, Substrate};
 
@@ -71,46 +88,64 @@ use treelab_tree::{NodeId, Tree};
 
 /// Common interface of the exact distance-labeling schemes.
 ///
-/// `build` preprocesses the tree and assigns a label to every node; `distance`
-/// answers a query **from the two labels alone** — it is an associated function
-/// with no access to the scheme or the tree, which is the defining property of
-/// a labeling scheme.
-pub trait DistanceScheme: Sized {
-    /// The per-node label type.
-    type Label: Clone + std::fmt::Debug;
-
-    /// Builds labels for every node of `tree`.
+/// `build` preprocesses the tree, assigns a packed label to every node and
+/// stores them in the scheme's native frame ([`StoredScheme::as_store`]);
+/// `distance` answers a query **from the two packed labels alone** through
+/// the scheme family's shared query kernel ([`crate::kernel`]) — the label
+/// views carry no access to the scheme or the tree, which is the defining
+/// property of a labeling scheme (see [`StoredScheme::distance_refs`] for
+/// the two-label form).
+pub trait DistanceScheme: StoredScheme {
+    /// Builds labels for every node of `tree`, packed directly into the
+    /// scheme's native store frame.
     ///
     /// The exact schemes expect an unweighted tree (they apply the §2
     /// binarization reduction internally); see each implementation's
     /// documentation for details.
     fn build(tree: &Tree) -> Self;
 
-    /// Builds labels from a shared [`Substrate`], so that several schemes over
-    /// the same tree compute the decomposition/binarization once and fan the
-    /// per-node label work out according to the substrate's [`Parallelism`].
+    /// Builds the scheme from a shared [`Substrate`], so that several schemes
+    /// over the same tree compute the decomposition/binarization once and fan
+    /// the per-node row work out according to the substrate's
+    /// [`Parallelism`].
     ///
-    /// Produces labels bit-for-bit identical to [`DistanceScheme::build`].
+    /// Produces a frame bit-for-bit identical to [`DistanceScheme::build`].
     /// Required (no default) so an implementation cannot silently fall back to
     /// rebuilding the substrate per scheme.
     fn build_with_substrate(sub: &Substrate<'_>) -> Self;
 
-    /// The label assigned to node `u`.
-    fn label(&self, u: NodeId) -> &Self::Label;
+    /// Borrowed view of node `u`'s packed label inside the scheme's frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    fn label_ref(&self, u: NodeId) -> Self::Ref<'_> {
+        self.as_store().label_ref(u.index())
+    }
 
-    /// Exact distance between the nodes labelled `a` and `b`, computed from the
-    /// labels alone.
-    fn distance(a: &Self::Label, b: &Self::Label) -> u64;
+    /// Exact distance between nodes `u` and `v`, computed from the two packed
+    /// labels alone (one [`crate::kernel`] call, zero allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    fn distance(&self, u: NodeId, v: NodeId) -> u64 {
+        self.as_store().distance(u.index(), v.index())
+    }
 
-    /// Size in bits of the label of node `u` (its serialized form).
+    /// Size in bits of the label of node `u` in its self-delimiting **wire**
+    /// encoding — the quantity every bound in the paper is stated about.
+    /// (The packed in-frame size is available as
+    /// `as_store().label_bits(u.index())`.)
     fn label_bits(&self, u: NodeId) -> usize;
 
-    /// Maximum label size over all nodes, in bits — the quantity every bound in
-    /// the paper is stated about.
+    /// Maximum wire label size over all nodes, in bits.
     fn max_label_bits(&self) -> usize;
 
     /// Human-readable scheme name used by the experiment harness.
-    fn name() -> &'static str;
+    fn name() -> &'static str {
+        Self::STORE_NAME
+    }
 }
 
 #[cfg(test)]
@@ -137,7 +172,7 @@ pub(crate) mod test_support {
         for (x, y) in pairs {
             let (u, v) = (tree.node(x), tree.node(y));
             assert_eq!(
-                S::distance(scheme.label(u), scheme.label(v)),
+                scheme.distance(u, v),
                 oracle.distance(u, v),
                 "{} failed on ({u},{v}), n={n}",
                 S::name()

@@ -11,15 +11,212 @@
 //!
 //! The scheme operates on the §2 binarized tree and labels the proxy leaf of
 //! every original node; the reduction is hidden behind [`NaiveScheme::build`].
+//!
+//! The native representation is the packed store frame: `build` packs every
+//! label straight into a `TLSTOR01` frame and queries run through the shared
+//! prefix-sum kernel ([`crate::kernel::psum`]).  [`NaiveScheme::label_bits`]
+//! still reports the size of the historical self-delimiting *wire* encoding —
+//! the quantity the paper's `Θ(log²n)` analysis is about — whose
+//! encoder/decoder pair survives behind the `legacy-labels` feature.
 
-use crate::hpath::{AuxCoreRef, AuxDims, AuxScalars, AuxWidths, HpathLabel};
-use crate::store::{StoreError, StoredScheme};
-use crate::substrate::{self, Substrate};
+use crate::hpath::HpathLabel;
+use crate::kernel::psum::{self, PsumMeta, PsumRef};
+use crate::store::{SchemeStore, StoreError, StoredScheme};
+use crate::substrate::{self, PackSource, Substrate};
 use crate::DistanceScheme;
-use treelab_bits::{codes, BitReader, BitSlice, BitWriter, DecodeError};
+use treelab_bits::{codes, BitSlice, BitWriter};
+use treelab_tree::heavy::LightEdge;
 use treelab_tree::{NodeId, Tree};
 
-/// Label of the fixed-width baseline scheme.
+/// Writes the fixed-width wire encoding of one label (the format
+/// [`NaiveLabel::decode`] reads): root distance, the entry field width, the
+/// auxiliary label, then `count` fixed-width `(dᵢ, tᵢ)` entries.
+///
+/// Shared by the legacy encoder and the build-time wire-size accounting, so
+/// the two can never drift apart.
+#[cfg(feature = "legacy-labels")]
+pub(crate) fn wire_encode(
+    w: &mut BitWriter,
+    root_distance: u64,
+    width: u8,
+    aux: &HpathLabel,
+    entries: impl Iterator<Item = (u64, bool)>,
+    count: usize,
+) {
+    codes::write_delta_nz(w, root_distance);
+    w.write_bits(u64::from(width), 8);
+    aux.encode(w);
+    codes::write_gamma_nz(w, count as u64);
+    for (d, t) in entries {
+        w.write_bits(d, usize::from(width));
+        w.write_bit(t);
+    }
+}
+
+/// One node's build-time row: everything the packer needs, borrowing the
+/// substrate's auxiliary label instead of cloning it.
+pub(crate) struct PsumRow<'a> {
+    pub(crate) rd: u64,
+    pub(crate) edges: Vec<LightEdge>,
+    pub(crate) aux: &'a HpathLabel,
+    /// Size in bits of the node's self-delimiting wire encoding.
+    pub(crate) wire_bits: u32,
+}
+
+impl PsumRow<'_> {
+    /// The `(dᵢ, tᵢ)` sequence of the prefix-sum protocol.
+    pub(crate) fn entries(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.edges
+            .iter()
+            .map(|e| (e.branch_offset + e.edge_weight, e.edge_weight))
+    }
+
+    /// `Σᵢ dᵢ` (bounds the packed prefix-sum field width).
+    pub(crate) fn entry_total(&self) -> u64 {
+        self.edges
+            .iter()
+            .map(|e| e.branch_offset + e.edge_weight)
+            .sum()
+    }
+}
+
+/// Builds the per-node rows of the two prefix-sum schemes over the shared
+/// substrate, computing each node's wire size with `wire_len`.
+pub(crate) fn build_psum_rows<'s>(
+    sub: &'s Substrate<'_>,
+    wire_len: impl Fn(&PsumRow<'s>) -> usize + Sync,
+) -> Vec<PsumRow<'s>> {
+    let tree = sub.tree();
+    let bs = sub.binarized_expect();
+    let (bin, hp, aux) = (bs.binarized(), bs.heavy_paths(), bs.aux_labels());
+    substrate::build_vec(sub.parallelism(), tree.len(), move |i| {
+        let leaf = bin.proxy(tree.node(i));
+        let mut row = PsumRow {
+            rd: hp.root_distance(leaf),
+            edges: hp.light_edges_to(leaf),
+            aux: aux.label(leaf),
+            wire_bits: 0,
+        };
+        row.wire_bits = wire_len(&row) as u32;
+        row
+    })
+}
+
+/// The pack source shared by the two prefix-sum schemes (they differ only in
+/// their wire encodings; the packed layout is identical).
+pub(crate) struct PsumSource<'a, 'b> {
+    pub(crate) rows: &'b [PsumRow<'a>],
+}
+
+impl<S: StoredScheme<Meta = PsumMeta>> PackSource<S> for PsumSource<'_, '_> {
+    fn node_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn meta_words(&self) -> Vec<u64> {
+        PsumMeta::measure(self.rows.iter().map(|r| (r.rd, r.entry_total(), r.aux))).words()
+    }
+
+    fn packed_label_bits(&self, meta: &PsumMeta, u: usize) -> usize {
+        let r = &self.rows[u];
+        meta.label_bits(r.edges.len(), r.aux)
+    }
+
+    fn pack_label(&self, meta: &PsumMeta, u: usize, w: &mut BitWriter) {
+        let r = &self.rows[u];
+        meta.pack(r.rd, r.aux, r.entries(), w);
+    }
+}
+
+/// The fixed-width `Θ(log²n)` exact distance labeling scheme, a thin owner
+/// of its packed [`SchemeStore`] frame.
+#[derive(Debug, Clone)]
+pub struct NaiveScheme {
+    store: SchemeStore<NaiveScheme>,
+    /// Per-node wire-encoding sizes (the paper's label-size quantity).
+    wire_bits: Vec<u32>,
+}
+
+/// Entry field width of the wire encoding: `⌈log₂ n⌉` of the binarized tree.
+fn wire_width(sub: &Substrate<'_>) -> u8 {
+    codes::bit_len(sub.binarized_expect().binarized().tree().len() as u64) as u8
+}
+
+impl DistanceScheme for NaiveScheme {
+    fn build(tree: &Tree) -> Self {
+        Self::build_with_substrate(&Substrate::new(tree))
+    }
+
+    fn build_with_substrate(sub: &Substrate<'_>) -> Self {
+        let width = wire_width(sub);
+        // Closed-form wire size (no encoding pass; the feature-gated legacy
+        // tests pin it to the real encoder bit for bit).
+        let rows = build_psum_rows(sub, |row| {
+            codes::delta_nz_len(row.rd)
+                + 8
+                + row.aux.bit_len()
+                + codes::gamma_nz_len(row.edges.len() as u64)
+                + row.edges.len() * (usize::from(width) + 1)
+        });
+        let store = SchemeStore::from_source(&PsumSource { rows: &rows });
+        NaiveScheme {
+            store,
+            wire_bits: rows.iter().map(|r| r.wire_bits).collect(),
+        }
+    }
+
+    fn label_bits(&self, u: NodeId) -> usize {
+        self.wire_bits[u.index()] as usize
+    }
+
+    fn max_label_bits(&self) -> usize {
+        self.wire_bits.iter().copied().max().unwrap_or(0) as usize
+    }
+
+    fn name() -> &'static str {
+        "naive-fixed-width"
+    }
+}
+
+/// Borrowed view of one packed label of this scheme inside a
+/// [`SchemeStore`] buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct NaiveLabelRef<'a>(pub(crate) PsumRef<'a>);
+
+impl StoredScheme for NaiveScheme {
+    const TAG: u32 = 1;
+    const STORE_NAME: &'static str = "naive-fixed-width";
+    type Meta = PsumMeta;
+    type Ref<'a> = NaiveLabelRef<'a>;
+
+    fn as_store(&self) -> &SchemeStore<NaiveScheme> {
+        &self.store
+    }
+
+    fn parse_meta(_param: u64, words: &[u64]) -> Result<PsumMeta, StoreError> {
+        PsumMeta::parse(words)
+    }
+
+    fn label_ref<'a>(slice: BitSlice<'a>, start: usize, meta: &'a PsumMeta) -> NaiveLabelRef<'a> {
+        NaiveLabelRef(PsumRef::new(slice, start, meta))
+    }
+
+    fn check_label(slice: BitSlice<'_>, start: usize, end: usize, meta: &PsumMeta) -> bool {
+        psum::check_label(slice, start, end, meta)
+    }
+
+    fn distance_refs(a: NaiveLabelRef<'_>, b: NaiveLabelRef<'_>) -> u64 {
+        psum::distance_refs(&a.0, &b.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy wire-format labels (feature-gated)
+// ---------------------------------------------------------------------------
+
+/// Label of the fixed-width baseline scheme in its historical struct form —
+/// kept for the self-delimiting wire format and its decode adversaries.
+#[cfg(feature = "legacy-labels")]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NaiveLabel {
     /// Distance from the root (of the binarized tree, which equals the
@@ -29,14 +226,13 @@ pub struct NaiveLabel {
     aux: HpathLabel,
     /// Fixed field width used for the entries (⌈log₂ n⌉ of the binarized tree).
     width: u8,
-    /// Per light edge `i` (top-down): `d_i = branch_offset + edge_weight`,
-    /// i.e. the distance from the head of the heavy path at light depth `i−1`
-    /// to the head of the heavy path at light depth `i`.
+    /// Per light edge `i` (top-down): `d_i = branch_offset + edge_weight`.
     entries: Vec<u64>,
     /// Per light edge `i`: the weight (0 or 1) of the light edge itself.
     weights: Vec<u8>,
 }
 
+#[cfg(feature = "legacy-labels")]
 impl NaiveLabel {
     /// Root distance stored in the label.
     pub fn root_distance(&self) -> u64 {
@@ -50,22 +246,27 @@ impl NaiveLabel {
 
     /// Serializes the label.
     pub fn encode(&self, w: &mut BitWriter) {
-        codes::write_delta_nz(w, self.root_distance);
-        w.write_bits(self.width as u64, 8);
-        self.aux.encode(w);
-        codes::write_gamma_nz(w, self.entries.len() as u64);
-        for (&d, &t) in self.entries.iter().zip(&self.weights) {
-            w.write_bits(d, self.width as usize);
-            w.write_bit(t == 1);
-        }
+        wire_encode(
+            w,
+            self.root_distance,
+            self.width,
+            &self.aux,
+            self.entries
+                .iter()
+                .zip(&self.weights)
+                .map(|(&d, &t)| (d, t == 1)),
+            self.entries.len(),
+        );
     }
 
     /// Deserializes a label written by [`NaiveLabel::encode`].
     ///
     /// # Errors
     ///
-    /// Returns a [`DecodeError`] on truncated or malformed input.
-    pub fn decode(r: &mut BitReader<'_>) -> Result<Self, DecodeError> {
+    /// Returns a [`treelab_bits::DecodeError`] on truncated or malformed
+    /// input.
+    pub fn decode(r: &mut treelab_bits::BitReader<'_>) -> Result<Self, treelab_bits::DecodeError> {
+        use treelab_bits::DecodeError;
         let root_distance = codes::read_delta_nz(r)?;
         let width = r.read_bits(8)? as u8;
         if width > 64 {
@@ -86,7 +287,7 @@ impl NaiveLabel {
         let mut entries = Vec::with_capacity(count);
         let mut weights = Vec::with_capacity(count);
         for _ in 0..count {
-            entries.push(r.read_bits(width as usize)?);
+            entries.push(r.read_bits(usize::from(width))?);
             weights.push(u8::from(r.read_bit()?));
         }
         Ok(NaiveLabel {
@@ -104,460 +305,106 @@ impl NaiveLabel {
         self.encode(&mut w);
         w.len()
     }
-}
 
-/// The fixed-width `Θ(log²n)` exact distance labeling scheme.
-#[derive(Debug, Clone)]
-pub struct NaiveScheme {
-    labels: Vec<NaiveLabel>,
-}
-
-impl NaiveScheme {
-    fn build_labels(sub: &Substrate<'_>) -> Vec<NaiveLabel> {
-        let tree = sub.tree();
-        let bs = sub.binarized_expect();
-        let (bin, hp, aux) = (bs.binarized(), bs.heavy_paths(), bs.aux_labels());
-        let width = codes::bit_len(bin.tree().len() as u64) as u8;
-        substrate::build_vec(sub.parallelism(), tree.len(), |i| {
-            let leaf = bin.proxy(tree.node(i));
-            let edges = hp.light_edges_to(leaf);
-            NaiveLabel {
-                root_distance: hp.root_distance(leaf),
-                aux: aux.label(leaf).clone(),
-                width,
-                entries: edges
-                    .iter()
-                    .map(|e| e.branch_offset + e.edge_weight)
-                    .collect(),
-                weights: edges.iter().map(|e| e.edge_weight as u8).collect(),
-            }
-        })
+    /// The struct-side distance protocol of the historical implementation
+    /// (the packed-native kernel in [`crate::kernel::psum`] replaces it;
+    /// kept so the feature-gated equivalence tests can cross-check).
+    pub fn legacy_distance(a: &NaiveLabel, b: &NaiveLabel) -> u64 {
+        legacy_psum_distance(
+            a.root_distance,
+            &a.aux,
+            b.root_distance,
+            &b.aux,
+            |side, j| {
+                let l = if side == 0 { a } else { b };
+                (l.entries[j], u64::from(l.weights[j]))
+            },
+        )
     }
 }
 
-impl DistanceScheme for NaiveScheme {
-    type Label = NaiveLabel;
-
-    fn build(tree: &Tree) -> Self {
-        Self::build_with_substrate(&Substrate::new(tree))
-    }
-
-    fn build_with_substrate(sub: &Substrate<'_>) -> Self {
-        NaiveScheme {
-            labels: Self::build_labels(sub),
-        }
-    }
-
-    fn label(&self, u: NodeId) -> &NaiveLabel {
-        &self.labels[u.index()]
-    }
-
-    fn distance(a: &NaiveLabel, b: &NaiveLabel) -> u64 {
-        exact_distance_from_entries(a, b, |label, j| (label.entries[j], label.weights[j] as u64))
-    }
-
-    fn label_bits(&self, u: NodeId) -> usize {
-        self.labels[u.index()].bit_len()
-    }
-
-    fn max_label_bits(&self) -> usize {
-        self.labels
-            .iter()
-            .map(NaiveLabel::bit_len)
-            .max()
-            .unwrap_or(0)
-    }
-
-    fn name() -> &'static str {
-        "naive-fixed-width"
-    }
-}
-
-/// Shared query logic of the prefix-sum based exact schemes ([`NaiveScheme`]
-/// and [`crate::distance_array::DistanceArrayScheme`]).
-///
-/// Given accessors for the per-light-edge values `d_i` (head-to-head distance)
-/// and `t_i` (light-edge weight), computes the exact distance using the
-/// domination argument of Lemma 3.1: if `u` dominates `v` and
-/// `j = lightdepth(NCA)`, then the NCA is the branch point of `u`'s
-/// `(j+1)`-st light edge, so its root distance is
-/// `Σ_{i ≤ j+1} d_i(u) − t_{j+1}(u)`.
-pub(crate) fn exact_distance_from_entries<L, F>(a: &L, b: &L, entry: F) -> u64
-where
-    L: ExactLabel,
-    F: Fn(&L, usize) -> (u64, u64),
-{
-    let (la, lb) = (a.aux_label(), b.aux_label());
-    if HpathLabel::same_node(la, lb) {
+/// Shared query logic of the legacy struct-backed prefix-sum labels
+/// (Lemma 3.1's domination argument): if `u` dominates `v` and
+/// `j = lightdepth(NCA)`, the NCA is the branch point of `u`'s `(j+1)`-st
+/// light edge, so its root distance is `Σ_{i ≤ j+1} dᵢ(u) − t_{j+1}(u)`.
+#[cfg(feature = "legacy-labels")]
+pub(crate) fn legacy_psum_distance(
+    rd_a: u64,
+    aux_a: &HpathLabel,
+    rd_b: u64,
+    aux_b: &HpathLabel,
+    entry: impl Fn(usize, usize) -> (u64, u64),
+) -> u64 {
+    if HpathLabel::same_node(aux_a, aux_b) {
         return 0;
     }
-    // Labels are built for proxy leaves, so neither can be a strict ancestor of
-    // the other; guard anyway so corrupted inputs do not underflow.
-    if HpathLabel::is_ancestor(la, lb) || HpathLabel::is_ancestor(lb, la) {
-        return a.root_distance_value().abs_diff(b.root_distance_value());
-    }
-    let j = HpathLabel::common_light_depth(la, lb);
-    let (dom, _other) = if HpathLabel::dominates(la, lb) {
-        (a, b)
-    } else {
-        (b, a)
-    };
-    // Root distance of the NCA: sum of the dominating side's first j+1 entries
-    // minus the weight of its (j+1)-st light edge.
-    let mut sum = 0u64;
-    for i in 0..=j {
-        sum += entry(dom, i).0;
-    }
-    let t = entry(dom, j).1;
-    let rd_nca = sum - t;
-    a.root_distance_value() + b.root_distance_value() - 2 * rd_nca
-}
-
-/// Internal trait giving [`exact_distance_from_entries`] access to the shared
-/// label parts.
-pub(crate) trait ExactLabel {
-    fn aux_label(&self) -> &HpathLabel;
-    fn root_distance_value(&self) -> u64;
-}
-
-impl ExactLabel for NaiveLabel {
-    fn aux_label(&self) -> &HpathLabel {
-        &self.aux
-    }
-    fn root_distance_value(&self) -> u64 {
-        self.root_distance
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Zero-copy store support, shared by the two prefix-sum exact schemes
-// ---------------------------------------------------------------------------
-
-/// Store meta of the two prefix-sum exact schemes ([`NaiveScheme`] and
-/// [`crate::distance_array::DistanceArrayScheme`]): the global field widths of
-/// the packed layout
-///
-/// ```text
-/// [root_distance | count | codeword length][aux scalars | codewords]
-/// [records: count × (end | branch_rd)]
-/// ```
-///
-/// where each per-level record fuses the codeword end position with
-/// `branch_rd[i] = Σ_{t ≤ i} d_t − weight_i` — the root distance of the
-/// node's level-`i` branch node.  Storing the branch distance directly makes
-/// the query *symmetric*: both sides branch off the NCA's heavy path, the NCA
-/// is the higher of the two branch nodes, so `rd(NCA) = min(branch_rd_a[j],
-/// branch_rd_b[j])` and the domination test of the struct-backed query (a
-/// 50/50 mispredicted branch on random pairs) disappears.
-#[derive(Debug, Clone, Copy)]
-pub struct PsumMeta {
-    w_rd: u8,
-    w_ps: u8,
-    aux_w: AuxWidths,
-    // Query-side quantities, precomputed once at parse time so the hot path
-    // is pure shift-and-mask arithmetic.
-    rd_w: usize,
-    ps_w: usize,
-    hdr_total: usize,
-    hdr_fused: bool,
-    rd_mask: u64,
-    ld_mask: u64,
-    cwl_sh: u32,
-    rec_w: usize,
-    rec_fused: bool,
-    end_mask: u64,
-    ps_sh: u32,
-    aux: AuxDims,
-}
-
-impl PsumMeta {
-    fn with_widths(w_rd: u8, w_ps: u8, aux_w: AuxWidths) -> Self {
-        let mask = |w: u8| crate::hpath::width_mask(usize::from(w));
-        let hdr_total = usize::from(w_rd) + usize::from(aux_w.ld) + usize::from(aux_w.end);
-        let rec_w = usize::from(aux_w.end) + usize::from(w_ps);
-        PsumMeta {
-            w_rd,
-            w_ps,
-            aux_w,
-            rd_w: usize::from(w_rd),
-            ps_w: usize::from(w_ps),
-            hdr_total,
-            hdr_fused: hdr_total <= 64,
-            rd_mask: mask(w_rd),
-            ld_mask: mask(aux_w.ld),
-            cwl_sh: u32::from(w_rd) + u32::from(aux_w.ld),
-            rec_w,
-            rec_fused: rec_w <= 64,
-            end_mask: mask(aux_w.end),
-            ps_sh: u32::from(aux_w.end),
-            aux: AuxDims::new(aux_w),
-        }
-    }
-
-    /// Scans the labels for the maximum field widths.
-    pub(crate) fn measure<'x, I>(labels: I) -> Self
-    where
-        I: Iterator<Item = (u64, &'x [u64], &'x HpathLabel)>,
-    {
-        let (mut w_rd, mut w_ps) = (0u8, 0u8);
-        let mut aux_w = AuxWidths::default();
-        for (rd, entries, aux) in labels {
-            w_rd = w_rd.max(codes::bit_len(rd) as u8);
-            let total: u64 = entries.iter().sum();
-            w_ps = w_ps.max(codes::bit_len(total) as u8);
-            aux_w.observe(aux);
-        }
-        // The symmetric min-of-branch-distances query never consults the
-        // domination order, so the field is packed at width 0.
-        aux_w.dom = 0;
-        Self::with_widths(w_rd, w_ps, aux_w)
-    }
-
-    pub(crate) fn words(self) -> Vec<u64> {
-        vec![
-            u64::from(self.w_rd) | u64::from(self.w_ps) << 8,
-            self.aux_w.to_word(),
-        ]
-    }
-
-    pub(crate) fn parse(words: &[u64]) -> Result<Self, StoreError> {
-        let &[w0, w1] = words else {
-            return Err(StoreError::Malformed {
-                what: "prefix-sum scheme meta must be two words",
-            });
-        };
-        let (w_rd, w_ps) = ((w0 & 0xFF) as u8, (w0 >> 8 & 0xFF) as u8);
-        if w0 >> 16 != 0 || w_rd > 64 || w_ps > 64 {
-            return Err(StoreError::Malformed {
-                what: "prefix-sum field width exceeds 64 bits",
-            });
-        }
-        Ok(Self::with_widths(w_rd, w_ps, AuxWidths::from_word(w1)?))
-    }
-
-    pub(crate) fn label_bits(&self, entries_len: usize, aux: &HpathLabel) -> usize {
-        self.hdr_total + self.aux_w.packed_bits_core(aux) + entries_len * self.rec_w
-    }
-
-    pub(crate) fn pack(
-        &self,
-        rd: u64,
-        entries: &[u64],
-        weights: &[u8],
-        aux: &HpathLabel,
-        w: &mut BitWriter,
-    ) {
-        debug_assert_eq!(entries.len(), aux.light_depth());
-        w.write_bits_lsb(rd, usize::from(self.w_rd));
-        w.write_bits_lsb(entries.len() as u64, usize::from(self.aux_w.ld));
-        w.write_bits_lsb(aux.codewords_len() as u64, usize::from(self.aux_w.end));
-        self.aux_w.pack_core(aux, w);
-        let mut sum = 0u64;
-        let ends = aux.end_positions();
-        for (i, &d) in entries.iter().enumerate() {
-            sum += d;
-            w.write_bits_lsb(u64::from(ends[i]), usize::from(self.aux_w.end));
-            // Root distance of the level-i branch node.
-            w.write_bits_lsb(sum - u64::from(weights[i]), usize::from(self.w_ps));
-        }
-    }
-}
-
-/// Borrowed view of one packed prefix-sum label inside a store buffer.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct PsumRef<'a> {
-    s: BitSlice<'a>,
-    start: usize,
-    m: &'a PsumMeta,
-}
-
-impl<'a> PsumRef<'a> {
-    pub(crate) fn new(s: BitSlice<'a>, start: usize, m: &'a PsumMeta) -> Self {
-        PsumRef { s, start, m }
-    }
-
-    #[inline]
-    fn get(&self, off: usize, width: usize) -> u64 {
-        treelab_bits::bitslice::read_lsb(self.s.words(), self.start + off, width)
-    }
-
-    /// `(root_distance, entry count, codeword length)` — one fused read when
-    /// the widths fit.
-    #[inline]
-    fn header(&self) -> (u64, usize, usize) {
-        let m = self.m;
-        if m.hdr_fused {
-            let raw = self.get(0, m.hdr_total);
-            (
-                raw & m.rd_mask,
-                (raw >> m.rd_w & m.ld_mask) as usize,
-                (raw >> m.cwl_sh) as usize,
-            )
-        } else {
-            let ld_w = usize::from(m.aux_w.ld);
-            (
-                self.get(0, m.rd_w),
-                self.get(m.rd_w, ld_w) as usize,
-                self.get(m.rd_w + ld_w, usize::from(m.aux_w.end)) as usize,
-            )
-        }
-    }
-
-    /// The embedded core aux block (at a fixed offset: no dependent reads).
-    #[inline]
-    fn aux(&self) -> AuxCoreRef<'a> {
-        AuxCoreRef::new(self.s, self.start + self.m.hdr_total, &self.m.aux)
-    }
-
-    /// Scans this side's records for the first end position past `lcp`,
-    /// returning `(level, branch_rd)` of that record — `level` is
-    /// `lightdepth(NCA)` and `branch_rd` is this side's branch-node distance.
-    #[inline]
-    fn scan_records(&self, ld: usize, aux_bits: usize, lcp: usize) -> (usize, u64) {
-        let m = self.m;
-        let base = m.hdr_total + aux_bits;
-        if m.rec_fused {
-            // Branchless fast path: read the first three records
-            // unconditionally (memory-safe thanks to the store's guard pad;
-            // out-of-range lanes are masked by `i < ld`) and derive the level
-            // as a comparison cascade — the scan's data-dependent trip count
-            // is a mispredicted branch on random pairs otherwise.
-            let r0 = self.get(base, m.rec_w);
-            let r1 = self.get(base + m.rec_w, m.rec_w);
-            let r2 = self.get(base + 2 * m.rec_w, m.rec_w);
-            let e = |r: u64| (r & m.end_mask) as usize;
-            let c0 = usize::from(ld > 0 && e(r0) <= lcp);
-            let c1 = c0 & usize::from(ld > 1 && e(r1) <= lcp);
-            let c2 = c1 & usize::from(ld > 2 && e(r2) <= lcp);
-            let j = c0 + c1 + c2;
-            if j < 3 {
-                assert!(j < ld, "a non-ancestor label leaves the common heavy path");
-                let r = [r0, r1, r2][j];
-                return (j, r >> m.ps_sh);
-            }
-            let mut i = 3;
-            while i < ld {
-                let raw = self.get(base + i * m.rec_w, m.rec_w);
-                if e(raw) > lcp {
-                    return (i, raw >> m.ps_sh);
-                }
-                i += 1;
-            }
-        } else {
-            // Oversized records: read the end field and payload separately.
-            let mut i = 0;
-            while i < ld {
-                let pos = base + i * m.rec_w;
-                if self.get(pos, usize::from(m.aux_w.end)) as usize > lcp {
-                    return (i, self.get(pos + usize::from(m.aux_w.end), m.ps_w));
-                }
-                i += 1;
-            }
-        }
-        panic!("a non-ancestor label leaves the common heavy path");
-    }
-
-    /// `branch_rd` of the record at `level` (the other side's single indexed
-    /// read).
-    #[inline]
-    fn branch_rd_at(&self, aux_bits: usize, level: usize) -> u64 {
-        let m = self.m;
-        let pos = m.hdr_total + aux_bits + level * m.rec_w + usize::from(m.aux_w.end);
-        self.get(pos, m.ps_w)
-    }
-}
-
-/// [`exact_distance_from_entries`], re-derived over packed label views: the
-/// shared `distance_refs` of the two prefix-sum schemes.
-pub(crate) fn psum_distance_refs(a: &PsumRef<'_>, b: &PsumRef<'_>) -> u64 {
-    let (rd_a, lda, cwl_a) = a.header();
-    let (rd_b, _ldb, cwl_b) = b.header();
-    let (aa, ab) = (a.aux(), b.aux());
-    let (sa, sb) = (aa.scalars(), ab.scalars());
-    // Equal nodes fall under the ancestor case (|rd_a − rd_b| = 0), so no
-    // separate same-node branch is needed.
-    if AuxScalars::is_ancestor(&sa, &sb) || AuxScalars::is_ancestor(&sb, &sa) {
+    if HpathLabel::is_ancestor(aux_a, aux_b) || HpathLabel::is_ancestor(aux_b, aux_a) {
         return rd_a.abs_diff(rd_b);
     }
-    // One LCP over the concatenated codeword strings replaces the per-level
-    // two-sided comparison; one record scan turns it into lightdepth(NCA)
-    // plus this side's branch distance, and a single indexed read fetches the
-    // other side's.  min() of the two is rd(NCA) — no domination branch.
-    let lcp = AuxCoreRef::codeword_lcp(&aa, cwl_a, &ab, cwl_b);
-    let (j, branch_a) = a.scan_records(lda, aa.core_bits(cwl_a), lcp);
-    let branch_b = b.branch_rd_at(ab.core_bits(cwl_b), j);
-    rd_a + rd_b - 2 * branch_a.min(branch_b)
+    let j = HpathLabel::common_light_depth(aux_a, aux_b);
+    let side = usize::from(!HpathLabel::dominates(aux_a, aux_b));
+    let mut sum = 0u64;
+    for i in 0..=j {
+        sum += entry(side, i).0;
+    }
+    let t = entry(side, j).1;
+    let rd_nca = sum - t;
+    rd_a + rd_b - 2 * rd_nca
 }
 
-/// Shared load-time extent check of the two prefix-sum schemes: the header's
-/// counts must describe exactly the label's offset-index extent.
-pub(crate) fn psum_check_label(
-    slice: BitSlice<'_>,
-    start: usize,
-    end: usize,
-    meta: &PsumMeta,
-) -> bool {
-    let len = end - start;
-    if len < meta.hdr_total {
-        return false;
-    }
-    let r = PsumRef::new(slice, start, meta);
-    let (_, ld, cwl) = r.header();
-    meta.hdr_total
-        .checked_add(meta.aux.widths.scalar_bits())
-        .and_then(|x| x.checked_add(cwl))
-        .and_then(|x| x.checked_add(ld.checked_mul(meta.rec_w)?))
-        == Some(len)
-}
-
-/// Borrowed view of a packed [`NaiveLabel`] inside a
-/// [`SchemeStore`](crate::store::SchemeStore) buffer.
-#[derive(Debug, Clone, Copy)]
-pub struct NaiveLabelRef<'a>(pub(crate) PsumRef<'a>);
-
-impl StoredScheme for NaiveScheme {
-    const TAG: u32 = 1;
-    const STORE_NAME: &'static str = "naive-fixed-width";
-    type Meta = PsumMeta;
-    type Ref<'a> = NaiveLabelRef<'a>;
-
-    fn node_count(&self) -> usize {
-        self.labels.len()
+#[cfg(feature = "legacy-labels")]
+impl NaiveScheme {
+    /// Builds the historical struct labels (the wire-format view of this
+    /// scheme) from a shared substrate.
+    pub fn legacy_labels(sub: &Substrate<'_>) -> Vec<NaiveLabel> {
+        let width = wire_width(sub);
+        build_psum_rows(sub, |_| 0)
+            .into_iter()
+            .map(|row| NaiveLabel {
+                root_distance: row.rd,
+                aux: row.aux.clone(),
+                width,
+                entries: row.entries().map(|(d, _)| d).collect(),
+                weights: row.entries().map(|(_, t)| t as u8).collect(),
+            })
+            .collect()
     }
 
-    fn meta_words(&self) -> Vec<u64> {
-        PsumMeta::measure(
-            self.labels
-                .iter()
-                .map(|l| (l.root_distance, l.entries.as_slice(), &l.aux)),
-        )
-        .words()
-    }
-
-    fn parse_meta(_param: u64, words: &[u64]) -> Result<PsumMeta, StoreError> {
-        PsumMeta::parse(words)
-    }
-
-    fn packed_label_bits(&self, meta: &PsumMeta, u: usize) -> usize {
-        let l = &self.labels[u];
-        meta.label_bits(l.entries.len(), &l.aux)
-    }
-
-    fn pack_label(&self, meta: &PsumMeta, u: usize, w: &mut BitWriter) {
-        let l = &self.labels[u];
-        meta.pack(l.root_distance, &l.entries, &l.weights, &l.aux, w);
-    }
-
-    fn label_ref<'a>(slice: BitSlice<'a>, start: usize, meta: &'a PsumMeta) -> NaiveLabelRef<'a> {
-        NaiveLabelRef(PsumRef::new(slice, start, meta))
-    }
-
-    fn check_label(slice: BitSlice<'_>, start: usize, end: usize, meta: &PsumMeta) -> bool {
-        psum_check_label(slice, start, end, meta)
-    }
-
-    fn distance_refs(a: NaiveLabelRef<'_>, b: NaiveLabelRef<'_>) -> u64 {
-        psum_distance_refs(&a.0, &b.0)
+    /// The historical struct-then-serialize pipeline: packs legacy labels
+    /// into a store frame.  Bit-for-bit identical to the direct pack path of
+    /// [`DistanceScheme::build`] (asserted by the equivalence tests).
+    pub fn store_from_legacy(labels: &[NaiveLabel]) -> SchemeStore<NaiveScheme> {
+        struct LegacySource<'a>(&'a [NaiveLabel]);
+        impl PackSource<NaiveScheme> for LegacySource<'_> {
+            fn node_count(&self) -> usize {
+                self.0.len()
+            }
+            fn meta_words(&self) -> Vec<u64> {
+                PsumMeta::measure(
+                    self.0
+                        .iter()
+                        .map(|l| (l.root_distance, l.entries.iter().sum(), &l.aux)),
+                )
+                .words()
+            }
+            fn packed_label_bits(&self, meta: &PsumMeta, u: usize) -> usize {
+                let l = &self.0[u];
+                meta.label_bits(l.entries.len(), &l.aux)
+            }
+            fn pack_label(&self, meta: &PsumMeta, u: usize, w: &mut BitWriter) {
+                let l = &self.0[u];
+                meta.pack(
+                    l.root_distance,
+                    &l.aux,
+                    l.entries
+                        .iter()
+                        .zip(&l.weights)
+                        .map(|(&d, &t)| (d, u64::from(t))),
+                    w,
+                );
+            }
+        }
+        SchemeStore::from_source(&LegacySource(labels))
     }
 }
 
@@ -609,29 +456,46 @@ mod tests {
     }
 
     #[test]
-    fn labels_roundtrip() {
+    fn build_is_the_packed_frame() {
+        // The scheme's native representation is its frame: serialize is a
+        // handoff of the very words the build produced.
         let tree = gen::random_tree(120, 8);
         let scheme = NaiveScheme::build(&tree);
-        for u in tree.nodes() {
-            let label = scheme.label(u);
+        assert_eq!(
+            SchemeStore::serialize(&scheme),
+            scheme.as_store().to_bytes()
+        );
+        assert_eq!(scheme.as_store().node_count(), tree.len());
+        // Wire sizes are recorded per node and bound the packed region only
+        // loosely (different encodings), but both must be present.
+        assert!(scheme.label_bits(tree.node(0)) > 0);
+        assert!(scheme.as_store().label_region_bits() > 0);
+    }
+
+    #[cfg(feature = "legacy-labels")]
+    #[test]
+    fn labels_roundtrip() {
+        use treelab_bits::BitReader;
+        let tree = gen::random_tree(120, 8);
+        let scheme = NaiveScheme::build(&tree);
+        let labels = NaiveScheme::legacy_labels(&Substrate::new(&tree));
+        for (i, label) in labels.iter().enumerate() {
             let mut w = BitWriter::new();
             label.encode(&mut w);
             let bits = w.into_bitvec();
             assert_eq!(bits.len(), label.bit_len());
+            // The build-time wire accounting matches the legacy encoder.
+            assert_eq!(bits.len(), scheme.label_bits(tree.node(i)));
             let mut r = BitReader::new(&bits);
             let back = NaiveLabel::decode(&mut r).unwrap();
             assert_eq!(&back, label);
         }
-        // Decoded labels answer queries identically.
+        // Decoded labels answer queries identically to the packed kernel.
         let (u, v) = (tree.node(5), tree.node(100));
-        let mut wu = BitWriter::new();
-        scheme.label(u).encode(&mut wu);
-        let bu = wu.into_bitvec();
-        let mut wv = BitWriter::new();
-        scheme.label(v).encode(&mut wv);
-        let bv = wv.into_bitvec();
-        let du = NaiveLabel::decode(&mut BitReader::new(&bu)).unwrap();
-        let dv = NaiveLabel::decode(&mut BitReader::new(&bv)).unwrap();
-        assert_eq!(NaiveScheme::distance(&du, &dv), tree.distance_naive(u, v));
+        assert_eq!(
+            NaiveLabel::legacy_distance(&labels[5], &labels[100]),
+            scheme.distance(u, v)
+        );
+        assert_eq!(scheme.distance(u, v), tree.distance_naive(u, v));
     }
 }

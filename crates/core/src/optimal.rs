@@ -33,200 +33,22 @@
 //!    directly.
 //!
 //! The scheme operates on the §2 binarized tree and labels the proxy leaf of
-//! every original node; [`OptimalScheme::build`] hides the reduction.
+//! every original node; [`OptimalScheme::build`] hides the reduction.  The
+//! native representation is the packed store frame ([`crate::kernel::optimal`]
+//! is the query kernel); [`OptimalScheme::label_bits`] reports the historical
+//! self-delimiting wire size — the quantity Theorem 1.1 bounds — whose
+//! encoder/decoder pair survives behind the `legacy-labels` feature.
 
-use crate::hpath::{AuxCoreRef, AuxDims, AuxScalars, AuxWidths, HpathLabel};
-use crate::store::{StoreError, StoredScheme};
-use crate::substrate::{self, Substrate};
+use crate::hpath::{AuxWidths, HpathLabel};
+use crate::kernel::optimal::{self as kernel, OptimalLabelRef, OptimalMeta, W_PUSHED};
+use crate::store::{SchemeStore, StoreError, StoredScheme};
+use crate::substrate::{self, PackSource, Substrate};
 use crate::DistanceScheme;
-use treelab_bits::{
-    codes, monotone::MonotoneSeq, BitReader, BitSlice, BitVec, BitWriter, DecodeError,
-};
+use treelab_bits::{codes, monotone::MonotoneSeq, BitSlice, BitVec, BitWriter};
 use treelab_tree::heavy::HeavyPaths;
 use treelab_tree::{NodeId, Tree};
 
-/// One entry of a modified distance array.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum OptimalEntry {
-    /// The light edge is the exceptional edge of its heavy path; its value is
-    /// never needed at query time and is not stored.
-    Exceptional,
-    /// A regular (thin or fat) light edge.
-    Regular {
-        /// Weight of the light edge (0 or 1 in the binarized tree).
-        weight: u8,
-        /// Index into the fragment distance array `F(u)` of the fragment head
-        /// this entry's value is relative to.
-        frag_idx: u32,
-        /// Number of low-order bits pushed into the accumulators of dominated
-        /// labels (0 for thin subtrees).
-        pushed: u32,
-        /// The kept (most significant) part of the value: `value >> pushed`.
-        kept: u64,
-    },
-}
-
-/// Label of the optimal (¼·log²n) scheme.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct OptimalLabel {
-    /// Distance from the root.
-    root_distance: u64,
-    /// Heavy-path auxiliary label of the proxy leaf.
-    aux: HpathLabel,
-    /// Fragment distance array `F(u)`: root distances of the fragment heads on
-    /// the root-to-node path in the collapsed tree (non-decreasing).
-    fragments: Vec<u64>,
-    /// Modified distance array, one entry per light edge (top-down).
-    entries: Vec<OptimalEntry>,
-    /// Accumulators, one per light edge level: the pushed bits of all fat
-    /// sibling subtrees to the left at that level, concatenated in sibling
-    /// order.
-    accumulators: Vec<BitVec>,
-}
-
-impl OptimalLabel {
-    /// Root distance stored in the label.
-    pub fn root_distance(&self) -> u64 {
-        self.root_distance
-    }
-
-    /// The embedded heavy-path auxiliary label.
-    pub fn aux(&self) -> &HpathLabel {
-        &self.aux
-    }
-
-    /// The fragment distance array `F(u)`.
-    pub fn fragments(&self) -> &[u64] {
-        &self.fragments
-    }
-
-    /// The modified distance array.
-    pub fn entries(&self) -> &[OptimalEntry] {
-        &self.entries
-    }
-
-    /// Total number of accumulator bits carried by this label.
-    pub fn accumulator_bits(&self) -> usize {
-        self.accumulators.iter().map(BitVec::len).sum()
-    }
-
-    /// Number of *payload* bits of the modified distance array: the kept bits
-    /// of every regular entry plus all accumulator bits carried by this label.
-    ///
-    /// This is the quantity the `¼·log²n` analysis of §3.2 bounds (fragments,
-    /// flags and self-delimiting headers are the `o(log²n)` lower-order terms);
-    /// the experiments report it alongside the total label size.
-    pub fn array_payload_bits(&self) -> usize {
-        let kept: usize = self
-            .entries
-            .iter()
-            .map(|e| match e {
-                OptimalEntry::Regular { kept, .. } => codes::bit_len(*kept),
-                OptimalEntry::Exceptional => 0,
-            })
-            .sum();
-        kept + self.accumulator_bits()
-    }
-
-    /// Serializes the label.
-    pub fn encode(&self, w: &mut BitWriter) {
-        codes::write_delta_nz(w, self.root_distance);
-        self.aux.encode(w);
-        MonotoneSeq::new(&self.fragments).encode(w);
-        codes::write_gamma_nz(w, self.entries.len() as u64);
-        for entry in &self.entries {
-            match entry {
-                OptimalEntry::Exceptional => w.write_bit(true),
-                OptimalEntry::Regular {
-                    weight,
-                    frag_idx,
-                    pushed,
-                    kept,
-                } => {
-                    w.write_bit(false);
-                    w.write_bit(*weight == 1);
-                    codes::write_gamma_nz(w, *frag_idx as u64);
-                    codes::write_gamma_nz(w, *pushed as u64);
-                    codes::write_delta_nz(w, *kept);
-                }
-            }
-        }
-        for acc in &self.accumulators {
-            codes::write_gamma_nz(w, acc.len() as u64);
-            w.write_bitvec(acc);
-        }
-    }
-
-    /// Deserializes a label written by [`OptimalLabel::encode`].
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`DecodeError`] on truncated or malformed input.
-    pub fn decode(r: &mut BitReader<'_>) -> Result<Self, DecodeError> {
-        let root_distance = codes::read_delta_nz(r)?;
-        let aux = HpathLabel::decode(r)?;
-        let fragments = MonotoneSeq::decode(r)?.to_vec();
-        let count = codes::read_gamma_nz(r)? as usize;
-        // Every entry consumes at least one flag bit; reject counts the
-        // remaining input cannot hold before allocating (corrupt counts used
-        // to abort with a capacity overflow instead of returning an error).
-        if count > r.remaining() {
-            return Err(DecodeError::Malformed {
-                what: "entry count exceeds remaining input",
-            });
-        }
-        let mut entries = Vec::with_capacity(count);
-        for _ in 0..count {
-            if r.read_bit()? {
-                entries.push(OptimalEntry::Exceptional);
-            } else {
-                let weight = u8::from(r.read_bit()?);
-                let frag_idx = codes::read_gamma_nz(r)? as u32;
-                let pushed = codes::read_gamma_nz(r)? as u32;
-                if pushed > 64 {
-                    return Err(DecodeError::Malformed {
-                        what: "pushed bit count exceeds 64",
-                    });
-                }
-                let kept = codes::read_delta_nz(r)?;
-                entries.push(OptimalEntry::Regular {
-                    weight,
-                    frag_idx,
-                    pushed,
-                    kept,
-                });
-            }
-        }
-        let mut accumulators = Vec::with_capacity(count);
-        for _ in 0..count {
-            let len = codes::read_gamma_nz(r)? as usize;
-            if len > r.remaining() {
-                return Err(DecodeError::Malformed {
-                    what: "accumulator length exceeds remaining input",
-                });
-            }
-            let mut acc = BitVec::with_capacity(len);
-            for _ in 0..len {
-                acc.push(r.read_bit()?);
-            }
-            accumulators.push(acc);
-        }
-        Ok(OptimalLabel {
-            root_distance,
-            aux,
-            fragments,
-            entries,
-            accumulators,
-        })
-    }
-
-    /// Size of the serialized label in bits.
-    pub fn bit_len(&self) -> usize {
-        let mut w = BitWriter::new();
-        self.encode(&mut w);
-        w.len()
-    }
-}
+pub use crate::kernel::optimal::OptimalEntry;
 
 /// Per-collapsed-path data computed once during construction.
 #[derive(Debug, Clone)]
@@ -274,10 +96,73 @@ impl Default for OptimalConfig {
     }
 }
 
-/// The optimal ¼·log²n exact distance labeling scheme (Theorem 1.1).
+/// Writes the self-delimiting wire encoding of one label (the format
+/// [`OptimalLabel::decode`] reads).  The build-time wire-size accounting uses
+/// the closed-form lengths of the same codes; the feature-gated legacy tests
+/// pin the two to each other bit for bit.
+#[cfg(feature = "legacy-labels")]
+pub(crate) fn wire_encode<'x>(
+    w: &mut BitWriter,
+    root_distance: u64,
+    aux: &HpathLabel,
+    fragments: &[u64],
+    entries: impl Iterator<Item = &'x OptimalEntry>,
+    count: usize,
+    accumulators: impl Iterator<Item = &'x BitVec>,
+) {
+    codes::write_delta_nz(w, root_distance);
+    aux.encode(w);
+    MonotoneSeq::new(fragments).encode(w);
+    codes::write_gamma_nz(w, count as u64);
+    for entry in entries {
+        match entry {
+            OptimalEntry::Exceptional => w.write_bit(true),
+            OptimalEntry::Regular {
+                weight,
+                frag_idx,
+                pushed,
+                kept,
+            } => {
+                w.write_bit(false);
+                w.write_bit(*weight == 1);
+                codes::write_gamma_nz(w, u64::from(*frag_idx));
+                codes::write_gamma_nz(w, u64::from(*pushed));
+                codes::write_delta_nz(w, *kept);
+            }
+        }
+    }
+    for acc in accumulators {
+        codes::write_gamma_nz(w, acc.len() as u64);
+        w.write_bitvec(acc);
+    }
+}
+
+/// One node's build-time row: the root distance, the borrowed aux label, the
+/// fragment distance array and the node's chain of non-root collapsed paths
+/// (whose entries and accumulators live in the shared per-path table).
+struct OptimalRow<'a> {
+    rd: u64,
+    aux: &'a HpathLabel,
+    fragments: Vec<u64>,
+    /// Non-root paths on the root-to-node chain, top-down (one per light
+    /// edge, so `chain.len() == aux.light_depth()`).
+    chain: Vec<usize>,
+    wire_bits: u32,
+    payload_bits: u32,
+    acc_bits: u32,
+}
+
+/// The optimal ¼·log²n exact distance labeling scheme (Theorem 1.1), a thin
+/// owner of its packed [`SchemeStore`] frame.
 #[derive(Debug, Clone)]
 pub struct OptimalScheme {
-    labels: Vec<OptimalLabel>,
+    store: SchemeStore<OptimalScheme>,
+    /// Per-node wire-encoding sizes (the quantity Theorem 1.1 bounds).
+    wire_bits: Vec<u32>,
+    /// Per-node modified-distance-array payload bits (kept + accumulators).
+    payload_bits: Vec<u32>,
+    /// Per-node accumulator bits.
+    acc_bits: Vec<u32>,
 }
 
 impl OptimalScheme {
@@ -290,8 +175,86 @@ impl OptimalScheme {
 
     /// [`OptimalScheme::build_with_config`] on a shared [`Substrate`].
     pub fn build_with_substrate_config(sub: &Substrate<'_>, config: OptimalConfig) -> Self {
+        let bs = sub.binarized_expect();
+        let (bin, hp, aux) = (bs.binarized(), bs.heavy_paths(), bs.aux_labels());
+        let info = Self::build_path_info(bin.tree(), hp, config);
+        let tree = sub.tree();
+
+        let rows: Vec<OptimalRow<'_>> = substrate::build_vec(sub.parallelism(), tree.len(), |i| {
+            let leaf = bin.proxy(tree.node(i));
+            let rd = hp.root_distance(leaf);
+            // Paths from the root path down to the leaf's own path.
+            let mut up = Vec::new();
+            let mut p = hp.path_of(leaf);
+            loop {
+                up.push(p);
+                match hp.collapsed_parent(p) {
+                    Some(parent) => p = parent,
+                    None => break,
+                }
+            }
+            up.reverse();
+            let fragments: Vec<u64> = up
+                .iter()
+                .filter(|&&p| info[p].is_fragment_head)
+                .map(|&p| info[p].head_root_distance)
+                .collect();
+            let chain: Vec<usize> = up[1..].to_vec();
+            let row_aux = aux.label(leaf);
+            // One pass over the chain computes the accumulator total, the
+            // payload bits and the closed-form wire size (no encoding pass;
+            // the feature-gated legacy tests pin the latter to the real
+            // encoder bit for bit).
+            let mut acc_bits = 0usize;
+            let mut payload = 0usize;
+            let mut entry_wire = 0usize;
+            for &p in &chain {
+                let pi = &info[p];
+                let l = pi.accumulator.len();
+                acc_bits += l;
+                entry_wire += codes::gamma_nz_len(l as u64) + l;
+                match pi.entry.as_ref().expect("non-root paths carry an entry") {
+                    OptimalEntry::Exceptional => entry_wire += 1,
+                    OptimalEntry::Regular {
+                        frag_idx,
+                        pushed,
+                        kept,
+                        ..
+                    } => {
+                        payload += codes::bit_len(*kept);
+                        entry_wire += 2
+                            + codes::gamma_nz_len(u64::from(*frag_idx))
+                            + codes::gamma_nz_len(u64::from(*pushed))
+                            + codes::delta_nz_len(*kept);
+                    }
+                }
+            }
+            payload += acc_bits;
+            let wire = codes::delta_nz_len(rd)
+                + row_aux.bit_len()
+                + MonotoneSeq::encoded_len(&fragments)
+                + codes::gamma_nz_len(chain.len() as u64)
+                + entry_wire;
+            OptimalRow {
+                rd,
+                aux: row_aux,
+                fragments,
+                chain,
+                wire_bits: wire as u32,
+                payload_bits: payload as u32,
+                acc_bits: acc_bits as u32,
+            }
+        });
+
+        let store = SchemeStore::from_source(&OptimalSource {
+            rows: &rows,
+            info: &info,
+        });
         OptimalScheme {
-            labels: Self::build_labels(sub, config),
+            store,
+            wire_bits: rows.iter().map(|r| r.wire_bits).collect(),
+            payload_bits: rows.iter().map(|r| r.payload_bits).collect(),
+            acc_bits: rows.iter().map(|r| r.acc_bits).collect(),
         }
     }
 
@@ -413,59 +376,115 @@ impl OptimalScheme {
         info
     }
 
-    fn build_labels(sub: &Substrate<'_>, config: OptimalConfig) -> Vec<OptimalLabel> {
-        let tree = sub.tree();
-        let bs = sub.binarized_expect();
-        let (bin, hp, aux) = (bs.binarized(), bs.heavy_paths(), bs.aux_labels());
-        let info = Self::build_path_info(bin.tree(), hp, config);
+    /// Number of *payload* bits of node `u`'s modified distance array: the
+    /// kept bits of every regular entry plus all accumulator bits carried by
+    /// the label.
+    ///
+    /// This is the quantity the `¼·log²n` analysis of §3.2 bounds (fragments,
+    /// flags and self-delimiting headers are the `o(log²n)` lower-order
+    /// terms); the experiments report it alongside the total label size.
+    pub fn array_payload_bits(&self, u: NodeId) -> usize {
+        self.payload_bits[u.index()] as usize
+    }
 
-        substrate::build_vec(sub.parallelism(), tree.len(), |i| {
-            let leaf = bin.proxy(tree.node(i));
-            // Paths from the root path down to the leaf's own path.
-            let mut chain = Vec::new();
-            let mut p = hp.path_of(leaf);
-            loop {
-                chain.push(p);
-                match hp.collapsed_parent(p) {
-                    Some(parent) => p = parent,
-                    None => break,
+    /// Total number of accumulator bits carried by node `u`'s label.
+    pub fn accumulator_bits(&self, u: NodeId) -> usize {
+        self.acc_bits[u.index()] as usize
+    }
+}
+
+/// The pack source of the optimal scheme: per-node rows plus the shared
+/// per-path entry/accumulator table.
+struct OptimalSource<'a, 'b> {
+    rows: &'b [OptimalRow<'a>],
+    info: &'b [PathInfo],
+}
+
+impl PackSource<OptimalScheme> for OptimalSource<'_, '_> {
+    fn node_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn meta_words(&self) -> Vec<u64> {
+        let w = |x: u64| codes::bit_len(x) as u8;
+        // Per-path maxima first (each path contributes the same entry to every
+        // node whose chain crosses it), then one cheap pass over the rows.
+        let (mut w_fi, mut w_kept) = (0u8, 0u8);
+        for pi in self.info {
+            if let Some(OptimalEntry::Regular { frag_idx, kept, .. }) = &pi.entry {
+                w_fi = w_fi.max(w(u64::from(*frag_idx)));
+                w_kept = w_kept.max(w(*kept));
+            }
+        }
+        let (mut w_rd, mut w_fc, mut w_frag, mut w_ae) = (0u8, 0u8, 0u8, 0u8);
+        let mut aux_w = AuxWidths::default();
+        for r in self.rows {
+            w_rd = w_rd.max(w(r.rd));
+            w_fc = w_fc.max(w(r.fragments.len() as u64));
+            // Fragments are non-decreasing, so the last bounds them all.
+            w_frag = w_frag.max(w(r.fragments.last().copied().unwrap_or(0)));
+            w_ae = w_ae.max(w(r.acc_bits as u64));
+            aux_w.observe(r.aux);
+        }
+        OptimalMeta::with_widths(w_rd, w_fc, w_frag, w_fi, w_kept, w_ae, aux_w).words()
+    }
+
+    fn packed_label_bits(&self, meta: &OptimalMeta, u: usize) -> usize {
+        let r = &self.rows[u];
+        meta.hdr_total
+            + meta.aux_w.packed_bits_core(r.aux)
+            + r.fragments.len() * meta.frag_w
+            + r.chain.len() * meta.rec_w
+            + r.acc_bits as usize
+    }
+
+    fn pack_label(&self, meta: &OptimalMeta, u: usize, w: &mut BitWriter) {
+        let r = &self.rows[u];
+        debug_assert_eq!(r.chain.len(), r.aux.light_depth());
+        w.write_bits_lsb(r.rd, usize::from(meta.w_rd));
+        w.write_bits_lsb(r.chain.len() as u64, usize::from(meta.aux_w.ld));
+        w.write_bits_lsb(r.fragments.len() as u64, usize::from(meta.w_fc));
+        w.write_bits_lsb(r.aux.codewords_len() as u64, usize::from(meta.aux_w.end));
+        meta.aux_w.pack_core(r.aux, w);
+        for &f in &r.fragments {
+            w.write_bits_lsb(f, usize::from(meta.w_frag));
+        }
+        let ends = r.aux.end_positions();
+        let mut acc_end = 0u64;
+        for (i, &p) in r.chain.iter().enumerate() {
+            let pi = &self.info[p];
+            acc_end += pi.accumulator.len() as u64;
+            w.write_bits_lsb(u64::from(ends[i]), usize::from(meta.aux_w.end));
+            match pi.entry.as_ref().expect("non-root path entry") {
+                OptimalEntry::Exceptional => {
+                    w.write_bit(true);
+                    w.write_bit(false);
+                    w.write_bits_lsb(0, usize::from(meta.w_fi));
+                    w.write_bits_lsb(0, W_PUSHED);
+                    w.write_bits_lsb(0, usize::from(meta.w_kept));
+                }
+                OptimalEntry::Regular {
+                    weight,
+                    frag_idx,
+                    pushed,
+                    kept,
+                } => {
+                    w.write_bit(false);
+                    w.write_bit(*weight == 1);
+                    w.write_bits_lsb(u64::from(*frag_idx), usize::from(meta.w_fi));
+                    w.write_bits_lsb(u64::from(*pushed), W_PUSHED);
+                    w.write_bits_lsb(*kept, usize::from(meta.w_kept));
                 }
             }
-            chain.reverse();
-
-            let fragments: Vec<u64> = chain
-                .iter()
-                .filter(|&&p| info[p].is_fragment_head)
-                .map(|&p| info[p].head_root_distance)
-                .collect();
-            let entries: Vec<OptimalEntry> = chain[1..]
-                .iter()
-                .map(|&p| {
-                    info[p]
-                        .entry
-                        .clone()
-                        .expect("non-root paths carry an entry")
-                })
-                .collect();
-            let accumulators: Vec<BitVec> = chain[1..]
-                .iter()
-                .map(|&p| info[p].accumulator.clone())
-                .collect();
-
-            OptimalLabel {
-                root_distance: hp.root_distance(leaf),
-                aux: aux.label(leaf).clone(),
-                fragments,
-                entries,
-                accumulators,
-            }
-        })
+            w.write_bits_lsb(acc_end, usize::from(meta.w_ae));
+        }
+        for &p in &r.chain {
+            w.write_bitvec(&self.info[p].accumulator);
+        }
     }
 }
 
 impl DistanceScheme for OptimalScheme {
-    type Label = OptimalLabel;
-
     fn build(tree: &Tree) -> Self {
         Self::build_with_config(tree, OptimalConfig::default())
     }
@@ -474,25 +493,195 @@ impl DistanceScheme for OptimalScheme {
         Self::build_with_substrate_config(sub, OptimalConfig::default())
     }
 
-    fn label(&self, u: NodeId) -> &OptimalLabel {
-        &self.labels[u.index()]
+    fn label_bits(&self, u: NodeId) -> usize {
+        self.wire_bits[u.index()] as usize
     }
 
-    /// Exact distance from two labels alone.
+    fn max_label_bits(&self) -> usize {
+        self.wire_bits.iter().copied().max().unwrap_or(0) as usize
+    }
+
+    fn name() -> &'static str {
+        "optimal-quarter"
+    }
+}
+
+impl StoredScheme for OptimalScheme {
+    const TAG: u32 = 3;
+    const STORE_NAME: &'static str = "optimal-quarter";
+    type Meta = OptimalMeta;
+    type Ref<'a> = OptimalLabelRef<'a>;
+
+    fn as_store(&self) -> &SchemeStore<OptimalScheme> {
+        &self.store
+    }
+
+    fn parse_meta(_param: u64, words: &[u64]) -> Result<OptimalMeta, StoreError> {
+        OptimalMeta::parse(words)
+    }
+
+    fn label_ref<'a>(
+        slice: BitSlice<'a>,
+        start: usize,
+        meta: &'a OptimalMeta,
+    ) -> OptimalLabelRef<'a> {
+        OptimalLabelRef::new(slice, start, meta)
+    }
+
+    /// The Theorem 1.1 protocol over packed views (including its panics on
+    /// labels of different builds) — one [`crate::kernel::optimal`] call.
+    fn distance_refs(a: OptimalLabelRef<'_>, b: OptimalLabelRef<'_>) -> u64 {
+        kernel::distance_refs(a, b)
+    }
+
+    fn check_label(slice: BitSlice<'_>, start: usize, end: usize, meta: &OptimalMeta) -> bool {
+        kernel::check_label(slice, start, end, meta)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy wire-format labels (feature-gated)
+// ---------------------------------------------------------------------------
+
+/// Label of the optimal (¼·log²n) scheme in its historical struct form —
+/// kept for the self-delimiting wire format and its decode adversaries.
+#[cfg(feature = "legacy-labels")]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptimalLabel {
+    /// Distance from the root.
+    root_distance: u64,
+    /// Heavy-path auxiliary label of the proxy leaf.
+    aux: HpathLabel,
+    /// Fragment distance array `F(u)`: root distances of the fragment heads on
+    /// the root-to-node path in the collapsed tree (non-decreasing).
+    fragments: Vec<u64>,
+    /// Modified distance array, one entry per light edge (top-down).
+    entries: Vec<OptimalEntry>,
+    /// Accumulators, one per light edge level: the pushed bits of all fat
+    /// sibling subtrees to the left at that level, concatenated in sibling
+    /// order.
+    accumulators: Vec<BitVec>,
+}
+
+#[cfg(feature = "legacy-labels")]
+impl OptimalLabel {
+    /// Root distance stored in the label.
+    pub fn root_distance(&self) -> u64 {
+        self.root_distance
+    }
+
+    /// The fragment distance array `F(u)`.
+    pub fn fragments(&self) -> &[u64] {
+        &self.fragments
+    }
+
+    /// The modified distance array.
+    pub fn entries(&self) -> &[OptimalEntry] {
+        &self.entries
+    }
+
+    /// Total number of accumulator bits carried by this label.
+    pub fn accumulator_bits(&self) -> usize {
+        self.accumulators.iter().map(BitVec::len).sum()
+    }
+
+    /// Serializes the label.
+    pub fn encode(&self, w: &mut BitWriter) {
+        wire_encode(
+            w,
+            self.root_distance,
+            &self.aux,
+            &self.fragments,
+            self.entries.iter(),
+            self.entries.len(),
+            self.accumulators.iter(),
+        );
+    }
+
+    /// Deserializes a label written by [`OptimalLabel::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`treelab_bits::DecodeError`] on truncated or malformed
+    /// input.
+    pub fn decode(r: &mut treelab_bits::BitReader<'_>) -> Result<Self, treelab_bits::DecodeError> {
+        use treelab_bits::DecodeError;
+        let root_distance = codes::read_delta_nz(r)?;
+        let aux = HpathLabel::decode(r)?;
+        let fragments = MonotoneSeq::decode(r)?.to_vec();
+        let count = codes::read_gamma_nz(r)? as usize;
+        // Every entry consumes at least one flag bit; reject counts the
+        // remaining input cannot hold before allocating (corrupt counts used
+        // to abort with a capacity overflow instead of returning an error).
+        if count > r.remaining() {
+            return Err(DecodeError::Malformed {
+                what: "entry count exceeds remaining input",
+            });
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            if r.read_bit()? {
+                entries.push(OptimalEntry::Exceptional);
+            } else {
+                let weight = u8::from(r.read_bit()?);
+                let frag_idx = codes::read_gamma_nz(r)? as u32;
+                let pushed = codes::read_gamma_nz(r)? as u32;
+                if pushed > 64 {
+                    return Err(DecodeError::Malformed {
+                        what: "pushed bit count exceeds 64",
+                    });
+                }
+                let kept = codes::read_delta_nz(r)?;
+                entries.push(OptimalEntry::Regular {
+                    weight,
+                    frag_idx,
+                    pushed,
+                    kept,
+                });
+            }
+        }
+        let mut accumulators = Vec::with_capacity(count);
+        for _ in 0..count {
+            let len = codes::read_gamma_nz(r)? as usize;
+            if len > r.remaining() {
+                return Err(DecodeError::Malformed {
+                    what: "accumulator length exceeds remaining input",
+                });
+            }
+            let mut acc = BitVec::with_capacity(len);
+            for _ in 0..len {
+                acc.push(r.read_bit()?);
+            }
+            accumulators.push(acc);
+        }
+        Ok(OptimalLabel {
+            root_distance,
+            aux,
+            fragments,
+            entries,
+            accumulators,
+        })
+    }
+
+    /// Size of the serialized label in bits.
+    pub fn bit_len(&self) -> usize {
+        let mut w = BitWriter::new();
+        self.encode(&mut w);
+        w.len()
+    }
+
+    /// The struct-side distance protocol of the historical implementation
+    /// (the packed-native kernel replaces it; kept for cross-checks).
     ///
     /// # Panics
     ///
-    /// Panics if the labels were produced by different scheme builds (the
-    /// dominating side's entry would be exceptional or out of range, which
-    /// cannot happen for labels of the same tree).
-    fn distance(a: &OptimalLabel, b: &OptimalLabel) -> u64 {
+    /// Panics if the labels were produced by different scheme builds.
+    pub fn legacy_distance(a: &OptimalLabel, b: &OptimalLabel) -> u64 {
         let (la, lb) = (&a.aux, &b.aux);
         if HpathLabel::same_node(la, lb) {
             return 0;
         }
         if HpathLabel::is_ancestor(la, lb) || HpathLabel::is_ancestor(lb, la) {
-            // Cannot happen for proxy-leaf labels of distinct nodes; kept as a
-            // safe fallback for direct use on arbitrary node sets.
             return a.root_distance.abs_diff(b.root_distance);
         }
         let j = HpathLabel::common_light_depth(la, lb);
@@ -527,506 +716,142 @@ impl DistanceScheme for OptimalScheme {
         let rd_nca = head_rd - u64::from(*weight);
         a.root_distance + b.root_distance - 2 * rd_nca
     }
-
-    fn label_bits(&self, u: NodeId) -> usize {
-        self.labels[u.index()].bit_len()
-    }
-
-    fn max_label_bits(&self) -> usize {
-        self.labels
-            .iter()
-            .map(OptimalLabel::bit_len)
-            .max()
-            .unwrap_or(0)
-    }
-
-    fn name() -> &'static str {
-        "optimal-quarter"
-    }
 }
 
-// ---------------------------------------------------------------------------
-// Zero-copy store support
-// ---------------------------------------------------------------------------
-
-/// Width of the packed `pushed` field: `pushed ≤ 64` always fits in 7 bits.
-const W_PUSHED: usize = 7;
-
-/// Store meta of the optimal scheme: global field widths of the packed layout
-///
-/// ```text
-/// [root_distance | count | frag_count | codeword length][aux scalars | codewords]
-/// [fragments][records: count × (end | flag | weight | frag_idx | pushed | kept | acc_end)]
-/// [accumulator bits]
-/// ```
-///
-/// Every per-level record fuses the codeword end position with the modified
-/// distance-array entry *and* the accumulator end position (a prefix sum of
-/// the per-level accumulator lengths), so the scan over the dominating side's
-/// records yields `lightdepth(NCA)`, the entry and the accumulator offset in
-/// one pass of fused word reads.
-#[derive(Debug, Clone, Copy)]
-pub struct OptimalMeta {
-    w_rd: u8,
-    w_fc: u8,
-    w_frag: u8,
-    w_fi: u8,
-    w_kept: u8,
-    w_ae: u8,
-    aux_w: AuxWidths,
-    // Query-side quantities, precomputed once at parse time.
-    rd_w: usize,
-    frag_w: usize,
-    hdr_total: usize,
-    hdr_fused: bool,
-    rd_mask: u64,
-    ld_sh: u32,
-    ld_mask: u64,
-    fc_sh: u32,
-    fc_mask: u64,
-    cwl_sh: u32,
-    rec_w: usize,
-    rec_fused: bool,
-    end_mask: u64,
-    flag_sh: u32,
-    weight_sh: u32,
-    fi_sh: u32,
-    fi_mask: u64,
-    pushed_sh: u32,
-    kept_sh: u32,
-    kept_mask: u64,
-    ae_sh: u32,
-    aux: AuxDims,
-}
-
-impl OptimalMeta {
-    fn with_widths(
-        w_rd: u8,
-        w_fc: u8,
-        w_frag: u8,
-        w_fi: u8,
-        w_kept: u8,
-        w_ae: u8,
-        aux_w: AuxWidths,
-    ) -> Self {
-        let mask = |w: u8| crate::hpath::width_mask(usize::from(w));
-        let hdr_total =
-            usize::from(w_rd) + usize::from(aux_w.ld) + usize::from(w_fc) + usize::from(aux_w.end);
-        let end_w = u32::from(aux_w.end);
-        let rec_w = usize::from(aux_w.end)
-            + 2
-            + usize::from(w_fi)
-            + W_PUSHED
-            + usize::from(w_kept)
-            + usize::from(w_ae);
-        OptimalMeta {
-            w_rd,
-            w_fc,
-            w_frag,
-            w_fi,
-            w_kept,
-            w_ae,
-            aux_w,
-            rd_w: usize::from(w_rd),
-            frag_w: usize::from(w_frag),
-            hdr_total,
-            hdr_fused: hdr_total <= 64,
-            rd_mask: mask(w_rd),
-            ld_sh: u32::from(w_rd),
-            ld_mask: mask(aux_w.ld),
-            fc_sh: u32::from(w_rd) + u32::from(aux_w.ld),
-            fc_mask: mask(w_fc),
-            cwl_sh: u32::from(w_rd) + u32::from(aux_w.ld) + u32::from(w_fc),
-            rec_w,
-            rec_fused: rec_w <= 64,
-            end_mask: mask(aux_w.end),
-            flag_sh: end_w,
-            weight_sh: end_w + 1,
-            fi_sh: end_w + 2,
-            fi_mask: mask(w_fi),
-            pushed_sh: end_w + 2 + u32::from(w_fi),
-            kept_sh: end_w + 2 + u32::from(w_fi) + W_PUSHED as u32,
-            kept_mask: mask(w_kept),
-            ae_sh: end_w + 2 + u32::from(w_fi) + W_PUSHED as u32 + u32::from(w_kept),
-            aux: AuxDims::new(aux_w),
-        }
+#[cfg(feature = "legacy-labels")]
+impl OptimalScheme {
+    /// Builds the historical struct labels (default configuration) from a
+    /// shared substrate.
+    pub fn legacy_labels(sub: &Substrate<'_>) -> Vec<OptimalLabel> {
+        Self::legacy_labels_with_config(sub, OptimalConfig::default())
     }
 
-    fn measure(labels: &[OptimalLabel]) -> Self {
-        let w = |x: u64| codes::bit_len(x) as u8;
-        let (mut w_rd, mut w_fc, mut w_frag, mut w_fi, mut w_kept, mut w_ae) =
-            (0u8, 0u8, 0u8, 0u8, 0u8, 0u8);
-        let mut aux_w = AuxWidths::default();
-        for l in labels {
-            w_rd = w_rd.max(w(l.root_distance));
-            w_fc = w_fc.max(w(l.fragments.len() as u64));
-            // Fragments are non-decreasing, so the last bounds them all.
-            w_frag = w_frag.max(w(l.fragments.last().copied().unwrap_or(0)));
-            for e in &l.entries {
-                if let OptimalEntry::Regular { frag_idx, kept, .. } = e {
-                    w_fi = w_fi.max(w(u64::from(*frag_idx)));
-                    w_kept = w_kept.max(w(*kept));
+    /// Builds the historical struct labels with explicit knobs.
+    pub fn legacy_labels_with_config(
+        sub: &Substrate<'_>,
+        config: OptimalConfig,
+    ) -> Vec<OptimalLabel> {
+        let bs = sub.binarized_expect();
+        let (bin, hp, aux) = (bs.binarized(), bs.heavy_paths(), bs.aux_labels());
+        let info = Self::build_path_info(bin.tree(), hp, config);
+        let tree = sub.tree();
+        substrate::build_vec(sub.parallelism(), tree.len(), |i| {
+            let leaf = bin.proxy(tree.node(i));
+            let mut chain = Vec::new();
+            let mut p = hp.path_of(leaf);
+            loop {
+                chain.push(p);
+                match hp.collapsed_parent(p) {
+                    Some(parent) => p = parent,
+                    None => break,
                 }
             }
-            w_ae = w_ae.max(w(l.accumulator_bits() as u64));
-            aux_w.observe(&l.aux);
-        }
-        Self::with_widths(w_rd, w_fc, w_frag, w_fi, w_kept, w_ae, aux_w)
-    }
-
-    fn words(self) -> Vec<u64> {
-        vec![
-            u64::from(self.w_rd)
-                | u64::from(self.w_fc) << 8
-                | u64::from(self.w_frag) << 16
-                | u64::from(self.w_fi) << 24
-                | u64::from(self.w_kept) << 32
-                | u64::from(self.w_ae) << 40,
-            self.aux_w.to_word(),
-        ]
-    }
-
-    fn parse(words: &[u64]) -> Result<Self, StoreError> {
-        let &[w0, w1] = words else {
-            return Err(StoreError::Malformed {
-                what: "optimal scheme meta must be two words",
-            });
-        };
-        let widths = [
-            (w0 & 0xFF) as u8,
-            (w0 >> 8 & 0xFF) as u8,
-            (w0 >> 16 & 0xFF) as u8,
-            (w0 >> 24 & 0xFF) as u8,
-            (w0 >> 32 & 0xFF) as u8,
-            (w0 >> 40 & 0xFF) as u8,
-        ];
-        if w0 >> 48 != 0 || widths.iter().any(|&x| x > 64) {
-            return Err(StoreError::Malformed {
-                what: "optimal scheme field width exceeds 64 bits",
-            });
-        }
-        let [w_rd, w_fc, w_frag, w_fi, w_kept, w_ae] = widths;
-        Ok(Self::with_widths(
-            w_rd,
-            w_fc,
-            w_frag,
-            w_fi,
-            w_kept,
-            w_ae,
-            AuxWidths::from_word(w1)?,
-        ))
-    }
-}
-
-/// Borrowed view of a packed [`OptimalLabel`] inside a
-/// [`SchemeStore`](crate::store::SchemeStore) buffer.
-#[derive(Debug, Clone, Copy)]
-pub struct OptimalLabelRef<'a> {
-    s: BitSlice<'a>,
-    start: usize,
-    m: &'a OptimalMeta,
-}
-
-/// One decoded per-level record (minus the end position, consumed by the
-/// scan).
-#[derive(Debug, Clone, Copy)]
-struct OptimalRecord {
-    exceptional: bool,
-    weight: u64,
-    frag_idx: usize,
-    pushed: u32,
-    kept: u64,
-    acc_end: usize,
-}
-
-impl<'a> OptimalLabelRef<'a> {
-    #[inline]
-    fn get(&self, pos: usize, width: usize) -> u64 {
-        treelab_bits::bitslice::read_lsb(self.s.words(), pos, width)
-    }
-
-    /// `(root_distance, count, frag_count, codeword length)` — one fused read
-    /// when the widths fit.
-    #[inline]
-    fn header(&self) -> (u64, usize, usize, usize) {
-        let m = self.m;
-        if m.hdr_fused {
-            let raw = self.get(self.start, m.hdr_total);
-            (
-                raw & m.rd_mask,
-                (raw >> m.ld_sh & m.ld_mask) as usize,
-                (raw >> m.fc_sh & m.fc_mask) as usize,
-                (raw >> m.cwl_sh) as usize,
-            )
-        } else {
-            let ld_w = usize::from(m.aux_w.ld);
-            let fc_w = usize::from(m.w_fc);
-            (
-                self.get(self.start, m.rd_w),
-                self.get(self.start + m.rd_w, ld_w) as usize,
-                self.get(self.start + m.rd_w + ld_w, fc_w) as usize,
-                self.get(self.start + m.rd_w + ld_w + fc_w, usize::from(m.aux_w.end)) as usize,
-            )
-        }
-    }
-
-    /// The embedded core aux block (at a fixed offset).
-    #[inline]
-    fn aux(&self) -> AuxCoreRef<'a> {
-        AuxCoreRef::new(self.s, self.start + self.m.hdr_total, &self.m.aux)
-    }
-
-    /// Decodes the non-end fields of the raw record word(s) at `pos`.
-    #[inline]
-    fn record_fields(&self, pos: usize, raw: u64) -> OptimalRecord {
-        let m = self.m;
-        if m.rec_fused {
-            OptimalRecord {
-                exceptional: raw >> m.flag_sh & 1 == 1,
-                weight: raw >> m.weight_sh & 1,
-                frag_idx: (raw >> m.fi_sh & m.fi_mask) as usize,
-                pushed: (raw >> m.pushed_sh & 0x7F) as u32,
-                kept: raw >> m.kept_sh & m.kept_mask,
-                acc_end: (raw >> m.ae_sh) as usize,
+            chain.reverse();
+            OptimalLabel {
+                root_distance: hp.root_distance(leaf),
+                aux: aux.label(leaf).clone(),
+                fragments: chain
+                    .iter()
+                    .filter(|&&p| info[p].is_fragment_head)
+                    .map(|&p| info[p].head_root_distance)
+                    .collect(),
+                entries: chain[1..]
+                    .iter()
+                    .map(|&p| {
+                        info[p]
+                            .entry
+                            .clone()
+                            .expect("non-root paths carry an entry")
+                    })
+                    .collect(),
+                accumulators: chain[1..]
+                    .iter()
+                    .map(|&p| info[p].accumulator.clone())
+                    .collect(),
             }
-        } else {
-            let base = pos + usize::from(m.aux_w.end);
-            let flags = self.get(base, 2);
-            let fi_w = usize::from(m.w_fi);
-            let kept_w = usize::from(m.w_kept);
-            OptimalRecord {
-                exceptional: flags & 1 == 1,
-                weight: flags >> 1,
-                frag_idx: self.get(base + 2, fi_w) as usize,
-                pushed: self.get(base + 2 + fi_w, W_PUSHED) as u32,
-                kept: self.get(base + 2 + fi_w + W_PUSHED, kept_w),
-                acc_end: self.get(base + 2 + fi_w + W_PUSHED + kept_w, usize::from(m.w_ae))
-                    as usize,
+        })
+    }
+
+    /// The historical struct-then-serialize pipeline (bit-for-bit identical
+    /// to the direct pack path; asserted by the equivalence tests).
+    pub fn store_from_legacy(labels: &[OptimalLabel]) -> SchemeStore<OptimalScheme> {
+        struct LegacySource<'a>(&'a [OptimalLabel]);
+        impl PackSource<OptimalScheme> for LegacySource<'_> {
+            fn node_count(&self) -> usize {
+                self.0.len()
             }
-        }
-    }
-
-    /// Scans the records for the first end position past `lcp`, returning
-    /// `(level, record, acc_end[level − 1])`.
-    ///
-    /// # Panics
-    ///
-    /// Panics when every end position is within the prefix — for labels of
-    /// one build the dominating side always leaves the common heavy path.
-    #[inline]
-    fn scan_records(
-        &self,
-        ld: usize,
-        rec_base: usize,
-        lcp: usize,
-    ) -> (usize, OptimalRecord, usize) {
-        let m = self.m;
-        let mut prev_acc = 0usize;
-        let mut i = 0;
-        while i < ld {
-            let pos = rec_base + i * m.rec_w;
-            let (end, raw) = if m.rec_fused {
-                let raw = self.get(pos, m.rec_w);
-                ((raw & m.end_mask) as usize, raw)
-            } else {
-                (self.get(pos, usize::from(m.aux_w.end)) as usize, 0)
-            };
-            let rec = self.record_fields(pos, raw);
-            if end > lcp {
-                return (i, rec, prev_acc);
-            }
-            prev_acc = rec.acc_end;
-            i += 1;
-        }
-        panic!("dominating label leaves the common heavy path");
-    }
-
-    /// `acc_end[level]` by direct index (`0` for level `-1`).
-    #[inline]
-    fn acc_end_at(&self, rec_base: usize, level: usize) -> usize {
-        let m = self.m;
-        if m.rec_fused {
-            let raw = self.get(rec_base + level * m.rec_w, m.rec_w);
-            (raw >> m.ae_sh) as usize
-        } else {
-            self.record_fields(rec_base + level * m.rec_w, 0).acc_end
-        }
-    }
-
-    #[inline]
-    fn frag(&self, frag_base: usize, i: usize) -> u64 {
-        self.get(frag_base + i * self.m.frag_w, self.m.frag_w)
-    }
-}
-
-impl StoredScheme for OptimalScheme {
-    const TAG: u32 = 3;
-    const STORE_NAME: &'static str = "optimal-quarter";
-    type Meta = OptimalMeta;
-    type Ref<'a> = OptimalLabelRef<'a>;
-
-    fn node_count(&self) -> usize {
-        self.labels.len()
-    }
-
-    fn meta_words(&self) -> Vec<u64> {
-        OptimalMeta::measure(&self.labels).words()
-    }
-
-    fn parse_meta(_param: u64, words: &[u64]) -> Result<OptimalMeta, StoreError> {
-        OptimalMeta::parse(words)
-    }
-
-    fn packed_label_bits(&self, meta: &OptimalMeta, u: usize) -> usize {
-        let l = &self.labels[u];
-        meta.hdr_total
-            + meta.aux_w.packed_bits_core(&l.aux)
-            + l.fragments.len() * meta.frag_w
-            + l.entries.len() * meta.rec_w
-            + l.accumulator_bits()
-    }
-
-    fn pack_label(&self, meta: &OptimalMeta, u: usize, w: &mut BitWriter) {
-        let l = &self.labels[u];
-        debug_assert_eq!(l.entries.len(), l.aux.light_depth());
-        debug_assert_eq!(l.entries.len(), l.accumulators.len());
-        w.write_bits_lsb(l.root_distance, usize::from(meta.w_rd));
-        w.write_bits_lsb(l.entries.len() as u64, usize::from(meta.aux_w.ld));
-        w.write_bits_lsb(l.fragments.len() as u64, usize::from(meta.w_fc));
-        w.write_bits_lsb(l.aux.codewords_len() as u64, usize::from(meta.aux_w.end));
-        meta.aux_w.pack_core(&l.aux, w);
-        for &f in &l.fragments {
-            w.write_bits_lsb(f, usize::from(meta.w_frag));
-        }
-        let ends = l.aux.end_positions();
-        let mut acc_end = 0u64;
-        for (i, e) in l.entries.iter().enumerate() {
-            acc_end += l.accumulators[i].len() as u64;
-            w.write_bits_lsb(u64::from(ends[i]), usize::from(meta.aux_w.end));
-            match e {
-                OptimalEntry::Exceptional => {
-                    w.write_bit(true);
-                    w.write_bit(false);
-                    w.write_bits_lsb(0, usize::from(meta.w_fi));
-                    w.write_bits_lsb(0, W_PUSHED);
-                    w.write_bits_lsb(0, usize::from(meta.w_kept));
+            fn meta_words(&self) -> Vec<u64> {
+                let w = |x: u64| codes::bit_len(x) as u8;
+                let (mut w_rd, mut w_fc, mut w_frag, mut w_fi, mut w_kept, mut w_ae) =
+                    (0u8, 0u8, 0u8, 0u8, 0u8, 0u8);
+                let mut aux_w = AuxWidths::default();
+                for l in self.0 {
+                    w_rd = w_rd.max(w(l.root_distance));
+                    w_fc = w_fc.max(w(l.fragments.len() as u64));
+                    w_frag = w_frag.max(w(l.fragments.last().copied().unwrap_or(0)));
+                    for e in &l.entries {
+                        if let OptimalEntry::Regular { frag_idx, kept, .. } = e {
+                            w_fi = w_fi.max(w(u64::from(*frag_idx)));
+                            w_kept = w_kept.max(w(*kept));
+                        }
+                    }
+                    w_ae = w_ae.max(w(l.accumulator_bits() as u64));
+                    aux_w.observe(&l.aux);
                 }
-                OptimalEntry::Regular {
-                    weight,
-                    frag_idx,
-                    pushed,
-                    kept,
-                } => {
-                    w.write_bit(false);
-                    w.write_bit(*weight == 1);
-                    w.write_bits_lsb(u64::from(*frag_idx), usize::from(meta.w_fi));
-                    w.write_bits_lsb(u64::from(*pushed), W_PUSHED);
-                    w.write_bits_lsb(*kept, usize::from(meta.w_kept));
+                OptimalMeta::with_widths(w_rd, w_fc, w_frag, w_fi, w_kept, w_ae, aux_w).words()
+            }
+            fn packed_label_bits(&self, meta: &OptimalMeta, u: usize) -> usize {
+                let l = &self.0[u];
+                meta.hdr_total
+                    + meta.aux_w.packed_bits_core(&l.aux)
+                    + l.fragments.len() * meta.frag_w
+                    + l.entries.len() * meta.rec_w
+                    + l.accumulator_bits()
+            }
+            fn pack_label(&self, meta: &OptimalMeta, u: usize, w: &mut BitWriter) {
+                let l = &self.0[u];
+                w.write_bits_lsb(l.root_distance, usize::from(meta.w_rd));
+                w.write_bits_lsb(l.entries.len() as u64, usize::from(meta.aux_w.ld));
+                w.write_bits_lsb(l.fragments.len() as u64, usize::from(meta.w_fc));
+                w.write_bits_lsb(l.aux.codewords_len() as u64, usize::from(meta.aux_w.end));
+                meta.aux_w.pack_core(&l.aux, w);
+                for &f in &l.fragments {
+                    w.write_bits_lsb(f, usize::from(meta.w_frag));
+                }
+                let ends = l.aux.end_positions();
+                let mut acc_end = 0u64;
+                for (i, e) in l.entries.iter().enumerate() {
+                    acc_end += l.accumulators[i].len() as u64;
+                    w.write_bits_lsb(u64::from(ends[i]), usize::from(meta.aux_w.end));
+                    match e {
+                        OptimalEntry::Exceptional => {
+                            w.write_bit(true);
+                            w.write_bit(false);
+                            w.write_bits_lsb(0, usize::from(meta.w_fi));
+                            w.write_bits_lsb(0, W_PUSHED);
+                            w.write_bits_lsb(0, usize::from(meta.w_kept));
+                        }
+                        OptimalEntry::Regular {
+                            weight,
+                            frag_idx,
+                            pushed,
+                            kept,
+                        } => {
+                            w.write_bit(false);
+                            w.write_bit(*weight == 1);
+                            w.write_bits_lsb(u64::from(*frag_idx), usize::from(meta.w_fi));
+                            w.write_bits_lsb(u64::from(*pushed), W_PUSHED);
+                            w.write_bits_lsb(*kept, usize::from(meta.w_kept));
+                        }
+                    }
+                    w.write_bits_lsb(acc_end, usize::from(meta.w_ae));
+                }
+                for acc in &l.accumulators {
+                    w.write_bitvec(acc);
                 }
             }
-            w.write_bits_lsb(acc_end, usize::from(meta.w_ae));
         }
-        for acc in &l.accumulators {
-            w.write_bitvec(acc);
-        }
-    }
-
-    fn label_ref<'a>(
-        slice: BitSlice<'a>,
-        start: usize,
-        meta: &'a OptimalMeta,
-    ) -> OptimalLabelRef<'a> {
-        OptimalLabelRef {
-            s: slice,
-            start,
-            m: meta,
-        }
-    }
-
-    /// Mirrors [`OptimalScheme::distance`] over packed views (including its
-    /// panics on labels of different builds): one codeword LCP, one record
-    /// scan on the dominating side, and — only when bits were pushed — two
-    /// reads into the dominated side's records and accumulator region.
-    fn distance_refs(a: OptimalLabelRef<'_>, b: OptimalLabelRef<'_>) -> u64 {
-        let (rd_a, lda, fca, cwl_a) = a.header();
-        let (rd_b, ldb, fcb, cwl_b) = b.header();
-        let (aa, ab) = (a.aux(), b.aux());
-        let (sa, sb) = (aa.scalars(), ab.scalars());
-        // Equal nodes fall under the ancestor case (|rd_a − rd_b| = 0).
-        if AuxScalars::is_ancestor(&sa, &sb) || AuxScalars::is_ancestor(&sb, &sa) {
-            return rd_a.abs_diff(rd_b);
-        }
-        let lcp = AuxCoreRef::codeword_lcp(&aa, cwl_a, &ab, cwl_b);
-        // Bit pushing is asymmetric: the dominating side holds the kept bits,
-        // the dominated side the pushed bits, so the domination test stays —
-        // but as an index select rather than a 50/50 mispredicted branch.
-        let di = usize::from(!AuxScalars::dominates(&sa, &sb));
-        let refs = [&a, &b];
-        let lds = [lda, ldb];
-        let fcs = [fca, fcb];
-        let frag_bases = [
-            a.start + a.m.hdr_total + aa.core_bits(cwl_a),
-            b.start + b.m.hdr_total + ab.core_bits(cwl_b),
-        ];
-        let (dom, dom_ld, dom_fc, dom_frag_base) = (refs[di], lds[di], fcs[di], frag_bases[di]);
-        let (other, other_ld, other_fc, other_frag_base) =
-            (refs[1 - di], lds[1 - di], fcs[1 - di], frag_bases[1 - di]);
-        let dom_rec_base = dom_frag_base + dom_fc * dom.m.frag_w;
-        let (j, rec, dom_prev_acc) = dom.scan_records(dom_ld, dom_rec_base, lcp);
-        assert!(
-            !rec.exceptional,
-            "dominating side's entry is never exceptional for labels of one tree"
-        );
-        let pushed_value = if rec.pushed > 0 {
-            // offset = |dom's accumulator at level j|; the dominated label's
-            // level-j accumulator carries the pushed bits right after it.
-            let other_rec_base = other_frag_base + other_fc * other.m.frag_w;
-            let other_prev = if j == 0 {
-                0
-            } else {
-                other.acc_end_at(other_rec_base, j - 1)
-            };
-            let other_acc_base = other_rec_base + other_ld * other.m.rec_w;
-            let offset = rec.acc_end - dom_prev_acc;
-            // Accumulator bits are a verbatim copy of the label's BitVec, so
-            // the pushed value is MSB-first within the stream: reverse the
-            // raw LSB-first chunk back into a value.
-            let raw = other.get(other_acc_base + other_prev + offset, rec.pushed as usize);
-            raw.reverse_bits() >> (64 - rec.pushed)
-        } else {
-            0
-        };
-        let value = (rec.kept << rec.pushed) | pushed_value;
-        let head_rd = dom.frag(dom_frag_base, rec.frag_idx) + value;
-        let rd_nca = head_rd - rec.weight;
-        rd_a + rd_b - 2 * rd_nca
-    }
-
-    fn check_label(slice: BitSlice<'_>, start: usize, end: usize, meta: &OptimalMeta) -> bool {
-        let len = end - start;
-        if len < meta.hdr_total {
-            return false;
-        }
-        let r = Self::label_ref(slice, start, meta);
-        let (_, ld, fc, cwl) = r.header();
-        // Fixed parts first (header, aux core, fragments, records), then the
-        // accumulator total read from the last record — only once the records
-        // are known to lie inside the label.
-        let upto_records = meta
-            .hdr_total
-            .checked_add(meta.aux.widths.scalar_bits() + cwl)
-            .and_then(|x| x.checked_add(fc.checked_mul(meta.frag_w)?))
-            .and_then(|x| x.checked_add(ld.checked_mul(meta.rec_w)?));
-        let Some(upto_records) = upto_records.filter(|&x| x <= len) else {
-            return false;
-        };
-        let rec_base = start + upto_records - ld * meta.rec_w;
-        let acc_total = if ld == 0 {
-            0
-        } else {
-            r.acc_end_at(rec_base, ld - 1)
-        };
-        upto_records.checked_add(acc_total) == Some(len)
+        SchemeStore::from_source(&LegacySource(labels))
     }
 }
 
@@ -1080,28 +905,11 @@ mod tests {
     fn bit_pushing_is_actually_exercised() {
         // On the comb family, the large subtree hanging beside the exceptional
         // subtree is fat and its value needs more bits than the slack allows,
-        // so some bits must be pushed and some labels must carry accumulators.
+        // so some labels must carry accumulator bits (accumulators exist only
+        // when bits were pushed).
         let tree = gen::comb(4096);
         let scheme = OptimalScheme::build(&tree);
-        let total_pushed: u64 = tree
-            .nodes()
-            .map(|u| {
-                scheme
-                    .label(u)
-                    .entries()
-                    .iter()
-                    .map(|e| match e {
-                        OptimalEntry::Regular { pushed, .. } => u64::from(*pushed),
-                        OptimalEntry::Exceptional => 0,
-                    })
-                    .sum::<u64>()
-            })
-            .sum();
-        let total_acc: usize = tree
-            .nodes()
-            .map(|u| scheme.label(u).accumulator_bits())
-            .sum();
-        assert!(total_pushed > 0, "no bits were pushed on the comb family");
+        let total_acc: usize = tree.nodes().map(|u| scheme.accumulator_bits(u)).sum();
         assert!(total_acc > 0, "no label carries accumulator bits");
     }
 
@@ -1118,12 +926,12 @@ mod tests {
         let da = DistanceArrayScheme::build(&tree);
         let opt_payload = tree
             .nodes()
-            .map(|u| opt.label(u).array_payload_bits())
+            .map(|u| opt.array_payload_bits(u))
             .max()
             .unwrap();
         let da_payload = tree
             .nodes()
-            .map(|u| da.label(u).array_payload_bits())
+            .map(|u| da.array_payload_bits(u))
             .max()
             .unwrap();
         assert!(
@@ -1153,32 +961,6 @@ mod tests {
                 "{name}: {} bits > {bound}",
                 scheme.max_label_bits()
             );
-        }
-    }
-
-    #[test]
-    fn labels_roundtrip_and_queries_survive_reserialization() {
-        let tree = gen::comb(500);
-        let scheme = OptimalScheme::build(&tree);
-        let n = tree.len();
-        let mut decoded = Vec::new();
-        for u in tree.nodes() {
-            let label = scheme.label(u);
-            let mut w = BitWriter::new();
-            label.encode(&mut w);
-            let bits = w.into_bitvec();
-            assert_eq!(bits.len(), label.bit_len());
-            let back = OptimalLabel::decode(&mut BitReader::new(&bits)).unwrap();
-            assert_eq!(&back, label);
-            decoded.push(back);
-        }
-        for i in (0..n).step_by(17) {
-            for jj in (0..n).step_by(29) {
-                assert_eq!(
-                    OptimalScheme::distance(&decoded[i], &decoded[jj]),
-                    tree.distance_naive(tree.node(i), tree.node(jj))
-                );
-            }
         }
     }
 
@@ -1218,7 +1000,7 @@ mod tests {
                 let u = tree.node((i * 41) % tree.len());
                 let v = tree.node((i * 89 + 7) % tree.len());
                 assert_eq!(
-                    OptimalScheme::distance(scheme.label(u), scheme.label(v)),
+                    scheme.distance(u, v),
                     oracle.distance(u, v),
                     "config {config:?} pair ({u},{v})"
                 );
@@ -1237,42 +1019,47 @@ mod tests {
             },
         );
         let default = OptimalScheme::build(&tree);
-        let acc_no_push: usize = tree
-            .nodes()
-            .map(|u| no_push.label(u).accumulator_bits())
-            .sum();
-        let acc_default: usize = tree
-            .nodes()
-            .map(|u| default.label(u).accumulator_bits())
-            .sum();
+        let acc_no_push: usize = tree.nodes().map(|u| no_push.accumulator_bits(u)).sum();
+        let acc_default: usize = tree.nodes().map(|u| default.accumulator_bits(u)).sum();
         assert_eq!(acc_no_push, 0);
         assert!(acc_default > 0);
         // Without pushing, the maximum *payload* is larger (the whole entry
         // stays in the storing label), which is exactly what the Slack Lemma
         // machinery avoids.
-        let payload = |s: &OptimalScheme| {
-            tree.nodes()
-                .map(|u| s.label(u).array_payload_bits())
-                .max()
-                .unwrap()
-        };
+        let payload =
+            |s: &OptimalScheme| tree.nodes().map(|u| s.array_payload_bits(u)).max().unwrap();
         assert!(payload(&no_push) >= payload(&default));
     }
 
+    #[cfg(feature = "legacy-labels")]
     #[test]
-    fn decode_rejects_truncation() {
-        let tree = gen::comb(200);
-        let scheme = OptimalScheme::build(&tree);
-        let label = scheme.label(tree.node(150));
-        let mut w = BitWriter::new();
-        label.encode(&mut w);
-        let bits = w.into_bitvec();
-        for cut in [3, bits.len() / 2, bits.len() - 1] {
-            let t = bits.slice(0, cut).unwrap();
-            assert!(
-                OptimalLabel::decode(&mut BitReader::new(&t)).is_err(),
-                "cut {cut}"
-            );
+    fn legacy_labels_roundtrip_and_agree_with_the_kernel() {
+        use treelab_bits::{BitReader, BitWriter};
+        let tree = gen::comb(500);
+        let sub = Substrate::new(&tree);
+        let scheme = OptimalScheme::build_with_substrate(&sub);
+        let labels = OptimalScheme::legacy_labels(&sub);
+        let n = tree.len();
+        let mut decoded = Vec::new();
+        for (i, label) in labels.iter().enumerate() {
+            let mut w = BitWriter::new();
+            label.encode(&mut w);
+            let bits = w.into_bitvec();
+            assert_eq!(bits.len(), label.bit_len());
+            assert_eq!(bits.len(), scheme.label_bits(tree.node(i)));
+            let back = OptimalLabel::decode(&mut BitReader::new(&bits)).unwrap();
+            assert_eq!(&back, label);
+            decoded.push(back);
+        }
+        for i in (0..n).step_by(17) {
+            for jj in (0..n).step_by(29) {
+                let expect = tree.distance_naive(tree.node(i), tree.node(jj));
+                assert_eq!(
+                    OptimalLabel::legacy_distance(&decoded[i], &decoded[jj]),
+                    expect
+                );
+                assert_eq!(scheme.distance(tree.node(i), tree.node(jj)), expect);
+            }
         }
     }
 }

@@ -5,15 +5,18 @@
 //! # Why
 //!
 //! The paper's point is that distance queries are answerable from tiny labels
-//! alone — but a freshly built scheme holds its labels as heap-structured Rust
-//! values that exist only in the process that built them.  The store closes
-//! that gap ("build once, serve many"): [`SchemeStore::serialize`] flattens a
-//! scheme into a single byte buffer that can be persisted, mapped, or handed
-//! to another thread or process, and the load path brings it back **without
-//! re-decoding a single label** — it validates the frame (magic word, version,
-//! scheme tag, CRC-64) once and keeps the labels packed.  Queries then run
-//! through borrowed [`StoredScheme::Ref`] views that read fields straight out
-//! of the shared buffer, with zero per-query allocation.
+//! alone.  Since the packed-native refactor the `TLSTOR01` frame is the
+//! **native representation** of every scheme: `build` packs straight into a
+//! frame (no intermediate per-node label structs), the public scheme types
+//! are thin owners of a [`SchemeStore`], and
+//! [`SchemeStore::serialize`] is a copy-free frame handoff ("build once,
+//! serve many") — the byte buffer can be persisted, mapped, or handed to
+//! another thread or process, and the load path brings it back **without
+//! re-decoding a single label**: it validates the frame (magic word, version,
+//! scheme tag, CRC-64) once and keeps the labels packed.  Queries run through
+//! borrowed [`StoredScheme::Ref`] views that read fields straight out of the
+//! shared buffer through the [`crate::kernel`] query kernels, with zero
+//! per-query allocation.
 //!
 //! # The three load paths
 //!
@@ -71,9 +74,9 @@
 //! use treelab_tree::gen;
 //!
 //! let tree = gen::random_tree(300, 7);
-//! let scheme = NaiveScheme::build(&tree);
-//! let store = SchemeStore::build(&scheme);              // owning form
-//! let expect = NaiveScheme::distance(scheme.label(tree.node(12)), scheme.label(tree.node(250)));
+//! let scheme = NaiveScheme::build(&tree);               // packs a frame directly
+//! let store = SchemeStore::build(&scheme);              // owned copy of that frame
+//! let expect = scheme.distance(tree.node(12), tree.node(250));
 //! assert_eq!(store.distance(12, 250), expect);
 //!
 //! // Borrow path: validate caller-held words once, copy nothing.
@@ -92,12 +95,18 @@
 use std::fmt;
 use treelab_bits::{crc, frame, BitSlice, BitWriter};
 
-use crate::approximate::{ApproximateMeta, ApproximateScheme};
+use crate::approximate::ApproximateScheme;
 use crate::distance_array::DistanceArrayScheme;
-use crate::kdistance::{KDistanceMeta, KDistanceScheme};
-use crate::level_ancestor::{LevelAncestorMeta, LevelAncestorScheme};
-use crate::naive::{NaiveScheme, PsumMeta};
-use crate::optimal::{OptimalMeta, OptimalScheme};
+use crate::kdistance::KDistanceScheme;
+use crate::kernel::approximate::ApproximateMeta;
+use crate::kernel::kdistance::KDistanceMeta;
+use crate::kernel::level_ancestor::LevelAncestorMeta;
+use crate::kernel::optimal::OptimalMeta;
+use crate::kernel::psum::PsumMeta;
+use crate::level_ancestor::LevelAncestorScheme;
+use crate::naive::NaiveScheme;
+use crate::optimal::OptimalScheme;
+use crate::substrate::PackSource;
 
 /// Sentinel returned by [`SchemeStore::distance`] for scheme/pair combinations
 /// with no reportable distance (the `k`-distance scheme's "more than `k`").
@@ -275,19 +284,25 @@ fn index_word_count(n: usize, width: IndexWidth) -> usize {
     }
 }
 
-/// A distance scheme that can be flattened into a [`SchemeStore`] and queried
-/// zero-copy through borrowed label views.
+/// A scheme type whose native representation is a packed [`SchemeStore`]
+/// frame, queried zero-copy through borrowed label views.
+///
+/// Since the packed-native refactor, this trait is the *query side* of the
+/// store contract: the frame format constants, the parsed meta, the borrowed
+/// label view, and the [`crate::kernel`] entry points the store machinery
+/// dispatches to.  The *pack side* (width planning + direct frame packing at
+/// build time) lives in the crate-internal `substrate::PackSource` trait,
+/// which the scheme builders drive; every public scheme type owns the frame
+/// it built, exposed through [`StoredScheme::as_store`].
 ///
 /// Implementations exist for all six schemes of this crate (the exact trio,
 /// `k`-distance, `(1+ε)`-approximate, level-ancestor).  The contract every
 /// implementation upholds:
 ///
-/// * `pack_label` writes exactly `packed_label_bits` bits;
-/// * `parse_meta(store_param(), meta_words())` succeeds and describes the
-///   packed layout;
-/// * `distance_refs` over refs of a serialized scheme returns exactly what the
-///   scheme's in-memory `distance` returns for the same nodes (with
-///   [`NO_DISTANCE`] standing in for "no answer"), allocating nothing.
+/// * `parse_meta` accepts the meta words its builder emitted and describes
+///   the packed layout;
+/// * `distance_refs` computes the scheme's answer from two packed views alone
+///   (with [`NO_DISTANCE`] standing in for "no answer"), allocating nothing.
 pub trait StoredScheme: Sized {
     /// Scheme tag recorded in the frame header.
     const TAG: u32;
@@ -302,31 +317,19 @@ pub trait StoredScheme: Sized {
     /// Borrowed, `Copy`-able view of one packed label inside the store buffer.
     type Ref<'a>: Copy;
 
-    /// Number of labelled nodes.
-    fn node_count(&self) -> usize;
-
-    /// Scheme-wide parameter recorded in the header (`k`, the bits of ε, or 0).
-    fn store_param(&self) -> u64 {
-        0
-    }
-
-    /// Computes the store meta words (a scan over the labels for the global
-    /// maximum field widths).
-    fn meta_words(&self) -> Vec<u64>;
+    /// The scheme's native frame: `build` packs straight into a
+    /// [`SchemeStore`], and this is it.  Serialization, store hand-off and
+    /// every query entry point route through this store.
+    fn as_store(&self) -> &SchemeStore<Self>;
 
     /// Parses meta words back into [`StoredScheme::Meta`], validating them.
+    /// `param` is the scheme parameter word of the header (`k`, the bits of
+    /// ε, or 0).
     ///
     /// # Errors
     ///
     /// Returns a [`StoreError`] when the meta words are malformed.
     fn parse_meta(param: u64, words: &[u64]) -> Result<Self::Meta, StoreError>;
-
-    /// Exact packed size of node `u`'s label in bits (used to pre-reserve the
-    /// label region in one allocation).
-    fn packed_label_bits(&self, meta: &Self::Meta, u: usize) -> usize;
-
-    /// Appends the packed form of node `u`'s label.
-    fn pack_label(&self, meta: &Self::Meta, u: usize, w: &mut BitWriter);
 
     /// Creates a borrowed view of the label starting at bit `start` of the
     /// label region (packed labels are self-describing, so no end offset is
@@ -341,8 +344,8 @@ pub trait StoredScheme: Sized {
     fn check_label(slice: BitSlice<'_>, start: usize, end: usize, meta: &Self::Meta) -> bool;
 
     /// Distance from two borrowed label views alone — the zero-allocation hot
-    /// path.  Schemes whose query can decline to answer (the `k`-distance
-    /// scheme) return [`NO_DISTANCE`].
+    /// path, one [`crate::kernel`] call.  Schemes whose query can decline to
+    /// answer (the `k`-distance scheme) return [`NO_DISTANCE`].
     fn distance_refs(a: Self::Ref<'_>, b: Self::Ref<'_>) -> u64;
 }
 
@@ -443,30 +446,31 @@ fn parse_frame<S: StoredScheme>(words: &[u64]) -> Result<(RawParts, S::Meta), St
     Ok((raw, meta))
 }
 
-/// Serializes `scheme` into a fresh frame, returning the words and their
-/// parsed description (writer and reader agree by construction).
-fn build_frame<S: StoredScheme>(
-    scheme: &S,
+/// Packs a [`PackSource`] into a fresh frame, returning the words and their
+/// parsed description (writer and reader agree by construction).  This is
+/// the one frame assembler behind every scheme's `build`.
+fn build_frame<S: StoredScheme, P: PackSource<S>>(
+    src: &P,
     width: Option<IndexWidth>,
 ) -> (Vec<u64>, RawParts, S::Meta) {
-    let n = scheme.node_count();
+    let n = src.node_count();
     assert!(n > 0, "cannot store an empty scheme");
-    let param = scheme.store_param();
-    let meta_words = scheme.meta_words();
+    let param = src.store_param();
+    let meta_words = src.meta_words();
     let meta = S::parse_meta(param, &meta_words).expect("self-produced meta must parse");
 
     // Exact size hint: the label region is written into a single
     // pre-reserved buffer, so multi-megabyte stores pay one allocation
     // instead of repeated growth reallocations.
-    let total_bits: usize = (0..n).map(|u| scheme.packed_label_bits(&meta, u)).sum();
+    let total_bits: usize = (0..n).map(|u| src.packed_label_bits(&meta, u)).sum();
     let mut w = BitWriter::with_capacity(total_bits);
     let mut offsets: Vec<u64> = Vec::with_capacity(n + 1);
     for u in 0..n {
         offsets.push(w.len() as u64);
-        scheme.pack_label(&meta, u, &mut w);
+        src.pack_label(&meta, u, &mut w);
         debug_assert_eq!(
             w.len() - offsets[u] as usize,
-            scheme.packed_label_bits(&meta, u),
+            src.packed_label_bits(&meta, u),
             "{}: packed_label_bits disagrees with pack_label for node {u}",
             S::STORE_NAME
         );
@@ -788,33 +792,127 @@ impl<S: StoredScheme> fmt::Debug for SchemeStore<S> {
     }
 }
 
+// Manual impl: `derive` would demand `S: Clone`, but only words + meta are
+// cloned (one buffer memcpy, no re-packing).
+impl<S: StoredScheme> Clone for SchemeStore<S> {
+    fn clone(&self) -> Self {
+        SchemeStore {
+            words: self.words.clone(),
+            raw: self.raw,
+            meta: self.meta,
+        }
+    }
+}
+
 impl<S: StoredScheme> SchemeStore<S> {
-    /// Flattens `scheme` into a store (in memory; [`SchemeStore::to_bytes`]
-    /// yields the persistable frame).  The offset-index width is chosen
-    /// automatically (u32 whenever the label region fits, which halves the
-    /// index footprint; see [`IndexWidth`]).
-    pub fn build(scheme: &S) -> Self {
-        let (words, raw, meta) = build_frame(scheme, None);
+    /// Packs a [`PackSource`] directly into a fresh frame — the one build
+    /// path every scheme's `build` / `build_with_substrate` routes through.
+    /// The offset-index width is chosen automatically (u32 whenever the
+    /// label region fits, which halves the index footprint; see
+    /// [`IndexWidth`]).
+    pub(crate) fn from_source<P: PackSource<S>>(src: &P) -> Self {
+        let (words, raw, meta) = build_frame(src, None);
         SchemeStore { words, raw, meta }
+    }
+
+    /// An owned copy of `scheme`'s native frame (one buffer memcpy — the
+    /// scheme already *is* a packed frame, so nothing is re-encoded).  Kept
+    /// for callers that want a store with its own lifetime; to avoid even
+    /// the memcpy, borrow via [`StoredScheme::as_store`] or take the words
+    /// with [`SchemeStore::into_words`].
+    pub fn build(scheme: &S) -> Self {
+        scheme.as_store().clone()
     }
 
     /// [`SchemeStore::build`] with the offset-index width pinned — e.g.
     /// [`IndexWidth::U64`] to emit a version-1 frame for readers that predate
-    /// the packed index.
+    /// the packed index.  Only the header and offset index are re-framed;
+    /// the packed label region is copied verbatim.
     ///
     /// # Panics
     ///
     /// Panics if [`IndexWidth::U32`] is requested but the label region does
     /// not fit in 2³² bits.
     pub fn build_with_index_width(scheme: &S, width: IndexWidth) -> Self {
-        let (words, raw, meta) = build_frame(scheme, Some(width));
-        SchemeStore { words, raw, meta }
+        scheme.as_store().with_index_width(width)
     }
 
-    /// [`SchemeStore::build`] followed by [`SchemeStore::to_bytes`]: the
-    /// persistable byte frame of `scheme`.
+    /// Re-frames this store with the given offset-index width (a clone when
+    /// the width already matches).  The meta words, packed label region and
+    /// guard pad are copied verbatim; only the version word and the offset
+    /// index change, and the CRC is recomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`IndexWidth::U32`] is requested but the label region does
+    /// not fit in 2³² bits.
+    pub fn with_index_width(&self, width: IndexWidth) -> Self {
+        if width == self.raw.index {
+            return self.clone();
+        }
+        let raw = self.raw;
+        let n = raw.n;
+        if width == IndexWidth::U32 {
+            assert!(
+                raw.label_bits <= u32::MAX as usize,
+                "{}: label region of {} bits does not fit a u32 offset index",
+                S::STORE_NAME,
+                raw.label_bits
+            );
+        }
+        let version = match width {
+            IndexWidth::U32 => VERSION_NARROW,
+            IndexWidth::U64 => VERSION_WIDE,
+        };
+        let meta_words = &self.words[HEADER_WORDS..raw.index_base];
+        // Label region including the guard pad (everything up to the CRC).
+        let label_words = &self.words[raw.label_base..self.words.len() - 1];
+        let index_base = HEADER_WORDS + meta_words.len();
+        let label_base = index_base + index_word_count(n, width);
+        let mut words = Vec::with_capacity(label_base + label_words.len() + 1);
+        words.push(MAGIC);
+        words.push(u64::from(version) << 32 | u64::from(S::TAG));
+        words.push(n as u64);
+        words.push(raw.param);
+        words.push(meta_words.len() as u64);
+        words.extend_from_slice(meta_words);
+        match width {
+            IndexWidth::U64 => {
+                words.extend((0..=n).map(|i| raw.offset(&self.words, i) as u64));
+            }
+            IndexWidth::U32 => {
+                for i in (0..=n).step_by(2) {
+                    let lo = raw.offset(&self.words, i) as u64;
+                    let hi = if i < n {
+                        raw.offset(&self.words, i + 1) as u64
+                    } else {
+                        0
+                    };
+                    words.push(lo | hi << 32);
+                }
+            }
+        }
+        words.extend_from_slice(label_words);
+        let checksum = crc::crc64_words(&words);
+        words.push(checksum);
+        SchemeStore {
+            words,
+            raw: RawParts {
+                index_base,
+                label_base,
+                index: width,
+                ..raw
+            },
+            meta: self.meta,
+        }
+    }
+
+    /// The persistable byte frame of `scheme` — a copy-free frame handoff:
+    /// the scheme's native representation already *is* the frame, so this
+    /// only widens the words to little-endian bytes (no label is re-encoded,
+    /// no meta is re-measured).
     pub fn serialize(scheme: &S) -> Vec<u8> {
-        Self::build(scheme).to_bytes()
+        scheme.as_store().to_bytes()
     }
 
     /// The frame as bytes (words serialized little-endian).
@@ -1263,13 +1361,24 @@ mod tests {
         assert_eq!(wide.index_width(), IndexWidth::U64);
         assert!(wide.size_bytes() > narrow.size_bytes());
         // Both round-trip through bytes, and answer identically.
+        // Re-framing ties `with_index_width` to `build_frame` in both
+        // directions: widening the narrow frame must reproduce the directly
+        // built wide frame word for word, and narrowing it back must
+        // reproduce the narrow frame — so the two assemblers cannot drift.
+        assert_eq!(
+            narrow.with_index_width(IndexWidth::U64).as_words(),
+            wide.as_words()
+        );
+        assert_eq!(
+            wide.with_index_width(IndexWidth::U32).as_words(),
+            narrow.as_words()
+        );
         let narrow2 = SchemeStore::<NaiveScheme>::from_bytes(&narrow.to_bytes()).unwrap();
         let wide2 = SchemeStore::<NaiveScheme>::from_bytes(&wide.to_bytes()).unwrap();
         let n = tree.len();
         for i in 0..200usize {
             let (u, v) = ((i * 31) % n, (i * 87 + 5) % n);
-            let expect =
-                NaiveScheme::distance(scheme.label(tree.node(u)), scheme.label(tree.node(v)));
+            let expect = scheme.distance(tree.node(u), tree.node(v));
             assert_eq!(narrow2.distance(u, v), expect, "narrow ({u},{v})");
             assert_eq!(wide2.distance(u, v), expect, "wide ({u},{v})");
             assert_eq!(narrow2.label_bits(u), wide2.label_bits(u));
@@ -1310,8 +1419,7 @@ mod tests {
         let batch = store.distances(&pairs);
         let lazy: Vec<u64> = store.distances_iter(pairs.iter().copied()).collect();
         for (i, &(u, v)) in pairs.iter().enumerate() {
-            let expect =
-                NaiveScheme::distance(scheme.label(tree.node(u)), scheme.label(tree.node(v)));
+            let expect = scheme.distance(tree.node(u), tree.node(v));
             assert_eq!(store.distance(u, v), expect, "({u},{v})");
             assert_eq!(batch[i], expect, "batch ({u},{v})");
             assert_eq!(lazy[i], expect, "iter ({u},{v})");
@@ -1390,6 +1498,68 @@ mod tests {
         assert!(StoreError::Misaligned { offset: 3 }
             .to_string()
             .contains("3"));
+    }
+
+    #[test]
+    fn inflated_pushed_field_is_rejected_at_load() {
+        // The optimal scheme's packed `pushed` field occupies 7 bits (values
+        // up to 127), but the query protocol shifts by `64 − pushed`: a
+        // CRC-consistent crafted frame claiming pushed > 64 must be rejected
+        // by the load-time per-label checks, exactly as the legacy wire
+        // decoder rejects it.
+        use crate::optimal::OptimalScheme;
+        use crate::DistanceScheme;
+        let tree = gen::comb(300);
+        let scheme = OptimalScheme::build(&tree);
+        let store = scheme.as_store();
+        let (raw, meta) = (store.raw, store.meta);
+        let words = store.as_words();
+        let lsb = |pos: usize, width: usize| {
+            treelab_bits::bitslice::read_lsb(&words[raw.label_base..], pos, width)
+        };
+        // Find a node whose label carries at least one record.
+        let (u, _ld, cwl) = (0..raw.n)
+            .map(|u| {
+                let start = raw.offset(words, u);
+                let ld = lsb(start + usize::from(meta.w_rd), usize::from(meta.aux_w.ld)) as usize;
+                let cwl = lsb(
+                    start
+                        + usize::from(meta.w_rd)
+                        + usize::from(meta.aux_w.ld)
+                        + usize::from(meta.w_fc),
+                    usize::from(meta.aux_w.end),
+                ) as usize;
+                (u, ld, cwl)
+            })
+            .find(|&(_, ld, _)| ld > 0)
+            .expect("comb labels have light edges");
+        let start = raw.offset(words, u);
+        let fc = lsb(
+            start + usize::from(meta.w_rd) + usize::from(meta.aux_w.ld),
+            usize::from(meta.w_fc),
+        ) as usize;
+        // Absolute bit position of record 0's 7-bit `pushed` field.
+        let rec0 = start
+            + meta.hdr_total
+            + meta.aux_w.scalar_bits()
+            + cwl
+            + fc * meta.frag_w
+            + usize::from(meta.aux_w.end)
+            + 2
+            + usize::from(meta.w_fi);
+        let mut crafted = words.to_vec();
+        for b in 0..7usize {
+            let bit = (100u64 >> b) & 1;
+            let abs = raw.label_base * 64 + rec0 + b;
+            let (w, off) = (abs / 64, abs % 64);
+            crafted[w] = (crafted[w] & !(1u64 << off)) | (bit << off);
+        }
+        let last = crafted.len() - 1;
+        crafted[last] = crc::crc64_words(&crafted[..last]);
+        assert!(matches!(
+            SchemeStore::<OptimalScheme>::from_words(crafted),
+            Err(StoreError::Malformed { .. })
+        ));
     }
 
     #[test]

@@ -37,19 +37,54 @@
 //! let naive = NaiveScheme::build_with_substrate(&sub);
 //! let optimal = OptimalScheme::build_with_substrate(&sub);
 //! let (u, v) = (tree.node(3), tree.node(250));
-//! assert_eq!(
-//!     NaiveScheme::distance(naive.label(u), naive.label(v)),
-//!     OptimalScheme::distance(optimal.label(u), optimal.label(v)),
-//! );
+//! assert_eq!(naive.distance(u, v), optimal.distance(u, v));
 //! ```
 
 use crate::hpath::HpathLabeling;
+use crate::store::StoredScheme;
 use std::num::NonZeroUsize;
 use std::sync::OnceLock;
+use treelab_bits::BitWriter;
 use treelab_tree::binarize::Binarized;
 use treelab_tree::heavy::HeavyPaths;
 use treelab_tree::lca::DistanceOracle;
 use treelab_tree::Tree;
+
+/// The pack side of the store contract: a source of per-node label data that
+/// can be packed **directly** into a `TLSTOR01` frame, with the pack-time
+/// width planning (the scan for the store-global field widths the frame's
+/// meta words record) happening here, at build time.
+///
+/// This is the build-side counterpart of [`StoredScheme`] (the query side).
+/// Every scheme's `build_with_substrate` computes lightweight per-node rows
+/// over the shared substrate — typically borrowing the substrate's auxiliary
+/// labels instead of cloning them — implements this trait over those rows,
+/// and hands the source to `SchemeStore::from_source`, which assembles the
+/// frame in one pass.  No intermediate per-node label structs exist on this
+/// path; the historical struct-then-serialize pipeline survives only behind
+/// the `legacy-labels` feature (and is bit-for-bit equivalent, which the
+/// feature-gated equivalence tests assert).
+pub(crate) trait PackSource<S: StoredScheme> {
+    /// Number of labelled nodes.
+    fn node_count(&self) -> usize;
+
+    /// Scheme-wide parameter recorded in the header (`k`, the bits of ε, or
+    /// 0).
+    fn store_param(&self) -> u64 {
+        0
+    }
+
+    /// Pack-time width planning: computes the store meta words (a scan over
+    /// the rows for the global maximum field widths).
+    fn meta_words(&self) -> Vec<u64>;
+
+    /// Exact packed size of node `u`'s label in bits (used to pre-reserve the
+    /// label region in one allocation).
+    fn packed_label_bits(&self, meta: &S::Meta, u: usize) -> usize;
+
+    /// Appends the packed form of node `u`'s label.
+    fn pack_label(&self, meta: &S::Meta, u: usize, w: &mut BitWriter);
+}
 
 /// How many worker threads label construction may use.
 ///

@@ -152,7 +152,7 @@ pub fn universal_from_parent_labels(n: usize) -> ParentLabelUniversal {
                 let label = scheme.label(u);
                 max_label_bits = max_label_bits.max(label.bit_len());
                 let id = intern(label.to_bits(), &mut parent_of);
-                if let Some(parent_label) = LevelAncestorScheme::parent(label) {
+                if let Some(parent_label) = LevelAncestorScheme::parent(&label) {
                     let pid = intern(parent_label.to_bits(), &mut parent_of);
                     parent_of[id] = Some(pid);
                 }

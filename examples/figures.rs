@@ -170,9 +170,9 @@ fn figure_6() {
     };
     show(u);
     show(v);
-    let ncsa = treelab::core::kdistance::ncsa_light_depth(scheme.label(u), scheme.label(v));
+    let ncsa = scheme.ncsa_light_depth(u, v);
     println!("  NCSA light depth (from labels): {ncsa:?}");
-    match KDistanceScheme::distance(scheme.label(u), scheme.label(v)) {
+    match scheme.distance(u, v) {
         Some(d) => {
             assert_eq!(d, oracle.distance(u, v));
             println!("  k-distance query (k = {k}): Some({d}) — matches the oracle\n");

@@ -8,9 +8,10 @@
 //! ```
 //!
 //! CI runs this as the forest round-trip smoke: it exercises every layer of
-//! the serving stack (builder → TLFRST01 frame → file → owning + borrowed
-//! reload → per-tree views → routed batch → sharded batch) and fails loudly
-//! on any disagreement between the serving strategies.
+//! the serving stack (builder → TLFRST01 frame → `ForestBuilder::write_to`
+//! file → `ForestStore::open` + borrowed reload → per-tree views → routed
+//! batch → sharded batch) and fails loudly on any disagreement between the
+//! serving strategies.
 
 use std::time::Instant;
 use treelab::core::approximate::ApproximateScheme;
@@ -46,7 +47,10 @@ fn main() {
             _ => b.push_scheme(*id, &LevelAncestorScheme::build_with_substrate(&sub)),
         };
     }
-    let forest = b.finish().expect("forest builds");
+    // Assemble and persist in one step: the builder's write_to returns the
+    // store it wrote, so the building process can keep serving from it.
+    let path = std::env::temp_dir().join("treelab-forest.bin");
+    let forest = b.write_to(&path).expect("forest builds and writes");
     println!(
         "built   {:>9} bytes in {:.1} ms ({} trees: {})",
         forest.size_bytes(),
@@ -59,16 +63,13 @@ fn main() {
             .join(", "),
     );
 
-    // Serialize → file → reload (copy path), as a serving process would.
-    let bytes = forest.to_bytes();
-    let path = std::env::temp_dir().join("treelab-forest.bin");
-    std::fs::write(&path, &bytes).expect("write forest");
-    let read_back = std::fs::read(&path).expect("read forest");
-    let _ = std::fs::remove_file(&path);
+    // Reload from the file into aligned words, as a serving process would.
     let t1 = Instant::now();
-    let owned = ForestStore::from_bytes(&read_back).expect("valid forest frame");
+    let owned = ForestStore::open(&path).expect("valid forest file");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(owned.as_words(), forest.as_words());
     println!(
-        "loaded  (copy path)   in {:.1} ms",
+        "loaded  (ForestStore::open) in {:.1} ms",
         t1.elapsed().as_secs_f64() * 1e3
     );
 

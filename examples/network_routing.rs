@@ -70,7 +70,7 @@ fn main() {
     for i in 0..2000 {
         let a = host_nodes[(i * 131) % m];
         let b = host_nodes[(i * 197 + 11) % m];
-        let d = OptimalScheme::distance(scheme.label(a), scheme.label(b));
+        let d = scheme.distance(a, b);
         assert_eq!(d, oracle.distance(a, b), "label answer must be exact");
         let tier = match d {
             0 => "same host",

@@ -47,7 +47,7 @@ fn main() {
             let a = leaves[(i * 101) % leaves.len()];
             let b = leaves[(i * 211 + 3) % leaves.len()];
             let d = oracle.distance(a, b);
-            let est = ApproximateScheme::distance(scheme.label(a), scheme.label(b));
+            let est = scheme.distance(a, b);
             assert!(est >= d);
             if d > 0 {
                 worst = worst.max(est as f64 / d as f64);

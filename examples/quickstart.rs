@@ -33,18 +33,9 @@ fn main() {
     let (u, v) = (tree.node(1), tree.node(n - 1));
     println!("exact distance({u}, {v}):");
     println!("  ground truth        : {}", oracle.distance(u, v));
-    println!(
-        "  naive labels        : {}",
-        NaiveScheme::distance(naive.label(u), naive.label(v))
-    );
-    println!(
-        "  distance-array      : {}",
-        DistanceArrayScheme::distance(da.label(u), da.label(v))
-    );
-    println!(
-        "  optimal (1/4 log^2) : {}",
-        OptimalScheme::distance(opt.label(u), opt.label(v))
-    );
+    println!("  naive labels        : {}", naive.distance(u, v));
+    println!("  distance-array      : {}", da.distance(u, v));
+    println!("  optimal (1/4 log^2) : {}", opt.distance(u, v));
 
     println!("\nmaximum label sizes (bits):");
     let rows = [
@@ -72,7 +63,7 @@ fn main() {
     for i in 0..200 {
         let a = tree.node((i * 37) % n);
         let b = tree.node((i * 61 + 5) % n);
-        match KDistanceScheme::distance(kd.label(a), kd.label(b)) {
+        match kd.distance(a, b) {
             Some(d) => {
                 assert_eq!(d, oracle.distance(a, b));
                 within += 1;
@@ -94,7 +85,7 @@ fn main() {
             let a = tree.node((i * 13) % n);
             let b = tree.node((i * 97 + 3) % n);
             let d = oracle.distance(a, b);
-            let est = ApproximateScheme::distance(approx.label(a), approx.label(b));
+            let est = approx.distance(a, b);
             if d > 0 {
                 worst = worst.max(est as f64 / d as f64);
             }

@@ -65,31 +65,24 @@ fn main() {
 
     let naive = NaiveScheme::build_with_substrate(&sub);
     roundtrip(&tree, &naive, |u, v| {
-        NaiveScheme::distance(naive.label(tree.node(u)), naive.label(tree.node(v)))
+        naive.distance(tree.node(u), tree.node(v))
     });
     let da = DistanceArrayScheme::build_with_substrate(&sub);
-    roundtrip(&tree, &da, |u, v| {
-        DistanceArrayScheme::distance(da.label(tree.node(u)), da.label(tree.node(v)))
-    });
+    roundtrip(&tree, &da, |u, v| da.distance(tree.node(u), tree.node(v)));
     let opt = OptimalScheme::build_with_substrate(&sub);
-    roundtrip(&tree, &opt, |u, v| {
-        OptimalScheme::distance(opt.label(tree.node(u)), opt.label(tree.node(v)))
-    });
+    roundtrip(&tree, &opt, |u, v| opt.distance(tree.node(u), tree.node(v)));
     let kd = KDistanceScheme::build_with_substrate(&sub, 8);
     roundtrip(&tree, &kd, |u, v| {
-        KDistanceScheme::distance(kd.label(tree.node(u)), kd.label(tree.node(v)))
+        kd.distance(tree.node(u), tree.node(v))
             .unwrap_or(NO_DISTANCE)
     });
     let approx = ApproximateScheme::build_with_substrate(&sub, 0.25);
     roundtrip(&tree, &approx, |u, v| {
-        ApproximateScheme::distance(approx.label(tree.node(u)), approx.label(tree.node(v)))
+        approx.distance(tree.node(u), tree.node(v))
     });
     let la = LevelAncestorScheme::build_with_substrate(&sub);
     roundtrip(&tree, &la, |u, v| {
-        <LevelAncestorScheme as DistanceScheme>::distance(
-            la.label(tree.node(u)),
-            la.label(tree.node(v)),
-        )
+        DistanceScheme::distance(&la, tree.node(u), tree.node(v))
     });
 
     println!("\nall six schemes round-tripped bit-exactly");

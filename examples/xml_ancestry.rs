@@ -71,7 +71,7 @@ fn main() {
     let mut unrelated = 0usize;
     for &a in &sample {
         for &b in &sample {
-            match KDistanceScheme::distance(scheme.label(a), scheme.label(b)) {
+            match scheme.distance(a, b) {
                 Some(d) => {
                     assert_eq!(d, oracle.distance(a, b));
                     if d > 0 {
@@ -102,7 +102,7 @@ fn main() {
     let mut steps = Vec::new();
     let mut k_up = 1;
     while k_up <= label.depth() {
-        let anc = LevelAncestorScheme::level_ancestor(label, k_up).expect("within depth");
+        let anc = LevelAncestorScheme::level_ancestor(&label, k_up).expect("within depth");
         steps.push(format!("{}↑→depth {}", k_up, anc.depth()));
         k_up *= 2;
     }

@@ -25,12 +25,10 @@
 //! use treelab::{gen, DistanceScheme, OptimalScheme};
 //!
 //! let tree = gen::random_tree(500, 1);
-//! let scheme = OptimalScheme::build(&tree);
+//! let scheme = OptimalScheme::build(&tree); // packs the native store frame
 //! let (u, v) = (tree.node(5), tree.node(400));
-//! assert_eq!(
-//!     OptimalScheme::distance(scheme.label(u), scheme.label(v)),
-//!     tree.distance_naive(u, v),
-//! );
+//! // Answered from the two packed labels alone, via the shared query kernel.
+//! assert_eq!(scheme.distance(u, v), tree.distance_naive(u, v));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -42,7 +40,9 @@ pub use treelab_tree as tree;
 
 pub use treelab_core::approximate::ApproximateScheme;
 pub use treelab_core::distance_array::DistanceArrayScheme;
-pub use treelab_core::forest::{ForestBuilder, ForestError, ForestRef, ForestStore, RouteScratch};
+pub use treelab_core::forest::{
+    ForestBuilder, ForestError, ForestFileError, ForestRef, ForestStore, RouteScratch,
+};
 pub use treelab_core::kdistance::KDistanceScheme;
 pub use treelab_core::level_ancestor::LevelAncestorScheme;
 pub use treelab_core::naive::NaiveScheme;

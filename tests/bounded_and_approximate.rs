@@ -23,7 +23,7 @@ fn check_k(tree: &Tree, k: u64, pairs: usize) {
     for (a, b) in sample_pairs(tree.len(), pairs) {
         let (u, v) = (tree.node(a), tree.node(b));
         let d = oracle.distance(u, v);
-        let got = KDistanceScheme::distance(scheme.label(u), scheme.label(v));
+        let got = scheme.distance(u, v);
         if d <= k {
             assert_eq!(got, Some(d), "k={k}, pair ({u},{v})");
         } else {
@@ -38,7 +38,7 @@ fn check_approx(tree: &Tree, eps: f64, pairs: usize) {
     for (a, b) in sample_pairs(tree.len(), pairs) {
         let (u, v) = (tree.node(a), tree.node(b));
         let d = oracle.distance(u, v);
-        let est = ApproximateScheme::distance(scheme.label(u), scheme.label(v));
+        let est = scheme.distance(u, v);
         assert!(est >= d, "underestimate on ({u},{v})");
         assert!(
             est as f64 <= (1.0 + eps) * d as f64 + 2.0,
@@ -144,10 +144,7 @@ fn k_equals_one_is_an_adjacency_labeling() {
     let scheme = KDistanceScheme::build(&tree, 1);
     for u in tree.nodes() {
         for &c in tree.children(u) {
-            assert_eq!(
-                KDistanceScheme::distance(scheme.label(u), scheme.label(c)),
-                Some(1)
-            );
+            assert_eq!(scheme.distance(u, c), Some(1));
         }
     }
     // Non-adjacent pairs are rejected.
@@ -155,10 +152,7 @@ fn k_equals_one_is_an_adjacency_labeling() {
     for (a, b) in sample_pairs(tree.len(), 500) {
         let (u, v) = (tree.node(a), tree.node(b));
         if oracle.distance(u, v) > 1 {
-            assert_eq!(
-                KDistanceScheme::distance(scheme.label(u), scheme.label(v)),
-                None
-            );
+            assert_eq!(scheme.distance(u, v), None);
         }
     }
 }
@@ -177,7 +171,7 @@ fn prop_k_distance_matches_oracle() {
         for (a, b) in sample_pairs(n, 100) {
             let (u, v) = (tree.node(a), tree.node(b));
             let d = oracle.distance(u, v);
-            let got = KDistanceScheme::distance(scheme.label(u), scheme.label(v));
+            let got = scheme.distance(u, v);
             if d <= k {
                 assert_eq!(
                     got,
@@ -207,7 +201,7 @@ fn prop_approximate_guarantee() {
         for (a, b) in sample_pairs(n, 80) {
             let (u, v) = (tree.node(a), tree.node(b));
             let d = oracle.distance(u, v);
-            let est = ApproximateScheme::distance(scheme.label(u), scheme.label(v));
+            let est = scheme.distance(u, v);
             assert!(
                 est >= d,
                 "case {case}: n={n} seed={seed} eps={eps} ({u},{v})"

@@ -1,193 +1,20 @@
-//! Shared negative test: every `*Label::decode` must return `Err` — never
-//! panic, and never attempt an absurd allocation — on truncated, bit-flipped
-//! or otherwise corrupt input.
+//! Shared negative tests: every load path must return `Err` — never panic,
+//! and never attempt an absurd allocation — on truncated, bit-flipped or
+//! otherwise corrupt input.
 //!
-//! Three adversaries per label type:
+//! Two layers are attacked:
 //!
-//! 1. **truncation** — every prefix of a valid encoding (strided for speed,
-//!    plus the boundary cuts);
-//! 2. **bit flips** — a valid encoding with one flipped bit (decode may
-//!    legitimately succeed here; it just must not panic);
-//! 3. **crafted counts** — a stream whose length/count header claims far more
-//!    elements than the input holds (this used to crash with a capacity
-//!    overflow before returning a `DecodeError`).
+//! * the **store/forest frames** (the native representation; always tested);
+//! * the **legacy wire-format label decoders** (`*Label::decode`), compiled
+//!   behind the `legacy-labels` feature — run with
+//!   `cargo test --features legacy-labels`.
 
-use treelab::bits::{codes, BitReader, BitVec, BitWriter, MonotoneSeq};
-use treelab::core::approximate::{ApproximateLabel, ApproximateScheme};
-use treelab::core::distance_array::DistanceArrayLabel;
-use treelab::core::hpath::{HpathLabel, HpathLabeling};
-use treelab::core::kdistance::{KDistanceLabel, KDistanceScheme};
-use treelab::core::level_ancestor::{LevelAncestorLabel, LevelAncestorScheme};
-use treelab::core::naive::NaiveLabel;
-use treelab::core::optimal::OptimalLabel;
-use treelab::tree::rng::SplitMix64;
-use treelab::{gen, DistanceArrayScheme, DistanceScheme, NaiveScheme, OptimalScheme};
+use treelab::{gen, DistanceScheme, NaiveScheme, OptimalScheme};
 use treelab::{ForestError, ForestStore, SchemeStore, StoreError};
 
-/// Runs the truncation + bit-flip adversaries against one decoder.
-fn check_decoder<T, D>(name: &str, encoded: &BitVec, decode: D)
-where
-    D: Fn(&mut BitReader<'_>) -> Result<T, treelab::bits::DecodeError>,
-{
-    // A full decode of the untouched encoding must succeed.
-    let mut r = BitReader::new(encoded);
-    assert!(decode(&mut r).is_ok(), "{name}: valid input must decode");
-    assert_eq!(r.remaining(), 0, "{name}: decoder must consume the label");
-
-    // 1. Truncations: every cut near the ends, strided cuts in the middle.
-    let n = encoded.len();
-    let cuts: Vec<usize> = (0..n.min(16))
-        .chain((16..n.saturating_sub(16)).step_by(7))
-        .chain(n.saturating_sub(16)..n)
-        .collect();
-    for cut in cuts {
-        let t = encoded.slice(0, cut).expect("prefix in range");
-        let mut r = BitReader::new(&t);
-        assert!(decode(&mut r).is_err(), "{name}: truncation at {cut} bits");
-    }
-
-    // 2. Bit flips: decoding may succeed or fail, but must never panic and
-    //    must never read past the input.
-    for pos in (0..n).step_by(3) {
-        let mut flipped = encoded.clone();
-        flipped.set(pos, !flipped.get(pos).unwrap());
-        let mut r = BitReader::new(&flipped);
-        let _ = decode(&mut r);
-        assert!(r.position() <= flipped.len(), "{name}: flip at {pos}");
-    }
-
-    // 3. Random noise of assorted lengths (seeded, reproducible).
-    let mut rng = SplitMix64::seed_from_u64(0x5eed ^ n as u64);
-    for len in [0usize, 1, 7, 64, 257, 1024] {
-        let noise = BitVec::from_bools((0..len).map(|_| rng.next_u64() % 2 == 1));
-        let _ = decode(&mut BitReader::new(&noise));
-    }
-}
-
-fn encoded<F: Fn(&mut BitWriter)>(f: F) -> BitVec {
-    let mut w = BitWriter::new();
-    f(&mut w);
-    w.into_bitvec()
-}
-
-#[test]
-fn every_label_decoder_rejects_corrupt_input_without_panicking() {
-    let tree = gen::random_tree(180, 42);
-    let deep = gen::comb(300);
-    let node = tree.node(171);
-
-    let naive = NaiveScheme::build(&tree);
-    check_decoder(
-        "naive",
-        &encoded(|w| naive.label(node).encode(w)),
-        NaiveLabel::decode,
-    );
-
-    let da = DistanceArrayScheme::build(&tree);
-    check_decoder(
-        "distance-array",
-        &encoded(|w| da.label(node).encode(w)),
-        DistanceArrayLabel::decode,
-    );
-
-    let opt = OptimalScheme::build(&deep);
-    check_decoder(
-        "optimal",
-        &encoded(|w| opt.label(deep.node(233)).encode(w)),
-        OptimalLabel::decode,
-    );
-
-    let aux = HpathLabeling::build(&tree);
-    check_decoder(
-        "hpath",
-        &encoded(|w| aux.label(node).encode(w)),
-        HpathLabel::decode,
-    );
-
-    let kd = KDistanceScheme::build(&deep, 6);
-    check_decoder(
-        "k-distance",
-        &encoded(|w| kd.label(deep.node(233)).encode(w)),
-        KDistanceLabel::decode,
-    );
-
-    let la = LevelAncestorScheme::build(&tree);
-    check_decoder(
-        "level-ancestor",
-        &encoded(|w| la.label(node).encode(w)),
-        LevelAncestorLabel::decode,
-    );
-
-    let approx = ApproximateScheme::build(&tree, 0.25);
-    check_decoder(
-        "approximate",
-        &encoded(|w| approx.label(node).encode(w)),
-        ApproximateLabel::decode,
-    );
-}
-
-/// Streams whose headers announce far more elements than the input holds used
-/// to crash with a capacity overflow (`Vec::with_capacity` of a corrupt
-/// count) — they must produce a `DecodeError` instead.
-#[test]
-fn absurd_counts_are_rejected_before_allocation() {
-    // MonotoneSeq claiming 2^40 elements.
-    let huge_monotone = encoded(|w| codes::write_gamma_nz(w, 1 << 40));
-    assert!(MonotoneSeq::decode(&mut BitReader::new(&huge_monotone)).is_err());
-
-    // MonotoneSeq with a plausible length but a huge high-part claim.
-    let huge_high = encoded(|w| {
-        codes::write_gamma_nz(w, 4); // len
-        codes::write_gamma_nz(w, 0); // low width
-        codes::write_gamma_nz(w, 1 << 40); // high part length
-    });
-    assert!(MonotoneSeq::decode(&mut BitReader::new(&huge_high)).is_err());
-
-    // A naive label whose entry count claims 2^40 entries.  Reuse a valid
-    // label prefix (root distance, width, aux label) and splice the count.
-    let tree = gen::random_tree(60, 7);
-    let aux = HpathLabeling::build(&tree);
-    let huge_naive = encoded(|w| {
-        codes::write_delta_nz(w, 3); // root distance
-        w.write_bits(8, 8); // width
-        aux.label(tree.node(59)).encode(w); // valid aux label
-        codes::write_gamma_nz(w, 1 << 40); // entry count
-    });
-    assert!(NaiveLabel::decode(&mut BitReader::new(&huge_naive)).is_err());
-
-    // Same corruption against the distance-array decoder.
-    let huge_da = encoded(|w| {
-        codes::write_delta_nz(w, 3);
-        aux.label(tree.node(59)).encode(w);
-        codes::write_gamma_nz(w, 1 << 40);
-    });
-    assert!(DistanceArrayLabel::decode(&mut BitReader::new(&huge_da)).is_err());
-
-    // An optimal label with an absurd entry count after an empty fragment
-    // array.
-    let huge_opt = encoded(|w| {
-        codes::write_delta_nz(w, 3);
-        aux.label(tree.node(59)).encode(w);
-        MonotoneSeq::new(&[]).encode(w); // fragments
-        codes::write_gamma_nz(w, 1 << 40); // entry count
-    });
-    assert!(OptimalLabel::decode(&mut BitReader::new(&huge_opt)).is_err());
-
-    // An hpath label announcing a gigantic codeword payload.
-    let huge_hpath = encoded(|w| {
-        codes::write_gamma_nz(w, 1); // light depth
-        codes::write_delta_nz(w, 1); // dom order
-        codes::write_delta_nz(w, 2); // pre
-        codes::write_delta_nz(w, 1); // subtree size
-        MonotoneSeq::new(&[1 << 40]).encode(w); // one absurd end position
-        codes::write_gamma_nz(w, 1 << 40); // codeword length
-    });
-    assert!(HpathLabel::decode(&mut BitReader::new(&huge_hpath)).is_err());
-}
-
-/// The whole-scheme store frame must reject the same adversaries the label
-/// decoders do — bad magic, truncation (including a truncated offset index)
-/// and bit rot — with a [`StoreError`], never a panic or a bogus answer.
+/// The whole-scheme store frame must reject bad magic, truncation (including
+/// a truncated offset index) and bit rot with a [`StoreError`], never a panic
+/// or a bogus answer.
 #[test]
 fn corrupt_scheme_stores_are_rejected() {
     let tree = gen::random_tree(160, 17);
@@ -198,7 +25,7 @@ fn corrupt_scheme_stores_are_rejected() {
     let store = SchemeStore::<OptimalScheme>::from_bytes(&bytes).expect("valid frame");
     assert_eq!(
         store.distance(3, 150),
-        OptimalScheme::distance(scheme.label(tree.node(3)), scheme.label(tree.node(150)))
+        scheme.distance(tree.node(3), tree.node(150))
     );
 
     // Bad magic.
@@ -319,6 +146,7 @@ fn corrupt_scheme_stores_are_rejected() {
 /// [`ForestError`], never a panic.
 #[test]
 fn corrupt_forest_frames_are_rejected() {
+    use treelab::DistanceArrayScheme;
     let t0 = gen::random_tree(120, 51);
     let t1 = gen::random_tree(90, 52);
     let t2 = gen::random_tree(150, 53);
@@ -432,4 +260,183 @@ fn corrupt_forest_frames_are_rejected() {
         ForestStore::from_words(recrc(tag_lie)),
         Err(ForestError::Tree { id: 4, .. })
     ));
+}
+
+/// The legacy wire-format decoders (`*Label::decode`), behind the
+/// `legacy-labels` feature: truncation, bit-flip and crafted-count
+/// adversaries against every label type.
+#[cfg(feature = "legacy-labels")]
+mod legacy {
+    use treelab::bits::{codes, BitReader, BitVec, BitWriter, MonotoneSeq};
+    use treelab::core::approximate::{ApproximateLabel, ApproximateScheme};
+    use treelab::core::distance_array::{DistanceArrayLabel, DistanceArrayScheme};
+    use treelab::core::hpath::{HpathLabel, HpathLabeling};
+    use treelab::core::kdistance::{KDistanceLabel, KDistanceScheme};
+    use treelab::core::level_ancestor::{LevelAncestorLabel, LevelAncestorScheme};
+    use treelab::core::naive::NaiveLabel;
+    use treelab::core::optimal::{OptimalLabel, OptimalScheme};
+    use treelab::tree::rng::SplitMix64;
+    use treelab::{gen, NaiveScheme, Substrate};
+
+    /// Runs the truncation + bit-flip adversaries against one decoder.
+    fn check_decoder<T, D>(name: &str, encoded: &BitVec, decode: D)
+    where
+        D: Fn(&mut BitReader<'_>) -> Result<T, treelab::bits::DecodeError>,
+    {
+        // A full decode of the untouched encoding must succeed.
+        let mut r = BitReader::new(encoded);
+        assert!(decode(&mut r).is_ok(), "{name}: valid input must decode");
+        assert_eq!(r.remaining(), 0, "{name}: decoder must consume the label");
+
+        // 1. Truncations: every cut near the ends, strided cuts in the middle.
+        let n = encoded.len();
+        let cuts: Vec<usize> = (0..n.min(16))
+            .chain((16..n.saturating_sub(16)).step_by(7))
+            .chain(n.saturating_sub(16)..n)
+            .collect();
+        for cut in cuts {
+            let t = encoded.slice(0, cut).expect("prefix in range");
+            let mut r = BitReader::new(&t);
+            assert!(decode(&mut r).is_err(), "{name}: truncation at {cut} bits");
+        }
+
+        // 2. Bit flips: decoding may succeed or fail, but must never panic and
+        //    must never read past the input.
+        for pos in (0..n).step_by(3) {
+            let mut flipped = encoded.clone();
+            flipped.set(pos, !flipped.get(pos).unwrap());
+            let mut r = BitReader::new(&flipped);
+            let _ = decode(&mut r);
+            assert!(r.position() <= flipped.len(), "{name}: flip at {pos}");
+        }
+
+        // 3. Random noise of assorted lengths (seeded, reproducible).
+        let mut rng = SplitMix64::seed_from_u64(0x5eed ^ n as u64);
+        for len in [0usize, 1, 7, 64, 257, 1024] {
+            let noise = BitVec::from_bools((0..len).map(|_| rng.next_u64() % 2 == 1));
+            let _ = decode(&mut BitReader::new(&noise));
+        }
+    }
+
+    fn encoded<F: Fn(&mut BitWriter)>(f: F) -> BitVec {
+        let mut w = BitWriter::new();
+        f(&mut w);
+        w.into_bitvec()
+    }
+
+    #[test]
+    fn every_label_decoder_rejects_corrupt_input_without_panicking() {
+        let tree = gen::random_tree(180, 42);
+        let deep = gen::comb(300);
+        let sub = Substrate::new(&tree);
+        let deep_sub = Substrate::new(&deep);
+
+        let naive = NaiveScheme::legacy_labels(&sub);
+        check_decoder(
+            "naive",
+            &encoded(|w| naive[171].encode(w)),
+            NaiveLabel::decode,
+        );
+
+        let da = DistanceArrayScheme::legacy_labels(&sub);
+        check_decoder(
+            "distance-array",
+            &encoded(|w| da[171].encode(w)),
+            DistanceArrayLabel::decode,
+        );
+
+        let opt = OptimalScheme::legacy_labels(&deep_sub);
+        check_decoder(
+            "optimal",
+            &encoded(|w| opt[233].encode(w)),
+            OptimalLabel::decode,
+        );
+
+        let aux = HpathLabeling::build(&tree);
+        check_decoder(
+            "hpath",
+            &encoded(|w| aux.label(tree.node(171)).encode(w)),
+            HpathLabel::decode,
+        );
+
+        let kd = KDistanceScheme::legacy_labels(&deep_sub, 6);
+        check_decoder(
+            "k-distance",
+            &encoded(|w| kd[233].encode(w)),
+            KDistanceLabel::decode,
+        );
+
+        let la = LevelAncestorScheme::legacy_labels(&sub);
+        check_decoder(
+            "level-ancestor",
+            &encoded(|w| la[171].encode(w)),
+            LevelAncestorLabel::decode,
+        );
+
+        let approx = ApproximateScheme::legacy_labels(&sub, 0.25);
+        check_decoder(
+            "approximate",
+            &encoded(|w| approx[171].encode(w)),
+            ApproximateLabel::decode,
+        );
+    }
+
+    /// Streams whose headers announce far more elements than the input holds
+    /// used to crash with a capacity overflow (`Vec::with_capacity` of a
+    /// corrupt count) — they must produce a `DecodeError` instead.
+    #[test]
+    fn absurd_counts_are_rejected_before_allocation() {
+        // MonotoneSeq claiming 2^40 elements.
+        let huge_monotone = encoded(|w| codes::write_gamma_nz(w, 1 << 40));
+        assert!(MonotoneSeq::decode(&mut BitReader::new(&huge_monotone)).is_err());
+
+        // MonotoneSeq with a plausible length but a huge high-part claim.
+        let huge_high = encoded(|w| {
+            codes::write_gamma_nz(w, 4); // len
+            codes::write_gamma_nz(w, 0); // low width
+            codes::write_gamma_nz(w, 1 << 40); // high part length
+        });
+        assert!(MonotoneSeq::decode(&mut BitReader::new(&huge_high)).is_err());
+
+        // A naive label whose entry count claims 2^40 entries.  Reuse a valid
+        // label prefix (root distance, width, aux label) and splice the count.
+        let tree = gen::random_tree(60, 7);
+        let aux = HpathLabeling::build(&tree);
+        let huge_naive = encoded(|w| {
+            codes::write_delta_nz(w, 3); // root distance
+            w.write_bits(8, 8); // width
+            aux.label(tree.node(59)).encode(w); // valid aux label
+            codes::write_gamma_nz(w, 1 << 40); // entry count
+        });
+        assert!(NaiveLabel::decode(&mut BitReader::new(&huge_naive)).is_err());
+
+        // Same corruption against the distance-array decoder.
+        let huge_da = encoded(|w| {
+            codes::write_delta_nz(w, 3);
+            aux.label(tree.node(59)).encode(w);
+            codes::write_gamma_nz(w, 1 << 40);
+        });
+        assert!(DistanceArrayLabel::decode(&mut BitReader::new(&huge_da)).is_err());
+
+        // An optimal label with an absurd entry count after an empty fragment
+        // array.
+        let huge_opt = encoded(|w| {
+            codes::write_delta_nz(w, 3);
+            aux.label(tree.node(59)).encode(w);
+            MonotoneSeq::new(&[]).encode(w); // fragments
+            codes::write_gamma_nz(w, 1 << 40); // entry count
+        });
+        assert!(OptimalLabel::decode(&mut BitReader::new(&huge_opt)).is_err());
+
+        // An hpath label announcing a gigantic codeword payload.
+        let huge_hpath = encoded(|w| {
+            codes::write_gamma_nz(w, 1); // light depth
+            codes::write_delta_nz(w, 1); // dom order
+            codes::write_delta_nz(w, 2); // pre
+            codes::write_delta_nz(w, 1); // subtree size
+            MonotoneSeq::new(&[1 << 40]).encode(w); // one absurd end position
+            codes::write_gamma_nz(w, 1 << 40); // codeword length
+        });
+        assert!(HpathLabel::decode(&mut BitReader::new(&huge_hpath)).is_err());
+    }
 }

@@ -27,21 +27,9 @@ fn check_all_exact(tree: &Tree, pairs: usize) {
     for (a, b) in sample_pairs(tree.len(), pairs) {
         let (u, v) = (tree.node(a), tree.node(b));
         let truth = oracle.distance(u, v);
-        assert_eq!(
-            NaiveScheme::distance(naive.label(u), naive.label(v)),
-            truth,
-            "naive ({u},{v})"
-        );
-        assert_eq!(
-            DistanceArrayScheme::distance(da.label(u), da.label(v)),
-            truth,
-            "distance-array ({u},{v})"
-        );
-        assert_eq!(
-            OptimalScheme::distance(opt.label(u), opt.label(v)),
-            truth,
-            "optimal ({u},{v})"
-        );
+        assert_eq!(naive.distance(u, v), truth, "naive ({u},{v})");
+        assert_eq!(da.distance(u, v), truth, "distance-array ({u},{v})");
+        assert_eq!(opt.distance(u, v), truth, "optimal ({u},{v})");
     }
 }
 
@@ -94,9 +82,9 @@ fn schemes_agree_with_each_other_even_without_the_oracle() {
     let opt = OptimalScheme::build(&tree);
     for (a, b) in sample_pairs(tree.len(), 1500) {
         let (u, v) = (tree.node(a), tree.node(b));
-        let x = NaiveScheme::distance(naive.label(u), naive.label(v));
-        let y = DistanceArrayScheme::distance(da.label(u), da.label(v));
-        let z = OptimalScheme::distance(opt.label(u), opt.label(v));
+        let x = naive.distance(u, v);
+        let y = da.distance(u, v);
+        let z = opt.distance(u, v);
         assert!(x == y && y == z, "disagreement on ({u},{v}): {x} {y} {z}");
     }
 }
@@ -109,13 +97,13 @@ fn distance_axioms_hold_on_label_answers() {
     let opt = OptimalScheme::build(&tree);
     let nodes: Vec<_> = (0..tree.len()).step_by(9).map(|i| tree.node(i)).collect();
     for &u in &nodes {
-        assert_eq!(OptimalScheme::distance(opt.label(u), opt.label(u)), 0);
+        assert_eq!(opt.distance(u, u), 0);
         for &v in &nodes {
-            let duv = OptimalScheme::distance(opt.label(u), opt.label(v));
-            assert_eq!(duv, OptimalScheme::distance(opt.label(v), opt.label(u)));
+            let duv = opt.distance(u, v);
+            assert_eq!(duv, opt.distance(v, u));
             for &w in &nodes {
-                let dvw = OptimalScheme::distance(opt.label(v), opt.label(w));
-                let duw = OptimalScheme::distance(opt.label(u), opt.label(w));
+                let dvw = opt.distance(v, w);
+                let duw = opt.distance(u, w);
                 assert!(duw <= duv + dvw, "triangle violated on ({u},{v},{w})");
             }
         }
@@ -136,7 +124,7 @@ fn prop_optimal_matches_oracle() {
         for (a, b) in sample_pairs(n, 120) {
             let (u, v) = (tree.node(a), tree.node(b));
             assert_eq!(
-                OptimalScheme::distance(scheme.label(u), scheme.label(v)),
+                scheme.distance(u, v),
                 oracle.distance(u, v),
                 "case {case}: n={n} seed={seed} pair ({u},{v})"
             );
@@ -159,7 +147,7 @@ fn prop_distance_array_matches_oracle_on_binary() {
         for (a, b) in sample_pairs(n, 100) {
             let (u, v) = (tree.node(a), tree.node(b));
             assert_eq!(
-                DistanceArrayScheme::distance(scheme.label(u), scheme.label(v)),
+                scheme.distance(u, v),
                 oracle.distance(u, v),
                 "case {case}: n={n} seed={seed} pair ({u},{v})"
             );

@@ -26,12 +26,9 @@ fn every_exact_scheme_reexport_answers_queries() {
             tree.node((i * 37 + 5) % tree.len()),
         );
         let truth = oracle.distance(u, v);
-        assert_eq!(NaiveScheme::distance(naive.label(u), naive.label(v)), truth);
-        assert_eq!(
-            DistanceArrayScheme::distance(da.label(u), da.label(v)),
-            truth
-        );
-        assert_eq!(OptimalScheme::distance(opt.label(u), opt.label(v)), truth);
+        assert_eq!(naive.distance(u, v), truth);
+        assert_eq!(da.distance(u, v), truth);
+        assert_eq!(opt.distance(u, v), truth);
     }
     // The generic trait surface works through the re-export too.
     assert!(opt.max_label_bits() > 0);
@@ -49,10 +46,7 @@ fn optimal_config_reexport_builds_a_working_scheme() {
             tree.node((i * 11) % tree.len()),
             tree.node((i * 41 + 3) % tree.len()),
         );
-        assert_eq!(
-            OptimalScheme::distance(scheme.label(u), scheme.label(v)),
-            oracle.distance(u, v)
-        );
+        assert_eq!(scheme.distance(u, v), oracle.distance(u, v));
     }
 }
 
@@ -69,14 +63,14 @@ fn bounded_and_approximate_scheme_reexports_work() {
             tree.node((i * 29 + 1) % tree.len()),
         );
         let d = oracle.distance(u, v);
-        match KDistanceScheme::distance(kd.label(u), kd.label(v)) {
+        match kd.distance(u, v) {
             Some(got) => {
                 assert!(d <= k);
                 assert_eq!(got, d);
             }
             None => assert!(d > k),
         }
-        let est = ApproximateScheme::distance(approx.label(u), approx.label(v));
+        let est = approx.distance(u, v);
         assert!(est >= d && est as f64 <= 1.25 * d as f64 + 2.0);
     }
 }
@@ -87,7 +81,7 @@ fn level_ancestor_reexport_walks_to_the_root() {
     let scheme = LevelAncestorScheme::build(&tree);
     let depths = tree.depths();
     for u in tree.nodes().step_by(7) {
-        let mut label = scheme.label(u).clone();
+        let mut label = scheme.label(u);
         let mut steps = 0usize;
         while let Some(next) = LevelAncestorScheme::parent(&label) {
             label = next;
@@ -175,14 +169,13 @@ fn store_reexports_round_trip() {
     let tree = small_tree();
     let scheme = NaiveScheme::build(&tree);
     let bytes = SchemeStore::serialize(&scheme);
+    // Serialization is a frame handoff: the scheme's native frame verbatim.
+    assert_eq!(bytes, scheme.as_store().to_bytes());
     let store = SchemeStore::<NaiveScheme>::from_bytes(&bytes).expect("valid store");
     assert_eq!(store.node_count(), tree.len());
     assert_eq!(
         store.distance(0, tree.len() - 1),
-        NaiveScheme::distance(
-            scheme.label(tree.node(0)),
-            scheme.label(tree.node(tree.len() - 1))
-        )
+        scheme.distance(tree.node(0), tree.node(tree.len() - 1))
     );
     assert_eq!(
         <NaiveScheme as StoredScheme>::STORE_NAME,

@@ -1,10 +1,13 @@
-//! Proof that the store's `distance_refs` hot path allocates nothing.
+//! Proof that the packed-native query path allocates nothing.
 //!
-//! A counting global allocator wraps the system allocator; after the stores
+//! A counting global allocator wraps the system allocator; after the schemes
 //! and the output buffer are set up, a query storm across all six schemes must
-//! leave the allocation counter untouched.  (This file holds a single test on
-//! purpose: the counter is process-global, and a second test running on
-//! another thread would pollute it.)
+//! leave the allocation counter untouched — both through the scheme types'
+//! own `distance` entry points (the schemes are thin owners of their packed
+//! frames, so a single query is kernel arithmetic over the frame words) and
+//! through the store's per-query, batch and iterator forms.  (This file holds
+//! a single test on purpose: the counter is process-global, and a second test
+//! running on another thread would pollute it.)
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -48,11 +51,34 @@ fn assert_alloc_free(name: &str, queries: impl FnOnce()) {
     assert_eq!(
         after - before,
         0,
-        "{name}: the distance_refs path allocated {} times",
+        "{name}: the query path allocated {} times",
         after - before
     );
 }
 
+/// Single-query storm through the scheme type's own `distance` (the
+/// packed-native entry point every caller inherits).
+fn scheme_storm<S, Q>(pairs: &[(usize, usize)], query: Q)
+where
+    S: StoredScheme,
+    Q: Fn(usize, usize) -> u64,
+{
+    // Warm up (and sanity-check) outside the counted region.
+    let mut acc = 0u64;
+    for &(u, v) in &pairs[..16] {
+        acc = acc.wrapping_add(query(u, v));
+    }
+    std::hint::black_box(acc);
+    assert_alloc_free(&format!("{}::distance", S::STORE_NAME), || {
+        let mut acc = 0u64;
+        for &(u, v) in pairs {
+            acc = acc.wrapping_add(query(u, v));
+        }
+        std::hint::black_box(acc);
+    });
+}
+
+/// Store-side storm: refs, batch engine, lazy iterator.
 fn storm<S: StoredScheme>(name: &str, store: &SchemeStore<S>, pairs: &[(usize, usize)]) {
     // Warm up (and sanity-check) outside the counted region.
     let mut out: Vec<u64> = Vec::with_capacity(pairs.len());
@@ -78,7 +104,7 @@ fn storm<S: StoredScheme>(name: &str, store: &SchemeStore<S>, pairs: &[(usize, u
 }
 
 #[test]
-fn every_scheme_store_queries_without_allocating() {
+fn every_scheme_queries_without_allocating() {
     let tree = gen::random_tree(700, 11);
     let n = tree.len();
     let pairs: Vec<(usize, usize)> = (0..2000)
@@ -87,20 +113,32 @@ fn every_scheme_store_queries_without_allocating() {
     let sub = Substrate::new(&tree);
 
     let naive = NaiveScheme::build_with_substrate(&sub);
-    storm("naive", &SchemeStore::build(&naive), &pairs);
+    scheme_storm::<NaiveScheme, _>(&pairs, |u, v| naive.distance(tree.node(u), tree.node(v)));
+    storm("naive", naive.as_store(), &pairs);
 
     let da = DistanceArrayScheme::build_with_substrate(&sub);
-    storm("distance-array", &SchemeStore::build(&da), &pairs);
+    scheme_storm::<DistanceArrayScheme, _>(&pairs, |u, v| da.distance(tree.node(u), tree.node(v)));
+    storm("distance-array", da.as_store(), &pairs);
 
     let opt = OptimalScheme::build_with_substrate(&sub);
-    storm("optimal", &SchemeStore::build(&opt), &pairs);
+    scheme_storm::<OptimalScheme, _>(&pairs, |u, v| opt.distance(tree.node(u), tree.node(v)));
+    storm("optimal", opt.as_store(), &pairs);
 
     let kd = KDistanceScheme::build_with_substrate(&sub, 8);
-    storm("k-distance", &SchemeStore::build(&kd), &pairs);
+    scheme_storm::<KDistanceScheme, _>(&pairs, |u, v| {
+        kd.distance(tree.node(u), tree.node(v)).unwrap_or(u64::MAX)
+    });
+    storm("k-distance", kd.as_store(), &pairs);
 
     let approx = ApproximateScheme::build_with_substrate(&sub, 0.25);
-    storm("approximate", &SchemeStore::build(&approx), &pairs);
+    scheme_storm::<ApproximateScheme, _>(&pairs, |u, v| {
+        approx.distance(tree.node(u), tree.node(v))
+    });
+    storm("approximate", approx.as_store(), &pairs);
 
     let la = LevelAncestorScheme::build_with_substrate(&sub);
-    storm("level-ancestor", &SchemeStore::build(&la), &pairs);
+    scheme_storm::<LevelAncestorScheme, _>(&pairs, |u, v| {
+        DistanceScheme::distance(&la, tree.node(u), tree.node(v))
+    });
+    storm("level-ancestor", la.as_store(), &pairs);
 }

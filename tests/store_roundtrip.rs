@@ -94,15 +94,15 @@ fn exact_scheme_stores_round_trip() {
         let sub = Substrate::new(&tree);
         let naive = NaiveScheme::build_with_substrate(&sub);
         check_store(&format!("naive/{family}"), &tree, &naive, |u, v| {
-            NaiveScheme::distance(naive.label(tree.node(u)), naive.label(tree.node(v)))
+            naive.distance(tree.node(u), tree.node(v))
         });
         let da = DistanceArrayScheme::build_with_substrate(&sub);
         check_store(&format!("distance-array/{family}"), &tree, &da, |u, v| {
-            DistanceArrayScheme::distance(da.label(tree.node(u)), da.label(tree.node(v)))
+            da.distance(tree.node(u), tree.node(v))
         });
         let opt = OptimalScheme::build_with_substrate(&sub);
         check_store(&format!("optimal/{family}"), &tree, &opt, |u, v| {
-            OptimalScheme::distance(opt.label(tree.node(u)), opt.label(tree.node(v)))
+            opt.distance(tree.node(u), tree.node(v))
         });
     }
 }
@@ -118,7 +118,7 @@ fn bounded_and_approximate_stores_round_trip() {
                 &tree,
                 &kd,
                 |u, v| {
-                    KDistanceScheme::distance(kd.label(tree.node(u)), kd.label(tree.node(v)))
+                    kd.distance(tree.node(u), tree.node(v))
                         .unwrap_or(NO_DISTANCE)
                 },
             );
@@ -127,7 +127,7 @@ fn bounded_and_approximate_stores_round_trip() {
             for (u, v) in pairs(tree.len()) {
                 assert_eq!(
                     store.distance_within_k(u, v),
-                    KDistanceScheme::distance(kd.label(tree.node(u)), kd.label(tree.node(v))),
+                    kd.distance(tree.node(u), tree.node(v)),
                     "k-distance(k={k})/{family}: distance_within_k ({u},{v})"
                 );
             }
@@ -138,12 +138,7 @@ fn bounded_and_approximate_stores_round_trip() {
                 &format!("approximate(eps={eps})/{family}"),
                 &tree,
                 &approx,
-                |u, v| {
-                    ApproximateScheme::distance(
-                        approx.label(tree.node(u)),
-                        approx.label(tree.node(v)),
-                    )
-                },
+                |u, v| approx.distance(tree.node(u), tree.node(v)),
             );
         }
     }
@@ -154,19 +149,13 @@ fn level_ancestor_store_round_trips_and_matches_the_oracle() {
     for (family, tree) in corpus() {
         let la = LevelAncestorScheme::build(&tree);
         check_store(&format!("level-ancestor/{family}"), &tree, &la, |u, v| {
-            <LevelAncestorScheme as DistanceScheme>::distance(
-                la.label(tree.node(u)),
-                la.label(tree.node(v)),
-            )
+            DistanceScheme::distance(&la, tree.node(u), tree.node(v))
         });
-        // The level-ancestor distance itself (new in this PR) is exact.
+        // The level-ancestor distance protocol is exact.
         let oracle = treelab::DistanceOracle::new(&tree);
         for (u, v) in pairs(tree.len()) {
             assert_eq!(
-                <LevelAncestorScheme as DistanceScheme>::distance(
-                    la.label(tree.node(u)),
-                    la.label(tree.node(v)),
-                ),
+                DistanceScheme::distance(&la, tree.node(u), tree.node(v)),
                 oracle.distance(tree.node(u), tree.node(v)),
                 "level-ancestor/{family}: exactness ({u},{v})"
             );
@@ -217,12 +206,12 @@ fn forest_of_all_six_schemes_round_trips() {
         let t = &trees.iter().find(|(i, _)| *i == id).unwrap().1;
         let (a, b) = (t.node(u), t.node(v));
         match id {
-            2 => NaiveScheme::distance(naive.label(a), naive.label(b)),
-            5 => DistanceArrayScheme::distance(da.label(a), da.label(b)),
-            7 => OptimalScheme::distance(opt.label(a), opt.label(b)),
-            13 => KDistanceScheme::distance(kd.label(a), kd.label(b)).unwrap_or(NO_DISTANCE),
-            19 => ApproximateScheme::distance(approx.label(a), approx.label(b)),
-            23 => <LevelAncestorScheme as DistanceScheme>::distance(la.label(a), la.label(b)),
+            2 => naive.distance(a, b),
+            5 => da.distance(a, b),
+            7 => opt.distance(a, b),
+            13 => kd.distance(a, b).unwrap_or(NO_DISTANCE),
+            19 => approx.distance(a, b),
+            23 => DistanceScheme::distance(&la, a, b),
             _ => unreachable!(),
         }
     };

@@ -5,6 +5,7 @@
 //! so `proptest` is not available).
 
 use std::collections::HashMap;
+#[cfg(feature = "legacy-labels")]
 use treelab::bits::{BitReader, BitWriter};
 use treelab::core::hpath::{HpathLabel, HpathLabeling};
 use treelab::core::level_ancestor::LevelAncestorScheme;
@@ -33,7 +34,7 @@ fn level_ancestor_walks_match_the_tree_across_families() {
         let depths = tree.depths();
         for u in tree.nodes().step_by(3) {
             // Walk all the way to the root via repeated parent queries.
-            let mut label = scheme.label(u).clone();
+            let mut label = scheme.label(u);
             let mut expected = u;
             let mut steps = 0;
             while let Some(parent_label) = LevelAncestorScheme::parent(&label) {
@@ -47,7 +48,7 @@ fn level_ancestor_walks_match_the_tree_across_families() {
             assert_eq!(steps, depths[u.index()]);
             // Random level-ancestor jumps.
             for k in [1u64, 2, 3, 7, depths[u.index()] as u64] {
-                let got = LevelAncestorScheme::level_ancestor(scheme.label(u), k);
+                let got = LevelAncestorScheme::level_ancestor(&scheme.label(u), k);
                 if k <= depths[u.index()] as u64 {
                     let expect = tree.ancestors(u)[k as usize];
                     assert_eq!(by_bits[&got.expect("within depth").to_bits()], expect);
@@ -71,7 +72,7 @@ fn level_ancestor_labels_cost_about_twice_the_distance_labels() {
     let la_max = la.max_label_bits();
     let opt_payload = tree
         .nodes()
-        .map(|u| opt.label(u).array_payload_bits())
+        .map(|u| opt.array_payload_bits(u))
         .max()
         .unwrap();
     assert!(
@@ -134,23 +135,25 @@ fn hpath_labels_agree_with_oracle_structure() {
     }
 }
 
+#[cfg(feature = "legacy-labels")]
 #[test]
 fn every_label_type_survives_a_serialization_roundtrip() {
     use treelab::core::approximate::{ApproximateLabel, ApproximateScheme};
     use treelab::core::distance_array::{DistanceArrayLabel, DistanceArrayScheme};
     use treelab::core::kdistance::{KDistanceLabel, KDistanceScheme};
     use treelab::core::naive::NaiveLabel;
-    use treelab::core::optimal::OptimalLabel;
-    use treelab::NaiveScheme;
+    use treelab::core::optimal::{OptimalLabel, OptimalScheme};
+    use treelab::{NaiveScheme, Substrate};
 
     let tree = gen::random_tree(200, 77);
-    let sample: Vec<_> = (0..tree.len()).step_by(13).map(|i| tree.node(i)).collect();
+    let sub = Substrate::new(&tree);
+    let sample: Vec<usize> = (0..tree.len()).step_by(13).collect();
 
-    let naive = NaiveScheme::build(&tree);
-    let da = DistanceArrayScheme::build(&tree);
-    let opt = OptimalScheme::build(&tree);
-    let kd = KDistanceScheme::build(&tree, 5);
-    let approx = ApproximateScheme::build(&tree, 0.25);
+    let naive = NaiveScheme::legacy_labels(&sub);
+    let da = DistanceArrayScheme::legacy_labels(&sub);
+    let opt = OptimalScheme::legacy_labels(&sub);
+    let kd = KDistanceScheme::legacy_labels(&sub, 5);
+    let approx = ApproximateScheme::legacy_labels(&sub, 0.25);
 
     for &u in &sample {
         macro_rules! roundtrip {
@@ -163,29 +166,29 @@ fn every_label_type_survives_a_serialization_roundtrip() {
                 back
             }};
         }
-        let _: NaiveLabel = roundtrip!(naive.label(u), NaiveLabel);
-        let _: DistanceArrayLabel = roundtrip!(da.label(u), DistanceArrayLabel);
-        let o: OptimalLabel = roundtrip!(opt.label(u), OptimalLabel);
-        let k: KDistanceLabel = roundtrip!(kd.label(u), KDistanceLabel);
-        let a: ApproximateLabel = roundtrip!(approx.label(u), ApproximateLabel);
-        // Decoded labels still answer queries correctly.
-        let v = tree.node(tree.len() - 1);
-        let oracle_d = tree.distance_naive(u, v);
-        assert_eq!(OptimalScheme::distance(&o, opt.label(v)), oracle_d);
-        if let Some(d) = KDistanceScheme::distance(&k, kd.label(v)) {
-            assert_eq!(d, oracle_d);
-        }
-        assert!(ApproximateScheme::distance(&a, approx.label(v)) >= oracle_d);
+        let _: NaiveLabel = roundtrip!(&naive[u], NaiveLabel);
+        let _: DistanceArrayLabel = roundtrip!(&da[u], DistanceArrayLabel);
+        let o: OptimalLabel = roundtrip!(&opt[u], OptimalLabel);
+        let _: KDistanceLabel = roundtrip!(&kd[u], KDistanceLabel);
+        let _: ApproximateLabel = roundtrip!(&approx[u], ApproximateLabel);
+        // Decoded labels still answer queries correctly through the legacy
+        // struct protocol.
+        let v = tree.len() - 1;
+        let oracle_d = tree.distance_naive(tree.node(u), tree.node(v));
+        assert_eq!(OptimalLabel::legacy_distance(&o, &opt[v]), oracle_d);
     }
 }
 
+#[cfg(feature = "legacy-labels")]
 #[test]
 fn truncated_labels_fail_to_decode_rather_than_panicking_or_lying() {
-    use treelab::core::optimal::OptimalLabel;
+    use treelab::core::optimal::{OptimalLabel, OptimalScheme};
+    use treelab::Substrate;
     let tree = gen::comb(300);
-    let opt = OptimalScheme::build(&tree);
+    let sub = Substrate::new(&tree);
+    let opt = OptimalScheme::legacy_labels(&sub);
     for idx in [0usize, 100, 299] {
-        let label = opt.label(tree.node(idx));
+        let label = &opt[idx];
         let mut w = BitWriter::new();
         label.encode(&mut w);
         let bits = w.into_bitvec();
@@ -208,7 +211,7 @@ fn prop_parent_chain_has_depth_length() {
         let scheme = LevelAncestorScheme::build(&tree);
         let depths = tree.depths();
         for u in tree.nodes() {
-            let mut label = scheme.label(u).clone();
+            let mut label = scheme.label(u);
             let mut steps = 0usize;
             while let Some(next) = LevelAncestorScheme::parent(&label) {
                 label = next;

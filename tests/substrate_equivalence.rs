@@ -1,251 +1,139 @@
-//! Equivalence tests for the shared build substrate: for every scheme,
-//! `build_with_substrate` must produce labels **bit-for-bit identical** to the
-//! plain `build`, and serial vs parallel substrate builds must agree — across
-//! the seeded generator corpus (`treelab_tree::gen` + SplitMix64 seeds).
+//! Equivalence of the build paths: for every scheme, `build`,
+//! `build_with_substrate` and every [`Parallelism`] setting must produce the
+//! **bit-for-bit identical** packed store frame (the scheme's native
+//! representation), and distances answered from shared-substrate builds must
+//! match the isolated builds.
+//!
+//! Since the packed-native refactor this is a single `as_words()` comparison
+//! per path — the frame *is* the label set, so frame equality subsumes the
+//! old per-label bit comparisons.
 
-use treelab::bits::{BitVec, BitWriter};
 use treelab::core::approximate::ApproximateScheme;
-use treelab::core::hpath::HpathLabeling;
 use treelab::core::kdistance::KDistanceScheme;
 use treelab::core::level_ancestor::LevelAncestorScheme;
 use treelab::{
-    gen, DistanceArrayScheme, DistanceScheme, NaiveScheme, OptimalScheme, Parallelism, Substrate,
-    Tree,
+    gen, DistanceArrayScheme, DistanceScheme, NaiveScheme, OptimalScheme, Parallelism,
+    StoredScheme, Substrate, Tree,
 };
+
+fn parallelisms() -> Vec<Parallelism> {
+    vec![
+        Parallelism::Serial,
+        Parallelism::Auto,
+        Parallelism::from_thread_count(2),
+        Parallelism::from_thread_count(5),
+    ]
+}
 
 /// The seeded corpus every equivalence check sweeps over.  Sizes straddle the
 /// serial/parallel cut-over so both code paths are exercised.
 fn corpus() -> Vec<Tree> {
-    let mut trees = vec![
+    vec![
         Tree::singleton(),
-        gen::path(90),
-        gen::star(90),
-        gen::caterpillar(40, 3),
-        gen::broom(30, 40),
-        gen::comb(1500),
-        gen::complete_kary(2, 7),
-    ];
-    for seed in 0..3u64 {
-        trees.push(gen::random_tree(160 + seed as usize, seed));
-        trees.push(gen::random_binary(1400, seed));
-        trees.push(gen::random_recursive(150, seed));
-    }
-    trees
+        gen::random_tree(1500, 7),
+        gen::comb(1200),
+        gen::caterpillar(400, 3),
+        gen::complete_kary(2, 10),
+    ]
 }
 
-fn encode_bits<L, F: Fn(&mut BitWriter, &L)>(label: &L, f: F) -> BitVec {
-    let mut w = BitWriter::new();
-    f(&mut w, label);
-    w.into_bitvec()
-}
-
-/// Asserts two label sequences are identical in their serialized form.
-fn assert_bit_identical<L, F>(
-    tree: &Tree,
-    a: impl Fn(usize) -> L,
-    b: impl Fn(usize) -> L,
-    f: F,
-    what: &str,
-) where
-    F: Fn(&mut BitWriter, &L) + Copy,
+/// Asserts that `build` over a fresh substrate with each parallelism setting
+/// reproduces the reference frame bit for bit.
+fn check_frames<S, F>(name: &str, tree: &Tree, reference: &S, build: F)
+where
+    S: StoredScheme,
+    F: Fn(&Substrate<'_>) -> S,
 {
-    for i in 0..tree.len() {
-        let (la, lb) = (a(i), b(i));
+    for par in parallelisms() {
+        let sub = Substrate::with_parallelism(tree, par);
+        let scheme = build(&sub);
         assert_eq!(
-            encode_bits(&la, f),
-            encode_bits(&lb, f),
-            "{what}: label of node {i} differs (n={})",
+            scheme.as_store().as_words(),
+            reference.as_store().as_words(),
+            "{name}: frame differs under {par:?} (n = {})",
             tree.len()
         );
     }
 }
 
 #[test]
-fn build_with_substrate_matches_build_for_every_scheme() {
+fn every_scheme_frame_is_identical_across_build_paths_and_thread_counts() {
     for tree in corpus() {
-        let sub = Substrate::new(&tree);
+        let naive = NaiveScheme::build(&tree);
+        check_frames("naive", &tree, &naive, NaiveScheme::build_with_substrate);
 
-        let (a, b) = (
-            NaiveScheme::build(&tree),
-            NaiveScheme::build_with_substrate(&sub),
-        );
-        assert_bit_identical(
-            &tree,
-            |i| a.label(tree.node(i)).clone(),
-            |i| b.label(tree.node(i)).clone(),
-            |w, l| l.encode(w),
-            "naive",
-        );
-
-        let (a, b) = (
-            DistanceArrayScheme::build(&tree),
-            DistanceArrayScheme::build_with_substrate(&sub),
-        );
-        assert_bit_identical(
-            &tree,
-            |i| a.label(tree.node(i)).clone(),
-            |i| b.label(tree.node(i)).clone(),
-            |w, l| l.encode(w),
+        let da = DistanceArrayScheme::build(&tree);
+        check_frames(
             "distance-array",
+            &tree,
+            &da,
+            DistanceArrayScheme::build_with_substrate,
         );
 
-        let (a, b) = (
-            OptimalScheme::build(&tree),
-            OptimalScheme::build_with_substrate(&sub),
-        );
-        assert_bit_identical(
-            &tree,
-            |i| a.label(tree.node(i)).clone(),
-            |i| b.label(tree.node(i)).clone(),
-            |w, l| l.encode(w),
-            "optimal",
-        );
+        let opt = OptimalScheme::build(&tree);
+        check_frames("optimal", &tree, &opt, OptimalScheme::build_with_substrate);
 
-        let (a, b) = (
-            HpathLabeling::build(&tree),
-            HpathLabeling::build_with_substrate(&sub),
-        );
-        assert_bit_identical(
-            &tree,
-            |i| a.label(tree.node(i)).clone(),
-            |i| b.label(tree.node(i)).clone(),
-            |w, l| l.encode(w),
-            "hpath",
-        );
+        let kd = KDistanceScheme::build(&tree, 8);
+        check_frames("k-distance", &tree, &kd, |sub| {
+            KDistanceScheme::build_with_substrate(sub, 8)
+        });
 
-        let (a, b) = (
-            KDistanceScheme::build(&tree, 4),
-            KDistanceScheme::build_with_substrate(&sub, 4),
-        );
-        assert_bit_identical(
-            &tree,
-            |i| a.label(tree.node(i)).clone(),
-            |i| b.label(tree.node(i)).clone(),
-            |w, l| l.encode(w),
-            "k-distance",
-        );
+        let approx = ApproximateScheme::build(&tree, 0.25);
+        check_frames("approximate", &tree, &approx, |sub| {
+            ApproximateScheme::build_with_substrate(sub, 0.25)
+        });
 
-        let (a, b) = (
-            LevelAncestorScheme::build(&tree),
-            LevelAncestorScheme::build_with_substrate(&sub),
-        );
-        assert_bit_identical(
-            &tree,
-            |i| a.label(tree.node(i)).clone(),
-            |i| b.label(tree.node(i)).clone(),
-            |w, l| l.encode(w),
+        let la = LevelAncestorScheme::build(&tree);
+        check_frames(
             "level-ancestor",
-        );
-
-        let (a, b) = (
-            ApproximateScheme::build(&tree, 0.25),
-            ApproximateScheme::build_with_substrate(&sub, 0.25),
-        );
-        assert_bit_identical(
             &tree,
-            |i| a.label(tree.node(i)).clone(),
-            |i| b.label(tree.node(i)).clone(),
-            |w, l| l.encode(w),
-            "approximate",
+            &la,
+            LevelAncestorScheme::build_with_substrate,
         );
     }
 }
 
 #[test]
-fn serial_and_parallel_substrate_builds_agree() {
-    for tree in corpus() {
-        let serial = Substrate::with_parallelism(&tree, Parallelism::Serial);
-        for par in [
-            Parallelism::Auto,
-            Parallelism::from_thread_count(2),
-            Parallelism::from_thread_count(5),
-        ] {
-            let parallel = Substrate::with_parallelism(&tree, par);
-
-            let (a, b) = (
-                OptimalScheme::build_with_substrate(&serial),
-                OptimalScheme::build_with_substrate(&parallel),
-            );
-            assert_bit_identical(
-                &tree,
-                |i| a.label(tree.node(i)).clone(),
-                |i| b.label(tree.node(i)).clone(),
-                |w, l| l.encode(w),
-                "optimal serial-vs-parallel",
-            );
-
-            let (a, b) = (
-                NaiveScheme::build_with_substrate(&serial),
-                NaiveScheme::build_with_substrate(&parallel),
-            );
-            assert_bit_identical(
-                &tree,
-                |i| a.label(tree.node(i)).clone(),
-                |i| b.label(tree.node(i)).clone(),
-                |w, l| l.encode(w),
-                "naive serial-vs-parallel",
-            );
-
-            let (a, b) = (
-                KDistanceScheme::build_with_substrate(&serial, 3),
-                KDistanceScheme::build_with_substrate(&parallel, 3),
-            );
-            assert_bit_identical(
-                &tree,
-                |i| a.label(tree.node(i)).clone(),
-                |i| b.label(tree.node(i)).clone(),
-                |w, l| l.encode(w),
-                "k-distance serial-vs-parallel",
-            );
-
-            let (a, b) = (
-                ApproximateScheme::build_with_substrate(&serial, 0.5),
-                ApproximateScheme::build_with_substrate(&parallel, 0.5),
-            );
-            assert_bit_identical(
-                &tree,
-                |i| a.label(tree.node(i)).clone(),
-                |i| b.label(tree.node(i)).clone(),
-                |w, l| l.encode(w),
-                "approximate serial-vs-parallel",
-            );
-
-            let (a, b) = (
-                LevelAncestorScheme::build_with_substrate(&serial),
-                LevelAncestorScheme::build_with_substrate(&parallel),
-            );
-            assert_bit_identical(
-                &tree,
-                |i| a.label(tree.node(i)).clone(),
-                |i| b.label(tree.node(i)).clone(),
-                |w, l| l.encode(w),
-                "level-ancestor serial-vs-parallel",
-            );
-        }
+fn wire_sizes_are_identical_across_build_paths() {
+    // The per-node wire-encoding sizes (the paper's label-size quantity) are
+    // recorded at build time; they must not depend on the build path either.
+    let tree = gen::random_tree(900, 11);
+    let sub = Substrate::with_parallelism(&tree, Parallelism::from_thread_count(3));
+    let a = OptimalScheme::build(&tree);
+    let b = OptimalScheme::build_with_substrate(&sub);
+    for u in tree.nodes() {
+        assert_eq!(a.label_bits(u), b.label_bits(u), "node {u}");
     }
+    assert_eq!(a.max_label_bits(), b.max_label_bits());
 }
 
 #[test]
-fn substrate_sharing_preserves_query_answers() {
-    // Queries through substrate-built schemes agree with the ground truth —
-    // the sharing must not change a single answer.
-    let tree = gen::random_tree(700, 2017);
+fn shared_substrate_schemes_answer_identically() {
+    // One substrate, all six schemes: the answers must agree with the oracle
+    // (exact schemes) and respect their guarantees (bounded / approximate).
+    let tree = gen::random_tree(700, 3);
     let sub = Substrate::new(&tree);
-    let oracle = sub.oracle();
-    let opt = OptimalScheme::build_with_substrate(&sub);
+    let naive = NaiveScheme::build_with_substrate(&sub);
     let da = DistanceArrayScheme::build_with_substrate(&sub);
-    let kd = KDistanceScheme::build_with_substrate(&sub, 5);
-    let approx = ApproximateScheme::build_with_substrate(&sub, 0.25);
+    let opt = OptimalScheme::build_with_substrate(&sub);
+    let kd = KDistanceScheme::build_with_substrate(&sub, 9);
+    let approx = ApproximateScheme::build_with_substrate(&sub, 0.5);
+    let la = LevelAncestorScheme::build_with_substrate(&sub);
+    let oracle = sub.oracle();
     let n = tree.len();
-    for i in 0..1000usize {
-        let (u, v) = (tree.node((i * 37) % n), tree.node((i * 101 + 3) % n));
+    for i in 0..600 {
+        let (u, v) = (tree.node((i * 19) % n), tree.node((i * 67 + 13) % n));
         let d = oracle.distance(u, v);
-        assert_eq!(OptimalScheme::distance(opt.label(u), opt.label(v)), d);
-        assert_eq!(DistanceArrayScheme::distance(da.label(u), da.label(v)), d);
-        if d <= 5 {
-            assert_eq!(KDistanceScheme::distance(kd.label(u), kd.label(v)), Some(d));
+        assert_eq!(opt.distance(u, v), d);
+        assert_eq!(da.distance(u, v), d);
+        assert_eq!(naive.distance(u, v), d);
+        assert_eq!(la.distance(u, v), d);
+        if d <= 9 {
+            assert_eq!(kd.distance(u, v), Some(d));
+        } else {
+            assert_eq!(kd.distance(u, v), None);
         }
-        let est = ApproximateScheme::distance(approx.label(u), approx.label(v));
-        assert!(est >= d && est as f64 <= 1.25 * d as f64 + 2.0);
+        let est = approx.distance(u, v);
+        assert!(est >= d && est as f64 <= 1.5 * d as f64 + 2.0);
     }
 }
