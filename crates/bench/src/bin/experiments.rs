@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p treelab-bench --bin experiments -- [--quick] [--threads N] [--exact]
 //!     [--approx] [--kdist-small] [--kdist-large] [--lower-bounds] [--universal] [--ablation]
-//!     [--timing] [--substrate] [--store [--check]] [--packed-native] [--forest]
+//!     [--timing] [--substrate] [--store [--check]] [--packed-native] [--forest] [--restart]
 //! ```
 //!
 //! `--store --check` runs the store regression gate after printing E11: it
@@ -19,7 +19,8 @@
 use treelab_bench::experiments::{
     ablation_experiment, approximate_experiment, exact_experiment, forest_experiment,
     k_large_experiment, k_small_experiment, lower_bound_experiment, packed_native_experiment,
-    store_check, store_experiment, substrate_experiment, timing_experiment, universal_experiment,
+    restart_experiment, store_check, store_experiment, substrate_experiment, timing_experiment,
+    universal_experiment,
 };
 use treelab_bench::workloads::Family;
 use treelab_core::substrate::Parallelism;
@@ -141,6 +142,13 @@ fn main() {
         println!(
             "{}",
             forest_experiment(trees, n_per_tree, queries, seed).to_markdown()
+        );
+    }
+    if run("--restart") {
+        let (trees, n_per_tree) = if quick { (8, 1 << 9) } else { (64, 1 << 14) };
+        println!(
+            "{}",
+            restart_experiment(trees, n_per_tree, seed).to_markdown()
         );
     }
 }

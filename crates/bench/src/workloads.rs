@@ -135,7 +135,8 @@ pub fn build_mixed_forest(corpus: &[(u64, Tree)]) -> ForestStore {
             3 => b.push_scheme(*id, &KDistanceScheme::build_with_substrate(&sub, 8)),
             4 => b.push_scheme(*id, &ApproximateScheme::build_with_substrate(&sub, 0.25)),
             _ => b.push_scheme(*id, &LevelAncestorScheme::build_with_substrate(&sub)),
-        };
+        }
+        .expect("corpus ids are distinct");
     }
     b.finish().expect("corpus forest builds")
 }

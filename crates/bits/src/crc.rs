@@ -78,19 +78,52 @@ pub fn crc64_bytes(bytes: &[u8]) -> u64 {
 /// Equal to [`crc64_bytes`] over the words serialized in little-endian byte
 /// order.
 pub fn crc64_words(words: &[u64]) -> u64 {
-    let mut crc = !0u64;
-    for &w in words {
-        let x = crc ^ w;
-        crc = TABLES[7][(x & 0xFF) as usize]
-            ^ TABLES[6][((x >> 8) & 0xFF) as usize]
-            ^ TABLES[5][((x >> 16) & 0xFF) as usize]
-            ^ TABLES[4][((x >> 24) & 0xFF) as usize]
-            ^ TABLES[3][((x >> 32) & 0xFF) as usize]
-            ^ TABLES[2][((x >> 40) & 0xFF) as usize]
-            ^ TABLES[1][((x >> 48) & 0xFF) as usize]
-            ^ TABLES[0][(x >> 56) as usize];
+    let mut crc = Crc64::new();
+    crc.update_words(words);
+    crc.finish()
+}
+
+/// Streaming CRC-64/XZ over words: feed any number of chunks through
+/// [`Crc64::update_words`] and read the digest with [`Crc64::finish`].
+///
+/// `Crc64::new().update_words(w).finish()` equals [`crc64_words`]`(w)` for
+/// any chunking of `w`, which is what lets a serving process verify a
+/// multi-gigabyte frame checksum *incrementally* in the background instead
+/// of stalling its first query on one monolithic scan.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc64 {
+    state: u64,
+}
+
+impl Crc64 {
+    /// A fresh CRC state (no words absorbed yet).
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Crc64 { state: !0u64 }
     }
-    !crc
+
+    /// Absorbs `words`, one word per step (slice-by-8).
+    pub fn update_words(&mut self, words: &[u64]) {
+        let mut crc = self.state;
+        for &w in words {
+            let x = crc ^ w;
+            crc = TABLES[7][(x & 0xFF) as usize]
+                ^ TABLES[6][((x >> 8) & 0xFF) as usize]
+                ^ TABLES[5][((x >> 16) & 0xFF) as usize]
+                ^ TABLES[4][((x >> 24) & 0xFF) as usize]
+                ^ TABLES[3][((x >> 32) & 0xFF) as usize]
+                ^ TABLES[2][((x >> 40) & 0xFF) as usize]
+                ^ TABLES[1][((x >> 48) & 0xFF) as usize]
+                ^ TABLES[0][(x >> 56) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The digest of everything absorbed so far (the state itself is not
+    /// consumed; more words may be absorbed after reading it).
+    pub fn finish(&self) -> u64 {
+        !self.state
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +146,27 @@ mod tests {
         assert_eq!(crc64_words(&words), crc64_bytes(&bytes));
         assert_eq!(crc64_words(&[]), crc64_bytes(&[]));
         assert_eq!(crc64_words(&words[..1]), crc64_bytes(&bytes[..8]));
+    }
+
+    #[test]
+    fn streaming_state_matches_the_one_shot_digest_for_any_chunking() {
+        let words: Vec<u64> = (0..129u64)
+            .map(|i| i.wrapping_mul(0xD134_2543_DE82_EF95))
+            .collect();
+        let expect = crc64_words(&words);
+        for chunk in [1usize, 2, 7, 64, 128, 200] {
+            let mut crc = Crc64::new();
+            for c in words.chunks(chunk) {
+                crc.update_words(c);
+            }
+            assert_eq!(crc.finish(), expect, "chunk size {chunk}");
+        }
+        // finish() is non-consuming: reading mid-stream is allowed.
+        let mut crc = Crc64::new();
+        crc.update_words(&words[..64]);
+        assert_eq!(crc.finish(), crc64_words(&words[..64]));
+        crc.update_words(&words[64..]);
+        assert_eq!(crc.finish(), expect);
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //!
 //! [`words_to_bytes`] is the inverse of the copy path (explicit little-endian
 //! encode), used by the stores' `to_bytes`.
+//!
+//! With the off-by-default `mmap` cargo feature (Unix only), this module also
+//! provides the third way in: `Mmap` maps a file read-only through the raw
+//! `mmap(2)` syscall (no external crate — the workspace dependency graph
+//! stays empty) and hands out the page-aligned byte/word views the borrow
+//! path wants, so a multi-gigabyte frame is servable without reading a single
+//! label byte up front.
 
 /// Why a byte slice could not be borrowed as frame words.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +150,141 @@ pub fn cast_bytes(words: &[u64]) -> &[u8] {
     bytes
 }
 
+/// A read-only memory map of a whole file, created through the raw `mmap(2)`
+/// syscall — the zero-copy substrate of mmap-first frame serving.
+///
+/// The kernel hands back a page-aligned mapping, so [`Mmap::words`] (the
+/// borrow-path cast) can never fail on alignment — only on a length that is
+/// not a whole number of words.  The mapping is private (`MAP_PRIVATE`):
+/// concurrent writers to the underlying file cannot be observed as torn
+/// words by readers of an already-established map on the same pages, and the
+/// crash-safe way to update a served file is write-temp + rename anyway (the
+/// old map keeps serving the old inode).
+///
+/// Dropping the map unmaps it (`munmap(2)`).  The struct is `Send + Sync`:
+/// the mapping is immutable for its whole lifetime.
+#[cfg(all(feature = "mmap", unix))]
+pub struct Mmap {
+    ptr: *mut core::ffi::c_void,
+    len: usize,
+}
+
+#[cfg(all(feature = "mmap", unix))]
+#[allow(unsafe_code)]
+mod mmap_impl {
+    use core::ffi::c_void;
+    use std::os::unix::io::AsRawFd;
+
+    // The raw syscall surface.  `std` already links the platform libc, so
+    // these resolve without adding any crate dependency; the constants below
+    // are identical on every Unix this workspace targets (Linux, macOS,
+    // the BSDs): PROT_READ = 1, MAP_PRIVATE = 2.
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+    const MAP_FAILED: usize = usize::MAX;
+
+    // SAFETY: the mapping is created read-only and never handed out mutably,
+    // so sharing the raw pointer across threads is sound.
+    unsafe impl Send for super::Mmap {}
+    unsafe impl Sync for super::Mmap {}
+
+    impl super::Mmap {
+        /// Maps the whole of `file` read-only.
+        ///
+        /// # Errors
+        ///
+        /// Any I/O error from `fstat`/`mmap`; an empty file is refused with
+        /// [`std::io::ErrorKind::InvalidInput`] (a zero-length `mmap` is
+        /// undefined per POSIX, and no valid frame is empty anyway).
+        pub fn map_file(file: &std::fs::File) -> std::io::Result<Self> {
+            let len = file.metadata()?.len();
+            if len == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "cannot map an empty file (no valid frame is empty)",
+                ));
+            }
+            let len = usize::try_from(len).map_err(|_| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "file is larger than the address space",
+                )
+            })?;
+            // SAFETY: a fresh private read-only mapping of a file we hold
+            // open; the kernel validates the fd and length, and we check for
+            // MAP_FAILED before trusting the pointer.
+            let ptr = unsafe {
+                mmap(
+                    core::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as usize == MAP_FAILED {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok(super::Mmap { ptr, len })
+        }
+
+        /// The mapped bytes.
+        pub fn bytes(&self) -> &[u8] {
+            // SAFETY: the mapping covers exactly `len` readable bytes, lives
+            // until `Drop`, and is never written through (PROT_READ).
+            unsafe { core::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+
+        /// The mapped bytes as little-endian frame words — the borrow path.
+        /// Mappings are page-aligned, so only a non-word length (or a
+        /// big-endian host) can fail here.
+        ///
+        /// # Errors
+        ///
+        /// See [`super::try_cast_words`].
+        pub fn words(&self) -> Result<&[u64], super::CastError> {
+            super::try_cast_words(self.bytes())
+        }
+
+        /// Length of the mapping in bytes.
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// Always `false`: empty files are refused at map time.
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+    }
+
+    impl Drop for super::Mmap {
+        fn drop(&mut self) {
+            // SAFETY: unmapping exactly the region mmap returned, once.
+            let rc = unsafe { munmap(self.ptr, self.len) };
+            debug_assert_eq!(rc, 0, "munmap failed");
+        }
+    }
+
+    impl core::fmt::Debug for super::Mmap {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.debug_struct("Mmap").field("len", &self.len).finish()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +330,40 @@ mod tests {
             .to_string()
             .contains("copy"));
         assert!(CastError::Length { len: 15 }.to_string().contains("15"));
+    }
+
+    #[cfg(all(feature = "mmap", unix))]
+    #[test]
+    fn mmap_round_trips_and_refuses_empty_files() {
+        let words: Vec<u64> = (0..257u64)
+            .map(|i| i.wrapping_mul(0x2545_F491_4F6C_DD1D))
+            .collect();
+        let path =
+            std::env::temp_dir().join(format!("treelab-mmap-test-{}.bin", std::process::id()));
+        std::fs::write(&path, words_to_bytes(&words)).expect("write");
+
+        let file = std::fs::File::open(&path).expect("open");
+        let map = Mmap::map_file(&file).expect("map");
+        assert_eq!(map.len(), words.len() * 8);
+        assert!(!map.is_empty());
+        assert_eq!(map.bytes(), words_to_bytes(&words));
+        // Page alignment makes the borrow-path cast infallible here.
+        assert_eq!(map.words().expect("aligned"), &words[..]);
+        assert!(format!("{map:?}").contains("Mmap"));
+        drop(map);
+
+        // A file whose length is not a whole number of words maps fine but
+        // refuses the word view.
+        std::fs::write(&path, [1u8, 2, 3]).expect("write odd");
+        let file = std::fs::File::open(&path).expect("open odd");
+        let map = Mmap::map_file(&file).expect("map odd");
+        assert_eq!(map.words(), Err(CastError::Length { len: 3 }));
+        drop(map);
+
+        // Empty files are refused at map time.
+        std::fs::write(&path, []).expect("write empty");
+        let file = std::fs::File::open(&path).expect("open empty");
+        assert!(Mmap::map_file(&file).is_err());
+        let _ = std::fs::remove_file(&path);
     }
 }

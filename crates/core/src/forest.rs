@@ -1,6 +1,6 @@
 //! Forest store: many trees' scheme frames packed behind one directory, with
-//! a routed, shardable batch query engine — the serving layer of the store
-//! stack.
+//! lazy per-tree validation, generation-worded hot mutation, and a routed,
+//! shardable batch query engine — the serving layer of the store stack.
 //!
 //! # Why
 //!
@@ -8,31 +8,70 @@
 //! — thousands of trees, each built once into a [`SchemeStore`] frame — and
 //! answers routed queries of the form *(tree, u, v)*.  The forest store packs
 //! any mix of per-tree frames (the schemes may differ tree to tree) into one
-//! contiguous `TLFRST01` super-frame:
+//! contiguous `TLFRST01` super-frame.  The current directory format (v2):
 //!
 //! ```text
 //! word 0        magic "TLFRST01"
-//! word 1        format version (high 32) | reserved, must be 0 (low 32)
-//! word 2        T — number of trees
-//! 3 .. 3+4T     directory, sorted by tree id, one 4-word record per tree:
+//! word 1        format version, 2 (high 32) | reserved, must be 0 (low 32)
+//! word 2        T — used directory slots (live + tombstoned trees)
+//! word 3        C — directory capacity (high 32) | reserved, must be 0
+//! word 4        generation (incremented by every published mutation)
+//! 5 .. 5+4C     directory: T used records sorted by tree id, then C−T
+//!               all-zero spare slots; one 4-word record per tree:
 //!                 word 0  tree id
 //!                 word 1  frame offset (words, from the forest frame start)
 //!                 word 2  frame length (words)
 //!                 word 3  scheme tag (high 32) | label count n (low 32)
+//!                         — tag 0 marks the record as a tombstone
 //! ..            the inner frames, each a complete TLSTOR01 frame, tiling
-//!               the region between directory and checksum exactly
-//! last word     CRC-64/XZ of every preceding word
+//!               the region between directory and checksum exactly (in file
+//!               offset order, which after appends is not slot order)
+//! last word     CRC-64/XZ of the header and directory words only — the
+//!               inner frames carry their own checksums
 //! ```
 //!
-//! (`FORMAT.md` at the repository root specifies both layouts bit for bit.)
+//! Format v1 (three header words, C = T, no generation, whole-frame CRC) is
+//! still read; `FORMAT.md` at the repository root specifies both bit for bit.
 //!
-//! Loading validates the outer frame, then every inner frame, **once** — and
-//! nothing is copied on the borrow path ([`ForestRef::from_words`]): each
-//! tree's labels are served in place from the caller's buffer, exactly like a
-//! single [`StoreRef`](crate::store::StoreRef).  Per-tree access
-//! ([`ForestRef::tree`]) is O(log T)
-//! for the id lookup plus O(1) to materialize the [`AnyStoreRef`] from the
-//! cached directory — no re-validation per call.
+//! # Validation policy: eager or lazy
+//!
+//! Every open path takes a [`ValidationPolicy`].  **Eager** (the default, and
+//! the only behavior before the policy knob existed) validates the outer
+//! frame, the directory, and every inner frame up front, so a successful
+//! open proves the whole file.  **Lazy** validates only the header and
+//! directory (including the directory checksum on v2 frames) and defers each
+//! inner frame to its first `tree(id)` touch: a forest with one corrupt tree
+//! still opens and serves every other tree, and the corrupt one fails on
+//! first touch with the *same* [`ForestError::Tree`] the eager open would
+//! have reported.  The per-tree validation verdict is cached, so every touch
+//! after the first is O(1) and allocation-free, and [`ForestRef::verify`] /
+//! [`ForestRef::verify_chunked`] can retrofit full eager coverage (e.g. from
+//! a background thread, a budgeted chunk at a time) without reopening.
+//!
+//! Lazy opens are what make restart latency O(directory) instead of O(file):
+//! experiment E14 (`cargo run --release -p treelab-bench --bin experiments
+//! --features mmap -- --restart`) measures the gap.
+//!
+//! # Hot mutation and generations
+//!
+//! [`ForestStore`] is mutable while serving: [`ForestStore::append_scheme`]
+//! adds a tree (frames land at the end of the frame region; the directory
+//! record splices into id order, using a spare slot when one is reserved),
+//! [`ForestStore::tombstone`] retires one by zeroing its record's scheme tag
+//! — both in place, without rewriting any other frame, and both bump the
+//! directory **generation word**.  Readers that need a stable view across
+//! mutations take a [`ForestPin`]: an O(1) snapshot (buffer sharing via
+//! [`Arc`], copy-on-write only if a mutation lands while pins are out) that
+//! keeps answering from its generation forever.  [`ForestStore::publish`]
+//! persists crash-safely: write to a `.tmp` sibling, fsync, then atomically
+//! rename over the destination, so a reader never observes a half-written
+//! frame and a crash leaves at worst a stale temp file that the next publish
+//! removes.
+//!
+//! With the off-by-default `mmap` feature, `ForestStore::open_mmap` serves
+//! a published file in place through a raw-syscall `frame::Mmap` — combined
+//! with [`ValidationPolicy::Lazy`], a restart touches only the directory
+//! pages before the first query.
 //!
 //! # The routed batch engine
 //!
@@ -51,7 +90,7 @@
 //! # Example
 //!
 //! ```
-//! use treelab_core::forest::ForestStore;
+//! use treelab_core::forest::{ForestStore, ValidationPolicy};
 //! use treelab_core::naive::NaiveScheme;
 //! use treelab_core::level_ancestor::LevelAncestorScheme;
 //! use treelab_core::DistanceScheme;
@@ -61,9 +100,9 @@
 //! let t0 = gen::random_tree(120, 1);
 //! let t1 = gen::random_tree(80, 2);
 //! let mut b = ForestStore::builder();
-//! b.push_scheme(7, &NaiveScheme::build(&t0));
-//! b.push_scheme(9, &LevelAncestorScheme::build(&t1));
-//! let forest = b.finish().unwrap();
+//! b.push_scheme(7, &NaiveScheme::build(&t0)).unwrap();
+//! b.push_scheme(9, &LevelAncestorScheme::build(&t1)).unwrap();
+//! let mut forest = b.finish().unwrap();
 //!
 //! // Routed batch: tree ids in arrival order, answers in arrival order.
 //! let d = forest.route_distances(&[(9, 3, 70), (7, 0, 119), (9, 0, 0)]);
@@ -71,15 +110,23 @@
 //! assert_eq!(d[1], forest.tree(7).unwrap().distance(0, 119));
 //! assert_eq!(d[2], 0);
 //!
-//! // The frame round-trips through bytes like any store.
+//! // Mutate while serving: a pin keeps the pre-mutation view alive.
+//! let pin = forest.pin();
+//! forest.tombstone(7).unwrap();
+//! assert!(forest.tree(7).is_none() && pin.tree(7).is_some());
+//! assert_eq!(forest.generation(), pin.generation() + 1);
+//!
+//! // The frame round-trips through bytes like any store — eagerly or lazily.
 //! let bytes = forest.to_bytes();
-//! let back = ForestStore::from_bytes(&bytes).unwrap();
+//! let back = ForestStore::from_bytes_with(&bytes, ValidationPolicy::Lazy).unwrap();
 //! assert_eq!(back.as_words(), forest.as_words());
 //! ```
 
 use std::fmt;
 use std::ops::Range;
-use treelab_bits::{crc, frame};
+use std::sync::{Arc, OnceLock};
+use treelab_bits::crc::{self, Crc64};
+use treelab_bits::frame;
 
 use crate::store::{AnyParts, AnyStoreRef, SchemeStore, StoreError, StoredScheme};
 use crate::substrate::Parallelism;
@@ -87,14 +134,42 @@ use crate::substrate::Parallelism;
 /// `b"TLFRST01"` as a little-endian word.
 const FOREST_MAGIC: u64 = u64::from_le_bytes(*b"TLFRST01");
 
-/// Current forest frame format version.
-const FOREST_VERSION: u32 = 1;
+/// The original forest format: 3 header words, capacity = tree count, no
+/// generation, whole-frame CRC.
+const FOREST_VERSION_V1: u32 = 1;
 
-/// Words before the directory.
-const FOREST_HEADER_WORDS: usize = 3;
+/// The current forest format: 5 header words (capacity + generation),
+/// tombstones, spare slots, header+directory CRC.
+const FOREST_VERSION_V2: u32 = 2;
+
+/// Words before the directory in a v1 frame.
+const V1_HEADER_WORDS: usize = 3;
+
+/// Words before the directory in a v2 frame.
+const V2_HEADER_WORDS: usize = 5;
 
 /// Words per directory record.
 const DIR_ENTRY_WORDS: usize = 4;
+
+/// How much of a forest frame an open path proves before returning.
+///
+/// The header and directory (including, on v2 frames, the directory
+/// checksum) are **always** validated eagerly — the policy only governs the
+/// inner per-tree frames.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ValidationPolicy {
+    /// Validate every inner frame at open: a successful open proves the
+    /// whole file (v1 frames additionally get their whole-frame CRC
+    /// checked).  This is the default and the historical behavior.
+    #[default]
+    Eager,
+    /// Defer each inner frame to its first `tree(id)` touch; the verdict is
+    /// cached per tree, and a corrupt tree reports the same
+    /// [`ForestError::Tree`] the eager open would have.  Open cost is
+    /// O(directory), not O(file) — see `verify_chunked` for retrofitting
+    /// full coverage in the background.
+    Lazy,
+}
 
 /// Error returned when a forest frame fails validation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,6 +191,19 @@ pub enum ForestError {
         /// The inner frame's error.
         error: StoreError,
     },
+    /// A lookup or mutation named a tree the forest does not hold (absent
+    /// id, or a tombstoned one).
+    UnknownTree {
+        /// The id that resolved to no live tree.
+        id: u64,
+    },
+    /// An append (at build time or on a live store) reused a tree id that
+    /// the directory already holds — including tombstoned ids, which are
+    /// never resurrected.
+    DuplicateTree {
+        /// The id that was pushed twice.
+        id: u64,
+    },
 }
 
 impl fmt::Display for ForestError {
@@ -124,6 +212,10 @@ impl fmt::Display for ForestError {
             ForestError::Frame(e) => write!(f, "forest frame: {e}"),
             ForestError::Directory { what } => write!(f, "malformed forest directory: {what}"),
             ForestError::Tree { id, error } => write!(f, "forest tree {id}: {error}"),
+            ForestError::UnknownTree { id } => write!(f, "no tree with id {id} in the forest"),
+            ForestError::DuplicateTree { id } => {
+                write!(f, "tree id {id} is already in the forest")
+            }
         }
     }
 }
@@ -132,7 +224,7 @@ impl std::error::Error for ForestError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ForestError::Frame(e) | ForestError::Tree { error: e, .. } => Some(e),
-            ForestError::Directory { .. } => None,
+            _ => None,
         }
     }
 }
@@ -144,8 +236,8 @@ impl From<frame::CastError> for ForestError {
 }
 
 /// Error returned by the forest file helpers ([`ForestStore::open`],
-/// [`ForestBuilder::write_to`]): either the I/O failed or the bytes read are
-/// not a valid forest frame.
+/// [`ForestStore::publish`], [`ForestBuilder::write_to`]): either the I/O
+/// failed or the bytes read are not a valid forest frame.
 #[derive(Debug)]
 pub enum ForestFileError {
     /// Reading or writing the file failed.
@@ -184,19 +276,96 @@ impl From<ForestError> for ForestFileError {
     }
 }
 
-/// One validated directory record: where the tree's frame sits, plus the
-/// cached parse so [`AnyStoreRef`] views materialize in O(1).
+/// One decoded directory record.  `tag == 0` marks a tombstone (v2 only):
+/// the extent still tiles the frame region, but the tree is gone.
 #[derive(Debug, Clone, Copy)]
-struct ForestEntry {
+struct DirEntry {
     id: u64,
     off: usize,
     len: usize,
-    parts: AnyParts,
+    tag: u32,
+    n: u32,
 }
 
-/// Validates an assembled forest frame and parses its directory.
-fn parse_forest(words: &[u64]) -> Result<Vec<ForestEntry>, ForestError> {
-    let min_words = FOREST_HEADER_WORDS + DIR_ENTRY_WORDS + 2;
+/// A directory record plus its lazily-computed validation verdict: the inner
+/// frame's parse (cached [`AnyParts`], so views materialize in O(1)) or the
+/// error its first touch produced.  Both are `Copy`, so replaying a cached
+/// verdict never allocates.
+#[derive(Debug, Clone)]
+struct TreeSlot {
+    entry: DirEntry,
+    state: OnceLock<Result<AnyParts, StoreError>>,
+}
+
+/// Everything a serving view knows beyond the raw words: decoded header
+/// fields, the policy it was opened under, and the per-tree state table.
+#[derive(Debug, Clone)]
+struct ForestState {
+    version: u32,
+    capacity: usize,
+    generation: u64,
+    policy: ValidationPolicy,
+    live: usize,
+    slots: Vec<TreeSlot>,
+}
+
+impl ForestState {
+    fn header_words(&self) -> usize {
+        if self.version == FOREST_VERSION_V1 {
+            V1_HEADER_WORDS
+        } else {
+            V2_HEADER_WORDS
+        }
+    }
+
+    /// First word past the directory — also the end of the outer-checksum
+    /// coverage on v2 frames.
+    fn dir_end(&self) -> usize {
+        self.header_words() + DIR_ENTRY_WORDS * self.capacity
+    }
+}
+
+/// Validates the inner frame of `slot` on first call and caches the verdict;
+/// every later call replays the cached `Copy` result without allocating.
+fn validate_slot(words: &[u64], slot: &TreeSlot) -> Result<AnyParts, ForestError> {
+    let e = slot.entry;
+    let verdict = slot.state.get_or_init(|| {
+        let view = AnyStoreRef::from_words(&words[e.off..e.off + e.len])?;
+        if view.tag() != e.tag || view.node_count() as u64 != u64::from(e.n) {
+            return Err(StoreError::Malformed {
+                what: "directory scheme tag / label count disagrees with the inner frame",
+            });
+        }
+        Ok(view.parts())
+    });
+    verdict.map_err(|error| ForestError::Tree { id: e.id, error })
+}
+
+/// Directory position of `id`, tombstoned or not.
+fn lookup_slot(state: &ForestState, id: u64) -> Option<usize> {
+    state.slots.binary_search_by_key(&id, |s| s.entry.id).ok()
+}
+
+/// The borrowed store view of live tree `id`, validating its frame on first
+/// touch under the lazy policy.
+fn try_view<'a>(
+    words: &'a [u64],
+    state: &ForestState,
+    id: u64,
+) -> Result<AnyStoreRef<'a>, ForestError> {
+    let slot = lookup_slot(state, id)
+        .filter(|&s| state.slots[s].entry.tag != 0)
+        .ok_or(ForestError::UnknownTree { id })?;
+    let slot = &state.slots[slot];
+    let parts = validate_slot(words, slot)?;
+    let e = slot.entry;
+    Ok(AnyStoreRef::from_parts(&words[e.off..e.off + e.len], parts))
+}
+
+/// Validates an assembled forest frame (v1 or v2) under `policy` and decodes
+/// its directory into a [`ForestState`].
+fn parse_forest(words: &[u64], policy: ValidationPolicy) -> Result<ForestState, ForestError> {
+    let min_words = V1_HEADER_WORDS + DIR_ENTRY_WORDS + 2;
     if words.len() < min_words {
         return Err(ForestError::Frame(StoreError::Truncated {
             expected: min_words * 8,
@@ -207,7 +376,7 @@ fn parse_forest(words: &[u64]) -> Result<Vec<ForestEntry>, ForestError> {
         return Err(ForestError::Frame(StoreError::BadMagic));
     }
     let version = (words[1] >> 32) as u32;
-    if version != FOREST_VERSION {
+    if version != FOREST_VERSION_V1 && version != FOREST_VERSION_V2 {
         return Err(ForestError::Frame(StoreError::UnsupportedVersion {
             found: version,
         }));
@@ -217,94 +386,336 @@ fn parse_forest(words: &[u64]) -> Result<Vec<ForestEntry>, ForestError> {
             what: "reserved header field is not zero",
         });
     }
-    let (body, checksum) = words.split_at(words.len() - 1);
-    if crc::crc64_words(body) != checksum[0] {
-        return Err(ForestError::Frame(StoreError::ChecksumMismatch));
+    // v1 is checksummed whole-frame: the eager path proves it before looking
+    // at the directory (the historical order).  The lazy path skips it — use
+    // `verify`/`verify_chunked` to retrofit — because paying a full-file
+    // scan up front is exactly what the lazy policy exists to avoid.
+    if version == FOREST_VERSION_V1 && policy == ValidationPolicy::Eager {
+        let (body, checksum) = words.split_at(words.len() - 1);
+        if crc::crc64_words(body) != checksum[0] {
+            return Err(ForestError::Frame(StoreError::ChecksumMismatch));
+        }
     }
-
+    let header_words = if version == FOREST_VERSION_V1 {
+        V1_HEADER_WORDS
+    } else {
+        let v2_min = V2_HEADER_WORDS + DIR_ENTRY_WORDS + 2;
+        if words.len() < v2_min {
+            return Err(ForestError::Frame(StoreError::Truncated {
+                expected: v2_min * 8,
+                found: words.len() * 8,
+            }));
+        }
+        V2_HEADER_WORDS
+    };
     let t = words[2];
     if t == 0 {
         return Err(ForestError::Directory {
             what: "forest holds no trees",
         });
     }
-    let dir_end = (FOREST_HEADER_WORDS as u64)
-        .checked_add(
-            t.checked_mul(DIR_ENTRY_WORDS as u64)
-                .ok_or(ForestError::Directory {
-                    what: "tree count overflows the directory size",
-                })?,
-        )
+    let (capacity, generation) = if version == FOREST_VERSION_V1 {
+        (t, 0)
+    } else {
+        if words[3] as u32 != 0 {
+            return Err(ForestError::Directory {
+                what: "reserved header field is not zero",
+            });
+        }
+        let capacity = words[3] >> 32;
+        if t > capacity {
+            return Err(ForestError::Directory {
+                what: "directory uses more slots than its capacity",
+            });
+        }
+        (capacity, words[4])
+    };
+    let dir_end = (header_words as u64)
+        .checked_add(capacity.checked_mul(DIR_ENTRY_WORDS as u64).ok_or(
+            ForestError::Directory {
+                what: "tree count overflows the directory size",
+            },
+        )?)
         .filter(|&x| x < (words.len() - 1) as u64)
         .ok_or(ForestError::Directory {
             what: "directory claims more records than the buffer holds",
         })? as usize;
     let t = t as usize;
+    let capacity = capacity as usize;
 
-    let mut entries: Vec<ForestEntry> = Vec::with_capacity(t);
+    // The v2 checksum covers exactly the header + directory, and is checked
+    // under *both* policies: lazy opens still prove the routing metadata
+    // (the inner frames carry their own CRCs).
+    if version == FOREST_VERSION_V2 && crc::crc64_words(&words[..dir_end]) != words[words.len() - 1]
+    {
+        return Err(ForestError::Frame(StoreError::ChecksumMismatch));
+    }
+
+    let mut slots: Vec<TreeSlot> = Vec::with_capacity(t);
+    let mut live = 0usize;
+    // v2 extents tile in file-offset order, which after appends differs from
+    // slot (id) order; collect and sort to check.  v1 requires slot order.
+    let mut extents: Vec<(usize, usize)> = Vec::new();
     let mut expected_off = dir_end;
     for rec in 0..t {
-        let base = FOREST_HEADER_WORDS + rec * DIR_ENTRY_WORDS;
+        let base = header_words + rec * DIR_ENTRY_WORDS;
         let id = words[base];
-        if rec > 0 && entries[rec - 1].id >= id {
+        if rec > 0 && slots[rec - 1].entry.id >= id {
             return Err(ForestError::Directory {
                 what: "tree ids are not strictly increasing (duplicate or unsorted)",
             });
         }
         let off = words[base + 1];
         let len = words[base + 2];
-        if off != expected_off as u64 {
-            return Err(ForestError::Directory {
-                what: "a frame extent does not start where the previous one ended \
-                       (overlapping, out-of-order or gapped directory)",
-            });
-        }
         let end = off
             .checked_add(len)
             .filter(|&e| e <= (words.len() - 1) as u64);
-        if len == 0 || end.is_none() {
+        if len == 0 || off < dir_end as u64 || end.is_none() {
             return Err(ForestError::Directory {
                 what: "a frame extent runs past the end of the buffer",
             });
         }
-        let (off, len) = (off as usize, len as usize);
-        expected_off = off + len;
-
-        let inner = &words[off..off + len];
-        let view =
-            AnyStoreRef::from_words(inner).map_err(|error| ForestError::Tree { id, error })?;
-        let dir_tag = (words[base + 3] >> 32) as u32;
-        let dir_n = words[base + 3] as u32 as u64;
-        if view.tag() != dir_tag || view.node_count() as u64 != dir_n {
-            return Err(ForestError::Tree {
-                id,
-                error: StoreError::Malformed {
-                    what: "directory scheme tag / label count disagrees with the inner frame",
-                },
-            });
+        let tag = (words[base + 3] >> 32) as u32;
+        let n = words[base + 3] as u32;
+        if tag == 0 {
+            if version == FOREST_VERSION_V1 {
+                return Err(ForestError::Directory {
+                    what: "tombstones require directory format v2",
+                });
+            }
+        } else {
+            live += 1;
         }
-        entries.push(ForestEntry {
-            id,
-            off,
-            len,
-            parts: view.parts(),
+        let (off, len) = (off as usize, len as usize);
+        if version == FOREST_VERSION_V1 {
+            if off != expected_off {
+                return Err(ForestError::Directory {
+                    what: "a frame extent does not start where the previous one ended \
+                           (overlapping, out-of-order or gapped directory)",
+                });
+            }
+            expected_off = off + len;
+        } else {
+            extents.push((off, len));
+        }
+        slots.push(TreeSlot {
+            entry: DirEntry {
+                id,
+                off,
+                len,
+                tag,
+                n,
+            },
+            state: OnceLock::new(),
         });
+    }
+    if version == FOREST_VERSION_V2 {
+        for rec in t..capacity {
+            let base = header_words + rec * DIR_ENTRY_WORDS;
+            if words[base..base + DIR_ENTRY_WORDS].iter().any(|&w| w != 0) {
+                return Err(ForestError::Directory {
+                    what: "a spare directory slot is not zeroed",
+                });
+            }
+        }
+        extents.sort_unstable();
+        for &(off, len) in &extents {
+            if off != expected_off {
+                return Err(ForestError::Directory {
+                    what: "a frame extent does not start where the previous one ended \
+                           (overlapping, out-of-order or gapped directory)",
+                });
+            }
+            expected_off = off + len;
+        }
     }
     if expected_off != words.len() - 1 {
         return Err(ForestError::Directory {
             what: "inner frames do not tile the region before the checksum exactly",
         });
     }
-    Ok(entries)
+
+    let state = ForestState {
+        version,
+        capacity,
+        generation,
+        policy,
+        live,
+        slots,
+    };
+    if policy == ValidationPolicy::Eager {
+        for slot in &state.slots {
+            if slot.entry.tag != 0 {
+                validate_slot(words, slot)?;
+            }
+        }
+    }
+    Ok(state)
+}
+
+/// Full verification of a view, whatever policy it was opened under: the
+/// outer checksum (whole frame on v1, header + directory on v2) plus every
+/// live inner frame — forcing and caching any validation the lazy policy
+/// deferred.
+fn verify_impl(words: &[u64], state: &ForestState) -> Result<(), ForestError> {
+    let crc_end = if state.version == FOREST_VERSION_V1 {
+        words.len() - 1
+    } else {
+        state.dir_end()
+    };
+    if crc::crc64_words(&words[..crc_end]) != words[words.len() - 1] {
+        return Err(ForestError::Frame(StoreError::ChecksumMismatch));
+    }
+    for slot in &state.slots {
+        if slot.entry.tag != 0 {
+            validate_slot(words, slot)?;
+        }
+    }
+    Ok(())
+}
+
+/// Resumable progress through a [`verify_chunked`](ForestRef::verify_chunked)
+/// pass: the streaming outer-checksum state, then a cursor over the live
+/// directory slots.  One cursor belongs to one frame snapshot — start a
+/// fresh cursor after any mutation (a pinned view is the natural target).
+#[derive(Debug)]
+pub struct VerifyCursor {
+    crc: Crc64,
+    pos: usize,
+    crc_checked: bool,
+    slot: usize,
+    done: bool,
+}
+
+impl VerifyCursor {
+    /// A cursor at the start of the frame.
+    pub fn new() -> Self {
+        VerifyCursor {
+            crc: Crc64::new(),
+            pos: 0,
+            crc_checked: false,
+            slot: 0,
+            done: false,
+        }
+    }
+
+    /// `true` once a `verify_chunked` pass driven by this cursor has covered
+    /// the whole frame.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+impl Default for VerifyCursor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One budgeted step of a full verification: absorbs up to `budget_words`
+/// of outer-checksum input and/or inner-frame validation, making progress on
+/// every call.  Returns `Ok(true)` when the frame is fully verified.
+fn verify_chunked_impl(
+    words: &[u64],
+    state: &ForestState,
+    budget_words: usize,
+    cursor: &mut VerifyCursor,
+) -> Result<bool, ForestError> {
+    if cursor.done {
+        return Ok(true);
+    }
+    let mut budget = budget_words.max(1);
+    let crc_end = if state.version == FOREST_VERSION_V1 {
+        words.len() - 1
+    } else {
+        state.dir_end()
+    };
+    while cursor.pos < crc_end && budget > 0 {
+        let take = budget.min(crc_end - cursor.pos);
+        cursor
+            .crc
+            .update_words(&words[cursor.pos..cursor.pos + take]);
+        cursor.pos += take;
+        budget -= take;
+    }
+    if cursor.pos < crc_end {
+        return Ok(false);
+    }
+    if !cursor.crc_checked {
+        if cursor.crc.finish() != words[words.len() - 1] {
+            return Err(ForestError::Frame(StoreError::ChecksumMismatch));
+        }
+        cursor.crc_checked = true;
+    }
+    while cursor.slot < state.slots.len() {
+        if budget == 0 {
+            return Ok(false);
+        }
+        let slot = &state.slots[cursor.slot];
+        cursor.slot += 1;
+        if slot.entry.tag != 0 {
+            validate_slot(words, slot)?;
+            budget = budget.saturating_sub(slot.entry.len);
+        }
+    }
+    cursor.done = true;
+    Ok(true)
+}
+
+/// Assembles a forest frame from id-sorted, pre-validated `(id, frame)`
+/// pairs: header, directory (with `spare` zeroed slots on v2), the inner
+/// frames tiled back to back, and the outer checksum.
+fn assemble(trees: &[(u64, Vec<u64>)], version: u32, spare: usize, generation: u64) -> Vec<u64> {
+    let t = trees.len();
+    let v1 = version == FOREST_VERSION_V1;
+    let header_words = if v1 { V1_HEADER_WORDS } else { V2_HEADER_WORDS };
+    let capacity = t + if v1 { 0 } else { spare };
+    let dir_end = header_words + DIR_ENTRY_WORDS * capacity;
+    let frames_len: usize = trees.iter().map(|(_, f)| f.len()).sum();
+    let mut words = Vec::with_capacity(dir_end + frames_len + 1);
+    words.push(FOREST_MAGIC);
+    words.push(u64::from(version) << 32);
+    words.push(t as u64);
+    if !v1 {
+        words.push((capacity as u64) << 32);
+        words.push(generation);
+    }
+    let mut off = dir_end;
+    for (id, frame_words) in trees {
+        // Tag and label count mirror the (validated) inner frame header.
+        let tag = frame_words[1] as u32;
+        let n = frame_words[2];
+        words.push(*id);
+        words.push(off as u64);
+        words.push(frame_words.len() as u64);
+        words.push(u64::from(tag) << 32 | n);
+        off += frame_words.len();
+    }
+    words.extend(std::iter::repeat_n(0u64, DIR_ENTRY_WORDS * (capacity - t)));
+    for (_, frame_words) in trees {
+        words.extend_from_slice(frame_words);
+    }
+    let checksum = if v1 {
+        crc::crc64_words(&words)
+    } else {
+        crc::crc64_words(&words[..dir_end])
+    };
+    words.push(checksum);
+    words
 }
 
 /// Accumulates per-tree frames and assembles them into a [`ForestStore`].
 ///
 /// Trees may use different schemes; frames may be pushed in any id order
-/// (the directory is sorted at [`ForestBuilder::finish`]).
+/// (the directory is sorted at [`ForestBuilder::finish`]), but every id must
+/// be distinct — a duplicate is rejected *at push time* with
+/// [`ForestError::DuplicateTree`], before it can poison the assembly.
 #[derive(Debug, Default)]
 pub struct ForestBuilder {
     trees: Vec<(u64, Vec<u64>)>,
+    ids: std::collections::BTreeSet<u64>,
+    spare: usize,
+    v1: bool,
 }
 
 impl ForestBuilder {
@@ -313,17 +724,42 @@ impl ForestBuilder {
         Self::default()
     }
 
+    fn claim_id(&mut self, id: u64) -> Result<(), ForestError> {
+        if !self.ids.insert(id) {
+            return Err(ForestError::DuplicateTree { id });
+        }
+        Ok(())
+    }
+
     /// Adds `scheme`'s native frame as tree `id` — a frame handoff (one
     /// buffer memcpy, nothing re-packed: the scheme already *is* a frame).
-    pub fn push_scheme<S: StoredScheme>(&mut self, id: u64, scheme: &S) -> &mut Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForestError::DuplicateTree`] when `id` was already pushed.
+    pub fn push_scheme<S: StoredScheme>(
+        &mut self,
+        id: u64,
+        scheme: &S,
+    ) -> Result<&mut Self, ForestError> {
+        self.claim_id(id)?;
         self.trees.push((id, scheme.as_store().as_words().to_vec()));
-        self
+        Ok(self)
     }
 
     /// Adds an already-built store as tree `id`, consuming it (no copy).
-    pub fn push_store<S: StoredScheme>(&mut self, id: u64, store: SchemeStore<S>) -> &mut Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForestError::DuplicateTree`] when `id` was already pushed.
+    pub fn push_store<S: StoredScheme>(
+        &mut self,
+        id: u64,
+        store: SchemeStore<S>,
+    ) -> Result<&mut Self, ForestError> {
+        self.claim_id(id)?;
         self.trees.push((id, store.into_words()));
-        self
+        Ok(self)
     }
 
     /// Adds a raw frame (e.g. read from disk) as tree `id`, validating it.
@@ -331,8 +767,9 @@ impl ForestBuilder {
     /// # Errors
     ///
     /// Returns [`ForestError::Tree`] when the frame fails store validation,
-    /// or [`ForestError::Directory`] when its label count cannot be indexed
-    /// by a directory record (n ≥ 2³²).
+    /// [`ForestError::Directory`] when its label count cannot be indexed
+    /// by a directory record (n ≥ 2³²), and
+    /// [`ForestError::DuplicateTree`] when `id` was already pushed.
     pub fn push_frame(&mut self, id: u64, words: Vec<u64>) -> Result<&mut Self, ForestError> {
         let view =
             AnyStoreRef::from_words(&words).map_err(|error| ForestError::Tree { id, error })?;
@@ -341,8 +778,25 @@ impl ForestBuilder {
                 what: "a directory record stores the label count in 32 bits",
             });
         }
+        self.claim_id(id)?;
         self.trees.push((id, words));
         Ok(self)
+    }
+
+    /// Reserves `extra` spare (zeroed) directory slots in the assembled v2
+    /// frame, so that many later [`ForestStore::append_scheme`] calls mutate
+    /// the directory in place instead of growing it.
+    pub fn reserve_slots(&mut self, extra: usize) -> &mut Self {
+        self.spare += extra;
+        self
+    }
+
+    /// Emits the legacy v1 layout (whole-frame checksum, no generation word,
+    /// no spare slots) instead of v2 — for producing frames that pre-v2
+    /// readers can load.  Incompatible with [`ForestBuilder::reserve_slots`].
+    pub fn emit_v1(&mut self) -> &mut Self {
+        self.v1 = true;
+        self
     }
 
     /// Number of trees pushed so far.
@@ -355,10 +809,8 @@ impl ForestBuilder {
         self.trees.is_empty()
     }
 
-    /// [`ForestBuilder::finish`] followed by a write of the frame bytes to
-    /// `path` — the std-only file sibling of the in-memory assembly (and the
-    /// stepping stone to an mmap-served deployment: what this writes,
-    /// [`ForestStore::open`] reads back into aligned words).
+    /// [`ForestBuilder::finish`] followed by a crash-safe
+    /// [`ForestStore::publish`] of the frame bytes to `path`.
     ///
     /// Returns the assembled store, so the builder process can keep serving
     /// from it without re-reading the file.
@@ -366,25 +818,25 @@ impl ForestBuilder {
     /// # Errors
     ///
     /// Returns [`ForestFileError::Forest`] when assembly fails (empty
-    /// builder, duplicate tree ids) and [`ForestFileError::Io`] when the
-    /// write fails.
+    /// builder) and [`ForestFileError::Io`] when the write fails.
     pub fn write_to(
         self,
         path: impl AsRef<std::path::Path>,
     ) -> Result<ForestStore, ForestFileError> {
         let store = self.finish()?;
-        std::fs::write(path, store.to_bytes())?;
+        store.publish(path)?;
         Ok(store)
     }
 
-    /// Assembles the frame: header, id-sorted directory, the inner frames
-    /// tiled back to back, and the outer CRC — then revalidates the result
-    /// through the loader, so writer and reader agree by construction.
+    /// Assembles the frame: header, id-sorted directory (plus any reserved
+    /// spare slots), the inner frames tiled back to back, and the outer CRC
+    /// — then revalidates the result through the loader, so writer and
+    /// reader agree by construction.
     ///
     /// # Errors
     ///
-    /// Returns [`ForestError::Directory`] for an empty builder or duplicate
-    /// tree ids.
+    /// Returns [`ForestError::Directory`] for an empty builder or for
+    /// [`ForestBuilder::emit_v1`] combined with reserved slots.
     pub fn finish(self) -> Result<ForestStore, ForestError> {
         let mut trees = self.trees;
         if trees.is_empty() {
@@ -392,36 +844,18 @@ impl ForestBuilder {
                 what: "forest holds no trees",
             });
         }
-        trees.sort_by_key(|&(id, _)| id);
-        if trees.windows(2).any(|w| w[0].0 == w[1].0) {
+        if self.v1 && self.spare > 0 {
             return Err(ForestError::Directory {
-                what: "tree ids are not strictly increasing (duplicate or unsorted)",
+                what: "format v1 has no spare directory slots",
             });
         }
-        let t = trees.len();
-        let dir_end = FOREST_HEADER_WORDS + DIR_ENTRY_WORDS * t;
-        let frames_len: usize = trees.iter().map(|(_, f)| f.len()).sum();
-        let mut words = Vec::with_capacity(dir_end + frames_len + 1);
-        words.push(FOREST_MAGIC);
-        words.push(u64::from(FOREST_VERSION) << 32);
-        words.push(t as u64);
-        let mut off = dir_end;
-        for (id, frame_words) in &trees {
-            // Tag and label count mirror the (validated) inner frame header.
-            let tag = frame_words[1] as u32;
-            let n = frame_words[2];
-            words.push(*id);
-            words.push(off as u64);
-            words.push(frame_words.len() as u64);
-            words.push(u64::from(tag) << 32 | n);
-            off += frame_words.len();
-        }
-        for (_, frame_words) in &trees {
-            words.extend_from_slice(frame_words);
-        }
-        let checksum = crc::crc64_words(&words);
-        words.push(checksum);
-        ForestStore::from_words(words)
+        trees.sort_by_key(|&(id, _)| id);
+        let version = if self.v1 {
+            FOREST_VERSION_V1
+        } else {
+            FOREST_VERSION_V2
+        };
+        ForestStore::from_words(assemble(&trees, version, self.spare, 0))
     }
 }
 
@@ -450,35 +884,41 @@ impl RouteScratch {
     }
 }
 
-/// Resolves every query's tree slot (validating ids and node indices) and
-/// groups query indices by slot with a stable counting sort.
+/// Resolves every query's tree slot (validating ids and node indices, and —
+/// under the lazy policy — each touched tree's inner frame, first touch
+/// only) and groups query indices by slot with a stable counting sort.
 ///
 /// # Panics
 ///
-/// Panics on an unknown tree id or an out-of-range node index — mirroring
-/// the single-store batch engine, invalid input is a caller bug, not a data
-/// corruption (which the *load* paths report as errors).
+/// Panics on an unknown or tombstoned tree id, an out-of-range node index,
+/// or a tree whose deferred validation fails — mirroring the single-store
+/// batch engine, invalid input is a caller bug, not a data corruption
+/// (which the *open* and `try_tree` paths report as errors).
 fn prepare_route(
-    entries: &[ForestEntry],
+    words: &[u64],
+    slots: &[TreeSlot],
     queries: &[(u64, usize, usize)],
     scratch: &mut RouteScratch,
 ) {
     scratch.slots.clear();
     scratch.slots.reserve(queries.len());
-    let mut last: Option<(u64, u32)> = None;
+    let mut last: Option<(u64, u32, usize)> = None;
     for &(id, u, v) in queries {
-        let slot = match last {
-            Some((lid, s)) if lid == id => s,
+        let (slot, n) = match last {
+            Some((lid, s, n)) if lid == id => (s, n),
             _ => {
-                let s = entries
-                    .binary_search_by_key(&id, |e| e.id)
-                    .unwrap_or_else(|_| panic!("no tree with id {id} in the forest"))
-                    as u32;
-                last = Some((id, s));
-                s
+                let s = slots
+                    .binary_search_by_key(&id, |t| t.entry.id)
+                    .ok()
+                    .filter(|&s| slots[s].entry.tag != 0)
+                    .unwrap_or_else(|| panic!("no tree with id {id} in the forest"));
+                let parts = validate_slot(words, &slots[s])
+                    .unwrap_or_else(|e| panic!("tree {id} failed validation: {e}"));
+                let n = parts.raw.n;
+                last = Some((id, s as u32, n));
+                (s as u32, n)
             }
         };
-        let n = entries[slot as usize].parts.raw.n;
         assert!(
             u < n && v < n,
             "pair ({u}, {v}) out of range for tree {id} (n = {n})"
@@ -488,7 +928,7 @@ fn prepare_route(
     // Stable counting sort of query indices by slot: counts → start cursors
     // → scatter (cursors advance to the group ends, kept in `bounds`).
     scratch.bounds.clear();
-    scratch.bounds.resize(entries.len(), 0);
+    scratch.bounds.resize(slots.len(), 0);
     for &s in &scratch.slots {
         scratch.bounds[s as usize] += 1;
     }
@@ -513,7 +953,7 @@ fn prepare_route(
 #[allow(clippy::too_many_arguments)] // the flat argument list is what lets shards borrow disjoint slices
 fn run_group_range(
     words: &[u64],
-    entries: &[ForestEntry],
+    slots: &[TreeSlot],
     queries: &[(u64, usize, usize)],
     order: &[u32],
     bounds: &[usize],
@@ -533,21 +973,27 @@ fn run_group_range(
             let (_, u, v) = queries[qi as usize];
             (u, v)
         }));
-        let e = &entries[t];
-        let view = AnyStoreRef::from_parts(&words[e.off..e.off + e.len], e.parts);
+        let e = slots[t].entry;
+        let parts = slots[t]
+            .state
+            .get()
+            .copied()
+            .expect("routed groups are validated in prepare_route")
+            .expect("routed groups are validated in prepare_route");
+        let view = AnyStoreRef::from_parts(&words[e.off..e.off + e.len], parts);
         view.distances_write(pairs, &mut sorted[gstart - pos_base..gend - pos_base]);
     }
 }
 
-/// The serial routed engine body shared by [`ForestRef`] and [`ForestStore`].
+/// The serial routed engine body shared by every forest view.
 fn route_into(
     words: &[u64],
-    entries: &[ForestEntry],
+    slots: &[TreeSlot],
     queries: &[(u64, usize, usize)],
     scratch: &mut RouteScratch,
     out: &mut Vec<u64>,
 ) {
-    prepare_route(entries, queries, scratch);
+    prepare_route(words, slots, queries, scratch);
     scratch.sorted.clear();
     scratch.sorted.resize(queries.len(), 0);
     let RouteScratch {
@@ -559,11 +1005,11 @@ fn route_into(
     } = scratch;
     run_group_range(
         words,
-        entries,
+        slots,
         queries,
         order,
         bounds,
-        0..entries.len(),
+        0..slots.len(),
         0,
         pairs,
         sorted,
@@ -581,19 +1027,19 @@ fn route_into(
 /// arrival order — so the result is bit-identical for every thread count.
 fn route_sharded(
     words: &[u64],
-    entries: &[ForestEntry],
+    slots: &[TreeSlot],
     queries: &[(u64, usize, usize)],
     par: Parallelism,
 ) -> Vec<u64> {
     let q = queries.len();
     let mut scratch = RouteScratch::new();
     let mut out = Vec::with_capacity(q);
-    let threads = par.thread_count().min(entries.len()).max(1);
+    let threads = par.thread_count().min(slots.len()).max(1);
     if threads <= 1 || q == 0 {
-        route_into(words, entries, queries, &mut scratch, &mut out);
+        route_into(words, slots, queries, &mut scratch, &mut out);
         return out;
     }
-    prepare_route(entries, queries, &mut scratch);
+    prepare_route(words, slots, queries, &mut scratch);
     scratch.sorted.clear();
     scratch.sorted.resize(q, 0);
 
@@ -602,9 +1048,9 @@ fn route_sharded(
     let target = q.div_ceil(threads);
     let mut shards: Vec<(Range<usize>, Range<usize>)> = Vec::with_capacity(threads);
     let (mut group_lo, mut pos_lo) = (0usize, 0usize);
-    for t in 0..entries.len() {
+    for t in 0..slots.len() {
         let end = scratch.bounds[t];
-        let last = t + 1 == entries.len();
+        let last = t + 1 == slots.len();
         if end - pos_lo >= target || (last && end > pos_lo) {
             shards.push((group_lo..t + 1, pos_lo..end));
             group_lo = t + 1;
@@ -624,7 +1070,7 @@ fn route_sharded(
             s.spawn(move || {
                 let mut pairs: Vec<(usize, usize)> = Vec::new();
                 run_group_range(
-                    words, entries, queries, order, bounds, groups, pos_base, &mut pairs, chunk,
+                    words, slots, queries, order, bounds, groups, pos_base, &mut pairs, chunk,
                 );
             });
         }
@@ -637,39 +1083,107 @@ fn route_sharded(
     out
 }
 
-/// Shared read-side API of [`ForestRef`] and [`ForestStore`], implemented
-/// once over `(words, entries)`.
+/// Shared read-side API of every forest view ([`ForestRef`], [`ForestStore`],
+/// [`ForestPin`], and the `mmap`-gated `MappedForest`), implemented once over
+/// `(frame_words, state)`.
 macro_rules! forest_read_api {
     () => {
-        /// Number of trees in the forest.
+        /// Number of live (non-tombstoned) trees in the forest.
         pub fn tree_count(&self) -> usize {
-            self.entries.len()
+            self.state.live
         }
 
-        /// The tree ids, in directory (ascending) order.
+        /// The live tree ids, in directory (ascending) order.
         pub fn tree_ids(&self) -> impl Iterator<Item = u64> + '_ {
-            self.entries.iter().map(|e| e.id)
+            self.state
+                .slots
+                .iter()
+                .filter(|s| s.entry.tag != 0)
+                .map(|s| s.entry.id)
         }
 
         /// The borrowed store view of tree `id`, or `None` when the forest
-        /// holds no such tree.  O(log T) lookup, no re-validation.
+        /// holds no such live tree — absent, tombstoned, or (under
+        /// [`ValidationPolicy::Lazy`]) failing its first-touch validation;
+        /// use [`Self::try_tree`] to tell those apart.  O(log T) lookup; once
+        /// a tree is validated, every call is O(1) with no re-validation.
         pub fn tree(&self, id: u64) -> Option<AnyStoreRef<'_>> {
-            let slot = self.entries.binary_search_by_key(&id, |e| e.id).ok()?;
-            let e = &self.entries[slot];
-            Some(AnyStoreRef::from_parts(
-                &self.words[e.off..e.off + e.len],
-                e.parts,
-            ))
+            self.try_tree(id).ok()
+        }
+
+        /// The borrowed store view of tree `id`, or the precise reason there
+        /// is none: [`ForestError::UnknownTree`] for an absent or tombstoned
+        /// id, [`ForestError::Tree`] when the inner frame fails its deferred
+        /// validation — the *same* error an eager open would have reported,
+        /// cached and replayed allocation-free on every later touch.
+        pub fn try_tree(&self, id: u64) -> Result<AnyStoreRef<'_>, ForestError> {
+            try_view(self.frame_words(), &self.state, id)
+        }
+
+        /// `true` when the directory holds a tombstone for `id` (the id was
+        /// served once and then retired — distinct from never present).
+        pub fn is_tombstoned(&self, id: u64) -> bool {
+            matches!(lookup_slot(&self.state, id), Some(s) if self.state.slots[s].entry.tag == 0)
+        }
+
+        /// The directory generation word: 0 for a freshly built (or v1)
+        /// frame, incremented by every mutation on the owning store.  A
+        /// [`ForestPin`] keeps answering for the generation it pinned.
+        pub fn generation(&self) -> u64 {
+            self.state.generation
+        }
+
+        /// The [`ValidationPolicy`] this view was opened under.
+        pub fn validation_policy(&self) -> ValidationPolicy {
+            self.state.policy
+        }
+
+        /// Reserved directory slots not yet holding a record — appends use
+        /// these before the directory has to grow.
+        pub fn spare_slots(&self) -> usize {
+            self.state.capacity - self.state.slots.len()
         }
 
         /// Total frame size in bytes.
         pub fn size_bytes(&self) -> usize {
-            self.words.len() * 8
+            self.frame_words().len() * 8
         }
 
         /// The raw frame words.
         pub fn as_words(&self) -> &[u64] {
-            &self.words
+            self.frame_words()
+        }
+
+        /// Full verification, whatever policy the view was opened under:
+        /// re-checks the outer checksum (whole frame on v1, header +
+        /// directory on v2) and validates every live inner frame, caching
+        /// any verdicts the lazy policy had deferred.
+        ///
+        /// # Errors
+        ///
+        /// The first [`ForestError`] encountered, in directory order.
+        pub fn verify(&self) -> Result<(), ForestError> {
+            verify_impl(self.frame_words(), &self.state)
+        }
+
+        /// Incremental [`Self::verify`]: performs about `budget_words` words
+        /// of checksum streaming and/or inner-frame validation per call
+        /// (always making progress, even with a zero budget), resuming from
+        /// `cursor`.  Returns `Ok(true)` once the whole frame is covered —
+        /// the background-thread alternative to paying an eager open.
+        ///
+        /// The cursor is bound to this frame snapshot; start a fresh one
+        /// after any mutation.
+        ///
+        /// # Errors
+        ///
+        /// The first [`ForestError`] the covered region reveals.
+        pub fn verify_chunked(
+            &self,
+            budget_words: usize,
+            cursor: &mut VerifyCursor,
+        ) -> Result<bool, ForestError> {
+            verify_chunked_impl(self.frame_words(), &self.state, budget_words, cursor)
         }
 
         /// Routed batch query: the distance of every `(tree, u, v)` query,
@@ -679,7 +1193,8 @@ macro_rules! forest_read_api {
         ///
         /// # Panics
         ///
-        /// Panics on an unknown tree id or an out-of-range node index.
+        /// Panics on an unknown or tombstoned tree id, an out-of-range node
+        /// index, or a tree whose lazily-deferred validation fails.
         pub fn route_distances(&self, queries: &[(u64, usize, usize)]) -> Vec<u64> {
             let mut out = Vec::with_capacity(queries.len());
             self.route_distances_into(queries, &mut RouteScratch::new(), &mut out);
@@ -688,18 +1203,19 @@ macro_rules! forest_read_api {
 
         /// Appends the routed answers to `out` in arrival order, reusing
         /// `scratch` — allocation-free once the scratch and `out` have grown
-        /// to the batch working size.
+        /// to the batch working size (and every touched tree is validated).
         ///
         /// # Panics
         ///
-        /// Panics on an unknown tree id or an out-of-range node index.
+        /// Panics on an unknown or tombstoned tree id, an out-of-range node
+        /// index, or a tree whose lazily-deferred validation fails.
         pub fn route_distances_into(
             &self,
             queries: &[(u64, usize, usize)],
             scratch: &mut RouteScratch,
             out: &mut Vec<u64>,
         ) {
-            route_into(&self.words, &self.entries, queries, scratch, out);
+            route_into(self.frame_words(), &self.state.slots, queries, scratch, out);
         }
 
         /// The sharded routed batch query: tree groups fan out over
@@ -709,13 +1225,14 @@ macro_rules! forest_read_api {
         ///
         /// # Panics
         ///
-        /// Panics on an unknown tree id or an out-of-range node index.
+        /// Panics on an unknown or tombstoned tree id, an out-of-range node
+        /// index, or a tree whose lazily-deferred validation fails.
         pub fn route_distances_sharded(
             &self,
             queries: &[(u64, usize, usize)],
             par: Parallelism,
         ) -> Vec<u64> {
-            route_sharded(&self.words, &self.entries, queries, par)
+            route_sharded(self.frame_words(), &self.state.slots, queries, par)
         }
     };
 }
@@ -728,19 +1245,34 @@ macro_rules! forest_read_api {
 #[derive(Debug)]
 pub struct ForestRef<'a> {
     words: &'a [u64],
-    entries: Vec<ForestEntry>,
+    state: ForestState,
 }
 
 impl<'a> ForestRef<'a> {
-    /// Validates a forest frame held in caller-owned words and borrows it.
-    /// No label word is copied; only the parsed directory is materialized.
+    /// Validates a forest frame held in caller-owned words (eagerly, the
+    /// historical behavior) and borrows it.  No label word is copied; only
+    /// the parsed directory is materialized.
     ///
     /// # Errors
     ///
     /// Returns a [`ForestError`] describing the first failed validation.
     pub fn from_words(words: &'a [u64]) -> Result<Self, ForestError> {
-        let entries = parse_forest(words)?;
-        Ok(ForestRef { words, entries })
+        Self::from_words_with(words, ValidationPolicy::Eager)
+    }
+
+    /// [`ForestRef::from_words`] with an explicit [`ValidationPolicy`] —
+    /// under [`ValidationPolicy::Lazy`], only the header and directory are
+    /// proven here and each inner frame waits for its first touch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ForestError`] describing the first failed validation.
+    pub fn from_words_with(
+        words: &'a [u64],
+        policy: ValidationPolicy,
+    ) -> Result<Self, ForestError> {
+        let state = parse_forest(words, policy)?;
+        Ok(ForestRef { words, state })
     }
 
     /// [`ForestRef::from_words`] over an aligned byte buffer — the borrow
@@ -755,17 +1287,35 @@ impl<'a> ForestRef<'a> {
         Self::from_words(frame::try_cast_words(bytes)?)
     }
 
+    /// [`ForestRef::from_bytes`] with an explicit [`ValidationPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ForestError`] describing the failed cast or validation.
+    pub fn from_bytes_with(bytes: &'a [u8], policy: ValidationPolicy) -> Result<Self, ForestError> {
+        Self::from_words_with(frame::try_cast_words(bytes)?, policy)
+    }
+
+    fn frame_words(&self) -> &[u64] {
+        self.words
+    }
+
     forest_read_api!();
 }
 
-/// A whole forest as one owned, checksummed word buffer — the owning
-/// counterpart of [`ForestRef`], built with [`ForestBuilder`].
+/// A whole forest as one owned, checksummed word buffer — the owning,
+/// **mutable-while-serving** counterpart of [`ForestRef`], built with
+/// [`ForestBuilder`].
+///
+/// The buffer is held behind an [`Arc`]: [`ForestStore::pin`] snapshots it
+/// in O(1), and a mutation that lands while pins are out transparently
+/// copies (copy-on-write) so every pin keeps its generation's exact bytes.
 ///
 /// See the [module documentation](self) for the frame layout and an example.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ForestStore {
-    words: Vec<u64>,
-    entries: Vec<ForestEntry>,
+    words: Arc<Vec<u64>>,
+    state: ForestState,
 }
 
 impl ForestStore {
@@ -775,26 +1325,50 @@ impl ForestStore {
         ForestBuilder::new()
     }
 
-    /// Validates and adopts an assembled forest frame (no copy).
+    /// Validates (eagerly) and adopts an assembled forest frame (no copy).
     ///
     /// # Errors
     ///
     /// Returns a [`ForestError`] describing the first failed validation.
     pub fn from_words(words: Vec<u64>) -> Result<Self, ForestError> {
-        let entries = parse_forest(&words)?;
-        Ok(ForestStore { words, entries })
+        Self::from_words_with(words, ValidationPolicy::Eager)
     }
 
-    /// Validates and adopts a forest frame from bytes — the **copy path**
-    /// (one widening copy for alignment, valid at any alignment).  For the
-    /// zero-copy alternative over an aligned buffer, use
-    /// [`ForestRef::from_bytes`].
+    /// [`ForestStore::from_words`] with an explicit [`ValidationPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ForestError`] describing the first failed validation.
+    pub fn from_words_with(words: Vec<u64>, policy: ValidationPolicy) -> Result<Self, ForestError> {
+        let state = parse_forest(&words, policy)?;
+        Ok(ForestStore {
+            words: Arc::new(words),
+            state,
+        })
+    }
+
+    /// Validates (eagerly) and adopts a forest frame from bytes — the
+    /// **copy path** (one widening copy for alignment, valid at any
+    /// alignment).  For the zero-copy alternative over an aligned buffer,
+    /// use [`ForestRef::from_bytes`].
     ///
     /// # Errors
     ///
     /// Returns a [`ForestError`] describing the first failed validation.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ForestError> {
-        Self::from_words(frame::words_from_bytes(bytes).map_err(ForestError::from)?)
+        Self::from_bytes_with(bytes, ValidationPolicy::Eager)
+    }
+
+    /// [`ForestStore::from_bytes`] with an explicit [`ValidationPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ForestError`] describing the first failed validation.
+    pub fn from_bytes_with(bytes: &[u8], policy: ValidationPolicy) -> Result<Self, ForestError> {
+        Self::from_words_with(
+            frame::words_from_bytes(bytes).map_err(ForestError::from)?,
+            policy,
+        )
     }
 
     /// The frame as bytes (words serialized little-endian) — the persistable
@@ -804,29 +1378,64 @@ impl ForestStore {
     }
 
     /// Reads a forest frame from `path` into **aligned words** and validates
-    /// it — the std-only file loader (the counterpart of
-    /// [`ForestBuilder::write_to`]).
-    ///
-    /// The file's bytes are widened into an owned, 8-byte-aligned `Vec<u64>`
-    /// in one pass, so this path can never hit [`StoreError::Misaligned`] —
-    /// that error belongs to the borrow path over foreign buffers
-    /// ([`ForestRef::from_bytes`]), which is what an mmap-backed loader will
-    /// use once the map syscall is wired in (the validate-once machinery is
-    /// already alignment-honest).
+    /// it eagerly — the std-only file loader (the counterpart of
+    /// [`ForestStore::publish`]).
     ///
     /// # Errors
     ///
     /// Returns [`ForestFileError::Io`] when reading fails and
     /// [`ForestFileError::Forest`] when the bytes are not a valid frame
-    /// (including odd lengths, reported as
-    /// [`StoreError::Malformed`]).
+    /// (including odd lengths, reported as [`StoreError::Malformed`]).
     pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, ForestFileError> {
+        Self::open_with(path, ValidationPolicy::Eager)
+    }
+
+    /// [`ForestStore::open`] with an explicit [`ValidationPolicy`] — under
+    /// [`ValidationPolicy::Lazy`] the file is still read whole (it is owned
+    /// memory), but only the header and directory are *validated*; time to
+    /// first query drops from O(validate everything) to O(directory).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForestFileError::Io`] when reading fails and
+    /// [`ForestFileError::Forest`] when validation fails.
+    pub fn open_with(
+        path: impl AsRef<std::path::Path>,
+        policy: ValidationPolicy,
+    ) -> Result<Self, ForestFileError> {
         let bytes = std::fs::read(path)?;
-        Ok(Self::from_bytes(&bytes)?)
+        Ok(Self::from_bytes_with(&bytes, policy)?)
+    }
+
+    /// Maps the file at `path` read-only via the raw `mmap(2)` wrapper and
+    /// serves it **in place** — no read, no copy; with
+    /// [`ValidationPolicy::Lazy`] only the header and directory pages are
+    /// touched before the first query.  The returned [`MappedForest`] owns
+    /// the mapping and exposes the same read API as every other view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForestFileError::Io`] when opening or mapping fails and
+    /// [`ForestFileError::Forest`] when validation fails (a misaligned or
+    /// odd-length mapping reports [`StoreError::Misaligned`] /
+    /// [`StoreError::Malformed`] wrapped in [`ForestError::Frame`]).
+    #[cfg(all(feature = "mmap", unix))]
+    pub fn open_mmap(
+        path: impl AsRef<std::path::Path>,
+        policy: ValidationPolicy,
+    ) -> Result<MappedForest, ForestFileError> {
+        let file = std::fs::File::open(path)?;
+        let map = frame::Mmap::map_file(&file)?;
+        let state = {
+            let words = map.words().map_err(ForestError::from)?;
+            parse_forest(words, policy)?
+        };
+        Ok(MappedForest { map, state })
     }
 
     /// Writes the frame bytes to `path` (the file [`ForestStore::open`]
-    /// reads).
+    /// reads) — a plain, non-atomic write; prefer [`ForestStore::publish`]
+    /// when a reader or a crash may observe the file mid-write.
     ///
     /// # Errors
     ///
@@ -835,9 +1444,316 @@ impl ForestStore {
         std::fs::write(path, self.to_bytes())
     }
 
-    /// Consumes the store and returns its frame words.
+    /// Crash-safe persist: writes the frame to a `.tmp` sibling of `path`,
+    /// fsyncs it, then atomically renames it over `path` (and best-effort
+    /// fsyncs the parent directory).  A reader concurrently opening `path`
+    /// sees either the old frame or the new one, never a torn write; a crash
+    /// mid-publish leaves at worst a stale `.tmp` that the next publish
+    /// removes and every open path ignores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForestFileError::Io`] for any failed step.
+    pub fn publish(&self, path: impl AsRef<std::path::Path>) -> Result<(), ForestFileError> {
+        use std::io::Write;
+        let path = path.as_ref();
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp_name);
+        match std::fs::remove_file(&tmp) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&self.to_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent() {
+            // Durability of the rename itself; non-fatal where unsupported.
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// An O(1) snapshot of the current generation: the pin shares the buffer
+    /// (no copy now) and keeps answering from it even as this store mutates
+    /// on — the first mutation with pins out pays one buffer copy.
+    pub fn pin(&self) -> ForestPin {
+        ForestPin {
+            words: Arc::clone(&self.words),
+            state: self.state.clone(),
+        }
+    }
+
+    /// Consumes the store and returns its frame words (copying only if pins
+    /// are still sharing the buffer).
     pub fn into_words(self) -> Vec<u64> {
-        self.words
+        Arc::try_unwrap(self.words).unwrap_or_else(|arc| (*arc).clone())
+    }
+
+    /// Rewrites a v1 frame as v2 in place (same trees, generation 0) so the
+    /// in-place mutation paths below have a generation word and tombstone
+    /// encoding to work with.  No-op on v2.  Cached validation verdicts
+    /// survive: the parts are relative to each inner frame, which moves as
+    /// a unit.
+    fn ensure_v2(&mut self) {
+        if self.state.version == FOREST_VERSION_V2 {
+            return;
+        }
+        let old: &[u64] = &self.words;
+        let t = self.state.slots.len();
+        let old_dir_end = V1_HEADER_WORDS + DIR_ENTRY_WORDS * t;
+        let shift = V2_HEADER_WORDS - V1_HEADER_WORDS;
+        let mut words = Vec::with_capacity(old.len() + shift);
+        words.push(FOREST_MAGIC);
+        words.push(u64::from(FOREST_VERSION_V2) << 32);
+        words.push(t as u64);
+        words.push((t as u64) << 32);
+        words.push(0);
+        for slot in &self.state.slots {
+            let e = slot.entry;
+            words.push(e.id);
+            words.push((e.off + shift) as u64);
+            words.push(e.len as u64);
+            words.push(u64::from(e.tag) << 32 | u64::from(e.n));
+        }
+        words.extend_from_slice(&old[old_dir_end..old.len() - 1]);
+        let dir_end = V2_HEADER_WORDS + DIR_ENTRY_WORDS * t;
+        words.push(crc::crc64_words(&words[..dir_end]));
+        for slot in &mut self.state.slots {
+            slot.entry.off += shift;
+        }
+        self.state.version = FOREST_VERSION_V2;
+        self.state.capacity = t;
+        self.state.generation = 0;
+        self.words = Arc::new(words);
+    }
+
+    /// Splices `extra` zeroed directory slots in (shifting every frame
+    /// extent up) so the next appends are in-place again.  The caller
+    /// refreshes generation + checksum.
+    fn grow_capacity(&mut self, extra: usize) {
+        let dir_end = self.state.dir_end();
+        let shift = DIR_ENTRY_WORDS * extra;
+        let words = Arc::make_mut(&mut self.words);
+        words.splice(dir_end..dir_end, std::iter::repeat_n(0u64, shift));
+        for rec in 0..self.state.slots.len() {
+            words[V2_HEADER_WORDS + DIR_ENTRY_WORDS * rec + 1] += shift as u64;
+        }
+        self.state.capacity += extra;
+        words[3] = (self.state.capacity as u64) << 32;
+        for slot in &mut self.state.slots {
+            slot.entry.off += shift;
+        }
+    }
+
+    /// Appends `scheme`'s native frame as live tree `id` **without rewriting
+    /// any existing frame**: the new frame lands at the end of the frame
+    /// region, its directory record splices into id order (consuming a
+    /// [spare slot](ForestBuilder::reserve_slots) when one is free, growing
+    /// the directory otherwise), and the generation word increments.  A v1
+    /// store silently upgrades its frame to v2 first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForestError::DuplicateTree`] when the directory already
+    /// holds `id` — live *or* tombstoned (retired ids are never reused) —
+    /// and [`ForestError::Directory`] when the label count cannot be indexed
+    /// (n ≥ 2³²).
+    pub fn append_scheme<S: StoredScheme>(
+        &mut self,
+        id: u64,
+        scheme: &S,
+    ) -> Result<(), ForestError> {
+        self.append_frame(id, scheme.as_store().as_words().to_vec())
+    }
+
+    /// [`ForestStore::append_scheme`] for a raw frame (e.g. read from disk),
+    /// validating it first.
+    ///
+    /// # Errors
+    ///
+    /// As [`ForestStore::append_scheme`], plus [`ForestError::Tree`] when
+    /// the frame fails store validation.
+    pub fn append_frame(&mut self, id: u64, frame_words: Vec<u64>) -> Result<(), ForestError> {
+        let view = AnyStoreRef::from_words(&frame_words)
+            .map_err(|error| ForestError::Tree { id, error })?;
+        if view.node_count() as u64 > u64::from(u32::MAX) {
+            return Err(ForestError::Directory {
+                what: "a directory record stores the label count in 32 bits",
+            });
+        }
+        let (tag, n) = (view.tag(), view.node_count() as u32);
+        let parts = view.parts();
+        if lookup_slot(&self.state, id).is_some() {
+            return Err(ForestError::DuplicateTree { id });
+        }
+        self.ensure_v2();
+        if self.state.slots.len() == self.state.capacity {
+            self.grow_capacity(self.state.capacity.max(1));
+        }
+        let p = self
+            .state
+            .slots
+            .binary_search_by_key(&id, |s| s.entry.id)
+            .unwrap_err();
+        let t = self.state.slots.len();
+        let generation = self.state.generation + 1;
+        let flen = frame_words.len();
+        let words = Arc::make_mut(&mut self.words);
+        // The frame tiles in at the end of the frame region, displacing only
+        // the trailing checksum word.
+        let off = words.len() - 1;
+        words.truncate(off);
+        words.extend_from_slice(&frame_words);
+        words.push(0); // checksum, recomputed below
+                       // Open directory slot p: shift used records [p, t) up one record
+                       // into the spare slot, then write the new record.
+        let start = V2_HEADER_WORDS + DIR_ENTRY_WORDS * p;
+        let end = V2_HEADER_WORDS + DIR_ENTRY_WORDS * t;
+        words.copy_within(start..end, start + DIR_ENTRY_WORDS);
+        words[start] = id;
+        words[start + 1] = off as u64;
+        words[start + 2] = flen as u64;
+        words[start + 3] = u64::from(tag) << 32 | u64::from(n);
+        words[2] = (t + 1) as u64;
+        words[4] = generation;
+        let dir_end = self.state.dir_end();
+        let last = words.len() - 1;
+        words[last] = crc::crc64_words(&words[..dir_end]);
+        self.state.generation = generation;
+        self.state.live += 1;
+        self.state.slots.insert(
+            p,
+            TreeSlot {
+                entry: DirEntry {
+                    id,
+                    off,
+                    len: flen,
+                    tag,
+                    n,
+                },
+                state: OnceLock::from(Ok(parts)),
+            },
+        );
+        Ok(())
+    }
+
+    /// Retires live tree `id` **in place**: its directory record's scheme
+    /// tag is zeroed (the frame bytes stay, still tiling the region — no
+    /// rewrite, no compaction), the generation word increments, and every
+    /// later lookup of `id` reports [`ForestError::UnknownTree`].  A v1
+    /// store silently upgrades its frame to v2 first.  Reclaim the bytes
+    /// with [`ForestStore::compact`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForestError::UnknownTree`] when `id` is absent or already
+    /// tombstoned.
+    pub fn tombstone(&mut self, id: u64) -> Result<(), ForestError> {
+        let slot = lookup_slot(&self.state, id)
+            .filter(|&s| self.state.slots[s].entry.tag != 0)
+            .ok_or(ForestError::UnknownTree { id })?;
+        self.ensure_v2();
+        let generation = self.state.generation + 1;
+        let dir_end = self.state.dir_end();
+        let words = Arc::make_mut(&mut self.words);
+        words[V2_HEADER_WORDS + DIR_ENTRY_WORDS * slot + 3] &= 0xFFFF_FFFF;
+        words[4] = generation;
+        let last = words.len() - 1;
+        words[last] = crc::crc64_words(&words[..dir_end]);
+        self.state.generation = generation;
+        self.state.slots[slot].entry.tag = 0;
+        self.state.live -= 1;
+        Ok(())
+    }
+
+    /// Rebuilds the frame with only the live trees — reclaiming tombstoned
+    /// frames and spare slots — at generation `current + 1`.  The rebuilt
+    /// frame revalidates under this store's policy before being adopted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForestError::Directory`] when no live tree remains (an
+    /// all-tombstone forest serves lookups, but an *empty* frame is not
+    /// representable), or any error the revalidation reports.
+    pub fn compact(&mut self) -> Result<(), ForestError> {
+        if self.state.live == 0 {
+            return Err(ForestError::Directory {
+                what: "forest holds no trees",
+            });
+        }
+        let trees: Vec<(u64, Vec<u64>)> = self
+            .state
+            .slots
+            .iter()
+            .filter(|s| s.entry.tag != 0)
+            .map(|s| {
+                let e = s.entry;
+                (e.id, self.words[e.off..e.off + e.len].to_vec())
+            })
+            .collect();
+        let generation = self.state.generation + 1;
+        let words = assemble(&trees, FOREST_VERSION_V2, 0, generation);
+        let state = parse_forest(&words, self.state.policy)?;
+        self.words = Arc::new(words);
+        self.state = state;
+        Ok(())
+    }
+
+    fn frame_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    forest_read_api!();
+}
+
+/// A pinned generation of a [`ForestStore`]: an O(1) snapshot taken with
+/// [`ForestStore::pin`] that shares the frame buffer and keeps serving its
+/// generation's exact bytes no matter what the owning store does next
+/// (mutations copy-on-write around live pins).
+///
+/// Exposes the full read API — per-tree views, routing, verification — but
+/// no mutation.
+#[derive(Debug, Clone)]
+pub struct ForestPin {
+    words: Arc<Vec<u64>>,
+    state: ForestState,
+}
+
+impl ForestPin {
+    fn frame_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    forest_read_api!();
+}
+
+/// A forest served **in place from a read-only memory map** — the product of
+/// [`ForestStore::open_mmap`], behind the off-by-default `mmap` feature.
+///
+/// The mapping (a raw-syscall [`frame::Mmap`], no crate dependency) lives
+/// exactly as long as this value; combined with [`ValidationPolicy::Lazy`],
+/// opening touches only the header and directory pages, and each tree's
+/// pages fault in on its first query.  Exposes the full read API; to mutate,
+/// load an owned [`ForestStore`] instead.
+#[cfg(all(feature = "mmap", unix))]
+#[derive(Debug)]
+pub struct MappedForest {
+    map: frame::Mmap,
+    state: ForestState,
+}
+
+#[cfg(all(feature = "mmap", unix))]
+impl MappedForest {
+    fn frame_words(&self) -> &[u64] {
+        self.map
+            .words()
+            .expect("alignment and length were validated when the map was opened")
     }
 
     forest_read_api!();
@@ -859,9 +1775,11 @@ mod tests {
             (42, gen::comb(120)),
         ];
         let mut b = ForestStore::builder();
-        b.push_scheme(3, &NaiveScheme::build(&trees[0].1));
-        b.push_scheme(11, &OptimalScheme::build(&trees[1].1));
-        b.push_scheme(42, &LevelAncestorScheme::build(&trees[2].1));
+        b.push_scheme(3, &NaiveScheme::build(&trees[0].1)).unwrap();
+        b.push_scheme(11, &OptimalScheme::build(&trees[1].1))
+            .unwrap();
+        b.push_scheme(42, &LevelAncestorScheme::build(&trees[2].1))
+            .unwrap();
         (trees, b.finish().unwrap())
     }
 
@@ -884,6 +1802,12 @@ mod tests {
         assert_eq!(forest.tree_count(), 3);
         assert_eq!(forest.tree_ids().collect::<Vec<_>>(), vec![3, 11, 42]);
         assert!(forest.tree(5).is_none());
+        assert!(matches!(
+            forest.try_tree(5),
+            Err(ForestError::UnknownTree { id: 5 })
+        ));
+        assert_eq!(forest.generation(), 0);
+        assert_eq!(forest.spare_slots(), 0);
 
         let bytes = forest.to_bytes();
         let back = ForestStore::from_bytes(&bytes).unwrap();
@@ -902,6 +1826,169 @@ mod tests {
             let expect = forest.tree(id).unwrap().distance(u, v);
             assert_eq!(routed[i], expect, "query {i}: tree {id} ({u},{v})");
         }
+    }
+
+    #[test]
+    fn lazy_views_answer_exactly_like_eager_ones() {
+        let (trees, forest) = sample_forest();
+        let bytes = forest.to_bytes();
+        let lazy = ForestStore::from_bytes_with(&bytes, ValidationPolicy::Lazy).unwrap();
+        assert_eq!(lazy.validation_policy(), ValidationPolicy::Lazy);
+        assert_eq!(lazy.as_words(), forest.as_words());
+        assert_eq!(lazy.tree_ids().collect::<Vec<_>>(), vec![3, 11, 42]);
+        let queries = sample_queries(&trees, 300);
+        assert_eq!(
+            lazy.route_distances(&queries),
+            forest.route_distances(&queries)
+        );
+        // Full verification retrofits eager coverage on the lazy view.
+        lazy.verify().unwrap();
+        // Chunked verification converges to the same answer.
+        let mut cursor = VerifyCursor::new();
+        let mut steps = 0usize;
+        while !lazy.verify_chunked(64, &mut cursor).unwrap() {
+            steps += 1;
+            assert!(steps < 1_000_000, "verify_chunked must terminate");
+        }
+        assert!(cursor.is_done() && steps > 0);
+        // A fresh cursor on an already-verified view also completes.
+        assert!(lazy
+            .verify_chunked(usize::MAX, &mut VerifyCursor::new())
+            .unwrap());
+    }
+
+    #[test]
+    fn mutation_tombstones_appends_and_bumps_generations() {
+        let (trees, mut forest) = sample_forest();
+        let pin0 = forest.pin();
+        let snapshot: Vec<u64> = forest.as_words().to_vec();
+
+        forest.tombstone(11).unwrap();
+        assert_eq!(forest.generation(), 1);
+        assert!(forest.tree(11).is_none() && forest.is_tombstoned(11));
+        assert!(matches!(
+            forest.try_tree(11),
+            Err(ForestError::UnknownTree { id: 11 })
+        ));
+        assert!(matches!(
+            forest.tombstone(11),
+            Err(ForestError::UnknownTree { id: 11 })
+        ));
+        assert_eq!(forest.tree_count(), 2);
+        // The pin still serves generation 0, bit for bit.
+        assert_eq!(pin0.as_words(), &snapshot[..]);
+        assert!(pin0.tree(11).is_some());
+        assert_eq!(pin0.generation(), 0);
+
+        // A tombstoned id is never reused.
+        let extra = gen::random_tree(40, 9);
+        assert!(matches!(
+            forest.append_scheme(11, &NaiveScheme::build(&extra)),
+            Err(ForestError::DuplicateTree { id: 11 })
+        ));
+        // A fresh id appends in place; the frame re-roundtrips and still
+        // answers for every surviving tree.
+        forest
+            .append_scheme(50, &NaiveScheme::build(&extra))
+            .unwrap();
+        assert_eq!(forest.generation(), 2);
+        assert_eq!(forest.tree_ids().collect::<Vec<_>>(), vec![3, 42, 50]);
+        let reload = ForestStore::from_bytes(&forest.to_bytes()).unwrap();
+        assert_eq!(reload.as_words(), forest.as_words());
+        assert_eq!(reload.generation(), 2);
+        for &(id, ref tree) in trees.iter().filter(|(id, _)| *id != 11) {
+            let n = tree.len();
+            assert_eq!(
+                forest.tree(id).unwrap().distance(0, n - 1),
+                reload.tree(id).unwrap().distance(0, n - 1)
+            );
+        }
+        assert_eq!(
+            forest.tree(50).unwrap().distance(0, 39),
+            NaiveScheme::build(&extra).distance(treelab_tree::NodeId(0), treelab_tree::NodeId(39))
+        );
+
+        // Compaction reclaims the tombstone and keeps answering.
+        forest.compact().unwrap();
+        assert_eq!(forest.generation(), 3);
+        assert_eq!(forest.tree_ids().collect::<Vec<_>>(), vec![3, 42, 50]);
+        assert!(!forest.is_tombstoned(11));
+        let reload = ForestStore::from_bytes(&forest.to_bytes()).unwrap();
+        assert_eq!(reload.as_words(), forest.as_words());
+    }
+
+    #[test]
+    fn reserved_slots_host_in_place_appends() {
+        let t0 = gen::random_tree(60, 5);
+        let mut b = ForestStore::builder();
+        b.push_scheme(10, &NaiveScheme::build(&t0)).unwrap();
+        b.reserve_slots(2);
+        let mut forest = b.finish().unwrap();
+        assert_eq!(forest.spare_slots(), 2);
+        let before = forest.size_bytes();
+
+        let t1 = gen::random_tree(30, 6);
+        let frame = NaiveScheme::build(&t1);
+        forest.append_scheme(5, &frame).unwrap();
+        // Directory didn't grow: size grew by exactly the appended frame.
+        assert_eq!(forest.spare_slots(), 1);
+        assert_eq!(
+            forest.size_bytes(),
+            before + frame.as_store().as_words().len() * 8
+        );
+        assert_eq!(forest.tree_ids().collect::<Vec<_>>(), vec![5, 10]);
+
+        // Exhaust the spare slots, then force a directory growth.
+        forest.append_scheme(7, &frame).unwrap();
+        assert_eq!(forest.spare_slots(), 0);
+        forest.append_scheme(99, &frame).unwrap();
+        assert!(forest.spare_slots() > 0);
+        assert_eq!(forest.tree_ids().collect::<Vec<_>>(), vec![5, 7, 10, 99]);
+        let reload = ForestStore::from_bytes(&forest.to_bytes()).unwrap();
+        assert_eq!(reload.as_words(), forest.as_words());
+        assert_eq!(
+            reload.tree(99).unwrap().distance(0, 29),
+            frame.distance(treelab_tree::NodeId(0), treelab_tree::NodeId(29))
+        );
+    }
+
+    #[test]
+    fn v1_frames_load_and_upgrade_on_first_mutation() {
+        let t0 = gen::random_tree(80, 3);
+        let t1 = gen::random_tree(50, 4);
+        let mut b = ForestStore::builder();
+        b.push_scheme(1, &NaiveScheme::build(&t0)).unwrap();
+        b.push_scheme(2, &OptimalScheme::build(&t1)).unwrap();
+        b.emit_v1();
+        let mut forest = b.finish().unwrap();
+        assert_eq!(forest.generation(), 0);
+        assert_eq!(forest.spare_slots(), 0);
+        // Both policies load the v1 frame.
+        let bytes = forest.to_bytes();
+        for policy in [ValidationPolicy::Eager, ValidationPolicy::Lazy] {
+            let loaded = ForestStore::from_bytes_with(&bytes, policy).unwrap();
+            assert_eq!(
+                loaded.tree(1).unwrap().distance(0, 79),
+                forest.tree(1).unwrap().distance(0, 79),
+                "{policy:?}"
+            );
+            loaded.verify().unwrap();
+        }
+        // emit_v1 + reserve_slots is contradictory.
+        let mut b = ForestStore::builder();
+        b.push_scheme(1, &NaiveScheme::build(&t1)).unwrap();
+        b.reserve_slots(1).emit_v1();
+        assert!(matches!(b.finish(), Err(ForestError::Directory { .. })));
+        // Mutating the v1 store transparently upgrades the frame to v2.
+        forest.tombstone(2).unwrap();
+        assert_eq!(forest.generation(), 1);
+        let reload = ForestStore::from_bytes(&forest.to_bytes()).unwrap();
+        assert_eq!(reload.tree_ids().collect::<Vec<_>>(), vec![1]);
+        assert!(reload.is_tombstoned(2));
+        assert_eq!(
+            reload.tree(1).unwrap().distance(0, 79),
+            forest.tree(1).unwrap().distance(0, 79)
+        );
     }
 
     #[test]
@@ -944,24 +2031,31 @@ mod tests {
     }
 
     #[test]
-    fn file_round_trip_through_open_and_write_to() {
+    fn file_round_trip_through_open_publish_and_write_to() {
         let (trees, forest) = sample_forest();
         let path =
             std::env::temp_dir().join(format!("treelab-forest-test-{}.bin", std::process::id()));
 
-        // Store-side write, file-side read: identical words, identical routes.
-        forest.write_to(&path).expect("write_to");
+        // Store-side publish, file-side read: identical words, identical
+        // routes — under both policies.
+        forest.publish(&path).expect("publish");
         let opened = ForestStore::open(&path).expect("open");
         assert_eq!(opened.as_words(), forest.as_words());
+        let lazy = ForestStore::open_with(&path, ValidationPolicy::Lazy).expect("lazy open");
+        assert_eq!(lazy.as_words(), forest.as_words());
         let queries = sample_queries(&trees, 120);
         assert_eq!(
             opened.route_distances(&queries),
             forest.route_distances(&queries)
         );
+        assert_eq!(
+            lazy.route_distances(&queries),
+            forest.route_distances(&queries)
+        );
 
         // Builder-side write_to returns the store it persisted.
         let mut b = ForestStore::builder();
-        b.push_scheme(3, &NaiveScheme::build(&trees[0].1));
+        b.push_scheme(3, &NaiveScheme::build(&trees[0].1)).unwrap();
         let written = b.write_to(&path).expect("builder write_to");
         let opened = ForestStore::open(&path).expect("open builder file");
         assert_eq!(opened.as_words(), written.as_words());
@@ -984,12 +2078,27 @@ mod tests {
     }
 
     #[test]
-    fn builder_rejects_duplicates_and_empty() {
+    fn builder_rejects_duplicates_at_push_time_and_empty_at_finish() {
         let tree = gen::random_tree(60, 4);
         let mut b = ForestStore::builder();
-        b.push_scheme(1, &NaiveScheme::build(&tree));
-        b.push_scheme(1, &NaiveScheme::build(&tree));
-        assert!(matches!(b.finish(), Err(ForestError::Directory { .. })));
+        b.push_scheme(1, &NaiveScheme::build(&tree)).unwrap();
+        // The duplicate is refused *at push*, whatever the push flavor.
+        assert!(matches!(
+            b.push_scheme(1, &NaiveScheme::build(&tree)),
+            Err(ForestError::DuplicateTree { id: 1 })
+        ));
+        assert!(matches!(
+            b.push_store(1, NaiveScheme::build(&tree).as_store().clone()),
+            Err(ForestError::DuplicateTree { id: 1 })
+        ));
+        assert!(matches!(
+            b.push_frame(1, NaiveScheme::build(&tree).as_store().as_words().to_vec()),
+            Err(ForestError::DuplicateTree { id: 1 })
+        ));
+        // The builder stays usable: the poisoned pushes left no residue.
+        assert_eq!(b.len(), 1);
+        b.push_scheme(2, &NaiveScheme::build(&tree)).unwrap();
+        assert_eq!(b.finish().unwrap().tree_count(), 2);
         assert!(matches!(
             ForestBuilder::new().finish(),
             Err(ForestError::Directory { .. })
@@ -1001,6 +2110,10 @@ mod tests {
         }
         .to_string()
         .contains('7'));
+        assert!(ForestError::UnknownTree { id: 9 }.to_string().contains('9'));
+        assert!(ForestError::DuplicateTree { id: 8 }
+            .to_string()
+            .contains('8'));
     }
 
     #[test]
@@ -1008,6 +2121,14 @@ mod tests {
     fn routing_rejects_unknown_tree_ids() {
         let (_, forest) = sample_forest();
         forest.route_distances(&[(3, 0, 1), (999, 0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no tree with id")]
+    fn routing_rejects_tombstoned_tree_ids() {
+        let (_, mut forest) = sample_forest();
+        forest.tombstone(11).unwrap();
+        forest.route_distances(&[(11, 0, 1)]);
     }
 
     #[test]

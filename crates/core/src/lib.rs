@@ -78,8 +78,11 @@ pub mod store;
 pub mod substrate;
 pub mod universal;
 
+#[cfg(all(feature = "mmap", unix))]
+pub use forest::MappedForest;
 pub use forest::{
-    ForestBuilder, ForestError, ForestFileError, ForestRef, ForestStore, RouteScratch,
+    ForestBuilder, ForestError, ForestFileError, ForestPin, ForestRef, ForestStore, RouteScratch,
+    ValidationPolicy, VerifyCursor,
 };
 pub use store::{AnyStoreRef, IndexWidth, SchemeStore, StoreError, StoreRef, StoredScheme};
 pub use substrate::{Parallelism, Substrate};

@@ -141,7 +141,11 @@ const LOOKAHEAD: usize = 12;
 ///
 /// Stores travel between machines, so every load path must reject every
 /// malformed input with an error rather than a panic.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The type is `Copy` on purpose: the forest's lazy-validation state table
+/// caches one `Result<_, StoreError>` per tree and replays it on every later
+/// touch of a corrupt tree, allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum StoreError {
     /// The buffer is shorter than a minimal frame.

@@ -8,10 +8,11 @@
 //! ```
 //!
 //! CI runs this as the forest round-trip smoke: it exercises every layer of
-//! the serving stack (builder → TLFRST01 frame → `ForestBuilder::write_to`
-//! file → `ForestStore::open` + borrowed reload → per-tree views → routed
-//! batch → sharded batch) and fails loudly on any disagreement between the
-//! serving strategies.
+//! the serving stack (builder → TLFRST01 frame → crash-safe
+//! `ForestBuilder::write_to` publish → `ForestStore::open` eager + lazy +
+//! borrowed reloads → hot mutation (tombstone + append + republish) →
+//! per-tree views → routed batch → sharded batch) and fails loudly on any
+//! disagreement between the serving strategies.
 
 use std::time::Instant;
 use treelab::core::approximate::ApproximateScheme;
@@ -20,7 +21,7 @@ use treelab::core::level_ancestor::LevelAncestorScheme;
 use treelab::tree::rng::SplitMix64;
 use treelab::{
     gen, DistanceArrayScheme, DistanceScheme, ForestRef, ForestStore, NaiveScheme, OptimalScheme,
-    Parallelism, RouteScratch, Substrate, Tree,
+    Parallelism, RouteScratch, Substrate, Tree, ValidationPolicy,
 };
 
 const TREES: usize = 12;
@@ -45,7 +46,8 @@ fn main() {
             3 => b.push_scheme(*id, &KDistanceScheme::build_with_substrate(&sub, 8)),
             4 => b.push_scheme(*id, &ApproximateScheme::build_with_substrate(&sub, 0.25)),
             _ => b.push_scheme(*id, &LevelAncestorScheme::build_with_substrate(&sub)),
-        };
+        }
+        .expect("corpus ids are distinct");
     }
     // Assemble and persist in one step: the builder's write_to returns the
     // store it wrote, so the building process can keep serving from it.
@@ -63,15 +65,48 @@ fn main() {
             .join(", "),
     );
 
-    // Reload from the file into aligned words, as a serving process would.
+    // Reload from the file into aligned words, as a serving process would —
+    // once proving every inner frame up front, once deferring them to first
+    // touch (the restart-latency path experiment E14 measures at scale).
     let t1 = Instant::now();
     let owned = ForestStore::open(&path).expect("valid forest file");
-    let _ = std::fs::remove_file(&path);
     assert_eq!(owned.as_words(), forest.as_words());
     println!(
-        "loaded  (ForestStore::open) in {:.1} ms",
+        "loaded  (ForestStore::open, eager) in {:.1} ms",
         t1.elapsed().as_secs_f64() * 1e3
     );
+    let t1 = Instant::now();
+    let lazy =
+        ForestStore::open_with(&path, ValidationPolicy::Lazy).expect("valid forest directory");
+    let first = lazy.tree(0).expect("first touch validates").distance(0, 1);
+    println!(
+        "loaded  (ForestStore::open, lazy) + first query in {:.1} ms",
+        t1.elapsed().as_secs_f64() * 1e3
+    );
+    assert_eq!(first, owned.tree(0).unwrap().distance(0, 1));
+    drop(lazy);
+
+    // Hot mutation while serving: retire one tree, append a fresh one, and
+    // republish crash-safely (write-temp + fsync + atomic rename).  A pin
+    // keeps the pre-mutation generation answering throughout.
+    let retired = corpus[TREES - 1].0;
+    let mut mutated = owned.clone();
+    let pin = mutated.pin();
+    mutated.tombstone(retired).expect("live tree retires");
+    let extra = gen::random_tree(NODES_PER_TREE / 2, 777);
+    mutated
+        .append_scheme(TREES as u64, &NaiveScheme::build(&extra))
+        .expect("fresh id appends");
+    mutated.publish(&path).expect("atomic republish");
+    let republished = ForestStore::open(&path).expect("republished frame");
+    assert_eq!(republished.as_words(), mutated.as_words());
+    assert!(republished.is_tombstoned(retired) && pin.tree(retired).is_some());
+    println!(
+        "mutated generation {} -> {}: tree {retired} tombstoned, tree {TREES} appended, republished",
+        pin.generation(),
+        mutated.generation(),
+    );
+    let _ = std::fs::remove_file(&path);
 
     // Borrow path: validate once over the owner's aligned words, copy nothing.
     let t2 = Instant::now();

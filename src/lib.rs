@@ -40,8 +40,11 @@ pub use treelab_tree as tree;
 
 pub use treelab_core::approximate::ApproximateScheme;
 pub use treelab_core::distance_array::DistanceArrayScheme;
+#[cfg(all(feature = "mmap", unix))]
+pub use treelab_core::forest::MappedForest;
 pub use treelab_core::forest::{
-    ForestBuilder, ForestError, ForestFileError, ForestRef, ForestStore, RouteScratch,
+    ForestBuilder, ForestError, ForestFileError, ForestPin, ForestRef, ForestStore, RouteScratch,
+    ValidationPolicy, VerifyCursor,
 };
 pub use treelab_core::kdistance::KDistanceScheme;
 pub use treelab_core::level_ancestor::LevelAncestorScheme;

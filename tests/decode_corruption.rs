@@ -151,9 +151,9 @@ fn corrupt_forest_frames_are_rejected() {
     let t1 = gen::random_tree(90, 52);
     let t2 = gen::random_tree(150, 53);
     let mut b = ForestStore::builder();
-    b.push_scheme(4, &NaiveScheme::build(&t0));
-    b.push_scheme(9, &OptimalScheme::build(&t1));
-    b.push_scheme(12, &DistanceArrayScheme::build(&t2));
+    b.push_scheme(4, &NaiveScheme::build(&t0)).unwrap();
+    b.push_scheme(9, &OptimalScheme::build(&t1)).unwrap();
+    b.push_scheme(12, &DistanceArrayScheme::build(&t2)).unwrap();
     let forest = b.finish().expect("valid forest");
     let words: Vec<u64> = forest.as_words().to_vec();
     let bytes = forest.to_bytes();
@@ -165,16 +165,20 @@ fn corrupt_forest_frames_are_rejected() {
         loaded.tree(9).unwrap().distance(3, 80)
     );
 
-    // Re-checksum helper: fixes the *outer* CRC so the structural checks —
-    // not the checksum — are what reject the crafted frames.
+    // Re-checksum helper: fixes the *outer* CRC — which on a v2 frame covers
+    // exactly the header + directory — so the structural checks, not the
+    // checksum, are what reject the crafted frames.
     let recrc = |mut w: Vec<u64>| -> Vec<u64> {
+        let capacity = (w[3] >> 32) as usize;
+        let dir_end = 5 + 4 * capacity;
         let last = w.len() - 1;
-        w[last] = treelab::bits::crc::crc64_words(&w[..last]);
+        w[last] = treelab::bits::crc::crc64_words(&w[..dir_end]);
         w
     };
-    // Directory layout: header is 3 words, then 4 words per record
+    // Directory layout (v2): header is 5 words (magic, version, T,
+    // capacity, generation), then 4 words per record
     // (id, offset, length, tag<<32 | n).
-    let rec = |i: usize| 3 + 4 * i;
+    let rec = |i: usize| 5 + 4 * i;
 
     // Bad magic.
     let mut bad_magic = bytes.clone();
@@ -190,7 +194,8 @@ fn corrupt_forest_frames_are_rejected() {
         0,
         8,
         16,
-        24,              // header ends
+        24,
+        40,              // header ends
         rec(1) * 8 + 4,  // inside the second directory record
         rec(3) * 8,      // directory ends
         bytes.len() / 2, // inside an inner frame

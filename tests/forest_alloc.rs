@@ -1,13 +1,15 @@
 //! Proof that the forest's routed batch engine allocates nothing per query
 //! once its one-time group scratch has grown to the batch working size —
-//! the forest-side mirror of `tests/store_alloc.rs`.
+//! the forest-side mirror of `tests/store_alloc.rs` — and that the lazy
+//! `tree(id)` path is allocation-free after a tree's first-touch validation.
 //!
 //! A counting global allocator wraps the system allocator; after a warm-up
 //! batch has sized the [`RouteScratch`] and the output buffer, repeating the
 //! routed batch (same batch size, different query mix) must leave the
-//! allocation counter untouched.  (This file holds a single test on purpose:
-//! the counter is process-global, and a second test running on another
-//! thread would pollute it.)
+//! allocation counter untouched — as must hammering `tree(id)`/`try_tree`
+//! on a lazily-opened forest whose trees have all been touched once.  (This
+//! file holds a single test on purpose: the counter is process-global, and
+//! a second test running on another thread would pollute it.)
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -16,7 +18,7 @@ use treelab::core::kdistance::KDistanceScheme;
 use treelab::core::level_ancestor::LevelAncestorScheme;
 use treelab::{
     gen, DistanceArrayScheme, DistanceScheme, ForestStore, NaiveScheme, OptimalScheme,
-    RouteScratch, Tree,
+    RouteScratch, Tree, ValidationPolicy,
 };
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
@@ -68,12 +70,17 @@ fn routed_batches_do_not_allocate_after_the_scratch_warms_up() {
         (31, gen::random_tree(260, 65)),
     ];
     let mut b = ForestStore::builder();
-    b.push_scheme(2, &NaiveScheme::build(&trees[0].1));
-    b.push_scheme(3, &DistanceArrayScheme::build(&trees[1].1));
-    b.push_scheme(10, &OptimalScheme::build(&trees[2].1));
-    b.push_scheme(11, &KDistanceScheme::build(&trees[3].1, 8));
-    b.push_scheme(20, &ApproximateScheme::build(&trees[4].1, 0.25));
-    b.push_scheme(31, &LevelAncestorScheme::build(&trees[5].1));
+    b.push_scheme(2, &NaiveScheme::build(&trees[0].1)).unwrap();
+    b.push_scheme(3, &DistanceArrayScheme::build(&trees[1].1))
+        .unwrap();
+    b.push_scheme(10, &OptimalScheme::build(&trees[2].1))
+        .unwrap();
+    b.push_scheme(11, &KDistanceScheme::build(&trees[3].1, 8))
+        .unwrap();
+    b.push_scheme(20, &ApproximateScheme::build(&trees[4].1, 0.25))
+        .unwrap();
+    b.push_scheme(31, &LevelAncestorScheme::build(&trees[5].1))
+        .unwrap();
     let forest = b.finish().expect("forest builds");
 
     let warmup = batch(&trees, 4096, 0);
@@ -105,4 +112,34 @@ fn routed_batches_do_not_allocate_after_the_scratch_warms_up() {
         forest.route_distances_into(&storm1, &mut scratch, &mut again);
         again
     });
+
+    // Lazy fast path: once every tree has been touched (validated) exactly
+    // once, `tree(id)`/`try_tree` on a lazily-opened forest replay the cached
+    // verdict and materialize the view without a single allocation.
+    let bytes = forest.to_bytes();
+    let lazy = ForestStore::from_bytes_with(&bytes, ValidationPolicy::Lazy)
+        .expect("lazy open proves the directory");
+    let ids: Vec<u64> = lazy.tree_ids().collect();
+    let mut warm_sum = 0u64;
+    for &id in &ids {
+        // First touch: validation happens (and may allocate) here, outside
+        // the counted region.
+        warm_sum += lazy.tree(id).expect("valid tree").distance(0, 1);
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut sum = 0u64;
+    for _ in 0..64 {
+        for &id in &ids {
+            sum += lazy.tree(id).expect("cached verdict").distance(0, 1);
+            assert!(lazy.try_tree(id).is_ok());
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "the lazy tree(id) fast path allocated {} times after first touch",
+        after - before
+    );
+    assert_eq!(sum, warm_sum * 64);
 }

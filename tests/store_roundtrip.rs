@@ -186,12 +186,12 @@ fn forest_of_all_six_schemes_round_trips() {
     let la = LevelAncestorScheme::build_with_substrate(&subs[5]);
 
     let mut b = ForestStore::builder();
-    b.push_scheme(2, &naive);
-    b.push_scheme(5, &da);
-    b.push_scheme(7, &opt);
-    b.push_scheme(13, &kd);
-    b.push_scheme(19, &approx);
-    b.push_scheme(23, &la);
+    b.push_scheme(2, &naive).unwrap();
+    b.push_scheme(5, &da).unwrap();
+    b.push_scheme(7, &opt).unwrap();
+    b.push_scheme(13, &kd).unwrap();
+    b.push_scheme(19, &approx).unwrap();
+    b.push_scheme(23, &la).unwrap();
     let forest = b.finish().expect("forest builds");
     assert_eq!(forest.tree_count(), 6);
 
