@@ -4,11 +4,19 @@
 //! cargo run --release -p treelab-bench --bin experiments -- [--quick] [--threads N] [--exact]
 //!     [--approx] [--kdist-small] [--kdist-large] [--lower-bounds] [--universal] [--ablation]
 //!     [--timing] [--substrate] [--store [--check]] [--packed-native] [--forest] [--restart]
+//!     [--giant] [--layout] [--giant-smoke]
 //! ```
 //!
 //! `--store --check` runs the store regression gate after printing E11: it
 //! exits nonzero unless the batch-speedup column parses for all six schemes
 //! and the packed/legacy bit-equality sweep holds (CI runs it).
+//!
+//! `--giant` runs the E15 scale table (n = 16M streamed, all six schemes,
+//! chunked builds with per-phase peak-RSS) and `--layout` the E15b clustered
+//! layout A/B; both shrink drastically under `--quick`.  `--giant-smoke` is
+//! the CI gate for the scale path: n = 1M, distance-array scheme only,
+//! chunked vs whole-tree pack with a measured peak-RSS bound and distance
+//! spot-checks — it prints a verdict and exits instead of rendering tables.
 //!
 //! With no selection flags, all experiments run.  `--quick` shrinks the sizes
 //! so the full suite finishes in well under a minute (used in CI); the numbers
@@ -18,9 +26,9 @@
 
 use treelab_bench::experiments::{
     ablation_experiment, approximate_experiment, exact_experiment, forest_experiment,
-    k_large_experiment, k_small_experiment, lower_bound_experiment, packed_native_experiment,
-    restart_experiment, store_check, store_experiment, substrate_experiment, timing_experiment,
-    universal_experiment,
+    giant_experiment, giant_smoke, k_large_experiment, k_small_experiment, layout_experiment,
+    lower_bound_experiment, packed_native_experiment, restart_experiment, store_check,
+    store_experiment, substrate_experiment, timing_experiment, universal_experiment,
 };
 use treelab_bench::workloads::Family;
 use treelab_core::substrate::Parallelism;
@@ -58,6 +66,23 @@ fn main() {
         .collect();
     let run = |name: &str| selected.is_empty() || selected.contains(&name);
     let seed = 2017;
+
+    if selected.contains(&"--giant-smoke") {
+        // The CI scale gate: verdict + exit code, no tables.
+        let (n, chunk) = if quick {
+            (1 << 17, 1 << 13)
+        } else {
+            (1 << 20, 1 << 16)
+        };
+        match giant_smoke(n, chunk, seed) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("giant smoke FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
 
     println!("# treelab experiments (quick = {quick})\n");
 
@@ -150,5 +175,21 @@ fn main() {
             "{}",
             restart_experiment(trees, n_per_tree, seed).to_markdown()
         );
+    }
+    if run("--giant") {
+        let (n, chunk) = if quick {
+            (1 << 17, 1 << 13)
+        } else {
+            (1 << 24, 1 << 16)
+        };
+        println!("{}", giant_experiment(n, chunk, seed).to_markdown());
+    }
+    if run("--layout") {
+        let (sizes, chunk): (&[usize], usize) = if quick {
+            (&[1 << 14], 1 << 13)
+        } else {
+            (&[1 << 16, 1 << 20, 1 << 24], 1 << 16)
+        };
+        println!("{}", layout_experiment(sizes, chunk, seed).to_markdown());
     }
 }

@@ -4,6 +4,7 @@
 //! (see DESIGN.md §5 for the experiment index) and returns a [`Table`] that the
 //! binary prints and `EXPERIMENTS.md` records.
 
+use crate::rss;
 use crate::workloads::{build_mixed_forest, forest_corpus, skewed_forest_queries, Family};
 use crate::Table;
 use std::time::Instant;
@@ -19,7 +20,7 @@ use treelab_core::stats::LabelStats;
 use treelab_core::store::{SchemeStore, StoredScheme, NO_DISTANCE};
 use treelab_core::substrate::{Parallelism, Substrate};
 use treelab_core::universal::{universal_from_parent_labels, universal_tree_size};
-use treelab_core::DistanceScheme;
+use treelab_core::{DistanceScheme, LabelLayout};
 use treelab_tree::{gen, Tree};
 
 fn stats_of<S: DistanceScheme>(scheme: &S, tree: &Tree) -> LabelStats {
@@ -828,6 +829,341 @@ pub fn restart_experiment(trees: usize, nodes_per_tree: usize, seed: u64) -> Tab
     table
 }
 
+/// The substrate configuration every giant-tree run shares: chunk-streaming
+/// label packing plus exactly the components the schemes consume — *not* the
+/// validation-side [`DistanceOracle`], whose `O(n log n)` tables would both
+/// dominate the wall clock and pollute the RSS baseline at `n = 16M`
+/// (spot-checks walk parent pointers instead; recursive trees are shallow).
+fn giant_substrate(tree: &Tree, chunk: usize) -> Substrate<'_> {
+    let mut sub = Substrate::new(tree);
+    sub.set_chunk_rows(chunk);
+    sub.heavy_paths();
+    sub.aux_labels();
+    sub.depths();
+    sub.root_distances();
+    sub.binarized();
+    sub
+}
+
+/// Deterministic query pairs over `0..n` (the same congruential sampling the
+/// E11 store experiment uses, so throughputs stay comparable across tables).
+fn sample_pairs(n: usize, count: usize) -> Vec<(usize, usize)> {
+    (0..count)
+        .map(|i| ((i * 7919 + 3) % n, (i * 104_729 + 11) % n))
+        .collect()
+}
+
+/// E15: the giant-tree scale run — E1's label sizes, E7's build times and
+/// E11's batch throughput extended to `n = 16M` through the chunk-streaming
+/// build path, with the *transient* pack memory of every scheme measured
+/// (peak RSS above the post-substrate baseline, isolated per phase via
+/// [`rss::measure_peak`]).
+///
+/// The tree is produced by [`gen::random_recursive_streaming`], which never
+/// materializes an intermediate edge list; the first two rows record what the
+/// topology and the shared substrate themselves cost, so the per-scheme peaks
+/// can be read as "what packing adds on top".  Every scheme is round-tripped
+/// through its serialized frame and spot-checked against naive distances.
+pub fn giant_experiment(n: usize, chunk: usize, seed: u64) -> Table {
+    let mut table = Table::new(
+        format!(
+            "E15 — giant-tree scale run: streamed random-recursive tree, n = {n}, \
+             chunk = {chunk} rows, six schemes (build + round-trip + batch query)"
+        ),
+        &[
+            "scheme",
+            "build (s)",
+            "pack peak (MiB)",
+            "store (MiB)",
+            "max bits",
+            "round-trip",
+            "batch (Mq/s)",
+            "spot-check",
+        ],
+    );
+    let t0 = Instant::now();
+    let (tree, gen_peak) = rss::measure_peak(|| gen::random_recursive_streaming(n, seed));
+    let gen_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let (mut sub, sub_peak) = rss::measure_peak(|| giant_substrate(&tree, chunk));
+    let sub_s = t1.elapsed().as_secs_f64();
+    let dash = "—".to_string();
+    table.push_row(vec![
+        "(streamed tree)".to_string(),
+        format!("{gen_s:.1}"),
+        rss::fmt_mib(gen_peak),
+        dash.clone(),
+        dash.clone(),
+        dash.clone(),
+        dash.clone(),
+        dash.clone(),
+    ]);
+    table.push_row(vec![
+        "(shared substrate)".to_string(),
+        format!("{sub_s:.1}"),
+        rss::fmt_mib(sub_peak),
+        dash.clone(),
+        dash.clone(),
+        dash.clone(),
+        dash.clone(),
+        dash,
+    ]);
+
+    let pairs = sample_pairs(n, 65_536);
+    let queries = 1 << 17;
+
+    macro_rules! grow {
+        ($ty:ty, $name:expr, $build:expr, $check:expr) => {{
+            let t = Instant::now();
+            let (scheme, peak) = rss::measure_peak(|| $build);
+            let build_s = t.elapsed().as_secs_f64();
+            let store = scheme.as_store();
+            let bytes = store.to_bytes();
+            let round_trip = match SchemeStore::<$ty>::from_bytes(&bytes) {
+                Ok(loaded) if loaded.as_words() == store.as_words() => "ok",
+                Ok(_) => "MISMATCH",
+                Err(_) => "LOAD ERROR",
+            };
+            let store_mib = bytes.len() as f64 / (1024.0 * 1024.0);
+            drop(bytes);
+            let max_bits = LabelStats::from_sizes(tree.nodes().map(|u| scheme.label_bits(u)))
+                .max_bits;
+            let batch = batch_throughput(store, &pairs, queries);
+            let check = $check;
+            let mut spot = "ok";
+            for i in 0..64usize {
+                let (u, v) = ((i * 48_271 + 17) % n, (i * 16_807 + 5) % n);
+                let want = tree.distance_naive(tree.node(u), tree.node(v));
+                if !check(store.distance(u, v), want) {
+                    spot = "FAIL";
+                    break;
+                }
+            }
+            table.push_row(vec![
+                $name.to_string(),
+                format!("{build_s:.1}"),
+                rss::fmt_mib(peak),
+                format!("{store_mib:.1}"),
+                max_bits.to_string(),
+                round_trip.to_string(),
+                format!("{:.2}", batch / 1e6),
+                spot.to_string(),
+            ]);
+        }};
+    }
+
+    let exact = |got: u64, want: u64| got == want;
+    grow!(
+        NaiveScheme,
+        "naive-fixed-width",
+        NaiveScheme::build_with_substrate(&sub),
+        exact
+    );
+    grow!(
+        DistanceArrayScheme,
+        "distance-array",
+        DistanceArrayScheme::build_with_substrate(&sub),
+        exact
+    );
+    grow!(
+        OptimalScheme,
+        "optimal-quarter",
+        OptimalScheme::build_with_substrate(&sub),
+        exact
+    );
+    grow!(
+        KDistanceScheme,
+        "k-distance (k=8)",
+        KDistanceScheme::build_with_substrate(&sub, 8),
+        |got: u64, want: u64| if want <= 8 { got == want } else { got == NO_DISTANCE }
+    );
+    grow!(
+        ApproximateScheme,
+        "approximate (ε=0.25)",
+        ApproximateScheme::build_with_substrate(&sub, 0.25),
+        |got: u64, want: u64| got >= want && got as f64 <= want as f64 * 1.25 + 0.5
+    );
+    grow!(
+        LevelAncestorScheme,
+        "level-ancestor",
+        LevelAncestorScheme::build_with_substrate(&sub),
+        exact
+    );
+
+    // The measured half of the O(chunk) claim, at full scale: re-pack the
+    // scheme with the largest rows (distance-array) with whole-tree row
+    // materialization; its transient peak against the chunked row above is
+    // the streaming win.
+    sub.set_chunk_rows(0);
+    let t = Instant::now();
+    let (_whole, peak) = rss::measure_peak(|| DistanceArrayScheme::build_with_substrate(&sub));
+    let build_s = t.elapsed().as_secs_f64();
+    let dash = "—".to_string();
+    table.push_row(vec![
+        "distance-array (whole-tree pack A/B)".to_string(),
+        format!("{build_s:.1}"),
+        rss::fmt_mib(peak),
+        dash.clone(),
+        dash.clone(),
+        dash.clone(),
+        dash.clone(),
+        dash,
+    ]);
+    table
+}
+
+/// E15b: the heavy-path-clustered label layout A/B on the optimal scheme.
+///
+/// For each size the same streamed tree is packed twice from one substrate —
+/// id-order and heavy-path-clustered — and served two workloads: uniform
+/// random pairs and an "ancestor walk" batch (every node paired with a
+/// 1–8-step ancestor, the path-local access pattern clustering targets).
+/// Answers are spot-checked against naive distances on both layouts.
+pub fn layout_experiment(sizes: &[usize], chunk: usize, seed: u64) -> Table {
+    let mut table = Table::new(
+        "E15b — label layout A/B: id-order vs heavy-path-clustered \
+         (optimal scheme, streamed random-recursive trees)",
+        &[
+            "n",
+            "layout",
+            "build (s)",
+            "store (MiB)",
+            "random pairs (Mq/s)",
+            "ancestor walk (Mq/s)",
+            "answers",
+        ],
+    );
+    let queries = 1 << 17;
+    for &n in sizes {
+        let tree = gen::random_recursive_streaming(n, seed);
+        let pairs = sample_pairs(n, 65_536);
+        let anc_pairs: Vec<(usize, usize)> = (0..65_536)
+            .map(|i| {
+                let u = (i * 7919 + 3) % n;
+                let mut v = tree.node(u);
+                for _ in 0..=(i % 8) {
+                    if let Some(p) = tree.parent(v) {
+                        v = p;
+                    }
+                }
+                (u, v.index())
+            })
+            .collect();
+        let mut sub = giant_substrate(&tree, chunk);
+        for (name, layout) in [
+            ("id-order", LabelLayout::IdOrder),
+            ("heavy-path", LabelLayout::HeavyPath),
+        ] {
+            sub.set_label_layout(layout);
+            let t = Instant::now();
+            let scheme = OptimalScheme::build_with_substrate(&sub);
+            let build_s = t.elapsed().as_secs_f64();
+            let store = scheme.as_store();
+            let rnd = batch_throughput(store, &pairs, queries);
+            let anc = batch_throughput(store, &anc_pairs, queries);
+            let mut answers = "ok";
+            for i in 0..64usize {
+                let (u, v) = ((i * 48_271 + 17) % n, (i * 16_807 + 5) % n);
+                let want = tree.distance_naive(tree.node(u), tree.node(v));
+                if store.distance(u, v) != want {
+                    answers = "FAIL";
+                    break;
+                }
+            }
+            table.push_row(vec![
+                n.to_string(),
+                name.to_string(),
+                format!("{build_s:.1}"),
+                format!(
+                    "{:.1}",
+                    (store.as_words().len() * 8) as f64 / (1024.0 * 1024.0)
+                ),
+                format!("{:.2}", rnd / 1e6),
+                format!("{:.2}", anc / 1e6),
+                answers.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// The `--giant-smoke` CI gate: one scheme, one streamed tree, chunked
+/// build — asserts that (1) chunk-streaming produces the identical frame to
+/// the whole-tree pack, (2) answers match naive distances, and (3) the
+/// *measured* transient pack memory of the chunked build stays well below
+/// the whole-tree build's (the O(chunk)-not-O(n) claim, enforced only when
+/// the whole-tree peak is large enough to discriminate from allocator
+/// noise).
+///
+/// The gated scheme is distance-array: its per-node rows (one light-edge
+/// record per ancestor path) dominate the build's transient memory, so the
+/// chunked-vs-whole peaks isolate exactly what streaming is supposed to
+/// bound.  (The optimal scheme would not discriminate — its resident
+/// per-path info table is O(paths) by design and dwarfs the rows.)
+///
+/// The chunked build runs *first*: RSS high-water deltas only see fresh page
+/// mappings, so running the big build first would let the allocator recycle
+/// its pages and deflate the chunked reading to zero.
+///
+/// # Errors
+///
+/// Returns a description of the first failed check; the binary exits
+/// nonzero on it.
+pub fn giant_smoke(n: usize, chunk: usize, seed: u64) -> Result<String, String> {
+    let tree = gen::random_recursive_streaming(n, seed);
+    let mut sub = giant_substrate(&tree, chunk);
+    let (chunked, chunked_peak) =
+        rss::measure_peak(|| DistanceArrayScheme::build_with_substrate(&sub));
+
+    for i in 0..128usize {
+        let u = tree.node((i * 48_271 + 17) % n);
+        let v = tree.node((i * 16_807 + 5) % n);
+        let want = tree.distance_naive(u, v);
+        let got = chunked.distance(u, v);
+        if got != want {
+            return Err(format!(
+                "chunked distance-array scheme answers {got} for d({u},{v}) = {want} at n={n}"
+            ));
+        }
+    }
+
+    sub.set_chunk_rows(0); // whole-tree pack for the memory A/B
+    let (whole, whole_peak) =
+        rss::measure_peak(|| DistanceArrayScheme::build_with_substrate(&sub));
+    if chunked.as_store().as_words() != whole.as_store().as_words() {
+        return Err(format!(
+            "chunked (chunk={chunk}) and whole-tree frames differ at n={n}"
+        ));
+    }
+
+    // 64 MiB floor: below it the deltas are allocator noise, not row storage.
+    const FLOOR: u64 = 64 << 20;
+    match (chunked_peak, whole_peak) {
+        (Some(c), Some(w)) if w >= FLOOR => {
+            if c as f64 > w as f64 * 0.7 {
+                return Err(format!(
+                    "chunked pack peak {} MiB is not bounded by the chunk: \
+                     whole-tree pack peaked at {} MiB (n={n}, chunk={chunk})",
+                    c >> 20,
+                    w >> 20
+                ));
+            }
+            Ok(format!(
+                "giant smoke ok: n={n}, chunk={chunk}, pack peak {} MiB chunked \
+                 vs {} MiB whole-tree, frames identical, 128 distances verified",
+                c >> 20,
+                w >> 20
+            ))
+        }
+        _ => Ok(format!(
+            "giant smoke ok: n={n}, chunk={chunk}, frames identical, 128 distances \
+             verified (RSS bound not enforced: peaks unavailable or below the \
+             {} MiB discrimination floor)",
+            FLOOR >> 20
+        )),
+    }
+}
+
 /// E13: the packed-native build path — per-scheme construction time of the
 /// historical struct-then-serialize pipeline (`legacy_labels` →
 /// `store_from_legacy`) versus the direct pack path (`build_with_substrate`,
@@ -1146,6 +1482,31 @@ mod tests {
             assert!(ms > 0.0);
             assert!(t.rows[0][7].ends_with('x'));
         }
+    }
+
+    #[test]
+    fn giant_experiment_small_instance_is_clean() {
+        let t = giant_experiment(4096, 256, 7);
+        // tree + substrate + six schemes + the whole-tree pack A/B row
+        assert_eq!(t.rows.len(), 9);
+        for row in &t.rows[2..8] {
+            assert_eq!(row[5], "ok", "{}: round-trip", row[0]);
+            assert_eq!(row[7], "ok", "{}: spot-check", row[0]);
+        }
+    }
+
+    #[test]
+    fn layout_experiment_small_instance_answers_ok() {
+        let t = layout_experiment(&[2048], 128, 7);
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            assert_eq!(row[6], "ok", "layout {} answers", row[1]);
+        }
+    }
+
+    #[test]
+    fn giant_smoke_small_instance_passes() {
+        giant_smoke(1 << 12, 512, 7).expect("smoke passes at small n");
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! into runnable experiments:
 //!
 //! * [`workloads`] — the named tree families every experiment sweeps over;
+//! * [`rss`] — Linux peak-RSS probes (`VmHWM` + `clear_refs`) that let the
+//!   giant-tree experiments measure the transient memory of a build phase;
 //! * [`experiments`] — functions that measure label sizes / query behaviour and
 //!   return printable tables (used by the `experiments` binary, whose output is
 //!   recorded in `EXPERIMENTS.md`);
@@ -14,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod rss;
 pub mod workloads;
 
 /// A printable table: a title, column headers and rows of cells.

@@ -18,13 +18,14 @@
 //! The query protocol lives in [`crate::kernel::approximate`]; this module
 //! owns the build and the packed frame.
 
-use crate::hpath::{AuxWidths, HpathLabel};
+use crate::hpath::{AuxWidths, HpathLabel, HpathLabeling};
 use crate::kernel::approximate::{
     self as kernel, round_up_exponent, ApproximateLabelRef, ApproximateMeta,
 };
 use crate::store::{SchemeStore, StoreError, StoredScheme};
-use crate::substrate::{self, PackSource, Substrate};
+use crate::substrate::{PackSource, Substrate};
 use treelab_bits::{codes, monotone::MonotoneSeq, BitSlice, BitWriter};
+use treelab_tree::heavy::HeavyPaths;
 use treelab_tree::{NodeId, Tree};
 
 /// Writes the self-delimiting wire encoding of one label (the format
@@ -80,66 +81,21 @@ impl ApproximateScheme {
     ///
     /// Panics unless `0 < ε ≤ 1` (the regime of Theorem 1.4).
     pub fn build_with_substrate(sub: &Substrate<'_>, epsilon: f64) -> Self {
-        let rows = Self::build_rows(sub, epsilon, true);
-        let store = SchemeStore::from_source(&ApproxSource {
-            rows: &rows,
-            epsilon,
-        });
+        let src = ApproxSource::new(sub, epsilon, true);
+        let (store, plan) = SchemeStore::from_source_with(&src, &sub.pack_config());
         ApproximateScheme {
             epsilon,
             store,
-            wire_bits: rows.iter().map(|r| r.wire_bits).collect(),
+            wire_bits: plan.wire_bits,
         }
     }
 
+    /// Builds every row in memory (the legacy struct-label pipeline; the
+    /// packed build streams rows through [`ApproxSource`] instead).
+    #[cfg(feature = "legacy-labels")]
     fn build_rows<'s>(sub: &'s Substrate<'_>, epsilon: f64, with_wire: bool) -> Vec<ApproxRow<'s>> {
-        assert!(
-            epsilon > 0.0 && epsilon <= 1.0,
-            "epsilon must lie in (0, 1], got {epsilon}"
-        );
-        // Internal rounding uses ε/2 so the final estimate is (1+ε)-accurate.
-        let half = epsilon / 2.0;
-        let tree = sub.tree();
-        let hp = sub.heavy_paths();
-        let aux = sub.aux_labels();
-        let rd = sub.root_distances();
-        substrate::build_vec(sub.parallelism(), tree.len(), |i| {
-            let v = tree.node(i);
-            let sig = hp.significant_ancestors(v);
-            // Skip sig[0] = v itself; store exponents for v₁, …, v_k.
-            let exponents: Vec<u64> = sig[1..]
-                .iter()
-                .map(|&a| {
-                    let d = rd[v.index()] - rd[a.index()];
-                    if d == 0 {
-                        0
-                    } else {
-                        // Reserve exponent 0 for "distance 0" (possible with
-                        // 0-weight edges) by shifting real exponents up by 1.
-                        round_up_exponent(d, half) + 1
-                    }
-                })
-                .collect();
-            // The sequence must be non-decreasing for Lemma 2.2; distances
-            // to higher significant ancestors only grow, and the 0-shift
-            // preserves order.
-            let mut row = ApproxRow {
-                rd: rd[v.index()],
-                aux: aux.label(v),
-                exponents,
-                wire_bits: 0,
-            };
-            if with_wire {
-                // Closed-form wire size (no encoding pass; the feature-gated
-                // legacy tests pin it to the real encoder bit for bit).
-                row.wire_bits = (codes::gamma_nz_len((1.0 / epsilon).ceil() as u64)
-                    + codes::delta_nz_len(row.rd)
-                    + row.aux.bit_len()
-                    + MonotoneSeq::encoded_len(&row.exponents))
-                    as u32;
-            }
-            row
-        })
+        let src = ApproxSource::new(sub, epsilon, with_wire);
+        crate::substrate::build_vec(sub.parallelism(), sub.tree().len(), |i| src.make_row(i))
     }
 
     /// The ε this scheme was built with.
@@ -169,46 +125,122 @@ impl ApproximateScheme {
     }
 }
 
-/// The pack source of the approximate scheme.
-struct ApproxSource<'a, 'b> {
-    rows: &'b [ApproxRow<'a>],
+/// The pack source of the approximate scheme: rows are built on demand over
+/// the shared substrate.
+struct ApproxSource<'s> {
+    tree: &'s Tree,
+    hp: &'s HeavyPaths,
+    aux: &'s HpathLabeling,
+    rd: &'s [u64],
     epsilon: f64,
+    half: f64,
+    with_wire: bool,
 }
 
-impl PackSource<ApproximateScheme> for ApproxSource<'_, '_> {
+impl<'s> ApproxSource<'s> {
+    fn new(sub: &'s Substrate<'_>, epsilon: f64, with_wire: bool) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must lie in (0, 1], got {epsilon}"
+        );
+        ApproxSource {
+            tree: sub.tree(),
+            hp: sub.heavy_paths(),
+            aux: sub.aux_labels(),
+            rd: sub.root_distances(),
+            epsilon,
+            // Internal rounding uses ε/2 so the final estimate is
+            // (1+ε)-accurate.
+            half: epsilon / 2.0,
+            with_wire,
+        }
+    }
+}
+
+/// Plan of the approximate pack: the per-row width maxima plus the wire
+/// sizes the scheme reports, folded in node-id order.
+#[derive(Default)]
+struct ApproxPlan {
+    w_rd: u8,
+    w_ec: u8,
+    w_e: u8,
+    aux_w: AuxWidths,
+    wire_bits: Vec<u32>,
+}
+
+impl<'s> PackSource<ApproximateScheme> for ApproxSource<'s> {
+    type Row = ApproxRow<'s>;
+    type Plan = ApproxPlan;
+
     fn node_count(&self) -> usize {
-        self.rows.len()
+        self.tree.len()
     }
 
     fn store_param(&self) -> u64 {
         self.epsilon.to_bits()
     }
 
-    fn meta_words(&self) -> Vec<u64> {
-        let (mut w_rd, mut w_ec, mut w_e) = (0u8, 0u8, 0u8);
-        let mut aux_w = AuxWidths::default();
-        let w = |x: u64| codes::bit_len(x) as u8;
-        for r in self.rows {
-            w_rd = w_rd.max(w(r.rd));
-            w_ec = w_ec.max(w(r.exponents.len() as u64));
-            // Exponents are non-decreasing, so the last bounds them all.
-            w_e = w_e.max(w(r.exponents.last().copied().unwrap_or(0)));
-            aux_w.observe(r.aux);
+    fn make_row(&self, i: usize) -> ApproxRow<'s> {
+        let v = self.tree.node(i);
+        let sig = self.hp.significant_ancestors(v);
+        // Skip sig[0] = v itself; store exponents for v₁, …, v_k.
+        let exponents: Vec<u64> = sig[1..]
+            .iter()
+            .map(|&a| {
+                let d = self.rd[v.index()] - self.rd[a.index()];
+                if d == 0 {
+                    0
+                } else {
+                    // Reserve exponent 0 for "distance 0" (possible with
+                    // 0-weight edges) by shifting real exponents up by 1.
+                    round_up_exponent(d, self.half) + 1
+                }
+            })
+            .collect();
+        // The sequence must be non-decreasing for Lemma 2.2; distances
+        // to higher significant ancestors only grow, and the 0-shift
+        // preserves order.
+        let mut row = ApproxRow {
+            rd: self.rd[v.index()],
+            aux: self.aux.label(v),
+            exponents,
+            wire_bits: 0,
+        };
+        if self.with_wire {
+            // Closed-form wire size (no encoding pass; the feature-gated
+            // legacy tests pin it to the real encoder bit for bit).
+            row.wire_bits = (codes::gamma_nz_len((1.0 / self.epsilon).ceil() as u64)
+                + codes::delta_nz_len(row.rd)
+                + row.aux.bit_len()
+                + MonotoneSeq::encoded_len(&row.exponents)) as u32;
         }
+        row
+    }
+
+    fn plan_row(&self, plan: &mut ApproxPlan, _u: usize, r: &ApproxRow<'s>) {
+        let w = |x: u64| codes::bit_len(x) as u8;
+        plan.w_rd = plan.w_rd.max(w(r.rd));
+        plan.w_ec = plan.w_ec.max(w(r.exponents.len() as u64));
+        // Exponents are non-decreasing, so the last bounds them all.
+        plan.w_e = plan.w_e.max(w(r.exponents.last().copied().unwrap_or(0)));
+        plan.aux_w.observe(r.aux);
+        plan.wire_bits.push(r.wire_bits);
+    }
+
+    fn meta_words(&self, plan: &ApproxPlan) -> Vec<u64> {
         // The approximate query never consults the domination order (side
         // selection reads the divergence bit instead), so the field is packed
         // at width 0.
+        let mut aux_w = plan.aux_w;
         aux_w.dom = 0;
-        ApproximateMeta::with_widths(w_rd, w_ec, w_e, aux_w, self.epsilon).words()
+        ApproximateMeta::with_widths(plan.w_rd, plan.w_ec, plan.w_e, aux_w, self.epsilon).words()
     }
 
-    fn packed_label_bits(&self, meta: &ApproximateMeta, u: usize) -> usize {
-        let r = &self.rows[u];
+    fn packed_label_bits(&self, meta: &ApproximateMeta, r: &ApproxRow<'s>) -> usize {
         meta.hdr_total + r.exponents.len() * meta.e_w + meta.aux_w.packed_bits(r.aux)
     }
 
-    fn pack_label(&self, meta: &ApproximateMeta, u: usize, w: &mut BitWriter) {
-        let r = &self.rows[u];
+    fn pack_label(&self, meta: &ApproximateMeta, r: &ApproxRow<'s>, w: &mut BitWriter) {
         w.write_bits_lsb(r.rd, usize::from(meta.w_rd));
         w.write_bits_lsb(r.exponents.len() as u64, usize::from(meta.w_ec));
         w.write_bits_lsb(r.aux.codewords_len() as u64, usize::from(meta.aux_w.end));
@@ -357,13 +389,19 @@ impl ApproximateScheme {
             epsilon: f64,
         }
         impl PackSource<ApproximateScheme> for LegacySource<'_> {
+            type Row = usize;
+            type Plan = ();
             fn node_count(&self) -> usize {
                 self.labels.len()
             }
             fn store_param(&self) -> u64 {
                 self.epsilon.to_bits()
             }
-            fn meta_words(&self) -> Vec<u64> {
+            fn make_row(&self, u: usize) -> usize {
+                u
+            }
+            fn plan_row(&self, (): &mut (), _u: usize, _row: &usize) {}
+            fn meta_words(&self, (): &()) -> Vec<u64> {
                 let (mut w_rd, mut w_ec, mut w_e) = (0u8, 0u8, 0u8);
                 let mut aux_w = AuxWidths::default();
                 let w = |x: u64| codes::bit_len(x) as u8;
@@ -376,11 +414,11 @@ impl ApproximateScheme {
                 aux_w.dom = 0;
                 ApproximateMeta::with_widths(w_rd, w_ec, w_e, aux_w, self.epsilon).words()
             }
-            fn packed_label_bits(&self, meta: &ApproximateMeta, u: usize) -> usize {
+            fn packed_label_bits(&self, meta: &ApproximateMeta, &u: &usize) -> usize {
                 let l = &self.labels[u];
                 meta.hdr_total + l.exponents.len() * meta.e_w + meta.aux_w.packed_bits(&l.aux)
             }
-            fn pack_label(&self, meta: &ApproximateMeta, u: usize, w: &mut BitWriter) {
+            fn pack_label(&self, meta: &ApproximateMeta, &u: &usize, w: &mut BitWriter) {
                 let l = &self.labels[u];
                 w.write_bits_lsb(l.root_distance, usize::from(meta.w_rd));
                 w.write_bits_lsb(l.exponents.len() as u64, usize::from(meta.w_ec));

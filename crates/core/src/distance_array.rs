@@ -22,7 +22,9 @@
 #[cfg(feature = "legacy-labels")]
 use crate::hpath::HpathLabel;
 use crate::kernel::psum::{self, PsumMeta, PsumRef};
-use crate::naive::{build_psum_rows, PsumSource};
+#[cfg(feature = "legacy-labels")]
+use crate::naive::build_psum_rows;
+use crate::naive::{PsumRow, PsumSource};
 use crate::store::{SchemeStore, StoreError, StoredScheme};
 use crate::substrate::Substrate;
 use crate::DistanceScheme;
@@ -82,24 +84,24 @@ impl DistanceScheme for DistanceArrayScheme {
     fn build_with_substrate(sub: &Substrate<'_>) -> Self {
         // Closed-form wire size (no encoding pass; the feature-gated legacy
         // tests pin it to the real encoder bit for bit).
-        let rows = build_psum_rows(sub, |row| {
-            codes::delta_nz_len(row.rd)
-                + row.aux.bit_len()
-                + codes::gamma_nz_len(row.edges.len() as u64)
-                + row
-                    .entries()
-                    .map(|(d, _)| codes::delta_nz_len(d) + 1)
-                    .sum::<usize>()
-        });
-        let store = SchemeStore::from_source(&PsumSource { rows: &rows });
-        let payload_bits = rows
-            .iter()
-            .map(|r| r.entries().map(|(d, _)| codes::bit_len(d) as u32).sum())
-            .collect();
+        let src = PsumSource::new(
+            sub,
+            |row: &PsumRow<'_>| {
+                codes::delta_nz_len(row.rd)
+                    + row.aux.bit_len()
+                    + codes::gamma_nz_len(row.edges.len() as u64)
+                    + row
+                        .entries()
+                        .map(|(d, _)| codes::delta_nz_len(d) + 1)
+                        .sum::<usize>()
+            },
+            true,
+        );
+        let (store, plan) = SchemeStore::from_source_with(&src, &sub.pack_config());
         DistanceArrayScheme {
             store,
-            wire_bits: rows.iter().map(|r| r.wire_bits).collect(),
-            payload_bits,
+            wire_bits: plan.wire_bits,
+            payload_bits: plan.payload_bits,
         }
     }
 
@@ -277,10 +279,17 @@ impl DistanceArrayScheme {
         use crate::substrate::PackSource;
         struct LegacySource<'a>(&'a [DistanceArrayLabel]);
         impl PackSource<DistanceArrayScheme> for LegacySource<'_> {
+            // The labels already exist in memory; rows are just indices.
+            type Row = usize;
+            type Plan = ();
             fn node_count(&self) -> usize {
                 self.0.len()
             }
-            fn meta_words(&self) -> Vec<u64> {
+            fn make_row(&self, u: usize) -> usize {
+                u
+            }
+            fn plan_row(&self, _plan: &mut (), _u: usize, _row: &usize) {}
+            fn meta_words(&self, _plan: &()) -> Vec<u64> {
                 PsumMeta::measure(
                     self.0
                         .iter()
@@ -288,11 +297,11 @@ impl DistanceArrayScheme {
                 )
                 .words()
             }
-            fn packed_label_bits(&self, meta: &PsumMeta, u: usize) -> usize {
+            fn packed_label_bits(&self, meta: &PsumMeta, &u: &usize) -> usize {
                 let l = &self.0[u];
                 meta.label_bits(l.entries.len(), &l.aux)
             }
-            fn pack_label(&self, meta: &PsumMeta, u: usize, w: &mut BitWriter) {
+            fn pack_label(&self, meta: &PsumMeta, &u: &usize, w: &mut BitWriter) {
                 let l = &self.0[u];
                 meta.pack(
                     l.root_distance,

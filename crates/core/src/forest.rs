@@ -685,6 +685,12 @@ fn assemble(trees: &[(u64, Vec<u64>)], version: u32, spare: usize, generation: u
         // Tag and label count mirror the (validated) inner frame header.
         let tag = frame_words[1] as u32;
         let n = frame_words[2];
+        // Every push path rejects n ≥ 2³² before it reaches assembly; a
+        // larger count would bleed into the record's tag half.
+        debug_assert!(
+            n <= u64::from(u32::MAX),
+            "directory record cannot index {n} labels"
+        );
         words.push(*id);
         words.push(off as u64);
         words.push(frame_words.len() as u64);
@@ -731,18 +737,29 @@ impl ForestBuilder {
         Ok(())
     }
 
+    fn claim_directory_record(&mut self, id: u64, n: usize) -> Result<(), ForestError> {
+        if n as u64 > u64::from(u32::MAX) {
+            return Err(ForestError::Directory {
+                what: "a directory record stores the label count in 32 bits",
+            });
+        }
+        self.claim_id(id)
+    }
+
     /// Adds `scheme`'s native frame as tree `id` — a frame handoff (one
     /// buffer memcpy, nothing re-packed: the scheme already *is* a frame).
     ///
     /// # Errors
     ///
-    /// Returns [`ForestError::DuplicateTree`] when `id` was already pushed.
+    /// Returns [`ForestError::Directory`] when the scheme's label count
+    /// cannot be indexed by a directory record (n ≥ 2³²), and
+    /// [`ForestError::DuplicateTree`] when `id` was already pushed.
     pub fn push_scheme<S: StoredScheme>(
         &mut self,
         id: u64,
         scheme: &S,
     ) -> Result<&mut Self, ForestError> {
-        self.claim_id(id)?;
+        self.claim_directory_record(id, scheme.as_store().node_count())?;
         self.trees.push((id, scheme.as_store().as_words().to_vec()));
         Ok(self)
     }
@@ -751,13 +768,15 @@ impl ForestBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`ForestError::DuplicateTree`] when `id` was already pushed.
+    /// Returns [`ForestError::Directory`] when the store's label count
+    /// cannot be indexed by a directory record (n ≥ 2³²), and
+    /// [`ForestError::DuplicateTree`] when `id` was already pushed.
     pub fn push_store<S: StoredScheme>(
         &mut self,
         id: u64,
         store: SchemeStore<S>,
     ) -> Result<&mut Self, ForestError> {
-        self.claim_id(id)?;
+        self.claim_directory_record(id, store.node_count())?;
         self.trees.push((id, store.into_words()));
         Ok(self)
     }
@@ -900,6 +919,17 @@ fn prepare_route(
     queries: &[(u64, usize, usize)],
     scratch: &mut RouteScratch,
 ) {
+    // The scratch stores slot and query indices in 32 bits (halving the
+    // routing tables); make the truncating casts below unreachable rather
+    // than silently wrong for pathological inputs.
+    assert!(
+        slots.len() <= u32::MAX as usize,
+        "forest directory exceeds the routed engine's 2³² slot bound"
+    );
+    assert!(
+        queries.len() <= u32::MAX as usize,
+        "routed batch exceeds 2³² queries; split it into sub-batches"
+    );
     scratch.slots.clear();
     scratch.slots.reserve(queries.len());
     let mut last: Option<(u64, u32, usize)> = None;

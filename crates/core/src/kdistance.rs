@@ -40,12 +40,13 @@
 //! paper's NCSA computation is implemented as
 //! [`KDistanceScheme::ncsa_light_depth`] and cross-checked in the tests.
 
-use crate::hpath::{AuxWidths, HpathLabel};
+use crate::hpath::{AuxWidths, HpathLabel, HpathLabeling};
 use crate::kernel::kdistance::{self as kernel, KDistanceLabelRef, KDistanceMeta};
 use crate::store::{SchemeStore, StoreError, StoredScheme, NO_DISTANCE};
-use crate::substrate::{self, PackSource, Substrate};
+use crate::substrate::{PackSource, Substrate};
 use treelab_bits::wordram::{range_height, range_id_from_member, two_approx_exp};
 use treelab_bits::{codes, monotone::MonotoneSeq, BitSlice, BitWriter};
+use treelab_tree::heavy::HeavyPaths;
 use treelab_tree::{NodeId, Tree};
 
 /// Writes the self-delimiting wire encoding of one label (the format
@@ -121,17 +122,12 @@ impl KDistanceScheme {
     ///
     /// Panics if `k == 0` or the tree is weighted.
     pub fn build_with_substrate(sub: &Substrate<'_>, k: u64) -> Self {
-        let width = Self::pre_width(sub);
-        let rows = Self::build_rows(sub, k, true);
-        let store = SchemeStore::from_source(&KdSource {
-            rows: &rows,
-            k,
-            width,
-        });
+        let src = KdSource::new(sub, k, true);
+        let (store, plan) = SchemeStore::from_source_with(&src, &sub.pack_config());
         KDistanceScheme {
             k,
             store,
-            wire_bits: rows.iter().map(|r| r.wire_bits).collect(),
+            wire_bits: plan.wire_bits,
         }
     }
 
@@ -139,99 +135,12 @@ impl KDistanceScheme {
         codes::bit_len(sub.tree().len().saturating_sub(1) as u64) as u32
     }
 
+    /// Builds every row in memory (the legacy struct-label pipeline; the
+    /// packed build streams rows through [`KdSource`] instead).
+    #[cfg(feature = "legacy-labels")]
     fn build_rows<'s>(sub: &'s Substrate<'_>, k: u64, with_wire: bool) -> Vec<KdRow<'s>> {
-        let tree = sub.tree();
-        assert!(k >= 1, "k must be at least 1");
-        assert!(
-            tree.is_unit_weighted(),
-            "k-distance labeling expects an unweighted tree"
-        );
-        let hp = sub.heavy_paths();
-        let aux = sub.aux_labels();
-        let n = tree.len();
-        let width = Self::pre_width(sub);
-        let small_k = (k as f64) < (n as f64).log2().max(1.0);
-        let depths = sub.depths();
-
-        // Precompute id(L_q) for every node (cheap, and used for the tables).
-        let id_of = |q: NodeId| -> u64 {
-            let (lo, hi) = hp.light_range(q);
-            let h = range_height(lo as u64, (hi - 1) as u64, width);
-            range_id_from_member(lo as u64, h)
-        };
-        let height_of = |q: NodeId| -> u64 {
-            let (lo, hi) = hp.light_range(q);
-            range_height(lo as u64, (hi - 1) as u64, width) as u64
-        };
-
-        substrate::build_vec(sub.parallelism(), tree.len(), |ui| {
-            let u = tree.node(ui);
-            let sig = hp.significant_ancestors(u);
-            let all_dists: Vec<u64> = sig
-                .iter()
-                .map(|&a| (depths[u.index()] - depths[a.index()]) as u64)
-                .collect();
-            let r = all_dists
-                .iter()
-                .rposition(|&d| d <= k)
-                .expect("d(u,u)=0 <= k");
-            let dists = all_dists[..=r].to_vec();
-            let heights: Vec<u64> = sig[..=r].iter().map(|&a| height_of(a)).collect();
-            let top = sig[r];
-            let q_path = hp.path_of(top);
-            let pos = hp.pos_in_path(top) as u64;
-            let alpha_true = hp.head_offset(top); // == pos in an unweighted tree
-            let (alpha, alpha_exact) = if small_k && alpha_true > 2 * k {
-                (2 * k + 1, false)
-            } else {
-                (alpha_true, true)
-            };
-            let (up_exps, down_exps) = if small_k {
-                let nodes = hp.path_nodes(q_path);
-                let i = hp.pos_in_path(top);
-                let base = id_of(top);
-                let up: Vec<u64> = (1..=k as usize)
-                    .take_while(|t| i + t < nodes.len())
-                    .map(|t| u64::from(two_approx_exp(id_of(nodes[i + t]) - base)))
-                    .collect();
-                let down: Vec<u64> = (1..=k as usize)
-                    .take_while(|t| *t <= i)
-                    .map(|t| u64::from(two_approx_exp(base - id_of(nodes[i - t]))))
-                    .collect();
-                (up, down)
-            } else {
-                (Vec::new(), Vec::new())
-            };
-
-            let mut row = KdRow {
-                aux: aux.label(u),
-                heights,
-                dists,
-                alpha,
-                alpha_exact,
-                top_pos_mod: pos % (k + 1),
-                up_exps,
-                down_exps,
-                wire_bits: 0,
-            };
-            if with_wire {
-                // Closed-form wire size (no encoding pass; the feature-gated
-                // legacy tests pin it to the real encoder bit for bit).
-                row.wire_bits = (codes::gamma_nz_len(k)
-                    + codes::gamma_nz_len(u64::from(width))
-                    + codes::delta_nz_len(hp.pre(u) as u64)
-                    + row.aux.bit_len()
-                    + MonotoneSeq::encoded_len(&row.heights)
-                    + MonotoneSeq::encoded_len(&row.dists)
-                    + codes::delta_nz_len(row.alpha)
-                    + 1
-                    + codes::gamma_nz_len(row.top_pos_mod)
-                    + MonotoneSeq::encoded_len(&row.up_exps)
-                    + MonotoneSeq::encoded_len(&row.down_exps))
-                    as u32;
-            }
-            row
-        })
+        let src = KdSource::new(sub, k, with_wire);
+        crate::substrate::build_vec(sub.parallelism(), sub.tree().len(), |i| src.make_row(i))
     }
 
     /// The distance bound `k`.
@@ -276,53 +185,190 @@ impl KDistanceScheme {
     }
 }
 
-/// The pack source of the `k`-distance scheme.
-struct KdSource<'a, 'b> {
-    rows: &'b [KdRow<'a>],
+/// The pack source of the `k`-distance scheme: rows are built on demand over
+/// the shared substrate.
+struct KdSource<'s> {
+    tree: &'s Tree,
+    hp: &'s HeavyPaths,
+    aux: &'s HpathLabeling,
+    depths: &'s [usize],
     k: u64,
     width: u32,
+    small_k: bool,
+    with_wire: bool,
 }
 
-impl PackSource<KDistanceScheme> for KdSource<'_, '_> {
+impl<'s> KdSource<'s> {
+    fn new(sub: &'s Substrate<'_>, k: u64, with_wire: bool) -> Self {
+        let tree = sub.tree();
+        assert!(k >= 1, "k must be at least 1");
+        assert!(
+            tree.is_unit_weighted(),
+            "k-distance labeling expects an unweighted tree"
+        );
+        KdSource {
+            tree,
+            hp: sub.heavy_paths(),
+            aux: sub.aux_labels(),
+            depths: sub.depths(),
+            k,
+            width: KDistanceScheme::pre_width(sub),
+            small_k: (k as f64) < (tree.len() as f64).log2().max(1.0),
+            with_wire,
+        }
+    }
+}
+
+/// Plan of the `k`-distance pack: the per-row width maxima plus the wire
+/// sizes the scheme reports, folded in node-id order.
+#[derive(Default)]
+struct KdPlan {
+    w_sc: u8,
+    w_d: u8,
+    w_h: u8,
+    w_al: u8,
+    w_tpm: u8,
+    w_ue: u8,
+    w_de: u8,
+    w_uc: u8,
+    w_dc: u8,
+    aux_w: AuxWidths,
+    wire_bits: Vec<u32>,
+}
+
+impl<'s> PackSource<KDistanceScheme> for KdSource<'s> {
+    type Row = KdRow<'s>;
+    type Plan = KdPlan;
+
     fn node_count(&self) -> usize {
-        self.rows.len()
+        self.tree.len()
     }
 
     fn store_param(&self) -> u64 {
         self.k
     }
 
-    fn meta_words(&self) -> Vec<u64> {
-        let (mut w_sc, mut w_d, mut w_h, mut w_al, mut w_tpm) = (0u8, 0u8, 0u8, 0u8, 0u8);
-        let (mut w_ue, mut w_de, mut w_uc, mut w_dc) = (0u8, 0u8, 0u8, 0u8);
-        let mut aux_w = AuxWidths::default();
-        let w = |x: u64| codes::bit_len(x) as u8;
-        for r in self.rows {
-            w_sc = w_sc.max(w(r.dists.len() as u64));
-            // Both sequences are non-decreasing; their last entries bound them.
-            w_d = w_d.max(w(r.dists.last().copied().unwrap_or(0)));
-            w_h = w_h.max(w(r.heights.last().copied().unwrap_or(0)));
-            w_al = w_al.max(w(r.alpha));
-            w_tpm = w_tpm.max(w(r.top_pos_mod));
-            w_uc = w_uc.max(w(r.up_exps.len() as u64));
-            w_dc = w_dc.max(w(r.down_exps.len() as u64));
-            w_ue = w_ue.max(w(r.up_exps.last().copied().unwrap_or(0)));
-            w_de = w_de.max(w(r.down_exps.last().copied().unwrap_or(0)));
-            aux_w.observe(r.aux);
+    fn make_row(&self, ui: usize) -> KdRow<'s> {
+        let (hp, k, width) = (self.hp, self.k, self.width);
+        // id(L_q) / height(L_q) per node (cheap, and used for the tables).
+        let id_of = |q: NodeId| -> u64 {
+            let (lo, hi) = hp.light_range(q);
+            let h = range_height(lo as u64, (hi - 1) as u64, width);
+            range_id_from_member(lo as u64, h)
+        };
+        let height_of = |q: NodeId| -> u64 {
+            let (lo, hi) = hp.light_range(q);
+            range_height(lo as u64, (hi - 1) as u64, width) as u64
+        };
+
+        let u = self.tree.node(ui);
+        let sig = hp.significant_ancestors(u);
+        let all_dists: Vec<u64> = sig
+            .iter()
+            .map(|&a| (self.depths[u.index()] - self.depths[a.index()]) as u64)
+            .collect();
+        let r = all_dists
+            .iter()
+            .rposition(|&d| d <= k)
+            .expect("d(u,u)=0 <= k");
+        let dists = all_dists[..=r].to_vec();
+        let heights: Vec<u64> = sig[..=r].iter().map(|&a| height_of(a)).collect();
+        let top = sig[r];
+        let q_path = hp.path_of(top);
+        let pos = hp.pos_in_path(top) as u64;
+        let alpha_true = hp.head_offset(top); // == pos in an unweighted tree
+        let (alpha, alpha_exact) = if self.small_k && alpha_true > 2 * k {
+            (2 * k + 1, false)
+        } else {
+            (alpha_true, true)
+        };
+        let (up_exps, down_exps) = if self.small_k {
+            let nodes = hp.path_nodes(q_path);
+            let i = hp.pos_in_path(top);
+            let base = id_of(top);
+            let up: Vec<u64> = (1..=k as usize)
+                .take_while(|t| i + t < nodes.len())
+                .map(|t| u64::from(two_approx_exp(id_of(nodes[i + t]) - base)))
+                .collect();
+            let down: Vec<u64> = (1..=k as usize)
+                .take_while(|t| *t <= i)
+                .map(|t| u64::from(two_approx_exp(base - id_of(nodes[i - t]))))
+                .collect();
+            (up, down)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
+        let mut row = KdRow {
+            aux: self.aux.label(u),
+            heights,
+            dists,
+            alpha,
+            alpha_exact,
+            top_pos_mod: pos % (k + 1),
+            up_exps,
+            down_exps,
+            wire_bits: 0,
+        };
+        if self.with_wire {
+            // Closed-form wire size (no encoding pass; the feature-gated
+            // legacy tests pin it to the real encoder bit for bit).
+            row.wire_bits = (codes::gamma_nz_len(k)
+                + codes::gamma_nz_len(u64::from(width))
+                + codes::delta_nz_len(hp.pre(u) as u64)
+                + row.aux.bit_len()
+                + MonotoneSeq::encoded_len(&row.heights)
+                + MonotoneSeq::encoded_len(&row.dists)
+                + codes::delta_nz_len(row.alpha)
+                + 1
+                + codes::gamma_nz_len(row.top_pos_mod)
+                + MonotoneSeq::encoded_len(&row.up_exps)
+                + MonotoneSeq::encoded_len(&row.down_exps)) as u32;
         }
+        row
+    }
+
+    fn plan_row(&self, plan: &mut KdPlan, _u: usize, r: &KdRow<'s>) {
+        let w = |x: u64| codes::bit_len(x) as u8;
+        plan.w_sc = plan.w_sc.max(w(r.dists.len() as u64));
+        // Both sequences are non-decreasing; their last entries bound them.
+        plan.w_d = plan.w_d.max(w(r.dists.last().copied().unwrap_or(0)));
+        plan.w_h = plan.w_h.max(w(r.heights.last().copied().unwrap_or(0)));
+        plan.w_al = plan.w_al.max(w(r.alpha));
+        plan.w_tpm = plan.w_tpm.max(w(r.top_pos_mod));
+        plan.w_uc = plan.w_uc.max(w(r.up_exps.len() as u64));
+        plan.w_dc = plan.w_dc.max(w(r.down_exps.len() as u64));
+        plan.w_ue = plan.w_ue.max(w(r.up_exps.last().copied().unwrap_or(0)));
+        plan.w_de = plan.w_de.max(w(r.down_exps.last().copied().unwrap_or(0)));
+        plan.aux_w.observe(r.aux);
+        plan.wire_bits.push(r.wire_bits);
+    }
+
+    fn meta_words(&self, plan: &KdPlan) -> Vec<u64> {
         // The k-distance query uses the aux label only for the preorder
         // (same-node test) and the common light depth; domination order and
         // subtree size are packed at width 0.
+        let mut aux_w = plan.aux_w;
         aux_w.dom = 0;
         aux_w.sub = 0;
         KDistanceMeta::with_widths(
-            self.k, self.width, w_sc, w_d, w_h, w_al, w_tpm, w_ue, w_de, w_uc, w_dc, aux_w,
+            self.k,
+            self.width,
+            plan.w_sc,
+            plan.w_d,
+            plan.w_h,
+            plan.w_al,
+            plan.w_tpm,
+            plan.w_ue,
+            plan.w_de,
+            plan.w_uc,
+            plan.w_dc,
+            aux_w,
         )
         .words()
     }
 
-    fn packed_label_bits(&self, meta: &KDistanceMeta, u: usize) -> usize {
-        let r = &self.rows[u];
+    fn packed_label_bits(&self, meta: &KDistanceMeta, r: &KdRow<'s>) -> usize {
         meta.hdr_total
             + r.dists.len() * (meta.d_w + meta.h_w)
             + r.up_exps.len() * meta.ue_w
@@ -330,8 +376,7 @@ impl PackSource<KDistanceScheme> for KdSource<'_, '_> {
             + meta.aux_w.packed_bits(r.aux)
     }
 
-    fn pack_label(&self, meta: &KDistanceMeta, u: usize, w: &mut BitWriter) {
-        let r = &self.rows[u];
+    fn pack_label(&self, meta: &KDistanceMeta, r: &KdRow<'s>, w: &mut BitWriter) {
         w.write_bits_lsb(r.dists.len() as u64, usize::from(meta.w_sc));
         w.write_bits_lsb(r.up_exps.len() as u64, usize::from(meta.w_uc));
         w.write_bits_lsb(r.down_exps.len() as u64, usize::from(meta.w_dc));
@@ -545,13 +590,19 @@ impl KDistanceScheme {
     pub fn store_from_legacy(labels: &[KDistanceLabel]) -> SchemeStore<KDistanceScheme> {
         struct LegacySource<'a>(&'a [KDistanceLabel]);
         impl PackSource<KDistanceScheme> for LegacySource<'_> {
+            type Row = usize;
+            type Plan = ();
             fn node_count(&self) -> usize {
                 self.0.len()
             }
             fn store_param(&self) -> u64 {
                 self.0.first().map_or(1, |l| l.k)
             }
-            fn meta_words(&self) -> Vec<u64> {
+            fn make_row(&self, u: usize) -> usize {
+                u
+            }
+            fn plan_row(&self, (): &mut (), _u: usize, _row: &usize) {}
+            fn meta_words(&self, (): &()) -> Vec<u64> {
                 let k = <Self as PackSource<KDistanceScheme>>::store_param(self);
                 let width = self.0.first().map_or(0, |l| l.width);
                 let (mut w_sc, mut w_d, mut w_h, mut w_al, mut w_tpm) = (0u8, 0u8, 0u8, 0u8, 0u8);
@@ -578,7 +629,7 @@ impl KDistanceScheme {
                 )
                 .words()
             }
-            fn packed_label_bits(&self, meta: &KDistanceMeta, u: usize) -> usize {
+            fn packed_label_bits(&self, meta: &KDistanceMeta, &u: &usize) -> usize {
                 let l = &self.0[u];
                 meta.hdr_total
                     + l.dists.len() * (meta.d_w + meta.h_w)
@@ -586,7 +637,7 @@ impl KDistanceScheme {
                     + l.down_exps.len() * meta.de_w
                     + meta.aux_w.packed_bits(&l.aux)
             }
-            fn pack_label(&self, meta: &KDistanceMeta, u: usize, w: &mut BitWriter) {
+            fn pack_label(&self, meta: &KDistanceMeta, &u: &usize, w: &mut BitWriter) {
                 let l = &self.0[u];
                 debug_assert_eq!(
                     l.pre,

@@ -72,21 +72,16 @@ impl PsumMeta {
 
     /// Pack-time width planning: scans `(root_distance, Σ entries, aux)` per
     /// node for the maximum field widths.
+    #[cfg_attr(not(feature = "legacy-labels"), allow(dead_code))]
     pub(crate) fn measure<'x, I>(labels: I) -> Self
     where
         I: Iterator<Item = (u64, u64, &'x HpathLabel)>,
     {
-        let (mut w_rd, mut w_ps) = (0u8, 0u8);
-        let mut aux_w = AuxWidths::default();
+        let mut m = PsumMeasure::default();
         for (rd, entry_total, aux) in labels {
-            w_rd = w_rd.max(codes::bit_len(rd) as u8);
-            w_ps = w_ps.max(codes::bit_len(entry_total) as u8);
-            aux_w.observe(aux);
+            m.observe(rd, entry_total, aux);
         }
-        // The symmetric min-of-branch-distances query never consults the
-        // domination order, so the field is packed at width 0.
-        aux_w.dom = 0;
-        Self::with_widths(w_rd, w_ps, aux_w)
+        m.finish()
     }
 
     pub(crate) fn words(self) -> Vec<u64> {
@@ -137,6 +132,34 @@ impl PsumMeta {
             count += 1;
         }
         debug_assert_eq!(count, aux.light_depth());
+    }
+}
+
+/// Incremental form of [`PsumMeta::measure`]: the fold the chunk-streaming
+/// build accumulates row by row (field-width maxima are associative, so the
+/// chunked fold and the one-shot scan produce identical meta words).
+#[derive(Debug, Default)]
+pub(crate) struct PsumMeasure {
+    w_rd: u8,
+    w_ps: u8,
+    aux_w: AuxWidths,
+}
+
+impl PsumMeasure {
+    /// Grows the widths to accommodate one node.
+    pub(crate) fn observe(&mut self, rd: u64, entry_total: u64, aux: &HpathLabel) {
+        self.w_rd = self.w_rd.max(codes::bit_len(rd) as u8);
+        self.w_ps = self.w_ps.max(codes::bit_len(entry_total) as u8);
+        self.aux_w.observe(aux);
+    }
+
+    /// Finishes the scan into the query-ready meta.
+    pub(crate) fn finish(&self) -> PsumMeta {
+        // The symmetric min-of-branch-distances query never consults the
+        // domination order, so the field is packed at width 0.
+        let mut aux_w = self.aux_w;
+        aux_w.dom = 0;
+        PsumMeta::with_widths(self.w_rd, self.w_ps, aux_w)
     }
 }
 

@@ -28,11 +28,12 @@
 
 use crate::kernel::level_ancestor::{self as kernel, LevelAncestorLabelRef, LevelAncestorMeta};
 use crate::store::{SchemeStore, StoreError, StoredScheme};
-use crate::substrate::{self, PackSource, Substrate};
+use crate::substrate::{PackSource, Substrate};
 use crate::DistanceScheme;
 use treelab_bits::{
     codes, monotone::MonotoneSeq, BitReader, BitSlice, BitVec, BitWriter, DecodeError,
 };
+use treelab_tree::heavy::HeavyPaths;
 use treelab_tree::{NodeId, Tree};
 
 /// Label of the level-ancestor scheme.
@@ -169,47 +170,11 @@ impl LevelAncestorScheme {
     /// Panics if the tree is not unit-weighted (depths would no longer count
     /// ancestors).
     pub fn build_with_substrate(sub: &Substrate<'_>) -> Self {
-        let tree = sub.tree();
-        assert!(
-            tree.is_unit_weighted(),
-            "level-ancestor labeling expects an unweighted tree"
-        );
-        let hp = sub.heavy_paths();
-        // Per-path codeword prefixes (with branch offsets), level-parallel
-        // over the collapsed tree — the same prefix stage the heavy-path
-        // auxiliary labels use.
-        let prefixes = crate::hpath::build_path_prefixes(hp, sub.parallelism(), true);
-        let depths = sub.depths();
-        let rows: Vec<(LaRow, u32)> = substrate::build_vec(sub.parallelism(), tree.len(), |i| {
-            let u = tree.node(i);
-            let p = hp.path_of(u);
-            let row = (depths[u.index()] as u64, hp.head_offset(u), p);
-            // Closed-form wire size (no encoding pass; the encode/decode
-            // round-trip test pins it to the real encoder bit for bit).
-            let cwl = prefixes.bits[p].len();
-            let ends = &prefixes.ends[p];
-            let wire = codes::delta_nz_len(row.0)
-                + codes::delta_nz_len(row.1)
-                + MonotoneSeq::encoded_len_parts(
-                    ends.len(),
-                    u64::from(ends.last().copied().unwrap_or(0)),
-                )
-                + codes::gamma_nz_len(cwl as u64)
-                + cwl
-                + prefixes.branches[p]
-                    .iter()
-                    .map(|&b| codes::delta_nz_len(b))
-                    .sum::<usize>();
-            (row, wire as u32)
-        });
-        let la_rows: Vec<LaRow> = rows.iter().map(|&(r, _)| r).collect();
-        let store = SchemeStore::from_source(&LaSource {
-            rows: &la_rows,
-            prefixes: &prefixes,
-        });
+        let src = LaSource::new(sub);
+        let (store, plan) = SchemeStore::from_source_with(&src, &sub.pack_config());
         LevelAncestorScheme {
             store,
-            wire_bits: rows.iter().map(|&(_, wb)| wb).collect(),
+            wire_bits: plan.wire_bits,
         }
     }
 
@@ -305,39 +270,104 @@ impl LevelAncestorScheme {
 }
 
 /// The pack source of the level-ancestor scheme: per-node `(depth,
-/// head_offset, path)` rows over the shared per-path prefixes.
-struct LaSource<'b> {
-    rows: &'b [LaRow],
-    prefixes: &'b crate::hpath::PathPrefixes,
+/// head_offset, path)` rows built on demand over the shared per-path
+/// prefixes (which stay resident — they are `O(total codeword bits)`,
+/// not `O(n·label)`).
+struct LaSource<'s> {
+    tree: &'s Tree,
+    hp: &'s HeavyPaths,
+    depths: &'s [usize],
+    prefixes: crate::hpath::PathPrefixes,
+}
+
+impl<'s> LaSource<'s> {
+    fn new(sub: &'s Substrate<'_>) -> Self {
+        let tree = sub.tree();
+        assert!(
+            tree.is_unit_weighted(),
+            "level-ancestor labeling expects an unweighted tree"
+        );
+        let hp = sub.heavy_paths();
+        // Per-path codeword prefixes (with branch offsets), level-parallel
+        // over the collapsed tree — the same prefix stage the heavy-path
+        // auxiliary labels use.
+        let prefixes = crate::hpath::build_path_prefixes(hp, sub.parallelism(), true);
+        LaSource {
+            tree,
+            hp,
+            depths: sub.depths(),
+            prefixes,
+        }
+    }
+}
+
+/// Plan of the level-ancestor pack: the per-row width maxima plus the wire
+/// sizes the scheme reports, folded in node-id order.
+#[derive(Default)]
+struct LaPlan {
+    w_d: u8,
+    w_ho: u8,
+    w_ld: u8,
+    w_end: u8,
+    w_bs: u8,
+    wire_bits: Vec<u32>,
 }
 
 impl PackSource<LevelAncestorScheme> for LaSource<'_> {
+    type Row = (LaRow, u32);
+    type Plan = LaPlan;
+
     fn node_count(&self) -> usize {
-        self.rows.len()
+        self.tree.len()
     }
 
-    fn meta_words(&self) -> Vec<u64> {
-        let (mut w_d, mut w_ho, mut w_ld, mut w_end, mut w_bs) = (0u8, 0u8, 0u8, 0u8, 0u8);
+    fn make_row(&self, i: usize) -> (LaRow, u32) {
+        let u = self.tree.node(i);
+        let p = self.hp.path_of(u);
+        let row = (
+            self.depths[u.index()] as u64,
+            self.hp.head_offset(u),
+            p,
+        );
+        // Closed-form wire size (no encoding pass; the encode/decode
+        // round-trip test pins it to the real encoder bit for bit).
+        let cwl = self.prefixes.bits[p].len();
+        let ends = &self.prefixes.ends[p];
+        let wire = codes::delta_nz_len(row.0)
+            + codes::delta_nz_len(row.1)
+            + MonotoneSeq::encoded_len_parts(ends.len(), u64::from(ends.last().copied().unwrap_or(0)))
+            + codes::gamma_nz_len(cwl as u64)
+            + cwl
+            + self.prefixes.branches[p]
+                .iter()
+                .map(|&b| codes::delta_nz_len(b))
+                .sum::<usize>();
+        (row, wire as u32)
+    }
+
+    fn plan_row(&self, plan: &mut LaPlan, _u: usize, &((depth, ho, p), wire): &(LaRow, u32)) {
         let w = |x: u64| codes::bit_len(x) as u8;
-        for &(depth, ho, p) in self.rows {
-            w_d = w_d.max(w(depth));
-            w_ho = w_ho.max(w(ho));
-            let branches = &self.prefixes.branches[p];
-            w_ld = w_ld.max(w(branches.len() as u64));
-            w_end = w_end.max(w(self.prefixes.bits[p].len() as u64));
-            let depth_sum: u64 = branches.iter().map(|&o| o + 1).sum();
-            w_bs = w_bs.max(w(depth_sum));
-        }
-        LevelAncestorMeta::with_widths(w_d, w_ho, w_ld, w_end, w_bs).words()
+        plan.w_d = plan.w_d.max(w(depth));
+        plan.w_ho = plan.w_ho.max(w(ho));
+        let branches = &self.prefixes.branches[p];
+        plan.w_ld = plan.w_ld.max(w(branches.len() as u64));
+        plan.w_end = plan.w_end.max(w(self.prefixes.bits[p].len() as u64));
+        let depth_sum: u64 = branches.iter().map(|&o| o + 1).sum();
+        plan.w_bs = plan.w_bs.max(w(depth_sum));
+        plan.wire_bits.push(wire);
     }
 
-    fn packed_label_bits(&self, meta: &LevelAncestorMeta, u: usize) -> usize {
-        let (_, _, p) = self.rows[u];
+    fn meta_words(&self, plan: &LaPlan) -> Vec<u64> {
+        LevelAncestorMeta::with_widths(plan.w_d, plan.w_ho, plan.w_ld, plan.w_end, plan.w_bs)
+            .words()
+    }
+
+    fn packed_label_bits(&self, meta: &LevelAncestorMeta, &((_, _, p), _): &(LaRow, u32)) -> usize {
         meta.hdr_total + self.prefixes.bits[p].len() + self.prefixes.branches[p].len() * meta.rec_w
     }
 
-    fn pack_label(&self, meta: &LevelAncestorMeta, u: usize, w: &mut BitWriter) {
-        let (depth, ho, p) = self.rows[u];
+    fn pack_label(&self, meta: &LevelAncestorMeta, row: &(LaRow, u32), w: &mut BitWriter) {
+        let ((depth, ho, p), _) = *row;
         let (bits, ends, branches) = (
             &self.prefixes.bits[p],
             &self.prefixes.ends[p],
@@ -440,10 +470,16 @@ impl LevelAncestorScheme {
     pub fn store_from_legacy(labels: &[LevelAncestorLabel]) -> SchemeStore<LevelAncestorScheme> {
         struct LegacySource<'a>(&'a [LevelAncestorLabel]);
         impl PackSource<LevelAncestorScheme> for LegacySource<'_> {
+            type Row = usize;
+            type Plan = ();
             fn node_count(&self) -> usize {
                 self.0.len()
             }
-            fn meta_words(&self) -> Vec<u64> {
+            fn make_row(&self, u: usize) -> usize {
+                u
+            }
+            fn plan_row(&self, (): &mut (), _u: usize, _row: &usize) {}
+            fn meta_words(&self, (): &()) -> Vec<u64> {
                 let (mut w_d, mut w_ho, mut w_ld, mut w_end, mut w_bs) = (0u8, 0u8, 0u8, 0u8, 0u8);
                 let w = |x: u64| codes::bit_len(x) as u8;
                 for l in self.0 {
@@ -456,11 +492,11 @@ impl LevelAncestorScheme {
                 }
                 LevelAncestorMeta::with_widths(w_d, w_ho, w_ld, w_end, w_bs).words()
             }
-            fn packed_label_bits(&self, meta: &LevelAncestorMeta, u: usize) -> usize {
+            fn packed_label_bits(&self, meta: &LevelAncestorMeta, &u: &usize) -> usize {
                 let l = &self.0[u];
                 meta.hdr_total + l.codewords.len() + l.branch_offsets.len() * meta.rec_w
             }
-            fn pack_label(&self, meta: &LevelAncestorMeta, u: usize, w: &mut BitWriter) {
+            fn pack_label(&self, meta: &LevelAncestorMeta, &u: &usize, w: &mut BitWriter) {
                 let l = &self.0[u];
                 debug_assert_eq!(l.ends.len(), l.branch_offsets.len());
                 w.write_bits_lsb(l.depth, usize::from(meta.w_d));

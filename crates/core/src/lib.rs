@@ -70,6 +70,7 @@ pub mod forest;
 pub mod hpath;
 pub mod kdistance;
 pub mod kernel;
+pub mod layout;
 pub mod level_ancestor;
 pub mod naive;
 pub mod optimal;
@@ -84,6 +85,7 @@ pub use forest::{
     ForestBuilder, ForestError, ForestFileError, ForestPin, ForestRef, ForestStore, RouteScratch,
     ValidationPolicy, VerifyCursor,
 };
+pub use layout::LabelLayout;
 pub use store::{AnyStoreRef, IndexWidth, SchemeStore, StoreError, StoreRef, StoredScheme};
 pub use substrate::{Parallelism, Substrate};
 

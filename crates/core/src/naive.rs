@@ -19,13 +19,14 @@
 //! the quantity the paper's `Θ(log²n)` analysis is about — whose
 //! encoder/decoder pair survives behind the `legacy-labels` feature.
 
-use crate::hpath::HpathLabel;
-use crate::kernel::psum::{self, PsumMeta, PsumRef};
+use crate::hpath::{HpathLabel, HpathLabeling};
+use crate::kernel::psum::{self, PsumMeasure, PsumMeta, PsumRef};
 use crate::store::{SchemeStore, StoreError, StoredScheme};
-use crate::substrate::{self, PackSource, Substrate};
+use crate::substrate::{PackSource, Substrate};
 use crate::DistanceScheme;
 use treelab_bits::{codes, BitSlice, BitWriter};
-use treelab_tree::heavy::LightEdge;
+use treelab_tree::binarize::Binarized;
+use treelab_tree::heavy::{HeavyPaths, LightEdge};
 use treelab_tree::{NodeId, Tree};
 
 /// Writes the fixed-width wire encoding of one label (the format
@@ -81,50 +82,102 @@ impl PsumRow<'_> {
 }
 
 /// Builds the per-node rows of the two prefix-sum schemes over the shared
-/// substrate, computing each node's wire size with `wire_len`.
+/// substrate, computing each node's wire size with `wire_len` (the legacy
+/// struct-label pipeline; the packed build streams rows through
+/// [`PsumSource`] instead).
+#[cfg(feature = "legacy-labels")]
 pub(crate) fn build_psum_rows<'s>(
     sub: &'s Substrate<'_>,
     wire_len: impl Fn(&PsumRow<'s>) -> usize + Sync,
 ) -> Vec<PsumRow<'s>> {
-    let tree = sub.tree();
-    let bs = sub.binarized_expect();
-    let (bin, hp, aux) = (bs.binarized(), bs.heavy_paths(), bs.aux_labels());
-    substrate::build_vec(sub.parallelism(), tree.len(), move |i| {
-        let leaf = bin.proxy(tree.node(i));
-        let mut row = PsumRow {
-            rd: hp.root_distance(leaf),
-            edges: hp.light_edges_to(leaf),
-            aux: aux.label(leaf),
-            wire_bits: 0,
-        };
-        row.wire_bits = wire_len(&row) as u32;
-        row
+    let src = PsumSource::new(sub, wire_len, false);
+    crate::substrate::build_vec(sub.parallelism(), sub.tree().len(), |i| {
+        PackSource::<NaiveScheme>::make_row(&src, i)
     })
 }
 
 /// The pack source shared by the two prefix-sum schemes (they differ only in
-/// their wire encodings; the packed layout is identical).
-pub(crate) struct PsumSource<'a, 'b> {
-    pub(crate) rows: &'b [PsumRow<'a>],
+/// their wire encodings; the packed layout is identical).  Rows are built on
+/// demand from the shared substrate so the chunk-streaming frame assembler
+/// never holds more than one chunk of them.
+pub(crate) struct PsumSource<'s, F> {
+    tree: &'s Tree,
+    bin: &'s Binarized,
+    hp: &'s HeavyPaths,
+    aux: &'s HpathLabeling,
+    wire_len: F,
+    /// Also accumulate per-node δ-payload bits (the distance-array scheme's
+    /// `Σᵢ ⌈log d(ℓᵢ)⌉` reporting quantity) into the plan.
+    collect_payload: bool,
 }
 
-impl<S: StoredScheme<Meta = PsumMeta>> PackSource<S> for PsumSource<'_, '_> {
+impl<'s, F> PsumSource<'s, F> {
+    pub(crate) fn new(sub: &'s Substrate<'_>, wire_len: F, collect_payload: bool) -> Self {
+        let bs = sub.binarized_expect();
+        PsumSource {
+            tree: sub.tree(),
+            bin: bs.binarized(),
+            hp: bs.heavy_paths(),
+            aux: bs.aux_labels(),
+            wire_len,
+            collect_payload,
+        }
+    }
+}
+
+/// Plan of the prefix-sum pack: the width scan plus the per-node wire (and
+/// optionally payload) sizes the owning schemes report, folded in node-id
+/// order so streaming builds don't need the rows afterwards.
+#[derive(Default)]
+pub(crate) struct PsumPlan {
+    measure: PsumMeasure,
+    pub(crate) wire_bits: Vec<u32>,
+    pub(crate) payload_bits: Vec<u32>,
+}
+
+impl<'s, S, F> PackSource<S> for PsumSource<'s, F>
+where
+    S: StoredScheme<Meta = PsumMeta>,
+    F: Fn(&PsumRow<'s>) -> usize + Sync,
+{
+    type Row = PsumRow<'s>;
+    type Plan = PsumPlan;
+
     fn node_count(&self) -> usize {
-        self.rows.len()
+        self.tree.len()
     }
 
-    fn meta_words(&self) -> Vec<u64> {
-        PsumMeta::measure(self.rows.iter().map(|r| (r.rd, r.entry_total(), r.aux))).words()
+    fn make_row(&self, u: usize) -> PsumRow<'s> {
+        let leaf = self.bin.proxy(self.tree.node(u));
+        let mut row = PsumRow {
+            rd: self.hp.root_distance(leaf),
+            edges: self.hp.light_edges_to(leaf),
+            aux: self.aux.label(leaf),
+            wire_bits: 0,
+        };
+        row.wire_bits = (self.wire_len)(&row) as u32;
+        row
     }
 
-    fn packed_label_bits(&self, meta: &PsumMeta, u: usize) -> usize {
-        let r = &self.rows[u];
-        meta.label_bits(r.edges.len(), r.aux)
+    fn plan_row(&self, plan: &mut PsumPlan, _u: usize, row: &PsumRow<'s>) {
+        plan.measure.observe(row.rd, row.entry_total(), row.aux);
+        plan.wire_bits.push(row.wire_bits);
+        if self.collect_payload {
+            plan.payload_bits
+                .push(row.entries().map(|(d, _)| codes::bit_len(d) as u32).sum());
+        }
     }
 
-    fn pack_label(&self, meta: &PsumMeta, u: usize, w: &mut BitWriter) {
-        let r = &self.rows[u];
-        meta.pack(r.rd, r.aux, r.entries(), w);
+    fn meta_words(&self, plan: &PsumPlan) -> Vec<u64> {
+        plan.measure.finish().words()
+    }
+
+    fn packed_label_bits(&self, meta: &PsumMeta, row: &PsumRow<'s>) -> usize {
+        meta.label_bits(row.edges.len(), row.aux)
+    }
+
+    fn pack_label(&self, meta: &PsumMeta, row: &PsumRow<'s>, w: &mut BitWriter) {
+        meta.pack(row.rd, row.aux, row.entries(), w);
     }
 }
 
@@ -151,17 +204,21 @@ impl DistanceScheme for NaiveScheme {
         let width = wire_width(sub);
         // Closed-form wire size (no encoding pass; the feature-gated legacy
         // tests pin it to the real encoder bit for bit).
-        let rows = build_psum_rows(sub, |row| {
-            codes::delta_nz_len(row.rd)
-                + 8
-                + row.aux.bit_len()
-                + codes::gamma_nz_len(row.edges.len() as u64)
-                + row.edges.len() * (usize::from(width) + 1)
-        });
-        let store = SchemeStore::from_source(&PsumSource { rows: &rows });
+        let src = PsumSource::new(
+            sub,
+            move |row: &PsumRow<'_>| {
+                codes::delta_nz_len(row.rd)
+                    + 8
+                    + row.aux.bit_len()
+                    + codes::gamma_nz_len(row.edges.len() as u64)
+                    + row.edges.len() * (usize::from(width) + 1)
+            },
+            false,
+        );
+        let (store, plan) = SchemeStore::from_source_with(&src, &sub.pack_config());
         NaiveScheme {
             store,
-            wire_bits: rows.iter().map(|r| r.wire_bits).collect(),
+            wire_bits: plan.wire_bits,
         }
     }
 
@@ -376,10 +433,17 @@ impl NaiveScheme {
     pub fn store_from_legacy(labels: &[NaiveLabel]) -> SchemeStore<NaiveScheme> {
         struct LegacySource<'a>(&'a [NaiveLabel]);
         impl PackSource<NaiveScheme> for LegacySource<'_> {
+            // The labels already exist in memory; rows are just indices.
+            type Row = usize;
+            type Plan = ();
             fn node_count(&self) -> usize {
                 self.0.len()
             }
-            fn meta_words(&self) -> Vec<u64> {
+            fn make_row(&self, u: usize) -> usize {
+                u
+            }
+            fn plan_row(&self, _plan: &mut (), _u: usize, _row: &usize) {}
+            fn meta_words(&self, _plan: &()) -> Vec<u64> {
                 PsumMeta::measure(
                     self.0
                         .iter()
@@ -387,11 +451,11 @@ impl NaiveScheme {
                 )
                 .words()
             }
-            fn packed_label_bits(&self, meta: &PsumMeta, u: usize) -> usize {
+            fn packed_label_bits(&self, meta: &PsumMeta, &u: &usize) -> usize {
                 let l = &self.0[u];
                 meta.label_bits(l.entries.len(), &l.aux)
             }
-            fn pack_label(&self, meta: &PsumMeta, u: usize, w: &mut BitWriter) {
+            fn pack_label(&self, meta: &PsumMeta, &u: &usize, w: &mut BitWriter) {
                 let l = &self.0[u];
                 meta.pack(
                     l.root_distance,

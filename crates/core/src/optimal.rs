@@ -39,12 +39,13 @@
 //! self-delimiting wire size — the quantity Theorem 1.1 bounds — whose
 //! encoder/decoder pair survives behind the `legacy-labels` feature.
 
-use crate::hpath::{AuxWidths, HpathLabel};
+use crate::hpath::{AuxWidths, HpathLabel, HpathLabeling};
 use crate::kernel::optimal::{self as kernel, OptimalLabelRef, OptimalMeta, W_PUSHED};
 use crate::store::{SchemeStore, StoreError, StoredScheme};
-use crate::substrate::{self, PackSource, Substrate};
+use crate::substrate::{PackSource, Substrate};
 use crate::DistanceScheme;
 use treelab_bits::{codes, monotone::MonotoneSeq, BitSlice, BitVec, BitWriter};
+use treelab_tree::binarize::Binarized;
 use treelab_tree::heavy::HeavyPaths;
 use treelab_tree::{NodeId, Tree};
 
@@ -176,85 +177,22 @@ impl OptimalScheme {
     /// [`OptimalScheme::build_with_config`] on a shared [`Substrate`].
     pub fn build_with_substrate_config(sub: &Substrate<'_>, config: OptimalConfig) -> Self {
         let bs = sub.binarized_expect();
-        let (bin, hp, aux) = (bs.binarized(), bs.heavy_paths(), bs.aux_labels());
-        let info = Self::build_path_info(bin.tree(), hp, config);
-        let tree = sub.tree();
-
-        let rows: Vec<OptimalRow<'_>> = substrate::build_vec(sub.parallelism(), tree.len(), |i| {
-            let leaf = bin.proxy(tree.node(i));
-            let rd = hp.root_distance(leaf);
-            // Paths from the root path down to the leaf's own path.
-            let mut up = Vec::new();
-            let mut p = hp.path_of(leaf);
-            loop {
-                up.push(p);
-                match hp.collapsed_parent(p) {
-                    Some(parent) => p = parent,
-                    None => break,
-                }
-            }
-            up.reverse();
-            let fragments: Vec<u64> = up
-                .iter()
-                .filter(|&&p| info[p].is_fragment_head)
-                .map(|&p| info[p].head_root_distance)
-                .collect();
-            let chain: Vec<usize> = up[1..].to_vec();
-            let row_aux = aux.label(leaf);
-            // One pass over the chain computes the accumulator total, the
-            // payload bits and the closed-form wire size (no encoding pass;
-            // the feature-gated legacy tests pin the latter to the real
-            // encoder bit for bit).
-            let mut acc_bits = 0usize;
-            let mut payload = 0usize;
-            let mut entry_wire = 0usize;
-            for &p in &chain {
-                let pi = &info[p];
-                let l = pi.accumulator.len();
-                acc_bits += l;
-                entry_wire += codes::gamma_nz_len(l as u64) + l;
-                match pi.entry.as_ref().expect("non-root paths carry an entry") {
-                    OptimalEntry::Exceptional => entry_wire += 1,
-                    OptimalEntry::Regular {
-                        frag_idx,
-                        pushed,
-                        kept,
-                        ..
-                    } => {
-                        payload += codes::bit_len(*kept);
-                        entry_wire += 2
-                            + codes::gamma_nz_len(u64::from(*frag_idx))
-                            + codes::gamma_nz_len(u64::from(*pushed))
-                            + codes::delta_nz_len(*kept);
-                    }
-                }
-            }
-            payload += acc_bits;
-            let wire = codes::delta_nz_len(rd)
-                + row_aux.bit_len()
-                + MonotoneSeq::encoded_len(&fragments)
-                + codes::gamma_nz_len(chain.len() as u64)
-                + entry_wire;
-            OptimalRow {
-                rd,
-                aux: row_aux,
-                fragments,
-                chain,
-                wire_bits: wire as u32,
-                payload_bits: payload as u32,
-                acc_bits: acc_bits as u32,
-            }
-        });
-
-        let store = SchemeStore::from_source(&OptimalSource {
-            rows: &rows,
-            info: &info,
-        });
+        // The per-path table is O(paths) ≤ O(n) small words plus the pushed
+        // bits — it stays resident for the whole build even when rows stream.
+        let info = Self::build_path_info(bs.binarized().tree(), bs.heavy_paths(), config);
+        let src = OptimalSource {
+            tree: sub.tree(),
+            bin: bs.binarized(),
+            hp: bs.heavy_paths(),
+            aux: bs.aux_labels(),
+            info,
+        };
+        let (store, plan) = SchemeStore::from_source_with(&src, &sub.pack_config());
         OptimalScheme {
             store,
-            wire_bits: rows.iter().map(|r| r.wire_bits).collect(),
-            payload_bits: rows.iter().map(|r| r.payload_bits).collect(),
-            acc_bits: rows.iter().map(|r| r.acc_bits).collect(),
+            wire_bits: plan.wire_bits,
+            payload_bits: plan.payload_bits,
+            acc_bits: plan.acc_bits,
         }
     }
 
@@ -393,44 +331,137 @@ impl OptimalScheme {
     }
 }
 
-/// The pack source of the optimal scheme: per-node rows plus the shared
-/// per-path entry/accumulator table.
-struct OptimalSource<'a, 'b> {
-    rows: &'b [OptimalRow<'a>],
-    info: &'b [PathInfo],
+/// The pack source of the optimal scheme: streamed per-node rows plus the
+/// owned per-path entry/accumulator table.
+struct OptimalSource<'s> {
+    tree: &'s Tree,
+    bin: &'s Binarized,
+    hp: &'s HeavyPaths,
+    aux: &'s HpathLabeling,
+    info: Vec<PathInfo>,
 }
 
-impl PackSource<OptimalScheme> for OptimalSource<'_, '_> {
+/// Plan of the optimal pack: the per-row width maxima (the per-path maxima
+/// come from the source's table) plus the per-node size accounting the
+/// scheme reports, folded in node-id order.
+#[derive(Default)]
+struct OptimalPlan {
+    w_rd: u8,
+    w_fc: u8,
+    w_frag: u8,
+    w_ae: u8,
+    aux_w: AuxWidths,
+    wire_bits: Vec<u32>,
+    payload_bits: Vec<u32>,
+    acc_bits: Vec<u32>,
+}
+
+impl<'s> PackSource<OptimalScheme> for OptimalSource<'s> {
+    type Row = OptimalRow<'s>;
+    type Plan = OptimalPlan;
+
     fn node_count(&self) -> usize {
-        self.rows.len()
+        self.tree.len()
     }
 
-    fn meta_words(&self) -> Vec<u64> {
+    fn make_row(&self, i: usize) -> OptimalRow<'s> {
+        let (hp, info) = (self.hp, &self.info);
+        let leaf = self.bin.proxy(self.tree.node(i));
+        let rd = hp.root_distance(leaf);
+        // Paths from the root path down to the leaf's own path.
+        let mut up = Vec::new();
+        let mut p = hp.path_of(leaf);
+        loop {
+            up.push(p);
+            match hp.collapsed_parent(p) {
+                Some(parent) => p = parent,
+                None => break,
+            }
+        }
+        up.reverse();
+        let fragments: Vec<u64> = up
+            .iter()
+            .filter(|&&p| info[p].is_fragment_head)
+            .map(|&p| info[p].head_root_distance)
+            .collect();
+        let chain: Vec<usize> = up[1..].to_vec();
+        let row_aux = self.aux.label(leaf);
+        // One pass over the chain computes the accumulator total, the
+        // payload bits and the closed-form wire size (no encoding pass;
+        // the feature-gated legacy tests pin the latter to the real
+        // encoder bit for bit).
+        let mut acc_bits = 0usize;
+        let mut payload = 0usize;
+        let mut entry_wire = 0usize;
+        for &p in &chain {
+            let pi = &info[p];
+            let l = pi.accumulator.len();
+            acc_bits += l;
+            entry_wire += codes::gamma_nz_len(l as u64) + l;
+            match pi.entry.as_ref().expect("non-root paths carry an entry") {
+                OptimalEntry::Exceptional => entry_wire += 1,
+                OptimalEntry::Regular {
+                    frag_idx,
+                    pushed,
+                    kept,
+                    ..
+                } => {
+                    payload += codes::bit_len(*kept);
+                    entry_wire += 2
+                        + codes::gamma_nz_len(u64::from(*frag_idx))
+                        + codes::gamma_nz_len(u64::from(*pushed))
+                        + codes::delta_nz_len(*kept);
+                }
+            }
+        }
+        payload += acc_bits;
+        let wire = codes::delta_nz_len(rd)
+            + row_aux.bit_len()
+            + MonotoneSeq::encoded_len(&fragments)
+            + codes::gamma_nz_len(chain.len() as u64)
+            + entry_wire;
+        OptimalRow {
+            rd,
+            aux: row_aux,
+            fragments,
+            chain,
+            wire_bits: wire as u32,
+            payload_bits: payload as u32,
+            acc_bits: acc_bits as u32,
+        }
+    }
+
+    fn plan_row(&self, plan: &mut OptimalPlan, _u: usize, r: &OptimalRow<'s>) {
         let w = |x: u64| codes::bit_len(x) as u8;
-        // Per-path maxima first (each path contributes the same entry to every
-        // node whose chain crosses it), then one cheap pass over the rows.
+        plan.w_rd = plan.w_rd.max(w(r.rd));
+        plan.w_fc = plan.w_fc.max(w(r.fragments.len() as u64));
+        // Fragments are non-decreasing, so the last bounds them all.
+        plan.w_frag = plan.w_frag.max(w(r.fragments.last().copied().unwrap_or(0)));
+        plan.w_ae = plan.w_ae.max(w(r.acc_bits as u64));
+        plan.aux_w.observe(r.aux);
+        plan.wire_bits.push(r.wire_bits);
+        plan.payload_bits.push(r.payload_bits);
+        plan.acc_bits.push(r.acc_bits);
+    }
+
+    fn meta_words(&self, plan: &OptimalPlan) -> Vec<u64> {
+        let w = |x: u64| codes::bit_len(x) as u8;
+        // Per-path maxima (each path contributes the same entry to every
+        // node whose chain crosses it); the per-row maxima sit in the plan.
         let (mut w_fi, mut w_kept) = (0u8, 0u8);
-        for pi in self.info {
+        for pi in &self.info {
             if let Some(OptimalEntry::Regular { frag_idx, kept, .. }) = &pi.entry {
                 w_fi = w_fi.max(w(u64::from(*frag_idx)));
                 w_kept = w_kept.max(w(*kept));
             }
         }
-        let (mut w_rd, mut w_fc, mut w_frag, mut w_ae) = (0u8, 0u8, 0u8, 0u8);
-        let mut aux_w = AuxWidths::default();
-        for r in self.rows {
-            w_rd = w_rd.max(w(r.rd));
-            w_fc = w_fc.max(w(r.fragments.len() as u64));
-            // Fragments are non-decreasing, so the last bounds them all.
-            w_frag = w_frag.max(w(r.fragments.last().copied().unwrap_or(0)));
-            w_ae = w_ae.max(w(r.acc_bits as u64));
-            aux_w.observe(r.aux);
-        }
-        OptimalMeta::with_widths(w_rd, w_fc, w_frag, w_fi, w_kept, w_ae, aux_w).words()
+        OptimalMeta::with_widths(
+            plan.w_rd, plan.w_fc, plan.w_frag, w_fi, w_kept, plan.w_ae, plan.aux_w,
+        )
+        .words()
     }
 
-    fn packed_label_bits(&self, meta: &OptimalMeta, u: usize) -> usize {
-        let r = &self.rows[u];
+    fn packed_label_bits(&self, meta: &OptimalMeta, r: &OptimalRow<'s>) -> usize {
         meta.hdr_total
             + meta.aux_w.packed_bits_core(r.aux)
             + r.fragments.len() * meta.frag_w
@@ -438,8 +469,7 @@ impl PackSource<OptimalScheme> for OptimalSource<'_, '_> {
             + r.acc_bits as usize
     }
 
-    fn pack_label(&self, meta: &OptimalMeta, u: usize, w: &mut BitWriter) {
-        let r = &self.rows[u];
+    fn pack_label(&self, meta: &OptimalMeta, r: &OptimalRow<'s>, w: &mut BitWriter) {
         debug_assert_eq!(r.chain.len(), r.aux.light_depth());
         w.write_bits_lsb(r.rd, usize::from(meta.w_rd));
         w.write_bits_lsb(r.chain.len() as u64, usize::from(meta.aux_w.ld));
@@ -735,7 +765,7 @@ impl OptimalScheme {
         let (bin, hp, aux) = (bs.binarized(), bs.heavy_paths(), bs.aux_labels());
         let info = Self::build_path_info(bin.tree(), hp, config);
         let tree = sub.tree();
-        substrate::build_vec(sub.parallelism(), tree.len(), |i| {
+        crate::substrate::build_vec(sub.parallelism(), tree.len(), |i| {
             let leaf = bin.proxy(tree.node(i));
             let mut chain = Vec::new();
             let mut p = hp.path_of(leaf);
@@ -777,10 +807,17 @@ impl OptimalScheme {
     pub fn store_from_legacy(labels: &[OptimalLabel]) -> SchemeStore<OptimalScheme> {
         struct LegacySource<'a>(&'a [OptimalLabel]);
         impl PackSource<OptimalScheme> for LegacySource<'_> {
+            // The labels already exist in memory; rows are just indices.
+            type Row = usize;
+            type Plan = ();
             fn node_count(&self) -> usize {
                 self.0.len()
             }
-            fn meta_words(&self) -> Vec<u64> {
+            fn make_row(&self, u: usize) -> usize {
+                u
+            }
+            fn plan_row(&self, _plan: &mut (), _u: usize, _row: &usize) {}
+            fn meta_words(&self, _plan: &()) -> Vec<u64> {
                 let w = |x: u64| codes::bit_len(x) as u8;
                 let (mut w_rd, mut w_fc, mut w_frag, mut w_fi, mut w_kept, mut w_ae) =
                     (0u8, 0u8, 0u8, 0u8, 0u8, 0u8);
@@ -800,7 +837,7 @@ impl OptimalScheme {
                 }
                 OptimalMeta::with_widths(w_rd, w_fc, w_frag, w_fi, w_kept, w_ae, aux_w).words()
             }
-            fn packed_label_bits(&self, meta: &OptimalMeta, u: usize) -> usize {
+            fn packed_label_bits(&self, meta: &OptimalMeta, &u: &usize) -> usize {
                 let l = &self.0[u];
                 meta.hdr_total
                     + meta.aux_w.packed_bits_core(&l.aux)
@@ -808,7 +845,7 @@ impl OptimalScheme {
                     + l.entries.len() * meta.rec_w
                     + l.accumulator_bits()
             }
-            fn pack_label(&self, meta: &OptimalMeta, u: usize, w: &mut BitWriter) {
+            fn pack_label(&self, meta: &OptimalMeta, &u: &usize, w: &mut BitWriter) {
                 let l = &self.0[u];
                 w.write_bits_lsb(l.root_distance, usize::from(meta.w_rd));
                 w.write_bits_lsb(l.entries.len() as u64, usize::from(meta.aux_w.ld));

@@ -53,6 +53,14 @@
 //!             per entry; version 2 packs two u32 entries per word (emitted
 //!             whenever the label region is under 2³² bits — readers accept
 //!             both, version-1-only readers reject version 2 cleanly).
+//!             Version 3 is the *succinct* index: an Elias–Fano split of the
+//!             monotone offset sequence (dense low bits + a unary bucket
+//!             bitvector with select samples, ~log(L/n)+3 bits per entry)
+//!             plus an optional node→position permutation for frames whose
+//!             label region is laid out in heavy-path order instead of node
+//!             id order.  It is emitted automatically whenever the label
+//!             region outgrows the u32 index or a clustered layout is
+//!             requested, so giant trees never hit a width ceiling.
 //! ..          label region: the packed labels, fixed-width fields,
 //!             plus four zero guard words (for branchless straddle reads)
 //! last word   CRC-64/XZ of every preceding word
@@ -106,7 +114,7 @@ use crate::kernel::psum::PsumMeta;
 use crate::level_ancestor::LevelAncestorScheme;
 use crate::naive::NaiveScheme;
 use crate::optimal::OptimalScheme;
-use crate::substrate::PackSource;
+use crate::substrate::{build_vec, PackConfig, PackSource};
 
 /// Sentinel returned by [`SchemeStore::distance`] for scheme/pair combinations
 /// with no reportable distance (the `k`-distance scheme's "more than `k`").
@@ -122,6 +130,12 @@ const VERSION_WIDE: u32 = 1;
 /// Frame format version with two u32 offset entries packed per word — half
 /// the index footprint, emitted whenever the label region fits.
 const VERSION_NARROW: u32 = 2;
+
+/// Frame format version with the succinct (Elias–Fano) offset index and an
+/// optional label-layout permutation — emitted whenever the label region is
+/// 2³² bits or larger, or the labels are packed in heavy-path-clustered
+/// order.
+const VERSION_SUCCINCT: u32 = 3;
 
 /// Words before the scheme meta region.
 const HEADER_WORDS: usize = 5;
@@ -190,6 +204,14 @@ pub enum StoreError {
         /// Human-readable description of the violated expectation.
         what: &'static str,
     },
+    /// The label region is too large for the requested offset-index width
+    /// (the packed u32 index cannot address 2³² or more label bits).  Build
+    /// with the automatic width — which switches to the succinct index —
+    /// instead of pinning [`IndexWidth::U32`].
+    IndexOverflow {
+        /// Bit length of the label region that failed to fit.
+        label_bits: usize,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -217,6 +239,11 @@ impl fmt::Display for StoreError {
                  the borrow path cannot cast it (use the copying from_bytes)"
             ),
             StoreError::Malformed { what } => write!(f, "malformed store: {what}"),
+            StoreError::IndexOverflow { label_bits } => write!(
+                f,
+                "label region of {label_bits} bits does not fit the packed u32 \
+                 offset index (use the automatic or succinct index width)"
+            ),
         }
     }
 }
@@ -242,16 +269,74 @@ impl From<frame::CastError> for StoreError {
 
 /// Width of the offset-index entries in a store frame.
 ///
-/// [`SchemeStore::build`] picks [`IndexWidth::U32`] automatically whenever the
-/// label region is under 2³² bits (two entries per word — half the index
-/// footprint and memory traffic); [`SchemeStore::build_with_index_width`]
-/// pins the width explicitly, e.g. to emit frames for version-1-only readers.
+/// The automatic build picks [`IndexWidth::U32`] whenever the label region is
+/// under 2³² bits (two entries per word — half the index footprint and memory
+/// traffic) and switches to [`IndexWidth::Succinct`] when it isn't, or when
+/// the frame carries a clustered label layout;
+/// [`SchemeStore::build_with_index_width`] pins the width explicitly, e.g. to
+/// emit frames for version-1-only readers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IndexWidth {
     /// Two u32 entries packed per word (frame version 2).
     U32,
     /// One u64 entry per word (frame version 1, the original layout).
     U64,
+    /// Elias–Fano split of the monotone offset sequence (frame version 3):
+    /// `⌊log(L/(n+1))⌋` dense low bits per entry plus a unary bucket
+    /// bitvector with one select sample per 64 entries — about
+    /// `log(L/n) + 3` bits per entry with O(1) amortized access, and no
+    /// width ceiling on the label region.
+    Succinct,
+}
+
+/// Frame format version word for an index width.
+fn version_of(width: IndexWidth) -> u32 {
+    match width {
+        IndexWidth::U32 => VERSION_NARROW,
+        IndexWidth::U64 => VERSION_WIDE,
+        IndexWidth::Succinct => VERSION_SUCCINCT,
+    }
+}
+
+/// Where (and how) a validated frame's offset index lives — the one
+/// abstraction every offset read goes through, so all six schemes stay on a
+/// single query path regardless of frame version.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum OffsetIndex {
+    /// One u64 entry per word starting at `base` (version 1).
+    U64 {
+        /// First word of the entry array.
+        base: usize,
+    },
+    /// Two packed u32 entries per word starting at `base` (version 2).
+    U32 {
+        /// First word of the entry array.
+        base: usize,
+    },
+    /// Elias–Fano regions of the version-3 succinct index.
+    Ef {
+        /// First word of the packed low-bits array (unused when `low_w` is 0).
+        low_base: usize,
+        /// Dense low bits per entry (≤ 63).
+        low_w: u8,
+        /// First word of the unary bucket bitvector.
+        high_base: usize,
+        /// Word length of the bucket bitvector.
+        high_words: usize,
+        /// First word of the select samples (one per 64 entries).
+        sample_base: usize,
+    },
+}
+
+impl OffsetIndex {
+    /// The public width tag of this index.
+    pub(crate) fn width(&self) -> IndexWidth {
+        match self {
+            OffsetIndex::U64 { .. } => IndexWidth::U64,
+            OffsetIndex::U32 { .. } => IndexWidth::U32,
+            OffsetIndex::Ef { .. } => IndexWidth::Succinct,
+        }
+    }
 }
 
 /// The POD description of a validated frame: where the index, meta and label
@@ -262,31 +347,127 @@ pub enum IndexWidth {
 pub(crate) struct RawParts {
     pub(crate) n: usize,
     pub(crate) param: u64,
-    pub(crate) index_base: usize,
     pub(crate) label_base: usize,
     pub(crate) label_bits: usize,
-    pub(crate) index: IndexWidth,
+    pub(crate) index: OffsetIndex,
+    /// First word of the node→position permutation (0 when `perm_w == 0`).
+    pub(crate) perm_base: usize,
+    /// Bits per permutation entry; 0 means the identity (id-order) layout.
+    pub(crate) perm_w: u8,
 }
 
 impl RawParts {
-    /// Bit offset of label `i` in the label region (entry `n` is the total).
+    /// Layout position of node `u`'s label (identity unless the frame
+    /// carries a clustered-layout permutation).
     #[inline(always)]
-    fn offset(&self, words: &[u64], i: usize) -> usize {
+    fn pos(&self, words: &[u64], u: usize) -> usize {
+        if self.perm_w == 0 {
+            u
+        } else {
+            // A non-empty region always follows the permutation words, so the
+            // branchless straddle read stays in bounds.
+            treelab_bits::bitslice::read_lsb(
+                words,
+                self.perm_base * 64 + u * self.perm_w as usize,
+                self.perm_w as usize,
+            ) as usize
+        }
+    }
+
+    /// Bit offset of the label at layout *position* `p` (entry `n` is the
+    /// total label-region bit length).
+    #[inline(always)]
+    fn offset_at(&self, words: &[u64], p: usize) -> usize {
         match self.index {
-            IndexWidth::U64 => words[self.index_base + i] as usize,
-            IndexWidth::U32 => ((words[self.index_base + i / 2] >> ((i & 1) * 32)) as u32) as usize,
+            OffsetIndex::U64 { base } => words[base + p] as usize,
+            OffsetIndex::U32 { base } => ((words[base + p / 2] >> ((p & 1) * 32)) as u32) as usize,
+            OffsetIndex::Ef {
+                low_base,
+                low_w,
+                high_base,
+                high_words,
+                sample_base,
+            } => {
+                let (j, rem) = (p / 64, p % 64);
+                let s = words[sample_base + j] as usize;
+                let hp = if rem == 0 {
+                    s
+                } else {
+                    treelab_bits::rank_select::select1_after(
+                        &words[high_base..high_base + high_words],
+                        s,
+                        rem,
+                    )
+                    .expect("validated EF high region holds n + 1 ones")
+                };
+                let lw = low_w as usize;
+                let low = treelab_bits::bitslice::read_lsb(words, low_base * 64 + p * lw, lw);
+                ((hp - p) << lw) | low as usize
+            }
+        }
+    }
+
+    /// Bit offset of *node* `u`'s label in the label region.
+    #[inline(always)]
+    fn offset(&self, words: &[u64], u: usize) -> usize {
+        self.offset_at(words, self.pos(words, u))
+    }
+
+    /// Start and end bit offsets of node `u`'s label.
+    #[inline]
+    fn extent(&self, words: &[u64], u: usize) -> (usize, usize) {
+        let p = self.pos(words, u);
+        (self.offset_at(words, p), self.offset_at(words, p + 1))
+    }
+}
+
+/// Dense low bits per entry of the succinct index: `⌊log₂(L/(n+1))⌋`, the
+/// standard Elias–Fano split (0 when the region is smaller than the entry
+/// count).
+fn ef_low_width(n: usize, label_bits: usize) -> u32 {
+    ((label_bits as u64) / (n as u64 + 1))
+        .checked_ilog2()
+        .unwrap_or(0)
+}
+
+/// Computes the index layout for a frame being *written*: the parsed
+/// [`OffsetIndex`], the permutation base word, and the first label-region
+/// word, given the index region's first word `base`.  `pw` is the
+/// permutation entry width (0 for id-order frames; only meaningful for
+/// [`IndexWidth::Succinct`]).
+fn index_layout(
+    n: usize,
+    label_bits: usize,
+    width: IndexWidth,
+    pw: usize,
+    base: usize,
+) -> (OffsetIndex, usize, usize) {
+    match width {
+        IndexWidth::U64 => (OffsetIndex::U64 { base }, 0, base + n + 1),
+        IndexWidth::U32 => (OffsetIndex::U32 { base }, 0, base + (n + 2) / 2),
+        IndexWidth::Succinct => {
+            let l = ef_low_width(n, label_bits) as usize;
+            let perm_base = base + 2;
+            let low_base = perm_base + (n * pw).div_ceil(64);
+            let high_base = low_base + ((n + 1) * l).div_ceil(64);
+            let high_words = ((label_bits >> l) + n + 1).div_ceil(64);
+            let sample_base = high_base + high_words;
+            let label_base = sample_base + (n + 1).div_ceil(64);
+            (
+                OffsetIndex::Ef {
+                    low_base,
+                    low_w: l as u8,
+                    high_base,
+                    high_words,
+                    sample_base,
+                },
+                perm_base,
+                label_base,
+            )
         }
     }
 }
 
-/// Words needed to store `n + 1` offset entries at `width`.
-#[inline]
-fn index_word_count(n: usize, width: IndexWidth) -> usize {
-    match width {
-        IndexWidth::U64 => n + 1,
-        IndexWidth::U32 => (n + 2) / 2,
-    }
-}
 
 /// A scheme type whose native representation is a packed [`SchemeStore`]
 /// frame, queried zero-copy through borrowed label views.
@@ -373,11 +554,9 @@ fn parse_frame<S: StoredScheme>(words: &[u64]) -> Result<(RawParts, S::Meta), St
     }
     let version = (words[1] >> 32) as u32;
     let tag = words[1] as u32;
-    let index = match version {
-        VERSION_WIDE => IndexWidth::U64,
-        VERSION_NARROW => IndexWidth::U32,
-        found => return Err(StoreError::UnsupportedVersion { found }),
-    };
+    if !matches!(version, VERSION_WIDE | VERSION_NARROW | VERSION_SUCCINCT) {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
     if tag != S::TAG {
         return Err(StoreError::SchemeMismatch {
             expected: S::TAG,
@@ -391,57 +570,84 @@ fn parse_frame<S: StoredScheme>(words: &[u64]) -> Result<(RawParts, S::Meta), St
 
     // The CRC vouches for integrity; the structural checks below vouch
     // for *this code's* expectations, so no later query can index out of
-    // the buffer.
-    let n = words[2];
-    let m = words[4];
-    if n == 0 {
+    // the buffer.  All size arithmetic is checked u64 math compared against
+    // the buffer length, so a hostile header cannot overflow its way past a
+    // bound.
+    let n64 = words[2];
+    let m64 = words[4];
+    if n64 == 0 {
         return Err(StoreError::Malformed {
             what: "store holds no labels",
         });
     }
-    let index_words = match index {
-        IndexWidth::U64 => n.checked_add(1),
-        IndexWidth::U32 => n.checked_add(2).map(|x| x / 2),
+    let wlen = words.len() as u64;
+    let malformed = StoreError::Malformed {
+        what: "header claims more meta/index words than the buffer holds",
     };
-    let header_words = (HEADER_WORDS as u64)
-        .checked_add(m)
-        .and_then(|x| x.checked_add(index_words?))
-        .filter(|&x| x <= (words.len() - 1) as u64)
-        .ok_or(StoreError::Malformed {
-            what: "header claims more meta/index words than the buffer holds",
-        })?;
-    let (n, m) = (n as usize, m as usize);
-    let raw = RawParts {
-        n,
-        param: words[3],
-        index_base: HEADER_WORDS + m,
-        label_base: header_words as usize,
-        label_bits: 0, // patched below once the index is readable
-        index,
+    let meta_end = (HEADER_WORDS as u64)
+        .checked_add(m64)
+        .filter(|&x| x <= wlen - 1)
+        .ok_or(malformed)?;
+    let raw = if version == VERSION_SUCCINCT {
+        parse_succinct_index(words, n64, meta_end)?
+    } else {
+        let index_words = if version == VERSION_WIDE {
+            n64.checked_add(1)
+        } else {
+            n64.checked_add(2).map(|x| x / 2)
+        };
+        let label_base = index_words
+            .and_then(|x| meta_end.checked_add(x))
+            .filter(|&x| x <= wlen - 1)
+            .ok_or(malformed)?;
+        let n = n64 as usize;
+        let base = meta_end as usize;
+        let index = if version == VERSION_WIDE {
+            OffsetIndex::U64 { base }
+        } else {
+            OffsetIndex::U32 { base }
+        };
+        let raw = RawParts {
+            n,
+            param: words[3],
+            label_base: label_base as usize,
+            label_bits: 0, // patched below once the index is readable
+            index,
+            perm_base: 0,
+            perm_w: 0,
+        };
+        if (0..n).any(|p| raw.offset_at(words, p) > raw.offset_at(words, p + 1)) {
+            return Err(StoreError::Malformed {
+                what: "offset index is not monotone",
+            });
+        }
+        let label_bits = raw.offset_at(words, n);
+        let label_words = (label_bits as u64).div_ceil(64) + PAD_WORDS as u64;
+        if label_base + label_words + 1 != wlen {
+            return Err(StoreError::Malformed {
+                what: "label region length disagrees with the buffer size",
+            });
+        }
+        RawParts { label_bits, ..raw }
     };
-    if (0..n).any(|i| raw.offset(words, i) > raw.offset(words, i + 1)) {
-        return Err(StoreError::Malformed {
-            what: "offset index is not monotone",
-        });
-    }
-    let label_bits = raw.offset(words, n);
-    let raw = RawParts { label_bits, ..raw };
-    let label_words = (label_bits as u64).div_ceil(64) + PAD_WORDS as u64;
-    if raw.label_base as u64 + label_words + 1 != words.len() as u64 {
-        return Err(StoreError::Malformed {
-            what: "label region length disagrees with the buffer size",
-        });
-    }
-    let meta = S::parse_meta(raw.param, &words[HEADER_WORDS..raw.index_base])?;
+    let meta = S::parse_meta(raw.param, &words[HEADER_WORDS..meta_end as usize])?;
     // Per-label extent check: every label's internal counts must describe
     // exactly its offset-index extent, so no query scan can leave the
-    // label region because of an inflated count.
+    // label region because of an inflated count.  Positions enumerate the
+    // label region in layout order, which visits every label exactly once
+    // whether or not the frame carries a permutation.
+    let label_bits = raw.label_bits;
     let slice = BitSlice::new(
         &words[raw.label_base..raw.label_base + label_bits.div_ceil(64) + PAD_WORDS],
         label_bits,
     );
-    for u in 0..n {
-        if !S::check_label(slice, raw.offset(words, u), raw.offset(words, u + 1), &meta) {
+    for p in 0..raw.n {
+        if !S::check_label(
+            slice,
+            raw.offset_at(words, p),
+            raw.offset_at(words, p + 1),
+            &meta,
+        ) {
             return Err(StoreError::Malformed {
                 what: "a packed label's counts disagree with its extent",
             });
@@ -450,78 +656,380 @@ fn parse_frame<S: StoredScheme>(words: &[u64]) -> Result<(RawParts, S::Meta), St
     Ok((raw, meta))
 }
 
-/// Packs a [`PackSource`] into a fresh frame, returning the words and their
-/// parsed description (writer and reader agree by construction).  This is
-/// the one frame assembler behind every scheme's `build`.
+/// `x.div_ceil(64)` without the `+ 63` overflow hazard of hostile inputs.
+fn div_ceil64(x: u64) -> u64 {
+    x / 64 + u64::from(x % 64 != 0)
+}
+
+/// Validates the version-3 succinct index region (descriptor, optional
+/// layout permutation, Elias–Fano low/high/sample arrays) and returns the
+/// fully-described [`RawParts`].
+///
+/// One streaming pass over the bucket bitvector validates everything the
+/// query path later relies on: exactly `n + 1` ones, none beyond the
+/// declared bit length, exact select samples, monotone offsets, and a last
+/// offset equal to the declared label bit length.  The permutation, when
+/// present, is checked to be a bijection on `0..n`.
+fn parse_succinct_index(words: &[u64], n64: u64, meta_end: u64) -> Result<RawParts, StoreError> {
+    let wlen = words.len() as u64;
+    let malformed = StoreError::Malformed {
+        what: "header claims more meta/index words than the buffer holds",
+    };
+    if meta_end + 2 > wlen - 1 {
+        return Err(malformed);
+    }
+    let desc = words[meta_end as usize];
+    let label_bits64 = words[meta_end as usize + 1];
+    let l = desc & 0xFF;
+    let pw = (desc >> 8) & 0xFF;
+    if desc >> 16 != 0 {
+        return Err(StoreError::Malformed {
+            what: "reserved succinct-descriptor bits are set",
+        });
+    }
+    if l > 63 {
+        return Err(StoreError::Malformed {
+            what: "succinct index low width exceeds 63 bits",
+        });
+    }
+    if pw > 0 && (n64 < 2 || n64 > u64::from(u32::MAX) || pw != u64::from(64 - (n64 - 1).leading_zeros()))
+    {
+        return Err(StoreError::Malformed {
+            what: "layout permutation width disagrees with the node count",
+        });
+    }
+    let entries = n64.checked_add(1).ok_or(malformed)?;
+    let perm_words = n64.checked_mul(pw).map(div_ceil64).ok_or(malformed)?;
+    let low_words = entries.checked_mul(l).map(div_ceil64).ok_or(malformed)?;
+    let high_bits = (label_bits64 >> l).checked_add(entries).ok_or(malformed)?;
+    let high_words = div_ceil64(high_bits);
+    let sample_words = div_ceil64(entries);
+    let label_base64 = (meta_end + 2)
+        .checked_add(perm_words)
+        .and_then(|x| x.checked_add(low_words))
+        .and_then(|x| x.checked_add(high_words))
+        .and_then(|x| x.checked_add(sample_words))
+        .filter(|&x| x <= wlen - 1)
+        .ok_or(malformed)?;
+    if label_base64 + div_ceil64(label_bits64) + PAD_WORDS as u64 + 1 != wlen {
+        return Err(StoreError::Malformed {
+            what: "label region length disagrees with the buffer size",
+        });
+    }
+
+    // Every count now fits comfortably in usize (each region lies inside
+    // the buffer).
+    let n = n64 as usize;
+    let perm_base = meta_end as usize + 2;
+    let low_base = perm_base + perm_words as usize;
+    let high_base = low_base + low_words as usize;
+    let sample_base = high_base + high_words as usize;
+
+    // Trailing bits of the permutation and low regions must be zero — the
+    // frame is canonical, so re-encoding a parsed frame reproduces it bit
+    // for bit.
+    let tail_zero = |base: usize, nwords: u64, used_bits: u64| {
+        nwords == 0 || {
+            let rem = (used_bits % 64) as u32;
+            rem == 0 || words[base + nwords as usize - 1] >> rem == 0
+        }
+    };
+    if !tail_zero(perm_base, perm_words, n64 * pw) {
+        return Err(StoreError::Malformed {
+            what: "layout permutation region has trailing garbage bits",
+        });
+    }
+    if !tail_zero(low_base, low_words, entries * l) {
+        return Err(StoreError::Malformed {
+            what: "succinct index low region has trailing garbage bits",
+        });
+    }
+
+    let lw = l as usize;
+    let mut k = 0u64;
+    let mut prev = 0u64;
+    for (wi, &word) in words[high_base..sample_base].iter().enumerate() {
+        let mut word = word;
+        while word != 0 {
+            let hp = wi as u64 * 64 + u64::from(word.trailing_zeros());
+            if hp >= high_bits || k >= entries {
+                return Err(StoreError::Malformed {
+                    what: "succinct index bucket bitvector holds stray ones",
+                });
+            }
+            let low =
+                treelab_bits::bitslice::read_lsb(words, low_base * 64 + k as usize * lw, lw);
+            let off = ((hp - k) << l) | low;
+            if off < prev {
+                return Err(StoreError::Malformed {
+                    what: "offset index is not monotone",
+                });
+            }
+            if k % 64 == 0 && words[sample_base + (k / 64) as usize] != hp {
+                return Err(StoreError::Malformed {
+                    what: "succinct index select sample is wrong",
+                });
+            }
+            prev = off;
+            k += 1;
+            word &= word - 1;
+        }
+    }
+    if k != entries {
+        return Err(StoreError::Malformed {
+            what: "succinct index bucket bitvector does not hold n + 1 ones",
+        });
+    }
+    if prev != label_bits64 {
+        return Err(StoreError::Malformed {
+            what: "declared label bit length disagrees with the offset index",
+        });
+    }
+
+    if pw > 0 {
+        let pwu = pw as usize;
+        let mut seen = vec![0u64; n.div_ceil(64)];
+        for u in 0..n {
+            let p = treelab_bits::bitslice::read_lsb(words, perm_base * 64 + u * pwu, pwu) as usize;
+            if p >= n || seen[p / 64] >> (p % 64) & 1 == 1 {
+                return Err(StoreError::Malformed {
+                    what: "layout permutation is not a bijection",
+                });
+            }
+            seen[p / 64] |= 1u64 << (p % 64);
+        }
+    }
+
+    Ok(RawParts {
+        n,
+        param: words[3],
+        label_base: label_base64 as usize,
+        label_bits: label_bits64 as usize,
+        index: OffsetIndex::Ef {
+            low_base,
+            low_w: l as u8,
+            high_base,
+            high_words: high_words as usize,
+            sample_base,
+        },
+        perm_base,
+        perm_w: pw as u8,
+    })
+}
+
+/// Packs an iterator of `width`-bit values LSB-first into whole words
+/// appended to `out` (trailing bits of the last word zero).  `width` must be
+/// 1–63.
+fn push_lsb_region(out: &mut Vec<u64>, values: impl Iterator<Item = u64>, width: usize) {
+    debug_assert!((1..64).contains(&width));
+    let mut acc = 0u64;
+    let mut fill = 0usize;
+    for v in values {
+        debug_assert!(v < 1u64 << width);
+        acc |= v << fill;
+        fill += width;
+        if fill >= 64 {
+            out.push(acc);
+            fill -= 64;
+            acc = if fill == 0 { 0 } else { v >> (width - fill) };
+        }
+    }
+    if fill > 0 {
+        out.push(acc);
+    }
+}
+
+/// Appends the offset index (and, for succinct frames, the layout
+/// permutation) to `out` — the one index emitter shared by [`build_frame`]
+/// and the re-framing path, so the two assemblers cannot drift.
+///
+/// `offset_at(p)` is the bit offset of the label at layout position `p`
+/// (entry `n` is the label region's total bit length); `pos_of(u)`, when
+/// given, is node `u`'s layout position.
+fn emit_index(
+    out: &mut Vec<u64>,
+    n: usize,
+    label_bits: usize,
+    offset_at: &dyn Fn(usize) -> u64,
+    width: IndexWidth,
+    pos_of: Option<&dyn Fn(usize) -> u64>,
+) {
+    match width {
+        IndexWidth::U64 => out.extend((0..=n).map(offset_at)),
+        IndexWidth::U32 => {
+            let mut p = 0;
+            while p <= n {
+                let lo = offset_at(p);
+                let hi = if p + 1 <= n { offset_at(p + 1) } else { 0 };
+                out.push(lo | hi << 32);
+                p += 2;
+            }
+        }
+        IndexWidth::Succinct => {
+            let l = ef_low_width(n, label_bits);
+            let pw = pos_of.as_ref().map_or(0, |_| {
+                debug_assert!(n > 1 && n <= u32::MAX as usize);
+                64 - ((n - 1) as u64).leading_zeros()
+            });
+            out.push(u64::from(l) | u64::from(pw) << 8);
+            out.push(label_bits as u64);
+            if let Some(pos) = pos_of {
+                push_lsb_region(out, (0..n).map(pos), pw as usize);
+            }
+            if l > 0 {
+                let mask = (1u64 << l) - 1;
+                push_lsb_region(out, (0..=n).map(|p| offset_at(p) & mask), l as usize);
+            }
+            let high_bits = (label_bits >> l) + n + 1;
+            let mut high = vec![0u64; high_bits.div_ceil(64)];
+            let mut samples = Vec::with_capacity((n + 1).div_ceil(64));
+            for p in 0..=n {
+                let hp = (offset_at(p) >> l) as usize + p;
+                if p % 64 == 0 {
+                    samples.push(hp as u64);
+                }
+                high[hp / 64] |= 1u64 << (hp % 64);
+            }
+            out.extend_from_slice(&high);
+            out.extend_from_slice(&samples);
+        }
+    }
+}
+
+/// Packs a [`PackSource`] into a fresh frame, returning the words, their
+/// parsed description (writer and reader agree by construction), and the
+/// plan the source accumulated over the id-order planning pass.  This is the
+/// one frame assembler behind every scheme's `build`.
+///
+/// The build runs in two passes over fixed-size node-range chunks:
+///
+/// 1. **Plan** — rows are materialized chunk by chunk *in node-id order*
+///    (each chunk fanned out per `cfg.par`) and folded serially into the
+///    source's [`PackSource::Plan`], which yields the store-global meta
+///    (field-width maxima are associative, so chunking cannot change them).
+/// 2. **Pack** — rows are re-materialized chunk by chunk *in layout order*
+///    and appended to the label region.  The packed bits of a label depend
+///    only on its row and the meta, so the frame is bit-identical at every
+///    chunk size and thread count.
+///
+/// When one chunk covers the whole tree, the plan pass's rows are kept and
+/// the pack pass reuses them (no re-materialization — the historical
+/// in-memory path); otherwise peak row memory is O(chunk), at the price of
+/// computing each row twice.
 fn build_frame<S: StoredScheme, P: PackSource<S>>(
     src: &P,
-    width: Option<IndexWidth>,
-) -> (Vec<u64>, RawParts, S::Meta) {
+    cfg: &PackConfig<'_>,
+) -> (Vec<u64>, RawParts, S::Meta, P::Plan) {
     let n = src.node_count();
     assert!(n > 0, "cannot store an empty scheme");
-    let param = src.store_param();
-    let meta_words = src.meta_words();
-    let meta = S::parse_meta(param, &meta_words).expect("self-produced meta must parse");
-
-    // Exact size hint: the label region is written into a single
-    // pre-reserved buffer, so multi-megabyte stores pay one allocation
-    // instead of repeated growth reallocations.
-    let total_bits: usize = (0..n).map(|u| src.packed_label_bits(&meta, u)).sum();
-    let mut w = BitWriter::with_capacity(total_bits);
-    let mut offsets: Vec<u64> = Vec::with_capacity(n + 1);
-    for u in 0..n {
-        offsets.push(w.len() as u64);
-        src.pack_label(&meta, u, &mut w);
-        debug_assert_eq!(
-            w.len() - offsets[u] as usize,
-            src.packed_label_bits(&meta, u),
-            "{}: packed_label_bits disagrees with pack_label for node {u}",
-            S::STORE_NAME
+    if let Some(layout) = cfg.layout {
+        assert_eq!(
+            layout.len(),
+            n,
+            "layout permutation length disagrees with the pack source"
         );
     }
-    offsets.push(w.len() as u64);
-    let label_bits = w.len();
-    let label_words = w.into_bitvec().into_words();
+    // A one-node tree has only the identity layout (and a permutation entry
+    // would need 0 bits, colliding with the identity sentinel).
+    let layout = cfg.layout.filter(|_| n > 1);
+    let param = src.store_param();
+    let chunk = cfg.chunk.max(1).min(n);
 
-    let narrow_fits = label_bits <= u32::MAX as usize;
-    let index = match width {
-        Some(IndexWidth::U32) => {
-            assert!(
-                narrow_fits,
-                "{}: label region of {label_bits} bits does not fit a u32 offset index",
-                S::STORE_NAME
-            );
-            IndexWidth::U32
+    // Plan pass: id order, chunk by chunk, folded serially.
+    let mut plan = P::Plan::default();
+    let mut cached: Option<Vec<P::Row>> = None;
+    if chunk == n {
+        let rows = build_vec(cfg.par, n, |u| src.make_row(u));
+        for (u, row) in rows.iter().enumerate() {
+            src.plan_row(&mut plan, u, row);
         }
-        Some(IndexWidth::U64) => IndexWidth::U64,
-        None if narrow_fits => IndexWidth::U32,
-        None => IndexWidth::U64,
+        cached = Some(rows);
+    } else {
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + chunk).min(n);
+            let rows = build_vec(cfg.par, hi - lo, |i| src.make_row(lo + i));
+            for (i, row) in rows.iter().enumerate() {
+                src.plan_row(&mut plan, lo + i, row);
+            }
+            lo = hi;
+        }
+    }
+    let meta_words = src.meta_words(&plan);
+    let meta = S::parse_meta(param, &meta_words).expect("self-produced meta must parse");
+
+    // Pack pass: layout order, chunk by chunk.
+    let node_at = |p: usize| layout.map_or(p, |l| l.node_at(p));
+    let mut offsets: Vec<u64> = Vec::with_capacity(n + 1);
+    let label_words = if let Some(rows) = cached {
+        // Exact size hint: the label region is written into a single
+        // pre-reserved buffer, so multi-megabyte stores pay one allocation
+        // instead of repeated growth reallocations.
+        let total_bits: usize = rows.iter().map(|r| src.packed_label_bits(&meta, r)).sum();
+        let mut w = BitWriter::with_capacity(total_bits);
+        for p in 0..n {
+            let row = &rows[node_at(p)];
+            offsets.push(w.len() as u64);
+            src.pack_label(&meta, row, &mut w);
+            debug_assert_eq!(
+                w.len() - offsets[p] as usize,
+                src.packed_label_bits(&meta, row),
+                "{}: packed_label_bits disagrees with pack_label for node {}",
+                S::STORE_NAME,
+                node_at(p)
+            );
+        }
+        offsets.push(w.len() as u64);
+        w.into_bitvec().into_words()
+    } else {
+        let mut w = BitWriter::new();
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + chunk).min(n);
+            let rows = build_vec(cfg.par, hi - lo, |i| src.make_row(node_at(lo + i)));
+            for row in &rows {
+                offsets.push(w.len() as u64);
+                src.pack_label(&meta, row, &mut w);
+            }
+            lo = hi;
+        }
+        offsets.push(w.len() as u64);
+        w.into_bitvec().into_words()
     };
-    let version = match index {
-        IndexWidth::U32 => VERSION_NARROW,
-        IndexWidth::U64 => VERSION_WIDE,
+    let label_bits = *offsets.last().unwrap() as usize;
+
+    // A clustered layout needs the permutation (only version 3 carries one);
+    // an oversized label region needs the width lift.  Everything else keeps
+    // the packed u32 index — existing small frames stay byte-identical.
+    let index = if layout.is_some() || label_bits > u32::MAX as usize {
+        IndexWidth::Succinct
+    } else {
+        IndexWidth::U32
     };
+    let pw = layout.map_or(0, |_| {
+        usize::try_from(64 - ((n - 1) as u64).leading_zeros()).unwrap()
+    });
 
     let m = meta_words.len();
     let index_base = HEADER_WORDS + m;
-    let label_base = index_base + index_word_count(n, index);
+    let (index_parts, perm_base, label_base) = index_layout(n, label_bits, index, pw, index_base);
     let mut words = Vec::with_capacity(label_base + label_words.len() + PAD_WORDS + 1);
     words.push(MAGIC);
-    words.push(u64::from(version) << 32 | u64::from(S::TAG));
+    words.push(u64::from(version_of(index)) << 32 | u64::from(S::TAG));
     words.push(n as u64);
     words.push(param);
     words.push(m as u64);
     words.extend_from_slice(&meta_words);
-    match index {
-        IndexWidth::U64 => words.extend_from_slice(&offsets),
-        IndexWidth::U32 => {
-            for pair in offsets.chunks(2) {
-                let lo = pair[0];
-                let hi = pair.get(1).copied().unwrap_or(0);
-                words.push(lo | hi << 32);
-            }
-        }
-    }
+    let pos_closure = layout.map(|l| move |u: usize| l.pos_of(u) as u64);
+    emit_index(
+        &mut words,
+        n,
+        label_bits,
+        &|p| offsets[p],
+        index,
+        pos_closure.as_ref().map(|f| f as &dyn Fn(usize) -> u64),
+    );
+    debug_assert_eq!(words.len(), label_base);
     words.extend_from_slice(&label_words);
     words.extend(std::iter::repeat_n(0u64, PAD_WORDS));
     let checksum = crc::crc64_words(&words);
@@ -530,12 +1038,13 @@ fn build_frame<S: StoredScheme, P: PackSource<S>>(
     let raw = RawParts {
         n,
         param,
-        index_base,
         label_base,
         label_bits,
-        index,
+        index: index_parts,
+        perm_base: if pw > 0 { perm_base } else { 0 },
+        perm_w: pw as u8,
     };
-    (words, raw, meta)
+    (words, raw, meta, plan)
 }
 
 /// A borrowed, validated view of a scheme-store frame: the query engine of
@@ -628,9 +1137,10 @@ impl<'a, S: StoredScheme> StoreRef<'a, S> {
     }
 
     /// Width of the frame's offset-index entries (version 2 packs two u32
-    /// entries per word; version 1 stores one u64 each).
+    /// entries per word; version 1 stores one u64 each; version 3 is the
+    /// succinct Elias–Fano index).
     pub fn index_width(&self) -> IndexWidth {
-        self.raw.index
+        self.raw.index.width()
     }
 
     /// The raw frame words.
@@ -678,7 +1188,8 @@ impl<'a, S: StoredScheme> StoreRef<'a, S> {
             "node index {u} out of range (n = {})",
             self.raw.n
         );
-        self.raw.offset(self.words, u + 1) - self.raw.offset(self.words, u)
+        let (start, end) = self.raw.extent(self.words, u);
+        end - start
     }
 
     /// Distance between nodes `u` and `v`, answered from the packed labels
@@ -809,14 +1320,30 @@ impl<S: StoredScheme> Clone for SchemeStore<S> {
 }
 
 impl<S: StoredScheme> SchemeStore<S> {
-    /// Packs a [`PackSource`] directly into a fresh frame — the one build
-    /// path every scheme's `build` / `build_with_substrate` routes through.
-    /// The offset-index width is chosen automatically (u32 whenever the
-    /// label region fits, which halves the index footprint; see
-    /// [`IndexWidth`]).
+    /// Packs a [`PackSource`] directly into a fresh frame — the serial,
+    /// whole-tree, id-order build (the historical path; used by the legacy
+    /// conversion constructors).  The offset-index width is chosen
+    /// automatically (u32 whenever the label region fits, which halves the
+    /// index footprint; see [`IndexWidth`]).
+    #[cfg_attr(not(feature = "legacy-labels"), allow(dead_code))]
     pub(crate) fn from_source<P: PackSource<S>>(src: &P) -> Self {
-        let (words, raw, meta) = build_frame(src, None);
-        SchemeStore { words, raw, meta }
+        Self::from_source_with(src, &PackConfig::default()).0
+    }
+
+    /// [`SchemeStore::from_source`] with an explicit [`PackConfig`] —
+    /// parallelism fan-out, chunk-streaming row materialization, and the
+    /// optional clustered label layout.  Returns the plan the source
+    /// accumulated over the id-order planning pass (wire-size side tables
+    /// the schemes harvest), so streaming builds need not keep rows around.
+    ///
+    /// The frame is bit-identical at every chunk size, thread count and
+    /// (for the same layout) build path.
+    pub(crate) fn from_source_with<P: PackSource<S>>(
+        src: &P,
+        cfg: &PackConfig<'_>,
+    ) -> (Self, P::Plan) {
+        let (words, raw, meta, plan) = build_frame(src, cfg);
+        (SchemeStore { words, raw, meta }, plan)
     }
 
     /// An owned copy of `scheme`'s native frame (one buffer memcpy — the
@@ -833,11 +1360,13 @@ impl<S: StoredScheme> SchemeStore<S> {
     /// the packed index.  Only the header and offset index are re-framed;
     /// the packed label region is copied verbatim.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if [`IndexWidth::U32`] is requested but the label region does
-    /// not fit in 2³² bits.
-    pub fn build_with_index_width(scheme: &S, width: IndexWidth) -> Self {
+    /// [`StoreError::IndexOverflow`] if [`IndexWidth::U32`] is requested but
+    /// the label region does not fit in 2³² bits, and
+    /// [`StoreError::Malformed`] if a clustered-layout frame is asked for a
+    /// width that cannot carry its permutation (only the succinct index can).
+    pub fn build_with_index_width(scheme: &S, width: IndexWidth) -> Result<Self, StoreError> {
         scheme.as_store().with_index_width(width)
     }
 
@@ -846,69 +1375,69 @@ impl<S: StoredScheme> SchemeStore<S> {
     /// guard pad are copied verbatim; only the version word and the offset
     /// index change, and the CRC is recomputed.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if [`IndexWidth::U32`] is requested but the label region does
-    /// not fit in 2³² bits.
-    pub fn with_index_width(&self, width: IndexWidth) -> Self {
-        if width == self.raw.index {
-            return self.clone();
+    /// [`StoreError::IndexOverflow`] if [`IndexWidth::U32`] is requested but
+    /// the label region does not fit in 2³² bits, and
+    /// [`StoreError::Malformed`] if this frame carries a clustered-layout
+    /// permutation and `width` is not [`IndexWidth::Succinct`] (the label
+    /// region is packed in layout order, so dropping the permutation would
+    /// break the node→label mapping).
+    pub fn with_index_width(&self, width: IndexWidth) -> Result<Self, StoreError> {
+        if width == self.raw.index.width() {
+            return Ok(self.clone());
         }
         let raw = self.raw;
         let n = raw.n;
-        if width == IndexWidth::U32 {
-            assert!(
-                raw.label_bits <= u32::MAX as usize,
-                "{}: label region of {} bits does not fit a u32 offset index",
-                S::STORE_NAME,
-                raw.label_bits
-            );
+        if raw.perm_w > 0 && width != IndexWidth::Succinct {
+            return Err(StoreError::Malformed {
+                what: "a clustered-layout frame requires the succinct offset index",
+            });
         }
-        let version = match width {
-            IndexWidth::U32 => VERSION_NARROW,
-            IndexWidth::U64 => VERSION_WIDE,
-        };
-        let meta_words = &self.words[HEADER_WORDS..raw.index_base];
+        if width == IndexWidth::U32 && raw.label_bits > u32::MAX as usize {
+            return Err(StoreError::IndexOverflow {
+                label_bits: raw.label_bits,
+            });
+        }
+        let m = self.words[4] as usize;
+        let meta_words = &self.words[HEADER_WORDS..HEADER_WORDS + m];
         // Label region including the guard pad (everything up to the CRC).
         let label_words = &self.words[raw.label_base..self.words.len() - 1];
-        let index_base = HEADER_WORDS + meta_words.len();
-        let label_base = index_base + index_word_count(n, width);
+        let index_base = HEADER_WORDS + m;
+        let pw = usize::from(raw.perm_w);
+        let (index_parts, perm_base, label_base) =
+            index_layout(n, raw.label_bits, width, pw, index_base);
         let mut words = Vec::with_capacity(label_base + label_words.len() + 1);
         words.push(MAGIC);
-        words.push(u64::from(version) << 32 | u64::from(S::TAG));
+        words.push(u64::from(version_of(width)) << 32 | u64::from(S::TAG));
         words.push(n as u64);
         words.push(raw.param);
-        words.push(meta_words.len() as u64);
+        words.push(m as u64);
         words.extend_from_slice(meta_words);
-        match width {
-            IndexWidth::U64 => {
-                words.extend((0..=n).map(|i| raw.offset(&self.words, i) as u64));
-            }
-            IndexWidth::U32 => {
-                for i in (0..=n).step_by(2) {
-                    let lo = raw.offset(&self.words, i) as u64;
-                    let hi = if i < n {
-                        raw.offset(&self.words, i + 1) as u64
-                    } else {
-                        0
-                    };
-                    words.push(lo | hi << 32);
-                }
-            }
-        }
+        let src_words: &[u64] = &self.words;
+        let pos_closure = (pw > 0).then_some(|u: usize| raw.pos(src_words, u) as u64);
+        emit_index(
+            &mut words,
+            n,
+            raw.label_bits,
+            &|p| raw.offset_at(src_words, p) as u64,
+            width,
+            pos_closure.as_ref().map(|f| f as &dyn Fn(usize) -> u64),
+        );
+        debug_assert_eq!(words.len(), label_base);
         words.extend_from_slice(label_words);
         let checksum = crc::crc64_words(&words);
         words.push(checksum);
-        SchemeStore {
+        Ok(SchemeStore {
             words,
             raw: RawParts {
-                index_base,
                 label_base,
-                index: width,
+                index: index_parts,
+                perm_base: if pw > 0 { perm_base } else { 0 },
                 ..raw
             },
             meta: self.meta,
-        }
+        })
     }
 
     /// The persistable byte frame of `scheme` — a copy-free frame handoff:
@@ -988,7 +1517,7 @@ impl<S: StoredScheme> SchemeStore<S> {
 
     /// Width of the frame's offset-index entries.
     pub fn index_width(&self) -> IndexWidth {
-        self.raw.index
+        self.raw.index.width()
     }
 
     /// The raw frame words (for hand-off to another thread via
@@ -1359,8 +1888,8 @@ mod tests {
         let (tree, scheme, auto) = sample_store();
         // Small stores choose the packed u32 index automatically (version 2).
         assert_eq!(auto.index_width(), IndexWidth::U32);
-        let narrow = SchemeStore::build_with_index_width(&scheme, IndexWidth::U32);
-        let wide = SchemeStore::build_with_index_width(&scheme, IndexWidth::U64);
+        let narrow = SchemeStore::build_with_index_width(&scheme, IndexWidth::U32).unwrap();
+        let wide = SchemeStore::build_with_index_width(&scheme, IndexWidth::U64).unwrap();
         assert_eq!(auto.as_words(), narrow.as_words());
         assert_eq!(wide.index_width(), IndexWidth::U64);
         assert!(wide.size_bytes() > narrow.size_bytes());
@@ -1370,11 +1899,11 @@ mod tests {
         // built wide frame word for word, and narrowing it back must
         // reproduce the narrow frame — so the two assemblers cannot drift.
         assert_eq!(
-            narrow.with_index_width(IndexWidth::U64).as_words(),
+            narrow.with_index_width(IndexWidth::U64).unwrap().as_words(),
             wide.as_words()
         );
         assert_eq!(
-            wide.with_index_width(IndexWidth::U32).as_words(),
+            wide.with_index_width(IndexWidth::U32).unwrap().as_words(),
             narrow.as_words()
         );
         let narrow2 = SchemeStore::<NaiveScheme>::from_bytes(&narrow.to_bytes()).unwrap();
@@ -1387,6 +1916,53 @@ mod tests {
             assert_eq!(wide2.distance(u, v), expect, "wide ({u},{v})");
             assert_eq!(narrow2.label_bits(u), wide2.label_bits(u));
         }
+    }
+
+    #[test]
+    fn succinct_index_frames_agree_with_narrow() {
+        let (tree, _scheme, narrow) = sample_store();
+        let succ = narrow.with_index_width(IndexWidth::Succinct).unwrap();
+        assert_eq!(succ.index_width(), IndexWidth::Succinct);
+        // Version-3 frames round-trip through bytes bit-exactly...
+        let back = SchemeStore::<NaiveScheme>::from_bytes(&succ.to_bytes()).unwrap();
+        assert_eq!(back.as_words(), succ.as_words());
+        // ...answer identically to the packed-u32 frame...
+        let n = tree.len();
+        for i in 0..300usize {
+            let (u, v) = ((i * 31) % n, (i * 87 + 5) % n);
+            assert_eq!(back.distance(u, v), narrow.distance(u, v), "({u},{v})");
+            assert_eq!(back.label_bits(u), narrow.label_bits(u), "bits {u}");
+        }
+        // ...and re-narrowing reproduces the original frame word for word,
+        // tying the succinct emitter to the packed emitter in both
+        // directions.
+        assert_eq!(
+            back.with_index_width(IndexWidth::U32).unwrap().as_words(),
+            narrow.as_words()
+        );
+        // The succinct index undercuts the wide index on real frames.
+        let wide = narrow.with_index_width(IndexWidth::U64).unwrap();
+        assert!(succ.size_bytes() < wide.size_bytes());
+        // Runtime dispatch serves version-3 frames too.
+        let any = AnyStoreRef::from_words(succ.as_words()).unwrap();
+        assert_eq!(any.distance(3, 119), narrow.distance(3, 119));
+    }
+
+    #[test]
+    fn oversized_label_region_is_a_typed_error() {
+        // The u32 index caps the label region at 2³² bits; the width lift
+        // turned the historical assert into a typed, recoverable error.
+        let (_, _, store) = sample_store();
+        let mut wide = store.with_index_width(IndexWidth::U64).unwrap();
+        wide.raw.label_bits = u32::MAX as usize + 1;
+        let err = wide.with_index_width(IndexWidth::U32).unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::IndexOverflow {
+                label_bits: u32::MAX as usize + 1
+            }
+        );
+        assert!(err.to_string().contains("does not fit"));
     }
 
     #[test]

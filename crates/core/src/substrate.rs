@@ -41,6 +41,7 @@
 //! ```
 
 use crate::hpath::HpathLabeling;
+use crate::layout::{LabelLayout, Layout};
 use crate::store::StoredScheme;
 use std::num::NonZeroUsize;
 use std::sync::OnceLock;
@@ -56,15 +57,33 @@ use treelab_tree::Tree;
 /// meta words record) happening here, at build time.
 ///
 /// This is the build-side counterpart of [`StoredScheme`] (the query side).
-/// Every scheme's `build_with_substrate` computes lightweight per-node rows
-/// over the shared substrate — typically borrowing the substrate's auxiliary
-/// labels instead of cloning them — implements this trait over those rows,
-/// and hands the source to `SchemeStore::from_source`, which assembles the
-/// frame in one pass.  No intermediate per-node label structs exist on this
-/// path; the historical struct-then-serialize pipeline survives only behind
-/// the `legacy-labels` feature (and is bit-for-bit equivalent, which the
-/// feature-gated equivalence tests assert).
-pub(crate) trait PackSource<S: StoredScheme> {
+/// Every scheme's `build_with_substrate` implements this trait over the
+/// shared substrate — typically borrowing the substrate's auxiliary labels
+/// instead of cloning them — and hands the source to
+/// `SchemeStore::from_source_with`, which assembles the frame in two chunked
+/// passes (plan, then pack; see `store::build_frame`).
+///
+/// The trait is row-oriented so the frame assembler — not the scheme — owns
+/// the materialization schedule: [`PackSource::make_row`] produces one node's
+/// intermediate data *purely* (it may be called more than once per node, in
+/// any order, from worker threads), planning folds rows serially in node-id
+/// order, and packing consumes rows in label-layout order.  A source must
+/// therefore keep `make_row` deterministic and free of shared mutable state;
+/// everything order-sensitive belongs in [`PackSource::Plan`].
+///
+/// No intermediate per-node label structs exist on this path; the historical
+/// struct-then-serialize pipeline survives only behind the `legacy-labels`
+/// feature (and is bit-for-bit equivalent, which the feature-gated
+/// equivalence tests assert).
+pub(crate) trait PackSource<S: StoredScheme>: Sync {
+    /// Per-node intermediate data: everything needed to size and pack one
+    /// node's label once the meta words exist.
+    type Row: Send;
+
+    /// Accumulator for the id-order planning pass (field-width maxima and
+    /// other store-global reductions).
+    type Plan: Default;
+
     /// Number of labelled nodes.
     fn node_count(&self) -> usize;
 
@@ -74,16 +93,53 @@ pub(crate) trait PackSource<S: StoredScheme> {
         0
     }
 
-    /// Pack-time width planning: computes the store meta words (a scan over
-    /// the rows for the global maximum field widths).
-    fn meta_words(&self) -> Vec<u64>;
+    /// Builds node `u`'s row.  Must be a pure function of `u` — the chunked
+    /// build calls it up to twice per node (once to plan, once to pack) and
+    /// fans calls out over worker threads.
+    fn make_row(&self, u: usize) -> Self::Row;
 
-    /// Exact packed size of node `u`'s label in bits (used to pre-reserve the
-    /// label region in one allocation).
-    fn packed_label_bits(&self, meta: &S::Meta, u: usize) -> usize;
+    /// Folds node `u`'s row into the plan.  Called exactly once per node, in
+    /// node-id order, on the calling thread.
+    fn plan_row(&self, plan: &mut Self::Plan, u: usize, row: &Self::Row);
 
-    /// Appends the packed form of node `u`'s label.
-    fn pack_label(&self, meta: &S::Meta, u: usize, w: &mut BitWriter);
+    /// Pack-time width planning: computes the store meta words from the
+    /// completed plan.
+    fn meta_words(&self, plan: &Self::Plan) -> Vec<u64>;
+
+    /// Exact packed size of a row's label in bits (used to pre-reserve the
+    /// label region in one allocation on the whole-tree path).
+    fn packed_label_bits(&self, meta: &S::Meta, row: &Self::Row) -> usize;
+
+    /// Appends the packed form of a row's label.
+    fn pack_label(&self, meta: &S::Meta, row: &Self::Row, w: &mut BitWriter);
+}
+
+/// How the frame assembler schedules a [`PackSource`]: thread fan-out, row
+/// chunking, and the label-region layout.
+///
+/// The default is the historical in-memory build — serial, one chunk
+/// covering the whole tree, id-order labels — and every combination of knobs
+/// produces a frame whose **label bytes are bit-identical** for a fixed
+/// layout (chunking and threading change memory behaviour, never output).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PackConfig<'a> {
+    /// Worker-thread fan-out for row materialization.
+    pub(crate) par: Parallelism,
+    /// Rows materialized at a time; `usize::MAX` keeps the whole tree in
+    /// memory (and skips the second row computation).
+    pub(crate) chunk: usize,
+    /// Label-region order; `None` is node-id order.
+    pub(crate) layout: Option<&'a Layout>,
+}
+
+impl Default for PackConfig<'_> {
+    fn default() -> Self {
+        PackConfig {
+            par: Parallelism::Serial,
+            chunk: usize::MAX,
+            layout: None,
+        }
+    }
 }
 
 /// How many worker threads label construction may use.
@@ -211,6 +267,9 @@ impl BinarizedSubstrate {
 pub struct Substrate<'t> {
     tree: &'t Tree,
     par: Parallelism,
+    chunk: usize,
+    layout_kind: LabelLayout,
+    layout: OnceLock<Option<Layout>>,
     heavy: OnceLock<HeavyPaths>,
     aux: OnceLock<HpathLabeling>,
     oracle: OnceLock<DistanceOracle>,
@@ -231,6 +290,9 @@ impl<'t> Substrate<'t> {
         Substrate {
             tree,
             par,
+            chunk: usize::MAX,
+            layout_kind: LabelLayout::default(),
+            layout: OnceLock::new(),
             heavy: OnceLock::new(),
             aux: OnceLock::new(),
             oracle: OnceLock::new(),
@@ -248,6 +310,56 @@ impl<'t> Substrate<'t> {
     /// The parallelism setting every `build_with_substrate` constructor uses.
     pub fn parallelism(&self) -> Parallelism {
         self.par
+    }
+
+    /// Caps how many per-node rows the frame assembler materializes at a
+    /// time, making peak build memory O(rows) instead of O(n) — see the
+    /// chunk-streaming notes on `store::build_frame`.  `0` restores the
+    /// default whole-tree (in-memory) build.  The produced frames are
+    /// bit-identical at every setting.
+    pub fn set_chunk_rows(&mut self, rows: usize) {
+        self.chunk = if rows == 0 { usize::MAX } else { rows };
+    }
+
+    /// The current chunk cap (`usize::MAX` means whole-tree).
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk
+    }
+
+    /// Selects the label-region layout every subsequent
+    /// `build_with_substrate` uses (see [`LabelLayout`]).  Defaults to
+    /// [`LabelLayout::IdOrder`], which reproduces the historical frames
+    /// byte-for-byte; [`LabelLayout::HeavyPath`] clusters each heavy path's
+    /// labels contiguously and switches the frame to the succinct (v3)
+    /// offset index, which carries the permutation.
+    pub fn set_label_layout(&mut self, kind: LabelLayout) {
+        self.layout_kind = kind;
+        self.layout = OnceLock::new();
+    }
+
+    /// The currently selected label-region layout.
+    pub fn label_layout(&self) -> LabelLayout {
+        self.layout_kind
+    }
+
+    /// The pack schedule every `build_with_substrate` constructor hands to
+    /// the frame assembler (computes the layout permutation on first use).
+    pub(crate) fn pack_config(&self) -> PackConfig<'_> {
+        PackConfig {
+            par: self.par,
+            chunk: self.chunk,
+            layout: self
+                .layout
+                .get_or_init(|| match self.layout_kind {
+                    LabelLayout::IdOrder => None,
+                    // A one-node tree only has the identity layout (and its
+                    // permutation entries would need zero bits, colliding
+                    // with the frame's identity sentinel).
+                    LabelLayout::HeavyPath => (self.tree.len() > 1)
+                        .then(|| Layout::heavy_path(self.tree, self.heavy_paths())),
+                })
+                .as_ref(),
+        }
     }
 
     /// Heavy-path decomposition of the original tree (computed once).

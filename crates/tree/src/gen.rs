@@ -252,6 +252,28 @@ pub fn random_recursive(n: usize, seed: u64) -> Tree {
     Tree::from_parents(&parents)
 }
 
+/// [`random_recursive`] for giant trees: the same seed produces the same
+/// draw sequence and therefore the *identical* tree, but each node is
+/// streamed straight into a pre-sized [`TreeBuilder`] as it is drawn.
+///
+/// The materialized path ([`random_recursive`]) holds three copies of the
+/// topology at its peak — the intermediate parent array, the arrays
+/// [`Tree::from_parents`] is filling, and the validation scratch — and walks
+/// the whole tree again to check acyclicity.  Here node `i`'s parent is drawn
+/// from `0..i`, so the structure is a tree by construction: peak memory is
+/// the tree itself plus O(1), which is what makes `n` in the tens of
+/// millions practical (the scale harness builds its E15 corpus this way).
+pub fn random_recursive_streaming(n: usize, seed: u64) -> Tree {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TreeBuilder::with_capacity(n);
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        b.add_child(NodeId(parent), 1);
+    }
+    b.build()
+}
+
 // ---------------------------------------------------------------------------
 // (h, M)-trees — §2, Fig. 2
 // ---------------------------------------------------------------------------
@@ -483,6 +505,21 @@ mod tests {
         assert_eq!(r.len(), 200);
         // Recursive trees are shallow: height is O(log n) w.h.p., certainly < n/2.
         assert!(r.height() < 100);
+    }
+
+    #[test]
+    fn streaming_recursive_matches_materialized() {
+        // The streaming path must consume the SplitMix64 stream in exactly
+        // the same order as the materialized path, so small instances of the
+        // giant-tree generator stay covered by the whole existing corpus.
+        for (n, seed) in [(1usize, 0u64), (2, 7), (3, 7), (257, 5), (2000, 42)] {
+            let streamed = random_recursive_streaming(n, seed);
+            let materialized = random_recursive(n, seed);
+            assert!(
+                streamed == materialized,
+                "streamed tree differs at n={n}, seed={seed}"
+            );
+        }
     }
 
     #[test]

@@ -423,6 +423,27 @@ impl TreeBuilder {
         }
     }
 
+    /// Creates a builder containing only the root node, with room reserved
+    /// for `nodes` nodes in total.
+    ///
+    /// Identical to [`TreeBuilder::new`] except that the per-node arrays are
+    /// allocated up front, so streaming `nodes - 1` `add_child` calls never
+    /// reallocates — the giant-tree generators rely on this to keep a single
+    /// resident copy of the topology while building tens of millions of
+    /// nodes.
+    pub fn with_capacity(nodes: usize) -> Self {
+        let nodes = nodes.max(1);
+        let mut b = TreeBuilder {
+            parent: Vec::with_capacity(nodes),
+            children: Vec::with_capacity(nodes),
+            parent_weight: Vec::with_capacity(nodes),
+        };
+        b.parent.push(None);
+        b.children.push(Vec::new());
+        b.parent_weight.push(0);
+        b
+    }
+
     /// The root node id (always 0).
     pub fn root(&self) -> NodeId {
         NodeId(0)

@@ -54,7 +54,7 @@ pub use treelab_core::optimal::OptimalScheme;
 pub use treelab_core::store::{
     AnyStoreRef, IndexWidth, SchemeStore, StoreError, StoreRef, StoredScheme, NO_DISTANCE,
 };
-pub use treelab_core::{bounds, stats, DistanceScheme, Parallelism, Substrate};
+pub use treelab_core::{bounds, stats, DistanceScheme, LabelLayout, Parallelism, Substrate};
 pub use treelab_tree::lca::DistanceOracle;
 pub use treelab_tree::metrics::TreeMetrics;
 pub use treelab_tree::newick::{from_newick, to_newick};

@@ -65,9 +65,10 @@ fn corrupt_scheme_stores_are_rejected() {
     }
 
     // A flipped bit in the version/tag word is reported as the specific
-    // mismatch (those fields are checked before the CRC).
+    // mismatch (those fields are checked before the CRC).  Versions 1–3 are
+    // all valid now, so flip a high bit to land on an unsupported one.
     let mut vflip = bytes.clone();
-    vflip[12] ^= 0x01; // low bit of the version half
+    vflip[12] ^= 0x04; // a high bit of the version half (2 -> 6)
     assert!(matches!(
         SchemeStore::<OptimalScheme>::from_bytes(&vflip),
         Err(StoreError::UnsupportedVersion { .. })

@@ -69,7 +69,8 @@ fn check_store<S: StoredScheme>(
         .unwrap_or_else(|e| panic!("{name}: AnyStoreRef::from_words failed: {e}"));
     assert_eq!(any.tag(), S::TAG, "{name}: dispatched tag");
     // Both frame versions answer identically (v1 = u64 index, v2 = u32).
-    let wide = SchemeStore::build_with_index_width(scheme, IndexWidth::U64);
+    let wide = SchemeStore::build_with_index_width(scheme, IndexWidth::U64)
+        .unwrap_or_else(|e| panic!("{name}: v1 re-frame failed: {e}"));
     assert_eq!((wide.as_words()[1] >> 32) as u32, 1, "{name}: v1 version");
     for (i, &(u, v)) in pairs.iter().enumerate() {
         let want = expected(u, v);
@@ -289,8 +290,8 @@ fn borrow_path_refuses_misaligned_bytes_copy_path_accepts_them() {
 fn index_width_is_recorded_and_round_trips_both_ways() {
     let tree = gen::random_tree(400, 33);
     let scheme = NaiveScheme::build(&tree);
-    let narrow = SchemeStore::build_with_index_width(&scheme, IndexWidth::U32);
-    let wide = SchemeStore::build_with_index_width(&scheme, IndexWidth::U64);
+    let narrow = SchemeStore::build_with_index_width(&scheme, IndexWidth::U32).unwrap();
+    let wide = SchemeStore::build_with_index_width(&scheme, IndexWidth::U64).unwrap();
     assert_eq!(narrow.index_width(), IndexWidth::U32);
     assert_eq!(wide.index_width(), IndexWidth::U64);
     // The version word separates the formats: v2 readers accept both, and a
