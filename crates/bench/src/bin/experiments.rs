@@ -4,7 +4,7 @@
 //! cargo run --release -p treelab-bench --bin experiments -- [--quick] [--threads N] [--exact]
 //!     [--approx] [--kdist-small] [--kdist-large] [--lower-bounds] [--universal] [--ablation]
 //!     [--timing] [--substrate] [--store [--check]] [--packed-native] [--forest] [--restart]
-//!     [--giant] [--layout] [--giant-smoke]
+//!     [--giant] [--layout] [--giant-smoke] [--chaos [--smoke]]
 //! ```
 //!
 //! `--store --check` runs the store regression gate after printing E11: it
@@ -18,17 +18,24 @@
 //! chunked vs whole-tree pack with a measured peak-RSS bound and distance
 //! spot-checks — it prints a verdict and exits instead of rendering tables.
 //!
+//! `--chaos` runs the E17 self-healing table (availability + detection
+//! latency vs fault rate, with and without scrubbing).  `--chaos --smoke` is
+//! the CI robustness gate instead: the ISSUE-8 acceptance scenario plus a
+//! fixed seeded with/without-scrub replay with hard availability, safety,
+//! detection, and file-fault thresholds — verdict and exit code, no tables.
+//!
 //! With no selection flags, all experiments run.  `--quick` shrinks the sizes
 //! so the full suite finishes in well under a minute (used in CI); the numbers
 //! recorded in `EXPERIMENTS.md` come from the default (non-quick) sizes.
 //! `--threads N` pins label construction to `N` worker threads (`1` = the
 //! serial path, `0` = all available cores; the CI matrix runs both).
 
+use treelab_bench::chaos::chaos_smoke;
 use treelab_bench::experiments::{
-    ablation_experiment, approximate_experiment, exact_experiment, forest_experiment,
-    giant_experiment, giant_smoke, k_large_experiment, k_small_experiment, layout_experiment,
-    lower_bound_experiment, packed_native_experiment, restart_experiment, store_check,
-    store_experiment, substrate_experiment, timing_experiment, universal_experiment,
+    ablation_experiment, approximate_experiment, chaos_experiment, exact_experiment,
+    forest_experiment, giant_experiment, giant_smoke, k_large_experiment, k_small_experiment,
+    layout_experiment, lower_bound_experiment, packed_native_experiment, restart_experiment,
+    store_check, store_experiment, substrate_experiment, timing_experiment, universal_experiment,
 };
 use treelab_bench::workloads::Family;
 use treelab_core::substrate::Parallelism;
@@ -37,6 +44,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let check = args.iter().any(|a| a == "--check");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let par = args
         .iter()
         .position(|a| a == "--threads")
@@ -60,7 +68,7 @@ fn main() {
                 skip_next = true;
                 return false;
             }
-            *a != "--quick" && *a != "--check"
+            *a != "--quick" && *a != "--check" && *a != "--smoke"
         })
         .map(String::as_str)
         .collect();
@@ -78,6 +86,18 @@ fn main() {
             Ok(report) => println!("{report}"),
             Err(e) => {
                 eprintln!("giant smoke FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if selected.contains(&"--chaos") && smoke {
+        // The CI robustness gate: verdict + exit code, no tables.
+        match chaos_smoke(quick) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("chaos smoke FAILED: {e}");
                 std::process::exit(1);
             }
         }
@@ -183,6 +203,17 @@ fn main() {
             (1 << 24, 1 << 16)
         };
         println!("{}", giant_experiment(n, chunk, seed).to_markdown());
+    }
+    if run("--chaos") {
+        let (trees, n_per_tree, rounds, batch) = if quick {
+            (8, 1 << 9, 32, 256)
+        } else {
+            (32, 1 << 12, 64, 1024)
+        };
+        println!(
+            "{}",
+            chaos_experiment(trees, n_per_tree, rounds, batch, seed).to_markdown()
+        );
     }
     if run("--layout") {
         let (sizes, chunk): (&[usize], usize) = if quick {

@@ -926,8 +926,8 @@ pub fn giant_experiment(n: usize, chunk: usize, seed: u64) -> Table {
             };
             let store_mib = bytes.len() as f64 / (1024.0 * 1024.0);
             drop(bytes);
-            let max_bits = LabelStats::from_sizes(tree.nodes().map(|u| scheme.label_bits(u)))
-                .max_bits;
+            let max_bits =
+                LabelStats::from_sizes(tree.nodes().map(|u| scheme.label_bits(u))).max_bits;
             let batch = batch_throughput(store, &pairs, queries);
             let check = $check;
             let mut spot = "ok";
@@ -975,7 +975,11 @@ pub fn giant_experiment(n: usize, chunk: usize, seed: u64) -> Table {
         KDistanceScheme,
         "k-distance (k=8)",
         KDistanceScheme::build_with_substrate(&sub, 8),
-        |got: u64, want: u64| if want <= 8 { got == want } else { got == NO_DISTANCE }
+        |got: u64, want: u64| if want <= 8 {
+            got == want
+        } else {
+            got == NO_DISTANCE
+        }
     );
     grow!(
         ApproximateScheme,
@@ -1128,8 +1132,7 @@ pub fn giant_smoke(n: usize, chunk: usize, seed: u64) -> Result<String, String> 
     }
 
     sub.set_chunk_rows(0); // whole-tree pack for the memory A/B
-    let (whole, whole_peak) =
-        rss::measure_peak(|| DistanceArrayScheme::build_with_substrate(&sub));
+    let (whole, whole_peak) = rss::measure_peak(|| DistanceArrayScheme::build_with_substrate(&sub));
     if chunked.as_store().as_words() != whole.as_store().as_words() {
         return Err(format!(
             "chunked (chunk={chunk}) and whole-tree frames differ at n={n}"
@@ -1394,6 +1397,87 @@ pub fn store_check(table: &Table) -> Result<(), String> {
         corpus.len()
     );
     Ok(())
+}
+
+/// E17: serving availability and fault-detection latency under the seeded
+/// chaos schedule of [`crate::chaos`], with and without the budgeted
+/// scrubber + repair loop.
+///
+/// Each pair of rows replays the *identical* fault/query schedule (same
+/// seed) against a lazily-opened forest — once with scrubbing and repair
+/// disabled, once with a `2^14`-words-per-round scrub budget and
+/// end-of-round repair from replica frames.  The interesting column is
+/// **wrong**: rot that lands *after* a slot validates is served silently by
+/// the cached verdict, and only a fresh scrub pass (or a kernel panic)
+/// catches it.  Scrubbing converts those wrong answers into detected,
+/// repaired faults; availability recovers because repair puts the tree back
+/// in service instead of leaving it degraded.
+pub fn chaos_experiment(
+    trees: usize,
+    nodes_per_tree: usize,
+    rounds: usize,
+    batch: usize,
+    seed: u64,
+) -> Table {
+    use crate::chaos::{run_chaos_on, ChaosConfig};
+
+    let mut table = Table::new(
+        format!(
+            "E17: availability + detection latency vs fault rate \
+             ({trees} trees x {nodes_per_tree} nodes, {rounds} rounds x {batch} queries, \
+             seed {seed})"
+        ),
+        &[
+            "flips/round",
+            "scrub+repair",
+            "availability %",
+            "safe %",
+            "wrong",
+            "corrupt reported",
+            "detected/injected",
+            "latency (rounds)",
+            "repairs",
+        ],
+    );
+
+    let control = build_mixed_forest(&forest_corpus(trees, nodes_per_tree, seed));
+    for &flip_rate in &[0.25f64, 1.0, 4.0] {
+        for (scrub_budget, repair) in [(0usize, false), (1usize << 14, true)] {
+            let cfg = ChaosConfig {
+                trees,
+                nodes_per_tree,
+                rounds,
+                batch,
+                flip_rate,
+                scrub_budget,
+                repair,
+                mutate_every: 7,
+                file_faults_every: 0, // file probes are the smoke gate's job
+                seed,
+            };
+            let r = run_chaos_on(&cfg, control.clone());
+            table.push_row(vec![
+                format!("{flip_rate}"),
+                if repair {
+                    "on".into()
+                } else {
+                    "off".to_string()
+                },
+                format!("{:.3}", 100.0 * r.availability()),
+                format!("{:.3}", 100.0 * r.safe_fraction()),
+                format!("{}", r.ok_wrong),
+                format!("{}", r.corrupt_reported),
+                format!(
+                    "{}/{}",
+                    r.detected_by_query + r.detected_by_scrub,
+                    r.injected - r.retired
+                ),
+                format!("{:.2}", r.mean_detection_latency()),
+                format!("{}", r.repairs),
+            ]);
+        }
+    }
+    table
 }
 
 #[cfg(test)]

@@ -4,6 +4,8 @@
 //! into runnable experiments:
 //!
 //! * [`workloads`] — the named tree families every experiment sweeps over;
+//! * [`chaos`] — the deterministic fault-injection harness behind the E17
+//!   availability experiment and the CI chaos-smoke gate;
 //! * [`rss`] — Linux peak-RSS probes (`VmHWM` + `clear_refs`) that let the
 //!   giant-tree experiments measure the transient memory of a build phase;
 //! * [`experiments`] — functions that measure label sizes / query behaviour and
@@ -15,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod rss;
 pub mod workloads;

@@ -32,7 +32,9 @@ fn corpus() -> Vec<(String, Vec<bool>)> {
         // A single set bit at every position near a word boundary.
         (
             "boundary-bits".into(),
-            (0..256).map(|i| [63, 64, 65, 127, 128, 191].contains(&i)).collect(),
+            (0..256)
+                .map(|i| [63, 64, 65, 127, 128, 191].contains(&i))
+                .collect(),
         ),
         // Alternating runs whose lengths straddle word boundaries.
         (
@@ -45,14 +47,8 @@ fn corpus() -> Vec<(String, Vec<bool>)> {
         ),
         // Dense head, empty tail and vice versa (exercises select fallbacks
         // past the last sample).
-        (
-            "dense-head".into(),
-            (0..400).map(|i| i < 130).collect(),
-        ),
-        (
-            "dense-tail".into(),
-            (0..400).map(|i| i >= 270).collect(),
-        ),
+        ("dense-head".into(), (0..400).map(|i| i < 130).collect()),
+        ("dense-tail".into(), (0..400).map(|i| i >= 270).collect()),
     ];
     for (seed, density_num, len) in [
         (1u64, 1u64, 300usize),
@@ -92,10 +88,8 @@ fn rank_matches_naive_oracle_at_every_position() {
 fn select_matches_naive_oracle_for_every_k() {
     for (name, bits) in corpus() {
         let rs = RankSelect::new(BitVec::from_bools(bits.iter().copied()));
-        let one_positions: Vec<usize> =
-            (0..bits.len()).filter(|&i| bits[i]).collect();
-        let zero_positions: Vec<usize> =
-            (0..bits.len()).filter(|&i| !bits[i]).collect();
+        let one_positions: Vec<usize> = (0..bits.len()).filter(|&i| bits[i]).collect();
+        let zero_positions: Vec<usize> = (0..bits.len()).filter(|&i| !bits[i]).collect();
         for (k, &pos) in one_positions.iter().enumerate() {
             assert_eq!(rs.select1(k + 1), Some(pos), "{name}: select1({})", k + 1);
             // select and rank invert each other.

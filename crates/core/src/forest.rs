@@ -87,6 +87,50 @@
 //! behind the same [`Parallelism`] knob the builders use, with bit-identical
 //! output for every thread count.
 //!
+//! # Self-healing: fallible routing, quarantine, repair, scrubbing
+//!
+//! The strict `route_distances` family treats a bad query as a caller bug
+//! and panics — the right contract for trusted in-process callers, and the
+//! wrong one under a socket.  The **fallible** family is the serving front
+//! door: [`ForestRef::try_route_distances`] (and its `_into` / `_sharded`
+//! variants) returns one [`QueryStatus`] per query in arrival order —
+//! `Ok(distance)`, `UnknownTree`, `NodeOutOfRange`, or `CorruptTree` — and
+//! never panics on query input or corrupt tree data.  Healthy tree groups
+//! complete even when others fail, each group (serial) or shard (sharded)
+//! runs its query kernel under [`std::panic::catch_unwind`], and the
+//! answered distances are bit-identical to the strict engine's.
+//!
+//! Damage found at runtime is **quarantined**, not just reported: a failed
+//! first-touch validation or a scrubber-detected fault condemns the slot, so
+//! every later read answers an error ([`ForestError::Tree`]) or a
+//! `CorruptTree` status until [`ForestStore::repair_frame`] /
+//! [`ForestStore::repair_scheme`] splices a caller-supplied replacement
+//! frame (a rebuild or a replica) over the damaged extent under a fresh
+//! generation.  [`ForestRef::health`] reports every slot's state machine
+//! position (`Unvalidated → Valid | Quarantined → Valid`, any `→
+//! Tombstoned`; also specified in `FORMAT.md`), and a [`Scrubber`] driven
+//! from the serving loop ([`ForestRef::scrub`], a words-per-call budget)
+//! re-validates every live frame from its bytes pass after pass — settling
+//! lazily-deferred slots before queries touch them and catching rot that
+//! lands *after* a slot validated, which `verify`'s cached verdicts cannot.
+//!
+//! # Panic policy
+//!
+//! Everything reachable from **untrusted input** — file bytes, query
+//! arguments — reports typed errors or statuses: every open/parse path
+//! returns [`ForestError`], per-tree reads go through
+//! [`ForestRef::try_tree`], and routed serving goes through the
+//! `try_route_distances` family.  The panics that remain are, by policy:
+//!
+//! * the strict `route_distances` family — a documented caller contract for
+//!   trusted batches (panic messages are contract-tested), implemented as a
+//!   thin wrapper over the fallible engine;
+//! * internal invariants that cannot be reached through validated state
+//!   (e.g. a routed group whose verdict vanished, a mapped frame whose
+//!   alignment was proven at open);
+//! * capacity bounds (≥ 2³² directory slots or queries per batch) and the
+//!   test-only [`ForestStore::corrupt_word`] targeting hook.
+//!
 //! # Example
 //!
 //! ```
@@ -291,10 +335,38 @@ struct DirEntry {
 /// frame's parse (cached [`AnyParts`], so views materialize in O(1)) or the
 /// error its first touch produced.  Both are `Copy`, so replaying a cached
 /// verdict never allocates.
+///
+/// `quarantine` is the one piece of slot state that can change *after* the
+/// verdict settles: the scrubber re-reads every frame word on every pass, so
+/// a tree that validated once and rotted afterwards is flagged here.  A set
+/// quarantine overrides a cached `Ok` verdict on every later touch — the
+/// slot answers [`ForestError::Tree`] until [`ForestStore::repair_frame`]
+/// replaces its frame.
 #[derive(Debug, Clone)]
 struct TreeSlot {
     entry: DirEntry,
     state: OnceLock<Result<AnyParts, StoreError>>,
+    quarantine: OnceLock<StoreError>,
+}
+
+impl TreeSlot {
+    fn new(entry: DirEntry) -> Self {
+        TreeSlot {
+            entry,
+            state: OnceLock::new(),
+            quarantine: OnceLock::new(),
+        }
+    }
+
+    /// The error this slot is currently condemned by, if any: an explicit
+    /// quarantine (post-validation rot found by the scrubber) or a cached
+    /// first-touch validation failure.
+    fn condemned(&self) -> Option<StoreError> {
+        self.quarantine
+            .get()
+            .copied()
+            .or_else(|| self.state.get().and_then(|v| v.err()))
+    }
 }
 
 /// Everything a serving view knows beyond the raw words: decoded header
@@ -325,19 +397,32 @@ impl ForestState {
     }
 }
 
+/// One full validation of the inner frame behind directory entry `e`:
+/// the store-level parse (magic, version, CRC, offsets) plus the
+/// directory/frame cross-check.  This is *the* verdict — `validate_slot`
+/// caches its first run, and the scrubber re-runs it fresh on every pass so
+/// the two can never disagree on what "valid" means.
+fn check_inner(words: &[u64], e: DirEntry) -> Result<AnyParts, StoreError> {
+    let view = AnyStoreRef::from_words(&words[e.off..e.off + e.len])?;
+    if view.tag() != e.tag || view.node_count() as u64 != u64::from(e.n) {
+        return Err(StoreError::Malformed {
+            what: "directory scheme tag / label count disagrees with the inner frame",
+        });
+    }
+    Ok(view.parts())
+}
+
 /// Validates the inner frame of `slot` on first call and caches the verdict;
-/// every later call replays the cached `Copy` result without allocating.
+/// every later call replays the cached `Copy` result without allocating.  A
+/// quarantined slot (rot found by the scrubber after validation) fails here
+/// too, so no read path — `tree`, `try_tree`, routing, `verify` — can serve
+/// a tree the scrubber has condemned.
 fn validate_slot(words: &[u64], slot: &TreeSlot) -> Result<AnyParts, ForestError> {
     let e = slot.entry;
-    let verdict = slot.state.get_or_init(|| {
-        let view = AnyStoreRef::from_words(&words[e.off..e.off + e.len])?;
-        if view.tag() != e.tag || view.node_count() as u64 != u64::from(e.n) {
-            return Err(StoreError::Malformed {
-                what: "directory scheme tag / label count disagrees with the inner frame",
-            });
-        }
-        Ok(view.parts())
-    });
+    if let Some(&error) = slot.quarantine.get() {
+        return Err(ForestError::Tree { id: e.id, error });
+    }
+    let verdict = slot.state.get_or_init(|| check_inner(words, e));
     verdict.map_err(|error| ForestError::Tree { id: e.id, error })
 }
 
@@ -498,16 +583,13 @@ fn parse_forest(words: &[u64], policy: ValidationPolicy) -> Result<ForestState, 
         } else {
             extents.push((off, len));
         }
-        slots.push(TreeSlot {
-            entry: DirEntry {
-                id,
-                off,
-                len,
-                tag,
-                n,
-            },
-            state: OnceLock::new(),
-        });
+        slots.push(TreeSlot::new(DirEntry {
+            id,
+            off,
+            len,
+            tag,
+            n,
+        }));
     }
     if version == FOREST_VERSION_V2 {
         for rec in t..capacity {
@@ -660,6 +742,334 @@ fn verify_chunked_impl(
     }
     cursor.done = true;
     Ok(true)
+}
+
+/// The per-query verdict of the fallible routed engine
+/// ([`ForestRef::try_route_distances`] and friends), in arrival order.
+///
+/// Exactly the three panic conditions of the strict
+/// [`route_distances`](ForestRef::route_distances) contract, demoted to
+/// data — plus the answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryStatus {
+    /// The routed distance.
+    Ok(u64),
+    /// The queried tree id is absent from the directory or tombstoned.
+    UnknownTree,
+    /// A node index is `>= n` for the queried tree.
+    NodeOutOfRange,
+    /// The queried tree's frame failed validation — at first touch, under
+    /// quarantine after a scrub found rot, or (sharded engine) because its
+    /// shard's query kernel panicked on corrupt label data.
+    CorruptTree,
+}
+
+impl QueryStatus {
+    /// The distance, when the query was answered.
+    pub fn ok(self) -> Option<u64> {
+        match self {
+            QueryStatus::Ok(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// `true` when the query was answered.
+    pub fn is_ok(self) -> bool {
+        matches!(self, QueryStatus::Ok(_))
+    }
+}
+
+/// Per-batch tally of a fallible routed run: how many queries landed in each
+/// [`QueryStatus`] bucket.  `degraded()` is the serving-loop health signal
+/// (everything that did not come back `Ok`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RouteOutcome {
+    /// Queries answered with a distance.
+    pub ok: usize,
+    /// Queries naming an absent or tombstoned tree id.
+    pub unknown_tree: usize,
+    /// Queries with a node index out of range for their tree.
+    pub out_of_range: usize,
+    /// Queries routed to a corrupt (validation-failed or quarantined) tree.
+    pub corrupt: usize,
+}
+
+impl RouteOutcome {
+    /// Total queries in the batch.
+    pub fn total(&self) -> usize {
+        self.ok + self.unknown_tree + self.out_of_range + self.corrupt
+    }
+
+    /// Queries that did **not** come back `Ok` — the degraded-query counter
+    /// the tentpole scrubbing loop reports.
+    pub fn degraded(&self) -> usize {
+        self.total() - self.ok
+    }
+
+    /// `true` when every query was answered.
+    pub fn all_ok(&self) -> bool {
+        self.degraded() == 0
+    }
+
+    fn count(&mut self, status: QueryStatus) {
+        match status {
+            QueryStatus::Ok(_) => self.ok += 1,
+            QueryStatus::UnknownTree => self.unknown_tree += 1,
+            QueryStatus::NodeOutOfRange => self.out_of_range += 1,
+            QueryStatus::CorruptTree => self.corrupt += 1,
+        }
+    }
+}
+
+/// The serving state of one directory slot, as reported by
+/// [`ForestRef::health`](ForestRef::health) / `slot_health`.
+///
+/// The lifecycle (also in `FORMAT.md`):
+/// `Unvalidated → Valid | Quarantined`, `Valid → Quarantined` (scrub finds
+/// post-validation rot), `Quarantined → Valid` (via
+/// [`ForestStore::repair_frame`], under a fresh generation), any `→
+/// Tombstoned` (terminal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotHealth {
+    /// Lazily-deferred: the inner frame has not been touched yet.
+    Unvalidated,
+    /// Validated and serving.
+    Valid,
+    /// Condemned: first-touch validation failed, or the scrubber found rot
+    /// after validation.  Every query answers `CorruptTree` / an error until
+    /// the slot is repaired.
+    Quarantined(StoreError),
+    /// Retired via [`ForestStore::tombstone`]; lookups report
+    /// [`ForestError::UnknownTree`].
+    Tombstoned,
+}
+
+/// Slot-state tallies of a [`HealthReport`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HealthCounts {
+    /// Live slots whose deferred validation has not run yet.
+    pub unvalidated: usize,
+    /// Live slots validated and serving.
+    pub valid: usize,
+    /// Live slots condemned by validation or the scrubber.
+    pub quarantined: usize,
+    /// Tombstoned slots.
+    pub tombstoned: usize,
+}
+
+/// A point-in-time health snapshot of every directory slot — the tentpole
+/// `health()` report.  Quarantined ids are the repair worklist:
+/// feed [`HealthReport::quarantined`] to [`ForestStore::repair_frame`].
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    slots: Vec<(u64, SlotHealth)>,
+}
+
+impl HealthReport {
+    /// Every directory slot's `(id, health)`, in directory (id) order.
+    pub fn slots(&self) -> &[(u64, SlotHealth)] {
+        &self.slots
+    }
+
+    /// The quarantined tree ids, in id order — the repair worklist.
+    pub fn quarantined(&self) -> impl Iterator<Item = u64> + '_ {
+        self.slots
+            .iter()
+            .filter(|(_, h)| matches!(h, SlotHealth::Quarantined(_)))
+            .map(|&(id, _)| id)
+    }
+
+    /// Per-state tallies.
+    pub fn counts(&self) -> HealthCounts {
+        let mut c = HealthCounts::default();
+        for (_, h) in &self.slots {
+            match h {
+                SlotHealth::Unvalidated => c.unvalidated += 1,
+                SlotHealth::Valid => c.valid += 1,
+                SlotHealth::Quarantined(_) => c.quarantined += 1,
+                SlotHealth::Tombstoned => c.tombstoned += 1,
+            }
+        }
+        c
+    }
+
+    /// `true` when no live slot is quarantined.
+    pub fn all_serving(&self) -> bool {
+        self.counts().quarantined == 0
+    }
+}
+
+fn slot_health_of(slot: &TreeSlot) -> SlotHealth {
+    if slot.entry.tag == 0 {
+        SlotHealth::Tombstoned
+    } else if let Some(error) = slot.condemned() {
+        SlotHealth::Quarantined(error)
+    } else if slot.state.get().is_some() {
+        SlotHealth::Valid
+    } else {
+        SlotHealth::Unvalidated
+    }
+}
+
+fn health_impl(state: &ForestState) -> HealthReport {
+    HealthReport {
+        slots: state
+            .slots
+            .iter()
+            .map(|s| (s.entry.id, slot_health_of(s)))
+            .collect(),
+    }
+}
+
+/// Lifetime counters of a [`Scrubber`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubStats {
+    /// Frame words re-read and re-checked (outer-checksum streaming plus
+    /// inner-frame re-validation), across all passes.
+    pub words_scrubbed: u64,
+    /// Slots newly quarantined by this scrubber.
+    pub faults_found: u64,
+    /// Lazily-deferred slots whose verdict this scrubber settled before any
+    /// query touched them.
+    pub slots_settled: u64,
+    /// Full passes over the frame completed.
+    pub passes_completed: u64,
+    /// Pass restarts forced by a generation change mid-pass.
+    pub restarts: u64,
+}
+
+/// What one [`scrub`](ForestRef::scrub) call accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScrubOutcome {
+    /// The budget ran out mid-pass; call again to continue.
+    InProgress,
+    /// A live inner frame failed its fresh re-validation and was quarantined
+    /// (its id and the error are also visible via `health()`).  The pass
+    /// continues past it on the next call.
+    Fault {
+        /// The condemned tree.
+        id: u64,
+        /// What the re-validation found.
+        error: StoreError,
+    },
+    /// The pass covered the whole frame: outer checksum verified, every live
+    /// slot freshly re-validated.
+    PassComplete,
+}
+
+/// A budgeted background scrubber: resumable progress through repeated full
+/// passes over one forest view, re-reading every frame word fresh each pass.
+///
+/// Where [`verify_chunked`](ForestRef::verify_chunked) *settles* each slot
+/// once (replaying cached verdicts thereafter), the scrubber **re-validates
+/// every live inner frame from its bytes on every pass** — so label rot that
+/// lands *after* a slot validated is still found, quarantined, and kept away
+/// from queries.  Drive it from the serving loop with a words-per-call
+/// budget; one scrubber belongs to one view, and a generation change (append
+/// / tombstone / repair on the owning store) restarts the pass automatically.
+#[derive(Debug, Default)]
+pub struct Scrubber {
+    cursor: VerifyCursor,
+    generation: Option<u64>,
+    stats: ScrubStats,
+}
+
+impl Scrubber {
+    /// A scrubber at the start of its first pass.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ScrubStats {
+        self.stats
+    }
+}
+
+/// One budgeted scrub step; see [`Scrubber`].
+fn scrub_impl(
+    words: &[u64],
+    state: &ForestState,
+    budget_words: usize,
+    scrubber: &mut Scrubber,
+) -> Result<ScrubOutcome, ForestError> {
+    if scrubber.generation != Some(state.generation) {
+        if scrubber.generation.is_some() && !scrubber.cursor.done {
+            scrubber.stats.restarts += 1;
+        }
+        scrubber.cursor = VerifyCursor::new();
+        scrubber.generation = Some(state.generation);
+    }
+    if scrubber.cursor.done {
+        // Previous pass finished: start the next one.
+        scrubber.cursor = VerifyCursor::new();
+    }
+    let cursor = &mut scrubber.cursor;
+    let mut budget = budget_words.max(1);
+    let crc_end = if state.version == FOREST_VERSION_V1 {
+        words.len() - 1
+    } else {
+        state.dir_end()
+    };
+    while cursor.pos < crc_end && budget > 0 {
+        let take = budget.min(crc_end - cursor.pos);
+        cursor
+            .crc
+            .update_words(&words[cursor.pos..cursor.pos + take]);
+        cursor.pos += take;
+        budget -= take;
+        scrubber.stats.words_scrubbed += take as u64;
+    }
+    if cursor.pos < crc_end {
+        return Ok(ScrubOutcome::InProgress);
+    }
+    if !cursor.crc_checked {
+        if cursor.crc.finish() != words[words.len() - 1] {
+            // Header/directory corruption condemns the whole view — there is
+            // no per-slot quarantine that can contain it.
+            return Err(ForestError::Frame(StoreError::ChecksumMismatch));
+        }
+        cursor.crc_checked = true;
+    }
+    while cursor.slot < state.slots.len() {
+        if budget == 0 {
+            return Ok(ScrubOutcome::InProgress);
+        }
+        let slot = &state.slots[cursor.slot];
+        cursor.slot += 1;
+        let e = slot.entry;
+        if e.tag == 0 {
+            continue;
+        }
+        budget = budget.saturating_sub(e.len);
+        scrubber.stats.words_scrubbed += e.len as u64;
+        if slot.quarantine.get().is_some() {
+            // Already condemned; nothing more a scrub can learn.
+            continue;
+        }
+        match check_inner(words, e) {
+            Ok(parts) => {
+                // Settle a deferred slot with the eager verdict so its first
+                // query touch replays a cache hit instead of validating.
+                if slot.state.set(Ok(parts)).is_ok() {
+                    scrubber.stats.slots_settled += 1;
+                }
+            }
+            Err(error) => {
+                // Settle (if still deferred) with the same verdict an eager
+                // open would have produced, and quarantine: the slot now
+                // fails every read path until repaired.
+                let _ = slot.state.set(Err(error));
+                if slot.quarantine.set(error).is_ok() {
+                    scrubber.stats.faults_found += 1;
+                }
+                return Ok(ScrubOutcome::Fault { id: e.id, error });
+            }
+        }
+    }
+    cursor.done = true;
+    scrubber.stats.passes_completed += 1;
+    Ok(ScrubOutcome::PassComplete)
 }
 
 /// Assembles a forest frame from id-sorted, pre-validated `(id, frame)`
@@ -884,16 +1294,19 @@ impl ForestBuilder {
 /// the buffers have grown to the working size).
 #[derive(Debug, Default)]
 pub struct RouteScratch {
-    /// Per-query tree slot (directory position).
+    /// Per-query tree slot (directory position), or [`DEAD_SLOT`] for a
+    /// query that already failed resolution.
     slots: Vec<u32>,
     /// Per-slot group *end* position after the counting sort.
     bounds: Vec<usize>,
-    /// Query indices, stably grouped by slot.
+    /// Healthy-query indices, stably grouped by slot.
     order: Vec<u32>,
     /// Per-group `(u, v)` staging for the batch engine.
     pairs: Vec<(usize, usize)>,
     /// Answers in grouped order, before the scatter back to arrival order.
     sorted: Vec<u64>,
+    /// Per-query status staging for the strict (panicking) wrappers.
+    statuses: Vec<QueryStatus>,
 }
 
 impl RouteScratch {
@@ -903,27 +1316,34 @@ impl RouteScratch {
     }
 }
 
+/// The slot sentinel marking a query that failed resolution (unknown tree,
+/// out-of-range node, corrupt tree) in [`RouteScratch::slots`]: the counting
+/// sort skips it, so failed queries never reach a query kernel.
+const DEAD_SLOT: u32 = u32::MAX;
+
+/// One memoized id resolution: the slot index and node count of a healthy
+/// tree, or the [`QueryStatus`] every query against that id inherits.
+type SlotResolution = Result<(u32, usize), QueryStatus>;
+
 /// Resolves every query's tree slot (validating ids and node indices, and —
 /// under the lazy policy — each touched tree's inner frame, first touch
-/// only) and groups query indices by slot with a stable counting sort.
-///
-/// # Panics
-///
-/// Panics on an unknown or tombstoned tree id, an out-of-range node index,
-/// or a tree whose deferred validation fails — mirroring the single-store
-/// batch engine, invalid input is a caller bug, not a data corruption
-/// (which the *open* and `try_tree` paths report as errors).
-fn prepare_route(
+/// only), records each query's preliminary [`QueryStatus`] in arrival order
+/// (healthy queries get an `Ok(0)` placeholder for the scatter to fill), and
+/// groups the healthy query indices by slot with a stable counting sort.
+/// Never panics on query input: failed queries park under [`DEAD_SLOT`].
+fn prepare_route_try(
     words: &[u64],
     slots: &[TreeSlot],
     queries: &[(u64, usize, usize)],
     scratch: &mut RouteScratch,
+    statuses: &mut Vec<QueryStatus>,
 ) {
     // The scratch stores slot and query indices in 32 bits (halving the
     // routing tables); make the truncating casts below unreachable rather
-    // than silently wrong for pathological inputs.
+    // than silently wrong for pathological inputs.  Internal capacity
+    // bounds, not query validation — these stay panics by policy.
     assert!(
-        slots.len() <= u32::MAX as usize,
+        slots.len() < DEAD_SLOT as usize,
         "forest directory exceeds the routed engine's 2³² slot bound"
     );
     assert!(
@@ -932,35 +1352,55 @@ fn prepare_route(
     );
     scratch.slots.clear();
     scratch.slots.reserve(queries.len());
-    let mut last: Option<(u64, u32, usize)> = None;
+    statuses.reserve(queries.len());
+    // Same-id runs replay the memoized resolution — including its failure.
+    let mut last: Option<(u64, SlotResolution)> = None;
     for &(id, u, v) in queries {
-        let (slot, n) = match last {
-            Some((lid, s, n)) if lid == id => (s, n),
+        let resolved = match last {
+            Some((lid, r)) if lid == id => r,
             _ => {
-                let s = slots
+                let r = match slots
                     .binary_search_by_key(&id, |t| t.entry.id)
                     .ok()
                     .filter(|&s| slots[s].entry.tag != 0)
-                    .unwrap_or_else(|| panic!("no tree with id {id} in the forest"));
-                let parts = validate_slot(words, &slots[s])
-                    .unwrap_or_else(|e| panic!("tree {id} failed validation: {e}"));
-                let n = parts.raw.n;
-                last = Some((id, s as u32, n));
-                (s as u32, n)
+                {
+                    None => Err(QueryStatus::UnknownTree),
+                    Some(s) => match validate_slot(words, &slots[s]) {
+                        Ok(parts) => Ok((s as u32, parts.raw.n)),
+                        Err(_) => Err(QueryStatus::CorruptTree),
+                    },
+                };
+                last = Some((id, r));
+                r
             }
         };
-        assert!(
-            u < n && v < n,
-            "pair ({u}, {v}) out of range for tree {id} (n = {n})"
-        );
-        scratch.slots.push(slot);
+        let status = match resolved {
+            Ok((slot, n)) if u < n && v < n => {
+                scratch.slots.push(slot);
+                QueryStatus::Ok(0)
+            }
+            Ok(_) => {
+                scratch.slots.push(DEAD_SLOT);
+                QueryStatus::NodeOutOfRange
+            }
+            Err(bad) => {
+                scratch.slots.push(DEAD_SLOT);
+                bad
+            }
+        };
+        statuses.push(status);
     }
-    // Stable counting sort of query indices by slot: counts → start cursors
-    // → scatter (cursors advance to the group ends, kept in `bounds`).
+    // Stable counting sort of the healthy query indices by slot: counts →
+    // start cursors → scatter (cursors advance to the group ends, kept in
+    // `bounds`).  Dead queries are simply absent from the grouped order.
     scratch.bounds.clear();
     scratch.bounds.resize(slots.len(), 0);
+    let mut healthy = 0usize;
     for &s in &scratch.slots {
-        scratch.bounds[s as usize] += 1;
+        if s != DEAD_SLOT {
+            scratch.bounds[s as usize] += 1;
+            healthy += 1;
+        }
     }
     let mut acc = 0usize;
     for b in scratch.bounds.iter_mut() {
@@ -969,8 +1409,11 @@ fn prepare_route(
         acc += count;
     }
     scratch.order.clear();
-    scratch.order.resize(queries.len(), 0);
+    scratch.order.resize(healthy, 0);
     for (i, &s) in scratch.slots.iter().enumerate() {
+        if s == DEAD_SLOT {
+            continue;
+        }
         let cursor = &mut scratch.bounds[s as usize];
         scratch.order[*cursor] = i as u32;
         *cursor += 1;
@@ -1015,17 +1458,24 @@ fn run_group_range(
     }
 }
 
-/// The serial routed engine body shared by every forest view.
-fn route_into(
+/// The serial fallible routed engine body shared by every forest view:
+/// appends one [`QueryStatus`] per query to `statuses` in arrival order and
+/// returns the batch tally.  Healthy groups run even when other queries name
+/// unknown, out-of-range, or corrupt targets; each group's kernel runs under
+/// [`std::panic::catch_unwind`], so label rot that slips past a cached
+/// validation verdict degrades that one group to `CorruptTree` instead of
+/// unwinding through the serving loop.
+fn try_route_into(
     words: &[u64],
     slots: &[TreeSlot],
     queries: &[(u64, usize, usize)],
     scratch: &mut RouteScratch,
-    out: &mut Vec<u64>,
-) {
-    prepare_route(words, slots, queries, scratch);
+    statuses: &mut Vec<QueryStatus>,
+) -> RouteOutcome {
+    let base = statuses.len();
+    prepare_route_try(words, slots, queries, scratch, statuses);
     scratch.sorted.clear();
-    scratch.sorted.resize(queries.len(), 0);
+    scratch.sorted.resize(scratch.order.len(), 0);
     let RouteScratch {
         bounds,
         order,
@@ -1033,49 +1483,134 @@ fn route_into(
         sorted,
         ..
     } = scratch;
-    run_group_range(
-        words,
-        slots,
-        queries,
-        order,
-        bounds,
-        0..slots.len(),
-        0,
-        pairs,
-        sorted,
-    );
-    let base = out.len();
-    out.resize(base + queries.len(), 0);
+    for t in 0..slots.len() {
+        let gstart = if t == 0 { 0 } else { bounds[t - 1] };
+        let gend = bounds[t];
+        if gend == gstart {
+            continue;
+        }
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_group_range(
+                words,
+                slots,
+                queries,
+                order,
+                bounds,
+                t..t + 1,
+                0,
+                pairs,
+                sorted,
+            );
+        }));
+        if run.is_err() {
+            for &qi in &order[gstart..gend] {
+                statuses[base + qi as usize] = QueryStatus::CorruptTree;
+            }
+        }
+    }
     for (pos, &qi) in order.iter().enumerate() {
-        out[base + qi as usize] = sorted[pos];
+        let status = &mut statuses[base + qi as usize];
+        if matches!(status, QueryStatus::Ok(_)) {
+            *status = QueryStatus::Ok(sorted[pos]);
+        }
+    }
+    let mut outcome = RouteOutcome::default();
+    for &s in &statuses[base..] {
+        outcome.count(s);
+    }
+    outcome
+}
+
+/// Reconstructs the historical strict-contract panic for the first failed
+/// query of a batch — the panicking `route_distances` family is a thin
+/// wrapper over the fallible engine, and these messages are its documented
+/// (and contract-tested) caller interface.
+#[cold]
+fn panic_bad_query(
+    words: &[u64],
+    slots: &[TreeSlot],
+    query: (u64, usize, usize),
+    status: QueryStatus,
+) -> ! {
+    let (id, u, v) = query;
+    match status {
+        QueryStatus::UnknownTree => panic!("no tree with id {id} in the forest"),
+        QueryStatus::NodeOutOfRange => {
+            let n = slots
+                .binary_search_by_key(&id, |t| t.entry.id)
+                .map(|s| slots[s].entry.n)
+                .unwrap_or(0);
+            panic!("pair ({u}, {v}) out of range for tree {id} (n = {n})")
+        }
+        _ => {
+            let verdict = slots
+                .binary_search_by_key(&id, |t| t.entry.id)
+                .ok()
+                .map(|s| validate_slot(words, &slots[s]));
+            match verdict {
+                Some(Err(e)) => panic!("tree {id} failed validation: {e}"),
+                _ => panic!(
+                    "tree {id} failed validation: its query kernel panicked on corrupt label data"
+                ),
+            }
+        }
     }
 }
 
-/// The sharded routed engine body: tree groups are partitioned into
-/// contiguous shards of roughly equal query count, each shard answers into
-/// its disjoint slice of the grouped output, and one serial scatter restores
-/// arrival order — so the result is bit-identical for every thread count.
-fn route_sharded(
+/// The strict (panicking) serial routed engine body: the fallible engine
+/// plus a panic on the first non-`Ok` status, preserving the historical
+/// `route_distances` contract bit for bit.
+fn route_into(
+    words: &[u64],
+    slots: &[TreeSlot],
+    queries: &[(u64, usize, usize)],
+    scratch: &mut RouteScratch,
+    out: &mut Vec<u64>,
+) {
+    let mut statuses = std::mem::take(&mut scratch.statuses);
+    statuses.clear();
+    try_route_into(words, slots, queries, scratch, &mut statuses);
+    out.reserve(queries.len());
+    for (i, &s) in statuses.iter().enumerate() {
+        match s {
+            QueryStatus::Ok(d) => out.push(d),
+            bad => panic_bad_query(words, slots, queries[i], bad),
+        }
+    }
+    scratch.statuses = statuses;
+}
+
+/// The sharded fallible routed engine body: tree groups are partitioned into
+/// contiguous shards of roughly equal healthy-query count, each shard
+/// answers into its disjoint slice of the grouped output under a per-shard
+/// [`std::panic::catch_unwind`], and one serial scatter restores arrival
+/// order — so the result is bit-identical to the serial engine for every
+/// thread count, except that a kernel panic (corrupt label data slipping
+/// past a cached verdict) degrades at shard granularity rather than group
+/// granularity.
+fn try_route_sharded(
     words: &[u64],
     slots: &[TreeSlot],
     queries: &[(u64, usize, usize)],
     par: Parallelism,
-) -> Vec<u64> {
+) -> Vec<QueryStatus> {
     let q = queries.len();
     let mut scratch = RouteScratch::new();
-    let mut out = Vec::with_capacity(q);
+    let mut statuses = Vec::with_capacity(q);
     let threads = par.thread_count().min(slots.len()).max(1);
     if threads <= 1 || q == 0 {
-        route_into(words, slots, queries, &mut scratch, &mut out);
-        return out;
+        try_route_into(words, slots, queries, &mut scratch, &mut statuses);
+        return statuses;
     }
-    prepare_route(words, slots, queries, &mut scratch);
+    prepare_route_try(words, slots, queries, &mut scratch, &mut statuses);
+    let healthy = scratch.order.len();
     scratch.sorted.clear();
-    scratch.sorted.resize(q, 0);
+    scratch.sorted.resize(healthy, 0);
 
     // Greedy contiguous partition of the tree groups into `threads` shards
-    // of roughly q / threads queries each: (groups, grouped-position range).
-    let target = q.div_ceil(threads);
+    // of roughly healthy / threads queries each: (groups, grouped-position
+    // range).
+    let target = healthy.div_ceil(threads).max(1);
     let mut shards: Vec<(Range<usize>, Range<usize>)> = Vec::with_capacity(threads);
     let (mut group_lo, mut pos_lo) = (0usize, 0usize);
     for t in 0..slots.len() {
@@ -1089,26 +1624,66 @@ fn route_sharded(
     }
 
     let (order, bounds) = (&scratch.order, &scratch.bounds);
-    std::thread::scope(|s| {
+    let poisoned: Vec<Range<usize>> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(shards.len());
         let mut rest: &mut [u64] = &mut scratch.sorted;
         let mut consumed = 0usize;
         for (groups, pos) in &shards {
             let (chunk, tail) = rest.split_at_mut(pos.end - consumed);
             consumed = pos.end;
             rest = tail;
-            let (groups, pos_base) = (groups.clone(), pos.start);
-            s.spawn(move || {
+            let (groups, pos) = (groups.clone(), pos.clone());
+            let handle = s.spawn(move || {
                 let mut pairs: Vec<(usize, usize)> = Vec::new();
-                run_group_range(
-                    words, slots, queries, order, bounds, groups, pos_base, &mut pairs, chunk,
-                );
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_group_range(
+                        words, slots, queries, order, bounds, groups, pos.start, &mut pairs, chunk,
+                    );
+                }))
+                .is_err()
             });
+            handles.push((pos, handle));
         }
+        handles
+            .into_iter()
+            .filter_map(|(pos, h)| match h.join() {
+                Ok(false) => None,
+                // `Err` is unreachable (the closure catches its own
+                // unwinds), but mapping it to "poisoned" is the safe side.
+                Ok(true) | Err(_) => Some(pos),
+            })
+            .collect()
     });
 
-    out.resize(q, 0);
     for (pos, &qi) in scratch.order.iter().enumerate() {
-        out[qi as usize] = scratch.sorted[pos];
+        let status = &mut statuses[qi as usize];
+        if matches!(status, QueryStatus::Ok(_)) {
+            *status = QueryStatus::Ok(scratch.sorted[pos]);
+        }
+    }
+    for pos_range in poisoned {
+        for &qi in &scratch.order[pos_range] {
+            statuses[qi as usize] = QueryStatus::CorruptTree;
+        }
+    }
+    statuses
+}
+
+/// The strict (panicking) sharded routed engine body — a thin wrapper over
+/// [`try_route_sharded`] preserving the historical contract.
+fn route_sharded(
+    words: &[u64],
+    slots: &[TreeSlot],
+    queries: &[(u64, usize, usize)],
+    par: Parallelism,
+) -> Vec<u64> {
+    let statuses = try_route_sharded(words, slots, queries, par);
+    let mut out = Vec::with_capacity(queries.len());
+    for (i, &s) in statuses.iter().enumerate() {
+        match s {
+            QueryStatus::Ok(d) => out.push(d),
+            bad => panic_bad_query(words, slots, queries[i], bad),
+        }
     }
     out
 }
@@ -1263,6 +1838,90 @@ macro_rules! forest_read_api {
             par: Parallelism,
         ) -> Vec<u64> {
             route_sharded(self.frame_words(), &self.state.slots, queries, par)
+        }
+
+        /// Fallible routed batch query: one [`QueryStatus`] per `(tree, u,
+        /// v)` query, in arrival order — `Ok(distance)` for every query the
+        /// forest can answer, and `UnknownTree` / `NodeOutOfRange` /
+        /// `CorruptTree` for the rest.  Healthy tree groups complete even
+        /// when other queries fail; answered distances are bit-identical to
+        /// what [`Self::route_distances`] returns for an all-healthy batch.
+        /// This is the serving front door: it never panics on query input or
+        /// on corrupt tree data.
+        pub fn try_route_distances(&self, queries: &[(u64, usize, usize)]) -> Vec<QueryStatus> {
+            let mut out = Vec::with_capacity(queries.len());
+            self.try_route_distances_into(queries, &mut RouteScratch::new(), &mut out);
+            out
+        }
+
+        /// Appends one [`QueryStatus`] per query to `out` in arrival order,
+        /// reusing `scratch`, and returns the batch [`RouteOutcome`] tally —
+        /// allocation-free once the scratch and `out` have grown to the
+        /// batch working size (and every touched tree is validated).
+        pub fn try_route_distances_into(
+            &self,
+            queries: &[(u64, usize, usize)],
+            scratch: &mut RouteScratch,
+            out: &mut Vec<QueryStatus>,
+        ) -> RouteOutcome {
+            try_route_into(self.frame_words(), &self.state.slots, queries, scratch, out)
+        }
+
+        /// The sharded fallible routed batch query: tree groups fan out over
+        /// [`std::thread::scope`] workers according to `par`, each shard
+        /// isolated by [`std::panic::catch_unwind`], so one poisoned shard
+        /// surfaces as `CorruptTree` statuses — never a process abort.
+        /// Answered distances are bit-identical to
+        /// [`Self::try_route_distances`] for every thread count.
+        pub fn try_route_distances_sharded(
+            &self,
+            queries: &[(u64, usize, usize)],
+            par: Parallelism,
+        ) -> Vec<QueryStatus> {
+            try_route_sharded(self.frame_words(), &self.state.slots, queries, par)
+        }
+
+        /// A point-in-time health snapshot of every directory slot —
+        /// unvalidated / valid / quarantined (with the condemning error) /
+        /// tombstoned.  The quarantined ids are the repair worklist for
+        /// [`ForestStore::repair_frame`].
+        pub fn health(&self) -> HealthReport {
+            health_impl(&self.state)
+        }
+
+        /// The [`SlotHealth`] of tree `id`, or `None` when the directory has
+        /// no slot for it.
+        pub fn slot_health(&self, id: u64) -> Option<SlotHealth> {
+            lookup_slot(&self.state, id).map(|s| slot_health_of(&self.state.slots[s]))
+        }
+
+        /// The word range of `id`'s inner frame within [`Self::as_words`]
+        /// (tombstoned slots included — their bytes still tile the frame
+        /// region), or `None` for an unknown id.  This is the targeting
+        /// hook for fault injection via [`ForestStore::corrupt_word`].
+        pub fn frame_extent(&self, id: u64) -> Option<Range<usize>> {
+            lookup_slot(&self.state, id).map(|s| {
+                let e = self.state.slots[s].entry;
+                e.off..e.off + e.len
+            })
+        }
+
+        /// One budgeted scrub step (about `budget_words` words of checksum
+        /// streaming and fresh inner-frame re-validation; always makes
+        /// progress).  See [`Scrubber`] for the contract: repeated passes,
+        /// every live frame re-read from its bytes each pass, deferred lazy
+        /// slots settled, and faults quarantined so no query serves them.
+        ///
+        /// # Errors
+        ///
+        /// [`ForestError::Frame`] when the outer (header + directory)
+        /// checksum fails — corruption no per-slot quarantine can contain.
+        pub fn scrub(
+            &self,
+            budget_words: usize,
+            scrubber: &mut Scrubber,
+        ) -> Result<ScrubOutcome, ForestError> {
+            scrub_impl(self.frame_words(), &self.state, budget_words, scrubber)
         }
     };
 }
@@ -1668,6 +2327,7 @@ impl ForestStore {
                     n,
                 },
                 state: OnceLock::from(Ok(parts)),
+                quarantine: OnceLock::new(),
             },
         );
         Ok(())
@@ -1733,6 +2393,112 @@ impl ForestStore {
         self.words = Arc::new(words);
         self.state = state;
         Ok(())
+    }
+
+    /// Re-packs tree `id` from a caller-supplied replacement frame (a
+    /// rebuild, or a replica read from another copy of the forest): the new
+    /// frame is validated, spliced over the old extent **in place** (later
+    /// extents shift; no other frame is rewritten), the directory record is
+    /// refreshed, the generation word increments, and the slot re-enters
+    /// service healthy — any quarantine or cached failure verdict is
+    /// dropped.  This is the exit edge of the `Quarantined` slot state (see
+    /// `FORMAT.md`); persist the repaired frame crash-safely with
+    /// [`ForestStore::publish`].
+    ///
+    /// The replacement does not have to match the old frame's scheme, length
+    /// or label count — only the id stays fixed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForestError::UnknownTree`] when `id` is absent or
+    /// tombstoned (repairing a retired tree is meaningless),
+    /// [`ForestError::Tree`] when the replacement frame fails store
+    /// validation, and [`ForestError::Directory`] when its label count
+    /// cannot be indexed (n ≥ 2³²).
+    pub fn repair_frame(&mut self, id: u64, frame_words: Vec<u64>) -> Result<(), ForestError> {
+        let view = AnyStoreRef::from_words(&frame_words)
+            .map_err(|error| ForestError::Tree { id, error })?;
+        if view.node_count() as u64 > u64::from(u32::MAX) {
+            return Err(ForestError::Directory {
+                what: "a directory record stores the label count in 32 bits",
+            });
+        }
+        let (tag, n) = (view.tag(), view.node_count() as u32);
+        let parts = view.parts();
+        let slot_pos = lookup_slot(&self.state, id)
+            .filter(|&s| self.state.slots[s].entry.tag != 0)
+            .ok_or(ForestError::UnknownTree { id })?;
+        self.ensure_v2();
+        let old = self.state.slots[slot_pos].entry;
+        let flen = frame_words.len();
+        let generation = self.state.generation + 1;
+        let words = Arc::make_mut(&mut self.words);
+        words.splice(old.off..old.off + old.len, frame_words);
+        // Extents after the replaced one shift by the length delta; the
+        // relative file order is unchanged, so the tiling invariant holds.
+        for slot in self.state.slots.iter_mut() {
+            if slot.entry.off > old.off {
+                slot.entry.off = slot.entry.off - old.len + flen;
+            }
+        }
+        {
+            let e = &mut self.state.slots[slot_pos].entry;
+            e.len = flen;
+            e.tag = tag;
+            e.n = n;
+        }
+        // The repaired slot re-enters service pre-validated and
+        // unquarantined.
+        self.state.slots[slot_pos].state = OnceLock::from(Ok(parts));
+        self.state.slots[slot_pos].quarantine = OnceLock::new();
+        // Rewrite the whole directory from the slot table (offsets may have
+        // shifted for any record) and refresh generation + checksum.
+        for (rec, slot) in self.state.slots.iter().enumerate() {
+            let base = V2_HEADER_WORDS + DIR_ENTRY_WORDS * rec;
+            let e = slot.entry;
+            words[base] = e.id;
+            words[base + 1] = e.off as u64;
+            words[base + 2] = e.len as u64;
+            words[base + 3] = u64::from(e.tag) << 32 | u64::from(e.n);
+        }
+        words[4] = generation;
+        let dir_end = self.state.dir_end();
+        let last = words.len() - 1;
+        words[last] = crc::crc64_words(&words[..dir_end]);
+        self.state.generation = generation;
+        Ok(())
+    }
+
+    /// [`ForestStore::repair_frame`] from a freshly built scheme — the
+    /// rebuild-closure flavor of repair (`repair_scheme(id,
+    /// &OptimalScheme::build(&tree))`).
+    ///
+    /// # Errors
+    ///
+    /// As [`ForestStore::repair_frame`].
+    pub fn repair_scheme<S: StoredScheme>(
+        &mut self,
+        id: u64,
+        scheme: &S,
+    ) -> Result<(), ForestError> {
+        self.repair_frame(id, scheme.as_store().as_words().to_vec())
+    }
+
+    /// Fault-injection hook for tests and the chaos harness: XORs `mask`
+    /// into frame word `index` — deliberately **without** touching any
+    /// checksum, directory state, generation word, or cached validation
+    /// verdict.  This is exactly the silent bit rot the scrubber and the
+    /// fallible router exist to catch; pins taken before the call keep
+    /// their pristine bytes (copy-on-write), which is what makes
+    /// control-vs-subject chaos runs cheap.  Target a tree's label words
+    /// via [`Self::frame_extent`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is outside the frame — the hook is test
+    /// infrastructure and an out-of-bounds target is a harness bug.
+    pub fn corrupt_word(&mut self, index: usize, mask: u64) {
+        Arc::make_mut(&mut self.words)[index] ^= mask;
     }
 
     fn frame_words(&self) -> &[u64] {
@@ -2166,5 +2932,240 @@ mod tests {
     fn routing_rejects_out_of_range_nodes() {
         let (_, forest) = sample_forest();
         forest.route_distances(&[(3, 0, 10_000)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed validation")]
+    fn routing_panics_on_a_corrupt_tree_under_the_strict_contract() {
+        let (_, forest) = sample_forest();
+        let mut lazy =
+            ForestStore::from_bytes_with(&forest.to_bytes(), ValidationPolicy::Lazy).unwrap();
+        let extent = lazy.frame_extent(11).unwrap();
+        lazy.corrupt_word(extent.start + extent.len() / 2, 1 << 13);
+        lazy.route_distances(&[(11, 0, 1)]);
+    }
+
+    #[test]
+    fn try_route_reports_statuses_in_arrival_order() {
+        let (trees, forest) = sample_forest();
+        let mut lazy =
+            ForestStore::from_bytes_with(&forest.to_bytes(), ValidationPolicy::Lazy).unwrap();
+        let extent = lazy.frame_extent(11).unwrap();
+        lazy.corrupt_word(extent.start + extent.len() / 2, 1 << 7);
+
+        let queries = [
+            (3u64, 0usize, 149usize), // healthy
+            (999, 0, 0),              // unknown
+            (11, 0, 1),               // corrupt (lazy first touch fails)
+            (42, 0, 119),             // healthy
+            (3, 0, 10_000),           // out of range
+            (11, 2, 3),               // corrupt again (memoized run)
+        ];
+        let mut scratch = RouteScratch::new();
+        let mut statuses = Vec::new();
+        let outcome = lazy.try_route_distances_into(&queries, &mut scratch, &mut statuses);
+        assert_eq!(
+            statuses,
+            vec![
+                QueryStatus::Ok(forest.tree(3).unwrap().distance(0, 149)),
+                QueryStatus::UnknownTree,
+                QueryStatus::CorruptTree,
+                QueryStatus::Ok(forest.tree(42).unwrap().distance(0, 119)),
+                QueryStatus::NodeOutOfRange,
+                QueryStatus::CorruptTree,
+            ]
+        );
+        assert_eq!(
+            outcome,
+            RouteOutcome {
+                ok: 2,
+                unknown_tree: 1,
+                out_of_range: 1,
+                corrupt: 2,
+            }
+        );
+        assert_eq!(outcome.total(), 6);
+        assert_eq!(outcome.degraded(), 4);
+        assert!(!outcome.all_ok());
+
+        // The convenience and sharded entry points agree status for status,
+        // for every thread count.
+        assert_eq!(lazy.try_route_distances(&queries), statuses);
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                lazy.try_route_distances_sharded(&queries, Parallelism::from_thread_count(threads)),
+                statuses,
+                "threads = {threads}"
+            );
+        }
+
+        // An all-healthy batch is bit-identical to the strict engine.
+        let healthy = sample_queries(&trees, 200);
+        let strict = forest.route_distances(&healthy);
+        let fallible = forest.try_route_distances(&healthy);
+        assert!(fallible
+            .iter()
+            .zip(&strict)
+            .all(|(s, &d)| *s == QueryStatus::Ok(d)));
+    }
+
+    #[test]
+    fn health_tracks_the_slot_state_machine() {
+        let (_, mut forest) = sample_forest();
+        forest.tombstone(42).unwrap();
+        let lazy =
+            ForestStore::from_bytes_with(&forest.to_bytes(), ValidationPolicy::Lazy).unwrap();
+        assert_eq!(lazy.slot_health(3), Some(SlotHealth::Unvalidated));
+        assert_eq!(lazy.slot_health(42), Some(SlotHealth::Tombstoned));
+        assert_eq!(lazy.slot_health(999), None);
+        let counts = lazy.health().counts();
+        assert_eq!(
+            (counts.unvalidated, counts.tombstoned, counts.quarantined),
+            (2, 1, 0)
+        );
+        assert!(lazy.health().all_serving());
+
+        // First touch validates.
+        assert!(lazy.tree(3).is_some());
+        assert_eq!(lazy.slot_health(3), Some(SlotHealth::Valid));
+        assert_eq!(lazy.health().counts().valid, 1);
+    }
+
+    #[test]
+    fn scrub_settles_deferred_slots_and_catches_post_validation_rot() {
+        let (_, forest) = sample_forest();
+        let mut lazy =
+            ForestStore::from_bytes_with(&forest.to_bytes(), ValidationPolicy::Lazy).unwrap();
+
+        // A full clean pass settles every deferred slot.
+        let mut scrubber = Scrubber::new();
+        let mut outcome = lazy.scrub(64, &mut scrubber).unwrap();
+        let mut steps = 1usize;
+        while outcome == ScrubOutcome::InProgress {
+            outcome = lazy.scrub(64, &mut scrubber).unwrap();
+            steps += 1;
+            assert!(steps < 1_000_000, "scrub must terminate");
+        }
+        assert_eq!(outcome, ScrubOutcome::PassComplete);
+        let stats = scrubber.stats();
+        assert_eq!(stats.slots_settled, 3);
+        assert_eq!(stats.passes_completed, 1);
+        assert_eq!(stats.faults_found, 0);
+        assert!(stats.words_scrubbed as usize >= lazy.as_words().len() - 1);
+        assert_eq!(lazy.health().counts().valid, 3);
+
+        // Rot lands *after* validation: `verify` replays cached verdicts and
+        // stays blind, but the next scrub pass re-reads the bytes.
+        let extent = lazy.frame_extent(11).unwrap();
+        lazy.corrupt_word(extent.start + extent.len() / 2, 1 << 42);
+        lazy.verify().unwrap();
+        let fault = loop {
+            match lazy.scrub(1 << 16, &mut scrubber).unwrap() {
+                ScrubOutcome::InProgress | ScrubOutcome::PassComplete => {}
+                fault @ ScrubOutcome::Fault { .. } => break fault,
+            }
+        };
+        assert!(matches!(fault, ScrubOutcome::Fault { id: 11, .. }));
+        assert_eq!(scrubber.stats().faults_found, 1);
+
+        // The quarantine gates every read path.
+        assert!(matches!(
+            lazy.slot_health(11),
+            Some(SlotHealth::Quarantined(_))
+        ));
+        assert_eq!(lazy.health().quarantined().collect::<Vec<_>>(), vec![11]);
+        assert!(matches!(
+            lazy.try_tree(11),
+            Err(ForestError::Tree { id: 11, .. })
+        ));
+        assert!(lazy.verify().is_err());
+        assert_eq!(
+            lazy.try_route_distances(&[(11, 0, 1)]),
+            vec![QueryStatus::CorruptTree]
+        );
+        // Healthy trees keep serving through it all.
+        assert_eq!(
+            lazy.try_route_distances(&[(3, 0, 1)]),
+            vec![QueryStatus::Ok(forest.tree(3).unwrap().distance(0, 1))]
+        );
+
+        // Scrubbing past the quarantined slot completes the pass without
+        // re-reporting the same fault.
+        let mut end = lazy.scrub(usize::MAX, &mut scrubber).unwrap();
+        if end == ScrubOutcome::InProgress {
+            end = lazy.scrub(usize::MAX, &mut scrubber).unwrap();
+        }
+        assert_eq!(end, ScrubOutcome::PassComplete);
+        assert_eq!(scrubber.stats().faults_found, 1);
+    }
+
+    #[test]
+    fn repair_flips_a_quarantined_slot_back_to_healthy() {
+        let (trees, forest) = sample_forest();
+        let mut subject =
+            ForestStore::from_bytes_with(&forest.to_bytes(), ValidationPolicy::Lazy).unwrap();
+        let pin = subject.pin();
+        let extent = subject.frame_extent(11).unwrap();
+        subject.corrupt_word(extent.start + 3, 1 << 21);
+        assert!(subject.try_tree(11).is_err());
+        assert!(matches!(
+            subject.slot_health(11),
+            Some(SlotHealth::Quarantined(_))
+        ));
+
+        // Repair from a replica frame (the control copy's bytes).
+        let replica = forest.tree(11).unwrap().as_words().to_vec();
+        let generation = subject.generation();
+        subject.repair_frame(11, replica).unwrap();
+        assert_eq!(subject.generation(), generation + 1);
+        assert_eq!(subject.slot_health(11), Some(SlotHealth::Valid));
+        assert!(subject.health().all_serving());
+        let queries = sample_queries(&trees, 120);
+        assert_eq!(
+            subject.route_distances(&queries),
+            forest.route_distances(&queries)
+        );
+        // The repaired frame round-trips through an eager reload.
+        let reload = ForestStore::from_bytes(&subject.to_bytes()).unwrap();
+        assert_eq!(reload.generation(), generation + 1);
+        // The pre-repair pin still serves its pristine generation.
+        assert_eq!(pin.generation(), generation);
+        assert!(pin.try_tree(11).is_ok());
+    }
+
+    #[test]
+    fn repair_accepts_a_different_scheme_and_length() {
+        let (trees, forest) = sample_forest();
+        let mut subject = ForestStore::from_bytes(&forest.to_bytes()).unwrap();
+        // Replace the middle tree's frame with a different scheme for the
+        // same tree — a rebuild-flavored repair; the extent length changes,
+        // so every later extent shifts.
+        subject
+            .repair_scheme(11, &NaiveScheme::build(&trees[1].1))
+            .unwrap();
+        let reload = ForestStore::from_bytes(&subject.to_bytes()).unwrap();
+        for &(id, ref tree) in &trees {
+            let n = tree.len();
+            assert_eq!(
+                reload.tree(id).unwrap().distance(0, n - 1),
+                forest.tree(id).unwrap().distance(0, n - 1),
+                "tree {id}"
+            );
+        }
+
+        // Repair of an absent, tombstoned, or garbage-framed id is refused.
+        assert!(matches!(
+            subject.repair_frame(999, subject.tree(3).unwrap().as_words().to_vec()),
+            Err(ForestError::UnknownTree { id: 999 })
+        ));
+        subject.tombstone(42).unwrap();
+        assert!(matches!(
+            subject.repair_frame(42, subject.tree(3).unwrap().as_words().to_vec()),
+            Err(ForestError::UnknownTree { id: 42 })
+        ));
+        assert!(matches!(
+            subject.repair_frame(3, vec![0xDEAD_BEEF; 16]),
+            Err(ForestError::Tree { id: 3, .. })
+        ));
     }
 }

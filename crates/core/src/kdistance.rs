@@ -352,18 +352,8 @@ impl<'s> PackSource<KDistanceScheme> for KdSource<'s> {
         aux_w.dom = 0;
         aux_w.sub = 0;
         KDistanceMeta::with_widths(
-            self.k,
-            self.width,
-            plan.w_sc,
-            plan.w_d,
-            plan.w_h,
-            plan.w_al,
-            plan.w_tpm,
-            plan.w_ue,
-            plan.w_de,
-            plan.w_uc,
-            plan.w_dc,
-            aux_w,
+            self.k, self.width, plan.w_sc, plan.w_d, plan.w_h, plan.w_al, plan.w_tpm, plan.w_ue,
+            plan.w_de, plan.w_uc, plan.w_dc, aux_w,
         )
         .words()
     }

@@ -324,18 +324,17 @@ impl PackSource<LevelAncestorScheme> for LaSource<'_> {
     fn make_row(&self, i: usize) -> (LaRow, u32) {
         let u = self.tree.node(i);
         let p = self.hp.path_of(u);
-        let row = (
-            self.depths[u.index()] as u64,
-            self.hp.head_offset(u),
-            p,
-        );
+        let row = (self.depths[u.index()] as u64, self.hp.head_offset(u), p);
         // Closed-form wire size (no encoding pass; the encode/decode
         // round-trip test pins it to the real encoder bit for bit).
         let cwl = self.prefixes.bits[p].len();
         let ends = &self.prefixes.ends[p];
         let wire = codes::delta_nz_len(row.0)
             + codes::delta_nz_len(row.1)
-            + MonotoneSeq::encoded_len_parts(ends.len(), u64::from(ends.last().copied().unwrap_or(0)))
+            + MonotoneSeq::encoded_len_parts(
+                ends.len(),
+                u64::from(ends.last().copied().unwrap_or(0)),
+            )
             + codes::gamma_nz_len(cwl as u64)
             + cwl
             + self.prefixes.branches[p]

@@ -456,7 +456,13 @@ impl<'s> PackSource<OptimalScheme> for OptimalSource<'s> {
             }
         }
         OptimalMeta::with_widths(
-            plan.w_rd, plan.w_fc, plan.w_frag, w_fi, w_kept, plan.w_ae, plan.aux_w,
+            plan.w_rd,
+            plan.w_fc,
+            plan.w_frag,
+            w_fi,
+            w_kept,
+            plan.w_ae,
+            plan.aux_w,
         )
         .words()
     }

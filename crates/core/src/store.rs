@@ -468,7 +468,6 @@ fn index_layout(
     }
 }
 
-
 /// A scheme type whose native representation is a packed [`SchemeStore`]
 /// frame, queried zero-copy through borrowed label views.
 ///
@@ -586,7 +585,7 @@ fn parse_frame<S: StoredScheme>(words: &[u64]) -> Result<(RawParts, S::Meta), St
     };
     let meta_end = (HEADER_WORDS as u64)
         .checked_add(m64)
-        .filter(|&x| x <= wlen - 1)
+        .filter(|&x| x < wlen)
         .ok_or(malformed)?;
     let raw = if version == VERSION_SUCCINCT {
         parse_succinct_index(words, n64, meta_end)?
@@ -598,7 +597,7 @@ fn parse_frame<S: StoredScheme>(words: &[u64]) -> Result<(RawParts, S::Meta), St
         };
         let label_base = index_words
             .and_then(|x| meta_end.checked_add(x))
-            .filter(|&x| x <= wlen - 1)
+            .filter(|&x| x < wlen)
             .ok_or(malformed)?;
         let n = n64 as usize;
         let base = meta_end as usize;
@@ -658,7 +657,7 @@ fn parse_frame<S: StoredScheme>(words: &[u64]) -> Result<(RawParts, S::Meta), St
 
 /// `x.div_ceil(64)` without the `+ 63` overflow hazard of hostile inputs.
 fn div_ceil64(x: u64) -> u64 {
-    x / 64 + u64::from(x % 64 != 0)
+    x / 64 + u64::from(!x.is_multiple_of(64))
 }
 
 /// Validates the version-3 succinct index region (descriptor, optional
@@ -692,7 +691,8 @@ fn parse_succinct_index(words: &[u64], n64: u64, meta_end: u64) -> Result<RawPar
             what: "succinct index low width exceeds 63 bits",
         });
     }
-    if pw > 0 && (n64 < 2 || n64 > u64::from(u32::MAX) || pw != u64::from(64 - (n64 - 1).leading_zeros()))
+    if pw > 0
+        && (n64 < 2 || n64 > u64::from(u32::MAX) || pw != u64::from(64 - (n64 - 1).leading_zeros()))
     {
         return Err(StoreError::Malformed {
             what: "layout permutation width disagrees with the node count",
@@ -709,7 +709,7 @@ fn parse_succinct_index(words: &[u64], n64: u64, meta_end: u64) -> Result<RawPar
         .and_then(|x| x.checked_add(low_words))
         .and_then(|x| x.checked_add(high_words))
         .and_then(|x| x.checked_add(sample_words))
-        .filter(|&x| x <= wlen - 1)
+        .filter(|&x| x < wlen)
         .ok_or(malformed)?;
     if label_base64 + div_ceil64(label_bits64) + PAD_WORDS as u64 + 1 != wlen {
         return Err(StoreError::Malformed {
@@ -757,15 +757,14 @@ fn parse_succinct_index(words: &[u64], n64: u64, meta_end: u64) -> Result<RawPar
                     what: "succinct index bucket bitvector holds stray ones",
                 });
             }
-            let low =
-                treelab_bits::bitslice::read_lsb(words, low_base * 64 + k as usize * lw, lw);
+            let low = treelab_bits::bitslice::read_lsb(words, low_base * 64 + k as usize * lw, lw);
             let off = ((hp - k) << l) | low;
             if off < prev {
                 return Err(StoreError::Malformed {
                     what: "offset index is not monotone",
                 });
             }
-            if k % 64 == 0 && words[sample_base + (k / 64) as usize] != hp {
+            if k.is_multiple_of(64) && words[sample_base + (k / 64) as usize] != hp {
                 return Err(StoreError::Malformed {
                     what: "succinct index select sample is wrong",
                 });
@@ -860,7 +859,7 @@ fn emit_index(
             let mut p = 0;
             while p <= n {
                 let lo = offset_at(p);
-                let hi = if p + 1 <= n { offset_at(p + 1) } else { 0 };
+                let hi = if p < n { offset_at(p + 1) } else { 0 };
                 out.push(lo | hi << 32);
                 p += 2;
             }

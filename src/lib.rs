@@ -43,8 +43,9 @@ pub use treelab_core::distance_array::DistanceArrayScheme;
 #[cfg(all(feature = "mmap", unix))]
 pub use treelab_core::forest::MappedForest;
 pub use treelab_core::forest::{
-    ForestBuilder, ForestError, ForestFileError, ForestPin, ForestRef, ForestStore, RouteScratch,
-    ValidationPolicy, VerifyCursor,
+    ForestBuilder, ForestError, ForestFileError, ForestPin, ForestRef, ForestStore, HealthCounts,
+    HealthReport, QueryStatus, RouteOutcome, RouteScratch, ScrubOutcome, ScrubStats, Scrubber,
+    SlotHealth, ValidationPolicy, VerifyCursor,
 };
 pub use treelab_core::kdistance::KDistanceScheme;
 pub use treelab_core::level_ancestor::LevelAncestorScheme;

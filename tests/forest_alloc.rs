@@ -17,7 +17,7 @@ use treelab::core::approximate::ApproximateScheme;
 use treelab::core::kdistance::KDistanceScheme;
 use treelab::core::level_ancestor::LevelAncestorScheme;
 use treelab::{
-    gen, DistanceArrayScheme, DistanceScheme, ForestStore, NaiveScheme, OptimalScheme,
+    gen, DistanceArrayScheme, DistanceScheme, ForestStore, NaiveScheme, OptimalScheme, QueryStatus,
     RouteScratch, Tree, ValidationPolicy,
 };
 
@@ -112,6 +112,31 @@ fn routed_batches_do_not_allocate_after_the_scratch_warms_up() {
         forest.route_distances_into(&storm1, &mut scratch, &mut again);
         again
     });
+
+    // The fallible router shares the same scratch discipline: once the
+    // status buffer has grown to the batch size, try-routing a mixed batch
+    // (healthy queries, unknown ids, out-of-range nodes — no allocation
+    // even for the failure statuses) leaves the counter untouched.
+    let mut mixed = batch(&trees, 4096, 23);
+    mixed[7] = (999, 0, 0); // UnknownTree
+    mixed[19] = (2, 100_000, 0); // NodeOutOfRange
+    let mut statuses: Vec<QueryStatus> = Vec::new();
+    forest.try_route_distances_into(&warmup, &mut scratch, &mut statuses);
+    statuses.clear();
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let outcome = forest.try_route_distances_into(&mixed, &mut scratch, &mut statuses);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "the fallible routed engine allocated {} times after warm-up",
+        after - before
+    );
+    assert_eq!(outcome.ok, mixed.len() - 2);
+    assert_eq!(outcome.unknown_tree, 1);
+    assert_eq!(outcome.out_of_range, 1);
+    assert_eq!(statuses[7], QueryStatus::UnknownTree);
+    assert_eq!(statuses[19], QueryStatus::NodeOutOfRange);
 
     // Lazy fast path: once every tree has been touched (validated) exactly
     // once, `tree(id)`/`try_tree` on a lazily-opened forest replay the cached

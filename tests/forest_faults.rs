@@ -11,7 +11,10 @@
 //! [`ForestStore::open_mmap`] when the `mmap` feature is on.
 
 use treelab::{gen, DistanceArrayScheme, DistanceScheme, NaiveScheme, OptimalScheme};
-use treelab::{ForestError, ForestFileError, ForestStore, ValidationPolicy, VerifyCursor};
+use treelab::{
+    ForestError, ForestFileError, ForestStore, ScrubOutcome, Scrubber, SlotHealth,
+    ValidationPolicy, VerifyCursor,
+};
 
 const POLICIES: [ValidationPolicy; 2] = [ValidationPolicy::Eager, ValidationPolicy::Lazy];
 
@@ -240,6 +243,67 @@ fn routing_over_a_corrupt_tree_under_lazy_panics_with_context() {
     let _ = lazy.route_distances(&[(1, 0, 3), (5, 0, 1)]);
 }
 
+/// Scrubber/lazy equivalence on the corruption sweep: for every choice of
+/// victim tree, a budgeted scrub driven to pass completion must reach
+/// *exactly* the verdict an eager open reports — the same
+/// [`ForestError::Tree`] for the victim, and settled-`Valid` slots serving
+/// bit-identical answers for everyone else.  The tiny budget forces each
+/// pass to span many calls, so the cursor-resume path is what's tested.
+#[test]
+fn a_full_budgeted_scrub_reaches_the_eager_verdict_for_every_slot() {
+    let forest = small_forest();
+    for victim in [1u64, 5, 9] {
+        let corrupt = flip_inner(forest.as_words(), victim);
+        let eager_err = match ForestStore::from_words_with(corrupt.clone(), ValidationPolicy::Eager)
+        {
+            Err(e @ ForestError::Tree { .. }) => e,
+            other => panic!("eager open must blame tree {victim}, got {other:?}"),
+        };
+        let lazy = ForestStore::from_words_with(corrupt, ValidationPolicy::Lazy)
+            .expect("directory is intact");
+
+        let mut scrubber = Scrubber::new();
+        let mut faults = Vec::new();
+        loop {
+            match lazy.scrub(7, &mut scrubber).expect("outer frame is intact") {
+                ScrubOutcome::Fault { id, error } => faults.push((id, error)),
+                ScrubOutcome::InProgress => {}
+                ScrubOutcome::PassComplete => break,
+            }
+        }
+
+        let ForestError::Tree { id, error } = &eager_err else {
+            unreachable!("matched above")
+        };
+        assert_eq!(
+            faults,
+            vec![(*id, *error)],
+            "scrub verdict == eager verdict"
+        );
+        assert_eq!(
+            lazy.try_tree(victim).unwrap_err(),
+            eager_err,
+            "the quarantined slot replays the eager error"
+        );
+        assert!(matches!(
+            lazy.slot_health(victim),
+            Some(SlotHealth::Quarantined(_))
+        ));
+        for id in [1u64, 5, 9].into_iter().filter(|&i| i != victim) {
+            assert!(
+                matches!(lazy.slot_health(id), Some(SlotHealth::Valid)),
+                "scrub settles deferred healthy slots"
+            );
+            assert_eq!(
+                lazy.tree(id).expect("healthy tree").distance(2, 7),
+                forest.tree(id).unwrap().distance(2, 7)
+            );
+        }
+        assert_eq!(scrubber.stats().faults_found, 1);
+        assert_eq!(scrubber.stats().passes_completed, 1);
+    }
+}
+
 /// The same faults through the zero-copy mapped path: `open_mmap` must agree
 /// with the copying opens on both the happy path and every rejection.
 #[cfg(all(feature = "mmap", unix))]
@@ -296,6 +360,55 @@ mod mapped {
                 assert!(
                     ForestStore::open_mmap(&path, policy).is_err(),
                     "mapping a {cut}-byte torn file must fail under {policy:?}"
+                );
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The scrubber over a lazily-mapped file reaches the same verdicts as
+    /// an eager map of the same bytes — the mmap leg of the scrubber/lazy
+    /// equivalence sweep.
+    #[test]
+    fn a_budgeted_scrub_over_a_mapped_forest_matches_the_eager_verdict() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("treelab-faults-mmap-scrub.bin");
+        let forest = small_forest();
+        for victim in [1u64, 5, 9] {
+            std::fs::write(
+                &path,
+                words_to_bytes(&flip_inner(forest.as_words(), victim)),
+            )
+            .unwrap();
+            let eager_err = match ForestStore::open_mmap(&path, ValidationPolicy::Eager) {
+                Err(ForestFileError::Forest(e @ ForestError::Tree { .. })) => e,
+                other => panic!("eager map must blame tree {victim}, got {other:?}"),
+            };
+            let lazy = ForestStore::open_mmap(&path, ValidationPolicy::Lazy).expect("lazy map");
+
+            let mut scrubber = Scrubber::new();
+            let mut faults = Vec::new();
+            loop {
+                match lazy.scrub(11, &mut scrubber).expect("outer frame intact") {
+                    ScrubOutcome::Fault { id, error } => faults.push((id, error)),
+                    ScrubOutcome::InProgress => {}
+                    ScrubOutcome::PassComplete => break,
+                }
+            }
+            let ForestError::Tree { id, error } = &eager_err else {
+                unreachable!("matched above")
+            };
+            assert_eq!(faults, vec![(*id, *error)]);
+            assert_eq!(lazy.try_tree(victim).unwrap_err(), eager_err);
+            assert!(matches!(
+                lazy.slot_health(victim),
+                Some(SlotHealth::Quarantined(_))
+            ));
+            for id in [1u64, 5, 9].into_iter().filter(|&i| i != victim) {
+                assert!(matches!(lazy.slot_health(id), Some(SlotHealth::Valid)));
+                assert_eq!(
+                    lazy.tree(id).expect("healthy tree").distance(2, 7),
+                    forest.tree(id).unwrap().distance(2, 7)
                 );
             }
         }

@@ -105,12 +105,7 @@ fn clustered_layout_answers_identically_and_streams_bit_identically() {
         let n = tree.len();
         let id_sub = Substrate::new(&tree);
         let id_scheme = OptimalScheme::build_with_substrate(&id_sub);
-        let cl_sub = configured_substrate(
-            &tree,
-            Parallelism::Auto,
-            0,
-            LabelLayout::HeavyPath,
-        );
+        let cl_sub = configured_substrate(&tree, Parallelism::Auto, 0, LabelLayout::HeavyPath);
         let cl_scheme = OptimalScheme::build_with_substrate(&cl_sub);
         // The clustered frame carries its permutation in a v3 index.
         assert_eq!(
