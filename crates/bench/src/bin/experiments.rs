@@ -179,14 +179,16 @@ fn main() {
         println!("{}", packed_native_experiment(n, seed).to_markdown());
     }
     if run("--forest") {
-        let (trees, n_per_tree, queries) = if quick {
-            (8, 1 << 9, 1 << 17)
+        // The sharded rows sweep worker-thread counts (0 = Auto = all
+        // available cores); quick mode keeps just the Auto row.
+        let (trees, n_per_tree, queries, threads): (usize, usize, usize, &[usize]) = if quick {
+            (8, 1 << 9, 1 << 17, &[0])
         } else {
-            (64, 1 << 14, 1 << 20)
+            (64, 1 << 14, 1 << 20, &[1, 2, 4, 0])
         };
         println!(
             "{}",
-            forest_experiment(trees, n_per_tree, queries, seed).to_markdown()
+            forest_experiment(trees, n_per_tree, queries, seed, threads).to_markdown()
         );
     }
     if run("--restart") {

@@ -554,7 +554,11 @@ fn batch_throughput<S: StoredScheme>(
 /// buy over one-at-a-time queries.
 pub fn store_experiment(sizes: &[usize], seed: u64) -> Table {
     let mut table = Table::new(
-        "E11 — zero-copy scheme store: size, load time, and batch query throughput (random trees)",
+        format!(
+            "E11 — zero-copy scheme store: size, load time, and batch query throughput \
+             (random trees) [kernel: {}]",
+            treelab_bits::simd::kernel_config()
+        ),
         &[
             "n",
             "scheme",
@@ -653,23 +657,36 @@ pub fn store_experiment(sizes: &[usize], seed: u64) -> Table {
 ///   each group through the scheme's allocation-free batch engine, scatter
 ///   back to arrival order (single thread);
 /// * **sharded** — the same engine with tree groups fanned out over scoped
-///   worker threads ([`Parallelism::Auto`]).
+///   worker threads, one row per entry of the `threads` sweep (`0` =
+///   [`Parallelism::Auto`], i.e. all available cores).
 ///
 /// This is the number the ISSUE-4 acceptance criterion is about: sharded
 /// routed throughput ≥ 1.5× the single-thread per-tree loop at
-/// `64 trees × 16k nodes`.
-pub fn forest_experiment(trees: usize, nodes_per_tree: usize, queries: usize, seed: u64) -> Table {
+/// `64 trees × 16k nodes`.  The loop and routed figures are measured once
+/// and repeated on every row so each sharded setting reads as a complete
+/// comparison.
+pub fn forest_experiment(
+    trees: usize,
+    nodes_per_tree: usize,
+    queries: usize,
+    seed: u64,
+    threads: &[usize],
+) -> Table {
     let mut table = Table::new(
-        "E12 — forest serving layer: routed + sharded batch throughput vs the per-query loop \
-         (mixed-scheme corpus, Zipf(1.0) tree popularity)",
+        format!(
+            "E12 — forest serving layer: routed + sharded batch throughput vs the per-query \
+             loop (mixed-scheme corpus, Zipf(1.0) tree popularity) [kernel: {}]",
+            treelab_bits::simd::kernel_config()
+        ),
         &[
             "trees",
             "n/tree",
             "frame (MiB)",
             "load (ms)",
+            "threads",
             "loop (Mq/s)",
             "routed (Mq/s)",
-            "sharded auto (Mq/s)",
+            "sharded (Mq/s)",
             "routed/loop",
             "sharded/loop",
         ],
@@ -714,27 +731,35 @@ pub fn forest_experiment(trees: usize, nodes_per_tree: usize, queries: usize, se
         std::hint::black_box(out.last().copied());
     }
 
-    // Sharded engine (auto = all available cores; on a single-core host this
-    // equals the routed engine minus partitioning overhead).
-    let mut best_sharded = 0f64;
-    for _ in 0..REPS {
-        let t0 = Instant::now();
-        let d = forest.route_distances_sharded(&batch, Parallelism::Auto);
-        best_sharded = best_sharded.max(batch.len() as f64 / t0.elapsed().as_secs_f64());
-        std::hint::black_box(d.last().copied());
+    // Sharded engine, one row per thread setting (`0` = Auto = all available
+    // cores; on a single-core host every setting degenerates to the routed
+    // engine minus partitioning overhead).
+    for &t in threads {
+        let par = Parallelism::from_thread_count(t);
+        let mut best_sharded = 0f64;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let d = forest.route_distances_sharded(&batch, par);
+            best_sharded = best_sharded.max(batch.len() as f64 / t0.elapsed().as_secs_f64());
+            std::hint::black_box(d.last().copied());
+        }
+        table.push_row(vec![
+            trees.to_string(),
+            nodes_per_tree.to_string(),
+            format!("{:.1}", bytes.len() as f64 / (1024.0 * 1024.0)),
+            format!("{:.1}", loads[2]),
+            if t == 0 {
+                "auto".to_string()
+            } else {
+                t.to_string()
+            },
+            format!("{:.2}", best_loop / 1e6),
+            format!("{:.2}", best_routed / 1e6),
+            format!("{:.2}", best_sharded / 1e6),
+            format!("{:.2}x", best_routed / best_loop),
+            format!("{:.2}x", best_sharded / best_loop),
+        ]);
     }
-
-    table.push_row(vec![
-        trees.to_string(),
-        nodes_per_tree.to_string(),
-        format!("{:.1}", bytes.len() as f64 / (1024.0 * 1024.0)),
-        format!("{:.1}", loads[2]),
-        format!("{:.2}", best_loop / 1e6),
-        format!("{:.2}", best_routed / 1e6),
-        format!("{:.2}", best_sharded / 1e6),
-        format!("{:.2}x", best_routed / best_loop),
-        format!("{:.2}x", best_sharded / best_loop),
-    ]);
     table
 }
 
@@ -1282,10 +1307,13 @@ pub fn packed_native_experiment(n: usize, seed: u64) -> Table {
 /// The `--store --check` regression gate.
 ///
 /// Validates that (1) the E11 table carries a parseable batch-speedup figure
-/// for **all six** schemes (geomean reported), and (2) the packed/legacy
+/// for **all six** schemes (geomean reported), (2) the packed/legacy
 /// bit-equality sweep holds on a seeded corpus: for every scheme and tree,
 /// the direct pack path and the historical struct-then-serialize pipeline
-/// produce the identical frame.
+/// produce the identical frame, and (3) the dispatching query path is
+/// bit-equal to its always-scalar oracle (`distance_scalar`) on sampled
+/// pairs over the same corpus — under `--features simd` this is the CI
+/// enforcement that the vector kernels change nothing but the clock.
 ///
 /// # Errors
 ///
@@ -1395,6 +1423,75 @@ pub fn store_check(table: &Table) -> Result<(), String> {
     println!(
         "store check: packed/legacy bit-equality holds for 6 schemes x {} trees",
         corpus.len()
+    );
+
+    // 3. Dispatch/scalar-oracle bit-equality sweep: the configured query
+    //    path (vectorized under `--features simd`, otherwise the identical
+    //    scalar code) must answer bit-for-bit like the always-scalar twin,
+    //    per pair and through the batch engine.
+    for (family, tree) in &corpus {
+        let sub = Substrate::new(tree);
+        let n = tree.len();
+        let pairs: Vec<(usize, usize)> = (0..1024)
+            .map(|i| ((i * 7919 + 3) % n, (i * 104_729 + 11) % n))
+            .collect();
+        fn oracle_check<S: StoredScheme>(
+            family: &str,
+            store: &SchemeStore<S>,
+            pairs: &[(usize, usize)],
+        ) -> Result<(), String> {
+            let mut batch = Vec::with_capacity(pairs.len());
+            store.distances_into(pairs, &mut batch);
+            for (i, &(u, v)) in pairs.iter().enumerate() {
+                let got = store.distance(u, v);
+                let want = store.distance_scalar(u, v);
+                if got != want || batch[i] != want {
+                    return Err(format!(
+                        "{}/{family}: ({u}, {v}) dispatch = {got}, batch = {}, \
+                         scalar oracle = {want}",
+                        S::STORE_NAME,
+                        batch[i]
+                    ));
+                }
+            }
+            Ok(())
+        }
+        oracle_check(
+            family,
+            NaiveScheme::build_with_substrate(&sub).as_store(),
+            &pairs,
+        )?;
+        oracle_check(
+            family,
+            DistanceArrayScheme::build_with_substrate(&sub).as_store(),
+            &pairs,
+        )?;
+        oracle_check(
+            family,
+            OptimalScheme::build_with_substrate(&sub).as_store(),
+            &pairs,
+        )?;
+        oracle_check(
+            family,
+            KDistanceScheme::build_with_substrate(&sub, 8).as_store(),
+            &pairs,
+        )?;
+        oracle_check(
+            family,
+            ApproximateScheme::build_with_substrate(&sub, 0.25).as_store(),
+            &pairs,
+        )?;
+        oracle_check(
+            family,
+            LevelAncestorScheme::build_with_substrate(&sub).as_store(),
+            &pairs,
+        )?;
+    }
+    println!(
+        "store check: dispatch/scalar-oracle bit-equality holds for 6 schemes x {} trees \
+         [kernel: {}]",
+        corpus.len(),
+        treelab_bits::simd::kernel_config()
     );
     Ok(())
 }
@@ -1542,13 +1639,17 @@ mod tests {
 
     #[test]
     fn forest_experiment_reports_throughputs() {
-        let t = forest_experiment(6, 96, 4000, 5);
-        assert_eq!(t.rows.len(), 1);
-        for col in 4..7 {
-            let qps: f64 = t.rows[0][col].parse().unwrap();
-            assert!(qps > 0.0, "column {col}: {qps}");
+        let t = forest_experiment(6, 96, 4000, 5, &[1, 0]);
+        assert_eq!(t.rows.len(), 2, "one row per thread setting");
+        assert_eq!(t.rows[0][4], "1");
+        assert_eq!(t.rows[1][4], "auto");
+        for row in &t.rows {
+            for (col, cell) in row.iter().enumerate().take(8).skip(5) {
+                let qps: f64 = cell.parse().unwrap();
+                assert!(qps > 0.0, "column {col}: {qps}");
+            }
+            assert!(row[8].ends_with('x') && row[9].ends_with('x'));
         }
-        assert!(t.rows[0][7].ends_with('x') && t.rows[0][8].ends_with('x'));
     }
 
     #[test]

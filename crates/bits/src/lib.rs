@@ -49,10 +49,12 @@
 //! # }
 //! ```
 
-// `deny` rather than `forbid`: the two audited casts in [`frame`] carry
-// per-function `#[allow]`s (reinterpreting aligned bytes as words is the one
-// thing the zero-copy load path cannot do in safe Rust); everything else in
-// the crate remains safe code.
+// `deny` rather than `forbid`: the two audited casts in [`frame`] and the
+// feature-gated vector kernels in [`bitslice`]/[`wordram`] carry scoped
+// `#[allow]`s (reinterpreting aligned bytes as words and issuing `std::arch`
+// intrinsics are the two things the zero-copy load path and the `simd`
+// kernels cannot do in safe Rust); everything else in the crate remains safe
+// code.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -67,6 +69,7 @@ pub mod crc;
 pub mod frame;
 pub mod monotone;
 pub mod rank_select;
+pub mod simd;
 pub mod wordram;
 
 pub use bitslice::BitSlice;

@@ -8,6 +8,37 @@
 //! errors in these primitives produce wrong distances that are hard to track
 //! down from the scheme level.
 
+/// Hints the CPU to pull `words[idx]`'s cache line toward L1 ahead of a
+/// random access — the memory-level-parallelism primitive of the batch
+/// engine's planning stage (`treelab-core`): while one query computes, the
+/// next queries' label lines are already in flight.
+///
+/// Out-of-range indices are ignored (a prefetch must never widen the
+/// touched footprint past the buffer).  Under the `simd` cargo feature on
+/// x86-64 this issues a real `prefetcht0` — no dependency, no stall, no
+/// architectural read; elsewhere it degrades to an early demand load
+/// (`black_box` keeps the optimizer from deleting it), which costs one
+/// issued load but still overlaps the miss with useful work.
+#[inline(always)]
+#[allow(unsafe_code)] // audited: in-bounds pointer, PREFETCHT0 never faults
+pub fn prefetch_word(words: &[u64], idx: usize) {
+    if idx >= words.len() {
+        return;
+    }
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    // SAFETY: `idx` is in bounds, so the pointer is valid; `_mm_prefetch`
+    // performs no architectural memory access and cannot fault.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(
+            words.as_ptr().add(idx) as *const i8,
+        );
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        std::hint::black_box(words[idx]);
+    }
+}
+
 /// Index (0-based, from the least-significant end) of the most significant set
 /// bit of `x`, or `None` for `x = 0`.
 pub fn msb(x: u64) -> Option<u32> {

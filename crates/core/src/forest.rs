@@ -172,7 +172,7 @@ use std::sync::{Arc, OnceLock};
 use treelab_bits::crc::{self, Crc64};
 use treelab_bits::frame;
 
-use crate::store::{AnyParts, AnyStoreRef, SchemeStore, StoreError, StoredScheme};
+use crate::store::{AnyParts, AnyStoreRef, BatchPlan, SchemeStore, StoreError, StoredScheme};
 use crate::substrate::Parallelism;
 
 /// `b"TLFRST01"` as a little-endian word.
@@ -1307,6 +1307,10 @@ pub struct RouteScratch {
     sorted: Vec<u64>,
     /// Per-query status staging for the strict (panicking) wrappers.
     statuses: Vec<QueryStatus>,
+    /// Structure-of-arrays planning buffers for the batch kernels, shared
+    /// across every per-tree group of a routed batch (fixed-size arrays, so
+    /// sharing them is about cache reuse, not allocation).
+    plan: BatchPlan,
 }
 
 impl RouteScratch {
@@ -1433,6 +1437,7 @@ fn run_group_range(
     groups: Range<usize>,
     pos_base: usize,
     pairs: &mut Vec<(usize, usize)>,
+    plan: &mut BatchPlan,
     sorted: &mut [u64],
 ) {
     for t in groups {
@@ -1454,7 +1459,7 @@ fn run_group_range(
             .expect("routed groups are validated in prepare_route")
             .expect("routed groups are validated in prepare_route");
         let view = AnyStoreRef::from_parts(&words[e.off..e.off + e.len], parts);
-        view.distances_write(pairs, &mut sorted[gstart - pos_base..gend - pos_base]);
+        view.distances_write_with(pairs, plan, &mut sorted[gstart - pos_base..gend - pos_base]);
     }
 }
 
@@ -1481,6 +1486,7 @@ fn try_route_into(
         order,
         pairs,
         sorted,
+        plan,
         ..
     } = scratch;
     for t in 0..slots.len() {
@@ -1499,6 +1505,7 @@ fn try_route_into(
                 t..t + 1,
                 0,
                 pairs,
+                plan,
                 sorted,
             );
         }));
@@ -1635,9 +1642,11 @@ fn try_route_sharded(
             let (groups, pos) = (groups.clone(), pos.clone());
             let handle = s.spawn(move || {
                 let mut pairs: Vec<(usize, usize)> = Vec::new();
+                let mut plan = BatchPlan::default();
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     run_group_range(
-                        words, slots, queries, order, bounds, groups, pos.start, &mut pairs, chunk,
+                        words, slots, queries, order, bounds, groups, pos.start, &mut pairs,
+                        &mut plan, chunk,
                     );
                 }))
                 .is_err()

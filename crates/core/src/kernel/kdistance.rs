@@ -380,6 +380,23 @@ fn lemma_4_5(
 /// The Theorem 1.3 bounded-distance protocol over packed views:
 /// `Some(d(u,v))` when the distance is at most `k`, `None` otherwise.
 pub(crate) fn distance_refs(a: &KDistanceLabelRef<'_>, b: &KDistanceLabelRef<'_>) -> Option<u64> {
+    distance_refs_impl::<false>(a, b)
+}
+
+/// The all-scalar twin of [`distance_refs`] (the codeword LCP inside
+/// [`HpathRef::common_light_depth`] is this kernel's only SIMD-touched
+/// step): the bit-equality oracle of the `simd` equivalence suites.
+pub(crate) fn distance_refs_scalar(
+    a: &KDistanceLabelRef<'_>,
+    b: &KDistanceLabelRef<'_>,
+) -> Option<u64> {
+    distance_refs_impl::<true>(a, b)
+}
+
+fn distance_refs_impl<const SCALAR: bool>(
+    a: &KDistanceLabelRef<'_>,
+    b: &KDistanceLabelRef<'_>,
+) -> Option<u64> {
     let k = a.m.k;
     let (la, lb) = (a.layout(), b.layout());
     let (aa, ab) = (a.aux(&la), b.aux(&lb));
@@ -387,7 +404,11 @@ pub(crate) fn distance_refs(a: &KDistanceLabelRef<'_>, b: &KDistanceLabelRef<'_>
     if AuxScalars::same_node(&sa, &sb) {
         return Some(0);
     }
-    let j = HpathRef::common_light_depth(&aa, &sa, la.cwl, &ab, &sb, lb.cwl);
+    let j = if SCALAR {
+        HpathRef::common_light_depth_scalar(&aa, &sa, la.cwl, &ab, &sb, lb.cwl)
+    } else {
+        HpathRef::common_light_depth(&aa, &sa, la.cwl, &ab, &sb, lb.cwl)
+    };
     // Index of each side's deepest ancestor on the NCA's heavy path.
     let ia = sa.ld - j;
     let ib = sb.ld - j;

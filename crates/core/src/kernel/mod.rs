@@ -48,6 +48,34 @@
 //! build-side scan that chooses the global field widths each meta records —
 //! is driven by the scheme builders through the crate-internal
 //! `substrate::PackSource` trait.
+//!
+//! # Execution model of the batch path
+//!
+//! A batch of pairs does not run as a loop of independent per-pair queries.
+//! The batch driver (`StoreRef::distances_write` in [`crate::store`])
+//! executes **structure-of-arrays, software-pipelined**:
+//!
+//! 1. **Plan.** Pairs are consumed in fixed blocks of 64.  A planning stage
+//!    resolves both labels' bit offsets through the offset index (and layout
+//!    permutation, when present) into flat `sa[]`/`sb[]` arrays and issues a
+//!    prefetch for each label's first cache line.  The plan buffers are
+//!    fixed-size stack arrays (`BatchPlan`), so planning allocates nothing;
+//!    the forest router embeds one plan in its `RouteScratch` and shares it
+//!    across every per-tree group of a routed batch.
+//! 2. **Pipeline.** Blocks are double-buffered: while block `k` computes,
+//!    block `k + 1` is planned, so index-resolution misses overlap kernel
+//!    work.  Inside the compute loop the driver also prefetches the labels
+//!    of the query 8 positions ahead, keeping several label fetches in
+//!    flight — the batch path's throughput edge over the per-pair entry
+//!    points is exactly this memory-level parallelism.
+//! 3. **Vector step (optional).** Under the off-by-default `simd` cargo
+//!    feature the two data-parallel primitives inside a query — the codeword
+//!    LCP and the [`psum`] record scan — run as AVX2 `u64x4` kernels
+//!    (runtime-detected, scalar fallback; see `treelab_bits::simd`).  Every
+//!    kernel keeps an always-compiled scalar twin (`distance_refs_scalar`)
+//!    as the bit-equality oracle the equivalence suites and the
+//!    `--store --check` CI gate hold the dispatching path to.  SIMD is
+//!    reader-side only: no wire format changes in any configuration.
 
 pub mod approximate;
 pub mod kdistance;

@@ -146,10 +146,20 @@ const HEADER_WORDS: usize = 5;
 /// records past the last label without a range branch.
 const PAD_WORDS: usize = 4;
 
-/// How many pairs ahead the batch engine touches the offset index and label
-/// words (software prefetch; the hot loop is memory-latency bound on random
-/// pairs).
-const LOOKAHEAD: usize = 12;
+/// Pairs per SoA planning block of the batch engine's two-stage pipeline:
+/// the planner resolves one block's label offsets (issuing a prefetch per
+/// label) while the compute stage drains the previous block, so a block is
+/// also the prefetch distance.  64 pairs touch ≤ 128 label lines (8 KiB) —
+/// deep enough to hide DRAM latency, small enough to stay L1-resident.
+const PLAN_BLOCK: usize = 64;
+
+/// How many queries ahead the compute stage touches the *straddle* line of
+/// an upcoming label inside the current block (labels are compact but not
+/// always line-aligned; the planner prefetched each label's first line
+/// only).  This is the per-scheme software pipelining depth: 4–8 queries are
+/// in flight between a label's lines arriving and its distance being
+/// computed.
+const PIPE: usize = 8;
 
 /// Error returned when a store frame fails validation.
 ///
@@ -531,6 +541,15 @@ pub trait StoredScheme: Sized {
     /// path, one [`crate::kernel`] call.  Schemes whose query can decline to
     /// answer (the `k`-distance scheme) return [`NO_DISTANCE`].
     fn distance_refs(a: Self::Ref<'_>, b: Self::Ref<'_>) -> u64;
+
+    /// The all-scalar twin of [`StoredScheme::distance_refs`]: every scheme
+    /// whose kernel has a vectorized step under the `simd` cargo feature
+    /// overrides this with a scalar-forced body; the equivalence suites and
+    /// the `--store --check` CI gate hold `distance_refs` to this oracle bit
+    /// for bit.  The default (no vectorized step) is the same function.
+    fn distance_refs_scalar(a: Self::Ref<'_>, b: Self::Ref<'_>) -> u64 {
+        Self::distance_refs(a, b)
+    }
 }
 
 /// Validates a frame held in `words` and returns its parsed description.
@@ -1046,6 +1065,43 @@ fn build_frame<S: StoredScheme, P: PackSource<S>>(
     (words, raw, meta, plan)
 }
 
+/// One SoA planning block of the batch pipeline: the resolved label bit
+/// offsets of up to [`PLAN_BLOCK`] pairs, stored column-wise (structure of
+/// arrays) so the compute stage reads them as two dense, cache-resident
+/// arrays instead of chasing the offset index pair by pair.
+#[derive(Debug, Clone, Copy)]
+struct PlanBlock {
+    /// Left-label bit offsets, one per planned pair.
+    sa: [usize; PLAN_BLOCK],
+    /// Right-label bit offsets, one per planned pair.
+    sb: [usize; PLAN_BLOCK],
+}
+
+impl Default for PlanBlock {
+    fn default() -> Self {
+        PlanBlock {
+            sa: [0; PLAN_BLOCK],
+            sb: [0; PLAN_BLOCK],
+        }
+    }
+}
+
+/// The reusable SoA planning buffers of the batch engine: two
+/// [`PlanBlock`]s, double-buffered — the planning stage resolves block
+/// `k + 1`'s label offsets (offset-index reads, permutation lookups, EF
+/// selects) and issues one prefetch per label while the compute stage drains
+/// block `k`, so the compute loop's label reads land on lines that are
+/// already resident or in flight.
+///
+/// The buffers are fixed-size and heap-free (2 KiB of plain arrays), so the
+/// batch path is allocation-free by construction: [`StoreRef`] plants one on
+/// the stack per call, and the forest router embeds one in its
+/// `RouteScratch` and shares it across every group of every batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct BatchPlan {
+    blocks: [PlanBlock; 2],
+}
+
 /// A borrowed, validated view of a scheme-store frame: the query engine of
 /// the store stack, generic over where the words live.
 ///
@@ -1211,6 +1267,27 @@ impl<'a, S: StoredScheme> StoreRef<'a, S> {
         )
     }
 
+    /// [`StoreRef::distance`] through the always-compiled scalar kernels —
+    /// the bit-equality oracle the `simd` configuration's equivalence suites
+    /// (and the `--store --check` CI gate) hold [`StoreRef::distance`] to.
+    /// In a scalar build the two are the same code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn distance_scalar(&self, u: usize, v: usize) -> u64 {
+        assert!(
+            u < self.raw.n && v < self.raw.n,
+            "pair ({u}, {v}) out of range (n = {})",
+            self.raw.n
+        );
+        let slice = self.label_slice();
+        S::distance_refs_scalar(
+            S::label_ref(slice, self.raw.offset(self.words, u), &self.meta),
+            S::label_ref(slice, self.raw.offset(self.words, v), &self.meta),
+        )
+    }
+
     /// Batch query: the distance of every pair, in order.
     ///
     /// One output allocation for the whole batch; see
@@ -1247,25 +1324,85 @@ impl<'a, S: StoredScheme> StoreRef<'a, S> {
 
     /// The batch hot loop: writes `pairs[i]`'s distance to `out[i]`.
     /// Indices must already be validated (callers panic on bad input first).
+    ///
+    /// Structure-of-arrays execution in two pipelined stages over
+    /// [`PLAN_BLOCK`]-sized blocks (see [`BatchPlan`]): *plan* block `k + 1`
+    /// — resolve both labels' bit offsets into the SoA buffers and prefetch
+    /// each label's first line — while *computing* block `k` from offsets
+    /// planned (and lines prefetched) one stage earlier.  The plan lives on
+    /// the stack, so the call is allocation-free; the forest router passes
+    /// its own reusable plan through [`StoreRef::distances_write_with`].
     pub(crate) fn distances_write(&self, pairs: &[(usize, usize)], out: &mut [u64]) {
+        let mut plan = BatchPlan::default();
+        self.distances_write_with(pairs, &mut plan, out);
+    }
+
+    /// [`StoreRef::distances_write`] with a caller-owned [`BatchPlan`] (the
+    /// forest router shares one across all groups of a batch).
+    pub(crate) fn distances_write_with(
+        &self,
+        pairs: &[(usize, usize)],
+        plan: &mut BatchPlan,
+        out: &mut [u64],
+    ) {
         debug_assert_eq!(pairs.len(), out.len());
+        if pairs.is_empty() {
+            return;
+        }
+        let blocks = pairs.len().div_ceil(PLAN_BLOCK);
+        let [b0, b1] = &mut plan.blocks;
+        self.plan_block(pairs, 0, b0);
+        for k in 0..blocks {
+            let (cur, next) = if k % 2 == 0 {
+                (&*b0, &mut *b1)
+            } else {
+                (&*b1, &mut *b0)
+            };
+            if k + 1 < blocks {
+                self.plan_block(pairs, k + 1, next);
+            }
+            let base = k * PLAN_BLOCK;
+            let len = (pairs.len() - base).min(PLAN_BLOCK);
+            self.compute_block(cur, &mut out[base..base + len]);
+        }
+    }
+
+    /// Stage 1 of the batch pipeline: resolves block `k`'s label offsets
+    /// into the SoA buffers and prefetches each label's first line — the
+    /// index walk and the label-region misses of block `k` overlap the
+    /// compute of block `k - 1`.
+    #[inline]
+    fn plan_block(&self, pairs: &[(usize, usize)], k: usize, blk: &mut PlanBlock) {
+        let label_words = self.label_slice().words();
+        let base = k * PLAN_BLOCK;
+        let len = (pairs.len() - base).min(PLAN_BLOCK);
+        for (j, &(u, v)) in pairs[base..base + len].iter().enumerate() {
+            let sa = self.raw.offset(self.words, u);
+            let sb = self.raw.offset(self.words, v);
+            blk.sa[j] = sa;
+            blk.sb[j] = sb;
+            treelab_bits::wordram::prefetch_word(label_words, sa / 64);
+            treelab_bits::wordram::prefetch_word(label_words, sb / 64);
+        }
+    }
+
+    /// Stage 2 of the batch pipeline: computes one planned block, keeping
+    /// [`PIPE`] queries in flight — before query `j` runs, query
+    /// `j + PIPE`'s labels get their straddle line touched (the planner
+    /// fetched first lines only; multi-line labels would otherwise stall on
+    /// their second line).
+    #[inline]
+    fn compute_block(&self, blk: &PlanBlock, out: &mut [u64]) {
         let slice = self.label_slice();
         let label_words = slice.words();
-        for (i, &(u, v)) in pairs.iter().enumerate() {
-            if let Some(&(pu, pv)) = pairs.get(i + LOOKAHEAD) {
-                // Touch the upcoming pair's offsets and each label's first
-                // word now; by the time the loop reaches it, the lines are
-                // likely resident (labels are compact — usually one line).
-                let su = self.raw.offset(self.words, pu) / 64;
-                let sv = self.raw.offset(self.words, pv) / 64;
-                std::hint::black_box(
-                    label_words.get(su).copied().unwrap_or(0)
-                        ^ label_words.get(sv).copied().unwrap_or(0),
-                );
+        for j in 0..out.len() {
+            if j + PIPE < out.len() {
+                treelab_bits::wordram::prefetch_word(label_words, blk.sa[j + PIPE] / 64 + 1);
+                treelab_bits::wordram::prefetch_word(label_words, blk.sb[j + PIPE] / 64 + 1);
             }
-            let a = S::label_ref(slice, self.raw.offset(self.words, u), &self.meta);
-            let b = S::label_ref(slice, self.raw.offset(self.words, v), &self.meta);
-            out[i] = S::distance_refs(a, b);
+            let a = S::label_ref(slice, blk.sa[j], &self.meta);
+            let b = S::label_ref(slice, blk.sb[j], &self.meta);
+            out[j] = S::distance_refs(a, b);
         }
     }
 
@@ -1565,6 +1702,17 @@ impl<S: StoredScheme> SchemeStore<S> {
         self.as_store_ref().distance(u, v)
     }
 
+    /// [`SchemeStore::distance`] through the always-compiled scalar kernels
+    /// (see [`StoreRef::distance_scalar`]) — the `simd` configuration's
+    /// bit-equality oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn distance_scalar(&self, u: usize, v: usize) -> u64 {
+        self.as_store_ref().distance_scalar(u, v)
+    }
+
     /// Batch query: the distance of every pair, in order
     /// (see [`StoreRef::distances`]).
     ///
@@ -1823,6 +1971,17 @@ impl<'a> AnyStoreRef<'a> {
         any_dispatch!(self, r => r.distance(u, v))
     }
 
+    /// [`AnyStoreRef::distance`] through the always-compiled scalar kernels
+    /// (see [`StoreRef::distance_scalar`]) — the `simd` configuration's
+    /// bit-equality oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn distance_scalar(&self, u: usize, v: usize) -> u64 {
+        any_dispatch!(self, r => r.distance_scalar(u, v))
+    }
+
     /// Batch query: the distance of every pair, in order (one dispatch for
     /// the whole batch).
     ///
@@ -1843,9 +2002,17 @@ impl<'a> AnyStoreRef<'a> {
         any_dispatch!(self, r => r.distances_into(pairs, out))
     }
 
-    /// The validated-input batch hot loop (see [`StoreRef::distances_write`]).
-    pub(crate) fn distances_write(&self, pairs: &[(usize, usize)], out: &mut [u64]) {
-        any_dispatch!(self, r => r.distances_write(pairs, out))
+    /// The validated-input batch hot loop with a caller-owned [`BatchPlan`]:
+    /// the forest router threads one plan through every per-tree group of a
+    /// routed batch so the planning buffers are shared across groups (see
+    /// [`StoreRef::distances_write_with`]).
+    pub(crate) fn distances_write_with(
+        &self,
+        pairs: &[(usize, usize)],
+        plan: &mut BatchPlan,
+        out: &mut [u64],
+    ) {
+        any_dispatch!(self, r => r.distances_write_with(pairs, plan, out))
     }
 }
 
