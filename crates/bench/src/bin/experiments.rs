@@ -4,12 +4,18 @@
 //! cargo run --release -p treelab-bench --bin experiments -- [--quick] [--threads N] [--exact]
 //!     [--approx] [--kdist-small] [--kdist-large] [--lower-bounds] [--universal] [--ablation]
 //!     [--timing] [--substrate] [--store [--check]] [--packed-native] [--forest] [--restart]
-//!     [--giant] [--layout] [--giant-smoke] [--chaos [--smoke]]
+//!     [--giant] [--layout] [--lanes] [--giant-smoke] [--chaos [--smoke]]
 //! ```
 //!
 //! `--store --check` runs the store regression gate after printing E11: it
-//! exits nonzero unless the batch-speedup column parses for all six schemes
-//! and the packed/legacy bit-equality sweep holds (CI runs it).
+//! exits nonzero unless the batch-speedup column parses for all six schemes,
+//! the packed/legacy bit-equality sweep holds, and the dispatching,
+//! scalar-oracle and ×4 lane-interleaved query paths are bit-equal (CI runs
+//! it in both the default and `simd` configurations).
+//!
+//! `--lanes` runs the E19 execution-mode A/B: the store batch pipeline at
+//! interleave widths 1 and 4 against the one-at-a-time entry, all six
+//! schemes.
 //!
 //! `--giant` runs the E15 scale table (n = 16M streamed, all six schemes,
 //! chunked builds with per-phase peak-RSS) and `--layout` the E15b clustered
@@ -34,8 +40,9 @@ use treelab_bench::chaos::chaos_smoke;
 use treelab_bench::experiments::{
     ablation_experiment, approximate_experiment, chaos_experiment, exact_experiment,
     forest_experiment, giant_experiment, giant_smoke, k_large_experiment, k_small_experiment,
-    layout_experiment, lower_bound_experiment, packed_native_experiment, restart_experiment,
-    store_check, store_experiment, substrate_experiment, timing_experiment, universal_experiment,
+    lane_experiment, layout_experiment, lower_bound_experiment, packed_native_experiment,
+    restart_experiment, store_check, store_experiment, substrate_experiment, timing_experiment,
+    universal_experiment,
 };
 use treelab_bench::workloads::Family;
 use treelab_core::substrate::Parallelism;
@@ -216,6 +223,10 @@ fn main() {
             "{}",
             chaos_experiment(trees, n_per_tree, rounds, batch, seed).to_markdown()
         );
+    }
+    if run("--lanes") {
+        let n = if quick { 1 << 10 } else { 1 << 16 };
+        println!("{}", lane_experiment(n, seed).to_markdown());
     }
     if run("--layout") {
         let (sizes, chunk): (&[usize], usize) = if quick {

@@ -203,6 +203,78 @@ pub fn read_lsb(words: &[u64], start: usize, width: usize) -> u64 {
     }
 }
 
+/// Two same-width [`read_lsb`] fields from two cursors of the same buffer,
+/// issued as one planned load pair: both fields' word loads are computed
+/// before either mask is applied, so the two straddle reads sit in the
+/// out-of-order window together instead of serializing behind one field's
+/// shift/mask chain.  This is the fused *meta read* of the distance kernels —
+/// a query touches two labels of the same store, and their headers always
+/// share a width.
+///
+/// Same trusted-range contract as [`read_lsb`] (each cursor's word — and the
+/// word after it — must be in bounds; packed buffers carry a guard word).
+///
+/// # Panics
+///
+/// Panics if `start_a / 64 + 1` or `start_b / 64 + 1` is not a valid index
+/// into `words`.
+#[inline]
+pub fn read_lsb_pair(words: &[u64], start_a: usize, start_b: usize, width: usize) -> (u64, u64) {
+    debug_assert!(width <= 64);
+    if width == 0 {
+        return (0, 0);
+    }
+    let (wa, wb) = (start_a >> 6, start_b >> 6);
+    let (oa, ob) = ((start_a & 63) as u32, (start_b & 63) as u32);
+    // All four word loads are issued before either result is masked.
+    let (lo_a, lo_b) = (words[wa], words[wb]);
+    let (hi_a, hi_b) = (words[wa + 1], words[wb + 1]);
+    let raw_a = (lo_a >> oa) | ((hi_a << 1) << (63 - oa));
+    let raw_b = (lo_b >> ob) | ((hi_b << 1) << (63 - ob));
+    if width < 64 {
+        let mask = (1u64 << width) - 1;
+        (raw_a & mask, raw_b & mask)
+    } else {
+        (raw_a, raw_b)
+    }
+}
+
+/// `L` same-width [`read_lsb`] fields from `L` independent cursors of the
+/// same buffer — the multi-cursor generalization of [`read_lsb_pair`] the
+/// lane-interleaved kernels use to decode one phase of `L` queries at once.
+/// All `2 L` word loads are issued before any lane's shift/mask completes,
+/// so `L` independent decode chains share the out-of-order window.
+///
+/// Same trusted-range contract as [`read_lsb`] per cursor.
+///
+/// # Panics
+///
+/// Panics if any `starts[i] / 64 + 1` is not a valid index into `words`.
+#[inline]
+pub fn read_lsb_multi<const L: usize>(words: &[u64], starts: [usize; L], width: usize) -> [u64; L] {
+    debug_assert!(width <= 64);
+    if width == 0 {
+        return [0; L];
+    }
+    let mut lo = [0u64; L];
+    let mut hi = [0u64; L];
+    for i in 0..L {
+        lo[i] = words[starts[i] >> 6];
+        hi[i] = words[(starts[i] >> 6) + 1];
+    }
+    let mask = if width < 64 {
+        (1u64 << width) - 1
+    } else {
+        u64::MAX
+    };
+    let mut out = [0u64; L];
+    for i in 0..L {
+        let off = (starts[i] & 63) as u32;
+        out[i] = ((lo[i] >> off) | ((hi[i] << 1) << (63 - off))) & mask;
+    }
+    out
+}
+
 /// Length of the longest common prefix of the bit ranges `[sa, sa + la)` of
 /// `a` and `[sb, sb + lb)` of `b`, over raw words: one XOR plus a
 /// trailing-zero count locates the first differing bit inside a chunk, so
@@ -582,6 +654,60 @@ mod tests {
         }
         assert_eq!(s.get_bits_lsb(bv.len(), 1), None);
         assert_eq!(s.get_bits_lsb(0, 65), None);
+    }
+
+    /// The multi-cursor readers against the single-cursor primitive: a
+    /// seeded sweep over every width 1..=64 with cursor positions planted at
+    /// word-straddling offsets (63/64/65 boundaries included), for the pair
+    /// form and lane counts 2 and 4.
+    #[test]
+    fn read_lsb_pair_and_multi_match_the_single_cursor_reads() {
+        // 64 words of seeded xorshift64* noise + one zero guard word (the
+        // trusted-range contract the packed stores uphold).
+        let mut x = 0x0BAD_5EED_0BAD_5EEDu64;
+        let mut words = [0u64; 65];
+        for w in words.iter_mut().take(64) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *w = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        }
+        let max_start = 64 * 64 - 64; // any width stays inside the guard
+        let mut pos = 1u64;
+        let mut next_start = |salt: u64| -> usize {
+            pos ^= pos << 13;
+            pos ^= pos >> 7;
+            pos ^= pos << 17;
+            let r = (pos.wrapping_add(salt) % (max_start as u64)) as usize;
+            // Every third cursor is planted right at a word boundary so the
+            // straddle path (off = 63, 0, 1) is hit for every width.
+            match salt % 3 {
+                0 => r / 64 * 64 + 63,
+                1 => r / 64 * 64 + 64,
+                _ => r,
+            }
+            .min(max_start)
+        };
+        for width in 1usize..=64 {
+            for round in 0..8u64 {
+                let starts = [
+                    next_start(round * 4),
+                    next_start(round * 4 + 1),
+                    next_start(round * 4 + 2),
+                    next_start(round * 4 + 3),
+                ];
+                let expect: Vec<u64> = starts.iter().map(|&s| read_lsb(&words, s, width)).collect();
+                let (pa, pb) = read_lsb_pair(&words, starts[0], starts[1], width);
+                assert_eq!((pa, pb), (expect[0], expect[1]), "pair w={width}");
+                let m2 = read_lsb_multi::<2>(&words, [starts[2], starts[3]], width);
+                assert_eq!(m2, [expect[2], expect[3]], "multi2 w={width}");
+                let m4 = read_lsb_multi::<4>(&words, starts, width);
+                assert_eq!(m4[..], expect[..], "multi4 w={width}");
+            }
+        }
+        // Width 0 reads nothing from any cursor.
+        assert_eq!(read_lsb_pair(&words, 17, 4000, 0), (0, 0));
+        assert_eq!(read_lsb_multi::<4>(&words, [1, 63, 64, 65], 0), [0; 4]);
     }
 
     #[test]

@@ -447,7 +447,7 @@ impl AuxDims {
 /// Every structural predicate of Lemma 2.1 (`same_node`, `dominates`,
 /// `is_ancestor`) is a pure function of these four values, so the query hot
 /// path loads them once per side instead of re-reading fields per predicate.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct AuxScalars {
     pub(crate) ld: usize,
     pub(crate) dom: u64,
@@ -514,6 +514,36 @@ pub(crate) fn read_aux_scalars(s: &BitSlice<'_>, base: usize, d: &AuxDims) -> Au
     }
 }
 
+/// The two-cursor twin of [`read_aux_scalars`]: loads both query sides' aux
+/// scalar blocks from the same store buffer as one planned load pair
+/// ([`treelab_bits::bitslice::read_lsb_pair`] on the fused fast path), so the
+/// two sides' decode chains overlap in the out-of-order window instead of
+/// serializing.  Bit-identical to two [`read_aux_scalars`] calls.
+#[inline]
+pub(crate) fn read_aux_scalars_pair(
+    s: &BitSlice<'_>,
+    base_a: usize,
+    base_b: usize,
+    d: &AuxDims,
+) -> (AuxScalars, AuxScalars) {
+    if d.fused {
+        let (raw_a, raw_b) =
+            treelab_bits::bitslice::read_lsb_pair(s.words(), base_a, base_b, d.scalar_total);
+        let unpack = |raw: u64| AuxScalars {
+            ld: (raw & d.ld_mask) as usize,
+            dom: raw >> d.dom_sh & d.dom_mask,
+            pre: raw >> d.pre_sh & d.pre_mask,
+            sub: raw >> d.sub_sh,
+        };
+        (unpack(raw_a), unpack(raw_b))
+    } else {
+        (
+            read_aux_scalars(s, base_a, d),
+            read_aux_scalars(s, base_b, d),
+        )
+    }
+}
+
 impl<'a> HpathRef<'a> {
     /// Creates a view of the packed aux label starting at bit `base`.
     pub(crate) fn new(s: BitSlice<'a>, base: usize, d: &'a AuxDims) -> Self {
@@ -524,6 +554,17 @@ impl<'a> HpathRef<'a> {
     #[inline]
     pub(crate) fn scalars(&self) -> AuxScalars {
         read_aux_scalars(&self.s, self.base, self.d)
+    }
+
+    /// [`HpathRef::scalars`] of two views over the same buffer as one planned
+    /// load pair (falls back to two reads across distinct buffers).
+    #[inline]
+    pub(crate) fn scalars_pair(a: &Self, b: &Self) -> (AuxScalars, AuxScalars) {
+        if std::ptr::eq(a.s.words(), b.s.words()) {
+            read_aux_scalars_pair(&a.s, a.base, b.base, a.d)
+        } else {
+            (a.scalars(), b.scalars())
+        }
     }
 
     /// End position (exclusive, within the codeword region) of codeword `i`.
@@ -698,6 +739,20 @@ impl<'a> AuxCoreRef<'a> {
     #[inline]
     pub(crate) fn scalars(&self) -> AuxScalars {
         read_aux_scalars(&self.s, self.base, self.d)
+    }
+
+    /// Loads both query sides' scalar blocks as one planned load pair — the
+    /// fused meta read of the distance kernels, bit-identical to calling
+    /// [`AuxCoreRef::scalars`] on each side.  Falls back to two independent
+    /// reads when the views borrow different buffers (never on the store hot
+    /// path, where both labels live in one frame).
+    #[inline]
+    pub(crate) fn scalars_pair(a: &Self, b: &Self) -> (AuxScalars, AuxScalars) {
+        if std::ptr::eq(a.s.words(), b.s.words()) {
+            read_aux_scalars_pair(&a.s, a.base, b.base, a.d)
+        } else {
+            (a.scalars(), b.scalars())
+        }
     }
 
     /// Absolute bit offset of the codeword region.

@@ -128,6 +128,21 @@ impl KDistanceMeta {
         }
     }
 
+    /// Splits a fused header word into the six scalar header fields plus the
+    /// codeword length.
+    #[inline]
+    fn unpack_header(&self, raw: u64) -> (usize, usize, usize, u64, bool, u64, usize) {
+        (
+            (raw & self.sc_mask) as usize,
+            (raw >> self.uc_sh & self.uc_mask) as usize,
+            (raw >> self.dc_sh & self.dc_mask) as usize,
+            raw >> self.al_sh & self.al_mask,
+            raw >> self.exact_sh & 1 == 1,
+            raw >> self.tpm_sh & self.tpm_mask,
+            (raw >> self.cwl_sh) as usize,
+        )
+    }
+
     pub(crate) fn words(self) -> Vec<u64> {
         vec![
             u64::from(self.width)
@@ -204,7 +219,7 @@ pub struct KDistanceLabelRef<'a> {
 
 /// Derived bit offsets of one packed `k`-distance label (computed once per
 /// query side).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct KdLayout {
     sc: usize,
     uc: usize,
@@ -233,17 +248,9 @@ impl<'a> KDistanceLabelRef<'a> {
     fn layout(&self) -> KdLayout {
         let m = self.m;
         // One fused read covers all six scalar header fields when they fit.
-        let (sc, uc, dc, alpha, alpha_exact, top_pos_mod, cwl) = if m.hdr_fused {
+        let fields = if m.hdr_fused {
             let raw = self.get(self.start, m.hdr_total);
-            (
-                (raw & m.sc_mask) as usize,
-                (raw >> m.uc_sh & m.uc_mask) as usize,
-                (raw >> m.dc_sh & m.dc_mask) as usize,
-                raw >> m.al_sh & m.al_mask,
-                raw >> m.exact_sh & 1 == 1,
-                raw >> m.tpm_sh & m.tpm_mask,
-                (raw >> m.cwl_sh) as usize,
-            )
+            m.unpack_header(raw)
         } else {
             let mut pos = self.start;
             let mut take = |width: u8| {
@@ -260,6 +267,24 @@ impl<'a> KDistanceLabelRef<'a> {
             let cwl = take(m.aux_w.end) as usize;
             (sc, uc, dc, alpha, exact, tpm, cwl)
         };
+        self.layout_from_fields(fields)
+    }
+
+    /// Derives the array base offsets from the decoded header fields.
+    #[inline]
+    fn layout_from_fields(
+        &self,
+        (sc, uc, dc, alpha, alpha_exact, top_pos_mod, cwl): (
+            usize,
+            usize,
+            usize,
+            u64,
+            bool,
+            u64,
+            usize,
+        ),
+    ) -> KdLayout {
+        let m = self.m;
         let dists_base = self.start + m.hdr_total;
         let heights_base = dists_base + sc * m.d_w;
         let ups_base = heights_base + sc * m.h_w;
@@ -278,6 +303,24 @@ impl<'a> KDistanceLabelRef<'a> {
             ups_base,
             downs_base,
             aux_base,
+        }
+    }
+
+    /// [`KDistanceLabelRef::layout`] of both query sides, with the two fused
+    /// header reads issued as one planned load pair (bit-identical; falls
+    /// back across distinct buffers or unfused headers).
+    #[inline]
+    fn layout_pair(a: &Self, b: &Self) -> (KdLayout, KdLayout) {
+        let m = a.m;
+        if m.hdr_fused && std::ptr::eq(a.s.words(), b.s.words()) {
+            let (ra, rb) =
+                treelab_bits::bitslice::read_lsb_pair(a.s.words(), a.start, b.start, m.hdr_total);
+            (
+                a.layout_from_fields(m.unpack_header(ra)),
+                b.layout_from_fields(m.unpack_header(rb)),
+            )
+        } else {
+            (a.layout(), b.layout())
         }
     }
 
@@ -393,14 +436,61 @@ pub(crate) fn distance_refs_scalar(
     distance_refs_impl::<true>(a, b)
 }
 
+/// Lane-interleaved [`distance_refs`]: `L` independent pairs advance in
+/// lockstep through the protocol's phases so their serial `read_lsb` chains
+/// overlap in the out-of-order window. Per-lane arithmetic is exactly
+/// [`distance_refs_impl`]'s, so the result is bit-equal to the one-pair path.
+pub(crate) fn distance_refs_lanes<const L: usize, const SCALAR: bool>(
+    a: [KDistanceLabelRef<'_>; L],
+    b: [KDistanceLabelRef<'_>; L],
+) -> [Option<u64>; L] {
+    // Phase 1: header decode, one planned load pair per lane.
+    let mut la = [KdLayout::default(); L];
+    let mut lb = [KdLayout::default(); L];
+    for i in 0..L {
+        (la[i], lb[i]) = KDistanceLabelRef::layout_pair(&a[i], &b[i]);
+    }
+    // Phase 2: aux scalar decode, one planned load pair per lane.
+    let aa = core::array::from_fn::<_, L, _>(|i| a[i].aux(&la[i]));
+    let ab = core::array::from_fn::<_, L, _>(|i| b[i].aux(&lb[i]));
+    let mut same = [false; L];
+    let mut sc = [(AuxScalars::default(), AuxScalars::default()); L];
+    for i in 0..L {
+        sc[i] = HpathRef::scalars_pair(&aa[i], &ab[i]);
+        same[i] = AuxScalars::same_node(&sc[i].0, &sc[i].1);
+    }
+    // Phase 3: codeword LCP + common light depth per lane (safe for every
+    // lane — same-node pairs have well-formed codeword regions too, their
+    // common light depth is simply unused).
+    let mut jl = [0usize; L];
+    for i in 0..L {
+        let (sa, sb) = (&sc[i].0, &sc[i].1);
+        jl[i] = if SCALAR {
+            HpathRef::common_light_depth_scalar(&aa[i], sa, la[i].cwl, &ab[i], sb, lb[i].cwl)
+        } else {
+            HpathRef::common_light_depth(&aa[i], sa, la[i].cwl, &ab[i], sb, lb[i].cwl)
+        };
+    }
+    // Phase 4: ancestor lookup + along-the-path arithmetic per lane.
+    let mut out = [None; L];
+    for i in 0..L {
+        out[i] = if same[i] {
+            Some(0)
+        } else {
+            bounded_distance_from_j(&a[i], &b[i], &la[i], &lb[i], &sc[i].0, &sc[i].1, jl[i])
+        };
+    }
+    out
+}
+
 fn distance_refs_impl<const SCALAR: bool>(
     a: &KDistanceLabelRef<'_>,
     b: &KDistanceLabelRef<'_>,
 ) -> Option<u64> {
-    let k = a.m.k;
-    let (la, lb) = (a.layout(), b.layout());
+    // Both headers and both aux scalar blocks decode as planned load pairs.
+    let (la, lb) = KDistanceLabelRef::layout_pair(a, b);
     let (aa, ab) = (a.aux(&la), b.aux(&lb));
-    let (sa, sb) = (aa.scalars(), ab.scalars());
+    let (sa, sb) = HpathRef::scalars_pair(&aa, &ab);
     if AuxScalars::same_node(&sa, &sb) {
         return Some(0);
     }
@@ -409,6 +499,21 @@ fn distance_refs_impl<const SCALAR: bool>(
     } else {
         HpathRef::common_light_depth(&aa, &sa, la.cwl, &ab, &sb, lb.cwl)
     };
+    bounded_distance_from_j(a, b, &la, &lb, &sa, &sb, j)
+}
+
+/// The ancestor-lookup + along-the-path phase of the Theorem 1.3 protocol,
+/// shared by the one-pair and lane-interleaved entries.
+fn bounded_distance_from_j(
+    a: &KDistanceLabelRef<'_>,
+    b: &KDistanceLabelRef<'_>,
+    la: &KdLayout,
+    lb: &KdLayout,
+    sa: &AuxScalars,
+    sb: &AuxScalars,
+    j: usize,
+) -> Option<u64> {
+    let k = a.m.k;
     // Index of each side's deepest ancestor on the NCA's heavy path.
     let ia = sa.ld - j;
     let ib = sb.ld - j;
@@ -416,9 +521,9 @@ fn distance_refs_impl<const SCALAR: bool>(
         // The walk to the common heavy path alone exceeds k.
         return None;
     }
-    let du = a.dist(&la, ia);
-    let dv = b.dist(&lb, ib);
-    let along = match (a.path_offset(&la, ia), b.path_offset(&lb, ib)) {
+    let du = a.dist(la, ia);
+    let dv = b.dist(lb, ib);
+    let along = match (a.path_offset(la, ia), b.path_offset(lb, ib)) {
         (PathOffset::Exact(x), PathOffset::Exact(y)) => x.abs_diff(y),
         (PathOffset::CappedLarge, PathOffset::Exact(e))
         | (PathOffset::Exact(e), PathOffset::CappedLarge) => {
@@ -428,10 +533,10 @@ fn distance_refs_impl<const SCALAR: bool>(
             if e <= k {
                 return None;
             }
-            lemma_4_5(a, &la, sa.pre, ia, b, &lb, sb.pre, ib)?
+            lemma_4_5(a, la, sa.pre, ia, b, lb, sb.pre, ib)?
         }
         (PathOffset::CappedLarge, PathOffset::CappedLarge) => {
-            lemma_4_5(a, &la, sa.pre, ia, b, &lb, sb.pre, ib)?
+            lemma_4_5(a, la, sa.pre, ia, b, lb, sb.pre, ib)?
         }
     };
     let total = du + dv + along;

@@ -100,7 +100,24 @@ impl LevelAncestorMeta {
         let [w_d, w_ho, w_ld, w_end, w_bs] = widths;
         Ok(Self::with_widths(w_d, w_ho, w_ld, w_end, w_bs))
     }
+
+    /// Splits one fused header word into
+    /// `(depth, head_offset, light_depth, cwl)`.
+    #[inline]
+    fn unpack_header(&self, raw: u64) -> (u64, u64, usize, usize) {
+        (
+            raw & self.d_mask,
+            raw >> self.ho_sh & self.ho_mask,
+            (raw >> self.ld_sh & self.ld_mask) as usize,
+            (raw >> self.cwl_sh) as usize,
+        )
+    }
 }
+
+/// Record counts at or below this bound scan branchlessly (fixed-trip
+/// mask-accumulate over the label's own records); deeper labels keep the
+/// 3-record cascade + serial tail.
+const SCAN_SHORT: usize = 8;
 
 /// Borrowed view of a packed level-ancestor label inside a store buffer.
 #[derive(Debug, Clone, Copy)]
@@ -109,6 +126,10 @@ pub struct LevelAncestorLabelRef<'a> {
     start: usize,
     m: &'a LevelAncestorMeta,
 }
+
+/// One decoded label header: `(depth, head_offset, light_depth, codeword
+/// length)` — the tuple [`LevelAncestorLabelRef::header`] returns.
+type LaHeader = (u64, u64, usize, usize);
 
 impl<'a> LevelAncestorLabelRef<'a> {
     pub(crate) fn new(s: BitSlice<'a>, start: usize, m: &'a LevelAncestorMeta) -> Self {
@@ -126,13 +147,7 @@ impl<'a> LevelAncestorLabelRef<'a> {
     pub(crate) fn header(&self) -> (u64, u64, usize, usize) {
         let m = self.m;
         if m.hdr_fused {
-            let raw = self.get(self.start, m.hdr_total);
-            (
-                raw & m.d_mask,
-                raw >> m.ho_sh & m.ho_mask,
-                (raw >> m.ld_sh & m.ld_mask) as usize,
-                (raw >> m.cwl_sh) as usize,
-            )
+            m.unpack_header(self.get(self.start, m.hdr_total))
         } else {
             let (dw, how, ldw) = (usize::from(m.w_d), usize::from(m.w_ho), usize::from(m.w_ld));
             (
@@ -141,6 +156,21 @@ impl<'a> LevelAncestorLabelRef<'a> {
                 self.get(self.start + dw + how, ldw) as usize,
                 self.get(self.start + dw + how + ldw, usize::from(m.w_end)) as usize,
             )
+        }
+    }
+
+    /// Both query sides' headers as one planned load pair
+    /// ([`treelab_bits::bitslice::read_lsb_pair`] on the fused fast path) —
+    /// bit-identical to two [`LevelAncestorLabelRef::header`] calls.
+    #[inline]
+    fn header_pair(a: &Self, b: &Self) -> (LaHeader, LaHeader) {
+        let m = a.m;
+        if m.hdr_fused && std::ptr::eq(a.s.words(), b.s.words()) {
+            let (ra, rb) =
+                treelab_bits::bitslice::read_lsb_pair(a.s.words(), a.start, b.start, m.hdr_total);
+            (m.unpack_header(ra), m.unpack_header(rb))
+        } else {
+            (a.header(), b.header())
         }
     }
 
@@ -180,6 +210,27 @@ impl<'a> LevelAncestorLabelRef<'a> {
     fn scan_records(&self, ld: usize, rec_base: usize, lcp: usize) -> (usize, u64, Option<u64>) {
         let m = self.m;
         if m.rec_fused {
+            // Short scans run fully branchless: end positions are monotone,
+            // so the level is the count of ends ≤ lcp — a fixed-trip
+            // mask-accumulate loop (no data-dependent exit) plus indexed
+            // re-reads for the two depth sums the protocol needs.
+            if ld <= SCAN_SHORT {
+                let mut j = 0usize;
+                for i in 0..ld {
+                    let r = self.get(rec_base + i * m.rec_w, m.rec_w);
+                    j += usize::from((r & m.end_mask) as usize <= lcp);
+                }
+                let prev = if j > 0 {
+                    self.get(rec_base + (j - 1) * m.rec_w, m.rec_w) >> m.bs_sh
+                } else {
+                    0
+                };
+                if j >= ld {
+                    return (ld, prev, None);
+                }
+                let cur = self.get(rec_base + j * m.rec_w, m.rec_w) >> m.bs_sh;
+                return (j, prev, Some(cur));
+            }
             // Branchless fast path over the first three records (see the
             // prefix-sum kernel); the tail loop handles deeper levels.
             let r0 = self.get(rec_base, m.rec_w);
@@ -258,9 +309,22 @@ fn distance_refs_impl<const SCALAR: bool>(
     a: LevelAncestorLabelRef<'_>,
     b: LevelAncestorLabelRef<'_>,
 ) -> u64 {
-    let (depth_a, ho_a, lda, cwl_a) = a.header();
-    let (depth_b, ho_b, ldb, cwl_b) = b.header();
-    let lcp = if SCALAR {
+    // Both headers decode as one planned load pair — the two sides' field
+    // chains are independent, so their loads overlap.
+    let (ha, hb) = LevelAncestorLabelRef::header_pair(&a, &b);
+    let lcp = codeword_lcp::<SCALAR>(&a, ha.3, &b, hb.3);
+    scan_and_finish(&a, &b, ha, hb, lcp)
+}
+
+/// The codeword-LCP phase: the kernel's only SIMD-touched step.
+#[inline]
+fn codeword_lcp<const SCALAR: bool>(
+    a: &LevelAncestorLabelRef<'_>,
+    cwl_a: usize,
+    b: &LevelAncestorLabelRef<'_>,
+    cwl_b: usize,
+) -> usize {
+    if SCALAR {
         treelab_bits::bitslice::common_prefix_len_raw_scalar(
             a.s.words(),
             a.cw_base(),
@@ -278,7 +342,19 @@ fn distance_refs_impl<const SCALAR: bool>(
             b.cw_base(),
             cwl_b,
         )
-    };
+    }
+}
+
+/// The record-scan + distance-arithmetic phase, shared by the one-pair and
+/// lane-interleaved entries.
+#[inline]
+fn scan_and_finish(
+    a: &LevelAncestorLabelRef<'_>,
+    b: &LevelAncestorLabelRef<'_>,
+    (depth_a, ho_a, lda, cwl_a): (u64, u64, usize, usize),
+    (depth_b, ho_b, ldb, cwl_b): (u64, u64, usize, usize),
+    lcp: usize,
+) -> u64 {
     let rec_base_a = a.cw_base() + cwl_a;
     let (j, head_depth, bsum_a_j) = a.scan_records(lda, rec_base_a, lcp);
     // Both sides share the first j light edges, so depth_sum[j − 1] is
@@ -295,6 +371,34 @@ fn distance_refs_impl<const SCALAR: bool>(
     };
     let nca_depth = head_depth + exit_a.min(exit_b);
     depth_a + depth_b - 2 * nca_depth
+}
+
+/// The lane-interleaved §3.6 protocol: `L` independent queries advance in
+/// lockstep through the kernel's phases (fused header decode → codeword LCP
+/// → record scan + arithmetic), so the lanes' serial `read_lsb` chains share
+/// the out-of-order window.  Per lane the arithmetic is exactly
+/// [`distance_refs_impl`] — bit-identical answers for every lane width.
+pub(crate) fn distance_refs_lanes<const L: usize, const SCALAR: bool>(
+    a: [LevelAncestorLabelRef<'_>; L],
+    b: [LevelAncestorLabelRef<'_>; L],
+) -> [u64; L] {
+    // Phase 1: header decode, one planned load pair per lane.
+    let mut ha = [(0u64, 0u64, 0usize, 0usize); L];
+    let mut hb = [(0u64, 0u64, 0usize, 0usize); L];
+    for i in 0..L {
+        (ha[i], hb[i]) = LevelAncestorLabelRef::header_pair(&a[i], &b[i]);
+    }
+    // Phase 2: codeword LCP per lane.
+    let mut lcp = [0usize; L];
+    for i in 0..L {
+        lcp[i] = codeword_lcp::<SCALAR>(&a[i], ha[i].3, &b[i], hb[i].3);
+    }
+    // Phase 3: record scan + distance arithmetic per lane.
+    let mut out = [0u64; L];
+    for i in 0..L {
+        out[i] = scan_and_finish(&a[i], &b[i], ha[i], hb[i], lcp[i]);
+    }
+    out
 }
 
 /// Load-time extent check of the level-ancestor scheme's packed labels.

@@ -111,6 +111,16 @@ impl PsumMeta {
         self.hdr_total + self.aux_w.packed_bits_core(aux) + entries_len * self.rec_w
     }
 
+    /// Splits one fused header word into `(root_distance, count, cwl)`.
+    #[inline]
+    fn unpack_header(&self, raw: u64) -> (u64, usize, usize) {
+        (
+            raw & self.rd_mask,
+            (raw >> self.rd_w & self.ld_mask) as usize,
+            (raw >> self.cwl_sh) as usize,
+        )
+    }
+
     /// Packs one label: header, core aux block, then one fused record per
     /// light edge from the `(d_i, t_i)` sequence.
     pub(crate) fn pack<I>(&self, rd: u64, aux: &HpathLabel, entries: I, w: &mut BitWriter)
@@ -163,6 +173,11 @@ impl PsumMeasure {
     }
 }
 
+/// Record counts at or below this bound scan branchlessly (fixed-trip
+/// mask-accumulate over the label's own records); deeper labels keep the
+/// 3-record cascade + vectorizable tail scan.
+const SCAN_SHORT: usize = 8;
+
 /// Borrowed view of one packed prefix-sum label inside a store buffer.
 #[derive(Debug, Clone, Copy)]
 pub struct PsumRef<'a> {
@@ -187,12 +202,7 @@ impl<'a> PsumRef<'a> {
     fn header(&self) -> (u64, usize, usize) {
         let m = self.m;
         if m.hdr_fused {
-            let raw = self.get(0, m.hdr_total);
-            (
-                raw & m.rd_mask,
-                (raw >> m.rd_w & m.ld_mask) as usize,
-                (raw >> m.cwl_sh) as usize,
-            )
+            m.unpack_header(self.get(0, m.hdr_total))
         } else {
             let ld_w = usize::from(m.aux_w.ld);
             (
@@ -200,6 +210,22 @@ impl<'a> PsumRef<'a> {
                 self.get(m.rd_w, ld_w) as usize,
                 self.get(m.rd_w + ld_w, usize::from(m.aux_w.end)) as usize,
             )
+        }
+    }
+
+    /// Both query sides' headers as one planned load pair
+    /// ([`treelab_bits::bitslice::read_lsb_pair`] on the fused fast path) —
+    /// bit-identical to two [`PsumRef::header`] calls, but the two sides'
+    /// field decodes share the out-of-order window.
+    #[inline]
+    fn header_pair(a: &Self, b: &Self) -> ((u64, usize, usize), (u64, usize, usize)) {
+        let m = a.m;
+        if m.hdr_fused && std::ptr::eq(a.s.words(), b.s.words()) {
+            let (ra, rb) =
+                treelab_bits::bitslice::read_lsb_pair(a.s.words(), a.start, b.start, m.hdr_total);
+            (m.unpack_header(ra), m.unpack_header(rb))
+        } else {
+            (a.header(), b.header())
         }
     }
 
@@ -227,6 +253,21 @@ impl<'a> PsumRef<'a> {
         let m = self.m;
         let base = m.hdr_total + aux_bits;
         if m.rec_fused {
+            // Short scans run fully branchless: end positions are monotone,
+            // so the level is the *count* of ends ≤ lcp — a fixed-trip
+            // mask-accumulate loop over the label's own records (every read
+            // in-label, no data-dependent exit to mispredict) plus one
+            // indexed re-read, instead of an early-`break` scan.
+            if ld <= SCAN_SHORT {
+                let mut j = 0usize;
+                for i in 0..ld {
+                    let r = self.get(base + i * m.rec_w, m.rec_w);
+                    j += usize::from((r & m.end_mask) as usize <= lcp);
+                }
+                assert!(j < ld, "a non-ancestor label leaves the common heavy path");
+                let r = self.get(base + j * m.rec_w, m.rec_w);
+                return (j, r >> m.ps_sh);
+            }
             // Branchless fast path: read the first three records
             // unconditionally (memory-safe thanks to the store's guard pad;
             // out-of-range lanes are masked by `i < ld`) and derive the level
@@ -310,10 +351,12 @@ pub(crate) fn distance_refs_scalar(a: &PsumRef<'_>, b: &PsumRef<'_>) -> u64 {
 }
 
 fn distance_refs_impl<const SCALAR: bool>(a: &PsumRef<'_>, b: &PsumRef<'_>) -> u64 {
-    let (rd_a, lda, cwl_a) = a.header();
-    let (rd_b, _ldb, cwl_b) = b.header();
+    // Both headers and both aux scalar blocks decode as planned load pairs:
+    // the two sides' field chains are independent, so issuing their loads
+    // together overlaps what used to be two serial decodes.
+    let ((rd_a, lda, cwl_a), (rd_b, _ldb, cwl_b)) = PsumRef::header_pair(a, b);
     let (aa, ab) = (a.aux(), b.aux());
-    let (sa, sb) = (aa.scalars(), ab.scalars());
+    let (sa, sb) = AuxCoreRef::scalars_pair(&aa, &ab);
     // Equal nodes fall under the ancestor case (|rd_a − rd_b| = 0), so no
     // separate same-node branch is needed.
     if AuxScalars::is_ancestor(&sa, &sb) || AuxScalars::is_ancestor(&sb, &sa) {
@@ -331,6 +374,59 @@ fn distance_refs_impl<const SCALAR: bool>(a: &PsumRef<'_>, b: &PsumRef<'_>) -> u
     let (j, branch_a) = a.scan_records::<SCALAR>(lda, aa.core_bits(cwl_a), lcp);
     let branch_b = b.branch_rd_at(ab.core_bits(cwl_b), j);
     rd_a + rd_b - 2 * branch_a.min(branch_b)
+}
+
+/// The lane-interleaved prefix-sum protocol: `L` independent queries advance
+/// in lockstep through the kernel's phases — fused header decode, aux scalar
+/// decode, codeword LCP, record scan + distance arithmetic — so the lanes'
+/// serial `read_lsb` chains share the out-of-order window instead of
+/// executing back to back.  Per lane the arithmetic is exactly
+/// [`distance_refs_impl`], so every lane's answer is bit-identical to the
+/// one-pair kernel (the equivalence suites enforce this for L ∈ {1, 2, 4}).
+pub(crate) fn distance_refs_lanes<const L: usize, const SCALAR: bool>(
+    a: [PsumRef<'_>; L],
+    b: [PsumRef<'_>; L],
+) -> [u64; L] {
+    // Phase 1: header decode, one planned load pair per lane.
+    let mut ha = [(0u64, 0usize, 0usize); L];
+    let mut hb = [(0u64, 0usize, 0usize); L];
+    for i in 0..L {
+        (ha[i], hb[i]) = PsumRef::header_pair(&a[i], &b[i]);
+    }
+    // Phase 2: aux scalar decode, one planned load pair per lane.
+    let aa = core::array::from_fn::<_, L, _>(|i| a[i].aux());
+    let ab = core::array::from_fn::<_, L, _>(|i| b[i].aux());
+    let mut anc = [false; L];
+    let mut sc = [(AuxScalars::default(), AuxScalars::default()); L];
+    for i in 0..L {
+        sc[i] = AuxCoreRef::scalars_pair(&aa[i], &ab[i]);
+        let (sa, sb) = (&sc[i].0, &sc[i].1);
+        anc[i] = AuxScalars::is_ancestor(sa, sb) || AuxScalars::is_ancestor(sb, sa);
+    }
+    // Phase 3: codeword LCP per lane (safe for every lane — ancestor pairs
+    // have well-formed codeword regions too, their LCP is simply unused).
+    let mut lcp = [0usize; L];
+    for i in 0..L {
+        let (cwl_a, cwl_b) = (ha[i].2, hb[i].2);
+        lcp[i] = if SCALAR {
+            AuxCoreRef::codeword_lcp_scalar(&aa[i], cwl_a, &ab[i], cwl_b)
+        } else {
+            AuxCoreRef::codeword_lcp(&aa[i], cwl_a, &ab[i], cwl_b)
+        };
+    }
+    // Phase 4: record scan + distance arithmetic per lane.
+    let mut out = [0u64; L];
+    for i in 0..L {
+        let ((rd_a, lda, cwl_a), (rd_b, _, cwl_b)) = (ha[i], hb[i]);
+        out[i] = if anc[i] {
+            rd_a.abs_diff(rd_b)
+        } else {
+            let (j, branch_a) = a[i].scan_records::<SCALAR>(lda, aa[i].core_bits(cwl_a), lcp[i]);
+            let branch_b = b[i].branch_rd_at(ab[i].core_bits(cwl_b), j);
+            rd_a + rd_b - 2 * branch_a.min(branch_b)
+        };
+    }
+    out
 }
 
 /// Shared load-time extent check of the two prefix-sum schemes: the header's

@@ -57,8 +57,10 @@ fn corpus() -> Vec<(String, Tree)> {
 }
 
 /// Per-store equivalence sweep: the dispatching per-pair path, the scalar
-/// oracle, and the batch engine must agree on every sampled pair; when a
-/// ground truth is supplied (the exact schemes), all three must match it.
+/// oracle, the (×4 lane-interleaved) batch engine, the batch pipeline at
+/// lane widths 1 and 4, and the direct lane entries at widths 1, 2 and 4
+/// (dispatching and scalar) must all agree on every sampled pair; when a
+/// ground truth is supplied (the exact schemes), all of them must match it.
 fn check_store<S: StoredScheme>(
     name: &str,
     store: &SchemeStore<S>,
@@ -66,6 +68,12 @@ fn check_store<S: StoredScheme>(
     truth: Option<&dyn Fn(usize, usize) -> u64>,
 ) {
     let batch = store.distances(pairs);
+    let mut lanes1 = Vec::new();
+    store.distances_into_lanes::<1>(pairs, &mut lanes1);
+    let mut lanes4 = Vec::new();
+    store.distances_into_lanes::<4>(pairs, &mut lanes4);
+    assert_eq!(batch, lanes1, "{name}: lane-1 batch diverges");
+    assert_eq!(batch, lanes4, "{name}: lane-4 batch diverges");
     for (i, &(u, v)) in pairs.iter().enumerate() {
         let d = store.distance(u, v);
         let oracle = store.distance_scalar(u, v);
@@ -80,6 +88,43 @@ fn check_store<S: StoredScheme>(
         if let Some(truth) = truth {
             assert_eq!(d, truth(u, v), "{name}: pair ({u}, {v}) is wrong");
         }
+    }
+    check_lanes::<S, 1>(name, store, pairs, &batch);
+    check_lanes::<S, 2>(name, store, pairs, &batch);
+    check_lanes::<S, 4>(name, store, pairs, &batch);
+}
+
+/// Direct lane-entry sweep at one width: `distance_lanes::<L>` and its
+/// scalar twin must reproduce the pinned per-pair answers on lane groups
+/// drawn from the sampled pairs (including groups whose lanes repeat a
+/// pair — lanes must be independent).
+fn check_lanes<S: StoredScheme, const L: usize>(
+    name: &str,
+    store: &SchemeStore<S>,
+    pairs: &[(usize, usize)],
+    expected: &[u64],
+) {
+    for (g, group) in pairs.chunks_exact(L).enumerate() {
+        let u: [usize; L] = std::array::from_fn(|i| group[i].0);
+        let v: [usize; L] = std::array::from_fn(|i| group[i].1);
+        let got = store.distance_lanes::<L>(u, v);
+        let got_scalar = store.distance_lanes_scalar::<L>(u, v);
+        let want = &expected[g * L..g * L + L];
+        assert_eq!(got, want, "{name}: lane-{L} group {g} diverges");
+        assert_eq!(
+            got_scalar, want,
+            "{name}: scalar lane-{L} group {g} diverges"
+        );
+    }
+    // All lanes of one group carrying the same pair must each see the
+    // one-pair answer.
+    if let Some(&(u, v)) = pairs.first() {
+        let d = store.distance(u, v);
+        assert_eq!(
+            store.distance_lanes::<L>([u; L], [v; L]),
+            [d; L],
+            "{name}: repeated-pair lane-{L} group diverges"
+        );
     }
 }
 
